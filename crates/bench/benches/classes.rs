@@ -1,0 +1,161 @@
+//! E4 (Fig. 5 / §4.3): class extent materialization — sweep own-extent
+//! size, number of include clauses, and `where` selectivity.
+//!
+//! Expected shape: extent cost is linear in (sources × their sizes); the
+//! predicate and view applications dominate; selectivity changes the
+//! surviving set size but not the scan cost (every candidate is tested).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polyview_bench::{class_extent_program, count_fn, employee_set};
+use polyview_eval::Machine;
+use polyview_syntax::builder as b;
+use std::hint::black_box;
+
+fn bench_extent_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_extent_size");
+    group.sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let program = class_extent_program(n, 1, 50);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |bch, p| {
+            bch.iter(|| {
+                let mut m = Machine::new();
+                black_box(m.eval(black_box(p)).expect("runs"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extent_by_includes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_extent_includes");
+    group.sample_size(20);
+    for includes in [1usize, 2, 4, 8] {
+        let program = class_extent_program(100, includes, 50);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(includes),
+            &program,
+            |bch, p| {
+                bch.iter(|| {
+                    let mut m = Machine::new();
+                    black_box(m.eval(black_box(p)).expect("runs"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_extent_by_selectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_extent_selectivity");
+    group.sample_size(20);
+    for pct in [0i64, 25, 50, 100] {
+        let program = class_extent_program(200, 1, pct);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &program, |bch, p| {
+            bch.iter(|| {
+                let mut m = Machine::new();
+                black_box(m.eval(black_box(p)).expect("runs"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lazy_insert_vs_query_cost(c: &mut Criterion) {
+    // The design choice of §4.1/§4.3: inclusion is delayed until query.
+    // Insert cost must be O(1)-ish (a union into the own extent) while the
+    // query pays the inclusion computation.
+    let mut group = c.benchmark_group("E4_lazy_split");
+    let mut m = Machine::new();
+    let class = m
+        .eval(&polyview_syntax::Expr::ClassExpr(polyview_syntax::ClassDef {
+            own: Box::new(employee_set(500)),
+            includes: vec![],
+        }))
+        .expect("class");
+    m.define_global("C", class);
+
+    let fresh_obj = b::id_view(b::record([b::imm("Name", b::str("new"))]));
+    // Note: objects of a different record type would be ill-typed through
+    // the engine; the raw machine accepts them, and we only measure cost.
+    let insert = b::insert(b::v("C"), fresh_obj);
+    group.bench_function("insert_into_500", |bch| {
+        bch.iter(|| black_box(m.eval(&insert).expect("runs")))
+    });
+
+    let query = b::cquery(count_fn(), b::v("C"));
+    group.bench_function("count_query_500", |bch| {
+        bch.iter(|| black_box(m.eval(&query).expect("runs")))
+    });
+    group.finish();
+}
+
+fn bench_extent_cache_ablation(c: &mut Criterion) {
+    // Ablation of the opt-in extent cache (an extension over the paper's
+    // always-recompute semantics): repeated queries with no intervening
+    // updates are where caching pays. The class has two selective include
+    // clauses so the extent computation is the dominant cost, and the
+    // query ignores the set (`fn s => 0`) to isolate extent work from the
+    // consumer's own scan.
+    let mut group = c.benchmark_group("E4_cache_ablation");
+    group.sample_size(10);
+    for cache in [false, true] {
+        let label = if cache { "cached" } else { "recompute" };
+        let mut m = Machine::new();
+        m.enable_extent_cache(cache);
+        // Two source classes of 200 employees, 50% selectivity.
+        let src = |m: &mut Machine| {
+            m.eval(&polyview_syntax::Expr::ClassExpr(polyview_syntax::ClassDef {
+                own: Box::new(employee_set(200)),
+                includes: vec![],
+            }))
+            .expect("source class")
+        };
+        let s0 = src(&mut m);
+        let s1 = src(&mut m);
+        m.define_global("S0", s0);
+        m.define_global("S1", s1);
+        let pred = b::lam(
+            "o",
+            b::query(
+                b::lam(
+                    "x",
+                    b::lt(
+                        b::app2(b::v("imod"), b::dot(b::v("x"), "Salary"), b::int(100)),
+                        b::int(50),
+                    ),
+                ),
+                b::v("o"),
+            ),
+        );
+        let include = |srcname: &str| polyview_syntax::IncludeClause {
+            sources: vec![b::v(srcname)],
+            view: b::lam("s", b::record([b::imm("Name", b::dot(b::v("s"), "Name"))])),
+            pred: pred.clone(),
+        };
+        let class = m
+            .eval(&polyview_syntax::Expr::ClassExpr(polyview_syntax::ClassDef {
+                own: Box::new(b::empty()),
+                includes: vec![include("S0"), include("S1")],
+            }))
+            .expect("sharing class");
+        m.define_global("C", class);
+        let query = b::cquery(b::lam("s", b::int(0)), b::v("C"));
+        group.bench_function(format!("repeat_query_{label}"), |bch| {
+            bch.iter(|| black_box(m.eval(&query).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_extent_by_size,
+    bench_extent_by_includes,
+    bench_extent_by_selectivity,
+    bench_lazy_insert_vs_query_cost,
+    bench_extent_cache_ablation
+
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E1 (Fig. 1 / Prop. 2): type inference cost over record-polymorphic
+//! programs — sweep term size and record width.
+//!
+//! Expected shape: near-linear growth in term size; record width adds a
+//! logarithmic-ish factor through field-map operations in kinded
+//! unification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyview_bench::inference_workload;
+use polyview_types::{builtins_sig, infer, Infer};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_inference");
+    for size in [10usize, 50, 250, 1000] {
+        for width in [2usize, 8, 32] {
+            let e = inference_workload(size, width);
+            let nodes = e.size();
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{width}"), format!("n{size}_{nodes}nodes")),
+                &e,
+                |bch, e| {
+                    bch.iter(|| {
+                        let mut cx = Infer::new();
+                        let mut env = builtins_sig::builtin_env();
+                        let t = infer::infer(&mut cx, &mut env, black_box(e))
+                            .expect("well-typed");
+                        black_box(cx.resolve(&t))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_paper_examples_inference(c: &mut Criterion) {
+    // The paper's own examples as a fixed end-to-end pipeline workload
+    // (parse → infer → evaluate).
+    let src = r#"
+        val joe = IDView([Name = "Joe", BirthYear = 1955,
+                          Salary := 2000, Bonus := 5000]);
+        val joe_view = joe as fn x => [Name = x.Name,
+                                       Age = this_year() - x.BirthYear,
+                                       Income = x.Salary,
+                                       Bonus := extract(x, Bonus)];
+        fun Annual_Income p = p.Income * 12 + p.Bonus;
+        fun wealthy S = select as fn x => [Name = x.Name, Age = x.Age]
+                        from S where fn x => query(Annual_Income, x) > 100000;
+    "#;
+    c.bench_function("E1_paper_s33_pipeline", |bch| {
+        bch.iter(|| {
+            let mut engine = polyview::Engine::new();
+            black_box(engine.exec(black_box(src)).expect("runs"))
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_inference, bench_paper_examples_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! E7 (§1 motivation): general object sharing in the calculus (lazy,
+//! shared extents) vs the IS-A/partial-order baseline (generated
+//! intermediate classes with eagerly materialized copies), under mixed
+//! update/query workloads.
+//!
+//! Expected shape: the calculus pays per *query* (lazy inclusion) and
+//! nearly nothing per update; the eager baseline pays per *update*
+//! (re-copying) and nearly nothing per query. As the update:query ratio
+//! rises, the calculus wins by a growing factor; at query-heavy ratios the
+//! eager baseline's pre-joined copies win — the trade-off the paper's lazy
+//! design consciously accepts for consistency under sharing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyview::Engine;
+use polyview_bench::sharing_prelude;
+use polyview_isa::{FieldVal, IsaStore, Refresh};
+use std::hint::black_box;
+
+const N: usize = 100;
+
+fn polyview_engine() -> Engine {
+    let mut engine = Engine::new();
+    engine.exec(&sharing_prelude(N)).expect("prelude");
+    engine
+        .exec("fun countf c = cquery(fn s => hom(s, fn x => 1, fn a => fn b => a + b, 0), c);")
+        .expect("countf");
+    engine
+}
+
+fn isa_store(refresh: Refresh) -> IsaStore {
+    let mut st = IsaStore::new(refresh);
+    let staff = st.new_class("Staff", &[]);
+    let student = st.new_class("Student", &[]);
+    for i in 0..N {
+        st.insert(
+            staff,
+            [
+                ("Name".to_string(), FieldVal::str(format!("s{i}"))),
+                ("Age".to_string(), FieldVal::Int(20 + (i % 50) as i64)),
+                (
+                    "Sex".to_string(),
+                    FieldVal::str(if i % 2 == 0 { "female" } else { "male" }),
+                ),
+            ],
+        );
+        st.insert(
+            student,
+            [
+                ("Name".to_string(), FieldVal::str(format!("t{i}"))),
+                ("Age".to_string(), FieldVal::Int(18 + (i % 10) as i64)),
+                (
+                    "Sex".to_string(),
+                    FieldVal::str(if i % 3 == 0 { "female" } else { "male" }),
+                ),
+            ],
+        );
+    }
+    st.define_shared_class(
+        "FemaleMember",
+        &[staff, student],
+        |r| r.get("Sex").and_then(FieldVal::as_str) == Some("female"),
+        |r| r.project(&["Name", "Age"]),
+    );
+    st
+}
+
+/// A workload of `updates` age-bumps interleaved with `queries` counts of
+/// the shared class, in round-robin order.
+fn run_polyview(engine: &mut Engine, updates: usize, queries: usize) -> i64 {
+    let mut total = 0i64;
+    let rounds = updates.max(queries);
+    for r in 0..rounds {
+        if r < updates {
+            engine
+                .eval_expr(&format!(
+                    "cquery(fn s => map(fn o => query(fn x => \
+                       if x.Name = \"s{}\" then update(x, Age, x.Age + 1) else (), o), s), Staff)",
+                    r % N
+                ))
+                .expect("update");
+        }
+        if r < queries {
+            let n = engine
+                .eval_to_string("countf FemaleMember")
+                .expect("count");
+            total += n.parse::<i64>().expect("int");
+        }
+    }
+    total
+}
+
+fn run_isa(st: &mut IsaStore, updates: usize, queries: usize) -> i64 {
+    let staff = st.class_id("Staff").expect("staff");
+    let female = st.class_id("FemaleMember").expect("female");
+    let mut total = 0i64;
+    let rounds = updates.max(queries);
+    for r in 0..rounds {
+        if r < updates {
+            let oid = (r % N) as u64;
+            let current = st
+                .extent(staff)
+                .into_iter()
+                .find(|row| row.oid == oid)
+                .and_then(|row| row.get("Age").and_then(FieldVal::as_int))
+                .unwrap_or(0);
+            st.update(staff, oid, "Age", FieldVal::Int(current + 1));
+        }
+        if r < queries {
+            total += st.count(female) as i64;
+        }
+    }
+    total
+}
+
+fn bench_update_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_update_heavy_20u_2q");
+    group.sample_size(10);
+    group.bench_function("polyview_lazy", |bch| {
+        let mut engine = polyview_engine();
+        bch.iter(|| black_box(run_polyview(&mut engine, 20, 2)))
+    });
+    group.bench_function("isa_eager", |bch| {
+        let mut st = isa_store(Refresh::Eager);
+        bch.iter(|| black_box(run_isa(&mut st, 20, 2)))
+    });
+    group.bench_function("isa_onquery", |bch| {
+        let mut st = isa_store(Refresh::OnQuery);
+        bch.iter(|| black_box(run_isa(&mut st, 20, 2)))
+    });
+    group.finish();
+}
+
+fn bench_query_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_query_heavy_2u_20q");
+    group.sample_size(10);
+    group.bench_function("polyview_lazy", |bch| {
+        let mut engine = polyview_engine();
+        bch.iter(|| black_box(run_polyview(&mut engine, 2, 20)))
+    });
+    group.bench_function("isa_eager", |bch| {
+        let mut st = isa_store(Refresh::Eager);
+        bch.iter(|| black_box(run_isa(&mut st, 2, 20)))
+    });
+    group.bench_function("isa_onquery", |bch| {
+        let mut st = isa_store(Refresh::OnQuery);
+        bch.iter(|| black_box(run_isa(&mut st, 2, 20)))
+    });
+    group.finish();
+}
+
+fn bench_balanced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_balanced_10u_10q");
+    group.sample_size(10);
+    group.bench_function("polyview_lazy", |bch| {
+        let mut engine = polyview_engine();
+        bch.iter(|| black_box(run_polyview(&mut engine, 10, 10)))
+    });
+    group.bench_function("isa_eager", |bch| {
+        let mut st = isa_store(Refresh::Eager);
+        bch.iter(|| black_box(run_isa(&mut st, 10, 10)))
+    });
+    group.bench_function("isa_onquery", |bch| {
+        let mut st = isa_store(Refresh::OnQuery);
+        bch.iter(|| black_box(run_isa(&mut st, 10, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_update_heavy, bench_query_heavy, bench_balanced
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E5 (Fig. 6/7, Prop. 5): recursive extent computation over cyclic class
+//! graphs — rings and cliques of k classes.
+//!
+//! Expected shape: the visited-set (`L`) mechanism bounds every call chain
+//! by the number of classes, so ring cost grows polynomially in k (each
+//! class recomputes its successors' extents along the path — the
+//! memoization-free semantics of §4.4), and never diverges. Cliques grow
+//! steeply (k! path structure is cut to k·2^k-ish by L) — the bench
+//! documents the real cost envelope of the paper's semantics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyview_bench::{clique_program, ring_program};
+use polyview_eval::Machine;
+use std::hint::black_box;
+
+fn bench_rings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_ring");
+    group.sample_size(20);
+    for k in [2usize, 4, 8, 16] {
+        let program = ring_program(k, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &program, |bch, p| {
+            bch.iter(|| {
+                let mut m = Machine::new();
+                black_box(m.eval(black_box(p)).expect("terminates (Prop. 5)"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_clique");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        let program = clique_program(k, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &program, |bch, p| {
+            bch.iter(|| {
+                let mut m = Machine::new();
+                black_box(m.eval(black_box(p)).expect("terminates (Prop. 5)"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_vs_extent_size(c: &mut Criterion) {
+    // Fixed topology, growing per-class extents: cost should scale with
+    // the number of objects flowing around the ring.
+    let mut group = c.benchmark_group("E5_ring4_by_extent");
+    group.sample_size(10);
+    for per_class in [1usize, 5, 25, 125] {
+        let program = ring_program(4, per_class);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(per_class),
+            &program,
+            |bch, p| {
+                bch.iter(|| {
+                    let mut m = Machine::new();
+                    black_box(m.eval(black_box(p)).expect("runs"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_rings, bench_cliques, bench_ring_vs_extent_size
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E6 (Props. 3–4): the translation path (Figs. 3/5 into pure core, then
+//! core evaluation) vs the native object/class interpreter, on identical
+//! programs — an ablation of the paper's "effective implementation
+//! algorithm".
+//!
+//! Expected shape: the translated path is slower by a constant-ish factor
+//! (it re-executes the object plumbing as ordinary closures and encodes
+//! the objeq-collapsing union as nested `hom`s, which is quadratic where
+//! the native path uses keyed maps), growing with extent size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyview_bench::{class_extent_program, view_chain_program};
+use polyview_eval::Machine;
+use polyview_trans::translate;
+use std::hint::black_box;
+
+fn bench_view_chain_native_vs_translated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_view_chain");
+    for depth in [4usize, 16, 64] {
+        let program = view_chain_program(depth);
+        let translated = translate(&program);
+        group.bench_with_input(
+            BenchmarkId::new("native", depth),
+            &program,
+            |bch, p| {
+                bch.iter(|| {
+                    let mut m = Machine::new();
+                    black_box(m.eval(black_box(p)).expect("runs"))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("translated", depth),
+            &translated,
+            |bch, p| {
+                bch.iter(|| {
+                    let mut m = Machine::new();
+                    black_box(m.eval(black_box(p)).expect("runs"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_class_extent_native_vs_translated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_class_extent");
+    group.sample_size(10);
+    for n in [10usize, 40, 160] {
+        let program = class_extent_program(n, 1, 50);
+        let translated = translate(&program);
+        group.bench_with_input(BenchmarkId::new("native", n), &program, |bch, p| {
+            bch.iter(|| {
+                let mut m = Machine::new();
+                black_box(m.eval(black_box(p)).expect("runs"))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("translated", n),
+            &translated,
+            |bch, p| {
+                bch.iter(|| {
+                    let mut m = Machine::new();
+                    black_box(m.eval(black_box(p)).expect("runs"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_translation_itself(c: &mut Criterion) {
+    // Cost of running tr(·): linear in program size.
+    let mut group = c.benchmark_group("E6_translate_cost");
+    for n in [10usize, 100, 400] {
+        let program = class_extent_program(n, 2, 50);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(program.size()),
+            &program,
+            |bch, p| bch.iter(|| black_box(translate(black_box(p)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_view_chain_native_vs_translated,
+    bench_class_extent_native_vs_translated,
+    bench_translation_itself
+
+}
+criterion_main!(benches);

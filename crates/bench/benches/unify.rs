@@ -1,0 +1,96 @@
+//! E2 (Fig. 1 kinds): kinded unification micro-benchmarks — the var–var
+//! kind merge and the var–record discharge, swept over field counts.
+//!
+//! Expected shape: both grow with the number of constrained fields; the
+//! merge additionally pays map-union costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyview_syntax::{FieldReq, FieldTy, Kind, Label, Mono};
+use polyview_types::Infer;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn record_kind(cx: &mut Infer, fields: usize) -> Kind {
+    Kind::Record(
+        (0..fields)
+            .map(|i| (Label::new(format!("f{i}")), FieldReq::any(cx.fresh())))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn record_type(fields: usize) -> Mono {
+    Mono::Record(
+        (0..fields)
+            .map(|i| (Label::new(format!("f{i}")), FieldTy::immutable(Mono::int())))
+            .collect(),
+    )
+}
+
+fn bench_var_var_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_unify_var_var_merge");
+    for fields in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(fields), &fields, |bch, &n| {
+            bch.iter(|| {
+                let mut cx = Infer::new();
+                let ka = record_kind(&mut cx, n);
+                let kb = record_kind(&mut cx, n);
+                let a = cx.fresh_with_kind(ka);
+                let b = cx.fresh_with_kind(kb);
+                cx.unify(black_box(&a), black_box(&b)).expect("merges");
+                black_box(cx.vars_minted())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_var_record_discharge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_unify_var_record_discharge");
+    for fields in [2usize, 8, 32, 128] {
+        let record = record_type(fields);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(fields),
+            &record,
+            |bch, record| {
+                bch.iter(|| {
+                    let mut cx = Infer::new();
+                    let k = record_kind(&mut cx, fields);
+                    let a = cx.fresh_with_kind(k);
+                    cx.unify(black_box(&a), black_box(record)).expect("discharges");
+                    black_box(cx.resolve(&a))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_deep_congruence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_unify_deep_congruence");
+    for depth in [4usize, 16, 64, 256] {
+        let mut t = Mono::int();
+        for _ in 0..depth {
+            t = Mono::set(Mono::arrow(t.clone(), Mono::bool()));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &t, |bch, t| {
+            bch.iter(|| {
+                let mut cx = Infer::new();
+                let a = cx.fresh();
+                cx.unify(&a, black_box(t)).expect("binds");
+                cx.unify(black_box(t), black_box(t)).expect("reflexive");
+                black_box(cx.resolve(&a))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_var_var_merge,
+    bench_var_record_discharge,
+    bench_deep_congruence
+
+}
+criterion_main!(benches);

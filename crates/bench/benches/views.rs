@@ -1,0 +1,125 @@
+//! E3 (Fig. 3 / §3.3): query cost through view-composition chains, lazy
+//! views vs a materialized snapshot, and update cost through views.
+//!
+//! Expected shape: lazy query cost grows linearly with composition depth
+//! (O(d) view applications per query) while a materialized snapshot pays
+//! O(d) once and O(1) per re-read — the crossover as the re-read count
+//! grows is the cost model behind the paper's lazy-evaluation choice
+//! (updates through any view stay visible, which snapshots cannot offer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyview_bench::{employee_record, employee_view_fn, view_chain_program};
+use polyview_eval::Machine;
+use polyview_syntax::builder as b;
+use std::hint::black_box;
+
+fn bench_query_through_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_view_chain_query");
+    for depth in [1usize, 4, 16, 64, 256] {
+        let program = view_chain_program(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &program, |bch, p| {
+            bch.iter(|| {
+                let mut m = Machine::new();
+                black_box(m.eval(black_box(p)).expect("runs"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_repeated_queries_lazy_vs_materialized(c: &mut Criterion) {
+    // Build the chained object once; then compare (a) querying through the
+    // live views k times vs (b) materializing once and re-reading.
+    let mut group = c.benchmark_group("E3_repeat_queries");
+    let depth = 32;
+    let reads = 64;
+    let mut m = Machine::new();
+    let mut obj = m
+        .eval(&b::id_view(b::record([b::imm("v0", b::int(42))])))
+        .expect("object");
+    for k in 0..depth {
+        let src = format!("v{k}");
+        let dst = format!("v{}", k + 1);
+        let view = m
+            .eval(&b::lam(
+                "x",
+                b::record([b::imm(dst.as_str(), b::dot(b::v("x"), src.as_str()))]),
+            ))
+            .expect("view fn");
+        m.define_global("tmp_o", obj.clone());
+        m.define_global("tmp_f", view);
+        obj = m
+            .eval(&b::as_view(b::v("tmp_o"), b::v("tmp_f")))
+            .expect("composed");
+    }
+    m.define_global("chained", obj);
+    let leaf = format!("v{depth}");
+
+    let lazy_query = b::query(
+        b::lam("x", b::dot(b::v("x"), leaf.as_str())),
+        b::v("chained"),
+    );
+    group.bench_function(format!("lazy_d{depth}_x{reads}"), |bch| {
+        bch.iter(|| {
+            for _ in 0..reads {
+                black_box(m.eval(&lazy_query).expect("runs"));
+            }
+        })
+    });
+
+    let materialize_then_read = {
+        let read = b::dot(b::v("snap"), leaf.as_str());
+        let mut body = read.clone();
+        for _ in 1..reads {
+            body = b::let_("_", read.clone(), body);
+        }
+        b::let_(
+            "snap",
+            b::query(b::lam("x", b::v("x")), b::v("chained")),
+            body,
+        )
+    };
+    group.bench_function(format!("materialized_d{depth}_x{reads}"), |bch| {
+        bch.iter(|| black_box(m.eval(&materialize_then_read).expect("runs")))
+    });
+    group.finish();
+}
+
+fn bench_view_update_propagation(c: &mut Criterion) {
+    // §3.3's adjustBonus: update through a view, then read through both
+    // the view and the raw object.
+    let mut m = Machine::new();
+    let obj = m.eval(&b::id_view(employee_record(1))).expect("object");
+    m.define_global("emp", obj);
+    let viewed = m
+        .eval(&b::as_view(b::v("emp"), employee_view_fn()))
+        .expect("view");
+    m.define_global("empv", viewed);
+    let update_and_read = b::let_(
+        "_",
+        b::query(
+            b::lam(
+                "x",
+                b::update(b::v("x"), "Bonus", b::dot(b::v("x"), "Income")),
+            ),
+            b::v("empv"),
+        ),
+        b::pair(
+            b::query(b::lam("x", b::dot(b::v("x"), "Bonus")), b::v("empv")),
+            b::query(b::lam("x", b::dot(b::v("x"), "Bonus")), b::v("emp")),
+        ),
+    );
+    c.bench_function("E3_view_update_roundtrip", |bch| {
+        bch.iter(|| black_box(m.eval(&update_and_read).expect("runs")))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_query_through_chain,
+    bench_repeated_queries_lazy_vs_materialized,
+    bench_view_update_propagation
+
+}
+criterion_main!(benches);

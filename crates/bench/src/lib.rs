@@ -1,0 +1,334 @@
+//! Shared workload generators for the benchmark targets (one per
+//! experiment in DESIGN.md §5).
+//!
+//! All builders are deterministic so Criterion compares like with like
+//! across runs. Programs are built as ASTs (no parsing on the hot path).
+
+use criterion::Criterion;
+use polyview_syntax::builder as b;
+use std::time::Duration;
+
+/// Criterion configuration for the whole harness: short warm-up and
+/// measurement windows so the complete suite regenerates every experiment
+/// in minutes. Override with Criterion's CLI flags when precision matters.
+pub fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+        .sample_size(12)
+        .configure_from_args()
+}
+
+use polyview_syntax::{ClassDef, Expr, Field, IncludeClause, Label};
+
+/// An employee raw record with deterministic field values.
+pub fn employee_record(i: usize) -> Expr {
+    b::record([
+        b::imm("Name", b::str(&format!("emp{i}"))),
+        b::imm("BirthYear", b::int(1950 + (i % 40) as i64)),
+        b::mt("Salary", b::int(1000 + (i % 100) as i64 * 10)),
+        b::mt("Bonus", b::int((i % 10) as i64 * 100)),
+        b::imm("Sex", b::str(if i.is_multiple_of(2) { "female" } else { "male" })),
+    ])
+}
+
+/// A set of `n` employee objects (identity views).
+pub fn employee_set(n: usize) -> Expr {
+    b::set((0..n).map(|i| b::id_view(employee_record(i))))
+}
+
+/// The §3.3 viewing function (rename/hide/compute/extract).
+pub fn employee_view_fn() -> Expr {
+    b::lam(
+        "x",
+        b::record([
+            b::imm("Name", b::dot(b::v("x"), "Name")),
+            b::imm(
+                "Age",
+                b::sub(
+                    b::app(b::v("this_year"), b::unit()),
+                    b::dot(b::v("x"), "BirthYear"),
+                ),
+            ),
+            b::imm("Income", b::dot(b::v("x"), "Salary")),
+            b::mt("Bonus", b::extract(b::v("x"), "Bonus")),
+        ]),
+    )
+}
+
+/// E3: an object under `depth` stacked views (each renames `v{k}` →
+/// `v{k+1}`), finished with a query projecting the innermost field.
+pub fn view_chain_program(depth: usize) -> Expr {
+    let mut obj = b::id_view(b::record([b::imm("v0", b::int(42))]));
+    for k in 0..depth {
+        let src = format!("v{k}");
+        let dst = format!("v{}", k + 1);
+        obj = b::as_view(
+            obj,
+            Expr::lam(
+                "x",
+                Expr::Record(vec![Field::immutable(
+                    Label::new(dst),
+                    Expr::dot(b::v("x"), src.as_str()),
+                )]),
+            ),
+        );
+    }
+    let leaf = format!("v{depth}");
+    b::query(
+        Expr::lam("x", Expr::dot(b::v("x"), Label::new(leaf))),
+        obj,
+    )
+}
+
+/// E3 comparator: materialize the same chain once per *construction* and
+/// query the resulting plain record (what an eager implementation does).
+pub fn view_chain_materialized_program(depth: usize) -> Expr {
+    let q = view_chain_program(depth);
+    // Bind the materialized result and read it twice to simulate reuse.
+    b::let_("m", q, b::v("m"))
+}
+
+/// A set-level counting query function.
+pub fn count_fn() -> Expr {
+    b::lam(
+        "s",
+        b::hom(
+            b::v("s"),
+            b::lam("x", b::int(1)),
+            b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+            b::int(0),
+        ),
+    )
+}
+
+/// E4: a class over `n` employees with `includes` include clauses, each
+/// selecting ~`selectivity_pct`% of a source class of the same size.
+pub fn class_extent_program(n: usize, includes: usize, selectivity_pct: i64) -> Expr {
+    let pred = b::lam(
+        "o",
+        b::query(
+            b::lam(
+                "x",
+                b::lt(
+                    b::app2(
+                        b::v("imod"),
+                        b::dot(b::v("x"), "Salary"),
+                        b::int(100),
+                    ),
+                    b::int(selectivity_pct),
+                ),
+            ),
+            b::v("o"),
+        ),
+    );
+    let include = |src: &str| IncludeClause {
+        sources: vec![b::v(src)],
+        view: b::lam(
+            "s",
+            b::record([
+                b::imm("Name", b::dot(b::v("s"), "Name")),
+                b::imm("Sex", b::dot(b::v("s"), "Sex")),
+            ]),
+        ),
+        pred: pred.clone(),
+    };
+    let target = Expr::ClassExpr(ClassDef {
+        own: Box::new(b::empty()),
+        includes: (0..includes)
+            .map(|k| include(&format!("Src{k}")))
+            .collect(),
+    });
+    let mut program = b::cquery(count_fn(), target);
+    for k in (0..includes).rev() {
+        program = b::let_(
+            format!("Src{k}").as_str(),
+            Expr::ClassExpr(ClassDef {
+                own: Box::new(employee_set(n)),
+                includes: vec![],
+            }),
+            program,
+        );
+    }
+    program
+}
+
+/// E5: a ring of `k` mutually recursive classes, each owning `per_class`
+/// objects and including the next class; count class 0's extent.
+pub fn ring_program(k: usize, per_class: usize) -> Expr {
+    let binds: Vec<(Label, ClassDef)> = (0..k)
+        .map(|i| {
+            let own = b::set(
+                (0..per_class).map(|j| b::id_view(employee_record(i * per_class + j))),
+            );
+            (
+                Label::new(format!("RC{i}")),
+                ClassDef {
+                    own: Box::new(own),
+                    includes: vec![IncludeClause {
+                        sources: vec![b::v(&format!("RC{}", (i + 1) % k))],
+                        view: b::lam("x", b::v("x")),
+                        pred: b::lam("x", b::boolean(true)),
+                    }],
+                },
+            )
+        })
+        .collect();
+    Expr::LetClasses(
+        binds,
+        Box::new(b::cquery(count_fn(), b::v("RC0"))),
+    )
+}
+
+/// E5 variant: a complete graph ("clique") of `k` classes.
+pub fn clique_program(k: usize, per_class: usize) -> Expr {
+    let binds: Vec<(Label, ClassDef)> = (0..k)
+        .map(|i| {
+            let own = b::set(
+                (0..per_class).map(|j| b::id_view(employee_record(i * per_class + j))),
+            );
+            let includes = (0..k)
+                .filter(|&j| j != i)
+                .map(|j| IncludeClause {
+                    sources: vec![b::v(&format!("RC{j}"))],
+                    view: b::lam("x", b::v("x")),
+                    pred: b::lam("x", b::boolean(true)),
+                })
+                .collect();
+            (
+                Label::new(format!("RC{i}")),
+                ClassDef {
+                    own: Box::new(own),
+                    includes,
+                },
+            )
+        })
+        .collect();
+    Expr::LetClasses(
+        binds,
+        Box::new(b::cquery(count_fn(), b::v("RC0"))),
+    )
+}
+
+/// E1: a record-polymorphism-heavy program of roughly `size` nodes over
+/// records of `width` fields: a chain of field-projection lets ending in a
+/// sum, exercising kinded unification at every step.
+pub fn inference_workload(size: usize, width: usize) -> Expr {
+    let rec = Expr::Record(
+        (0..width)
+            .map(|i| Field::immutable(Label::new(format!("f{i}")), b::int(i as i64)))
+            .collect(),
+    );
+    // fun g r = r.f0 + r.f1 … (polymorphic in the record)
+    let mut acc = b::dot(b::v("r"), "f0");
+    for i in 1..width.min(4) {
+        acc = b::add(acc, b::dot(b::v("r"), format!("f{i}").as_str()));
+    }
+    let g = b::lam("r", acc);
+    let steps = (size / (width.max(1) + 6)).max(1);
+    let mut body = b::int(0);
+    for k in 0..steps {
+        body = b::let_(
+            format!("x{k}").as_str(),
+            b::app(b::v("g"), rec.clone()),
+            b::add(b::v(&format!("x{k}")), body),
+        );
+    }
+    b::let_("g", g, body)
+}
+
+/// The FemaleMember-style sharing workload used by E7 (polyview side):
+/// defines source classes of `n` employees each and a sharing class over
+/// both; returns the program prelude to execute once.
+pub fn sharing_prelude(n: usize) -> String {
+    let mut src = String::new();
+    src.push_str("class Staff = class {");
+    for i in 0..n {
+        if i > 0 {
+            src.push_str(", ");
+        }
+        src.push_str(&format!(
+            "IDView([Name = \"s{i}\", Age := {}, Sex = \"{}\"])",
+            20 + (i % 50),
+            if i % 2 == 0 { "female" } else { "male" }
+        ));
+    }
+    src.push_str("} end;\n");
+    src.push_str("class Student = class {");
+    for i in 0..n {
+        if i > 0 {
+            src.push_str(", ");
+        }
+        src.push_str(&format!(
+            "IDView([Name = \"t{i}\", Age := {}, Sex = \"{}\"])",
+            18 + (i % 10),
+            if i % 3 == 0 { "female" } else { "male" }
+        ));
+    }
+    src.push_str("} end;\n");
+    src.push_str(
+        "class FemaleMember = class {}\n\
+         include Staff as fn s => [Name = s.Name, Category = \"staff\"]\n\
+         where fn s => query(fn x => x.Sex = \"female\", s)\n\
+         include Student as fn s => [Name = s.Name, Category = \"student\"]\n\
+         where fn s => query(fn x => x.Sex = \"female\", s)\n\
+         end;\n",
+    );
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_eval::Machine;
+    use polyview_types::infer::infer_closed;
+
+    #[test]
+    fn view_chain_evaluates_to_42() {
+        for d in [0, 1, 8] {
+            let mut m = Machine::new();
+            let v = m.eval(&view_chain_program(d)).expect("runs");
+            assert_eq!(m.show(&v), "42", "depth {d}");
+        }
+    }
+
+    #[test]
+    fn class_extent_counts_selectivity() {
+        let mut m = Machine::new();
+        // 100% selectivity, one include over 10 employees → 10.
+        let v = m.eval(&class_extent_program(10, 1, 100)).expect("runs");
+        assert_eq!(m.show(&v), "10");
+        // 0% selectivity → 0.
+        let v = m.eval(&class_extent_program(10, 1, 0)).expect("runs");
+        assert_eq!(m.show(&v), "0");
+    }
+
+    #[test]
+    fn ring_and_clique_count_all_objects() {
+        let mut m = Machine::new();
+        let v = m.eval(&ring_program(4, 3)).expect("runs");
+        assert_eq!(m.show(&v), "12");
+        let v = m.eval(&clique_program(3, 2)).expect("runs");
+        assert_eq!(m.show(&v), "6");
+    }
+
+    #[test]
+    fn inference_workload_is_well_typed() {
+        for (size, width) in [(50, 2), (200, 8)] {
+            let e = inference_workload(size, width);
+            infer_closed(&e).expect("well-typed");
+        }
+    }
+
+    #[test]
+    fn sharing_prelude_parses_and_runs() {
+        let mut engine = polyview::Engine::new();
+        engine.exec(&sharing_prelude(6)).expect("runs");
+        let n = engine
+            .eval_to_string(
+                "cquery(fn s => hom(s, fn x => 1, fn a => fn b => a + b, 0), FemaleMember)",
+            )
+            .expect("counts");
+        assert_eq!(n, "5"); // 3 female staff + 2 female students
+    }
+}

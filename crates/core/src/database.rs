@@ -1,0 +1,182 @@
+//! An object-database facade over the calculus: named classes, inserts,
+//! deletes and queries — the workflow the paper's introduction motivates,
+//! with every operation statically typed by the underlying engine.
+
+use crate::engine::Engine;
+use crate::error::Error;
+use polyview_eval::Value;
+use polyview_syntax::Scheme;
+
+/// A thin OODB wrapper around [`Engine`].
+///
+/// ```
+/// use polyview::Database;
+///
+/// let mut db = Database::new();
+/// db.exec(
+///     r#"
+///     class Staff = class {} end;
+///     insert(Staff, IDView([Name = "Alice", Age = 40, Sex = "female"]));
+///     insert(Staff, IDView([Name = "Bob", Age = 50, Sex = "male"]));
+///     "#,
+/// )
+/// .expect("setup");
+/// assert_eq!(db.count("Staff").expect("count"), 2);
+/// let names = db
+///     .query("Staff", "fn s => map(fn o => query(fn x => x.Name, o), s)")
+///     .expect("query");
+/// assert_eq!(names, "{\"Alice\", \"Bob\"}");
+/// ```
+pub struct Database {
+    engine: Engine,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database {
+            engine: Engine::new(),
+        }
+    }
+
+    /// Run arbitrary declarations (class definitions, inserts, …).
+    pub fn exec(&mut self, src: &str) -> Result<(), Error> {
+        self.engine.exec(src)?;
+        Ok(())
+    }
+
+    /// Evaluate an expression and render the result.
+    pub fn eval(&mut self, src: &str) -> Result<String, Error> {
+        self.engine.eval_to_string(src)
+    }
+
+    /// Run a `c-query` with the given set-level function source against a
+    /// named class.
+    pub fn query(&mut self, class: &str, set_fn: &str) -> Result<String, Error> {
+        self.engine
+            .eval_to_string(&format!("cquery({set_fn}, {class})"))
+    }
+
+    /// Insert an object expression into a named class's own extent.
+    pub fn insert(&mut self, class: &str, obj: &str) -> Result<(), Error> {
+        self.engine
+            .eval_expr(&format!("insert({class}, {obj})"))?;
+        Ok(())
+    }
+
+    /// Delete an object expression from a named class's own extent.
+    pub fn delete(&mut self, class: &str, obj: &str) -> Result<(), Error> {
+        self.engine
+            .eval_expr(&format!("delete({class}, {obj})"))?;
+        Ok(())
+    }
+
+    /// Number of objects in the class's full (lazily materialized) extent.
+    pub fn count(&mut self, class: &str) -> Result<usize, Error> {
+        let v = self.class_value(class)?;
+        let extent = self.engine.machine().extent_of(&v)?;
+        Ok(extent.len())
+    }
+
+    /// Materialize the current views of every object in a class's extent
+    /// and render them.
+    pub fn dump(&mut self, class: &str) -> Result<Vec<String>, Error> {
+        let v = self.class_value(class)?;
+        let extent = self.engine.machine().extent_of(&v)?;
+        let objs: Vec<Value> = extent.values().cloned().collect();
+        let mut out = Vec::with_capacity(objs.len());
+        for o in objs {
+            let mat = self.engine.machine().materialize(&o)?;
+            out.push(self.engine.show(&mat));
+        }
+        Ok(out)
+    }
+
+    /// The principal scheme of a bound name.
+    pub fn schema(&self, name: &str) -> Option<Scheme> {
+        self.engine.scheme_of(name)
+    }
+
+    /// The underlying engine, for anything the facade doesn't cover.
+    pub fn engine(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    fn class_value(&mut self, class: &str) -> Result<Value, Error> {
+        self.engine.eval_expr(class).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staff_db() -> Database {
+        let mut db = Database::new();
+        db.exec(
+            "class Staff = class {} end;\n\
+             insert(Staff, IDView([Name = \"Alice\", Age = 40, Sex = \"female\"]));\n\
+             insert(Staff, IDView([Name = \"Bob\", Age = 50, Sex = \"male\"]));",
+        )
+        .expect("setup");
+        db
+    }
+
+    #[test]
+    fn count_and_dump() {
+        let mut db = staff_db();
+        assert_eq!(db.count("Staff").expect("count"), 2);
+        let rows = db.dump("Staff").expect("dump");
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.contains("Alice")));
+    }
+
+    #[test]
+    fn query_facade() {
+        let mut db = staff_db();
+        let ages = db
+            .query("Staff", "fn s => map(fn o => query(fn x => x.Age, o), s)")
+            .expect("query");
+        assert_eq!(ages, "{40, 50}");
+    }
+
+    #[test]
+    fn delete_via_binding() {
+        let mut db = Database::new();
+        db.exec(
+            "val alice = IDView([Name = \"Alice\"]);\n\
+             class Staff = class {alice} end;",
+        )
+        .expect("setup");
+        assert_eq!(db.count("Staff").expect("count"), 1);
+        db.delete("Staff", "alice").expect("delete");
+        assert_eq!(db.count("Staff").expect("count"), 0);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let db = staff_db();
+        let s = db.schema("Staff").expect("bound");
+        assert!(s.to_string().starts_with("class(["), "got {s}");
+        assert!(db.schema("Nope").is_none());
+    }
+
+    #[test]
+    fn view_class_through_facade() {
+        let mut db = staff_db();
+        db.exec(
+            "class Female = class {} \
+             include Staff as fn s => [Name = s.Name] \
+             where fn s => query(fn x => x.Sex = \"female\", s) end;",
+        )
+        .expect("view class");
+        assert_eq!(db.count("Female").expect("count"), 1);
+        let rows = db.dump("Female").expect("dump");
+        assert_eq!(rows, vec!["[Name = \"Alice\"]"]);
+    }
+}

@@ -1,0 +1,432 @@
+//! The engine: a persistent top-level session over the calculus.
+//!
+//! Each declaration is type-checked (inferring a principal scheme), then
+//! evaluated; both the type environment and the value environment persist,
+//! so later declarations see earlier ones. Static checking happens *before*
+//! evaluation — the soundness theorem (Prop. 1) guarantees evaluation of a
+//! well-typed program never raises a type-category error, and the engine's
+//! tests assert exactly that.
+
+use crate::error::Error;
+use polyview_eval::{Machine, Value};
+use polyview_parser::{parse_expr, parse_program, Decl};
+use polyview_syntax::visit::check_rec_class_scope;
+use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
+use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv};
+
+/// Result of executing one declaration.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Names bound by a `val`/`fun`/`class` declaration, with their
+    /// principal schemes.
+    Defined(Vec<(Name, Scheme)>),
+    /// An evaluated bare expression.
+    Value {
+        scheme: Scheme,
+        rendered: String,
+    },
+}
+
+/// A persistent session: parser + inference + evaluation with shared
+/// top-level environments.
+pub struct Engine {
+    cx: Infer,
+    tenv: TypeEnv,
+    machine: Machine,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            cx: Infer::new(),
+            tenv: builtins_sig::builtin_env(),
+            machine: Machine::new(),
+        }
+    }
+
+    /// Cap evaluation steps (useful when running untrusted or generated
+    /// programs that may diverge through `fix`).
+    pub fn with_fuel(fuel: u64) -> Self {
+        let mut e = Engine::new();
+        e.machine.fuel = Some(fuel);
+        e
+    }
+
+    /// Execute a program: a sequence of declarations.
+    pub fn exec(&mut self, src: &str) -> Result<Vec<Outcome>, Error> {
+        let decls = parse_program(src)?;
+        let mut out = Vec::with_capacity(decls.len());
+        for d in &decls {
+            out.push(self.exec_decl(d)?);
+        }
+        Ok(out)
+    }
+
+    /// Type-check and evaluate a single expression.
+    pub fn eval_expr(&mut self, src: &str) -> Result<(Scheme, Value), Error> {
+        let e = parse_expr(src)?;
+        self.eval_ast(&e)
+    }
+
+    /// Evaluate an expression and render the result.
+    pub fn eval_to_string(&mut self, src: &str) -> Result<String, Error> {
+        let (_, v) = self.eval_expr(src)?;
+        Ok(self.machine.show(&v))
+    }
+
+    /// Infer the principal scheme of an expression without evaluating it.
+    pub fn infer_expr(&mut self, src: &str) -> Result<Scheme, Error> {
+        let e = parse_expr(src)?;
+        Ok(self.cx.infer_scheme(&mut self.tenv, &e)?)
+    }
+
+    /// Type-check and evaluate a pre-built AST.
+    pub fn eval_ast(&mut self, e: &Expr) -> Result<(Scheme, Value), Error> {
+        let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
+        let v = self.machine.eval(e)?;
+        Ok((scheme, v))
+    }
+
+    /// Execute one declaration.
+    pub fn exec_decl(&mut self, d: &Decl) -> Result<Outcome, Error> {
+        match d {
+            Decl::Val(name, e) => {
+                let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
+                self.cx.check_ground_mutables(&scheme.body)?;
+                let v = self.machine.eval(e)?;
+                self.tenv.define_global(name.clone(), scheme.clone());
+                self.machine.define_global(name.clone(), v);
+                Ok(Outcome::Defined(vec![(name.clone(), scheme)]))
+            }
+            Decl::Fun(defs) => self.exec_fun(defs),
+            Decl::Classes(binds) => self.exec_classes(binds),
+            Decl::Expr(e) => {
+                let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
+                let v = self.machine.eval(e)?;
+                Ok(Outcome::Value {
+                    scheme,
+                    rendered: self.machine.show(&v),
+                })
+            }
+        }
+    }
+
+    /// `fun f x = e and …`: encode with the paper's `fix`/record
+    /// construction and bind each function. The group encoding is
+    /// expansive, but its value is a closure for every definition, so
+    /// top-level generalization is sound; we generalize explicitly.
+    fn exec_fun(&mut self, defs: &[(Name, Vec<Name>, Expr)]) -> Result<Outcome, Error> {
+        let singles: Vec<(Label, Label, Expr)> = defs
+            .iter()
+            .map(|(f, params, e)| {
+                let mut params = params.clone();
+                let first = params.remove(0);
+                let curried = params
+                    .into_iter()
+                    .rev()
+                    .fold(e.clone(), |acc, p| Expr::Lam(p, Box::new(acc)));
+                (f.clone(), first, curried)
+            })
+            .collect();
+        let mut bound = Vec::with_capacity(defs.len());
+        for (f, _, _) in defs {
+            let group = sugar::fun_and(singles.clone(), Expr::Var(f.clone()));
+            let t = infer::infer(&mut self.cx, &mut self.tenv, &group)?;
+            let scheme = self.cx.generalize(&self.tenv, &t);
+            let v = self.machine.eval(&group)?;
+            self.tenv.define_global(f.clone(), scheme.clone());
+            self.machine.define_global(f.clone(), v);
+            bound.push((f.clone(), scheme));
+        }
+        Ok(Outcome::Defined(bound))
+    }
+
+    /// `class A = class … end and …`: a top-level (possibly mutually
+    /// recursive) class group, typed by the Fig. 6 rule and bound
+    /// persistently.
+    fn exec_classes(&mut self, binds: &[(Name, ClassDef)]) -> Result<Outcome, Error> {
+        check_rec_class_scope(binds).map_err(polyview_types::TypeError::from)?;
+        // Type the group by wrapping it as let-classes returning the tuple
+        // of the bound class values; evaluating the same wrapper once
+        // yields the values to destructure.
+        let names: Vec<Name> = binds.iter().map(|(n, _)| n.clone()).collect();
+        let body = if names.len() == 1 {
+            Expr::Var(names[0].clone())
+        } else {
+            Expr::tuple(names.iter().map(|n| Expr::Var(n.clone())))
+        };
+        let wrapped = Expr::LetClasses(binds.to_vec(), Box::new(body));
+        let t = infer::infer(&mut self.cx, &mut self.tenv, &wrapped)?;
+        let t = self.cx.resolve(&t);
+        let v = self.machine.eval(&wrapped)?;
+
+        let mut bound = Vec::with_capacity(names.len());
+        if names.len() == 1 {
+            self.tenv
+                .define_global(names[0].clone(), Scheme::mono(t.clone()));
+            self.machine.define_global(names[0].clone(), v);
+            bound.push((names[0].clone(), Scheme::mono(t)));
+        } else {
+            let parts = match &t {
+                Mono::Record(fs) => fs,
+                other => unreachable!("class group wrapper must type as a tuple, got {other}"),
+            };
+            for (i, n) in names.iter().enumerate() {
+                let ti = parts[&Label::tuple(i + 1)].ty.clone();
+                let vi = self.machine.field_of(&v, Label::tuple(i + 1).as_str())?;
+                self.tenv.define_global(n.clone(), Scheme::mono(ti.clone()));
+                self.machine.define_global(n.clone(), vi);
+                bound.push((n.clone(), Scheme::mono(ti)));
+            }
+        }
+        Ok(Outcome::Defined(bound))
+    }
+
+    /// The principal scheme of a bound name, if any, resolved through the
+    /// current substitution (a top-level class may start with an
+    /// unconstrained element type that later declarations pin down).
+    pub fn scheme_of(&self, name: &str) -> Option<Scheme> {
+        self.tenv.lookup(&Label::new(name)).map(|s| Scheme {
+            binders: s.binders.clone(),
+            body: self.cx.resolve(&s.body),
+        })
+    }
+
+    /// The current value of a bound name, if any.
+    pub fn value_of(&self, name: &str) -> Option<Value> {
+        self.machine.global(&Label::new(name)).cloned()
+    }
+
+    /// Render any value using the engine's store.
+    pub fn show(&self, v: &Value) -> String {
+        self.machine.show(v)
+    }
+
+    /// Direct access to the evaluation machine (extents, stores, classes).
+    pub fn machine(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Direct access to the inference context (for tooling/tests).
+    pub fn infer_ctx(&mut self) -> &mut Infer {
+        &mut self.cx
+    }
+
+    /// Check whether an expression is generalizable (value restriction).
+    pub fn is_value_form(e: &Expr) -> bool {
+        generalize::is_nonexpansive(e)
+    }
+
+    /// Load the standard prelude ([`crate::prelude::PRELUDE`]): `count`,
+    /// `sum`, `exists`, `forall`, `diff`, `subset`, `flatten`,
+    /// `materialize`, `extent`, `csize`, ….
+    pub fn load_prelude(&mut self) -> Result<(), Error> {
+        self.exec(crate::prelude::PRELUDE)?;
+        Ok(())
+    }
+
+    /// Translate an expression through the paper's Figs. 3/5 semantics into
+    /// a pure core-language term (type-checked first).
+    pub fn translate_expr(&mut self, src: &str) -> Result<Expr, Error> {
+        let e = parse_expr(src)?;
+        self.cx.infer_scheme(&mut self.tenv, &e)?;
+        Ok(polyview_trans::translate(&e))
+    }
+}
+
+/// Run a computation on a dedicated thread with a large stack. The
+/// tree-walking evaluator recurses with the interpreted program, so deeply
+/// recursive user programs (e.g. non-tail `fix` loops over big inputs) can
+/// exhaust the default stack; construct the [`Engine`] inside the closure
+/// and size the stack to the workload.
+///
+/// ```
+/// let out = polyview::engine::with_stack_size(256 * 1024 * 1024, || {
+///     let mut e = polyview::Engine::new();
+///     e.exec("fun sum n = if n = 0 then 0 else n + sum (n - 1);")
+///         .expect("defines");
+///     e.eval_to_string("sum 5000").expect("runs")
+/// });
+/// assert_eq!(out, "12502500");
+/// ```
+pub fn with_stack_size<R: Send>(stack_bytes: usize, f: impl FnOnce() -> R + Send) -> R {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(stack_bytes)
+            .spawn_scoped(scope, f)
+            .expect("spawn evaluation thread")
+            .join()
+            .expect("evaluation thread panicked")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn val_definition_persists() {
+        let mut e = Engine::new();
+        e.exec("val x = 41;").expect("defines");
+        assert_eq!(e.eval_to_string("x + 1").expect("query"), "42");
+    }
+
+    #[test]
+    fn scheme_of_reports_principal_type() {
+        let mut e = Engine::new();
+        e.exec("val id = fn x => x;").expect("defines");
+        assert_eq!(
+            e.scheme_of("id").expect("bound").to_string(),
+            "∀t1::U. t1 -> t1"
+        );
+    }
+
+    #[test]
+    fn type_errors_are_static() {
+        let mut e = Engine::new();
+        // update on an immutable field must be rejected *before* running.
+        e.exec("val r = [Name = \"Joe\"];").expect("defines");
+        let err = e.eval_expr("update(r, Name, \"P\")").expect_err("rejected");
+        assert!(err.is_type_error(), "got {err:?}");
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        let mut e = Engine::new();
+        assert!(e.exec("val = 3").expect_err("bad").is_parse_error());
+    }
+
+    #[test]
+    fn fun_single_recursive() {
+        let mut e = Engine::new();
+        e.exec("fun fact n = if n = 0 then 1 else n * fact (n - 1);")
+            .expect("defines");
+        assert_eq!(e.eval_to_string("fact 6").expect("runs"), "720");
+    }
+
+    #[test]
+    fn fun_mutually_recursive() {
+        let mut e = Engine::new();
+        e.exec(
+            "fun even n = if n = 0 then true else odd (n - 1) \
+             and odd n = if n = 0 then false else even (n - 1);",
+        )
+        .expect("defines");
+        assert_eq!(e.eval_to_string("even 10").expect("runs"), "true");
+        assert_eq!(e.eval_to_string("odd 10").expect("runs"), "false");
+    }
+
+    #[test]
+    fn fun_is_polymorphic_at_top_level() {
+        let mut e = Engine::new();
+        e.exec("fun twice f x = f (f x);").expect("defines");
+        assert_eq!(e.eval_to_string("twice (fn n => n + 1) 0").expect("runs"), "2");
+        assert_eq!(
+            e.eval_to_string("twice (fn s => s ^ \"!\") \"hi\"").expect("runs"),
+            "\"hi!!\""
+        );
+    }
+
+    #[test]
+    fn multi_param_fun_curries() {
+        let mut e = Engine::new();
+        e.exec("fun add3 a b c = a + b + c;").expect("defines");
+        assert_eq!(e.eval_to_string("add3 1 2 3").expect("runs"), "6");
+        assert_eq!(e.eval_to_string("(add3 1 2) 3").expect("runs"), "6");
+    }
+
+    #[test]
+    fn top_level_class_group() {
+        let mut e = Engine::new();
+        e.exec(
+            "val alice = IDView([Name = \"Alice\", Sex = \"female\"]);\n\
+             class Staff = class {alice} end;",
+        )
+        .expect("defines");
+        assert_eq!(
+            e.eval_to_string(
+                "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)"
+            )
+            .expect("runs"),
+            "{\"Alice\"}"
+        );
+    }
+
+    #[test]
+    fn top_level_recursive_class_group() {
+        let mut e = Engine::new();
+        e.exec(
+            "val a = IDView([Name = \"Anna\"]);\n\
+             val b = IDView([Name = \"Ben\"]);\n\
+             class A = class {a} include B as fn x => x where fn x => true end \
+             and B = class {b} include A as fn x => x where fn x => true end;",
+        )
+        .expect("defines");
+        assert_eq!(
+            e.eval_to_string("cquery(fn s => map(fn o => query(fn x => x.Name, o), s), A)")
+                .expect("runs"),
+            "{\"Anna\", \"Ben\"}"
+        );
+    }
+
+    #[test]
+    fn bare_expression_outcome() {
+        let mut e = Engine::new();
+        let out = e.exec("1 + 2;").expect("runs");
+        match &out[0] {
+            Outcome::Value { scheme, rendered } => {
+                assert_eq!(scheme.to_string(), "int");
+                assert_eq!(rendered, "3");
+            }
+            other => panic!("expected value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_division_by_zero_is_runtime_error() {
+        let mut e = Engine::new();
+        let err = e.eval_expr("1 / 0").expect_err("fails");
+        assert!(err.is_runtime_error());
+    }
+
+    #[test]
+    fn ground_mutable_restriction_enforced_at_val() {
+        let mut e = Engine::new();
+        // A mutable field whose type stays polymorphic must be rejected.
+        let err = e.exec("val r = [Cell := {}];").expect_err("rejected");
+        assert!(err.is_type_error(), "got {err:?}");
+    }
+
+    #[test]
+    fn insert_persists_across_statements() {
+        let mut e = Engine::new();
+        e.exec(
+            "class Staff = class {} end;\n\
+             insert(Staff, IDView([Name = \"Eve\"]));",
+        )
+        .expect("runs");
+        assert_eq!(
+            e.eval_to_string("cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)")
+                .expect("runs"),
+            "{\"Eve\"}"
+        );
+    }
+
+    #[test]
+    fn engine_with_fuel_halts_divergence() {
+        let mut e = Engine::with_fuel(1_500);
+        let err = e
+            .eval_expr("let fun loop x = loop x in loop 0 end")
+            .expect_err("halts");
+        assert!(matches!(
+            err,
+            Error::Runtime(polyview_eval::RuntimeError::FuelExhausted)
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Unified error type for the engine pipeline.
+
+use polyview_eval::RuntimeError;
+use polyview_parser::ParseError;
+use polyview_types::TypeError;
+use std::fmt;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    Parse(ParseError),
+    Type(TypeError),
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Type(e) => write!(f, "type error: {e}"),
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Type(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<TypeError> for Error {
+    fn from(e: TypeError) -> Self {
+        Error::Type(e)
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl Error {
+    pub fn is_type_error(&self) -> bool {
+        matches!(self, Error::Type(_))
+    }
+    pub fn is_parse_error(&self) -> bool {
+        matches!(self, Error::Parse(_))
+    }
+    pub fn is_runtime_error(&self) -> bool {
+        matches!(self, Error::Runtime(_))
+    }
+}

@@ -1,0 +1,152 @@
+//! A standard prelude of derived operations, written in the surface
+//! language itself (everything here is definable from `hom`, `union` and
+//! the object algebra — the paper's point about the core's completeness).
+//!
+//! Loaded on demand with [`crate::Engine::load_prelude`]; kept opt-in so
+//! embedders control their global namespace.
+
+/// The prelude source. Every definition is polymorphic where the calculus
+/// allows.
+pub const PRELUDE: &str = r#"
+-- cardinality of a set
+fun count s = hom(s, fn x => 1, fn a => fn b => a + b, 0);
+
+-- sum of a set of integers
+fun sum s = hom(s, fn x => x, fn a => fn b => a + b, 0);
+
+-- largest / smallest element of a set of integers (0 when empty)
+fun maximum s = hom(s, fn x => x, fn a => fn b => max a b, 0);
+fun minimum s = hom(s, fn x => x, fn a => fn b => min a b, 0);
+
+-- does any / every element satisfy p?
+fun exists p s = hom(s, p, fn a => fn b => if a then true else b, false);
+fun forall p s = hom(s, p, fn a => fn b => if a then b else false, true);
+
+-- set difference and subset test (by the element equality of Section 3.1)
+fun diff s t = filter(fn x => not (member(x, t)), s);
+fun subset s t = forall (fn x => member(x, t)) s;
+
+-- flatten a set of sets
+fun flatten ss = hom(ss, fn s => s, fn a => fn b => union(a, b), {});
+
+-- materialize every object in a set (query with the identity)
+fun materialize s = map(fn o => query(fn x => x, o), s);
+
+-- the objects of a class, and its cardinality
+fun extent c = cquery(fn s => s, c);
+fun csize c = cquery(fn s => count s, c);
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::Engine;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.load_prelude().expect("prelude loads");
+        e
+    }
+
+    #[test]
+    fn prelude_loads_cleanly_twice() {
+        let mut e = engine();
+        e.load_prelude().expect("idempotent");
+    }
+
+    #[test]
+    fn count_sum_max_min() {
+        let mut e = engine();
+        assert_eq!(e.eval_to_string("count {1, 2, 3}").expect("runs"), "3");
+        assert_eq!(e.eval_to_string("count {}").expect("runs"), "0");
+        assert_eq!(e.eval_to_string("sum {1, 2, 3}").expect("runs"), "6");
+        assert_eq!(e.eval_to_string("maximum {5, 2, 9}").expect("runs"), "9");
+        assert_eq!(e.eval_to_string("minimum {5, 2, 9}").expect("runs"), "0");
+        assert_eq!(
+            e.eval_to_string("hom({5, 2, 9}, fn x => x, fn a => fn b => min a b, 99)")
+                .expect("runs"),
+            "2"
+        );
+    }
+
+    #[test]
+    fn count_is_polymorphic() {
+        let mut e = engine();
+        assert_eq!(e.eval_to_string("count {\"a\", \"b\"}").expect("runs"), "2");
+        let s = e.scheme_of("count").expect("bound").to_string();
+        assert!(s.starts_with("∀t1::U. {t1} -> int"), "got {s}");
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let mut e = engine();
+        assert_eq!(
+            e.eval_to_string("exists (fn x => x > 2) {1, 2, 3}").expect("runs"),
+            "true"
+        );
+        assert_eq!(
+            e.eval_to_string("exists (fn x => x > 9) {1, 2, 3}").expect("runs"),
+            "false"
+        );
+        assert_eq!(
+            e.eval_to_string("forall (fn x => x > 0) {1, 2, 3}").expect("runs"),
+            "true"
+        );
+        assert_eq!(
+            e.eval_to_string("forall (fn x => x > 1) {1, 2, 3}").expect("runs"),
+            "false"
+        );
+        // Vacuous truth on the empty set.
+        assert_eq!(
+            e.eval_to_string("forall (fn x => x > 1) {}").expect("runs"),
+            "true"
+        );
+    }
+
+    #[test]
+    fn diff_subset_flatten() {
+        let mut e = engine();
+        assert_eq!(
+            e.eval_to_string("diff {1, 2, 3} {2}").expect("runs"),
+            "{1, 3}"
+        );
+        assert_eq!(
+            e.eval_to_string("subset {1, 2} {1, 2, 3}").expect("runs"),
+            "true"
+        );
+        assert_eq!(
+            e.eval_to_string("subset {1, 9} {1, 2, 3}").expect("runs"),
+            "false"
+        );
+        assert_eq!(
+            e.eval_to_string("flatten {{1, 2}, {2, 3}}").expect("runs"),
+            "{1, 2, 3}"
+        );
+    }
+
+    #[test]
+    fn extent_and_csize_on_classes() {
+        let mut e = engine();
+        e.exec(
+            "class Staff = class {IDView([Name = \"A\"]), IDView([Name = \"B\"])} end;",
+        )
+        .expect("defines");
+        assert_eq!(e.eval_to_string("csize Staff").expect("runs"), "2");
+        assert_eq!(
+            e.eval_to_string("count (extent Staff)").expect("runs"),
+            "2"
+        );
+    }
+
+    #[test]
+    fn materialize_applies_views() {
+        let mut e = engine();
+        e.exec(
+            "val s = {IDView([Name = \"A\"]) as fn x => [N = x.Name]};",
+        )
+        .expect("defines");
+        assert_eq!(
+            e.eval_to_string("materialize s").expect("runs"),
+            "{[N = \"A\"]}"
+        );
+    }
+}

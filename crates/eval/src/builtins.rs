@@ -1,0 +1,143 @@
+//! Native implementations of the builtin primitives, matching the
+//! signatures in `polyview_types::builtins_sig` name for name.
+
+use crate::error::RuntimeError;
+use crate::value::Value;
+
+/// Native implementation signature of a builtin.
+pub type NativeFn = fn(&[Value]) -> Result<Value, RuntimeError>;
+
+/// `(name, arity, implementation)` for every builtin.
+pub fn natives() -> Vec<(&'static str, usize, NativeFn)> {
+    vec![
+        ("add", 2, |a| Ok(Value::Int(a[0].as_int()?.wrapping_add(a[1].as_int()?)))),
+        ("sub", 2, |a| Ok(Value::Int(a[0].as_int()?.wrapping_sub(a[1].as_int()?)))),
+        ("mul", 2, |a| Ok(Value::Int(a[0].as_int()?.wrapping_mul(a[1].as_int()?)))),
+        ("div", 2, |a| {
+            let d = a[1].as_int()?;
+            if d == 0 {
+                Err(RuntimeError::DivisionByZero)
+            } else {
+                Ok(Value::Int(a[0].as_int()?.wrapping_div(d)))
+            }
+        }),
+        ("imod", 2, |a| {
+            let d = a[1].as_int()?;
+            if d == 0 {
+                Err(RuntimeError::DivisionByZero)
+            } else {
+                Ok(Value::Int(a[0].as_int()?.wrapping_rem(d)))
+            }
+        }),
+        ("neg", 1, |a| Ok(Value::Int(a[0].as_int()?.wrapping_neg()))),
+        ("lt", 2, |a| Ok(Value::Bool(a[0].as_int()? < a[1].as_int()?))),
+        ("le", 2, |a| Ok(Value::Bool(a[0].as_int()? <= a[1].as_int()?))),
+        ("gt", 2, |a| Ok(Value::Bool(a[0].as_int()? > a[1].as_int()?))),
+        ("ge", 2, |a| Ok(Value::Bool(a[0].as_int()? >= a[1].as_int()?))),
+        ("min", 2, |a| Ok(Value::Int(a[0].as_int()?.min(a[1].as_int()?)))),
+        ("max", 2, |a| Ok(Value::Int(a[0].as_int()?.max(a[1].as_int()?)))),
+        ("abs", 1, |a| Ok(Value::Int(a[0].as_int()?.wrapping_abs()))),
+        ("not", 1, |a| Ok(Value::Bool(!a[0].as_bool()?))),
+        ("concat", 2, |a| match (&a[0], &a[1]) {
+            (Value::Str(x), Value::Str(y)) => Ok(Value::str(format!("{x}{y}"))),
+            _ => Err(RuntimeError::BuiltinType { builtin: "concat" }),
+        }),
+        ("strlen", 1, |a| match &a[0] {
+            Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+            _ => Err(RuntimeError::BuiltinType { builtin: "strlen" }),
+        }),
+        ("int_to_string", 1, |a| {
+            Ok(Value::str(a[0].as_int()?.to_string()))
+        }),
+        // Fixed so the paper's Age example (1994 − 1955 = 39) reproduces.
+        ("this_year", 1, |_| Ok(Value::Int(1994))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, RuntimeError> {
+        let (_, arity, f) = natives()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("builtin exists");
+        assert_eq!(arity, args.len());
+        f(args)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert!(matches!(call("add", &[Value::Int(2), Value::Int(3)]), Ok(Value::Int(5))));
+        assert!(matches!(call("sub", &[Value::Int(2), Value::Int(3)]), Ok(Value::Int(-1))));
+        assert!(matches!(call("mul", &[Value::Int(4), Value::Int(3)]), Ok(Value::Int(12))));
+        assert!(matches!(call("div", &[Value::Int(7), Value::Int(2)]), Ok(Value::Int(3))));
+        assert!(matches!(call("imod", &[Value::Int(7), Value::Int(2)]), Ok(Value::Int(1))));
+        assert!(matches!(call("neg", &[Value::Int(5)]), Ok(Value::Int(-5))));
+        assert!(matches!(call("abs", &[Value::Int(-5)]), Ok(Value::Int(5))));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert!(matches!(
+            call("div", &[Value::Int(1), Value::Int(0)]),
+            Err(RuntimeError::DivisionByZero)
+        ));
+        assert!(matches!(
+            call("imod", &[Value::Int(1), Value::Int(0)]),
+            Err(RuntimeError::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(matches!(call("lt", &[Value::Int(1), Value::Int(2)]), Ok(Value::Bool(true))));
+        assert!(matches!(call("ge", &[Value::Int(2), Value::Int(2)]), Ok(Value::Bool(true))));
+        assert!(matches!(call("gt", &[Value::Int(1), Value::Int(2)]), Ok(Value::Bool(false))));
+    }
+
+    #[test]
+    fn strings() {
+        assert!(
+            matches!(call("concat", &[Value::str("ab"), Value::str("cd")]), Ok(Value::Str(s)) if &*s == "abcd")
+        );
+        assert!(matches!(call("strlen", &[Value::str("héllo")]), Ok(Value::Int(5))));
+        assert!(
+            matches!(call("int_to_string", &[Value::Int(42)]), Ok(Value::Str(s)) if &*s == "42")
+        );
+    }
+
+    #[test]
+    fn builtin_type_errors_are_type_errors() {
+        let e = call("add", &[Value::Bool(true), Value::Int(1)]).unwrap_err();
+        assert!(e.is_type_error());
+    }
+
+    #[test]
+    fn names_match_type_signatures() {
+        let sigs: std::collections::BTreeSet<&str> = polyview_types::builtins_sig::signatures()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let impls: std::collections::BTreeSet<&str> =
+            natives().into_iter().map(|(n, _, _)| n).collect();
+        assert_eq!(sigs, impls, "builtins_sig and natives must agree");
+    }
+
+    #[test]
+    fn arities_match_type_signatures() {
+        use polyview_syntax::Mono;
+        let sigs: std::collections::HashMap<&str, Mono> =
+            polyview_types::builtins_sig::signatures().into_iter().collect();
+        for (name, arity, _) in natives() {
+            let mut t = sigs[name].clone();
+            let mut n = 0;
+            while let Mono::Arrow(_, r) = t {
+                n += 1;
+                t = *r;
+            }
+            assert_eq!(n, arity, "arity mismatch for {name}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Runtime environments: an immutable linked list so closures capture in
+//! O(1) and shadowing is structural.
+
+use crate::value::Value;
+use polyview_syntax::Name;
+use std::rc::Rc;
+
+#[derive(Clone, Debug, Default)]
+pub struct Env(Option<Rc<Node>>);
+
+#[derive(Debug)]
+struct Node {
+    name: Name,
+    value: Value,
+    next: Env,
+}
+
+impl Env {
+    pub fn empty() -> Self {
+        Env(None)
+    }
+
+    /// Extend with a binding, returning the new environment; `self` is
+    /// untouched (persistent).
+    pub fn bind(&self, name: Name, value: Value) -> Env {
+        Env(Some(Rc::new(Node {
+            name,
+            value,
+            next: self.clone(),
+        })))
+    }
+
+    pub fn lookup(&self, name: &Name) -> Option<&Value> {
+        let mut cur = self;
+        while let Env(Some(node)) = cur {
+            if &node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.next;
+        }
+        None
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::Label;
+
+    #[test]
+    fn bind_and_lookup() {
+        let env = Env::empty().bind(Label::new("x"), Value::Int(1));
+        assert!(matches!(env.lookup(&Label::new("x")), Some(Value::Int(1))));
+        assert!(env.lookup(&Label::new("y")).is_none());
+    }
+
+    #[test]
+    fn shadowing_is_lexical() {
+        let env = Env::empty()
+            .bind(Label::new("x"), Value::Int(1))
+            .bind(Label::new("x"), Value::Int(2));
+        assert!(matches!(env.lookup(&Label::new("x")), Some(Value::Int(2))));
+    }
+
+    #[test]
+    fn persistence() {
+        let base = Env::empty().bind(Label::new("x"), Value::Int(1));
+        let _ext = base.bind(Label::new("x"), Value::Int(2));
+        assert!(matches!(base.lookup(&Label::new("x")), Some(Value::Int(1))));
+    }
+}

@@ -1,0 +1,761 @@
+//! The evaluator.
+//!
+//! A [`Machine`] owns the slot store, the class table, the global value
+//! environment, and the identity counter. Expression evaluation is a plain
+//! tree walk; classes and objects are interpreted natively with exactly the
+//! meaning the paper's translations assign to them (Figs. 3 and 5 and the
+//! `f^i` functions of Section 4.4).
+
+use crate::builtins;
+use crate::env::Env;
+use crate::error::RuntimeError;
+use crate::store::Store;
+use crate::value::{
+    Builtin, ClassId, Closure, FieldSlot, Key, ObjVal, RecordVal, SetVal, Value, ViewFn,
+};
+use polyview_syntax::{ClassDef, Expr, Label, Lit, Name};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// One `include` clause of an evaluated class: resolved source classes, the
+/// viewing function value, and the predicate value.
+#[derive(Clone, Debug)]
+pub struct IncludeSpec {
+    pub sources: Vec<ClassId>,
+    pub view: Value,
+    pub pred: Value,
+}
+
+/// An evaluated class: `[OwnExt := S, Ext = λ().…]` in the translation —
+/// natively, a slot holding the own extent plus the delayed include
+/// computation.
+#[derive(Clone, Debug)]
+pub struct ClassData {
+    pub own_slot: crate::value::SlotId,
+    pub includes: Vec<IncludeSpec>,
+}
+
+/// The evaluation machine.
+pub struct Machine {
+    pub store: Store,
+    classes: Vec<ClassData>,
+    globals: HashMap<Name, Value>,
+    next_id: u64,
+    /// Remaining evaluation fuel; `None` means unbounded. Each expression
+    /// node costs one unit.
+    pub fuel: Option<u64>,
+    /// Opt-in memoization of top-level class extents (see
+    /// [`Machine::enable_extent_cache`]).
+    extent_cache_enabled: bool,
+    extent_cache: HashMap<ClassId, (u64, SetVal)>,
+    /// Bumped by every `insert`/`delete`; cache entries from older epochs
+    /// are stale.
+    class_epoch: u64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// A machine with all builtins installed and unbounded fuel.
+    pub fn new() -> Self {
+        let mut m = Machine {
+            store: Store::new(),
+            classes: Vec::new(),
+            globals: HashMap::new(),
+            next_id: 0,
+            fuel: None,
+            extent_cache_enabled: false,
+            extent_cache: HashMap::new(),
+            class_epoch: 0,
+        };
+        for (name, arity, f) in builtins::natives() {
+            let id = m.fresh_id();
+            m.globals.insert(
+                Label::new(name),
+                Value::Builtin(Rc::new(Builtin {
+                    id,
+                    name,
+                    arity,
+                    args: Vec::new(),
+                    f,
+                })),
+            );
+        }
+        m
+    }
+
+    /// A machine with an evaluation budget (for property tests over
+    /// programs containing `fix`).
+    pub fn with_fuel(fuel: u64) -> Self {
+        let mut m = Machine::new();
+        m.fuel = Some(fuel);
+        m
+    }
+
+    pub fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Install a global value binding (used by the engine for top-level
+    /// `val` definitions).
+    pub fn define_global(&mut self, name: impl Into<Name>, v: Value) {
+        self.globals.insert(name.into(), v);
+    }
+
+    pub fn global(&self, name: &Name) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    pub fn class_data(&self, id: ClassId) -> &ClassData {
+        &self.classes[id]
+    }
+
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    fn burn(&mut self) -> Result<(), RuntimeError> {
+        if let Some(f) = &mut self.fuel {
+            if *f == 0 {
+                return Err(RuntimeError::FuelExhausted);
+            }
+            *f -= 1;
+        }
+        Ok(())
+    }
+
+    /// Evaluate a closed expression in the global environment.
+    pub fn eval(&mut self, e: &Expr) -> Result<Value, RuntimeError> {
+        self.eval_in(e, &Env::empty())
+    }
+
+    /// Evaluate under a local environment.
+    ///
+    /// The hot recursion path (variables, application, let, if) stays in
+    /// this function with a deliberately small stack frame; everything else
+    /// is dispatched to a cold helper with its own frame.
+    pub fn eval_in(&mut self, e: &Expr, env: &Env) -> Result<Value, RuntimeError> {
+        self.burn()?;
+        match e {
+            Expr::Lit(l) => Ok(match l {
+                Lit::Unit => Value::Unit,
+                Lit::Int(n) => Value::Int(*n),
+                Lit::Bool(b) => Value::Bool(*b),
+                Lit::Str(s) => Value::str(s),
+            }),
+            Expr::Var(x) => env
+                .lookup(x)
+                .or_else(|| self.globals.get(x))
+                .cloned()
+                .ok_or_else(|| RuntimeError::Unbound(x.clone())),
+            Expr::App(f, a) => {
+                let vf = self.eval_in(f, env)?;
+                let va = self.eval_in(a, env)?;
+                self.apply(vf, va)
+            }
+            Expr::Let(x, rhs, body) => {
+                let v = self.eval_in(rhs, env)?;
+                let env2 = env.bind(x.clone(), v);
+                self.eval_in(body, &env2)
+            }
+            Expr::If(c, t, e2) => {
+                if self.eval_in(c, env)?.as_bool()? {
+                    self.eval_in(t, env)
+                } else {
+                    self.eval_in(e2, env)
+                }
+            }
+            other => self.eval_cold(other, env),
+        }
+    }
+
+    #[inline(never)]
+    fn eval_cold(&mut self, e: &Expr, env: &Env) -> Result<Value, RuntimeError> {
+        match e {
+            Expr::Lit(_) | Expr::Var(_) | Expr::App(..) | Expr::Let(..) | Expr::If(..) => {
+                unreachable!("handled by eval_in")
+            }
+            Expr::Eq(a, b) => {
+                let va = self.eval_in(a, env)?;
+                let vb = self.eval_in(b, env)?;
+                Ok(Value::Bool(va.value_eq(&vb)))
+            }
+            Expr::Lam(x, body) => {
+                let id = self.fresh_id();
+                Ok(Value::Closure(Rc::new(Closure {
+                    id,
+                    fix_name: None,
+                    param: x.clone(),
+                    body: (**body).clone(),
+                    env: env.clone(),
+                })))
+            }
+            Expr::Record(fields) => {
+                let mut slots = BTreeMap::new();
+                for f in fields {
+                    let v = self.eval_in(&f.expr, env)?;
+                    let slot = match v {
+                        // The paper's (rec) rule: an extracted L-value
+                        // becomes the field's slot — sharing, not copying.
+                        Value::LValue(s) => s,
+                        other => self.store.alloc(other),
+                    };
+                    slots.insert(
+                        f.label.clone(),
+                        FieldSlot {
+                            mutable: f.mutable,
+                            slot,
+                        },
+                    );
+                }
+                let id = self.fresh_id();
+                Ok(Value::Record(Rc::new(RecordVal { id, fields: slots })))
+            }
+            Expr::Dot(e, l) => {
+                let v = self.eval_in(e, env)?;
+                let r = v.as_record()?;
+                let f = r
+                    .fields
+                    .get(l)
+                    .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
+                Ok(self.store.get(f.slot).clone())
+            }
+            Expr::Extract(e, l) => {
+                let v = self.eval_in(e, env)?;
+                let r = v.as_record()?;
+                let f = r
+                    .fields
+                    .get(l)
+                    .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
+                if !f.mutable {
+                    return Err(RuntimeError::ImmutableField(l.clone()));
+                }
+                Ok(Value::LValue(f.slot))
+            }
+            Expr::Update(e, l, rhs) => {
+                let v = self.eval_in(e, env)?;
+                let slot = {
+                    let r = v.as_record()?;
+                    let f = r
+                        .fields
+                        .get(l)
+                        .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
+                    if !f.mutable {
+                        return Err(RuntimeError::ImmutableField(l.clone()));
+                    }
+                    f.slot
+                };
+                let nv = self.eval_in(rhs, env)?;
+                self.store.set(slot, nv);
+                Ok(Value::Unit)
+            }
+            Expr::SetLit(es) => {
+                let mut elems = Vec::with_capacity(es.len());
+                for e in es {
+                    elems.push(self.eval_in(e, env)?);
+                }
+                Ok(Value::Set(SetVal::from_elems(elems)))
+            }
+            Expr::Union(a, b) => {
+                let va = self.eval_in(a, env)?;
+                let vb = self.eval_in(b, env)?;
+                let sa = va.as_set()?;
+                let sb = vb.as_set()?;
+                Ok(Value::Set(sa.union_left(sb)))
+            }
+            Expr::Hom(s, f, op, z) => {
+                let vs = self.eval_in(s, env)?;
+                let vf = self.eval_in(f, env)?;
+                let vop = self.eval_in(op, env)?;
+                let vz = self.eval_in(z, env)?;
+                self.hom(vs.as_set()?.clone(), vf, vop, vz)
+            }
+            Expr::Fix(x, body) => match &**body {
+                Expr::Lam(p, lam_body) => {
+                    let id = self.fresh_id();
+                    Ok(Value::Closure(Rc::new(Closure {
+                        id,
+                        fix_name: Some(x.clone()),
+                        param: p.clone(),
+                        body: (**lam_body).clone(),
+                        env: env.clone(),
+                    })))
+                }
+                _ => Err(RuntimeError::FixNonFunction),
+            },
+            // ---------- views (the meaning of Fig. 3) ----------
+            Expr::IdView(e) => {
+                let raw = self.eval_in(e, env)?;
+                raw.as_record()?; // raw objects are records
+                let id = self.fresh_id();
+                Ok(Value::Obj(Rc::new(ObjVal {
+                    id,
+                    raw,
+                    view: ViewFn::Identity,
+                })))
+            }
+            Expr::AsView(o, f) => {
+                let vo = self.eval_in(o, env)?;
+                let vf = self.eval_in(f, env)?;
+                let o = vo.as_obj()?;
+                let id = self.fresh_id();
+                Ok(Value::Obj(Rc::new(ObjVal {
+                    id,
+                    raw: o.raw.clone(),
+                    view: ViewFn::Compose(Rc::new(o.view.clone()), Rc::new(ViewFn::Fn(vf))),
+                })))
+            }
+            Expr::Query(f, o) => {
+                let vf = self.eval_in(f, env)?;
+                let vo = self.eval_in(o, env)?;
+                let o = vo.as_obj()?.clone();
+                let materialized = self.apply_view(&o.view, o.raw.clone())?;
+                self.apply(vf, materialized)
+            }
+            Expr::Fuse(a, b) => {
+                let va = self.eval_in(a, env)?;
+                let vb = self.eval_in(b, env)?;
+                let oa = va.as_obj()?.clone();
+                let ob = vb.as_obj()?.clone();
+                Ok(Value::Set(self.fuse_objs(&[oa, ob])))
+            }
+            Expr::RelObj(fields) => {
+                let mut raw_fields = BTreeMap::new();
+                let mut views = Vec::with_capacity(fields.len());
+                for (l, e) in fields {
+                    let v = self.eval_in(e, env)?;
+                    let o = v.as_obj()?.clone();
+                    let slot = self.store.alloc(o.raw.clone());
+                    raw_fields.insert(
+                        l.clone(),
+                        FieldSlot {
+                            mutable: false,
+                            slot,
+                        },
+                    );
+                    views.push((l.clone(), Rc::new(o.view.clone())));
+                }
+                // relobj creates a *new* raw object, hence new identity.
+                let rec_id = self.fresh_id();
+                let raw = Value::Record(Rc::new(RecordVal {
+                    id: rec_id,
+                    fields: raw_fields,
+                }));
+                let id = self.fresh_id();
+                Ok(Value::Obj(Rc::new(ObjVal {
+                    id,
+                    raw,
+                    view: ViewFn::RelFields(views),
+                })))
+            }
+
+            // ---------- classes (the meaning of Fig. 5 / Section 4.4) ----------
+            Expr::ClassExpr(cd) => {
+                let cid = self.eval_class_def(cd, env)?;
+                Ok(Value::Class(cid))
+            }
+            Expr::CQuery(f, c) => {
+                let vf = self.eval_in(f, env)?;
+                let vc = self.eval_in(c, env)?;
+                let cid = vc.as_class()?;
+                let extent = self.top_level_extent(cid)?;
+                self.apply(vf, Value::Set(extent))
+            }
+            Expr::Insert(c, e) => {
+                let vc = self.eval_in(c, env)?;
+                let ve = self.eval_in(e, env)?;
+                ve.as_obj()?;
+                let cid = vc.as_class()?;
+                let slot = self.classes[cid].own_slot;
+                let own = self.store.get(slot).as_set()?.clone();
+                // tr: update(C, OwnExt, union(C·OwnExt, {e})) — left-biased,
+                // so inserting an object already present (by objeq) keeps
+                // the existing element.
+                let updated = own.union_left(&SetVal::from_elems([ve]));
+                self.store.set(slot, Value::Set(updated));
+                self.class_epoch += 1;
+                Ok(Value::Unit)
+            }
+            Expr::Delete(c, e) => {
+                let vc = self.eval_in(c, env)?;
+                let ve = self.eval_in(e, env)?;
+                ve.as_obj()?;
+                let cid = vc.as_class()?;
+                let slot = self.classes[cid].own_slot;
+                let own = self.store.get(slot).as_set()?.clone();
+                let updated = own.difference(&SetVal::from_elems([ve]));
+                self.store.set(slot, Value::Set(updated));
+                self.class_epoch += 1;
+                Ok(Value::Unit)
+            }
+            Expr::LetClasses(binds, body) => {
+                // Pre-allocate every class id so include sources can refer
+                // to siblings cyclically, then fill the definitions.
+                let mut env2 = env.clone();
+                let first_id = self.classes.len();
+                for (i, (name, _)) in binds.iter().enumerate() {
+                    let own_slot = self.store.alloc(Value::Set(SetVal::empty()));
+                    self.classes.push(ClassData {
+                        own_slot,
+                        includes: Vec::new(),
+                    });
+                    env2 = env2.bind(name.clone(), Value::Class(first_id + i));
+                }
+                for (i, (_, cd)) in binds.iter().enumerate() {
+                    let cid = first_id + i;
+                    let own = self.eval_in(&cd.own, &env2)?;
+                    own.as_set()?;
+                    let slot = self.classes[cid].own_slot;
+                    self.store.set(slot, own);
+                    let includes = self.eval_includes(cd, &env2)?;
+                    self.classes[cid].includes = includes;
+                }
+                self.eval_in(body, &env2)
+            }
+        }
+    }
+
+    /// Evaluate a non-recursive class definition to a fresh class id.
+    fn eval_class_def(&mut self, cd: &ClassDef, env: &Env) -> Result<ClassId, RuntimeError> {
+        let own = self.eval_in(&cd.own, env)?;
+        own.as_set()?;
+        let own_slot = self.store.alloc(own);
+        let includes = self.eval_includes(cd, env)?;
+        let cid = self.classes.len();
+        self.classes.push(ClassData { own_slot, includes });
+        Ok(cid)
+    }
+
+    fn eval_includes(
+        &mut self,
+        cd: &ClassDef,
+        env: &Env,
+    ) -> Result<Vec<IncludeSpec>, RuntimeError> {
+        let mut includes = Vec::with_capacity(cd.includes.len());
+        for inc in &cd.includes {
+            let mut sources = Vec::with_capacity(inc.sources.len());
+            for s in &inc.sources {
+                let v = self.eval_in(s, env)?;
+                sources.push(v.as_class()?);
+            }
+            let view = self.eval_in(&inc.view, env)?;
+            let pred = self.eval_in(&inc.pred, env)?;
+            includes.push(IncludeSpec {
+                sources,
+                view,
+                pred,
+            });
+        }
+        Ok(includes)
+    }
+
+    /// Apply a function value.
+    pub fn apply(&mut self, f: Value, arg: Value) -> Result<Value, RuntimeError> {
+        self.burn()?;
+        match f {
+            Value::Closure(c) => {
+                let mut env = c.env.clone();
+                if let Some(fx) = &c.fix_name {
+                    env = env.bind(fx.clone(), Value::Closure(c.clone()));
+                }
+                let env = env.bind(c.param.clone(), arg);
+                self.eval_in(&c.body, &env)
+            }
+            Value::Builtin(b) => {
+                let mut nb = (*b).clone();
+                nb.args.push(arg);
+                if nb.args.len() == nb.arity {
+                    (nb.f)(&nb.args)
+                } else {
+                    nb.id = self.fresh_id();
+                    Ok(Value::Builtin(Rc::new(nb)))
+                }
+            }
+            other => Err(RuntimeError::NotAFunction(other.shape())),
+        }
+    }
+
+    /// `hom(S, f, op, z) = op(f(e1), op(f(e2), … op(f(en), z)…))`,
+    /// folding right over the canonical element order.
+    fn hom(&mut self, s: SetVal, f: Value, op: Value, z: Value) -> Result<Value, RuntimeError> {
+        let elems: Vec<Value> = s.values().cloned().collect();
+        let mut acc = z;
+        for e in elems.into_iter().rev() {
+            let fe = self.apply(f.clone(), e)?;
+            let partial = self.apply(op.clone(), fe)?;
+            acc = self.apply(partial, acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// Materialize a view: apply the viewing function to the raw object.
+    pub fn apply_view(&mut self, view: &ViewFn, raw: Value) -> Result<Value, RuntimeError> {
+        match view {
+            ViewFn::Identity => Ok(raw),
+            ViewFn::Fn(f) => self.apply(f.clone(), raw),
+            ViewFn::Compose(inner, outer) => {
+                let mid = self.apply_view(inner, raw)?;
+                self.apply_view(outer, mid)
+            }
+            ViewFn::Tuple(vs) => {
+                let mut fields = BTreeMap::new();
+                for (i, v) in vs.iter().enumerate() {
+                    let val = self.apply_view(v, raw.clone())?;
+                    let slot = self.store.alloc(val);
+                    fields.insert(
+                        Label::tuple(i + 1),
+                        FieldSlot {
+                            mutable: false,
+                            slot,
+                        },
+                    );
+                }
+                let id = self.fresh_id();
+                Ok(Value::Record(Rc::new(RecordVal { id, fields })))
+            }
+            ViewFn::RelFields(views) => {
+                let r = raw.as_record()?.clone();
+                let mut fields = BTreeMap::new();
+                for (l, v) in views {
+                    let f = r
+                        .fields
+                        .get(l)
+                        .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
+                    let component_raw = self.store.get(f.slot).clone();
+                    let val = self.apply_view(v, component_raw)?;
+                    let slot = self.store.alloc(val);
+                    fields.insert(
+                        l.clone(),
+                        FieldSlot {
+                            mutable: false,
+                            slot,
+                        },
+                    );
+                }
+                let id = self.fresh_id();
+                Ok(Value::Record(Rc::new(RecordVal { id, fields })))
+            }
+        }
+    }
+
+    /// Materialize an object's current view — `query(λx.x, o)`.
+    pub fn materialize(&mut self, o: &Value) -> Result<Value, RuntimeError> {
+        let o = o.as_obj()?.clone();
+        self.apply_view(&o.view, o.raw.clone())
+    }
+
+    /// n-ary `fuse`: when all objects share one raw object, a singleton of
+    /// the product-view object; otherwise empty. For a single object this
+    /// degenerates to a singleton of that object (used by 1-source
+    /// `include` clauses).
+    pub fn fuse_objs(&mut self, objs: &[Rc<ObjVal>]) -> SetVal {
+        assert!(!objs.is_empty(), "fuse of zero objects");
+        if objs.len() == 1 {
+            return SetVal::from_elems([Value::Obj(objs[0].clone())]);
+        }
+        let raw_key = objs[0].raw.key();
+        if objs.iter().any(|o| o.raw.key() != raw_key) {
+            return SetVal::empty();
+        }
+        let views: Vec<Rc<ViewFn>> = objs.iter().map(|o| Rc::new(o.view.clone())).collect();
+        let id = self.fresh_id();
+        let fused = Value::Obj(Rc::new(ObjVal {
+            id,
+            raw: objs[0].raw.clone(),
+            view: ViewFn::Tuple(views),
+        }));
+        SetVal::from_elems([fused])
+    }
+
+    /// n-ary intersection of sets of objects (the paper's `intersect`):
+    /// one fused object per raw object present in *all* sets.
+    pub fn intersect_obj_sets(&mut self, sets: &[SetVal]) -> Result<SetVal, RuntimeError> {
+        assert!(!sets.is_empty(), "intersect of zero sets");
+        if sets.len() == 1 {
+            return Ok(sets[0].clone());
+        }
+        let mut out = Vec::new();
+        'outer: for (k, v0) in sets[0].0.iter() {
+            let mut group: Vec<Rc<ObjVal>> = Vec::with_capacity(sets.len());
+            group.push(v0.as_obj()?.clone());
+            for s in &sets[1..] {
+                match s.0.get(k) {
+                    Some(v) => group.push(v.as_obj()?.clone()),
+                    None => continue 'outer,
+                }
+            }
+            let fused = self.fuse_objs(&group);
+            for v in fused.values() {
+                out.push(v.clone());
+            }
+        }
+        Ok(SetVal::from_elems(out))
+    }
+
+    /// The extent of a class: own extent ∪ includes, with the visited-set
+    /// (`L`) algorithm of Section 4.4 guaranteeing termination (Prop. 5).
+    /// `visited` must already contain `cid`.
+    pub fn class_extent(
+        &mut self,
+        cid: ClassId,
+        visited: &BTreeSet<ClassId>,
+    ) -> Result<SetVal, RuntimeError> {
+        self.burn()?;
+        let data = self.classes[cid].clone();
+        let mut result = self.store.get(data.own_slot).as_set()?.clone();
+        for inc in &data.includes {
+            // Extents of the sources, cutting cycles via the visited set.
+            let mut source_extents = Vec::with_capacity(inc.sources.len());
+            for &src in &inc.sources {
+                if visited.contains(&src) {
+                    source_extents.push(SetVal::empty());
+                } else {
+                    let mut v2 = visited.clone();
+                    v2.insert(src);
+                    source_extents.push(self.class_extent(src, &v2)?);
+                }
+            }
+            let candidates = self.intersect_obj_sets(&source_extents)?;
+            // select as view from candidates where pred
+            let mut included = Vec::new();
+            for obj in candidates.values().cloned().collect::<Vec<_>>() {
+                let keep = self.apply(inc.pred.clone(), obj.clone())?.as_bool()?;
+                if keep {
+                    let o = obj.as_obj()?.clone();
+                    let id = self.fresh_id();
+                    included.push(Value::Obj(Rc::new(ObjVal {
+                        id,
+                        raw: o.raw.clone(),
+                        view: ViewFn::Compose(
+                            Rc::new(o.view.clone()),
+                            Rc::new(ViewFn::Fn(inc.view.clone())),
+                        ),
+                    })));
+                }
+            }
+            result = result.union_left(&SetVal::from_elems(included));
+        }
+        Ok(result)
+    }
+
+    /// Convenience: the full extent of a class value (entry point used by
+    /// `c-query` and the engine).
+    pub fn extent_of(&mut self, class_value: &Value) -> Result<SetVal, RuntimeError> {
+        let cid = class_value.as_class()?;
+        self.top_level_extent(cid)
+    }
+
+    /// Compute (or fetch from the cache, when enabled and fresh) the full
+    /// extent of a class.
+    fn top_level_extent(&mut self, cid: ClassId) -> Result<SetVal, RuntimeError> {
+        if self.extent_cache_enabled {
+            if let Some((epoch, cached)) = self.extent_cache.get(&cid) {
+                if *epoch == self.class_epoch {
+                    return Ok(cached.clone());
+                }
+            }
+        }
+        let mut visited = BTreeSet::new();
+        visited.insert(cid);
+        let extent = self.class_extent(cid, &visited)?;
+        if self.extent_cache_enabled {
+            self.extent_cache
+                .insert(cid, (self.class_epoch, extent.clone()));
+        }
+        Ok(extent)
+    }
+
+    /// Opt-in memoization of top-level class extents, an *extension* to the
+    /// paper's always-recompute semantics (§4.3's `λ()` delay).
+    ///
+    /// Cache entries are invalidated by any `insert`/`delete` (a global
+    /// epoch). CAVEAT: the cache does **not** observe `update` on record
+    /// fields, so a predicate or viewing function reading mutable state may
+    /// see stale extents while the cache is enabled — exactly the
+    /// consistency hazard that makes the paper choose lazy evaluation. The
+    /// E4 ablation bench quantifies the trade-off.
+    pub fn enable_extent_cache(&mut self, enabled: bool) {
+        self.extent_cache_enabled = enabled;
+        if !enabled {
+            self.extent_cache.clear();
+        }
+    }
+
+    /// Number of live cache entries (diagnostics).
+    pub fn extent_cache_len(&self) -> usize {
+        self.extent_cache.len()
+    }
+
+    /// Read a record field value (engine convenience).
+    pub fn field_of(&self, record: &Value, label: &str) -> Result<Value, RuntimeError> {
+        let r = record.as_record()?;
+        let l = Label::new(label);
+        let f = r.fields.get(&l).ok_or(RuntimeError::NoSuchField(l))?;
+        Ok(self.store.get(f.slot).clone())
+    }
+
+    /// Pretty-print a value, reading record fields through the store.
+    /// Rendering depth is capped defensively (well-typed programs cannot
+    /// build cyclic values — the occurs check forbids the types — but the
+    /// machine API is public).
+    pub fn show(&self, v: &Value) -> String {
+        self.show_depth(v, 64)
+    }
+
+    fn show_depth(&self, v: &Value, depth: usize) -> String {
+        if depth == 0 {
+            return "…".to_string();
+        }
+        match v {
+            Value::Unit => "()".to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => format!("{s:?}"),
+            Value::Record(r) => {
+                let mut out = String::from("[");
+                for (i, (l, f)) in r.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(l.as_str());
+                    out.push_str(if f.mutable { " := " } else { " = " });
+                    out.push_str(&self.show_depth(self.store.get(f.slot), depth - 1));
+                }
+                out.push(']');
+                out
+            }
+            Value::Set(s) => {
+                let mut out = String::from("{");
+                for (i, e) in s.values().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&self.show_depth(e, depth - 1));
+                }
+                out.push('}');
+                out
+            }
+            Value::Closure(_) | Value::Builtin(_) => "<fn>".to_string(),
+            Value::LValue(s) => format!("<lval #{s}>"),
+            Value::Obj(o) => format!("<obj raw={}>", self.show_depth(&o.raw, depth - 1)),
+            Value::Class(c) => format!("<class #{c}>"),
+        }
+    }
+
+    /// Test whether a set value contains an element `objeq`/value-equal to
+    /// `v`.
+    pub fn set_contains(&self, s: &SetVal, v: &Value) -> bool {
+        s.contains_key(&v.key())
+    }
+
+    /// Expose the key of a value (for tests and the isa baseline).
+    pub fn key_of(v: &Value) -> Key {
+        v.key()
+    }
+}

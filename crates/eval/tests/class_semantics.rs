@@ -1,0 +1,576 @@
+//! Class semantics (paper Section 4): lazy extents, insert/delete,
+//! multi-source includes, first-class classes, and the mutually recursive
+//! FemaleMember/Staff/Student example of Fig. 7 with the visited-set
+//! algorithm (Prop. 5).
+
+use polyview_eval::{Machine, Value};
+use polyview_syntax::builder as b;
+use polyview_syntax::sugar;
+use polyview_syntax::Expr;
+
+fn eval_show(e: &Expr) -> String {
+    let mut m = Machine::new();
+    let v = m.eval(e).expect("evaluation succeeds");
+    m.show(&v)
+}
+
+fn person(name: &str, age: i64, sex: &str) -> Expr {
+    b::id_view(b::record([
+        b::imm("Name", b::str(name)),
+        b::imm("Age", b::int(age)),
+        b::imm("Sex", b::str(sex)),
+    ]))
+}
+
+/// Query: the set of Names visible in a class.
+fn names_query(class: Expr) -> Expr {
+    b::cquery(
+        b::lam(
+            "s",
+            sugar::map(
+                b::lam(
+                    "o",
+                    b::query(b::lam("y", b::dot(b::v("y"), "Name")), b::v("o")),
+                ),
+                b::v("s"),
+            ),
+        ),
+        class,
+    )
+}
+
+/// The FemaleMember class of §4.2 over Staff and Student source classes.
+fn female_member_program(body: Expr) -> Expr {
+    let include_from = |src: &str, category: &str| {
+        b::include(
+            vec![b::v(src)],
+            b::lam(
+                "s",
+                b::record([
+                    b::imm("Name", b::dot(b::v("s"), "Name")),
+                    b::imm("Age", b::dot(b::v("s"), "Age")),
+                    b::imm("Category", b::str(category)),
+                ]),
+            ),
+            b::lam(
+                "s",
+                b::query(
+                    b::lam("x", b::eq(b::dot(b::v("x"), "Sex"), b::str("female"))),
+                    b::v("s"),
+                ),
+            ),
+        )
+    };
+    b::let_(
+        "Staff",
+        b::class(
+            b::set([person("Alice", 40, "female"), person("Bob", 50, "male")]),
+            vec![],
+        ),
+        b::let_(
+            "Student",
+            b::class(
+                b::set([person("Carol", 22, "female"), person("Dave", 23, "male")]),
+                vec![],
+            ),
+            b::let_(
+                "FemaleMember",
+                b::class(
+                    b::empty(),
+                    vec![include_from("Staff", "staff"), include_from("Student", "student")],
+                ),
+                body,
+            ),
+        ),
+    )
+}
+
+#[test]
+fn own_extent_only_class() {
+    let e = b::let_(
+        "Staff",
+        b::class(b::set([person("Alice", 40, "female")]), vec![]),
+        names_query(b::v("Staff")),
+    );
+    assert_eq!(eval_show(&e), "{\"Alice\"}");
+}
+
+#[test]
+fn female_member_selects_and_reviews() {
+    let e = female_member_program(names_query(b::v("FemaleMember")));
+    assert_eq!(eval_show(&e), "{\"Alice\", \"Carol\"}");
+}
+
+#[test]
+fn include_view_adds_category_field() {
+    let e = female_member_program(b::cquery(
+        b::lam(
+            "s",
+            sugar::map(
+                b::lam(
+                    "o",
+                    b::query(b::lam("y", b::dot(b::v("y"), "Category")), b::v("o")),
+                ),
+                b::v("s"),
+            ),
+        ),
+        b::v("FemaleMember"),
+    ));
+    assert_eq!(eval_show(&e), "{\"staff\", \"student\"}");
+}
+
+#[test]
+fn extents_are_lazy_inserts_propagate() {
+    // Insert Eve into Staff *after* FemaleMember is defined; she appears in
+    // FemaleMember because inclusion is evaluated at query time (Fig. 5's
+    // λ() delay).
+    let e = female_member_program(b::let_(
+        "_",
+        b::insert(b::v("Staff"), person("Eve", 31, "female")),
+        names_query(b::v("FemaleMember")),
+    ));
+    assert_eq!(eval_show(&e), "{\"Alice\", \"Carol\", \"Eve\"}");
+}
+
+#[test]
+fn deletes_propagate_lazily_too() {
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice")]), vec![]),
+            b::let_(
+                "All",
+                b::class(
+                    b::empty(),
+                    vec![b::include(
+                        vec![b::v("Staff")],
+                        b::lam("s", b::v("s")),
+                        b::lam("s", b::boolean(true)),
+                    )],
+                ),
+                b::let_(
+                    "_",
+                    b::delete(b::v("Staff"), b::v("alice")),
+                    b::cquery(b::lam("s", b::eq(b::v("s"), b::empty())), b::v("All")),
+                ),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "true");
+}
+
+#[test]
+fn insert_existing_object_keeps_left_biased_union() {
+    // Inserting an object that is already present (by objeq) leaves the
+    // class unchanged: union(OwnExt, {e}) is left-biased.
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice")]), vec![]),
+            b::let_(
+                "_",
+                b::insert(
+                    b::v("Staff"),
+                    b::as_view(
+                        b::v("alice"),
+                        b::lam("x", b::record([b::imm("Name", b::str("shadow"))])),
+                    ),
+                ),
+                names_query(b::v("Staff")),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{\"Alice\"}");
+}
+
+#[test]
+fn delete_removes_only_own_extent_members() {
+    // Deleting an imported object from the including class does nothing:
+    // delete removes from the *own* extent only (the paper's chosen
+    // semantics, "clarity and safety").
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice")]), vec![]),
+            b::let_(
+                "All",
+                b::class(
+                    b::empty(),
+                    vec![b::include(
+                        vec![b::v("Staff")],
+                        b::lam("s", b::v("s")),
+                        b::lam("s", b::boolean(true)),
+                    )],
+                ),
+                b::let_(
+                    "_",
+                    b::delete(b::v("All"), b::v("alice")),
+                    names_query(b::v("All")),
+                ),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{\"Alice\"}");
+}
+
+#[test]
+fn own_extent_wins_over_included_on_objeq_collision() {
+    // S ∪ includes is left-biased: an object in the own extent keeps its
+    // own view even if also included from a source.
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice")]), vec![]),
+            b::let_(
+                "Other",
+                b::class(
+                    b::set([b::v("alice")]),
+                    vec![b::include(
+                        vec![b::v("Staff")],
+                        b::lam(
+                            "s",
+                            b::record([b::imm("Name", b::str("viewed"))]),
+                        ),
+                        b::lam("s", b::boolean(true)),
+                    )],
+                ),
+                names_query(b::v("Other")),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{\"Alice\"}");
+}
+
+#[test]
+fn multi_source_include_is_intersection() {
+    // StudentStaff (§4.2): include Staff, Student as λp.[…] where true —
+    // only objects in *both* classes are included, with the pair view.
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice"), person("Bob", 50, "male")]), vec![]),
+            b::let_(
+                "Student",
+                b::class(b::set([b::v("alice"), person("Carol", 22, "female")]), vec![]),
+                b::let_(
+                    "StudentStaff",
+                    b::class(
+                        b::empty(),
+                        vec![b::include(
+                            vec![b::v("Staff"), b::v("Student")],
+                            b::lam(
+                                "p",
+                                b::record([
+                                    b::imm("Name", b::dot(b::proj(b::v("p"), 1), "Name")),
+                                    b::imm("Age", b::dot(b::proj(b::v("p"), 2), "Age")),
+                                ]),
+                            ),
+                            b::lam("p", b::boolean(true)),
+                        )],
+                    ),
+                    names_query(b::v("StudentStaff")),
+                ),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{\"Alice\"}");
+}
+
+#[test]
+fn classes_are_first_class_values() {
+    // A class-creating function applied twice yields independent classes.
+    let e = b::let_(
+        "mk",
+        b::lam("s", b::class(b::v("s"), vec![])),
+        b::let_(
+            "C1",
+            b::app(b::v("mk"), b::set([person("Alice", 40, "female")])),
+            b::let_(
+                "C2",
+                b::app(b::v("mk"), b::empty()),
+                b::let_(
+                    "_",
+                    b::insert(b::v("C2"), person("Bob", 50, "male")),
+                    Expr::tuple([names_query(b::v("C1")), names_query(b::v("C2"))]),
+                ),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "[1 = {\"Alice\"}, 2 = {\"Bob\"}]");
+}
+
+// ----- recursive classes (Section 4.4, Fig. 7) -----
+
+/// The full Fig. 7 program: Staff, Student and FemaleMember mutually share.
+fn fig7_program(extra_members: Vec<(&'static str, i64, &'static str)>, body: Expr) -> Expr {
+    let to_member_view = |cat: &str| {
+        b::lam(
+            "s",
+            b::record([
+                b::imm("Name", b::dot(b::v("s"), "Name")),
+                b::imm("Age", b::dot(b::v("s"), "Age")),
+                b::imm("Category", b::str(cat)),
+            ]),
+        )
+    };
+    let sex_pred = b::lam(
+        "s",
+        b::query(
+            b::lam("x", b::eq(b::dot(b::v("x"), "Sex"), b::str("female"))),
+            b::v("s"),
+        ),
+    );
+    let to_person_view = b::lam(
+        "f",
+        b::record([
+            b::imm("Name", b::dot(b::v("f"), "Name")),
+            b::imm("Age", b::dot(b::v("f"), "Age")),
+            b::imm("Sex", b::str("female")),
+        ]),
+    );
+    let cat_pred = |cat: &str| {
+        b::lam(
+            "f",
+            b::query(
+                b::lam("x", b::eq(b::dot(b::v("x"), "Category"), b::str(cat))),
+                b::v("f"),
+            ),
+        )
+    };
+    let members: Vec<Expr> = extra_members
+        .into_iter()
+        .map(|(n, a, cat)| {
+            b::id_view(b::record([
+                b::imm("Name", b::str(n)),
+                b::imm("Age", b::int(a)),
+                b::imm("Category", b::str(cat)),
+            ]))
+        })
+        .collect();
+    b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "bob",
+            person("Bob", 50, "male"),
+            b::let_(
+                "carol",
+                person("Carol", 22, "female"),
+                b::let_classes(
+                    vec![
+                        (
+                            "Staff",
+                            b::class(
+                                b::set([b::v("alice"), b::v("bob")]),
+                                vec![b::include(
+                                    vec![b::v("FemaleMember")],
+                                    to_person_view.clone(),
+                                    cat_pred("staff"),
+                                )],
+                            ),
+                        ),
+                        (
+                            "Student",
+                            b::class(
+                                b::set([b::v("carol")]),
+                                vec![b::include(
+                                    vec![b::v("FemaleMember")],
+                                    to_person_view,
+                                    cat_pred("student"),
+                                )],
+                            ),
+                        ),
+                        (
+                            "FemaleMember",
+                            b::class(
+                                b::set(members),
+                                vec![
+                                    b::include(
+                                        vec![b::v("Staff")],
+                                        to_member_view("staff"),
+                                        sex_pred.clone(),
+                                    ),
+                                    b::include(
+                                        vec![b::v("Student")],
+                                        to_member_view("student"),
+                                        sex_pred,
+                                    ),
+                                ],
+                            ),
+                        ),
+                    ],
+                    body,
+                ),
+            ),
+        ),
+    )
+}
+
+#[test]
+fn fig7_female_member_collects_both_sources() {
+    let e = fig7_program(vec![], names_query(b::v("FemaleMember")));
+    assert_eq!(eval_show(&e), "{\"Alice\", \"Carol\"}");
+}
+
+#[test]
+fn fig7_insert_into_female_member_propagates_to_staff() {
+    // Insert a staff-category member directly into FemaleMember: she then
+    // appears in Staff via the reverse include.
+    let e = fig7_program(
+        vec![("Fran", 28, "staff")],
+        Expr::tuple([
+            names_query(b::v("Staff")),
+            names_query(b::v("Student")),
+            names_query(b::v("FemaleMember")),
+        ]),
+    );
+    assert_eq!(
+        eval_show(&e),
+        "[1 = {\"Alice\", \"Bob\", \"Fran\"}, 2 = {\"Carol\"}, \
+         3 = {\"Alice\", \"Carol\", \"Fran\"}]"
+    );
+}
+
+#[test]
+fn fig7_terminates_on_cyclic_sharing() {
+    // The visited-set algorithm (Prop. 5) cuts the Staff → FemaleMember →
+    // Staff cycle; without it this query would not terminate.
+    let e = fig7_program(vec![("Gina", 33, "student")], names_query(b::v("Student")));
+    assert_eq!(eval_show(&e), "{\"Carol\", \"Gina\"}");
+}
+
+#[test]
+fn two_class_cycle_terminates_and_shares() {
+    // A = {a} ∪ B's objects; B = {b} ∪ A's objects (identity views).
+    let idview = || b::lam("x", b::v("x"));
+    let truep = || b::lam("x", b::boolean(true));
+    let e = b::let_(
+        "a",
+        person("Anna", 1, "female"),
+        b::let_(
+            "bp",
+            person("Ben", 2, "male"),
+            b::let_classes(
+                vec![
+                    (
+                        "A",
+                        b::class(
+                            b::set([b::v("a")]),
+                            vec![b::include(vec![b::v("B")], idview(), truep())],
+                        ),
+                    ),
+                    (
+                        "B",
+                        b::class(
+                            b::set([b::v("bp")]),
+                            vec![b::include(vec![b::v("A")], idview(), truep())],
+                        ),
+                    ),
+                ],
+                Expr::tuple([names_query(b::v("A")), names_query(b::v("B"))]),
+            ),
+        ),
+    );
+    assert_eq!(
+        eval_show(&e),
+        "[1 = {\"Anna\", \"Ben\"}, 2 = {\"Anna\", \"Ben\"}]"
+    );
+}
+
+#[test]
+fn three_class_ring_terminates() {
+    let idview = || b::lam("x", b::v("x"));
+    let truep = || b::lam("x", b::boolean(true));
+    let mk = |src: &str, own: Expr| {
+        b::class(own, vec![b::include(vec![b::v(src)], idview(), truep())])
+    };
+    let e = b::let_(
+        "p1",
+        person("P1", 1, "x"),
+        b::let_(
+            "p2",
+            person("P2", 2, "x"),
+            b::let_(
+                "p3",
+                person("P3", 3, "x"),
+                b::let_classes(
+                    vec![
+                        ("C1", mk("C2", b::set([b::v("p1")]))),
+                        ("C2", mk("C3", b::set([b::v("p2")]))),
+                        ("C3", mk("C1", b::set([b::v("p3")]))),
+                    ],
+                    names_query(b::v("C1")),
+                ),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{\"P1\", \"P2\", \"P3\"}");
+}
+
+#[test]
+fn self_include_terminates() {
+    // class C includes C itself: the visited set makes the self-inclusion
+    // contribute nothing beyond the own extent.
+    let e = b::let_(
+        "p",
+        person("Solo", 9, "x"),
+        b::let_classes(
+            vec![(
+                "C",
+                b::class(
+                    b::set([b::v("p")]),
+                    vec![b::include(
+                        vec![b::v("C")],
+                        b::lam("x", b::v("x")),
+                        b::lam("x", b::boolean(true)),
+                    )],
+                ),
+            )],
+            names_query(b::v("C")),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{\"Solo\"}");
+}
+
+#[test]
+fn cquery_applies_arbitrary_set_function() {
+    // Count members via hom.
+    let e = female_member_program(b::cquery(
+        b::lam(
+            "s",
+            b::hom(
+                b::v("s"),
+                b::lam("x", b::int(1)),
+                b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+                b::int(0),
+            ),
+        ),
+        b::v("FemaleMember"),
+    ));
+    assert_eq!(eval_show(&e), "2");
+}
+
+#[test]
+fn class_values_expose_extent_via_machine_api() {
+    let mut m = Machine::new();
+    let c = m
+        .eval(&b::class(
+            b::set([person("Alice", 40, "female")]),
+            vec![],
+        ))
+        .expect("eval");
+    let extent = m.extent_of(&c).expect("extent");
+    assert_eq!(extent.len(), 1);
+    let o = extent.values().next().expect("one").clone();
+    assert!(matches!(o, Value::Obj(_)));
+}

@@ -1,0 +1,342 @@
+//! Core-language semantics (paper Section 2): records with identity,
+//! L-value sharing via `extract`, sets, `hom`, `fix`, and equality.
+
+use polyview_eval::{Machine, RuntimeError, Value};
+use polyview_syntax::builder as b;
+use polyview_syntax::sugar;
+use polyview_syntax::Expr;
+
+fn eval(e: &Expr) -> Value {
+    Machine::new().eval(e).expect("evaluation succeeds")
+}
+
+fn eval_err(e: &Expr) -> RuntimeError {
+    Machine::new().eval(e).expect_err("evaluation fails")
+}
+
+fn eval_show(e: &Expr) -> String {
+    let mut m = Machine::new();
+    let v = m.eval(e).expect("evaluation succeeds");
+    m.show(&v)
+}
+
+#[test]
+fn literals_and_builtins() {
+    assert_eq!(eval_show(&b::int(42)), "42");
+    assert_eq!(eval_show(&b::add(b::int(2), b::int(3))), "5");
+    assert_eq!(eval_show(&b::mul(b::int(4), b::int(5))), "20");
+    assert_eq!(eval_show(&b::str("hi")), "\"hi\"");
+    assert_eq!(eval_show(&b::unit()), "()");
+}
+
+#[test]
+fn lambda_and_application() {
+    let e = b::app(b::lam("x", b::add(b::v("x"), b::int(1))), b::int(41));
+    assert_eq!(eval_show(&e), "42");
+}
+
+#[test]
+fn closures_capture_lexically() {
+    // let y = 10 in let f = λx. x + y in let y = 0 in f 1
+    let e = b::let_(
+        "y",
+        b::int(10),
+        b::let_(
+            "f",
+            b::lam("x", b::add(b::v("x"), b::v("y"))),
+            b::let_("y", b::int(0), b::app(b::v("f"), b::int(1))),
+        ),
+    );
+    assert_eq!(eval_show(&e), "11");
+}
+
+#[test]
+fn record_field_access() {
+    let joe = b::record([b::imm("Name", b::str("Doe")), b::mt("Salary", b::int(3000))]);
+    let e = b::let_("joe", joe, b::dot(b::v("joe"), "Salary"));
+    assert_eq!(eval_show(&e), "3000");
+}
+
+#[test]
+fn record_update_mutates() {
+    let joe = b::record([b::mt("Salary", b::int(3000))]);
+    let e = b::let_(
+        "joe",
+        joe,
+        b::let_(
+            "_",
+            b::update(b::v("joe"), "Salary", b::int(4000)),
+            b::dot(b::v("joe"), "Salary"),
+        ),
+    );
+    assert_eq!(eval_show(&e), "4000");
+}
+
+#[test]
+fn update_immutable_field_is_runtime_error() {
+    // (Caught statically in the full pipeline; the raw machine reports it.)
+    let e = b::let_(
+        "r",
+        b::record([b::imm("Name", b::str("Joe"))]),
+        b::update(b::v("r"), "Name", b::str("Peter")),
+    );
+    assert!(matches!(eval_err(&e), RuntimeError::ImmutableField(_)));
+}
+
+#[test]
+fn extract_shares_lvalues_across_records() {
+    // The paper's Doe/john example: joe's Salary, Doe's Income and john's
+    // (immutable!) Salary all share one L-value.
+    let prog = b::let_(
+        "joe",
+        b::record([b::imm("Name", b::str("Doe")), b::mt("Salary", b::int(3000))]),
+        b::let_(
+            "Doe",
+            b::record([
+                b::imm("Name", b::str("Doe")),
+                b::mt("Income", b::extract(b::v("joe"), "Salary")),
+            ]),
+            b::let_(
+                "john",
+                b::record([
+                    b::imm("Name", b::str("John")),
+                    b::imm("Salary", b::extract(b::v("joe"), "Salary")),
+                ]),
+                b::let_(
+                    "_",
+                    b::update(b::v("joe"), "Salary", b::int(9999)),
+                    Expr::tuple([
+                        b::dot(b::v("Doe"), "Income"),
+                        b::dot(b::v("john"), "Salary"),
+                    ]),
+                ),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&prog), "[1 = 9999, 2 = 9999]");
+}
+
+#[test]
+fn update_through_shared_lvalue_flows_back() {
+    // Updating Doe's Income changes joe's Salary too.
+    let prog = b::let_(
+        "joe",
+        b::record([b::mt("Salary", b::int(1))]),
+        b::let_(
+            "Doe",
+            b::record([b::mt("Income", b::extract(b::v("joe"), "Salary"))]),
+            b::let_(
+                "_",
+                b::update(b::v("Doe"), "Income", b::int(77)),
+                b::dot(b::v("joe"), "Salary"),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&prog), "77");
+}
+
+#[test]
+fn extract_from_immutable_field_fails() {
+    let e = b::let_(
+        "r",
+        b::record([b::imm("Name", b::str("x"))]),
+        b::extract(b::v("r"), "Name"),
+    );
+    assert!(matches!(eval_err(&e), RuntimeError::ImmutableField(_)));
+}
+
+#[test]
+fn record_equality_is_identity() {
+    // Two syntactically identical records are different (new identity per
+    // evaluation); a record equals itself.
+    let two = b::eq(
+        b::record([b::imm("a", b::int(1))]),
+        b::record([b::imm("a", b::int(1))]),
+    );
+    assert_eq!(eval_show(&two), "false");
+    let same = b::let_(
+        "r",
+        b::record([b::imm("a", b::int(1))]),
+        b::eq(b::v("r"), b::v("r")),
+    );
+    assert_eq!(eval_show(&same), "true");
+}
+
+#[test]
+fn function_equality_is_identity() {
+    let same = b::let_(
+        "f",
+        b::lam("x", b::v("x")),
+        b::eq(b::v("f"), b::v("f")),
+    );
+    assert_eq!(eval_show(&same), "true");
+    let diff = b::eq(b::lam("x", b::v("x")), b::lam("x", b::v("x")));
+    assert_eq!(eval_show(&diff), "false");
+}
+
+#[test]
+fn base_equality_is_structural() {
+    assert_eq!(eval_show(&b::eq(b::int(3), b::int(3))), "true");
+    assert_eq!(eval_show(&b::eq(b::str("a"), b::str("a"))), "true");
+    assert_eq!(eval_show(&b::eq(b::str("a"), b::str("b"))), "false");
+}
+
+#[test]
+fn set_literals_deduplicate() {
+    assert_eq!(eval_show(&b::set([b::int(1), b::int(2), b::int(1)])), "{1, 2}");
+}
+
+#[test]
+fn set_of_records_dedups_by_identity() {
+    // Distinct record literals have distinct identities — both stay.
+    let e = b::set([
+        b::record([b::imm("a", b::int(1))]),
+        b::record([b::imm("a", b::int(1))]),
+    ]);
+    let mut m = Machine::new();
+    let v = m.eval(&e).expect("eval");
+    assert_eq!(v.as_set().expect("set").len(), 2);
+    // The same record twice stays once.
+    let e2 = b::let_(
+        "r",
+        b::record([b::imm("a", b::int(1))]),
+        b::set([b::v("r"), b::v("r")]),
+    );
+    let v2 = m.eval(&e2).expect("eval");
+    assert_eq!(v2.as_set().expect("set").len(), 1);
+}
+
+#[test]
+fn union_and_hom() {
+    let e = b::union(b::set([b::int(1), b::int(2)]), b::set([b::int(2), b::int(3)]));
+    assert_eq!(eval_show(&e), "{1, 2, 3}");
+
+    // Sum over a set via hom.
+    let sum = b::hom(
+        b::set([b::int(1), b::int(2), b::int(3)]),
+        b::lam("x", b::v("x")),
+        b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+        b::int(0),
+    );
+    assert_eq!(eval_show(&sum), "6");
+}
+
+#[test]
+fn hom_on_empty_set_yields_zero() {
+    let e = b::hom(
+        b::empty(),
+        b::lam("x", b::v("x")),
+        b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+        b::int(42),
+    );
+    assert_eq!(eval_show(&e), "42");
+}
+
+#[test]
+fn fix_computes_factorial() {
+    let fact = Expr::fix(
+        "f",
+        b::lam(
+            "n",
+            b::if_(
+                b::eq(b::v("n"), b::int(0)),
+                b::int(1),
+                b::mul(b::v("n"), b::app(b::v("f"), b::sub(b::v("n"), b::int(1)))),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&b::app(fact, b::int(6))), "720");
+}
+
+#[test]
+fn fuel_bounds_divergence() {
+    let omega = Expr::fix("f", b::lam("x", b::app(b::v("f"), b::v("x"))));
+    let e = b::app(omega, b::int(0));
+    let mut m = Machine::with_fuel(1_500);
+    assert!(matches!(m.eval(&e), Err(RuntimeError::FuelExhausted)));
+}
+
+#[test]
+fn division_by_zero_reported() {
+    let e = b::app2(b::v("div"), b::int(1), b::int(0));
+    assert_eq!(eval_err(&e), RuntimeError::DivisionByZero);
+}
+
+#[test]
+fn sugar_member_map_filter_prod() {
+    let s = b::set([b::int(1), b::int(2), b::int(3)]);
+    assert_eq!(eval_show(&sugar::member(b::int(2), s.clone())), "true");
+    assert_eq!(eval_show(&sugar::member(b::int(9), s.clone())), "false");
+    assert_eq!(
+        eval_show(&sugar::map(b::lam("x", b::mul(b::v("x"), b::int(10))), s.clone())),
+        "{10, 20, 30}"
+    );
+    assert_eq!(
+        eval_show(&sugar::filter(b::lam("x", b::gt(b::v("x"), b::int(1))), s.clone())),
+        "{2, 3}"
+    );
+    let p = sugar::prod2(b::set([b::int(1), b::int(2)]), b::set([b::int(10)]));
+    let mut m = Machine::new();
+    let v = m.eval(&p).expect("eval");
+    assert_eq!(v.as_set().expect("set").len(), 2);
+}
+
+#[test]
+fn sugar_nary_prod_sizes() {
+    let p = sugar::prod(vec![
+        b::set([b::int(1), b::int(2)]),
+        b::set([b::int(3), b::int(4), b::int(5)]),
+        b::set([b::int(6)]),
+    ]);
+    let mut m = Machine::new();
+    let v = m.eval(&p).expect("eval");
+    assert_eq!(v.as_set().expect("set").len(), 6);
+}
+
+#[test]
+fn sugar_mutual_recursion_even_odd() {
+    use polyview_syntax::Label;
+    let defs = vec![
+        (
+            Label::new("even"),
+            Label::new("n"),
+            b::if_(
+                b::eq(b::v("n"), b::int(0)),
+                b::boolean(true),
+                b::app(b::v("odd"), b::sub(b::v("n"), b::int(1))),
+            ),
+        ),
+        (
+            Label::new("odd"),
+            Label::new("n"),
+            b::if_(
+                b::eq(b::v("n"), b::int(0)),
+                b::boolean(false),
+                b::app(b::v("even"), b::sub(b::v("n"), b::int(1))),
+            ),
+        ),
+    ];
+    let e = sugar::fun_and(defs, b::app(b::v("even"), b::int(10)));
+    assert_eq!(eval_show(&e), "true");
+}
+
+#[test]
+fn eval_is_deterministic() {
+    let e = b::union(
+        b::set([b::int(3), b::int(1)]),
+        b::set([b::int(2), b::int(1)]),
+    );
+    assert_eq!(eval_show(&e), eval_show(&e));
+}
+
+#[test]
+fn unbound_variable_at_runtime() {
+    assert!(matches!(eval_err(&b::v("ghost")), RuntimeError::Unbound(_)));
+}
+
+#[test]
+fn value_shapes_via_eval() {
+    assert_eq!(eval(&b::int(1)).shape(), "int");
+    assert_eq!(eval(&b::lam("x", b::v("x"))).shape(), "function");
+    assert_eq!(eval(&b::empty()).shape(), "set");
+}

@@ -1,0 +1,192 @@
+//! The opt-in extent cache (an extension over the paper's
+//! always-recompute semantics): correctness of invalidation on
+//! insert/delete, and its documented staleness caveat under record-field
+//! updates.
+
+use polyview_eval::Machine;
+use polyview_syntax::builder as b;
+use polyview_syntax::Expr;
+
+fn person(name: &str, sex: &str) -> Expr {
+    b::id_view(b::record([
+        b::imm("Name", b::str(name)),
+        b::imm("Sex", b::str(sex)),
+    ]))
+}
+
+fn count_query(class: &str) -> Expr {
+    b::cquery(
+        b::lam(
+            "s",
+            b::hom(
+                b::v("s"),
+                b::lam("x", b::int(1)),
+                b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+                b::int(0),
+            ),
+        ),
+        b::v(class),
+    )
+}
+
+fn setup(m: &mut Machine) {
+    let staff = m
+        .eval(&b::class(
+            b::set([person("Alice", "female"), person("Bob", "male")]),
+            vec![],
+        ))
+        .expect("staff");
+    m.define_global("Staff", staff);
+    let female = m
+        .eval(&b::class(
+            b::empty(),
+            vec![b::include(
+                vec![b::v("Staff")],
+                b::lam("s", b::v("s")),
+                b::lam(
+                    "s",
+                    b::query(
+                        b::lam("x", b::eq(b::dot(b::v("x"), "Sex"), b::str("female"))),
+                        b::v("s"),
+                    ),
+                ),
+            )],
+        ))
+        .expect("female");
+    m.define_global("Female", female);
+}
+
+#[test]
+fn cached_results_match_uncached() {
+    let mut plain = Machine::new();
+    setup(&mut plain);
+    let mut cached = Machine::new();
+    cached.enable_extent_cache(true);
+    setup(&mut cached);
+
+    for _ in 0..3 {
+        let a = plain.eval(&count_query("Female")).expect("plain");
+        let c = cached.eval(&count_query("Female")).expect("cached");
+        assert!(a.value_eq(&c));
+    }
+    assert!(cached.extent_cache_len() > 0, "cache should be populated");
+}
+
+#[test]
+fn insert_invalidates_cache() {
+    let mut m = Machine::new();
+    m.enable_extent_cache(true);
+    setup(&mut m);
+    let before = m.eval(&count_query("Female")).expect("count");
+    assert_eq!(format!("{before:?}"), "Int(1)");
+    m.eval(&b::insert(b::v("Staff"), person("Eve", "female")))
+        .expect("insert");
+    let after = m.eval(&count_query("Female")).expect("count");
+    assert_eq!(format!("{after:?}"), "Int(2)", "stale cache served after insert");
+}
+
+#[test]
+fn delete_invalidates_cache() {
+    let mut m = Machine::new();
+    m.enable_extent_cache(true);
+    let alice = m.eval(&person("Alice", "female")).expect("alice");
+    m.define_global("alice", alice);
+    let staff = m
+        .eval(&b::class(b::set([b::v("alice")]), vec![]))
+        .expect("staff");
+    m.define_global("Staff", staff);
+    let c1 = m.eval(&count_query("Staff")).expect("count");
+    assert_eq!(format!("{c1:?}"), "Int(1)");
+    m.eval(&b::delete(b::v("Staff"), b::v("alice"))).expect("delete");
+    let c2 = m.eval(&count_query("Staff")).expect("count");
+    assert_eq!(format!("{c2:?}"), "Int(0)");
+}
+
+#[test]
+fn disabling_clears_cache() {
+    let mut m = Machine::new();
+    m.enable_extent_cache(true);
+    setup(&mut m);
+    m.eval(&count_query("Female")).expect("count");
+    assert!(m.extent_cache_len() > 0);
+    m.enable_extent_cache(false);
+    assert_eq!(m.extent_cache_len(), 0);
+}
+
+#[test]
+fn documented_staleness_under_field_update() {
+    // The caveat: a record-field update is invisible to the cache. With a
+    // mutable Sex field, flipping it after a cached query leaves the cache
+    // stale until the next insert/delete.
+    let flip_sex = |m: &mut Machine| {
+        m.eval(&b::cquery(
+            b::lam(
+                "s",
+                b::hom(
+                    b::v("s"),
+                    b::lam(
+                        "o",
+                        b::query(
+                            b::lam("x", b::update(b::v("x"), "Sex", b::str("female"))),
+                            b::v("o"),
+                        ),
+                    ),
+                    b::lam("a", b::lam("acc", b::unit())),
+                    b::unit(),
+                ),
+            ),
+            b::v("Staff"),
+        ))
+        .expect("flip")
+    };
+    let mk_setup = |m: &mut Machine| {
+        let staff = m
+            .eval(&b::class(
+                b::set([b::id_view(b::record([
+                    b::imm("Name", b::str("Bob")),
+                    b::mt("Sex", b::str("male")),
+                ]))]),
+                vec![],
+            ))
+            .expect("staff");
+        m.define_global("Staff", staff);
+        let female = m
+            .eval(&b::class(
+                b::empty(),
+                vec![b::include(
+                    vec![b::v("Staff")],
+                    b::lam("s", b::v("s")),
+                    b::lam(
+                        "s",
+                        b::query(
+                            b::lam("x", b::eq(b::dot(b::v("x"), "Sex"), b::str("female"))),
+                            b::v("s"),
+                        ),
+                    ),
+                )],
+            ))
+            .expect("female");
+        m.define_global("Female", female);
+    };
+
+    // Without the cache: the update is visible (paper semantics).
+    let mut plain = Machine::new();
+    mk_setup(&mut plain);
+    plain.eval(&count_query("Female")).expect("warm");
+    flip_sex(&mut plain);
+    let v = plain.eval(&count_query("Female")).expect("count");
+    assert_eq!(format!("{v:?}"), "Int(1)");
+
+    // With the cache: stale until an insert/delete bumps the epoch.
+    let mut cached = Machine::new();
+    cached.enable_extent_cache(true);
+    mk_setup(&mut cached);
+    cached.eval(&count_query("Female")).expect("warm");
+    flip_sex(&mut cached);
+    let v = cached.eval(&count_query("Female")).expect("count");
+    assert_eq!(
+        format!("{v:?}"),
+        "Int(0)",
+        "cache is documented to miss field updates"
+    );
+}

@@ -1,0 +1,437 @@
+//! Object and view semantics (paper Section 3): the joe/joe_view example,
+//! lazy view evaluation, update propagation through views, `fuse`,
+//! `relobj`, and `objeq`-based set semantics.
+
+use polyview_eval::{Machine, Value};
+use polyview_syntax::builder as b;
+use polyview_syntax::sugar;
+use polyview_syntax::Expr;
+
+fn eval_show(e: &Expr) -> String {
+    let mut m = Machine::new();
+    let v = m.eval(e).expect("evaluation succeeds");
+    m.show(&v)
+}
+
+/// The raw joe record from §3.3.
+fn joe_raw() -> Expr {
+    b::record([
+        b::imm("Name", b::str("Joe")),
+        b::imm("BirthYear", b::int(1955)),
+        b::mt("Salary", b::int(2000)),
+        b::mt("Bonus", b::int(5000)),
+    ])
+}
+
+/// The §3.3 viewing function: rename, hide, compute, restrict.
+fn joe_view_fn() -> Expr {
+    b::lam(
+        "x",
+        b::record([
+            b::imm("Name", b::dot(b::v("x"), "Name")),
+            b::imm(
+                "Age",
+                b::sub(
+                    b::app(b::v("this_year"), b::unit()),
+                    b::dot(b::v("x"), "BirthYear"),
+                ),
+            ),
+            b::imm("Income", b::dot(b::v("x"), "Salary")),
+            b::mt("Bonus", b::extract(b::v("x"), "Bonus")),
+        ]),
+    )
+}
+
+fn with_joe_view(body: Expr) -> Expr {
+    b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::let_("joe_view", b::as_view(b::v("joe"), joe_view_fn()), body),
+    )
+}
+
+#[test]
+fn idview_materializes_to_raw() {
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::query(b::lam("x", b::v("x")), b::v("joe")),
+    );
+    assert_eq!(
+        eval_show(&e),
+        "[BirthYear = 1955, Bonus := 5000, Name = \"Joe\", Salary := 2000]"
+    );
+}
+
+#[test]
+fn view_renames_hides_computes() {
+    let e = with_joe_view(b::query(b::lam("x", b::v("x")), b::v("joe_view")));
+    assert_eq!(
+        eval_show(&e),
+        "[Age = 39, Bonus := 5000, Income = 2000, Name = \"Joe\"]"
+    );
+}
+
+#[test]
+fn paper_annual_income_query_yields_29000() {
+    // query(Annual_Income, joe_view) = 2000 * 12 + 5000 = 29000.
+    let annual = b::lam(
+        "p",
+        b::add(
+            b::mul(b::dot(b::v("p"), "Income"), b::int(12)),
+            b::dot(b::v("p"), "Bonus"),
+        ),
+    );
+    let e = with_joe_view(b::query(annual, b::v("joe_view")));
+    assert_eq!(eval_show(&e), "29000");
+}
+
+#[test]
+fn objeq_joe_and_joe_view_is_true() {
+    let e = with_joe_view(sugar::objeq(b::v("joe"), b::v("joe_view")));
+    assert_eq!(eval_show(&e), "true");
+}
+
+#[test]
+fn eq_on_distinct_view_associations_is_false() {
+    // joe and joe_view have the same raw object but are distinct
+    // associations, so the paper's record/function-style eq is false.
+    let e = with_joe_view(b::eq(b::v("joe"), b::v("joe_view")));
+    assert_eq!(eval_show(&e), "false");
+}
+
+#[test]
+fn paper_view_update_adjust_bonus() {
+    // adjustBonus joe_view sets Bonus := Income * 3 = 6000; afterwards both
+    // the view and the underlying joe reflect the change (lazy evaluation).
+    let adjust = b::lam(
+        "p",
+        b::query(
+            b::lam(
+                "x",
+                b::update(
+                    b::v("x"),
+                    "Bonus",
+                    b::mul(b::dot(b::v("x"), "Income"), b::int(3)),
+                ),
+            ),
+            b::v("p"),
+        ),
+    );
+    let e = with_joe_view(b::let_(
+        "_",
+        b::app(adjust, b::v("joe_view")),
+        Expr::tuple([
+            b::query(b::lam("x", b::dot(b::v("x"), "Bonus")), b::v("joe_view")),
+            b::query(b::lam("x", b::dot(b::v("x"), "Bonus")), b::v("joe")),
+        ]),
+    ));
+    assert_eq!(eval_show(&e), "[1 = 6000, 2 = 6000]");
+}
+
+#[test]
+fn update_through_raw_visible_through_view() {
+    // Views are lazy: changing joe's Salary changes joe_view's Income.
+    let e = with_joe_view(b::let_(
+        "_",
+        b::query(
+            b::lam("x", b::update(b::v("x"), "Salary", b::int(4000))),
+            b::v("joe"),
+        ),
+        b::query(b::lam("x", b::dot(b::v("x"), "Income")), b::v("joe_view")),
+    ));
+    assert_eq!(eval_show(&e), "4000");
+}
+
+#[test]
+fn view_composition_stacks() {
+    // A second view over joe_view hides everything but Name.
+    let e = with_joe_view(b::let_(
+        "v2",
+        b::as_view(
+            b::v("joe_view"),
+            b::lam("y", b::record([b::imm("N", b::dot(b::v("y"), "Name"))])),
+        ),
+        b::query(b::lam("z", b::dot(b::v("z"), "N")), b::v("v2")),
+    ));
+    assert_eq!(eval_show(&e), "\"Joe\"");
+}
+
+#[test]
+fn fuse_same_raw_yields_singleton_product() {
+    let e = with_joe_view(b::let_(
+        "fused",
+        b::fuse(b::v("joe"), b::v("joe_view")),
+        b::hom(
+            b::v("fused"),
+            b::lam(
+                "o",
+                b::query(
+                    b::lam(
+                        "p",
+                        Expr::tuple([
+                            b::dot(b::proj(b::v("p"), 1), "Salary"),
+                            b::dot(b::proj(b::v("p"), 2), "Income"),
+                        ]),
+                    ),
+                    b::v("o"),
+                ),
+            ),
+            b::lam("a", b::lam("acc", b::v("a"))),
+            Expr::tuple([b::int(-1), b::int(-1)]),
+        ),
+    ));
+    assert_eq!(eval_show(&e), "[1 = 2000, 2 = 2000]");
+}
+
+#[test]
+fn fuse_different_raws_is_empty() {
+    let e = b::let_(
+        "a",
+        b::id_view(b::record([b::imm("x", b::int(1))])),
+        b::let_(
+            "b",
+            b::id_view(b::record([b::imm("x", b::int(1))])),
+            b::eq(b::fuse(b::v("a"), b::v("b")), b::empty()),
+        ),
+    );
+    assert_eq!(eval_show(&e), "true");
+}
+
+#[test]
+fn objeq_of_unrelated_objects_is_false() {
+    let e = b::let_(
+        "a",
+        b::id_view(b::record([b::imm("x", b::int(1))])),
+        b::let_(
+            "b",
+            b::id_view(b::record([b::imm("x", b::int(1))])),
+            sugar::objeq(b::v("a"), b::v("b")),
+        ),
+    );
+    assert_eq!(eval_show(&e), "false");
+}
+
+#[test]
+fn sets_of_objects_collapse_by_objeq() {
+    // {joe, joe_view} has one element (same raw object).
+    let e = with_joe_view(b::set([b::v("joe"), b::v("joe_view")]));
+    let mut m = Machine::new();
+    let v = m.eval(&e).expect("eval");
+    assert_eq!(v.as_set().expect("set").len(), 1);
+}
+
+#[test]
+fn union_of_object_sets_is_left_biased() {
+    // union({joe}, {joe_view}) keeps joe (the identity view): querying Name
+    // through the survivor sees the raw record's fields.
+    let e = with_joe_view(b::hom(
+        b::union(b::set([b::v("joe")]), b::set([b::v("joe_view")])),
+        b::lam(
+            "o",
+            b::query(b::lam("x", b::dot(b::v("x"), "Salary")), b::v("o")),
+        ),
+        b::lam("a", b::lam("acc", b::v("a"))),
+        b::int(-1),
+    ));
+    // joe's identity view exposes Salary; had joe_view won, Salary would be
+    // missing and evaluation would fail.
+    assert_eq!(eval_show(&e), "2000");
+}
+
+#[test]
+fn relobj_creates_new_identity() {
+    // relobj over the same objects twice gives objeq-distinct objects.
+    let e = with_joe_view(sugar::objeq(
+        b::relobj([("a", b::v("joe"))]),
+        b::relobj([("a", b::v("joe"))]),
+    ));
+    assert_eq!(eval_show(&e), "false");
+}
+
+#[test]
+fn relobj_view_projects_componentwise() {
+    let dept = b::id_view(b::record([b::imm("DName", b::str("RIMS"))]));
+    let e = with_joe_view(b::let_(
+        "r",
+        b::relobj([("emp", b::v("joe_view")), ("dept", dept)]),
+        b::query(
+            b::lam(
+                "p",
+                Expr::tuple([
+                    b::dot(b::dot(b::v("p"), "emp"), "Income"),
+                    b::dot(b::dot(b::v("p"), "dept"), "DName"),
+                ]),
+            ),
+            b::v("r"),
+        ),
+    ));
+    assert_eq!(eval_show(&e), "[1 = 2000, 2 = \"RIMS\"]");
+}
+
+#[test]
+fn relobj_sees_updates_lazily() {
+    let e = with_joe_view(b::let_(
+        "r",
+        b::relobj([("emp", b::v("joe_view"))]),
+        b::let_(
+            "_",
+            b::query(
+                b::lam("x", b::update(b::v("x"), "Salary", b::int(8000))),
+                b::v("joe"),
+            ),
+            b::query(
+                b::lam("p", b::dot(b::dot(b::v("p"), "emp"), "Income")),
+                b::v("r"),
+            ),
+        ),
+    ));
+    assert_eq!(eval_show(&e), "8000");
+}
+
+#[test]
+fn select_as_from_where_composes_views() {
+    // The paper's wealthy query over a two-person set.
+    let poor_raw = b::record([
+        b::imm("Name", b::str("Moe")),
+        b::imm("BirthYear", b::int(1970)),
+        b::mt("Salary", b::int(10)),
+        b::mt("Bonus", b::int(0)),
+    ]);
+    let annual = b::lam(
+        "x",
+        b::add(
+            b::mul(b::dot(b::v("x"), "Salary"), b::int(12)),
+            b::dot(b::v("x"), "Bonus"),
+        ),
+    );
+    let e = b::let_(
+        "S",
+        b::set([b::id_view(joe_raw()), b::id_view(poor_raw)]),
+        b::let_(
+            "rich",
+            sugar::select_as_from_where(
+                b::lam("x", b::record([b::imm("Name", b::dot(b::v("x"), "Name"))])),
+                b::v("S"),
+                b::lam("o", b::gt(b::query(annual, b::v("o")), b::int(20000))),
+            ),
+            sugar::map(
+                b::lam(
+                    "o",
+                    b::query(b::lam("x", b::dot(b::v("x"), "Name")), b::v("o")),
+                ),
+                b::v("rich"),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{\"Joe\"}");
+}
+
+#[test]
+fn intersect_of_object_sets() {
+    // joe appears in both sets (as different views) → intersection is a
+    // singleton with the pair view.
+    let e = with_joe_view(b::let_(
+        "i",
+        sugar::intersect2(b::set([b::v("joe")]), b::set([b::v("joe_view")])),
+        b::hom(
+            b::v("i"),
+            b::lam(
+                "o",
+                b::query(b::lam("p", b::dot(b::proj(b::v("p"), 2), "Age")), b::v("o")),
+            ),
+            b::lam("a", b::lam("acc", b::v("a"))),
+            b::int(-1),
+        ),
+    ));
+    assert_eq!(eval_show(&e), "39");
+}
+
+#[test]
+fn intersect_disjoint_is_empty() {
+    let e = b::let_(
+        "a",
+        b::id_view(b::record([b::imm("x", b::int(1))])),
+        b::let_(
+            "b",
+            b::id_view(b::record([b::imm("x", b::int(2))])),
+            b::eq(
+                sugar::intersect2(b::set([b::v("a")]), b::set([b::v("b")])),
+                b::empty(),
+            ),
+        ),
+    );
+    assert_eq!(eval_show(&e), "true");
+}
+
+#[test]
+fn relation_query_builds_relation_objects() {
+    let s1 = b::set([b::id_view(b::record([b::imm("a", b::int(1))]))]);
+    let s2 = b::set([
+        b::id_view(b::record([b::imm("bb", b::int(2))])),
+        b::id_view(b::record([b::imm("bb", b::int(3))])),
+    ]);
+    let e = b::let_(
+        "rel",
+        sugar::relation_from_where(
+            vec![
+                (polyview_syntax::Label::new("l"), b::v("x1")),
+                (polyview_syntax::Label::new("r"), b::v("x2")),
+            ],
+            vec![
+                (polyview_syntax::Label::new("x1"), s1),
+                (polyview_syntax::Label::new("x2"), s2),
+            ],
+            // Keep pairs where the right component's bb is odd.
+            b::eq(
+                b::app2(
+                    b::v("imod"),
+                    b::query(b::lam("y", b::dot(b::v("y"), "bb")), b::v("x2")),
+                    b::int(2),
+                ),
+                b::int(1),
+            ),
+        ),
+        sugar::map(
+            b::lam(
+                "o",
+                b::query(
+                    b::lam("p", b::dot(b::dot(b::v("p"), "r"), "bb")),
+                    b::v("o"),
+                ),
+            ),
+            b::v("rel"),
+        ),
+    );
+    assert_eq!(eval_show(&e), "{3}");
+}
+
+#[test]
+fn query_with_identity_returns_current_value_snapshot() {
+    // Materialization is a snapshot: a record value, not the raw itself,
+    // unless the view is the identity.
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::eq(
+            b::query(b::lam("x", b::v("x")), b::v("joe")),
+            b::query(b::lam("x", b::v("x")), b::v("joe")),
+        ),
+    );
+    // Identity view materializes to the raw record itself — same identity.
+    assert_eq!(eval_show(&e), "true");
+}
+
+#[test]
+fn machine_materialize_helper() {
+    let mut m = Machine::new();
+    let o = m
+        .eval(&b::as_view(
+            b::id_view(b::record([b::imm("x", b::int(5))])),
+            b::lam("r", b::record([b::imm("y", b::dot(b::v("r"), "x"))])),
+        ))
+        .expect("eval");
+    let mat = m.materialize(&o).expect("materialize");
+    assert!(matches!(mat, Value::Record(_)));
+    assert_eq!(m.show(&mat), "[y = 5]");
+}

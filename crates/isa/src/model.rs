@@ -1,0 +1,115 @@
+//! Rows of the baseline model: flat records with object identity.
+
+use std::collections::BTreeMap;
+
+/// Object identity, preserved across the hierarchy (an object inserted into
+/// a subclass is "the same object" in every superclass extent).
+pub type Oid = u64;
+
+/// Field values — the base types of the calculus.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FieldVal {
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+impl FieldVal {
+    pub fn str(s: impl Into<String>) -> Self {
+        FieldVal::Str(s.into())
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            FieldVal::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A row: identity plus fields. Derived classes hold *copies* of rows
+/// (same `oid`, projected fields) — exactly the property that forces
+/// re-materialization on update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjRow {
+    pub oid: Oid,
+    pub fields: BTreeMap<String, FieldVal>,
+}
+
+impl ObjRow {
+    pub fn new(oid: Oid, fields: impl IntoIterator<Item = (String, FieldVal)>) -> Self {
+        ObjRow {
+            oid,
+            fields: fields.into_iter().collect(),
+        }
+    }
+
+    pub fn get(&self, field: &str) -> Option<&FieldVal> {
+        self.fields.get(field)
+    }
+
+    /// A projected copy keeping only the named fields (attribute hiding in
+    /// copy-land).
+    pub fn project(&self, keep: &[&str]) -> ObjRow {
+        ObjRow {
+            oid: self.oid,
+            fields: self
+                .fields
+                .iter()
+                .filter(|(k, _)| keep.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// A copy with an extra (computed or constant) field.
+    pub fn with_field(mut self, name: impl Into<String>, v: FieldVal) -> ObjRow {
+        self.fields.insert(name.into(), v);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> ObjRow {
+        ObjRow::new(
+            7,
+            [
+                ("Name".to_string(), FieldVal::str("Alice")),
+                ("Age".to_string(), FieldVal::Int(40)),
+                ("Sex".to_string(), FieldVal::str("female")),
+            ],
+        )
+    }
+
+    #[test]
+    fn projection_keeps_identity() {
+        let p = row().project(&["Name"]);
+        assert_eq!(p.oid, 7);
+        assert_eq!(p.fields.len(), 1);
+        assert_eq!(p.get("Name").and_then(FieldVal::as_str), Some("Alice"));
+        assert!(p.get("Age").is_none());
+    }
+
+    #[test]
+    fn with_field_adds_category() {
+        let p = row().project(&["Name"]).with_field("Category", FieldVal::str("staff"));
+        assert_eq!(p.get("Category").and_then(FieldVal::as_str), Some("staff"));
+    }
+
+    #[test]
+    fn field_accessors() {
+        assert_eq!(FieldVal::Int(3).as_int(), Some(3));
+        assert_eq!(FieldVal::str("x").as_int(), None);
+        assert_eq!(FieldVal::str("x").as_str(), Some("x"));
+    }
+}

@@ -1,0 +1,443 @@
+//! The IS-A hierarchy store with eager/deferred re-materialization of
+//! generated intermediate classes.
+
+use crate::model::{FieldVal, ObjRow, Oid};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+pub type ClassId = usize;
+
+/// When to rebuild the copies held by derived (generated) classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Refresh {
+    /// Re-materialize every dependent class on each base update — copies
+    /// are always consistent, updates are expensive.
+    Eager,
+    /// Mark dependents dirty on update and rebuild at the next query —
+    /// queries on dirty classes pay the full re-materialization.
+    OnQuery,
+}
+
+/// Predicate and projection of a generated sharing class.
+type Pred = Rc<dyn Fn(&ObjRow) -> bool>;
+type Proj = Rc<dyn Fn(&ObjRow) -> ObjRow>;
+
+struct DerivedSpec {
+    source: ClassId,
+    pred: Pred,
+    proj: Proj,
+}
+
+struct IsaClass {
+    name: String,
+    parents: Vec<ClassId>,
+    own: BTreeMap<Oid, ObjRow>,
+    derived: Option<DerivedSpec>,
+    /// Cached copies for derived classes.
+    materialized: Vec<ObjRow>,
+    dirty: bool,
+}
+
+/// Counters exposing the copying work the baseline performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    pub rows_copied: u64,
+    pub rematerializations: u64,
+}
+
+/// A class hierarchy with extent inclusion along IS-A edges and generated
+/// intermediate classes for non-hierarchical sharing.
+pub struct IsaStore {
+    classes: Vec<IsaClass>,
+    names: HashMap<String, ClassId>,
+    children: Vec<Vec<ClassId>>,
+    /// derived class ids depending (transitively) on each class.
+    dependents: Vec<Vec<ClassId>>,
+    next_oid: Oid,
+    pub refresh: Refresh,
+    stats: Stats,
+}
+
+impl IsaStore {
+    pub fn new(refresh: Refresh) -> Self {
+        IsaStore {
+            classes: Vec::new(),
+            names: HashMap::new(),
+            children: Vec::new(),
+            dependents: Vec::new(),
+            next_oid: 0,
+            refresh,
+            stats: Stats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.names.get(name).copied()
+    }
+
+    pub fn class_name(&self, class: ClassId) -> &str {
+        &self.classes[class].name
+    }
+
+    /// The IS-A parents of a class (superclasses in the partial order).
+    pub fn parents_of(&self, class: ClassId) -> &[ClassId] {
+        &self.classes[class].parents
+    }
+
+    /// Create an ordinary class with the given IS-A parents.
+    pub fn new_class(&mut self, name: &str, parents: &[ClassId]) -> ClassId {
+        let id = self.classes.len();
+        self.classes.push(IsaClass {
+            name: name.to_string(),
+            parents: parents.to_vec(),
+            own: BTreeMap::new(),
+            derived: None,
+            materialized: Vec::new(),
+            dirty: false,
+        });
+        self.children.push(Vec::new());
+        self.dependents.push(Vec::new());
+        for &p in parents {
+            self.children[p].push(id);
+        }
+        self.names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Emulate general object sharing under the partial-order regime:
+    /// generate one intermediate subclass per source holding projected
+    /// copies of the matching rows, and a result class over them.
+    pub fn define_shared_class(
+        &mut self,
+        name: &str,
+        sources: &[ClassId],
+        pred: impl Fn(&ObjRow) -> bool + 'static,
+        proj: impl Fn(&ObjRow) -> ObjRow + 'static,
+    ) -> ClassId {
+        let pred: Pred = Rc::new(pred);
+        let proj: Proj = Rc::new(proj);
+        let result = self.new_class(name, &[]);
+        for &src in sources {
+            let iname = format!("{name}__of__{}", self.classes[src].name);
+            let inter = self.new_class(&iname, &[result]);
+            self.classes[inter].derived = Some(DerivedSpec {
+                source: src,
+                pred: pred.clone(),
+                proj: proj.clone(),
+            });
+            // Every class whose extent feeds `src` must invalidate `inter`.
+            let feeders = self.subtree(src);
+            for f in feeders {
+                self.dependents[f].push(inter);
+            }
+            self.rematerialize(inter);
+        }
+        result
+    }
+
+    /// Insert a fresh object into a class's own extent; returns its oid.
+    pub fn insert(
+        &mut self,
+        class: ClassId,
+        fields: impl IntoIterator<Item = (String, FieldVal)>,
+    ) -> Oid {
+        let oid = self.next_oid;
+        self.next_oid += 1;
+        let row = ObjRow::new(oid, fields);
+        self.classes[class].own.insert(oid, row);
+        self.invalidate(class);
+        oid
+    }
+
+    /// Remove an object from a class's own extent.
+    pub fn delete(&mut self, class: ClassId, oid: Oid) -> bool {
+        let removed = self.classes[class].own.remove(&oid).is_some();
+        if removed {
+            self.invalidate(class);
+        }
+        removed
+    }
+
+    /// Update a field of an object stored in `class`'s own extent.
+    pub fn update(&mut self, class: ClassId, oid: Oid, field: &str, v: FieldVal) -> bool {
+        let updated = match self.classes[class].own.get_mut(&oid) {
+            Some(row) => {
+                row.fields.insert(field.to_string(), v);
+                true
+            }
+            None => false,
+        };
+        if updated {
+            self.invalidate(class);
+        }
+        updated
+    }
+
+    /// The full extent of a class: own rows, subclass extents, and (for
+    /// derived classes) the materialized copies. Deduplicated by oid,
+    /// own-extent-first.
+    pub fn extent(&mut self, class: ClassId) -> Vec<ObjRow> {
+        self.refresh_dirty(class);
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        self.collect_extent(class, &mut seen, &mut out);
+        out
+    }
+
+    pub fn count(&mut self, class: ClassId) -> usize {
+        self.extent(class).len()
+    }
+
+    /// Rows of the extent satisfying a filter (a query).
+    pub fn select(&mut self, class: ClassId, f: impl Fn(&ObjRow) -> bool) -> Vec<ObjRow> {
+        self.extent(class).into_iter().filter(|r| f(r)).collect()
+    }
+
+    fn collect_extent(&self, class: ClassId, seen: &mut HashSet<Oid>, out: &mut Vec<ObjRow>) {
+        let c = &self.classes[class];
+        for row in c.own.values() {
+            if seen.insert(row.oid) {
+                out.push(row.clone());
+            }
+        }
+        for row in &c.materialized {
+            if seen.insert(row.oid) {
+                out.push(row.clone());
+            }
+        }
+        for &ch in &self.children[class] {
+            self.collect_extent(ch, seen, out);
+        }
+    }
+
+    /// All classes contributing to `class`'s extent (itself + subclasses).
+    fn subtree(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = vec![class];
+        let mut i = 0;
+        while i < out.len() {
+            let c = out[i];
+            for &ch in &self.children[c] {
+                if !out.contains(&ch) {
+                    out.push(ch);
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn invalidate(&mut self, class: ClassId) {
+        let deps: Vec<ClassId> = self.dependents[class].clone();
+        match self.refresh {
+            Refresh::Eager => {
+                for d in deps {
+                    self.rematerialize(d);
+                }
+            }
+            Refresh::OnQuery => {
+                for d in deps {
+                    self.classes[d].dirty = true;
+                }
+            }
+        }
+    }
+
+    fn refresh_dirty(&mut self, class: ClassId) {
+        for c in self.subtree(class) {
+            if self.classes[c].dirty {
+                self.rematerialize(c);
+            }
+        }
+    }
+
+    /// Rebuild a derived class's copies from its source extent.
+    fn rematerialize(&mut self, class: ClassId) {
+        let spec_source = match &self.classes[class].derived {
+            Some(s) => s.source,
+            None => return,
+        };
+        // Collect the source extent (source classes are never derived from
+        // this class, so no cycle; the paper's recursive sharing has no
+        // counterpart here — a fundamental expressiveness gap of the
+        // partial-order encoding).
+        let mut seen = HashSet::new();
+        let mut rows = Vec::new();
+        self.collect_extent(spec_source, &mut seen, &mut rows);
+        let spec = self.classes[class].derived.as_ref().expect("checked");
+        let (pred, proj) = (spec.pred.clone(), spec.proj.clone());
+        let copies: Vec<ObjRow> = rows.iter().filter(|r| pred(r)).map(|r| proj(r)).collect();
+        self.stats.rows_copied += copies.len() as u64;
+        self.stats.rematerializations += 1;
+        let c = &mut self.classes[class];
+        c.materialized = copies;
+        c.dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person(name: &str, age: i64, sex: &str) -> Vec<(String, FieldVal)> {
+        vec![
+            ("Name".to_string(), FieldVal::str(name)),
+            ("Age".to_string(), FieldVal::Int(age)),
+            ("Sex".to_string(), FieldVal::str(sex)),
+        ]
+    }
+
+    fn female_member_setup(refresh: Refresh) -> (IsaStore, ClassId, ClassId, ClassId, Oid) {
+        let mut st = IsaStore::new(refresh);
+        let staff = st.new_class("Staff", &[]);
+        let student = st.new_class("Student", &[]);
+        let alice = st.insert(staff, person("Alice", 40, "female"));
+        st.insert(staff, person("Bob", 50, "male"));
+        st.insert(student, person("Carol", 22, "female"));
+        let female = st.define_shared_class(
+            "FemaleMember",
+            &[staff, student],
+            |r| r.get("Sex").and_then(FieldVal::as_str) == Some("female"),
+            |r| r.project(&["Name", "Age"]),
+        );
+        (st, staff, student, female, alice)
+    }
+
+    #[test]
+    fn isa_extent_inclusion_along_hierarchy() {
+        let mut st = IsaStore::new(Refresh::Eager);
+        let person_cls = st.new_class("Person", &[]);
+        let emp = st.new_class("Employee", &[person_cls]);
+        st.insert(person_cls, person("P", 1, "x"));
+        st.insert(emp, person("E", 2, "x"));
+        // Employee ⊆ Person extent.
+        assert_eq!(st.count(person_cls), 2);
+        assert_eq!(st.count(emp), 1);
+    }
+
+    #[test]
+    fn shared_class_collects_from_both_sources() {
+        let (mut st, _, _, female, _) = female_member_setup(Refresh::Eager);
+        let names: Vec<String> = st
+            .extent(female)
+            .iter()
+            .map(|r| r.get("Name").and_then(FieldVal::as_str).expect("name").to_string())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"Alice".to_string()));
+        assert!(names.contains(&"Carol".to_string()));
+    }
+
+    #[test]
+    fn projection_hides_fields_in_copies() {
+        let (mut st, _, _, female, _) = female_member_setup(Refresh::Eager);
+        for row in st.extent(female) {
+            assert!(row.get("Sex").is_none(), "projection must hide Sex");
+        }
+    }
+
+    #[test]
+    fn eager_update_rematerializes_immediately() {
+        let (mut st, staff, _, female, alice) = female_member_setup(Refresh::Eager);
+        let before = st.stats().rematerializations;
+        st.update(staff, alice, "Age", FieldVal::Int(41));
+        assert!(st.stats().rematerializations > before);
+        let ages: Vec<i64> = st
+            .extent(female)
+            .iter()
+            .filter_map(|r| r.get("Age").and_then(FieldVal::as_int))
+            .collect();
+        assert!(ages.contains(&41));
+    }
+
+    #[test]
+    fn deferred_update_rematerializes_on_query() {
+        let (mut st, staff, _, female, alice) = female_member_setup(Refresh::OnQuery);
+        let before = st.stats().rematerializations;
+        st.update(staff, alice, "Age", FieldVal::Int(41));
+        // No work yet…
+        assert_eq!(st.stats().rematerializations, before);
+        // …until the query.
+        let ages: Vec<i64> = st
+            .extent(female)
+            .iter()
+            .filter_map(|r| r.get("Age").and_then(FieldVal::as_int))
+            .collect();
+        assert!(ages.contains(&41));
+        assert!(st.stats().rematerializations > before);
+    }
+
+    #[test]
+    fn inserts_flow_into_shared_class() {
+        let (mut st, staff, _, female, _) = female_member_setup(Refresh::Eager);
+        st.insert(staff, person("Eve", 31, "female"));
+        let names: Vec<&str> = Vec::new();
+        drop(names);
+        assert_eq!(st.count(female), 3);
+    }
+
+    #[test]
+    fn deletes_flow_into_shared_class() {
+        let (mut st, staff, _, female, alice) = female_member_setup(Refresh::Eager);
+        assert!(st.delete(staff, alice));
+        assert_eq!(st.count(female), 1);
+        assert!(!st.delete(staff, alice));
+    }
+
+    #[test]
+    fn identity_preserved_across_copies() {
+        let (mut st, staff, _, female, alice) = female_member_setup(Refresh::Eager);
+        let in_staff = st
+            .extent(staff)
+            .into_iter()
+            .find(|r| r.oid == alice)
+            .expect("alice in staff");
+        let in_female = st
+            .extent(female)
+            .into_iter()
+            .find(|r| r.oid == alice)
+            .expect("alice in female");
+        assert_eq!(in_staff.oid, in_female.oid);
+        // But the rows are copies: Staff's has Sex, FemaleMember's doesn't.
+        assert!(in_staff.get("Sex").is_some());
+        assert!(in_female.get("Sex").is_none());
+    }
+
+    #[test]
+    fn copy_counters_track_work() {
+        let (mut st, staff, _, _, alice) = female_member_setup(Refresh::Eager);
+        let base = st.stats().rows_copied;
+        st.update(staff, alice, "Age", FieldVal::Int(99));
+        // Eager refresh re-copies the matching rows of the staff source.
+        assert!(st.stats().rows_copied > base);
+    }
+
+    #[test]
+    fn select_filters_extent() {
+        let (mut st, _, _, female, _) = female_member_setup(Refresh::Eager);
+        let over30 = st.select(female, |r| {
+            r.get("Age").and_then(FieldVal::as_int).is_some_and(|a| a > 30)
+        });
+        assert_eq!(over30.len(), 1);
+    }
+
+    #[test]
+    fn generated_intermediates_sit_under_result_class() {
+        let (st, _, _, female, _) = female_member_setup(Refresh::Eager);
+        let inter = st.class_id("FemaleMember__of__Staff").expect("generated");
+        assert_eq!(st.parents_of(inter), &[female]);
+        assert_eq!(st.class_name(female), "FemaleMember");
+    }
+
+    #[test]
+    fn class_lookup_by_name() {
+        let (st, staff, _, female, _) = female_member_setup(Refresh::Eager);
+        assert_eq!(st.class_id("Staff"), Some(staff));
+        assert_eq!(st.class_id("FemaleMember"), Some(female));
+        assert!(st.class_id("FemaleMember__of__Staff").is_some());
+        assert_eq!(st.class_id("Nope"), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! Deeper scenarios for the IS-A baseline: multi-level chains, diamond
+//! hierarchies, several shared classes over one source, and the
+//! copy-accounting that the E7 benchmark reports.
+
+use polyview_isa::{FieldVal, IsaStore, Refresh};
+
+fn row(name: &str, kind: &str) -> Vec<(String, FieldVal)> {
+    vec![
+        ("Name".to_string(), FieldVal::str(name)),
+        ("Kind".to_string(), FieldVal::str(kind)),
+    ]
+}
+
+#[test]
+fn three_level_chain_extent_inclusion() {
+    // Person ⊇ Employee ⊇ Manager.
+    let mut st = IsaStore::new(Refresh::Eager);
+    let person = st.new_class("Person", &[]);
+    let employee = st.new_class("Employee", &[person]);
+    let manager = st.new_class("Manager", &[employee]);
+    st.insert(person, row("p", "person"));
+    st.insert(employee, row("e", "employee"));
+    st.insert(manager, row("m", "manager"));
+    assert_eq!(st.count(manager), 1);
+    assert_eq!(st.count(employee), 2);
+    assert_eq!(st.count(person), 3);
+}
+
+#[test]
+fn diamond_hierarchy_counts_once() {
+    //      Top
+    //     /   \
+    //   Left  Right
+    //     \   /
+    //     Bottom      (an object in Bottom reaches Top via both paths)
+    let mut st = IsaStore::new(Refresh::Eager);
+    let top = st.new_class("Top", &[]);
+    let left = st.new_class("Left", &[top]);
+    let right = st.new_class("Right", &[top]);
+    let bottom = st.new_class("Bottom", &[left, right]);
+    st.insert(bottom, row("b", "bottom"));
+    assert_eq!(st.count(top), 1, "diamond must deduplicate by oid");
+    assert_eq!(st.count(left), 1);
+    assert_eq!(st.count(right), 1);
+}
+
+#[test]
+fn several_shared_classes_over_one_source() {
+    let mut st = IsaStore::new(Refresh::Eager);
+    let src = st.new_class("Src", &[]);
+    st.insert(src, row("a", "x"));
+    st.insert(src, row("b", "y"));
+    st.insert(src, row("c", "x"));
+    let xs = st.define_shared_class(
+        "Xs",
+        &[src],
+        |r| r.get("Kind").and_then(FieldVal::as_str) == Some("x"),
+        |r| r.project(&["Name"]),
+    );
+    let ys = st.define_shared_class(
+        "Ys",
+        &[src],
+        |r| r.get("Kind").and_then(FieldVal::as_str) == Some("y"),
+        |r| r.project(&["Name"]),
+    );
+    assert_eq!(st.count(xs), 2);
+    assert_eq!(st.count(ys), 1);
+    // One update invalidates *both* derived classes — the fan-out cost the
+    // E7 bench measures.
+    let before = st.stats().rematerializations;
+    let oid = st.extent(src)[0].oid;
+    st.update(src, oid, "Kind", FieldVal::str("y"));
+    assert!(st.stats().rematerializations >= before + 2);
+    assert_eq!(st.count(xs) + st.count(ys), 3);
+}
+
+#[test]
+fn shared_class_over_hierarchy_sees_subclass_rows() {
+    // Shared class over Person must also see Employees (extent inclusion
+    // feeds the generated intermediate).
+    let mut st = IsaStore::new(Refresh::Eager);
+    let person = st.new_class("Person", &[]);
+    let employee = st.new_class("Employee", &[person]);
+    st.insert(person, row("p", "x"));
+    let shared = st.define_shared_class(
+        "AllX",
+        &[person],
+        |r| r.get("Kind").and_then(FieldVal::as_str) == Some("x"),
+        |r| r.project(&["Name"]),
+    );
+    assert_eq!(st.count(shared), 1);
+    st.insert(employee, row("e", "x"));
+    assert_eq!(st.count(shared), 2, "subclass insert must flow through");
+}
+
+#[test]
+fn onquery_defers_all_work_to_first_query() {
+    let mut st = IsaStore::new(Refresh::OnQuery);
+    let src = st.new_class("Src", &[]);
+    for i in 0..10 {
+        st.insert(src, row(&format!("r{i}"), "x"));
+    }
+    let shared = st.define_shared_class(
+        "S",
+        &[src],
+        |_| true,
+        |r| r.project(&["Name"]),
+    );
+    let base = st.stats().rematerializations;
+    // Ten updates: no re-materialization yet.
+    for i in 0..10 {
+        st.update(src, i, "Kind", FieldVal::str("y"));
+    }
+    assert_eq!(st.stats().rematerializations, base);
+    // One query: exactly one rebuild.
+    st.count(shared);
+    assert_eq!(st.stats().rematerializations, base + 1);
+    // A second query with no updates: still cached.
+    st.count(shared);
+    assert_eq!(st.stats().rematerializations, base + 1);
+}
+
+#[test]
+fn copies_scale_with_matching_rows() {
+    let mut st = IsaStore::new(Refresh::Eager);
+    let src = st.new_class("Src", &[]);
+    for i in 0..20 {
+        st.insert(src, row(&format!("r{i}"), if i < 15 { "x" } else { "y" }));
+    }
+    let before = st.stats().rows_copied;
+    st.define_shared_class(
+        "Xs",
+        &[src],
+        |r| r.get("Kind").and_then(FieldVal::as_str) == Some("x"),
+        |r| r.project(&["Name"]),
+    );
+    assert_eq!(st.stats().rows_copied - before, 15);
+}
+
+#[test]
+fn delete_of_unknown_oid_is_noop() {
+    let mut st = IsaStore::new(Refresh::Eager);
+    let src = st.new_class("Src", &[]);
+    st.insert(src, row("a", "x"));
+    assert!(!st.delete(src, 999));
+    assert_eq!(st.count(src), 1);
+    assert!(!st.update(src, 999, "Kind", FieldVal::str("z")));
+}

@@ -1,0 +1,374 @@
+//! Hand-written lexer. Supports `(* … *)` comments (nesting) and `--`
+//! line comments, string escapes, and negative literals via unary minus in
+//! the parser.
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Tok};
+
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    pub fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            if self.pos >= self.src.len() {
+                out.push(Spanned {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            }
+            let tok = self.next_token()?;
+            out.push(Spanned { tok, line, col });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(c), _) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                (Some(b'-'), Some(b'-')) => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                (Some(b'('), Some(b'*')) => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b')')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(b'('), Some(b'*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(ParseError::new(
+                                    "unterminated comment",
+                                    line,
+                                    col,
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Tok, ParseError> {
+        let c = self.peek().expect("caller checked non-empty");
+        match c {
+            b'0'..=b'9' => self.lex_int(),
+            b'"' => self.lex_string(),
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.lex_ident(),
+            _ => self.lex_operator(),
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<Tok, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9') | Some(b'_')) {
+            self.bump();
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii digits")
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        text.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| self.err(format!("integer literal out of range: {text}")))
+    }
+
+    fn lex_string(&mut self) -> Result<Tok, ParseError> {
+        let (line, col) = (self.line, self.col);
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(Tok::Str(s)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'"') => s.push('"'),
+                    Some(other) => {
+                        return Err(self.err(format!(
+                            "unknown string escape: \\{}",
+                            other as char
+                        )))
+                    }
+                    None => {
+                        return Err(ParseError::new("unterminated string", line, col))
+                    }
+                },
+                Some(other) => {
+                    // Collect raw bytes; the source is UTF-8 so multibyte
+                    // sequences pass through unchanged.
+                    s.push(other as char);
+                    if other >= 0x80 {
+                        // Re-read properly: back up and take the full char.
+                        s.pop();
+                        let rest = std::str::from_utf8(&self.src[self.pos - 1..])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                        let ch = rest.chars().next().expect("non-empty");
+                        s.push(ch);
+                        for _ in 0..ch.len_utf8() - 1 {
+                            self.bump();
+                        }
+                    }
+                }
+                None => return Err(ParseError::new("unterminated string", line, col)),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> Result<Tok, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'A'..=b'Z') | Some(b'a'..=b'z') | Some(b'0'..=b'9') | Some(b'_') | Some(b'\'')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii idents")
+            .to_string();
+        Ok(Tok::keyword(&text).unwrap_or(Tok::Ident(text)))
+    }
+
+    fn lex_operator(&mut self) -> Result<Tok, ParseError> {
+        let c = self.bump().expect("caller checked");
+        let two = |l: &mut Self, second: u8, yes: Tok, no: Tok| {
+            if l.peek() == Some(second) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b',' => Tok::Comma,
+            b';' => Tok::Semi,
+            b'.' => Tok::Dot,
+            b'+' => Tok::Plus,
+            b'-' => Tok::Minus,
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'%' => Tok::Percent,
+            b'^' => Tok::Caret,
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::EqEq
+                } else if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else {
+                    Tok::Eq
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::Neq
+                } else {
+                    two(self, b'=', Tok::Le, Tok::Lt)
+                }
+            }
+            b'>' => two(self, b'=', Tok::Ge, Tok::Gt),
+            b':' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Assign
+                } else {
+                    return Err(self.err("expected `:=`"));
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)))
+            }
+        })
+    }
+}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("val x = 42;"),
+            vec![
+                Tok::Val,
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_disambiguate() {
+        assert_eq!(
+            toks("= == => := < <= <> > >="),
+            vec![
+                Tok::Eq,
+                Tok::EqEq,
+                Tok::Arrow,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Neq,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hi\n\"there\"""#),
+            vec![Tok::Str("hi\n\"there\"".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unicode_strings() {
+        assert_eq!(toks("\"héllo\""), vec![Tok::Str("héllo".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_nest() {
+        assert_eq!(
+            toks("1 (* outer (* inner *) still *) 2 -- line\n3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("class classy IDView idview"),
+            vec![
+                Tok::Class,
+                Tok::Ident("classy".into()),
+                Tok::IdView,
+                Tok::Ident("idview".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = lex("x\n  y").expect("lexes");
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numeric_underscores() {
+        assert_eq!(toks("1_000_000"), vec![Tok::Int(1_000_000), Tok::Eof]);
+    }
+
+    #[test]
+    fn integer_overflow_reported() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

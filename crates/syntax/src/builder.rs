@@ -1,0 +1,228 @@
+//! A small builder DSL for constructing terms programmatically, used by
+//! tests, benchmarks and embedded applications that bypass the parser.
+//!
+//! ```
+//! use polyview_syntax::builder::*;
+//!
+//! // let joe = IDView([Name = "Joe", Salary := 2000]) in joe·… queries
+//! let joe = id_view(record([imm("Name", str("Joe")), mt("Salary", int(2000))]));
+//! let program = let_("joe", joe, query(lam("x", v("x")), v("joe")));
+//! assert!(program.to_string().contains("IDView"));
+//! ```
+
+use crate::label::Label;
+use crate::term::{ClassDef, Expr, Field, IncludeClause};
+
+pub fn v(name: &str) -> Expr {
+    Expr::var(name)
+}
+
+pub fn int(n: i64) -> Expr {
+    Expr::int(n)
+}
+
+pub fn str(s: &str) -> Expr {
+    Expr::str(s)
+}
+
+pub fn boolean(b: bool) -> Expr {
+    Expr::bool(b)
+}
+
+pub fn unit() -> Expr {
+    Expr::unit()
+}
+
+pub fn lam(x: &str, body: Expr) -> Expr {
+    Expr::lam(x, body)
+}
+
+pub fn app(f: Expr, a: Expr) -> Expr {
+    Expr::app(f, a)
+}
+
+pub fn app2(f: Expr, a: Expr, b: Expr) -> Expr {
+    Expr::apps(f, [a, b])
+}
+
+pub fn let_(x: &str, rhs: Expr, body: Expr) -> Expr {
+    Expr::let_(x, rhs, body)
+}
+
+pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::if_(c, t, e)
+}
+
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    Expr::eq(a, b)
+}
+
+/// An immutable record field `l = e`.
+pub fn imm(l: &str, e: Expr) -> Field {
+    Field::immutable(l, e)
+}
+
+/// A mutable record field `l := e`.
+pub fn mt(l: &str, e: Expr) -> Field {
+    Field::mutable(l, e)
+}
+
+pub fn record(fields: impl IntoIterator<Item = Field>) -> Expr {
+    Expr::record(fields)
+}
+
+pub fn dot(e: Expr, l: &str) -> Expr {
+    Expr::dot(e, l)
+}
+
+pub fn extract(e: Expr, l: &str) -> Expr {
+    Expr::extract(e, l)
+}
+
+pub fn update(e: Expr, l: &str, val: Expr) -> Expr {
+    Expr::update(e, l, val)
+}
+
+pub fn set(es: impl IntoIterator<Item = Expr>) -> Expr {
+    Expr::set(es)
+}
+
+pub fn empty() -> Expr {
+    Expr::empty_set()
+}
+
+pub fn union(a: Expr, b: Expr) -> Expr {
+    Expr::union(a, b)
+}
+
+pub fn hom(s: Expr, f: Expr, op: Expr, z: Expr) -> Expr {
+    Expr::hom(s, f, op, z)
+}
+
+pub fn id_view(e: Expr) -> Expr {
+    Expr::id_view(e)
+}
+
+pub fn as_view(e: Expr, f: Expr) -> Expr {
+    Expr::as_view(e, f)
+}
+
+pub fn query(f: Expr, o: Expr) -> Expr {
+    Expr::query(f, o)
+}
+
+pub fn fuse(a: Expr, b: Expr) -> Expr {
+    Expr::fuse(a, b)
+}
+
+pub fn relobj(fields: impl IntoIterator<Item = (&'static str, Expr)>) -> Expr {
+    Expr::relobj(fields.into_iter().map(|(l, e)| (Label::new(l), e)))
+}
+
+pub fn cquery(f: Expr, c: Expr) -> Expr {
+    Expr::cquery(f, c)
+}
+
+pub fn insert(c: Expr, e: Expr) -> Expr {
+    Expr::insert(c, e)
+}
+
+pub fn delete(c: Expr, e: Expr) -> Expr {
+    Expr::delete(c, e)
+}
+
+/// An `include sources as view where pred` clause.
+pub fn include(sources: Vec<Expr>, view: Expr, pred: Expr) -> IncludeClause {
+    IncludeClause {
+        sources,
+        view,
+        pred,
+    }
+}
+
+/// `class own include … end` as an expression.
+pub fn class(own: Expr, includes: Vec<IncludeClause>) -> Expr {
+    Expr::ClassExpr(ClassDef {
+        own: Box::new(own),
+        includes,
+    })
+}
+
+/// `let c1 = class … and … in body end`.
+pub fn let_classes(binds: Vec<(&str, Expr)>, body: Expr) -> Expr {
+    let binds = binds
+        .into_iter()
+        .map(|(n, e)| match e {
+            Expr::ClassExpr(cd) => (Label::new(n), cd),
+            other => panic!("let_classes binding {n} must be a class expression, got {other}"),
+        })
+        .collect();
+    Expr::LetClasses(binds, Box::new(body))
+}
+
+pub fn pair(a: Expr, b: Expr) -> Expr {
+    Expr::pair(a, b)
+}
+
+pub fn proj(e: Expr, i: usize) -> Expr {
+    Expr::proj(e, i)
+}
+
+/// Integer addition via the builtin `add`.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    app2(v("add"), a, b)
+}
+
+/// Integer multiplication via the builtin `mul`.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    app2(v("mul"), a, b)
+}
+
+/// Integer subtraction via the builtin `sub`.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    app2(v("sub"), a, b)
+}
+
+/// Integer comparison via the builtin `gt`.
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    app2(v("gt"), a, b)
+}
+
+/// Integer comparison via the builtin `lt`.
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    app2(v("lt"), a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = let_(
+            "joe",
+            id_view(record([imm("Name", str("Joe")), mt("Salary", int(2000))])),
+            query(lam("x", dot(v("x"), "Salary")), v("joe")),
+        );
+        assert_eq!(e.size(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a class expression")]
+    fn let_classes_rejects_non_class() {
+        let_classes(vec![("C", int(1))], v("C"));
+    }
+
+    #[test]
+    fn class_builder_shape() {
+        let c = class(
+            empty(),
+            vec![include(
+                vec![v("Staff")],
+                lam("s", v("s")),
+                lam("s", boolean(true)),
+            )],
+        );
+        assert!(matches!(c, Expr::ClassExpr(_)));
+    }
+}

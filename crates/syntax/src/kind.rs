@@ -1,0 +1,226 @@
+//! Kinds (paper Section 2):
+//!
+//! ```text
+//! K ::= U | [[F, …, F]]
+//! ```
+//!
+//! `U` denotes arbitrary types. A record kind `[[F1, …, Fn]]` denotes the
+//! record types containing fields `F'1, …, F'n` (and possibly others) such
+//! that each `Fi < F'i`, where the paper's `<` relation is:
+//!
+//! * if `Fi` is `l := τ` (the kind *requires mutability*) then `F'i` must be
+//!   `l := τ`;
+//! * if `Fi` is `l = τ` then `F'i` may be either `l = τ` or `l := τ`.
+//!
+//! We encode the requirement with [`MutReq`]: `Mutable` for `l := τ`, `Any`
+//! for `l = τ`.
+
+use crate::label::Label;
+use crate::types::{FieldTy, Mono, TyVar};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Mutability requirement a record kind places on a field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MutReq {
+    /// `l = τ` in a kind: the field may be mutable or immutable.
+    Any,
+    /// `l := τ` in a kind: the field must be mutable.
+    Mutable,
+}
+
+impl MutReq {
+    /// Join of two requirements (used when two kinded variables are unified):
+    /// `Mutable` absorbs `Any`.
+    pub fn join(self, other: MutReq) -> MutReq {
+        if self == MutReq::Mutable || other == MutReq::Mutable {
+            MutReq::Mutable
+        } else {
+            MutReq::Any
+        }
+    }
+
+    /// Does a concrete field with mutability `actual_mutable` satisfy this
+    /// requirement? This is exactly the paper's `F < F'` check.
+    pub fn admits(self, actual_mutable: bool) -> bool {
+        match self {
+            MutReq::Any => true,
+            MutReq::Mutable => actual_mutable,
+        }
+    }
+}
+
+/// A field constraint in a record kind.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldReq {
+    pub req: MutReq,
+    pub ty: Mono,
+}
+
+impl FieldReq {
+    pub fn any(ty: Mono) -> Self {
+        FieldReq {
+            req: MutReq::Any,
+            ty,
+        }
+    }
+    pub fn mutable(ty: Mono) -> Self {
+        FieldReq {
+            req: MutReq::Mutable,
+            ty,
+        }
+    }
+}
+
+/// Kinds `K`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kind {
+    /// `U` — arbitrary types.
+    Univ,
+    /// `[[l1 @ τ1, …, ln @ τn]]` — record types with at least these fields.
+    Record(BTreeMap<Label, FieldReq>),
+}
+
+impl Kind {
+    /// The kind `[[l = τ]]` (field may be mutable or immutable).
+    pub fn has_field(l: Label, ty: Mono) -> Kind {
+        Kind::Record([(l, FieldReq::any(ty))].into_iter().collect())
+    }
+
+    /// The kind `[[l := τ]]` (field must be mutable).
+    pub fn has_mutable_field(l: Label, ty: Mono) -> Kind {
+        Kind::Record([(l, FieldReq::mutable(ty))].into_iter().collect())
+    }
+
+    /// The trivially satisfied record kind `[[ ]]` — any record type. Used by
+    /// the `(id)` rule of Fig. 2, which requires `IDView`'s argument to be a
+    /// record.
+    pub fn any_record() -> Kind {
+        Kind::Record(BTreeMap::new())
+    }
+
+    pub fn is_univ(&self) -> bool {
+        matches!(self, Kind::Univ)
+    }
+
+    /// Check a fully concrete record type against this kind (the paper's
+    /// third kinding rule). Returns per-field type equations that must hold
+    /// (the caller unifies them); `None` when a field is missing or the
+    /// mutability requirement fails.
+    pub fn check_record(&self, fields: &BTreeMap<Label, FieldTy>) -> Option<Vec<(Mono, Mono)>> {
+        match self {
+            Kind::Univ => Some(Vec::new()),
+            Kind::Record(reqs) => {
+                let mut eqs = Vec::with_capacity(reqs.len());
+                for (l, req) in reqs {
+                    let f = fields.get(l)?;
+                    if !req.req.admits(f.mutable) {
+                        return None;
+                    }
+                    eqs.push((req.ty.clone(), f.ty.clone()));
+                }
+                Some(eqs)
+            }
+        }
+    }
+
+    /// Free type variables occurring in the kind's field types.
+    pub fn free_vars(&self) -> Vec<TyVar> {
+        match self {
+            Kind::Univ => Vec::new(),
+            Kind::Record(reqs) => {
+                let mut seen = BTreeSet::new();
+                let mut out = Vec::new();
+                for r in reqs.values() {
+                    for v in r.ty.free_vars() {
+                        if seen.insert(v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutreq_join_absorbs() {
+        assert_eq!(MutReq::Any.join(MutReq::Any), MutReq::Any);
+        assert_eq!(MutReq::Any.join(MutReq::Mutable), MutReq::Mutable);
+        assert_eq!(MutReq::Mutable.join(MutReq::Any), MutReq::Mutable);
+        assert_eq!(MutReq::Mutable.join(MutReq::Mutable), MutReq::Mutable);
+    }
+
+    #[test]
+    fn mutreq_admits_is_papers_field_order() {
+        // l = τ in a kind admits both l = τ and l := τ in the record.
+        assert!(MutReq::Any.admits(false));
+        assert!(MutReq::Any.admits(true));
+        // l := τ in a kind admits only l := τ.
+        assert!(!MutReq::Mutable.admits(false));
+        assert!(MutReq::Mutable.admits(true));
+    }
+
+    #[test]
+    fn check_record_missing_field() {
+        let k = Kind::has_field(Label::new("x"), Mono::int());
+        let fields: BTreeMap<Label, FieldTy> =
+            [(Label::new("y"), FieldTy::immutable(Mono::int()))]
+                .into_iter()
+                .collect();
+        assert!(k.check_record(&fields).is_none());
+    }
+
+    #[test]
+    fn check_record_mutability_violation() {
+        let k = Kind::has_mutable_field(Label::new("x"), Mono::int());
+        let fields: BTreeMap<Label, FieldTy> =
+            [(Label::new("x"), FieldTy::immutable(Mono::int()))]
+                .into_iter()
+                .collect();
+        assert!(k.check_record(&fields).is_none());
+    }
+
+    #[test]
+    fn check_record_yields_equations() {
+        let k = Kind::has_field(Label::new("x"), Mono::Var(9));
+        let fields: BTreeMap<Label, FieldTy> =
+            [(Label::new("x"), FieldTy::mutable(Mono::int()))]
+                .into_iter()
+                .collect();
+        let eqs = k.check_record(&fields).expect("kind satisfied");
+        assert_eq!(eqs, vec![(Mono::Var(9), Mono::int())]);
+    }
+
+    #[test]
+    fn univ_checks_anything() {
+        assert_eq!(Kind::Univ.check_record(&BTreeMap::new()), Some(vec![]));
+    }
+
+    #[test]
+    fn any_record_checks_all_records() {
+        let fields: BTreeMap<Label, FieldTy> =
+            [(Label::new("z"), FieldTy::immutable(Mono::bool()))]
+                .into_iter()
+                .collect();
+        assert_eq!(Kind::any_record().check_record(&fields), Some(vec![]));
+    }
+
+    #[test]
+    fn kind_free_vars() {
+        let k = Kind::Record(
+            [
+                (Label::new("a"), FieldReq::any(Mono::Var(2))),
+                (Label::new("b"), FieldReq::mutable(Mono::set(Mono::Var(5)))),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        assert_eq!(k.free_vars(), vec![2, 5]);
+        assert!(Kind::Univ.free_vars().is_empty());
+    }
+}

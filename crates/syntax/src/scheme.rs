@@ -1,0 +1,102 @@
+//! Polytypes (paper Section 2):
+//!
+//! ```text
+//! σ ::= τ | ∀t::K.σ
+//! ```
+//!
+//! A [`Scheme`] is the flattened form `∀t1::K1 … ∀tn::Kn. τ`. Binder order
+//! matters: a later binder's kind may mention an earlier binder (kinds
+//! contain types), so instantiation substitutes left to right.
+
+use crate::kind::Kind;
+use crate::types::{Mono, TyVar};
+use std::collections::BTreeSet;
+
+/// A polytype `∀t1::K1 … ∀tn::Kn. τ`. A monotype is a scheme with no
+/// binders.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scheme {
+    pub binders: Vec<(TyVar, Kind)>,
+    pub body: Mono,
+}
+
+impl Scheme {
+    pub fn mono(body: Mono) -> Self {
+        Scheme {
+            binders: Vec::new(),
+            body,
+        }
+    }
+
+    pub fn poly(binders: Vec<(TyVar, Kind)>, body: Mono) -> Self {
+        Scheme { binders, body }
+    }
+
+    pub fn is_mono(&self) -> bool {
+        self.binders.is_empty()
+    }
+
+    /// Free type variables of the scheme: free vars of the body and of the
+    /// binder kinds, minus the bound variables.
+    pub fn free_vars(&self) -> Vec<TyVar> {
+        let bound: BTreeSet<TyVar> = self.binders.iter().map(|(v, _)| *v).collect();
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        let mut push = |v: TyVar| {
+            if !bound.contains(&v) && seen.insert(v) {
+                out.push(v);
+            }
+        };
+        for (_, k) in &self.binders {
+            for v in k.free_vars() {
+                push(v);
+            }
+        }
+        for v in self.body.free_vars() {
+            push(v);
+        }
+        out
+    }
+}
+
+impl From<Mono> for Scheme {
+    fn from(t: Mono) -> Self {
+        Scheme::mono(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    #[test]
+    fn mono_scheme_has_no_binders() {
+        let s = Scheme::mono(Mono::int());
+        assert!(s.is_mono());
+        assert!(s.free_vars().is_empty());
+    }
+
+    #[test]
+    fn free_vars_exclude_bound() {
+        // ∀t1::[[x = t2]]. t1 → t3 : free vars are t2 and t3.
+        let s = Scheme::poly(
+            vec![(1, Kind::has_field(Label::new("x"), Mono::Var(2)))],
+            Mono::arrow(Mono::Var(1), Mono::Var(3)),
+        );
+        assert_eq!(s.free_vars(), vec![2, 3]);
+    }
+
+    #[test]
+    fn bound_var_in_kind_of_later_binder_is_not_free() {
+        // ∀t1::U. ∀t2::[[x = t1]]. t2 : no free vars.
+        let s = Scheme::poly(
+            vec![
+                (1, Kind::Univ),
+                (2, Kind::has_field(Label::new("x"), Mono::Var(1))),
+            ],
+            Mono::Var(2),
+        );
+        assert!(s.free_vars().is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! Derived forms (paper Sections 2 and 3.1).
+//!
+//! The paper defines `member`, `prod`, `map`, `filter` in terms of `union`
+//! and `hom`, and `objeq`, `select … as … from … where …`, `intersect`, and
+//! relation-style queries in terms of the object algebra. Each function here
+//! produces exactly the paper's encoding, so desugared programs remain
+//! well-typed core/object terms.
+//!
+//! Binder names are generated with a `#` prefix, which the parser never
+//! produces, so capture is impossible for parsed programs; programmatically
+//! built terms should avoid `#`-prefixed names.
+
+use crate::label::Label;
+use crate::term::Expr;
+
+fn fresh(base: &str, salt: usize) -> Label {
+    Label::new(format!("#{base}{salt}"))
+}
+
+/// `not(e)` via `if e then false else true` (definable; kept as sugar).
+pub fn not(e: Expr) -> Expr {
+    Expr::if_(e, Expr::bool(false), Expr::bool(true))
+}
+
+/// `e1 andalso e2` — short-circuit conjunction.
+pub fn and(a: Expr, b: Expr) -> Expr {
+    Expr::if_(a, b, Expr::bool(false))
+}
+
+/// `e1 orelse e2` — short-circuit disjunction.
+pub fn or(a: Expr, b: Expr) -> Expr {
+    Expr::if_(a, Expr::bool(true), b)
+}
+
+/// `member(x, S)` — `hom(S, λy.eq(x, y), orelse, false)`.
+///
+/// `x` is evaluated once via a `let` so the encoding does not duplicate
+/// effects.
+pub fn member(x: Expr, s: Expr) -> Expr {
+    let xv = fresh("m_x", 0);
+    let y = fresh("m_y", 0);
+    Expr::let_(
+        xv.clone(),
+        x,
+        Expr::hom(
+            s,
+            Expr::lam(y.clone(), Expr::eq(Expr::Var(xv), Expr::Var(y))),
+            or2(),
+            Expr::bool(false),
+        ),
+    )
+}
+
+/// The curried boolean-or operator `λa.λb. a orelse b`.
+fn or2() -> Expr {
+    let a = fresh("or_a", 0);
+    let b = fresh("or_b", 0);
+    Expr::lam(
+        a.clone(),
+        Expr::lam(b.clone(), or(Expr::Var(a), Expr::Var(b))),
+    )
+}
+
+/// The curried set-union operator `λa.λb. union(a, b)`.
+pub fn union2() -> Expr {
+    let a = fresh("u_a", 0);
+    let b = fresh("u_b", 0);
+    Expr::lam(
+        a.clone(),
+        Expr::lam(b.clone(), Expr::union(Expr::Var(a), Expr::Var(b))),
+    )
+}
+
+/// `map(f, S)` — `hom(S, λx.{f x}, union, {})`.
+pub fn map(f: Expr, s: Expr) -> Expr {
+    let x = fresh("map_x", 0);
+    let fv = fresh("map_f", 0);
+    Expr::let_(
+        fv.clone(),
+        f,
+        Expr::hom(
+            s,
+            Expr::lam(
+                x.clone(),
+                Expr::set([Expr::app(Expr::Var(fv), Expr::Var(x))]),
+            ),
+            union2(),
+            Expr::empty_set(),
+        ),
+    )
+}
+
+/// `filter(p, S)` — `hom(S, λx. if p x then {x} else {}, union, {})`.
+pub fn filter(p: Expr, s: Expr) -> Expr {
+    let x = fresh("flt_x", 0);
+    let pv = fresh("flt_p", 0);
+    Expr::let_(
+        pv.clone(),
+        p,
+        Expr::hom(
+            s,
+            Expr::lam(
+                x.clone(),
+                Expr::if_(
+                    Expr::app(Expr::Var(pv), Expr::Var(x.clone())),
+                    Expr::set([Expr::Var(x)]),
+                    Expr::empty_set(),
+                ),
+            ),
+            union2(),
+            Expr::empty_set(),
+        ),
+    )
+}
+
+/// Binary `prod(S1, S2)` — the set of pairs, via nested `hom`s.
+pub fn prod2(s1: Expr, s2: Expr) -> Expr {
+    let x = fresh("pr_x", 0);
+    let y = fresh("pr_y", 0);
+    let s2v = fresh("pr_s", 0);
+    Expr::let_(
+        s2v.clone(),
+        s2,
+        Expr::hom(
+            s1,
+            Expr::lam(
+                x.clone(),
+                map(
+                    Expr::lam(y.clone(), Expr::pair(Expr::Var(x), Expr::Var(y))),
+                    Expr::Var(s2v),
+                ),
+            ),
+            union2(),
+            Expr::empty_set(),
+        ),
+    )
+}
+
+/// n-ary `prod(S1, …, Sn)` — the set of flat n-tuples
+/// `[1 = x1, …, n = xn]`. Defined by nesting `hom`s; `n = 1` maps elements
+/// into 1-tuples so projections stay uniform.
+pub fn prod(sets: Vec<Expr>) -> Expr {
+    assert!(!sets.is_empty(), "prod of zero sets");
+    let n = sets.len();
+    // Bind each set once, then build nested homs collecting xs.
+    let set_vars: Vec<Label> = (0..n).map(|i| fresh("prn_s", i)).collect();
+    let elem_vars: Vec<Label> = (0..n).map(|i| fresh("prn_x", i)).collect();
+    let tuple = Expr::Record(
+        elem_vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| crate::term::Field::immutable(Label::tuple(i + 1), Expr::Var(v.clone())))
+            .collect(),
+    );
+    let mut body = Expr::set([tuple]);
+    for i in (0..n).rev() {
+        body = Expr::hom(
+            Expr::Var(set_vars[i].clone()),
+            Expr::lam(elem_vars[i].clone(), body),
+            union2(),
+            Expr::empty_set(),
+        );
+    }
+    for (i, s) in sets.into_iter().enumerate().rev() {
+        body = Expr::let_(set_vars[i].clone(), s, body);
+    }
+    body
+}
+
+/// `objeq(e1, e2)` — `not(eq(fuse(e1, e2), {}))` (paper Section 3.1).
+pub fn objeq(a: Expr, b: Expr) -> Expr {
+    not(Expr::eq(Expr::fuse(a, b), Expr::empty_set()))
+}
+
+/// `select as e from S where p` — `map(λx.(x as e), filter(p, S))`.
+pub fn select_as_from_where(view: Expr, s: Expr, pred: Expr) -> Expr {
+    let x = fresh("sel_x", 0);
+    let v = fresh("sel_v", 0);
+    Expr::let_(
+        v.clone(),
+        view,
+        map(
+            Expr::lam(x.clone(), Expr::as_view(Expr::Var(x), Expr::Var(v))),
+            filter(pred, s),
+        ),
+    )
+}
+
+/// Binary `intersect(e1, e2)` —
+/// `hom(prod(e1, e2), λx.fuse(x·1, x·2), union, {})`.
+pub fn intersect2(s1: Expr, s2: Expr) -> Expr {
+    let x = fresh("int_x", 0);
+    Expr::hom(
+        prod2(s1, s2),
+        Expr::lam(
+            x.clone(),
+            Expr::fuse(Expr::proj(Expr::Var(x.clone()), 1), Expr::proj(Expr::Var(x), 2)),
+        ),
+        union2(),
+        Expr::empty_set(),
+    )
+}
+
+/// Relation-style query (paper Section 3.1):
+///
+/// ```text
+/// relation [l1 = e1, …, ln = en] from x1 ∈ S1, …, xm ∈ Sm where P
+/// ```
+///
+/// implemented as the paper's
+/// `map(λx.x·1, filter(λy.y·2, map(λX.(relobj(…), P), prod(S1, …, Sm))))`,
+/// where each `ei` and `P` may mention the bound names `x1 … xm`.
+pub fn relation_from_where(
+    rel_fields: Vec<(Label, Expr)>,
+    binders: Vec<(Label, Expr)>,
+    pred: Expr,
+) -> Expr {
+    assert!(!binders.is_empty(), "relation query needs at least one binder");
+    let (names, sets): (Vec<Label>, Vec<Expr>) = binders.into_iter().unzip();
+    let xx = fresh("rel_X", 0);
+    // λX. let x1 = X·1 in … (relobj(l1=e1,…), P) … end
+    let mut inner = Expr::pair(Expr::relobj(rel_fields), pred);
+    for (i, nm) in names.iter().enumerate().rev() {
+        inner = Expr::let_(nm.clone(), Expr::proj(Expr::Var(xx.clone()), i + 1), inner);
+    }
+    let pairs = map(Expr::lam(xx, inner), prod(sets));
+    let y = fresh("rel_y", 0);
+    let filtered = filter(Expr::lam(y.clone(), Expr::proj(Expr::Var(y), 2)), pairs);
+    let z = fresh("rel_z", 0);
+    map(Expr::lam(z.clone(), Expr::proj(Expr::Var(z), 1)), filtered)
+}
+
+/// `fun f1 x1 = e1 and … and fn xn = en in body` — the paper's mutually
+/// recursive function definition, encoded with `fix`, `let`, lambda and a
+/// record (paper Section 2): we take the fixpoint of a record of the
+/// functions and project each component.
+pub fn fun_and(defs: Vec<(Label, Label, Expr)>, body: Expr) -> Expr {
+    assert!(!defs.is_empty());
+    if defs.len() == 1 {
+        let (f, x, e) = defs.into_iter().next().expect("len checked");
+        return Expr::let_(f.clone(), Expr::fix(f, Expr::lam(x, e)), body);
+    }
+    let bundle = fresh("fun_rec", 0);
+    // fix B. λ(). [f1 = λx1. e1', …] — `fix` ranges over lambdas only, so
+    // the record of functions is rebuilt on demand behind a unit thunk.
+    // Each ei' brings the siblings into scope by forcing (B ()) and
+    // projecting.
+    let mk_scoped = |e: Expr, defs: &[(Label, Label, Expr)], bundle: &Label| {
+        let forced = fresh("fun_forced", 0);
+        let mut scoped = e;
+        for (f, _, _) in defs.iter().rev() {
+            scoped = Expr::let_(
+                f.clone(),
+                Expr::dot(Expr::Var(forced.clone()), f.clone()),
+                scoped,
+            );
+        }
+        Expr::let_(
+            forced,
+            Expr::app(Expr::Var(bundle.clone()), Expr::unit()),
+            scoped,
+        )
+    };
+    let rec = Expr::fix(
+        bundle.clone(),
+        Expr::thunk(Expr::Record(
+            defs.iter()
+                .map(|(f, x, e)| {
+                    crate::term::Field::immutable(
+                        f.clone(),
+                        Expr::lam(x.clone(), mk_scoped(e.clone(), &defs, &bundle)),
+                    )
+                })
+                .collect(),
+        )),
+    );
+    let bundle_out = fresh("fun_out", 0);
+    let mut out = body;
+    for (f, _, _) in defs.iter().rev() {
+        out = Expr::let_(
+            f.clone(),
+            Expr::dot(Expr::Var(bundle_out.clone()), f.clone()),
+            out,
+        );
+    }
+    Expr::let_(bundle_out, Expr::app(rec, Expr::unit()), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_is_if() {
+        assert_eq!(
+            not(Expr::bool(true)),
+            Expr::if_(Expr::bool(true), Expr::bool(false), Expr::bool(true))
+        );
+    }
+
+    #[test]
+    fn member_uses_hom_with_or() {
+        let e = member(Expr::int(1), Expr::var("S"));
+        match e {
+            Expr::Let(_, _, body) => assert!(matches!(*body, Expr::Hom(..))),
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prod_unary_produces_one_tuples() {
+        let e = prod(vec![Expr::var("S")]);
+        // Outermost: let s0 = S in hom(s0, λx.{[1=x]}, ∪, {})
+        match e {
+            Expr::Let(_, s, body) => {
+                assert_eq!(*s, Expr::var("S"));
+                assert!(matches!(*body, Expr::Hom(..)));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prod of zero sets")]
+    fn prod_of_zero_sets_panics() {
+        prod(vec![]);
+    }
+
+    #[test]
+    fn objeq_matches_paper_encoding() {
+        let e = objeq(Expr::var("a"), Expr::var("b"));
+        // not(eq(fuse(a,b), {}))
+        match e {
+            Expr::If(cond, _, _) => match *cond {
+                Expr::Eq(l, r) => {
+                    assert!(matches!(*l, Expr::Fuse(..)));
+                    assert_eq!(*r, Expr::empty_set());
+                }
+                other => panic!("expected eq, got {other:?}"),
+            },
+            other => panic!("expected if (not), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_builds_map_over_filter() {
+        let e = select_as_from_where(
+            Expr::lam("x", Expr::var("x")),
+            Expr::var("S"),
+            Expr::lam("x", Expr::bool(true)),
+        );
+        // let v = view in map(λx. x as v, filter(p, S))
+        assert!(matches!(e, Expr::Let(..)));
+    }
+
+    #[test]
+    fn fun_and_single_is_fix() {
+        let e = fun_and(
+            vec![(Label::new("f"), Label::new("x"), Expr::var("x"))],
+            Expr::app(Expr::var("f"), Expr::int(1)),
+        );
+        match e {
+            Expr::Let(f, rhs, _) => {
+                assert_eq!(f, Label::new("f"));
+                assert!(matches!(*rhs, Expr::Fix(..)));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fun_and_mutual_builds_record_fixpoint() {
+        let defs = vec![
+            (
+                Label::new("even"),
+                Label::new("n"),
+                Expr::if_(
+                    Expr::eq(Expr::var("n"), Expr::int(0)),
+                    Expr::bool(true),
+                    Expr::app(Expr::var("odd"), Expr::var("n")),
+                ),
+            ),
+            (
+                Label::new("odd"),
+                Label::new("n"),
+                Expr::if_(
+                    Expr::eq(Expr::var("n"), Expr::int(0)),
+                    Expr::bool(false),
+                    Expr::app(Expr::var("even"), Expr::var("n")),
+                ),
+            ),
+        ];
+        let e = fun_and(defs, Expr::app(Expr::var("even"), Expr::int(2)));
+        // Shape: let out = fix bundle. [ … ] in let even = out·even in …
+        assert!(matches!(e, Expr::Let(..)));
+        // Every reference is closed.
+        assert!(crate::visit::free_vars(&e).is_empty());
+    }
+
+    #[test]
+    fn sugar_terms_are_closed_when_inputs_are() {
+        for e in [
+            member(Expr::int(1), Expr::empty_set()),
+            map(Expr::lam("x", Expr::var("x")), Expr::empty_set()),
+            filter(Expr::lam("x", Expr::bool(true)), Expr::empty_set()),
+            prod2(Expr::empty_set(), Expr::empty_set()),
+            prod(vec![Expr::empty_set(), Expr::empty_set(), Expr::empty_set()]),
+            intersect2(Expr::empty_set(), Expr::empty_set()),
+            objeq(
+                Expr::id_view(Expr::record([])),
+                Expr::id_view(Expr::record([])),
+            ),
+        ] {
+            assert!(
+                crate::visit::free_vars(&e).is_empty(),
+                "unexpected free vars in {e:?}"
+            );
+        }
+    }
+}

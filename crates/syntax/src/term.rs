@@ -1,0 +1,327 @@
+//! Terms of the calculus. The grammar is the union of the paper's three
+//! layers (Sections 2, 3.1, 4.1):
+//!
+//! ```text
+//! e ::= c | () | x | eq(e, e) | λx.e | (e e) | [f,…,f] | e·l
+//!     | extract(e, l) | update(e, l, e) | {e,…,e} | union(e, e)
+//!     | hom(e, e, e, e) | fix x.e | let x = e in e end
+//!     | if e then e else e
+//!     | IDView(e) | (e as e) | query(e, e) | fuse(e, e) | relobj(l=e,…)
+//!     | class S include … as e where p … end
+//!     | c-query(e, e) | insert(e, e) | delete(e, e)
+//!     | let c1 = class … and … and cn = class … in e end
+//! ```
+//!
+//! `if` is primitive here (the paper uses it freely in its translation
+//! rules, e.g. Fig. 3's `fuse`). All other derived forms live in
+//! [`crate::sugar`].
+
+use crate::label::{Label, Name};
+
+/// Constants `cτ` plus the unit value `()` and booleans.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lit {
+    Unit,
+    Int(i64),
+    Bool(bool),
+    Str(String),
+}
+
+/// A field in a record expression: `l = e` (immutable) or `l := e`
+/// (mutable).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    pub label: Label,
+    pub mutable: bool,
+    pub expr: Expr,
+}
+
+impl Field {
+    pub fn immutable(label: impl Into<Label>, expr: Expr) -> Self {
+        Field {
+            label: label.into(),
+            mutable: false,
+            expr,
+        }
+    }
+    pub fn mutable(label: impl Into<Label>, expr: Expr) -> Self {
+        Field {
+            label: label.into(),
+            mutable: true,
+            expr,
+        }
+    }
+}
+
+/// One `include C1, …, Cm as e where p` clause of a class definition.
+///
+/// The class being defined includes every object satisfying `pred` from the
+/// intersection (in the sense of `intersect`, i.e. n-ary `fuse`) of the
+/// `sources`, manipulated under the viewing function `view`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncludeClause {
+    pub sources: Vec<Expr>,
+    pub view: Expr,
+    pub pred: Expr,
+}
+
+/// A class definition `class S include … end`: an own extent expression
+/// plus zero or more include clauses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDef {
+    pub own: Box<Expr>,
+    pub includes: Vec<IncludeClause>,
+}
+
+/// Terms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    // ----- core language (Section 2) -----
+    Lit(Lit),
+    Var(Name),
+    /// `eq(e1, e2)` — L-value equality on records and functions, value
+    /// equality otherwise.
+    Eq(Box<Expr>, Box<Expr>),
+    Lam(Name, Box<Expr>),
+    App(Box<Expr>, Box<Expr>),
+    /// `[l1 @ e1, …, ln @ en]` — evaluation creates a new identity.
+    Record(Vec<Field>),
+    /// `e·l` — R-value field extraction.
+    Dot(Box<Expr>, Label),
+    /// `extract(e, l)` — L-value extraction from a mutable field.
+    Extract(Box<Expr>, Label),
+    /// `update(e, l, e')` — assign to a mutable field; returns `()`.
+    Update(Box<Expr>, Label, Box<Expr>),
+    /// `{e1, …, en}`.
+    SetLit(Vec<Expr>),
+    Union(Box<Expr>, Box<Expr>),
+    /// `hom(S, f, op, z) = op(f(e1), op(f(e2), … op(f(en), z)…))`.
+    Hom(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
+    Fix(Name, Box<Expr>),
+    Let(Name, Box<Expr>, Box<Expr>),
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+
+    // ----- view extension (Section 3.1) -----
+    /// `IDView(e)` — turn a raw object into an object with the identity
+    /// view.
+    IdView(Box<Expr>),
+    /// `(e1 as e2)` — view composition.
+    AsView(Box<Expr>, Box<Expr>),
+    /// `query(e1, e2)` — materialize `e2`'s view, apply `e1`.
+    Query(Box<Expr>, Box<Expr>),
+    /// `fuse(e1, e2)` — generalized equality: singleton of the product-view
+    /// object when the raw objects coincide, `{}` otherwise.
+    Fuse(Box<Expr>, Box<Expr>),
+    /// `relobj(l1 = e1, …, ln = en)` — create a relation object (a *new*
+    /// identity) over the given objects.
+    RelObj(Vec<(Label, Expr)>),
+
+    // ----- class extension (Section 4.1) -----
+    ClassExpr(ClassDef),
+    /// `c-query(e, C)` — evaluate a set-level query against a class's full
+    /// extent.
+    CQuery(Box<Expr>, Box<Expr>),
+    /// `insert(C, e)` — add `e` to `C`'s own extent.
+    Insert(Box<Expr>, Box<Expr>),
+    /// `delete(C, e)` — remove `e` from `C`'s own extent.
+    Delete(Box<Expr>, Box<Expr>),
+    /// `let c1 = class … and … and cn = class … in e end` (Section 4.4).
+    /// The bound class identifiers may appear in include *source* positions
+    /// of the bodies (cyclically), but not inside `as`/`where` functions or
+    /// own-extent expressions.
+    LetClasses(Vec<(Name, ClassDef)>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn unit() -> Expr {
+        Expr::Lit(Lit::Unit)
+    }
+    pub fn int(n: i64) -> Expr {
+        Expr::Lit(Lit::Int(n))
+    }
+    pub fn bool(b: bool) -> Expr {
+        Expr::Lit(Lit::Bool(b))
+    }
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Lit(Lit::Str(s.into()))
+    }
+    pub fn var(x: impl Into<Name>) -> Expr {
+        Expr::Var(x.into())
+    }
+
+    pub fn lam(x: impl Into<Name>, body: Expr) -> Expr {
+        Expr::Lam(x.into(), Box::new(body))
+    }
+
+    /// `λ().e` — a function whose domain is `unit` (the paper's notation for
+    /// delayed computations). We bind a wildcard-ish name.
+    pub fn thunk(body: Expr) -> Expr {
+        Expr::lam("_unit", body)
+    }
+
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(Box::new(f), Box::new(a))
+    }
+
+    /// Curried application `f a1 … an`.
+    pub fn apps(f: Expr, args: impl IntoIterator<Item = Expr>) -> Expr {
+        args.into_iter().fold(f, Expr::app)
+    }
+
+    pub fn dot(e: Expr, l: impl Into<Label>) -> Expr {
+        Expr::Dot(Box::new(e), l.into())
+    }
+
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    pub fn let_(x: impl Into<Name>, rhs: Expr, body: Expr) -> Expr {
+        Expr::Let(x.into(), Box::new(rhs), Box::new(body))
+    }
+
+    pub fn fix(x: impl Into<Name>, body: Expr) -> Expr {
+        Expr::Fix(x.into(), Box::new(body))
+    }
+
+    pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    pub fn record(fields: impl IntoIterator<Item = Field>) -> Expr {
+        Expr::Record(fields.into_iter().collect())
+    }
+
+    pub fn set(elems: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::SetLit(elems.into_iter().collect())
+    }
+
+    pub fn empty_set() -> Expr {
+        Expr::SetLit(Vec::new())
+    }
+
+    pub fn union(a: Expr, b: Expr) -> Expr {
+        Expr::Union(Box::new(a), Box::new(b))
+    }
+
+    pub fn hom(s: Expr, f: Expr, op: Expr, z: Expr) -> Expr {
+        Expr::Hom(Box::new(s), Box::new(f), Box::new(op), Box::new(z))
+    }
+
+    pub fn extract(e: Expr, l: impl Into<Label>) -> Expr {
+        Expr::Extract(Box::new(e), l.into())
+    }
+
+    pub fn update(e: Expr, l: impl Into<Label>, v: Expr) -> Expr {
+        Expr::Update(Box::new(e), l.into(), Box::new(v))
+    }
+
+    pub fn id_view(e: Expr) -> Expr {
+        Expr::IdView(Box::new(e))
+    }
+
+    pub fn as_view(e: Expr, f: Expr) -> Expr {
+        Expr::AsView(Box::new(e), Box::new(f))
+    }
+
+    pub fn query(f: Expr, o: Expr) -> Expr {
+        Expr::Query(Box::new(f), Box::new(o))
+    }
+
+    pub fn fuse(a: Expr, b: Expr) -> Expr {
+        Expr::Fuse(Box::new(a), Box::new(b))
+    }
+
+    pub fn relobj(fields: impl IntoIterator<Item = (Label, Expr)>) -> Expr {
+        Expr::RelObj(fields.into_iter().collect())
+    }
+
+    pub fn cquery(f: Expr, c: Expr) -> Expr {
+        Expr::CQuery(Box::new(f), Box::new(c))
+    }
+
+    pub fn insert(c: Expr, e: Expr) -> Expr {
+        Expr::Insert(Box::new(c), Box::new(e))
+    }
+
+    pub fn delete(c: Expr, e: Expr) -> Expr {
+        Expr::Delete(Box::new(c), Box::new(e))
+    }
+
+    /// `(e1, e2)` — pairs abbreviate two-element records with numeric labels
+    /// (paper Section 2).
+    pub fn pair(a: Expr, b: Expr) -> Expr {
+        Expr::tuple([a, b])
+    }
+
+    /// `(e1, …, en)` as `[1 = e1, …, n = en]`.
+    pub fn tuple(es: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Record(
+            es.into_iter()
+                .enumerate()
+                .map(|(i, e)| Field::immutable(Label::tuple(i + 1), e))
+                .collect(),
+        )
+    }
+
+    /// `e·1` / `e·2` projections.
+    pub fn proj(e: Expr, i: usize) -> Expr {
+        Expr::dot(e, Label::tuple(i))
+    }
+
+    /// Structural size (number of AST nodes). Used by benches and property
+    /// test bounds.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        crate::visit::walk(self, &mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_desugars_to_numeric_record() {
+        let p = Expr::pair(Expr::int(1), Expr::int(2));
+        match &p {
+            Expr::Record(fs) => {
+                assert_eq!(fs.len(), 2);
+                assert_eq!(fs[0].label, Label::tuple(1));
+                assert!(!fs[0].mutable);
+                assert_eq!(fs[1].label, Label::tuple(2));
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apps_folds_left() {
+        let e = Expr::apps(Expr::var("f"), [Expr::int(1), Expr::int(2)]);
+        assert_eq!(
+            e,
+            Expr::app(Expr::app(Expr::var("f"), Expr::int(1)), Expr::int(2))
+        );
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Expr::int(1).size(), 1);
+        assert_eq!(Expr::app(Expr::var("f"), Expr::int(1)).size(), 3);
+        let joe = Expr::id_view(Expr::record([
+            Field::immutable("Name", Expr::str("Joe")),
+            Field::mutable("Salary", Expr::int(2000)),
+        ]));
+        // IdView + Record + 2 field exprs
+        assert_eq!(joe.size(), 4);
+    }
+
+    #[test]
+    fn proj_uses_numeric_labels() {
+        assert_eq!(
+            Expr::proj(Expr::var("x"), 1),
+            Expr::dot(Expr::var("x"), Label::new("1"))
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Monotypes of the calculus (paper Section 2, extended in Sections 3–4):
+//!
+//! ```text
+//! τ ::= b | unit | t | τ→τ | {τ} | L(τ) | [F, …, F] | obj(τ) | class(τ)
+//! ```
+//!
+//! where `F` is `l = τ` for immutable fields or `l := τ` for mutable fields.
+
+use crate::label::Label;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A type variable, `t` in the paper. Fresh variables are minted by the
+/// inference engine; the syntax crate only carries the identifier.
+pub type TyVar = u32;
+
+/// Base types `b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BaseTy {
+    Int,
+    Bool,
+    Str,
+}
+
+/// A record field type: mutability flag plus the field's type.
+///
+/// `[Name = string, Salary := int]` has an immutable `Name` and a mutable
+/// `Salary`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldTy {
+    pub mutable: bool,
+    pub ty: Mono,
+}
+
+impl FieldTy {
+    pub fn immutable(ty: Mono) -> Self {
+        FieldTy { mutable: false, ty }
+    }
+    pub fn mutable(ty: Mono) -> Self {
+        FieldTy { mutable: true, ty }
+    }
+}
+
+/// A record type: a canonical (label-ordered) map from labels to field types.
+pub type RecordTy = BTreeMap<Label, FieldTy>;
+
+/// Monotypes `τ`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mono {
+    Base(BaseTy),
+    Unit,
+    Var(TyVar),
+    /// `τ1 → τ2`.
+    Arrow(Box<Mono>, Box<Mono>),
+    /// `{τ}` — the set type with element type `τ`.
+    Set(Box<Mono>),
+    /// `L(τ)` — the type of L-values of a mutable field of type `τ`
+    /// (produced by `extract`, consumable only as a record field value).
+    LVal(Box<Mono>),
+    /// `[l1 @ τ1, …, ln @ τn]` where each `@` is `=` or `:=`.
+    Record(RecordTy),
+    /// `obj(τ)` — objects whose view presents type `τ` (Section 3.2).
+    Obj(Box<Mono>),
+    /// `class(τ)` — classes of objects of type `obj(τ)` (Section 4.1).
+    Class(Box<Mono>),
+}
+
+impl Mono {
+    pub fn int() -> Mono {
+        Mono::Base(BaseTy::Int)
+    }
+    pub fn bool() -> Mono {
+        Mono::Base(BaseTy::Bool)
+    }
+    pub fn str() -> Mono {
+        Mono::Base(BaseTy::Str)
+    }
+
+    pub fn arrow(a: Mono, b: Mono) -> Mono {
+        Mono::Arrow(Box::new(a), Box::new(b))
+    }
+
+    /// Curried n-ary arrow `a1 → … → an → r`.
+    pub fn arrows(args: impl IntoIterator<Item = Mono>, r: Mono) -> Mono {
+        let args: Vec<_> = args.into_iter().collect();
+        args.into_iter()
+            .rev()
+            .fold(r, |acc, a| Mono::arrow(a, acc))
+    }
+
+    pub fn set(t: Mono) -> Mono {
+        Mono::Set(Box::new(t))
+    }
+
+    pub fn lval(t: Mono) -> Mono {
+        Mono::LVal(Box::new(t))
+    }
+
+    pub fn obj(t: Mono) -> Mono {
+        Mono::Obj(Box::new(t))
+    }
+
+    pub fn class(t: Mono) -> Mono {
+        Mono::Class(Box::new(t))
+    }
+
+    pub fn record(fields: impl IntoIterator<Item = (Label, FieldTy)>) -> Mono {
+        Mono::Record(fields.into_iter().collect())
+    }
+
+    /// Record type with all fields immutable.
+    pub fn record_imm(fields: impl IntoIterator<Item = (Label, Mono)>) -> Mono {
+        Mono::Record(
+            fields
+                .into_iter()
+                .map(|(l, t)| (l, FieldTy::immutable(t)))
+                .collect(),
+        )
+    }
+
+    /// The pair type `τ1 × τ2`, i.e. `[1 = τ1, 2 = τ2]`.
+    pub fn pair(a: Mono, b: Mono) -> Mono {
+        Mono::tuple([a, b])
+    }
+
+    /// The n-tuple type `[1 = τ1, …, n = τn]`.
+    pub fn tuple(ts: impl IntoIterator<Item = Mono>) -> Mono {
+        Mono::Record(
+            ts.into_iter()
+                .enumerate()
+                .map(|(i, t)| (Label::tuple(i + 1), FieldTy::immutable(t)))
+                .collect(),
+        )
+    }
+
+    /// The product type used by the `(class)` typing rule for an `include`
+    /// clause with `m` sources: the type itself for `m = 1`, the flat
+    /// `m`-tuple for `m ≥ 2`.
+    pub fn include_product(ts: Vec<Mono>) -> Mono {
+        if ts.len() == 1 {
+            ts.into_iter().next().expect("len checked")
+        } else {
+            Mono::tuple(ts)
+        }
+    }
+
+    /// Free type variables, in depth-first order of first occurrence.
+    pub fn free_vars(&self) -> Vec<TyVar> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        self.collect_free_vars(&mut seen, &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, seen: &mut BTreeSet<TyVar>, out: &mut Vec<TyVar>) {
+        match self {
+            Mono::Base(_) | Mono::Unit => {}
+            Mono::Var(v) => {
+                if seen.insert(*v) {
+                    out.push(*v);
+                }
+            }
+            Mono::Arrow(a, b) => {
+                a.collect_free_vars(seen, out);
+                b.collect_free_vars(seen, out);
+            }
+            Mono::Set(t) | Mono::LVal(t) | Mono::Obj(t) | Mono::Class(t) => {
+                t.collect_free_vars(seen, out)
+            }
+            Mono::Record(fs) => {
+                for f in fs.values() {
+                    f.ty.collect_free_vars(seen, out);
+                }
+            }
+        }
+    }
+
+    /// True when the type contains no type variables — "ground". The paper
+    /// requires mutable field types to be ground monotypes for soundness.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Mono::Base(_) | Mono::Unit => true,
+            Mono::Var(_) => false,
+            Mono::Arrow(a, b) => a.is_ground() && b.is_ground(),
+            Mono::Set(t) | Mono::LVal(t) | Mono::Obj(t) | Mono::Class(t) => t.is_ground(),
+            Mono::Record(fs) => fs.values().all(|f| f.ty.is_ground()),
+        }
+    }
+
+    /// Structural size (number of constructors); used by benches and by
+    /// generators to bound growth.
+    pub fn size(&self) -> usize {
+        match self {
+            Mono::Base(_) | Mono::Unit | Mono::Var(_) => 1,
+            Mono::Arrow(a, b) => 1 + a.size() + b.size(),
+            Mono::Set(t) | Mono::LVal(t) | Mono::Obj(t) | Mono::Class(t) => 1 + t.size(),
+            Mono::Record(fs) => 1 + fs.values().map(|f| f.ty.size()).sum::<usize>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_types_are_canonical_in_field_order() {
+        let a = Mono::record_imm([
+            (Label::new("x"), Mono::int()),
+            (Label::new("y"), Mono::bool()),
+        ]);
+        let b = Mono::record_imm([
+            (Label::new("y"), Mono::bool()),
+            (Label::new("x"), Mono::int()),
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutability_distinguishes_record_types() {
+        let imm = Mono::record([(Label::new("x"), FieldTy::immutable(Mono::int()))]);
+        let mt = Mono::record([(Label::new("x"), FieldTy::mutable(Mono::int()))]);
+        assert_ne!(imm, mt);
+    }
+
+    #[test]
+    fn pair_is_numeric_record() {
+        let p = Mono::pair(Mono::int(), Mono::bool());
+        match &p {
+            Mono::Record(fs) => {
+                assert_eq!(fs.len(), 2);
+                assert!(fs.contains_key(&Label::tuple(1)));
+                assert!(fs.contains_key(&Label::tuple(2)));
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn include_product_unary_passthrough() {
+        assert_eq!(Mono::include_product(vec![Mono::int()]), Mono::int());
+        assert_eq!(
+            Mono::include_product(vec![Mono::int(), Mono::bool()]),
+            Mono::tuple([Mono::int(), Mono::bool()])
+        );
+    }
+
+    #[test]
+    fn free_vars_in_first_occurrence_order() {
+        let t = Mono::arrow(
+            Mono::Var(3),
+            Mono::pair(Mono::Var(1), Mono::set(Mono::Var(3))),
+        );
+        assert_eq!(t.free_vars(), vec![3, 1]);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Mono::arrow(Mono::int(), Mono::set(Mono::str())).is_ground());
+        assert!(!Mono::set(Mono::Var(0)).is_ground());
+        assert!(!Mono::record([(Label::new("a"), FieldTy::mutable(Mono::Var(7)))]).is_ground());
+    }
+
+    #[test]
+    fn arrows_currying() {
+        let t = Mono::arrows([Mono::int(), Mono::bool()], Mono::str());
+        assert_eq!(
+            t,
+            Mono::arrow(Mono::int(), Mono::arrow(Mono::bool(), Mono::str()))
+        );
+    }
+
+    #[test]
+    fn size_counts_constructors() {
+        assert_eq!(Mono::int().size(), 1);
+        assert_eq!(Mono::arrow(Mono::int(), Mono::bool()).size(), 3);
+        assert_eq!(Mono::obj(Mono::Unit).size(), 2);
+    }
+}

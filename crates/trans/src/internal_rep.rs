@@ -1,0 +1,177 @@
+//! The internal-representation relation of Props. 3 and 4.
+//!
+//! A core-language type `τ'` is an *internal representation* of an extended
+//! type `τ` when `τ'` is obtained by repeatedly replacing components
+//! `obj(τ₀)` by `τ₁ × (τ₁ → τ₀')` for some raw type `τ₁` (Prop. 3), and —
+//! for the class layer — `class(τ₀)` by
+//! `[OwnExt := {o}, Ext = unit → {o}]` where `o` internally represents
+//! `obj(τ₀)` (Section 4.3's `[[class(τ)]]`).
+//!
+//! The raw type `τ₁` is determined by the *derivation*, not by the type, so
+//! this module provides the checking relation rather than a function.
+
+use polyview_syntax::{FieldTy, Label, Mono};
+
+/// Does `internal` internally represent `source`?
+pub fn is_internal_rep(internal: &Mono, source: &Mono) -> bool {
+    match source {
+        Mono::Obj(t) => is_obj_rep(internal, t),
+        Mono::Class(t) => is_class_rep(internal, t),
+        Mono::Base(b) => matches!(internal, Mono::Base(b2) if b2 == b),
+        Mono::Unit => matches!(internal, Mono::Unit),
+        Mono::Var(v) => matches!(internal, Mono::Var(u) if u == v),
+        Mono::Arrow(a, r) => match internal {
+            Mono::Arrow(a2, r2) => is_internal_rep(a2, a) && is_internal_rep(r2, r),
+            _ => false,
+        },
+        Mono::Set(t) => match internal {
+            Mono::Set(t2) => is_internal_rep(t2, t),
+            _ => false,
+        },
+        Mono::LVal(t) => match internal {
+            Mono::LVal(t2) => is_internal_rep(t2, t),
+            _ => false,
+        },
+        Mono::Record(fs) => match internal {
+            Mono::Record(fs2) => {
+                fs.len() == fs2.len()
+                    && fs.iter().all(|(l, f)| match fs2.get(l) {
+                        Some(f2) => f.mutable == f2.mutable && is_internal_rep(&f2.ty, &f.ty),
+                        None => false,
+                    })
+            }
+            _ => false,
+        },
+    }
+}
+
+/// `obj(t)` is represented by `[1 = τ₁, 2 = τ₁ → t']` with `t'` an internal
+/// representation of `t` and the two `τ₁` occurrences identical.
+fn is_obj_rep(internal: &Mono, t: &Mono) -> bool {
+    let fs = match internal {
+        Mono::Record(fs) => fs,
+        _ => return false,
+    };
+    if fs.len() != 2 {
+        return false;
+    }
+    let (raw, viewfn) = match (fs.get(&Label::tuple(1)), fs.get(&Label::tuple(2))) {
+        (Some(FieldTy { mutable: false, ty: raw }), Some(FieldTy { mutable: false, ty: vf })) => {
+            (raw, vf)
+        }
+        _ => return false,
+    };
+    match viewfn {
+        Mono::Arrow(dom, cod) => **dom == *raw && is_internal_rep(cod, t),
+        _ => false,
+    }
+}
+
+/// `class(t)` is represented by
+/// `[OwnExt := {o}, Ext = unit → {o}]` with `o` representing `obj(t)`.
+fn is_class_rep(internal: &Mono, t: &Mono) -> bool {
+    let fs = match internal {
+        Mono::Record(fs) => fs,
+        _ => return false,
+    };
+    if fs.len() != 2 {
+        return false;
+    }
+    let own = match fs.get(&Label::new("OwnExt")) {
+        Some(FieldTy { mutable: true, ty }) => ty,
+        _ => return false,
+    };
+    let ext = match fs.get(&Label::new("Ext")) {
+        Some(FieldTy { mutable: false, ty }) => ty,
+        _ => return false,
+    };
+    let own_elem = match own {
+        Mono::Set(e) => e,
+        _ => return false,
+    };
+    let ext_elem = match ext {
+        Mono::Arrow(dom, cod) => match (&**dom, &**cod) {
+            (Mono::Unit, Mono::Set(e)) => e,
+            _ => return false,
+        },
+        _ => return false,
+    };
+    let obj_ty = Mono::obj(t.clone());
+    is_internal_rep(own_elem, &obj_ty) && is_internal_rep(ext_elem, &obj_ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj_rep_of(raw: Mono, view: Mono) -> Mono {
+        Mono::pair(raw.clone(), Mono::arrow(raw, view))
+    }
+
+    #[test]
+    fn base_types_represent_themselves() {
+        assert!(is_internal_rep(&Mono::int(), &Mono::int()));
+        assert!(!is_internal_rep(&Mono::int(), &Mono::bool()));
+        assert!(is_internal_rep(&Mono::Unit, &Mono::Unit));
+    }
+
+    #[test]
+    fn obj_rep_shape() {
+        let raw = Mono::record_imm([(Label::new("a"), Mono::int())]);
+        let src = Mono::obj(Mono::record_imm([(Label::new("b"), Mono::int())]));
+        let good = obj_rep_of(raw.clone(), Mono::record_imm([(Label::new("b"), Mono::int())]));
+        assert!(is_internal_rep(&good, &src));
+        // Mismatched raw domains fail.
+        let bad = Mono::pair(
+            raw,
+            Mono::arrow(Mono::int(), Mono::record_imm([(Label::new("b"), Mono::int())])),
+        );
+        assert!(!is_internal_rep(&bad, &src));
+    }
+
+    #[test]
+    fn nested_obj_reps() {
+        // {obj(int-record)} → {pair-rep}.
+        let raw = Mono::record_imm([(Label::new("x"), Mono::int())]);
+        let src = Mono::set(Mono::obj(raw.clone()));
+        let rep = Mono::set(obj_rep_of(raw.clone(), raw));
+        assert!(is_internal_rep(&rep, &src));
+    }
+
+    #[test]
+    fn class_rep_shape() {
+        let view = Mono::record_imm([(Label::new("n"), Mono::str())]);
+        let raw = Mono::record_imm([(Label::new("n"), Mono::str())]);
+        let obj_rep = obj_rep_of(raw, view.clone());
+        let class_rep = Mono::Record(
+            [
+                (
+                    Label::new("OwnExt"),
+                    FieldTy::mutable(Mono::set(obj_rep.clone())),
+                ),
+                (
+                    Label::new("Ext"),
+                    FieldTy::immutable(Mono::arrow(Mono::Unit, Mono::set(obj_rep))),
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        assert!(is_internal_rep(&class_rep, &Mono::class(view.clone())));
+        assert!(!is_internal_rep(&Mono::int(), &Mono::class(view)));
+    }
+
+    #[test]
+    fn vars_match_by_identity() {
+        assert!(is_internal_rep(&Mono::Var(3), &Mono::Var(3)));
+        assert!(!is_internal_rep(&Mono::Var(3), &Mono::Var(4)));
+    }
+
+    #[test]
+    fn records_match_fieldwise_with_mutability() {
+        let a = Mono::record([(Label::new("x"), FieldTy::mutable(Mono::int()))]);
+        let b = Mono::record([(Label::new("x"), FieldTy::immutable(Mono::int()))]);
+        assert!(is_internal_rep(&a, &a));
+        assert!(!is_internal_rep(&a, &b));
+    }
+}

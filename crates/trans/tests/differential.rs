@@ -1,0 +1,544 @@
+//! Differential semantics: programs with base-type observable results must
+//! evaluate to the same value natively (objects/classes interpreted
+//! directly) and through the paper's translation (Figs. 3 and 5 into pure
+//! core). This is the executable form of "the translation is an effective
+//! implementation algorithm".
+
+use polyview_eval::Machine;
+use polyview_syntax::builder as b;
+use polyview_syntax::{sugar, Expr};
+use polyview_trans::translate;
+
+/// Evaluate `e` both ways and compare the printed (observable) results.
+fn check_agreement(e: &Expr) {
+    let native = {
+        let mut m = Machine::new();
+        let v = m
+            .eval(e)
+            .unwrap_or_else(|err| panic!("native eval failed ({err}): {e}"));
+        m.show(&v)
+    };
+    let tr = translate(e);
+    let translated = {
+        let mut m = Machine::new();
+        let v = m
+            .eval(&tr)
+            .unwrap_or_else(|err| panic!("translated eval failed ({err}): {e}"));
+        m.show(&v)
+    };
+    assert_eq!(
+        native, translated,
+        "native and translated results differ\nsource: {e}"
+    );
+}
+
+fn joe_raw() -> Expr {
+    b::record([
+        b::imm("Name", b::str("Joe")),
+        b::imm("BirthYear", b::int(1955)),
+        b::mt("Salary", b::int(2000)),
+        b::mt("Bonus", b::int(5000)),
+    ])
+}
+
+fn joe_view_fn() -> Expr {
+    b::lam(
+        "x",
+        b::record([
+            b::imm("Name", b::dot(b::v("x"), "Name")),
+            b::imm("Income", b::dot(b::v("x"), "Salary")),
+            b::mt("Bonus", b::extract(b::v("x"), "Bonus")),
+        ]),
+    )
+}
+
+#[test]
+fn query_through_view() {
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::let_(
+            "jv",
+            b::as_view(b::v("joe"), joe_view_fn()),
+            b::query(
+                b::lam(
+                    "p",
+                    b::add(
+                        b::mul(b::dot(b::v("p"), "Income"), b::int(12)),
+                        b::dot(b::v("p"), "Bonus"),
+                    ),
+                ),
+                b::v("jv"),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn view_update_propagates_both_ways() {
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::let_(
+            "jv",
+            b::as_view(b::v("joe"), joe_view_fn()),
+            b::let_(
+                "_",
+                b::query(
+                    b::lam(
+                        "x",
+                        b::update(
+                            b::v("x"),
+                            "Bonus",
+                            b::mul(b::dot(b::v("x"), "Income"), b::int(3)),
+                        ),
+                    ),
+                    b::v("jv"),
+                ),
+                Expr::tuple([
+                    b::query(b::lam("x", b::dot(b::v("x"), "Bonus")), b::v("jv")),
+                    b::query(b::lam("x", b::dot(b::v("x"), "Bonus")), b::v("joe")),
+                ]),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn objeq_same_and_different() {
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::let_(
+            "other",
+            b::id_view(joe_raw()),
+            Expr::tuple([
+                sugar::objeq(b::v("joe"), b::as_view(b::v("joe"), joe_view_fn())),
+                sugar::objeq(b::v("joe"), b::v("other")),
+            ]),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn fuse_product_query() {
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::hom(
+            b::fuse(b::v("joe"), b::as_view(b::v("joe"), joe_view_fn())),
+            b::lam(
+                "o",
+                b::query(
+                    b::lam(
+                        "p",
+                        b::add(
+                            b::dot(b::proj(b::v("p"), 1), "Salary"),
+                            b::dot(b::proj(b::v("p"), 2), "Income"),
+                        ),
+                    ),
+                    b::v("o"),
+                ),
+            ),
+            b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+            b::int(0),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn relobj_query() {
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::let_(
+            "dept",
+            b::id_view(b::record([b::imm("DName", b::str("RIMS"))])),
+            b::query(
+                b::lam(
+                    "p",
+                    b::dot(b::dot(b::v("p"), "d"), "DName"),
+                ),
+                b::relobj([("e", b::v("joe")), ("d", b::v("dept"))]),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+fn person(name: &str, age: i64, sex: &str) -> Expr {
+    b::id_view(b::record([
+        b::imm("Name", b::str(name)),
+        b::imm("Age", b::int(age)),
+        b::imm("Sex", b::str(sex)),
+    ]))
+}
+
+fn names_query(class: Expr) -> Expr {
+    b::cquery(
+        b::lam(
+            "s",
+            sugar::map(
+                b::lam(
+                    "o",
+                    b::query(b::lam("y", b::dot(b::v("y"), "Name")), b::v("o")),
+                ),
+                b::v("s"),
+            ),
+        ),
+        class,
+    )
+}
+
+#[test]
+fn class_with_include_and_pred() {
+    let e = b::let_(
+        "Staff",
+        b::class(
+            b::set([person("Alice", 40, "female"), person("Bob", 50, "male")]),
+            vec![],
+        ),
+        b::let_(
+            "Female",
+            b::class(
+                b::empty(),
+                vec![b::include(
+                    vec![b::v("Staff")],
+                    b::lam(
+                        "s",
+                        b::record([b::imm("Name", b::dot(b::v("s"), "Name"))]),
+                    ),
+                    b::lam(
+                        "s",
+                        b::query(
+                            b::lam("x", b::eq(b::dot(b::v("x"), "Sex"), b::str("female"))),
+                            b::v("s"),
+                        ),
+                    ),
+                )],
+            ),
+            names_query(b::v("Female")),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn insert_then_query_is_lazy_in_both() {
+    let e = b::let_(
+        "Staff",
+        b::class(b::set([person("Alice", 40, "female")]), vec![]),
+        b::let_(
+            "All",
+            b::class(
+                b::empty(),
+                vec![b::include(
+                    vec![b::v("Staff")],
+                    b::lam("s", b::v("s")),
+                    b::lam("s", b::boolean(true)),
+                )],
+            ),
+            b::let_(
+                "_",
+                b::insert(b::v("Staff"), person("Eve", 30, "female")),
+                names_query(b::v("All")),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn delete_then_query() {
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice"), person("Bob", 50, "male")]), vec![]),
+            b::let_(
+                "_",
+                b::delete(b::v("Staff"), b::v("alice")),
+                names_query(b::v("Staff")),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn insert_existing_is_noop_in_both() {
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice")]), vec![]),
+            b::let_(
+                "_",
+                b::insert(
+                    b::v("Staff"),
+                    b::as_view(
+                        b::v("alice"),
+                        b::lam("x", b::record([b::imm("Name", b::str("shadow"))])),
+                    ),
+                ),
+                names_query(b::v("Staff")),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn own_extent_beats_included_on_collision() {
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "Staff",
+            b::class(b::set([b::v("alice")]), vec![]),
+            b::let_(
+                "Other",
+                b::class(
+                    b::set([b::v("alice")]),
+                    vec![b::include(
+                        vec![b::v("Staff")],
+                        b::lam("s", b::record([b::imm("Name", b::str("viewed"))])),
+                        b::lam("s", b::boolean(true)),
+                    )],
+                ),
+                names_query(b::v("Other")),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn two_source_intersection_class() {
+    let e = b::let_(
+        "alice",
+        person("Alice", 40, "female"),
+        b::let_(
+            "A",
+            b::class(b::set([b::v("alice"), person("Bob", 50, "male")]), vec![]),
+            b::let_(
+                "B",
+                b::class(b::set([b::v("alice"), person("Carol", 22, "female")]), vec![]),
+                b::let_(
+                    "Both",
+                    b::class(
+                        b::empty(),
+                        vec![b::include(
+                            vec![b::v("A"), b::v("B")],
+                            b::lam(
+                                "p",
+                                b::record([
+                                    b::imm("Name", b::dot(b::proj(b::v("p"), 1), "Name")),
+                                ]),
+                            ),
+                            b::lam("p", b::boolean(true)),
+                        )],
+                    ),
+                    names_query(b::v("Both")),
+                ),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn recursive_two_class_cycle() {
+    let idv = || b::lam("x", b::v("x"));
+    let tp = || b::lam("x", b::boolean(true));
+    let e = b::let_(
+        "a",
+        person("Anna", 1, "f"),
+        b::let_(
+            "bp",
+            person("Ben", 2, "m"),
+            b::let_classes(
+                vec![
+                    (
+                        "A",
+                        b::class(
+                            b::set([b::v("a")]),
+                            vec![b::include(vec![b::v("B")], idv(), tp())],
+                        ),
+                    ),
+                    (
+                        "B",
+                        b::class(
+                            b::set([b::v("bp")]),
+                            vec![b::include(vec![b::v("A")], idv(), tp())],
+                        ),
+                    ),
+                ],
+                Expr::tuple([names_query(b::v("A")), names_query(b::v("B"))]),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn fig7_style_mutual_sharing() {
+    let to_member = |cat: &str| {
+        b::lam(
+            "s",
+            b::record([
+                b::imm("Name", b::dot(b::v("s"), "Name")),
+                b::imm("Category", b::str(cat)),
+            ]),
+        )
+    };
+    let sex_pred = || {
+        b::lam(
+            "s",
+            b::query(
+                b::lam("x", b::eq(b::dot(b::v("x"), "Sex"), b::str("female"))),
+                b::v("s"),
+            ),
+        )
+    };
+    let to_person = b::lam(
+        "f",
+        b::record([
+            b::imm("Name", b::dot(b::v("f"), "Name")),
+            b::imm("Sex", b::str("female")),
+        ]),
+    );
+    let cat_pred = |cat: &str| {
+        b::lam(
+            "f",
+            b::query(
+                b::lam("x", b::eq(b::dot(b::v("x"), "Category"), b::str(cat))),
+                b::v("f"),
+            ),
+        )
+    };
+    let fran = b::id_view(b::record([
+        b::imm("Name", b::str("Fran")),
+        b::imm("Category", b::str("staff")),
+    ]));
+    let e = b::let_classes(
+        vec![
+            (
+                "Staff",
+                b::class(
+                    b::set([person("Alice", 40, "female"), person("Bob", 50, "male")]),
+                    vec![b::include(
+                        vec![b::v("FemaleMember")],
+                        to_person.clone(),
+                        cat_pred("staff"),
+                    )],
+                ),
+            ),
+            (
+                "FemaleMember",
+                b::class(
+                    b::set([fran]),
+                    vec![b::include(vec![b::v("Staff")], to_member("staff"), sex_pred())],
+                ),
+            ),
+        ],
+        Expr::tuple([
+            names_query(b::v("Staff")),
+            names_query(b::v("FemaleMember")),
+        ]),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn self_including_class() {
+    let e = b::let_(
+        "p",
+        person("Solo", 9, "x"),
+        b::let_classes(
+            vec![(
+                "C",
+                b::class(
+                    b::set([b::v("p")]),
+                    vec![b::include(
+                        vec![b::v("C")],
+                        b::lam("x", b::v("x")),
+                        b::lam("x", b::boolean(true)),
+                    )],
+                ),
+            )],
+            names_query(b::v("C")),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn class_creating_function() {
+    let e = b::let_(
+        "mk",
+        b::lam("s", b::class(b::v("s"), vec![])),
+        b::let_(
+            "C",
+            b::app(b::v("mk"), b::set([person("Alice", 40, "f")])),
+            names_query(b::v("C")),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn select_and_wealthy_pipeline() {
+    let annual = b::lam(
+        "x",
+        b::add(
+            b::mul(b::dot(b::v("x"), "Salary"), b::int(12)),
+            b::dot(b::v("x"), "Bonus"),
+        ),
+    );
+    let rich_raw = joe_raw();
+    let poor_raw = b::record([
+        b::imm("Name", b::str("Moe")),
+        b::imm("BirthYear", b::int(1970)),
+        b::mt("Salary", b::int(10)),
+        b::mt("Bonus", b::int(0)),
+    ]);
+    let e = b::let_(
+        "S",
+        b::set([b::id_view(rich_raw), b::id_view(poor_raw)]),
+        sugar::map(
+            b::lam(
+                "o",
+                b::query(b::lam("x", b::dot(b::v("x"), "Name")), b::v("o")),
+            ),
+            sugar::select_as_from_where(
+                b::lam("x", b::record([b::imm("Name", b::dot(b::v("x"), "Name"))])),
+                b::v("S"),
+                b::lam("o", b::gt(b::query(annual, b::v("o")), b::int(20000))),
+            ),
+        ),
+    );
+    check_agreement(&e);
+}
+
+#[test]
+fn core_programs_translate_to_themselves_and_agree() {
+    let e = b::let_(
+        "xs",
+        b::set([b::int(3), b::int(1), b::int(2)]),
+        b::hom(
+            b::v("xs"),
+            b::lam("x", b::mul(b::v("x"), b::v("x"))),
+            b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+            b::int(0),
+        ),
+    );
+    assert_eq!(translate(&e), e);
+    check_agreement(&e);
+}

@@ -1,0 +1,101 @@
+//! A formal subtlety of Prop. 3 discovered by property testing, pinned as
+//! a documented behaviour.
+//!
+//! Fig. 3 translates `fuse(e1, e2)` to code that (a) compares the two raw
+//! objects with `eq` and (b) builds the product view `λx.((v1 x), (v2 x))`,
+//! applying the *same* `x` to both viewing functions. Both constructions
+//! type-check only when the two objects' **raw types coincide**. The native
+//! object semantics has no such restriction — when the raws differ, `fuse`
+//! simply evaluates to `{}` (and the product view is never applied).
+//!
+//! So the executable form of Prop. 3 holds on derivations where fused
+//! objects share a raw type (the fragment our generators target), while a
+//! `fuse` across *different* raw types is a well-typed source program whose
+//! Fig. 3 image is not typeable in the core — the translation would need a
+//! heterogeneous identity test and a sum-typed view domain to cover it.
+
+use polyview_eval::Machine;
+use polyview_syntax::builder as b;
+use polyview_syntax::sugar;
+use polyview_trans::translate;
+use polyview_types::{builtins_sig, infer, Infer};
+
+/// objeq between an identity-view object and a renamed-view object over a
+/// *different* raw record shape (same view type `[a = int]`).
+fn cross_raw_fuse_program() -> polyview_syntax::Expr {
+    let plain = b::id_view(b::record([b::imm("a", b::int(1))]));
+    let widened = b::as_view(
+        b::id_view(b::record([
+            b::imm("src_a", b::int(1)),
+            b::imm("extra", b::str("x")),
+        ])),
+        b::lam("x", b::record([b::imm("a", b::dot(b::v("x"), "src_a"))])),
+    );
+    sugar::objeq(plain, widened)
+}
+
+#[test]
+fn source_program_is_well_typed() {
+    let e = cross_raw_fuse_program();
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    let t = infer::infer_resolved(&mut cx, &mut env, &e).expect("well-typed source");
+    assert_eq!(t.to_string(), "bool");
+}
+
+#[test]
+fn native_semantics_evaluates_fine() {
+    let mut m = Machine::new();
+    let v = m.eval(&cross_raw_fuse_program()).expect("native eval");
+    // Different raw objects: not objeq.
+    assert_eq!(m.show(&v), "false");
+}
+
+#[test]
+fn fig3_image_is_not_core_typeable_across_raw_types() {
+    // The documented limit: the translation of this program does not
+    // typecheck (eq over two different record types / one λx into two view
+    // domains).
+    let tr = translate(&cross_raw_fuse_program());
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    let result = infer::infer_resolved(&mut cx, &mut env, &tr);
+    assert!(
+        result.is_err(),
+        "expected the Fig. 3 image to be untypeable across raw types; \
+         if this now typechecks, the translation gained heterogeneous \
+         identity comparison — update the docs!"
+    );
+}
+
+#[test]
+fn same_raw_type_fuse_translates_and_agrees() {
+    // The covered fragment: raw types coincide (even with different
+    // views), and everything works end to end.
+    let mk = || {
+        b::as_view(
+            b::id_view(b::record([
+                b::imm("src_a", b::int(1)),
+                b::imm("extra", b::str("x")),
+            ])),
+            b::lam("x", b::record([b::imm("a", b::dot(b::v("x"), "src_a"))])),
+        )
+    };
+    let e = sugar::objeq(mk(), mk());
+    let tr = translate(&e);
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    infer::infer_resolved(&mut cx, &mut env, &tr).expect("typeable in the fragment");
+    let native = {
+        let mut m = Machine::new();
+        let v = m.eval(&e).expect("eval");
+        m.show(&v)
+    };
+    let translated = {
+        let mut m = Machine::new();
+        let v = m.eval(&tr).expect("eval");
+        m.show(&v)
+    };
+    assert_eq!(native, translated);
+    assert_eq!(native, "false");
+}

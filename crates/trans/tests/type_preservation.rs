@@ -1,0 +1,328 @@
+//! Props. 3 and 4 executably: for well-typed programs `e` of the extended
+//! language, `tr(e)` re-typechecks in the smaller language, at a type that
+//! is an internal representation of `e`'s type.
+
+use polyview_syntax::builder as b;
+use polyview_syntax::{Expr, FieldTy, Label, Mono};
+use polyview_trans::{classes, translate, views};
+use polyview_types::{builtins_sig, infer, Infer};
+
+/// Infer the resolved (monomorphic) type of a closed expression.
+fn type_of(e: &Expr) -> Mono {
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    infer::infer_resolved(&mut cx, &mut env, e)
+        .unwrap_or_else(|err| panic!("expected well-typed, got {err}: {e}"))
+}
+
+/// Build an internal-representation *skeleton* of a source type, with a
+/// fresh variable for each `obj` occurrence's raw type ("for some τ1" in
+/// Prop. 3):
+///
+/// * `obj(τ)`    ⇒ `[1 = α, 2 = α → skel(τ)]`
+/// * `class(τ)`  ⇒ `[OwnExt := {skel(obj(τ))}, Ext = unit → {skel(obj(τ))}]`
+fn skeleton(cx: &mut Infer, source: &Mono) -> Mono {
+    match source {
+        Mono::Obj(t) => {
+            let raw = cx.fresh();
+            let view = skeleton(cx, t);
+            Mono::pair(raw.clone(), Mono::arrow(raw, view))
+        }
+        Mono::Class(t) => {
+            let obj_rep = skeleton(cx, &Mono::obj((**t).clone()));
+            Mono::Record(
+                [
+                    (
+                        Label::new("OwnExt"),
+                        FieldTy::mutable(Mono::set(obj_rep.clone())),
+                    ),
+                    (
+                        Label::new("Ext"),
+                        FieldTy::immutable(Mono::arrow(Mono::Unit, Mono::set(obj_rep))),
+                    ),
+                ]
+                .into_iter()
+                .collect(),
+            )
+        }
+        Mono::Base(bt) => Mono::Base(*bt),
+        Mono::Unit => Mono::Unit,
+        Mono::Var(v) => Mono::Var(*v),
+        Mono::Arrow(a, r) => Mono::arrow(skeleton(cx, a), skeleton(cx, r)),
+        Mono::Set(t) => Mono::set(skeleton(cx, t)),
+        Mono::LVal(t) => Mono::lval(skeleton(cx, t)),
+        Mono::Record(fs) => Mono::Record(
+            fs.iter()
+                .map(|(l, f)| {
+                    (
+                        l.clone(),
+                        FieldTy {
+                            mutable: f.mutable,
+                            ty: skeleton(cx, &f.ty),
+                        },
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Check Prop. 3/4 for one program: the source typechecks, the translation
+/// typechecks, and the translated type unifies with an internal
+/// representation of the source type (i.e. `tr(e)` *is typeable at* an
+/// internal representation — exactly the proposition's statement).
+fn check_preservation(e: &Expr) {
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    let src_ty = infer::infer_resolved(&mut cx, &mut env, e)
+        .unwrap_or_else(|err| panic!("source ill-typed ({err}): {e}"));
+    let tr = translate(e);
+    assert!(
+        !classes::has_class_constructs(&tr) && !views::has_view_constructs(&tr),
+        "translation incomplete for {e}"
+    );
+    let tr_ty = infer::infer(&mut cx, &mut env, &tr)
+        .unwrap_or_else(|err| panic!("translation ill-typed ({err}): {e}"));
+    let skel = skeleton(&mut cx, &src_ty);
+    if let Err(err) = cx.unify(&tr_ty, &skel) {
+        panic!(
+            "translated type {} does not match internal representation {} of {src_ty} ({err})\nsource: {e}",
+            cx.resolve(&tr_ty),
+            cx.resolve(&skel)
+        );
+    }
+}
+
+fn joe_raw() -> Expr {
+    b::record([
+        b::imm("Name", b::str("Joe")),
+        b::imm("BirthYear", b::int(1955)),
+        b::mt("Salary", b::int(2000)),
+        b::mt("Bonus", b::int(5000)),
+    ])
+}
+
+fn joe_view_fn() -> Expr {
+    b::lam(
+        "x",
+        b::record([
+            b::imm("Name", b::dot(b::v("x"), "Name")),
+            b::imm("Income", b::dot(b::v("x"), "Salary")),
+            b::mt("Bonus", b::extract(b::v("x"), "Bonus")),
+        ]),
+    )
+}
+
+#[test]
+fn prop3_idview() {
+    check_preservation(&b::id_view(joe_raw()));
+}
+
+#[test]
+fn prop3_as_view() {
+    check_preservation(&b::as_view(b::id_view(joe_raw()), joe_view_fn()));
+}
+
+#[test]
+fn prop3_query_is_transparent() {
+    // query returns a non-object type, so source and translation types
+    // coincide.
+    let e = b::query(
+        b::lam("x", b::dot(b::v("x"), "Name")),
+        b::id_view(joe_raw()),
+    );
+    check_preservation(&e);
+    assert_eq!(type_of(&translate(&e)), type_of(&e));
+}
+
+#[test]
+fn prop3_fuse() {
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        b::fuse(b::v("joe"), b::as_view(b::v("joe"), joe_view_fn())),
+    );
+    check_preservation(&e);
+}
+
+#[test]
+fn prop3_relobj() {
+    let e = b::relobj([
+        ("emp", b::id_view(joe_raw())),
+        (
+            "dept",
+            b::id_view(b::record([b::imm("DName", b::str("RIMS"))])),
+        ),
+    ]);
+    check_preservation(&e);
+}
+
+#[test]
+fn prop3_objeq_and_select_sugar() {
+    use polyview_syntax::sugar;
+    let e = b::let_(
+        "joe",
+        b::id_view(joe_raw()),
+        sugar::objeq(b::v("joe"), b::v("joe")),
+    );
+    check_preservation(&e);
+
+    let sel = b::let_(
+        "S",
+        b::set([b::id_view(joe_raw())]),
+        sugar::select_as_from_where(
+            b::lam("x", b::record([b::imm("N", b::dot(b::v("x"), "Name"))])),
+            b::v("S"),
+            b::lam("o", b::boolean(true)),
+        ),
+    );
+    check_preservation(&sel);
+}
+
+#[test]
+fn prop3_sets_of_objects() {
+    let e = b::union(
+        b::set([b::id_view(joe_raw())]),
+        b::set([b::id_view(joe_raw())]),
+    );
+    check_preservation(&e);
+}
+
+#[test]
+fn prop4_simple_class() {
+    let e = b::class(b::set([b::id_view(joe_raw())]), vec![]);
+    check_preservation(&e);
+}
+
+#[test]
+fn prop4_class_with_include() {
+    let e = b::let_(
+        "Src",
+        b::class(b::set([b::id_view(joe_raw())]), vec![]),
+        b::class(
+            b::empty(),
+            vec![b::include(
+                vec![b::v("Src")],
+                b::lam("s", b::record([b::imm("N", b::dot(b::v("s"), "Name"))])),
+                b::lam(
+                    "s",
+                    b::query(
+                        b::lam("x", b::eq(b::dot(b::v("x"), "Name"), b::str("Joe"))),
+                        b::v("s"),
+                    ),
+                ),
+            )],
+        ),
+    );
+    check_preservation(&e);
+}
+
+#[test]
+fn prop4_cquery_insert_delete() {
+    let mk = |body: fn(Expr) -> Expr| {
+        b::let_(
+            "C",
+            b::class(b::set([b::id_view(joe_raw())]), vec![]),
+            body(b::v("C")),
+        )
+    };
+    check_preservation(&mk(|c| b::cquery(b::lam("s", b::v("s")), c)));
+    check_preservation(&mk(|c| {
+        b::insert(
+            c,
+            b::id_view(b::record([
+                b::imm("Name", b::str("X")),
+                b::imm("BirthYear", b::int(1960)),
+                b::mt("Salary", b::int(1)),
+                b::mt("Bonus", b::int(1)),
+            ])),
+        )
+    }));
+}
+
+#[test]
+fn prop4_two_source_include() {
+    let person = |n: &str| {
+        b::id_view(b::record([
+            b::imm("Name", b::str(n)),
+            b::imm("Age", b::int(30)),
+        ]))
+    };
+    let e = b::let_(
+        "A",
+        b::class(b::set([person("P")]), vec![]),
+        b::let_(
+            "B",
+            b::class(b::set([person("Q")]), vec![]),
+            b::class(
+                b::empty(),
+                vec![b::include(
+                    vec![b::v("A"), b::v("B")],
+                    b::lam(
+                        "p",
+                        b::record([b::imm("N", b::dot(b::proj(b::v("p"), 1), "Name"))]),
+                    ),
+                    b::lam("p", b::boolean(true)),
+                )],
+            ),
+        ),
+    );
+    check_preservation(&e);
+}
+
+#[test]
+fn prop4_recursive_classes() {
+    let idv = || b::lam("x", b::v("x"));
+    let tp = || b::lam("x", b::boolean(true));
+    let e = b::let_classes(
+        vec![
+            (
+                "A",
+                b::class(
+                    b::set([b::id_view(b::record([b::imm("n", b::int(1))]))]),
+                    vec![b::include(vec![b::v("B")], idv(), tp())],
+                ),
+            ),
+            (
+                "B",
+                b::class(b::empty(), vec![b::include(vec![b::v("A")], idv(), tp())]),
+            ),
+        ],
+        b::cquery(
+            b::lam(
+                "s",
+                b::hom(
+                    b::v("s"),
+                    b::lam("x", b::int(1)),
+                    b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+                    b::int(0),
+                ),
+            ),
+            b::v("A"),
+        ),
+    );
+    check_preservation(&e);
+}
+
+#[test]
+fn prop4_class_creating_function() {
+    // Classes are first-class: λs. class s end translates and preserves
+    // typing (the function type's class component becomes its record
+    // representation).
+    let e = b::app(
+        b::lam("s", b::class(b::v("s"), vec![])),
+        b::set([b::id_view(joe_raw())]),
+    );
+    check_preservation(&e);
+}
+
+#[test]
+fn translation_of_pure_core_is_identity_typed() {
+    let e = b::let_(
+        "f",
+        b::lam("x", b::add(b::v("x"), b::int(1))),
+        b::app(b::v("f"), b::int(41)),
+    );
+    assert_eq!(translate(&e), e);
+    assert_eq!(type_of(&e), polyview_syntax::Mono::int());
+}

@@ -1,0 +1,81 @@
+//! Type signatures of the builtin primitives.
+//!
+//! The paper assumes "constants `cτ` of type `τ`" and uses arithmetic,
+//! comparison and functions like `This_year()` freely in its examples. We
+//! provide them as a global environment of (curried) primitives; the
+//! evaluator supplies matching implementations under the same names.
+
+use crate::env::TypeEnv;
+use polyview_syntax::{BaseTy, Mono, Scheme};
+
+/// `(name, type)` pairs for every builtin. All builtins are monomorphic;
+/// polymorphic operations (`eq`, `hom`, `union`, …) are syntax, not
+/// builtins.
+pub fn signatures() -> Vec<(&'static str, Mono)> {
+    let int = || Mono::Base(BaseTy::Int);
+    let boolean = || Mono::Base(BaseTy::Bool);
+    let string = || Mono::Base(BaseTy::Str);
+    let bin = |a: Mono, b: Mono, r: Mono| Mono::arrows([a, b], r);
+    vec![
+        ("add", bin(int(), int(), int())),
+        ("sub", bin(int(), int(), int())),
+        ("mul", bin(int(), int(), int())),
+        ("div", bin(int(), int(), int())),
+        ("imod", bin(int(), int(), int())),
+        ("neg", Mono::arrow(int(), int())),
+        ("lt", bin(int(), int(), boolean())),
+        ("le", bin(int(), int(), boolean())),
+        ("gt", bin(int(), int(), boolean())),
+        ("ge", bin(int(), int(), boolean())),
+        ("min", bin(int(), int(), int())),
+        ("max", bin(int(), int(), int())),
+        ("abs", Mono::arrow(int(), int())),
+        ("not", Mono::arrow(boolean(), boolean())),
+        ("concat", bin(string(), string(), string())),
+        ("strlen", Mono::arrow(string(), int())),
+        ("int_to_string", Mono::arrow(int(), string())),
+        // The paper's computed-attribute example calls This_year().
+        ("this_year", Mono::arrow(Mono::Unit, int())),
+    ]
+}
+
+/// A [`TypeEnv`] pre-populated with all builtin signatures.
+pub fn builtin_env() -> TypeEnv {
+    let mut env = TypeEnv::new();
+    for (name, ty) in signatures() {
+        env.define_global(name, Scheme::mono(ty));
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::Label;
+
+    #[test]
+    fn builtin_env_contains_all_signatures() {
+        let env = builtin_env();
+        for (name, ty) in signatures() {
+            let s = env.lookup(&Label::new(name)).expect("present");
+            assert_eq!(s.body, ty);
+            assert!(s.is_mono());
+        }
+    }
+
+    #[test]
+    fn signatures_are_ground() {
+        for (name, ty) in signatures() {
+            assert!(ty.is_ground(), "builtin {name} has non-ground type");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let mut names: Vec<_> = signatures().into_iter().map(|(n, _)| n).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

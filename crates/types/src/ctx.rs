@@ -1,0 +1,270 @@
+//! The inference context: fresh type variables, the current substitution,
+//! and the kind assignment `K` mapping type variables to kinds.
+//!
+//! Variables not present in the kind map have kind `U`. The substitution is
+//! triangular (a bound variable maps to a type that may itself contain bound
+//! variables); [`Infer::resolve`] applies it exhaustively.
+
+use polyview_syntax::{FieldReq, Kind, Mono, TyVar};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Mutable state threaded through unification and inference.
+#[derive(Debug, Default)]
+pub struct Infer {
+    next_var: TyVar,
+    subst: HashMap<TyVar, Mono>,
+    kinds: HashMap<TyVar, Kind>,
+}
+
+impl Infer {
+    pub fn new() -> Self {
+        Infer::default()
+    }
+
+    /// Mint a fresh variable of kind `U`.
+    pub fn fresh(&mut self) -> Mono {
+        let v = self.next_var;
+        self.next_var += 1;
+        Mono::Var(v)
+    }
+
+    /// Mint a fresh variable with the given kind.
+    pub fn fresh_with_kind(&mut self, k: Kind) -> Mono {
+        let t = self.fresh();
+        if let Mono::Var(v) = t {
+            if !k.is_univ() {
+                self.kinds.insert(v, k);
+            }
+        }
+        t
+    }
+
+    pub fn fresh_var_id(&mut self) -> TyVar {
+        match self.fresh() {
+            Mono::Var(v) => v,
+            _ => unreachable!("fresh always returns a variable"),
+        }
+    }
+
+    /// The kind currently assigned to `v` (`U` if none).
+    pub fn kind_of(&self, v: TyVar) -> Kind {
+        self.kinds.get(&v).cloned().unwrap_or(Kind::Univ)
+    }
+
+    pub fn set_kind(&mut self, v: TyVar, k: Kind) {
+        if k.is_univ() {
+            self.kinds.remove(&v);
+        } else {
+            self.kinds.insert(v, k);
+        }
+    }
+
+    pub fn is_bound(&self, v: TyVar) -> bool {
+        self.subst.contains_key(&v)
+    }
+
+    pub(crate) fn bind_raw(&mut self, v: TyVar, t: Mono) {
+        debug_assert!(!self.subst.contains_key(&v), "double binding of t{v}");
+        self.subst.insert(v, t);
+    }
+
+    /// Follow variable links until reaching a non-variable type or an
+    /// unbound variable. Does not descend into sub-terms.
+    pub fn shallow(&self, t: &Mono) -> Mono {
+        let mut cur = t.clone();
+        loop {
+            match cur {
+                Mono::Var(v) => match self.subst.get(&v) {
+                    Some(next) => cur = next.clone(),
+                    None => return Mono::Var(v),
+                },
+                other => return other,
+            }
+        }
+    }
+
+    /// Apply the substitution exhaustively.
+    pub fn resolve(&self, t: &Mono) -> Mono {
+        match self.shallow(t) {
+            Mono::Var(v) => Mono::Var(v),
+            Mono::Base(b) => Mono::Base(b),
+            Mono::Unit => Mono::Unit,
+            Mono::Arrow(a, b) => Mono::arrow(self.resolve(&a), self.resolve(&b)),
+            Mono::Set(e) => Mono::set(self.resolve(&e)),
+            Mono::LVal(e) => Mono::lval(self.resolve(&e)),
+            Mono::Obj(e) => Mono::obj(self.resolve(&e)),
+            Mono::Class(e) => Mono::class(self.resolve(&e)),
+            Mono::Record(fs) => Mono::Record(
+                fs.into_iter()
+                    .map(|(l, mut ft)| {
+                        ft.ty = self.resolve(&ft.ty);
+                        (l, ft)
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Resolve the field types inside a kind.
+    pub fn resolve_kind(&self, k: &Kind) -> Kind {
+        match k {
+            Kind::Univ => Kind::Univ,
+            Kind::Record(reqs) => Kind::Record(
+                reqs.iter()
+                    .map(|(l, r)| {
+                        (
+                            l.clone(),
+                            FieldReq {
+                                req: r.req,
+                                ty: self.resolve(&r.ty),
+                            },
+                        )
+                    })
+                    .collect::<BTreeMap<_, _>>(),
+            ),
+        }
+    }
+
+    /// Does variable `v` occur in `t`, looking through the substitution and
+    /// through the kinds of encountered variables? (Kinds contain types, so
+    /// a cycle through a kind is also an infinite type.)
+    pub fn occurs(&self, v: TyVar, t: &Mono) -> bool {
+        let mut visited: HashSet<TyVar> = HashSet::new();
+        self.occurs_inner(v, t, &mut visited)
+    }
+
+    fn occurs_inner(&self, v: TyVar, t: &Mono, visited: &mut HashSet<TyVar>) -> bool {
+        match self.shallow(t) {
+            Mono::Var(u) => {
+                if u == v {
+                    return true;
+                }
+                if !visited.insert(u) {
+                    return false;
+                }
+                match self.kind_of(u) {
+                    Kind::Univ => false,
+                    Kind::Record(reqs) => reqs
+                        .values()
+                        .any(|r| self.occurs_inner(v, &r.ty, visited)),
+                }
+            }
+            Mono::Base(_) | Mono::Unit => false,
+            Mono::Arrow(a, b) => {
+                self.occurs_inner(v, &a, visited) || self.occurs_inner(v, &b, visited)
+            }
+            Mono::Set(e) | Mono::LVal(e) | Mono::Obj(e) | Mono::Class(e) => {
+                self.occurs_inner(v, &e, visited)
+            }
+            Mono::Record(fs) => fs.values().any(|f| self.occurs_inner(v, &f.ty, visited)),
+        }
+    }
+
+    /// Free (unbound) variables of the resolved form of `t`, including
+    /// variables reachable through the kinds of unbound variables.
+    pub fn free_vars_deep(&self, t: &Mono, out: &mut Vec<TyVar>, seen: &mut HashSet<TyVar>) {
+        match self.shallow(t) {
+            Mono::Var(v) => {
+                if seen.insert(v) {
+                    out.push(v);
+                    if let Kind::Record(reqs) = self.kind_of(v) {
+                        for r in reqs.values() {
+                            self.free_vars_deep(&r.ty, out, seen);
+                        }
+                    }
+                }
+            }
+            Mono::Base(_) | Mono::Unit => {}
+            Mono::Arrow(a, b) => {
+                self.free_vars_deep(&a, out, seen);
+                self.free_vars_deep(&b, out, seen);
+            }
+            Mono::Set(e) | Mono::LVal(e) | Mono::Obj(e) | Mono::Class(e) => {
+                self.free_vars_deep(&e, out, seen)
+            }
+            Mono::Record(fs) => {
+                for f in fs.values() {
+                    self.free_vars_deep(&f.ty, out, seen);
+                }
+            }
+        }
+    }
+
+    /// Number of fresh variables minted so far (diagnostics / benches).
+    pub fn vars_minted(&self) -> u32 {
+        self.next_var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::Label;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut cx = Infer::new();
+        let a = cx.fresh();
+        let b = cx.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shallow_follows_chains() {
+        let mut cx = Infer::new();
+        let a = cx.fresh_var_id();
+        let b = cx.fresh_var_id();
+        cx.bind_raw(a, Mono::Var(b));
+        cx.bind_raw(b, Mono::int());
+        assert_eq!(cx.shallow(&Mono::Var(a)), Mono::int());
+    }
+
+    #[test]
+    fn resolve_is_deep() {
+        let mut cx = Infer::new();
+        let a = cx.fresh_var_id();
+        cx.bind_raw(a, Mono::int());
+        let t = Mono::set(Mono::arrow(Mono::Var(a), Mono::bool()));
+        assert_eq!(cx.resolve(&t), Mono::set(Mono::arrow(Mono::int(), Mono::bool())));
+    }
+
+    #[test]
+    fn occurs_direct_and_through_subst() {
+        let mut cx = Infer::new();
+        let a = cx.fresh_var_id();
+        let b = cx.fresh_var_id();
+        assert!(cx.occurs(a, &Mono::set(Mono::Var(a))));
+        cx.bind_raw(b, Mono::set(Mono::Var(a)));
+        assert!(cx.occurs(a, &Mono::Var(b)));
+    }
+
+    #[test]
+    fn occurs_through_kinds() {
+        let mut cx = Infer::new();
+        let a = cx.fresh_var_id();
+        let b = cx.fresh_var_id();
+        cx.set_kind(b, Kind::has_field(Label::new("x"), Mono::Var(a)));
+        // a occurs in b "via" b's kind.
+        assert!(cx.occurs(a, &Mono::Var(b)));
+        let c = cx.fresh_var_id();
+        assert!(!cx.occurs(a, &Mono::Var(c)));
+    }
+
+    #[test]
+    fn free_vars_deep_include_kind_vars() {
+        let mut cx = Infer::new();
+        let a = cx.fresh_var_id();
+        let b = cx.fresh_var_id();
+        cx.set_kind(a, Kind::has_field(Label::new("x"), Mono::Var(b)));
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        cx.free_vars_deep(&Mono::Var(a), &mut out, &mut seen);
+        assert_eq!(out, vec![a, b]);
+    }
+
+    #[test]
+    fn kind_default_is_univ() {
+        let cx = Infer::new();
+        assert_eq!(cx.kind_of(99), Kind::Univ);
+    }
+}

@@ -1,0 +1,158 @@
+//! Type assignments `A`: a global layer for top-level definitions and
+//! builtins, plus a scoped stack for the variables bound during inference.
+
+use crate::ctx::Infer;
+use polyview_syntax::{Name, Scheme, TyVar};
+use std::collections::{HashMap, HashSet};
+
+/// A type assignment mapping term variables to polytypes.
+#[derive(Clone, Debug, Default)]
+pub struct TypeEnv {
+    globals: HashMap<Name, Scheme>,
+    scope: Vec<(Name, Scheme)>,
+}
+
+impl TypeEnv {
+    pub fn new() -> Self {
+        TypeEnv::default()
+    }
+
+    /// Install a top-level binding (builtin or `val`-defined).
+    pub fn define_global(&mut self, name: impl Into<Name>, s: Scheme) {
+        self.globals.insert(name.into(), s);
+    }
+
+    pub fn lookup(&self, name: &Name) -> Option<&Scheme> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .or_else(|| self.globals.get(name))
+    }
+
+    /// Push a scoped binding; pop with [`TypeEnv::pop`].
+    pub fn push(&mut self, name: Name, s: Scheme) {
+        self.scope.push((name, s));
+    }
+
+    pub fn pop(&mut self) -> Option<(Name, Scheme)> {
+        self.scope.pop()
+    }
+
+    /// Current scope depth, for save/restore around branches.
+    pub fn depth(&self) -> usize {
+        self.scope.len()
+    }
+
+    pub fn truncate(&mut self, depth: usize) {
+        self.scope.truncate(depth);
+    }
+
+    /// All type variables free in the environment, resolved through the
+    /// current substitution. Generalization must not quantify these.
+    pub fn free_vars(&self, cx: &Infer) -> HashSet<TyVar> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for (_, s) in self.scope.iter() {
+            self.scheme_free_vars(cx, s, &mut out, &mut seen);
+        }
+        for s in self.globals.values() {
+            // Top-level schemes are usually closed; skip the walk when the
+            // syntactic check already says so.
+            if !s.binders.is_empty() || !s.body.free_vars().is_empty() {
+                self.scheme_free_vars(cx, s, &mut out, &mut seen);
+            }
+        }
+        seen
+    }
+
+    fn scheme_free_vars(
+        &self,
+        cx: &Infer,
+        s: &Scheme,
+        out: &mut Vec<TyVar>,
+        seen: &mut HashSet<TyVar>,
+    ) {
+        // Quantified binders of the scheme are not free; they are never
+        // confused with inference variables because instantiation always
+        // freshens them, but be precise anyway.
+        let mut local_out = Vec::new();
+        let mut local_seen = HashSet::new();
+        cx.free_vars_deep(&s.body, &mut local_out, &mut local_seen);
+        for (_, k) in &s.binders {
+            for v in k.free_vars() {
+                let mut sub = Vec::new();
+                cx.free_vars_deep(&polyview_syntax::Mono::Var(v), &mut sub, &mut local_seen);
+                local_out.extend(sub);
+            }
+        }
+        let bound: HashSet<TyVar> = s.binders.iter().map(|(v, _)| *v).collect();
+        for v in local_out {
+            if !bound.contains(&v) && seen.insert(v) {
+                out.push(v);
+            }
+        }
+    }
+
+    /// Iterate over the global bindings (for documentation / listing).
+    pub fn globals(&self) -> impl Iterator<Item = (&Name, &Scheme)> {
+        self.globals.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::{Label, Mono};
+
+    #[test]
+    fn scope_shadows_globals() {
+        let mut env = TypeEnv::new();
+        env.define_global("x", Scheme::mono(Mono::int()));
+        env.push(Label::new("x"), Scheme::mono(Mono::bool()));
+        assert_eq!(env.lookup(&Label::new("x")).unwrap().body, Mono::bool());
+        env.pop();
+        assert_eq!(env.lookup(&Label::new("x")).unwrap().body, Mono::int());
+    }
+
+    #[test]
+    fn later_pushes_shadow_earlier() {
+        let mut env = TypeEnv::new();
+        env.push(Label::new("x"), Scheme::mono(Mono::int()));
+        env.push(Label::new("x"), Scheme::mono(Mono::str()));
+        assert_eq!(env.lookup(&Label::new("x")).unwrap().body, Mono::str());
+    }
+
+    #[test]
+    fn free_vars_sees_scope_monotypes() {
+        let cx = Infer::new();
+        let mut env = TypeEnv::new();
+        env.push(Label::new("x"), Scheme::mono(Mono::Var(7)));
+        assert!(env.free_vars(&cx).contains(&7));
+    }
+
+    #[test]
+    fn free_vars_exclude_scheme_binders() {
+        let cx = Infer::new();
+        let mut env = TypeEnv::new();
+        env.push(
+            Label::new("f"),
+            Scheme::poly(
+                vec![(3, polyview_syntax::Kind::Univ)],
+                Mono::arrow(Mono::Var(3), Mono::Var(3)),
+            ),
+        );
+        assert!(!env.free_vars(&cx).contains(&3));
+    }
+
+    #[test]
+    fn truncate_restores_depth() {
+        let mut env = TypeEnv::new();
+        let d = env.depth();
+        env.push(Label::new("a"), Scheme::mono(Mono::int()));
+        env.push(Label::new("b"), Scheme::mono(Mono::int()));
+        env.truncate(d);
+        assert!(env.lookup(&Label::new("a")).is_none());
+    }
+}

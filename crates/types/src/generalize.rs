@@ -1,0 +1,282 @@
+//! Generalization (`gen`), instantiation (`inst`), and the value
+//! restriction.
+//!
+//! Generalization quantifies the type variables free in the inferred type
+//! (including variables reachable only through kinds) that are not free in
+//! the environment, capturing each variable's kind constraint in its binder
+//! — yielding polytypes like the paper's
+//! `∀t::[[Income = int, Bonus = int]]. t → int`.
+//!
+//! ML-style polymorphic typing is unsound in the presence of mutable values
+//! (Section 2, citing Milner/Tofte); the paper restricts mutable field types
+//! to ground monotypes. We enforce this with a syntactic value restriction:
+//! only *non-expansive* expressions — those that cannot create record
+//! identities or other state — receive polymorphic types at `let`.
+
+use crate::ctx::Infer;
+use crate::env::TypeEnv;
+use crate::error::TypeError;
+use polyview_syntax::{Expr, FieldReq, Kind, Mono, Scheme, TyVar};
+use std::collections::{HashMap, HashSet};
+
+impl Infer {
+    /// Generalize `t` over the variables not free in `env`.
+    pub fn generalize(&mut self, env: &TypeEnv, t: &Mono) -> Scheme {
+        let env_fvs = env.free_vars(self);
+        let mut fvs = Vec::new();
+        let mut seen = HashSet::new();
+        self.free_vars_deep(t, &mut fvs, &mut seen);
+        let quantified: Vec<TyVar> = fvs.into_iter().filter(|v| !env_fvs.contains(v)).collect();
+        let body = self.resolve(t);
+        let binders = quantified
+            .iter()
+            .map(|v| (*v, self.resolve_kind(&self.kind_of(*v))))
+            .collect();
+        Scheme { binders, body }
+    }
+
+    /// Instantiate a scheme with fresh variables carrying the binders'
+    /// kinds. Substitution into the kinds is simultaneous, so binder order
+    /// does not matter.
+    pub fn instantiate(&mut self, s: &Scheme) -> Mono {
+        if s.binders.is_empty() {
+            return s.body.clone();
+        }
+        let mapping: HashMap<TyVar, TyVar> = s
+            .binders
+            .iter()
+            .map(|(v, _)| (*v, self.fresh_var_id()))
+            .collect();
+        for (v, k) in &s.binders {
+            let k2 = rename_kind(k, &mapping);
+            self.set_kind(mapping[v], k2);
+        }
+        rename_mono(&s.body, &mapping)
+    }
+
+    /// Check the paper's ground-monotype restriction on a fully resolved
+    /// top-level type: every mutable field's type must be ground.
+    pub fn check_ground_mutables(&self, t: &Mono) -> Result<(), TypeError> {
+        let t = self.resolve(t);
+        check_ground(&t)
+    }
+}
+
+fn check_ground(t: &Mono) -> Result<(), TypeError> {
+    match t {
+        Mono::Base(_) | Mono::Unit | Mono::Var(_) => Ok(()),
+        Mono::Arrow(a, b) => {
+            check_ground(a)?;
+            check_ground(b)
+        }
+        Mono::Set(e) | Mono::LVal(e) | Mono::Obj(e) | Mono::Class(e) => check_ground(e),
+        Mono::Record(fs) => {
+            for (l, f) in fs {
+                if f.mutable && !f.ty.is_ground() {
+                    return Err(TypeError::NonGroundMutable {
+                        label: l.clone(),
+                        ty: f.ty.clone(),
+                    });
+                }
+                check_ground(&f.ty)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Rename variables in a type by a (partial) mapping; unmapped variables are
+/// left alone.
+pub fn rename_mono(t: &Mono, mapping: &HashMap<TyVar, TyVar>) -> Mono {
+    match t {
+        Mono::Var(v) => Mono::Var(*mapping.get(v).unwrap_or(v)),
+        Mono::Base(b) => Mono::Base(*b),
+        Mono::Unit => Mono::Unit,
+        Mono::Arrow(a, b) => Mono::arrow(rename_mono(a, mapping), rename_mono(b, mapping)),
+        Mono::Set(e) => Mono::set(rename_mono(e, mapping)),
+        Mono::LVal(e) => Mono::lval(rename_mono(e, mapping)),
+        Mono::Obj(e) => Mono::obj(rename_mono(e, mapping)),
+        Mono::Class(e) => Mono::class(rename_mono(e, mapping)),
+        Mono::Record(fs) => Mono::Record(
+            fs.iter()
+                .map(|(l, f)| {
+                    (
+                        l.clone(),
+                        polyview_syntax::FieldTy {
+                            mutable: f.mutable,
+                            ty: rename_mono(&f.ty, mapping),
+                        },
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Rename variables inside a kind's field types.
+pub fn rename_kind(k: &Kind, mapping: &HashMap<TyVar, TyVar>) -> Kind {
+    match k {
+        Kind::Univ => Kind::Univ,
+        Kind::Record(reqs) => Kind::Record(
+            reqs.iter()
+                .map(|(l, r)| {
+                    (
+                        l.clone(),
+                        FieldReq {
+                            req: r.req,
+                            ty: rename_mono(&r.ty, mapping),
+                        },
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Syntactic values that are safe to generalize: literals, variables,
+/// lambda abstractions, and `fix`-wrapped lambdas. Everything else —
+/// record creation (new identity), set construction from arbitrary
+/// expressions, applications, object and class formation — is expansive.
+pub fn is_nonexpansive(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Lam(..) => true,
+        Expr::Fix(_, body) => matches!(**body, Expr::Lam(..)),
+        Expr::Let(_, rhs, body) => is_nonexpansive(rhs) && is_nonexpansive(body),
+        // Sets are pure values (no identity); a set of values is a value.
+        Expr::SetLit(es) => es.iter().all(is_nonexpansive),
+        Expr::Union(a, b) => is_nonexpansive(a) && is_nonexpansive(b),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::{FieldTy, Label};
+
+    #[test]
+    fn generalize_quantifies_unconstrained_var() {
+        let mut cx = Infer::new();
+        let env = TypeEnv::new();
+        let a = cx.fresh();
+        let s = cx.generalize(&env, &Mono::arrow(a.clone(), a));
+        assert_eq!(s.binders.len(), 1);
+        assert_eq!(s.binders[0].1, Kind::Univ);
+    }
+
+    #[test]
+    fn generalize_keeps_env_vars_free() {
+        let mut cx = Infer::new();
+        let mut env = TypeEnv::new();
+        let a = cx.fresh();
+        if let Mono::Var(v) = a {
+            env.push(Label::new("x"), Scheme::mono(Mono::Var(v)));
+        }
+        let s = cx.generalize(&env, &a);
+        assert!(s.binders.is_empty());
+        assert!(matches!(s.body, Mono::Var(_)));
+    }
+
+    #[test]
+    fn generalize_captures_kinds() {
+        let mut cx = Infer::new();
+        let env = TypeEnv::new();
+        let a = cx.fresh_with_kind(Kind::has_field(Label::new("Income"), Mono::int()));
+        let s = cx.generalize(&env, &Mono::arrow(a, Mono::int()));
+        assert_eq!(s.binders.len(), 1);
+        assert_eq!(
+            s.binders[0].1,
+            Kind::has_field(Label::new("Income"), Mono::int())
+        );
+    }
+
+    #[test]
+    fn generalize_includes_vars_reachable_via_kinds() {
+        // a :: [[x = b]]; generalizing a must also quantify b.
+        let mut cx = Infer::new();
+        let env = TypeEnv::new();
+        let b = cx.fresh_var_id();
+        let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::Var(b)));
+        let s = cx.generalize(&env, &a);
+        let bound: Vec<TyVar> = s.binders.iter().map(|(v, _)| *v).collect();
+        assert!(bound.contains(&b), "kind-reachable var must be quantified");
+        assert_eq!(s.binders.len(), 2);
+    }
+
+    #[test]
+    fn instantiate_freshens_and_carries_kinds() {
+        let mut cx = Infer::new();
+        let s = Scheme::poly(
+            vec![(0, Kind::has_field(Label::new("x"), Mono::int()))],
+            Mono::arrow(Mono::Var(0), Mono::int()),
+        );
+        let t = cx.instantiate(&s);
+        match &t {
+            Mono::Arrow(a, _) => match **a {
+                Mono::Var(v) => {
+                    assert_eq!(cx.kind_of(v), Kind::has_field(Label::new("x"), Mono::int()));
+                }
+                ref other => panic!("expected var, got {other:?}"),
+            },
+            other => panic!("expected arrow, got {other:?}"),
+        }
+        // Two instantiations give distinct variables.
+        let t2 = cx.instantiate(&s);
+        assert_ne!(t, t2);
+    }
+
+    #[test]
+    fn instantiate_renames_kind_references_between_binders() {
+        // ∀t0::U. ∀t1::[[x = t0]]. t1 — instantiating must keep the kind of
+        // the second fresh var pointing at the first fresh var.
+        let mut cx = Infer::new();
+        let s = Scheme::poly(
+            vec![
+                (0, Kind::Univ),
+                (1, Kind::has_field(Label::new("x"), Mono::Var(0))),
+            ],
+            Mono::pair(Mono::Var(0), Mono::Var(1)),
+        );
+        let t = cx.instantiate(&s);
+        let fvs = t.free_vars();
+        assert_eq!(fvs.len(), 2);
+        let (v0, v1) = (fvs[0], fvs[1]);
+        assert_eq!(cx.kind_of(v1), Kind::has_field(Label::new("x"), Mono::Var(v0)));
+    }
+
+    #[test]
+    fn ground_mutables_check() {
+        let cx = Infer::new();
+        let ok = Mono::record([(Label::new("Salary"), FieldTy::mutable(Mono::int()))]);
+        assert!(cx.check_ground_mutables(&ok).is_ok());
+        let bad = Mono::record([(Label::new("Cell"), FieldTy::mutable(Mono::Var(1)))]);
+        assert!(matches!(
+            cx.check_ground_mutables(&bad),
+            Err(TypeError::NonGroundMutable { .. })
+        ));
+        // Immutable fields may be polymorphic.
+        let poly_imm = Mono::record([(Label::new("Id"), FieldTy::immutable(Mono::Var(1)))]);
+        assert!(cx.check_ground_mutables(&poly_imm).is_ok());
+    }
+
+    #[test]
+    fn expansiveness_classification() {
+        use polyview_syntax::builder as b;
+        assert!(is_nonexpansive(&b::lam("x", b::v("x"))));
+        assert!(is_nonexpansive(&b::int(1)));
+        assert!(is_nonexpansive(&Expr::fix("f", b::lam("x", b::v("x")))));
+        // Record creation mints identity: expansive.
+        assert!(!is_nonexpansive(&b::record([b::imm("x", b::int(1))])));
+        assert!(!is_nonexpansive(&b::app(b::v("f"), b::int(1))));
+        // Sets of values are values; sets of effectful expressions are not.
+        assert!(is_nonexpansive(&b::set([b::int(1)])));
+        assert!(!is_nonexpansive(&b::set([b::record([])])));
+        // let of values is a value.
+        assert!(is_nonexpansive(&b::let_("x", b::int(1), b::v("x"))));
+        assert!(!is_nonexpansive(&b::let_(
+            "x",
+            b::record([]),
+            b::v("x")
+        )));
+    }
+}

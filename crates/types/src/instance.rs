@@ -1,0 +1,396 @@
+//! The instance relation on polytypes, used to check principality
+//! (Prop. 2): `σ' ⊑ σ` holds when `σ'` can be obtained from `σ` by
+//! kind-respecting instantiation of σ's bound variables (the `(inst)` rule
+//! of Fig. 1 applied under fresh quantification of σ'‘s own binders).
+//!
+//! The checker skolemizes the candidate instance's binders into *rigid*
+//! variables and matches the general scheme's body against the instance
+//! body, binding only the general scheme's (flexible) variables. A flexible
+//! variable with a record kind may be instantiated by:
+//!
+//! * a record type containing the required fields with admissible
+//!   mutabilities (third kinding rule of Fig. 1), or
+//! * a rigid variable whose declared kind *entails* the requirement
+//!   (second kinding rule: `K(t) = [[F'…]]` with `F < F'`).
+
+use polyview_syntax::{Kind, Mono, MutReq, Scheme, TyVar};
+use std::collections::HashMap;
+
+/// Is `specific` an instance of `general`?
+pub fn instance_of(general: &Scheme, specific: &Scheme) -> bool {
+    let max_id = scheme_max_var(general).max(scheme_max_var(specific));
+    let mut next = max_id + 1;
+
+    // Freshen the general scheme's binders as flexible variables.
+    let mut flex_map = HashMap::new();
+    for (v, _) in &general.binders {
+        flex_map.insert(*v, next);
+        next += 1;
+    }
+    let mut m = Matcher::default();
+    for (v, k) in &general.binders {
+        let nk = crate::generalize::rename_kind(k, &flex_map);
+        m.fkinds.insert(flex_map[v], nk);
+    }
+    let gen_body = crate::generalize::rename_mono(&general.body, &flex_map);
+
+    // Skolemize the specific scheme's binders as rigid variables.
+    let mut rigid_map = HashMap::new();
+    for (v, _) in &specific.binders {
+        rigid_map.insert(*v, next);
+        next += 1;
+    }
+    for (v, k) in &specific.binders {
+        let nk = crate::generalize::rename_kind(k, &rigid_map);
+        m.rkinds.insert(rigid_map[v], nk);
+    }
+    let spec_body = crate::generalize::rename_mono(&specific.body, &rigid_map);
+
+    m.mtch(&gen_body, &spec_body)
+}
+
+/// Are the two schemes equivalent (instances of each other)?
+pub fn equivalent(a: &Scheme, b: &Scheme) -> bool {
+    instance_of(a, b) && instance_of(b, a)
+}
+
+fn scheme_max_var(s: &Scheme) -> TyVar {
+    let mut max = 0;
+    for v in s.free_vars() {
+        max = max.max(v);
+    }
+    for (v, k) in &s.binders {
+        max = max.max(*v);
+        for u in k.free_vars() {
+            max = max.max(u);
+        }
+    }
+    for v in s.body.free_vars() {
+        max = max.max(v);
+    }
+    max
+}
+
+#[derive(Default)]
+struct Matcher {
+    subst: HashMap<TyVar, Mono>,
+    fkinds: HashMap<TyVar, Kind>,
+    rkinds: HashMap<TyVar, Kind>,
+}
+
+impl Matcher {
+    fn is_flexible(&self, v: TyVar) -> bool {
+        self.fkinds.contains_key(&v) || self.subst.contains_key(&v)
+    }
+
+    fn shallow(&self, t: &Mono) -> Mono {
+        let mut cur = t.clone();
+        loop {
+            match cur {
+                Mono::Var(v) => match self.subst.get(&v) {
+                    Some(next) => cur = next.clone(),
+                    None => return Mono::Var(v),
+                },
+                other => return other,
+            }
+        }
+    }
+
+    fn occurs(&self, v: TyVar, t: &Mono) -> bool {
+        match self.shallow(t) {
+            Mono::Var(u) => {
+                if u == v {
+                    return true;
+                }
+                if let Some(Kind::Record(reqs)) = self.fkinds.get(&u) {
+                    return reqs.values().any(|r| self.occurs(v, &r.ty));
+                }
+                false
+            }
+            Mono::Base(_) | Mono::Unit => false,
+            Mono::Arrow(a, b) => self.occurs(v, &a) || self.occurs(v, &b),
+            Mono::Set(e) | Mono::LVal(e) | Mono::Obj(e) | Mono::Class(e) => self.occurs(v, &e),
+            Mono::Record(fs) => fs.values().any(|f| self.occurs(v, &f.ty)),
+        }
+    }
+
+    fn mtch(&mut self, a: &Mono, b: &Mono) -> bool {
+        let a = self.shallow(a);
+        let b = self.shallow(b);
+        match (a, b) {
+            (Mono::Var(v), Mono::Var(u)) if v == u => true,
+            (Mono::Var(v), t) if self.is_flexible(v) => self.bind(v, t),
+            (t, Mono::Var(v)) if self.is_flexible(v) => self.bind(v, t),
+            // Two distinct rigid (or free) variables never match.
+            (Mono::Var(_), _) | (_, Mono::Var(_)) => false,
+            (Mono::Base(x), Mono::Base(y)) => x == y,
+            (Mono::Unit, Mono::Unit) => true,
+            (Mono::Arrow(a1, r1), Mono::Arrow(a2, r2)) => {
+                self.mtch(&a1, &a2) && self.mtch(&r1, &r2)
+            }
+            (Mono::Set(x), Mono::Set(y))
+            | (Mono::LVal(x), Mono::LVal(y))
+            | (Mono::Obj(x), Mono::Obj(y))
+            | (Mono::Class(x), Mono::Class(y)) => self.mtch(&x, &y),
+            (Mono::Record(f1), Mono::Record(f2)) => {
+                if f1.len() != f2.len() || !f1.keys().eq(f2.keys()) {
+                    return false;
+                }
+                f1.iter().all(|(l, x)| {
+                    let y = &f2[l];
+                    x.mutable == y.mutable && {
+                        let (xt, yt) = (x.ty.clone(), y.ty.clone());
+                        self.mtch(&xt, &yt)
+                    }
+                })
+            }
+            _ => false,
+        }
+    }
+
+    /// Bind flexible `v` to `t`, discharging `v`'s kind. `t` is shallow.
+    fn bind(&mut self, v: TyVar, t: Mono) -> bool {
+        if let Mono::Var(u) = t {
+            if u == v {
+                return true;
+            }
+            if self.is_flexible(u) {
+                return self.merge_flexible(v, u);
+            }
+        }
+        if self.occurs(v, &t) {
+            return false;
+        }
+        let kind = self.fkinds.get(&v).cloned().unwrap_or(Kind::Univ);
+        match kind {
+            Kind::Univ => {
+                self.subst.insert(v, t);
+                true
+            }
+            Kind::Record(reqs) => match &t {
+                Mono::Record(fields) => {
+                    self.subst.insert(v, t.clone());
+                    let fields = fields.clone();
+                    for (l, req) in reqs {
+                        let f = match fields.get(&l) {
+                            Some(f) => f.clone(),
+                            None => return false,
+                        };
+                        if !req.req.admits(f.mutable) {
+                            return false;
+                        }
+                        if !self.mtch(&req.ty, &f.ty) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+                Mono::Var(r) => {
+                    // Rigid variable: its declared kind must entail every
+                    // requirement (second kinding rule of Fig. 1).
+                    let rk = self.rkinds.get(r).cloned().unwrap_or(Kind::Univ);
+                    let rreqs = match rk {
+                        Kind::Record(rr) => rr,
+                        Kind::Univ => return false,
+                    };
+                    self.subst.insert(v, t.clone());
+                    for (l, req) in reqs {
+                        let rr = match rreqs.get(&l) {
+                            Some(rr) => rr.clone(),
+                            None => return false,
+                        };
+                        // Flexible requires mutable ⟹ rigid must promise
+                        // mutable; flexible Any is satisfied either way.
+                        if req.req == MutReq::Mutable && rr.req != MutReq::Mutable {
+                            return false;
+                        }
+                        if !self.mtch(&req.ty, &rr.ty) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Merge two flexible variables: link `u` to `v`, joining kinds.
+    fn merge_flexible(&mut self, v: TyVar, u: TyVar) -> bool {
+        let kv = self.fkinds.get(&v).cloned().unwrap_or(Kind::Univ);
+        let ku = self.fkinds.get(&u).cloned().unwrap_or(Kind::Univ);
+        self.subst.insert(u, Mono::Var(v));
+        match (kv, ku) {
+            (Kind::Univ, k) | (k, Kind::Univ) => {
+                self.fkinds.insert(v, k);
+                true
+            }
+            (Kind::Record(mut rv), Kind::Record(ru)) => {
+                let mut pending = Vec::new();
+                for (l, req_u) in ru {
+                    match rv.get_mut(&l) {
+                        Some(req_v) => {
+                            req_v.req = req_v.req.join(req_u.req);
+                            pending.push((req_v.ty.clone(), req_u.ty));
+                        }
+                        None => {
+                            rv.insert(l, req_u);
+                        }
+                    }
+                }
+                self.fkinds.insert(v, Kind::Record(rv));
+                pending.iter().all(|(a, b)| self.mtch(a, b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::{FieldReq, Label};
+
+    fn univ(v: TyVar) -> (TyVar, Kind) {
+        (v, Kind::Univ)
+    }
+
+    #[test]
+    fn mono_instance_of_forall() {
+        // int → int is an instance of ∀t::U. t → t.
+        let gen = Scheme::poly(vec![univ(0)], Mono::arrow(Mono::Var(0), Mono::Var(0)));
+        let spec = Scheme::mono(Mono::arrow(Mono::int(), Mono::int()));
+        assert!(instance_of(&gen, &spec));
+        assert!(!instance_of(&spec, &gen));
+    }
+
+    #[test]
+    fn non_instance_rejected() {
+        // int → bool is NOT an instance of ∀t. t → t.
+        let gen = Scheme::poly(vec![univ(0)], Mono::arrow(Mono::Var(0), Mono::Var(0)));
+        let spec = Scheme::mono(Mono::arrow(Mono::int(), Mono::bool()));
+        assert!(!instance_of(&gen, &spec));
+    }
+
+    #[test]
+    fn alpha_equivalent_schemes_are_equivalent() {
+        let a = Scheme::poly(vec![univ(0)], Mono::arrow(Mono::Var(0), Mono::Var(0)));
+        let b = Scheme::poly(vec![univ(7)], Mono::arrow(Mono::Var(7), Mono::Var(7)));
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn kinded_binder_instantiated_by_record() {
+        // ∀t::[[Income = int]]. t → int  ⊒  [Income = int, Age = int] → int
+        let gen = Scheme::poly(
+            vec![(0, Kind::has_field(Label::new("Income"), Mono::int()))],
+            Mono::arrow(Mono::Var(0), Mono::int()),
+        );
+        let spec = Scheme::mono(Mono::arrow(
+            Mono::record_imm([
+                (Label::new("Income"), Mono::int()),
+                (Label::new("Age"), Mono::int()),
+            ]),
+            Mono::int(),
+        ));
+        assert!(instance_of(&gen, &spec));
+    }
+
+    #[test]
+    fn kinded_binder_rejects_record_without_field() {
+        let gen = Scheme::poly(
+            vec![(0, Kind::has_field(Label::new("Income"), Mono::int()))],
+            Mono::arrow(Mono::Var(0), Mono::int()),
+        );
+        let spec = Scheme::mono(Mono::arrow(
+            Mono::record_imm([(Label::new("Age"), Mono::int())]),
+            Mono::int(),
+        ));
+        assert!(!instance_of(&gen, &spec));
+    }
+
+    #[test]
+    fn kinded_binder_instantiated_by_kinded_binder() {
+        // ∀t::[[x = int]]. t → int  ⊒  ∀t::[[x = int, y = bool]]. t → int
+        let gen = Scheme::poly(
+            vec![(0, Kind::has_field(Label::new("x"), Mono::int()))],
+            Mono::arrow(Mono::Var(0), Mono::int()),
+        );
+        let spec = Scheme::poly(
+            vec![(
+                0,
+                Kind::Record(
+                    [
+                        (Label::new("x"), FieldReq::any(Mono::int())),
+                        (Label::new("y"), FieldReq::any(Mono::bool())),
+                    ]
+                    .into_iter()
+                    .collect(),
+                ),
+            )],
+            Mono::arrow(Mono::Var(0), Mono::int()),
+        );
+        assert!(instance_of(&gen, &spec));
+        assert!(!instance_of(&spec, &gen));
+    }
+
+    #[test]
+    fn mutable_requirement_direction() {
+        // ∀t::[[x = int]] admits a rigid var promising x := int …
+        let gen_any = Scheme::poly(
+            vec![(0, Kind::has_field(Label::new("x"), Mono::int()))],
+            Mono::arrow(Mono::Var(0), Mono::int()),
+        );
+        let spec_mut = Scheme::poly(
+            vec![(0, Kind::has_mutable_field(Label::new("x"), Mono::int()))],
+            Mono::arrow(Mono::Var(0), Mono::int()),
+        );
+        assert!(instance_of(&gen_any, &spec_mut));
+        // … but ∀t::[[x := int]] does not admit a rigid var promising only
+        // x = int.
+        assert!(!instance_of(&spec_mut, &gen_any));
+        // And a record with an immutable x does not satisfy [[x := int]].
+        let spec_rec = Scheme::mono(Mono::arrow(
+            Mono::record_imm([(Label::new("x"), Mono::int())]),
+            Mono::int(),
+        ));
+        assert!(!instance_of(&spec_mut, &spec_rec));
+        assert!(instance_of(&gen_any, &spec_rec));
+    }
+
+    #[test]
+    fn repeated_variable_must_instantiate_consistently() {
+        // ∀t. t → t ⋢ via t ↦ int on the left and bool on the right.
+        let gen = Scheme::poly(vec![univ(0)], Mono::arrow(Mono::Var(0), Mono::Var(0)));
+        let ok = Scheme::poly(vec![univ(1)], Mono::arrow(Mono::Var(1), Mono::Var(1)));
+        assert!(instance_of(&gen, &ok));
+        let bad = Scheme::poly(
+            vec![univ(1), univ(2)],
+            Mono::arrow(Mono::Var(1), Mono::Var(2)),
+        );
+        assert!(!instance_of(&gen, &bad));
+        // The other direction holds: ∀t1 t2. t1→t2 ⊒ ∀t. t→t.
+        assert!(instance_of(&bad, &gen));
+    }
+
+    #[test]
+    fn instance_under_type_constructors() {
+        // ∀t. {obj(t)} → t ⊒ {obj(int)} → int.
+        let gen = Scheme::poly(
+            vec![univ(0)],
+            Mono::arrow(Mono::set(Mono::obj(Mono::Var(0))), Mono::Var(0)),
+        );
+        let spec = Scheme::mono(Mono::arrow(Mono::set(Mono::obj(Mono::int())), Mono::int()));
+        assert!(instance_of(&gen, &spec));
+    }
+
+    #[test]
+    fn occurs_prevents_cyclic_instantiation() {
+        // ∀t. t → t cannot be instantiated to t ↦ {t}.
+        let gen = Scheme::poly(vec![univ(0)], Mono::arrow(Mono::Var(0), Mono::Var(0)));
+        let spec = Scheme::poly(
+            vec![univ(1)],
+            Mono::arrow(Mono::Var(1), Mono::set(Mono::Var(1))),
+        );
+        assert!(!instance_of(&gen, &spec));
+    }
+}

@@ -1,0 +1,47 @@
+//! Kinded unification and polymorphic type inference for the view calculus.
+//!
+//! This crate implements the type system of the paper:
+//!
+//! * the kinding rules and record typing rules of Fig. 1 (an adaptation of
+//!   Ohori's POPL'92 polymorphic record calculus, refined to distinguish
+//!   mutable and immutable fields via the `F < F'` relation);
+//! * the object/view typing rules of Fig. 2;
+//! * the class typing rules of Fig. 4 and the recursive-class rule of
+//!   Fig. 6;
+//! * ML-style let-polymorphism with a value restriction enforcing the
+//!   paper's soundness condition that mutable fields never receive
+//!   polymorphic types (Section 2, citing Milner).
+//!
+//! The entry points are [`Infer`] (the inference context: fresh variables,
+//! substitution, kind assignment) and [`infer::infer`] /
+//! [`Infer::infer_scheme`]. Principal types are produced by generalization;
+//! [`instance::instance_of`] implements the "is an instance of" relation
+//! used to check principality (Prop. 2) in tests.
+
+pub mod builtins_sig;
+pub mod ctx;
+pub mod env;
+pub mod error;
+pub mod generalize;
+pub mod infer;
+pub mod instance;
+pub mod unify;
+
+pub use ctx::Infer;
+pub use env::TypeEnv;
+pub use error::TypeError;
+
+use polyview_syntax::{Expr, Scheme};
+
+impl Infer {
+    /// Infer the principal scheme of an expression under `env`, generalizing
+    /// subject to the value restriction.
+    pub fn infer_scheme(&mut self, env: &mut TypeEnv, e: &Expr) -> Result<Scheme, TypeError> {
+        let t = infer::infer(self, env, e)?;
+        if generalize::is_nonexpansive(e) {
+            Ok(self.generalize(env, &t))
+        } else {
+            Ok(Scheme::mono(self.resolve(&t)))
+        }
+    }
+}

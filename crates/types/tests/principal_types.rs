@@ -1,0 +1,200 @@
+//! Golden principal-type tests through the surface syntax: the inference
+//! engine's output for characteristic programs of every layer, pinned as
+//! strings (display renames binders canonically, so these are stable).
+
+use polyview_parser::parse_expr;
+use polyview_types::{builtins_sig, Infer};
+
+fn principal(src: &str) -> String {
+    let e = parse_expr(src).expect("parses");
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    cx.infer_scheme(&mut env, &e)
+        .unwrap_or_else(|err| panic!("ill-typed ({err}): {src}"))
+        .to_string()
+}
+
+fn rejected(src: &str) {
+    let e = parse_expr(src).expect("parses");
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    assert!(
+        cx.infer_scheme(&mut env, &e).is_err(),
+        "expected rejection: {src}"
+    );
+}
+
+#[test]
+fn core_polymorphism() {
+    assert_eq!(principal("fn x => x"), "∀t1::U. t1 -> t1");
+    assert_eq!(principal("fn f => fn x => f (f x)"), "∀t1::U. (t1 -> t1) -> t1 -> t1");
+    assert_eq!(principal("fn x => fn y => x"), "∀t1::U.∀t2::U. t1 -> t2 -> t1");
+    assert_eq!(principal("{}"), "∀t1::U. {t1}");
+    assert_eq!(principal("fn s => union(s, s)"), "∀t1::U. {t1} -> {t1}");
+}
+
+#[test]
+fn record_polymorphism_kinds() {
+    // (Binder numbering follows first appearance during printing, so the
+    // record-kinded binder prints first with its field type named t2.)
+    assert_eq!(
+        principal("fn x => x.Name"),
+        "∀t1::[[Name = t2]].∀t2::U. t1 -> t2"
+    );
+    assert_eq!(
+        principal("fn x => x.Name ^ x.Name"),
+        "∀t1::[[Name = string]]. t1 -> string"
+    );
+    // Two field constraints merge into one kind.
+    assert_eq!(
+        principal("fn x => x.A + x.B"),
+        "∀t1::[[A = int, B = int]]. t1 -> int"
+    );
+    // update imposes a mutable-field requirement.
+    assert_eq!(
+        principal("fn x => update(x, Salary, 0)"),
+        "∀t1::[[Salary := int]]. t1 -> unit"
+    );
+    // extract yields an L-value type.
+    assert_eq!(
+        principal("fn x => extract(x, Salary)"),
+        "∀t1::[[Salary := t2]].∀t2::U. t1 -> L(t2)"
+    );
+}
+
+#[test]
+fn hom_is_fully_polymorphic() {
+    assert_eq!(
+        principal("fn s => fn f => fn op => fn z => hom(s, f, op, z)"),
+        "∀t1::U.∀t2::U.∀t3::U. {t1} -> (t1 -> t2) -> (t2 -> t3 -> t3) -> t3 -> t3"
+    );
+}
+
+#[test]
+fn view_layer_types() {
+    assert_eq!(
+        principal("fn r => IDView(r)"),
+        "∀t1::[[]]. t1 -> obj(t1)"
+    );
+    assert_eq!(
+        principal("fn o => fn f => o as f"),
+        "∀t1::U.∀t2::U. obj(t1) -> (t1 -> t2) -> obj(t2)"
+    );
+    assert_eq!(
+        principal("fn f => fn o => query(f, o)"),
+        "∀t1::U.∀t2::U. (t1 -> t2) -> obj(t1) -> t2"
+    );
+    assert_eq!(
+        principal("fn a => fn b => fuse(a, b)"),
+        "∀t1::U.∀t2::U. obj(t1) -> obj(t2) -> {obj([1 = t1, 2 = t2])}"
+    );
+    assert_eq!(
+        principal("fn a => fn b => relobj(x = a, y = b)"),
+        "∀t1::U.∀t2::U. obj(t1) -> obj(t2) -> obj([x = t1, y = t2])"
+    );
+    assert_eq!(
+        principal("fn a => fn b => objeq(a, b)"),
+        "∀t1::U.∀t2::U. obj(t1) -> obj(t2) -> bool"
+    );
+}
+
+#[test]
+fn class_layer_types() {
+    assert_eq!(
+        principal("fn s => class s end"),
+        "∀t1::U. {obj(t1)} -> class(t1)"
+    );
+    assert_eq!(
+        principal("fn c => fn o => insert(c, o)"),
+        "∀t1::U. class(t1) -> obj(t1) -> unit"
+    );
+    assert_eq!(
+        principal("fn f => fn c => cquery(f, c)"),
+        "∀t1::U.∀t2::U. ({obj(t1)} -> t2) -> class(t1) -> t2"
+    );
+    // A generic "view class" combinator: any class, any view, any pred.
+    assert_eq!(
+        principal(
+            "fn c => fn view => fn pred => \
+             class {} include c as view where pred end"
+        ),
+        "∀t1::U.∀t2::U. class(t1) -> (t1 -> t2) -> (obj(t1) -> bool) -> class(t2)"
+    );
+}
+
+#[test]
+fn select_is_the_papers_polymorphic_view_query() {
+    // select as … from … where … over any set of objects whose view
+    // exposes Name.
+    let s = principal(
+        "fn S => select as fn x => [N = x.Name] from S where fn o => true",
+    );
+    assert_eq!(
+        s,
+        "∀t1::[[Name = t2]].∀t2::U. {obj(t1)} -> {obj([N = t2])}"
+    );
+}
+
+#[test]
+fn lvalue_types_do_not_leak() {
+    // L(τ) cannot be consumed where a τ is expected…
+    rejected("fn x => extract(x, F) + 1");
+    rejected("fn x => extract(x, F) = 1");
+    // …but flows into both mutable and immutable fields (the john example),
+    // including via a let binding.
+    assert_eq!(
+        principal("fn x => [copy := extract(x, F)]"),
+        "∀t1::[[F := t2]].∀t2::U. t1 -> [copy := t2]"
+    );
+    assert_eq!(
+        principal("fn x => [copy = extract(x, F)]"),
+        "∀t1::[[F := t2]].∀t2::U. t1 -> [copy = t2]"
+    );
+    assert_eq!(
+        principal("fn x => let lv = extract(x, F) in [copy := lv] end"),
+        "∀t1::[[F := t2]].∀t2::U. t1 -> [copy := t2]"
+    );
+}
+
+#[test]
+fn mutability_requirements_propagate_through_composition() {
+    // A function updating through a view requires the *view type* to have
+    // the mutable field — composing with a view that re-exposes the field
+    // immutably must therefore be rejected.
+    rejected(
+        "fn joe => query(fn x => update(x, Income, 1), \
+                         joe as fn y => [Income = y.Salary])",
+    );
+    // Re-exposing via extract keeps it updatable.
+    assert_eq!(
+        principal(
+            "fn joe => query(fn x => update(x, Income, 1), \
+                             joe as fn y => [Income := extract(y, Salary)])"
+        ),
+        "∀t1::[[Salary := int]]. obj(t1) -> unit"
+    );
+}
+
+#[test]
+fn shadowing_and_let_polymorphism() {
+    assert_eq!(
+        principal("let id = fn x => x in (id 1, id \"s\") end"),
+        "[1 = int, 2 = string]"
+    );
+    // Monomorphic lambda-bound variables stay monomorphic.
+    rejected("(fn id => (id 1, id \"s\")) (fn x => x)");
+}
+
+#[test]
+fn recursive_function_types() {
+    assert_eq!(
+        principal("fix f => fn n => if n = 0 then 0 else n + f (n - 1)"),
+        "int -> int"
+    );
+    // Polymorphic recursion is not inferred (ML-style): the result is the
+    // monomorphic instance.
+    assert_eq!(
+        principal("fix len => fn s => hom(s, fn x => 1, fn a => fn b => a + b, 0)"),
+        "∀t1::U. {t1} -> int"
+    );
+}

@@ -1,0 +1,216 @@
+//! Edge cases of kinded unification and the instance relation that the
+//! inline unit tests don't reach: kind constraints flowing through
+//! `obj`/`class` constructors, chained merges, occurs through kinds, and
+//! instance checks with interdependent binders.
+
+use polyview_syntax::{FieldReq, FieldTy, Kind, Label, Mono, MutReq, Scheme};
+use polyview_types::{instance, Infer, TypeError};
+
+fn rec(fields: Vec<(&str, bool, Mono)>) -> Mono {
+    Mono::Record(
+        fields
+            .into_iter()
+            .map(|(l, m, t)| (Label::new(l), FieldTy { mutable: m, ty: t }))
+            .collect(),
+    )
+}
+
+#[test]
+fn kind_constraint_through_obj_constructor() {
+    // obj(a) ~ obj([x = int]) discharges a's kind against the record.
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
+    let target = Mono::obj(rec(vec![("x", false, Mono::int()), ("y", false, Mono::bool())]));
+    cx.unify(&Mono::obj(a.clone()), &target).expect("unifies");
+    assert_eq!(cx.resolve(&Mono::obj(a)), cx.resolve(&target));
+}
+
+#[test]
+fn kind_violation_through_class_constructor() {
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::has_mutable_field(Label::new("x"), Mono::int()));
+    let target = Mono::class(rec(vec![("x", false, Mono::int())]));
+    assert!(matches!(
+        cx.unify(&Mono::class(a), &target),
+        Err(TypeError::MutabilityViolation { .. })
+    ));
+}
+
+#[test]
+fn three_way_merge_chain() {
+    // a::[[x=int]] ~ b::[[y=bool]] ~ c::[[z=string]]; discharge against a
+    // record with all three.
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
+    let b = cx.fresh_with_kind(Kind::has_field(Label::new("y"), Mono::bool()));
+    let c = cx.fresh_with_kind(Kind::has_field(Label::new("z"), Mono::str()));
+    cx.unify(&a, &b).expect("merge ab");
+    cx.unify(&b, &c).expect("merge bc");
+    let full = rec(vec![
+        ("x", false, Mono::int()),
+        ("y", true, Mono::bool()),
+        ("z", false, Mono::str()),
+    ]);
+    cx.unify(&c, &full).expect("discharge");
+    assert_eq!(cx.resolve(&a), cx.resolve(&full));
+
+    // And a record missing z fails through the same chain.
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
+    let b = cx.fresh_with_kind(Kind::has_field(Label::new("z"), Mono::str()));
+    cx.unify(&a, &b).expect("merge");
+    let partial = rec(vec![("x", false, Mono::int())]);
+    assert!(cx.unify(&a, &partial).is_err());
+}
+
+#[test]
+fn conflicting_field_types_across_merge() {
+    // a::[[x = int]] ~ b::[[x = bool]] must fail on the common field.
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
+    let b = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::bool()));
+    assert!(matches!(
+        cx.unify(&a, &b),
+        Err(TypeError::Mismatch(..))
+    ));
+}
+
+#[test]
+fn occurs_check_via_kind_field() {
+    // a::[[x = {a}]] — binding a to any record containing x : {a} is an
+    // infinite type and must be caught.
+    let mut cx = Infer::new();
+    let a = cx.fresh_var_id();
+    cx.set_kind(
+        a,
+        Kind::has_field(Label::new("x"), Mono::set(Mono::Var(a))),
+    );
+    let target = rec(vec![("x", false, Mono::set(Mono::Var(a)))]);
+    assert!(matches!(
+        cx.unify(&Mono::Var(a), &target),
+        Err(TypeError::Occurs(..))
+    ));
+}
+
+#[test]
+fn lval_types_unify_congruently() {
+    let mut cx = Infer::new();
+    let a = cx.fresh();
+    cx.unify(&Mono::lval(a.clone()), &Mono::lval(Mono::int()))
+        .expect("congruence");
+    assert_eq!(cx.resolve(&a), Mono::int());
+    assert!(cx.unify(&Mono::lval(Mono::int()), &Mono::int()).is_err());
+}
+
+#[test]
+fn mutable_req_survives_merge_then_discharge() {
+    // Merge Any + Mutable, then try an immutable record: must fail.
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
+    let b = cx.fresh_with_kind(Kind::has_mutable_field(Label::new("x"), Mono::int()));
+    cx.unify(&a, &b).expect("merge");
+    let imm = rec(vec![("x", false, Mono::int())]);
+    assert!(matches!(
+        cx.unify(&a, &imm),
+        Err(TypeError::MutabilityViolation { .. })
+    ));
+    // The mutable record succeeds.
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
+    let b = cx.fresh_with_kind(Kind::has_mutable_field(Label::new("x"), Mono::int()));
+    cx.unify(&a, &b).expect("merge");
+    let mt = rec(vec![("x", true, Mono::int())]);
+    cx.unify(&a, &mt).expect("mutable record admissible");
+}
+
+#[test]
+fn instance_with_dependent_binder_kinds() {
+    // ∀t1::U. ∀t2::[[x = t1]]. t2 → t1   ⊒   ∀t::[[x = int]]. t → int
+    let gen = Scheme::poly(
+        vec![
+            (0, Kind::Univ),
+            (1, Kind::has_field(Label::new("x"), Mono::Var(0))),
+        ],
+        Mono::arrow(Mono::Var(1), Mono::Var(0)),
+    );
+    let spec = Scheme::poly(
+        vec![(5, Kind::has_field(Label::new("x"), Mono::int()))],
+        Mono::arrow(Mono::Var(5), Mono::int()),
+    );
+    assert!(instance::instance_of(&gen, &spec));
+    assert!(!instance::instance_of(&spec, &gen));
+}
+
+#[test]
+fn instance_rejects_wrong_field_type_through_rigid_kind() {
+    // ∀t::[[x = int]]. t → t   ⋣ by   ∀u::[[x = bool]]. u → u.
+    let gen = Scheme::poly(
+        vec![(0, Kind::has_field(Label::new("x"), Mono::int()))],
+        Mono::arrow(Mono::Var(0), Mono::Var(0)),
+    );
+    let spec = Scheme::poly(
+        vec![(1, Kind::has_field(Label::new("x"), Mono::bool()))],
+        Mono::arrow(Mono::Var(1), Mono::Var(1)),
+    );
+    assert!(!instance::instance_of(&gen, &spec));
+}
+
+#[test]
+fn instance_through_obj_and_class_constructors() {
+    // ∀t::[[Name = string]]. class(t) → {obj(t)} generalizes the concrete
+    // staff instance.
+    let gen = Scheme::poly(
+        vec![(0, Kind::has_field(Label::new("Name"), Mono::str()))],
+        Mono::arrow(
+            Mono::class(Mono::Var(0)),
+            Mono::set(Mono::obj(Mono::Var(0))),
+        ),
+    );
+    let staff = rec(vec![("Name", false, Mono::str()), ("Age", false, Mono::int())]);
+    let spec = Scheme::mono(Mono::arrow(
+        Mono::class(staff.clone()),
+        Mono::set(Mono::obj(staff)),
+    ));
+    assert!(instance::instance_of(&gen, &spec));
+    // But not for a record without Name.
+    let anon = rec(vec![("Age", false, Mono::int())]);
+    let bad = Scheme::mono(Mono::arrow(
+        Mono::class(anon.clone()),
+        Mono::set(Mono::obj(anon)),
+    ));
+    assert!(!instance::instance_of(&gen, &bad));
+}
+
+#[test]
+fn merged_kind_joins_field_sets() {
+    let mut cx = Infer::new();
+    let a = cx.fresh_with_kind(Kind::Record(
+        [
+            (Label::new("x"), FieldReq::any(Mono::int())),
+            (Label::new("y"), FieldReq::mutable(Mono::bool())),
+        ]
+        .into_iter()
+        .collect(),
+    ));
+    let b = cx.fresh_with_kind(Kind::Record(
+        [
+            (Label::new("y"), FieldReq::any(Mono::bool())),
+            (Label::new("z"), FieldReq::any(Mono::str())),
+        ]
+        .into_iter()
+        .collect(),
+    ));
+    cx.unify(&a, &b).expect("merge");
+    let v = match cx.shallow(&a) {
+        Mono::Var(v) => v,
+        other => panic!("expected var, got {other:?}"),
+    };
+    match cx.kind_of(v) {
+        Kind::Record(reqs) => {
+            assert_eq!(reqs.len(), 3);
+            assert_eq!(reqs[&Label::new("y")].req, MutReq::Mutable);
+            assert_eq!(reqs[&Label::new("x")].req, MutReq::Any);
+        }
+        Kind::Univ => panic!("kind lost in merge"),
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 7 of the paper: mutually recursive classes with cyclic sharing.
+//!
+//! `Staff` and `Student` each include the appropriately-categorized members
+//! of `FemaleMember`, while `FemaleMember` includes the female members of
+//! both — a cyclic dependence that a partial-order (IS-A) hierarchy cannot
+//! express. The visited-set semantics of Section 4.4 guarantees queries
+//! terminate (Prop. 5).
+//!
+//! Run with: `cargo run --example mutual_sharing`
+
+use polyview::Engine;
+
+fn main() {
+    let mut engine = Engine::new();
+
+    engine
+        .exec(
+            r#"
+            val alice = IDView([Name = "Alice", Age = 40, Sex = "female"]);
+            val bob   = IDView([Name = "Bob",   Age = 50, Sex = "male"]);
+            val carol = IDView([Name = "Carol", Age = 22, Sex = "female"]);
+
+            -- Fig. 7, verbatim modulo concrete syntax:
+            class Staff = class {alice, bob}
+                include FemaleMember as fn f =>
+                    [Name = f.Name, Age = f.Age, Sex = "female"]
+                where fn f => query(fn x => x.Category = "staff", f)
+            end
+            and Student = class {carol}
+                include FemaleMember as fn f =>
+                    [Name = f.Name, Age = f.Age, Sex = "female"]
+                where fn f => query(fn x => x.Category = "student", f)
+            end
+            and FemaleMember = class {}
+                include Staff as fn s =>
+                    [Name = s.Name, Age = s.Age, Category = "staff"]
+                where fn s => query(fn x => x.Sex = "female", s)
+                include Student as fn s =>
+                    [Name = s.Name, Age = s.Age, Category = "student"]
+                where fn s => query(fn x => x.Sex = "female", s)
+            end;
+
+            fun names c = cquery(fn s =>
+                map(fn o => query(fn x => x.Name, o), s), c);
+            "#,
+        )
+        .expect("Fig. 7 classes define");
+
+    let show = |engine: &mut Engine, class: &str| {
+        let names = engine
+            .eval_to_string(&format!("names {class}"))
+            .expect("query terminates (Prop. 5)");
+        println!("{class:>14}: {names}");
+        names
+    };
+
+    println!("initial extents:");
+    assert_eq!(show(&mut engine, "Staff"), "{\"Alice\", \"Bob\"}");
+    assert_eq!(show(&mut engine, "Student"), "{\"Carol\"}");
+    assert_eq!(show(&mut engine, "FemaleMember"), "{\"Alice\", \"Carol\"}");
+
+    // Insert Fran directly into FemaleMember as staff: the *reverse*
+    // include makes her a Staff member too — mutual sharing in action.
+    engine
+        .exec(
+            r#"insert(FemaleMember,
+                      IDView([Name = "Fran", Age = 28, Category = "staff"]));"#,
+        )
+        .expect("insert");
+    println!("after inserting Fran (staff) into FemaleMember:");
+    assert_eq!(show(&mut engine, "Staff"), "{\"Alice\", \"Bob\", \"Fran\"}");
+    assert_eq!(show(&mut engine, "Student"), "{\"Carol\"}");
+    assert_eq!(
+        show(&mut engine, "FemaleMember"),
+        "{\"Alice\", \"Carol\", \"Fran\"}"
+    );
+
+    // And a student-category member flows into Student the same way.
+    engine
+        .exec(
+            r#"insert(FemaleMember,
+                      IDView([Name = "Gina", Age = 20, Category = "student"]));"#,
+        )
+        .expect("insert");
+    println!("after inserting Gina (student) into FemaleMember:");
+    assert_eq!(show(&mut engine, "Student"), "{\"Carol\", \"Gina\"}");
+
+    println!("mutual_sharing OK");
+}

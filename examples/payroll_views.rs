@@ -1,0 +1,88 @@
+//! Payroll with access-restricted views and L-value sharing.
+//!
+//! Scenario: HR holds the raw employee records. Two departments get
+//! different views of the *same* objects — finance sees salaries and may
+//! adjust bonuses; the directory service sees only names and ages and can
+//! update nothing. Updates made by finance are visible through every view
+//! because views are evaluated lazily against the shared raw objects.
+//!
+//! Run with: `cargo run --example payroll_views`
+
+use polyview::Engine;
+
+fn main() {
+    let mut engine = Engine::new();
+
+    engine
+        .exec(
+            r#"
+            val employees = {
+                IDView([Name = "Ada",    BirthYear = 1955, Salary := 9000, Bonus := 500]),
+                IDView([Name = "Barbara",BirthYear = 1960, Salary := 8000, Bonus := 900]),
+                IDView([Name = "Kurt",   BirthYear = 1958, Salary := 2000, Bonus := 100])
+            };
+
+            -- Finance: salary data visible, bonus mutable, name immutable.
+            val finance = select as fn x => [Name   = x.Name,
+                                             Income = x.Salary,
+                                             Bonus  := extract(x, Bonus)]
+                          from employees
+                          where fn o => true;
+
+            -- Directory: names and ages only; nothing mutable.
+            val directory = select as fn x => [Name = x.Name,
+                                               Age  = this_year() - x.BirthYear]
+                            from employees
+                            where fn o => true;
+            "#,
+        )
+        .expect("setup");
+
+    // The directory view cannot leak or mutate salaries: those programs
+    // are statically rejected.
+    let leak = engine.infer_expr("map(fn o => query(fn x => x.Salary, o), directory)");
+    println!("directory salary leak rejected: {}", leak.unwrap_err());
+    let poke = engine.infer_expr(
+        "map(fn o => query(fn x => update(x, Name, \"?\"), o), directory)",
+    );
+    println!("directory name update rejected: {}", poke.unwrap_err());
+
+    // Finance runs the paper's wealthy query…
+    engine
+        .exec("fun annual_income p = p.Income * 12 + p.Bonus;")
+        .expect("defines");
+    let wealthy = engine
+        .eval_to_string(
+            "map(fn o => query(fn x => x.Name, o), \
+             filter(fn o => query(annual_income, o) > 50000, finance))",
+        )
+        .expect("runs");
+    println!("wealthy (by annual income > 50k): {wealthy}");
+    assert_eq!(wealthy, "{\"Ada\", \"Barbara\"}");
+
+    // …then gives everyone earning less than 60k a 1000 bonus raise
+    // (only Kurt qualifies: 2000·12 + 100 = 24100).
+    engine
+        .exec(
+            "map(fn o => query(fn x => \
+                 if annual_income x < 60000 \
+                 then update(x, Bonus, x.Bonus + 1000) \
+                 else (), o), finance);",
+        )
+        .expect("raise runs");
+
+    // The raise is visible through the raw objects (same L-values).
+    let bonuses = engine
+        .eval_to_string("map(fn o => query(fn x => x.Bonus, o), employees)")
+        .expect("runs");
+    println!("raw bonuses after raise: {bonuses}");
+    assert_eq!(bonuses, "{500, 900, 1100}");
+
+    // And the directory still sees exactly names and ages.
+    let dir = engine
+        .eval_to_string("map(fn o => query(fn x => x, o), directory)")
+        .expect("runs");
+    println!("directory sees: {dir}");
+
+    println!("payroll_views OK");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the paper's running example (Section 3.3) end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use polyview::Engine;
+
+fn main() {
+    let mut engine = Engine::new();
+
+    // A raw object: an identity-carrying record with mutable and immutable
+    // fields (paper Section 2).
+    engine
+        .exec(
+            r#"
+            val joe = IDView([Name = "Joe", BirthYear = 1955,
+                              Salary := 2000, Bonus := 5000]);
+            "#,
+        )
+        .expect("joe defines");
+    println!("joe : {}", engine.scheme_of("joe").expect("bound"));
+
+    // A view: rename Salary to Income, hide BirthYear, compute Age, keep
+    // Bonus updatable by transferring its L-value with extract.
+    engine
+        .exec(
+            r#"
+            val joe_view = joe as fn x =>
+                [Name   = x.Name,
+                 Age    = this_year() - x.BirthYear,
+                 Income = x.Salary,
+                 Bonus  := extract(x, Bonus)];
+            "#,
+        )
+        .expect("joe_view defines");
+    println!("joe_view : {}", engine.scheme_of("joe_view").expect("bound"));
+
+    // Queries evaluate views lazily. Annual_Income is the paper's
+    // polymorphic query: ∀t::[[Income = int, Bonus = int]]. t → int.
+    engine
+        .exec("fun annual_income p = p.Income * 12 + p.Bonus;")
+        .expect("annual_income defines");
+    println!(
+        "annual_income : {}",
+        engine.scheme_of("annual_income").expect("bound")
+    );
+    let income = engine
+        .eval_to_string("query(annual_income, joe_view)")
+        .expect("query runs");
+    println!("query(annual_income, joe_view) = {income}");
+    assert_eq!(income, "29000");
+
+    // joe and joe_view are the same object (objeq), though distinct
+    // associations (eq).
+    println!(
+        "objeq(joe, joe_view) = {}",
+        engine.eval_to_string("objeq(joe, joe_view)").expect("runs")
+    );
+
+    // View update: adjust the Bonus through the view; the change is
+    // reflected in the raw object and every other view of it.
+    engine
+        .exec(
+            r#"
+            val adjustBonus = fn p =>
+                query(fn x => update(x, Bonus, x.Income * 3), p);
+            adjustBonus joe_view;
+            "#,
+        )
+        .expect("update runs");
+    let through_view = engine
+        .eval_to_string("query(fn x => x, joe_view)")
+        .expect("runs");
+    let through_raw = engine
+        .eval_to_string("query(fn x => x, joe)")
+        .expect("runs");
+    println!("after adjustBonus:");
+    println!("  joe_view sees {through_view}");
+    println!("  joe      sees {through_raw}");
+    assert!(through_view.contains("Bonus := 6000"));
+    assert!(through_raw.contains("Bonus := 6000"));
+
+    println!("quickstart OK");
+}

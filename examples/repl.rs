@@ -1,0 +1,79 @@
+//! An interactive top-level for the calculus.
+//!
+//! ```text
+//! cargo run --example repl
+//! polyview> val joe = IDView([Name = "Joe", Salary := 2000]);
+//! joe : obj([Name = string, Salary := int])
+//! polyview> query(fn x => x.Salary, joe)
+//! 2000 : int
+//! ```
+//!
+//! Also accepts a file argument: `cargo run --example repl -- prog.pv`
+//! executes the file and prints each declaration's outcome.
+
+use polyview::{Engine, Outcome};
+use std::io::{BufRead, Write};
+
+fn report(engine: &Engine, outcomes: &[Outcome]) {
+    for o in outcomes {
+        match o {
+            Outcome::Defined(names) => {
+                for (n, s) in names {
+                    println!("{n} : {s}");
+                }
+            }
+            Outcome::Value { scheme, rendered } => {
+                println!("{rendered} : {scheme}");
+            }
+        }
+    }
+    let _ = engine;
+}
+
+fn main() {
+    let mut engine = Engine::new();
+
+    if let Some(path) = std::env::args().nth(1) {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match engine.exec(&src) {
+            Ok(outcomes) => report(&engine, &outcomes),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("polyview — a polymorphic calculus for views and object sharing");
+    println!("type declarations or expressions; :q quits, :t EXPR shows a type");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("polyview> ");
+        std::io::stdout().flush().expect("flush");
+        line.clear();
+        if stdin.lock().read_line(&mut line).expect("read") == 0 {
+            break;
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if input == ":q" {
+            break;
+        }
+        if let Some(rest) = input.strip_prefix(":t ") {
+            match engine.infer_expr(rest) {
+                Ok(s) => println!("{rest} : {s}"),
+                Err(e) => println!("{e}"),
+            }
+            continue;
+        }
+        match engine.exec(input) {
+            Ok(outcomes) => report(&engine, &outcomes),
+            Err(e) => println!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Workspace root package: hosts the integration tests in `tests/` and the
+//! runnable examples in `examples/`. The library itself just re-exports the
+//! `polyview` facade so examples can `use polyview_repro as polyview;` if
+//! they wish; real consumers depend on the `polyview` crate directly.
+
+pub use polyview::*;

@@ -1,0 +1,552 @@
+//! Shared test infrastructure: a generator of **well-typed-by-construction
+//! programs** covering all three layers of the calculus. Used by the
+//! property-based tests for Props. 1–5.
+//!
+//! The generator is deterministic in its seed so failures reproduce. It
+//! deliberately avoids two things:
+//!
+//! * the `div`/`imod` builtins (division by zero is a legitimate runtime
+//!   failure outside the type-soundness statement), and `fix` (generated
+//!   programs always terminate, so Prop. 1 runs need no fuel);
+//! * constructing two *distinct view associations over one raw object*
+//!   outside the class layer, where the translated path cannot collapse
+//!   them (the one documented divergence from the native objeq-collapsing
+//!   set semantics; the class layer implements the collapse in both paths
+//!   and is fully exercised).
+
+#![allow(dead_code)]
+
+use polyview_syntax::{Expr, Field, FieldTy, Label, Mono, Name};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub struct Gen {
+    rng: StdRng,
+    fresh: u32,
+}
+
+/// Scoped variables available to generated terms.
+pub type Scope = Vec<(Name, Mono)>;
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            fresh: 0,
+        }
+    }
+
+    fn name(&mut self, base: &str) -> Name {
+        self.fresh += 1;
+        Label::new(format!("{base}{}", self.fresh))
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    fn flip(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    // ---------- types ----------
+
+    /// A random ground type (no obj/class/function components): the types
+    /// record fields may carry.
+    pub fn ground_type(&mut self, depth: usize) -> Mono {
+        if depth == 0 {
+            return match self.pick(3) {
+                0 => Mono::int(),
+                1 => Mono::bool(),
+                _ => Mono::str(),
+            };
+        }
+        match self.pick(5) {
+            0 => Mono::int(),
+            1 => Mono::bool(),
+            2 => Mono::str(),
+            3 => Mono::set(self.ground_type(depth - 1)),
+            _ => self.record_type(depth - 1, false),
+        }
+    }
+
+    /// A ground record type with 1–4 fields; `with_mutables` allows `:=`
+    /// fields.
+    pub fn record_type(&mut self, depth: usize, with_mutables: bool) -> Mono {
+        let n = 1 + self.pick(4);
+        let mut fields = std::collections::BTreeMap::new();
+        for i in 0..n {
+            let mutable = with_mutables && self.flip();
+            // Mutable fields keep base types so updates are easy to
+            // generate.
+            let ty = if mutable {
+                self.ground_type(0)
+            } else {
+                self.ground_type(depth)
+            };
+            fields.insert(Label::new(format!("f{i}")), FieldTy { mutable, ty });
+        }
+        Mono::Record(fields)
+    }
+
+    /// A view type for objects: a record, possibly with mutable fields.
+    pub fn view_type(&mut self) -> Mono {
+        self.record_type(1, true)
+    }
+
+    // ---------- terms ----------
+
+    /// A term of the given ground/record type under `scope`.
+    pub fn term(&mut self, ty: &Mono, scope: &mut Scope, depth: usize) -> Expr {
+        // Reuse a scoped variable of the right type ~25% of the time.
+        if !scope.is_empty() && self.rng.gen_bool(0.25) {
+            let hits: Vec<usize> = scope
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, t))| t == ty)
+                .map(|(i, _)| i)
+                .collect();
+            if !hits.is_empty() {
+                let i = hits[self.pick(hits.len())];
+                return Expr::Var(scope[i].0.clone());
+            }
+        }
+        match ty {
+            Mono::Base(b) => match b {
+                polyview_syntax::BaseTy::Int => self.int_term(scope, depth),
+                polyview_syntax::BaseTy::Bool => self.bool_term(scope, depth),
+                polyview_syntax::BaseTy::Str => self.str_term(scope, depth),
+            },
+            Mono::Unit => self.unit_term(scope, depth),
+            Mono::Set(elem) => self.set_term(elem, scope, depth),
+            Mono::Record(_) => self.record_term(ty, scope, depth),
+            Mono::Obj(view) => self.obj_term(view, scope, depth),
+            Mono::Class(view) => self.class_term(view, scope, depth),
+            Mono::Arrow(a, r) => {
+                let x = self.name("p");
+                scope.push(((x.clone()), (**a).clone()));
+                let body = self.term(r, scope, depth.saturating_sub(1));
+                scope.pop();
+                Expr::Lam(x, Box::new(body))
+            }
+            Mono::Var(_) | Mono::LVal(_) => {
+                unreachable!("generator never targets variables or L-value types")
+            }
+        }
+    }
+
+    fn int_term(&mut self, scope: &mut Scope, depth: usize) -> Expr {
+        if depth == 0 {
+            return Expr::int(self.rng.gen_range(-50..50));
+        }
+        match self.pick(7) {
+            0 => Expr::int(self.rng.gen_range(-50..50)),
+            1 => {
+                let op = ["add", "sub", "mul"][self.pick(3)];
+                Expr::apps(
+                    Expr::var(op),
+                    [
+                        self.int_term(scope, depth - 1),
+                        self.int_term(scope, depth - 1),
+                    ],
+                )
+            }
+            2 => {
+                let c = self.bool_term(scope, depth - 1);
+                Expr::if_(
+                    c,
+                    self.int_term(scope, depth - 1),
+                    self.int_term(scope, depth - 1),
+                )
+            }
+            3 => self.let_wrap(&Mono::int(), scope, depth),
+            4 => {
+                // Project an int field out of an inline record.
+                let rec_ty = self.record_with_field(Mono::int(), "pick");
+                let rec = self.record_term(&rec_ty, scope, depth - 1);
+                Expr::dot(rec, "pick")
+            }
+            5 => {
+                // Query an object's int field.
+                let view = self.record_with_field(Mono::int(), "q");
+                let o = self.obj_term(&view, scope, depth - 1);
+                Expr::query(Expr::lam("x", Expr::dot(Expr::var("x"), "q")), o)
+            }
+            _ => {
+                // Sum a set via hom.
+                let s = self.set_term(&Mono::int(), scope, depth - 1);
+                Expr::hom(
+                    s,
+                    Expr::lam("x", Expr::var("x")),
+                    Expr::lam(
+                        "a",
+                        Expr::lam("b", Expr::apps(Expr::var("add"), [Expr::var("a"), Expr::var("b")])),
+                    ),
+                    Expr::int(0),
+                )
+            }
+        }
+    }
+
+    fn bool_term(&mut self, scope: &mut Scope, depth: usize) -> Expr {
+        if depth == 0 {
+            return Expr::bool(self.flip());
+        }
+        match self.pick(6) {
+            0 => Expr::bool(self.flip()),
+            1 => {
+                let t = self.ground_type(1);
+                Expr::eq(
+                    self.term(&t, scope, depth - 1),
+                    self.term(&t, scope, depth - 1),
+                )
+            }
+            2 => Expr::apps(
+                Expr::var(["lt", "le", "gt", "ge"][self.pick(4)]),
+                [
+                    self.int_term(scope, depth - 1),
+                    self.int_term(scope, depth - 1),
+                ],
+            ),
+            3 => Expr::app(Expr::var("not"), self.bool_term(scope, depth - 1)),
+            4 => polyview_syntax::sugar::member(
+                self.int_term(scope, depth - 1),
+                self.set_term(&Mono::int(), scope, depth - 1),
+            ),
+            _ => {
+                // objeq of two independently created objects (never two
+                // views of one raw; see module docs). Both objects use the
+                // *same raw-record shape*: the paper's Fig. 3 translation of
+                // fuse applies one λx to both view functions, so it is
+                // typeable only when the raw types coincide — a subtlety of
+                // Prop. 3 documented in crates/trans and pinned by a
+                // dedicated test.
+                let view = self.view_type();
+                let widened = self.flip();
+                let a = self.obj_term_styled(&view, widened, scope, depth - 1);
+                let b = self.obj_term_styled(&view, widened, scope, depth - 1);
+                polyview_syntax::sugar::objeq(a, b)
+            }
+        }
+    }
+
+    fn str_term(&mut self, scope: &mut Scope, depth: usize) -> Expr {
+        if depth == 0 {
+            let words = ["a", "bb", "ccc", "joe", "staff", "female"];
+            return Expr::str(words[self.pick(words.len())]);
+        }
+        match self.pick(3) {
+            0 => self.str_term(scope, 0),
+            1 => Expr::apps(
+                Expr::var("concat"),
+                [
+                    self.str_term(scope, depth - 1),
+                    self.str_term(scope, depth - 1),
+                ],
+            ),
+            _ => Expr::app(Expr::var("int_to_string"), self.int_term(scope, depth - 1)),
+        }
+    }
+
+    fn unit_term(&mut self, scope: &mut Scope, depth: usize) -> Expr {
+        if depth == 0 {
+            return Expr::unit();
+        }
+        match self.pick(3) {
+            0 => Expr::unit(),
+            1 => {
+                // Update a fresh record's mutable field.
+                let r = self.name("r");
+                let fv = self.int_term(scope, depth - 1);
+                Expr::let_(
+                    r.clone(),
+                    Expr::record([Field::mutable("m", Expr::int(0))]),
+                    Expr::update(Expr::Var(r), "m", fv),
+                )
+            }
+            _ => {
+                // Update through a view (the paper's view-update).
+                let view = Mono::Record(
+                    [(Label::new("m"), FieldTy::mutable(Mono::int()))]
+                        .into_iter()
+                        .collect(),
+                );
+                let o = self.obj_term(&view, scope, depth - 1);
+                let fv = self.int_term(scope, depth - 1);
+                Expr::query(
+                    Expr::lam("x", Expr::update(Expr::var("x"), "m", fv)),
+                    o,
+                )
+            }
+        }
+    }
+
+    fn set_term(&mut self, elem: &Mono, scope: &mut Scope, depth: usize) -> Expr {
+        if depth == 0 {
+            return Expr::empty_set();
+        }
+        match self.pick(4) {
+            0 => {
+                let n = self.pick(4);
+                let elems: Vec<Expr> = (0..n)
+                    .map(|_| self.term(elem, scope, depth - 1))
+                    .collect();
+                Expr::set(elems)
+            }
+            1 => Expr::union(
+                self.set_term(elem, scope, depth - 1),
+                self.set_term(elem, scope, depth - 1),
+            ),
+            2 => {
+                // filter with a closed predicate.
+                let x = self.name("fx");
+                scope.push((x.clone(), elem.clone()));
+                let pred_body = self.bool_term(scope, depth - 1);
+                scope.pop();
+                polyview_syntax::sugar::filter(
+                    Expr::Lam(x, Box::new(pred_body)),
+                    self.set_term(elem, scope, depth - 1),
+                )
+            }
+            _ => self.let_wrap(&Mono::set(elem.clone()), scope, depth),
+        }
+    }
+
+    fn record_term(&mut self, ty: &Mono, scope: &mut Scope, depth: usize) -> Expr {
+        let fields = match ty {
+            Mono::Record(fs) => fs,
+            other => unreachable!("record_term on {other}"),
+        };
+        let fs: Vec<Field> = fields
+            .iter()
+            .map(|(l, f)| Field {
+                label: l.clone(),
+                mutable: f.mutable,
+                expr: self.term(&f.ty, scope, depth.saturating_sub(1)),
+            })
+            .collect();
+        Expr::Record(fs)
+    }
+
+    /// An object presenting `view`: either the identity view over a raw
+    /// record of exactly the view type, or a projection view over a wider
+    /// raw record (renames/hiding, with `extract` transferring mutability).
+    fn obj_term(&mut self, view: &Mono, scope: &mut Scope, depth: usize) -> Expr {
+        let widened = depth > 0 && self.flip();
+        self.obj_term_styled(view, widened, scope, depth)
+    }
+
+    /// Like [`Gen::obj_term`] but with the raw-record style fixed by the
+    /// caller, so two objects can be guaranteed type-identical raws.
+    fn obj_term_styled(
+        &mut self,
+        view: &Mono,
+        widened: bool,
+        scope: &mut Scope,
+        depth: usize,
+    ) -> Expr {
+        let view_fields = match view {
+            Mono::Record(fs) => fs.clone(),
+            other => unreachable!("obj_term on non-record view {other}"),
+        };
+        if !widened {
+            return Expr::id_view(self.record_term(view, scope, depth.saturating_sub(1)));
+        }
+        let depth = depth.max(1);
+        // Wider raw: src field `src_<l>` per view field `l`, plus an extra.
+        let mut raw_fields: Vec<Field> = Vec::new();
+        for (l, f) in &view_fields {
+            raw_fields.push(Field {
+                label: Label::new(format!("src_{l}")),
+                mutable: f.mutable,
+                expr: self.term(&f.ty, scope, depth - 1),
+            });
+        }
+        raw_fields.push(Field::immutable("extra", self.int_term(scope, depth - 1)));
+        let x = self.name("vx");
+        let view_body = Expr::Record(
+            view_fields
+                .iter()
+                .map(|(l, f)| Field {
+                    label: l.clone(),
+                    mutable: f.mutable,
+                    expr: if f.mutable {
+                        Expr::extract(Expr::Var(x.clone()), format!("src_{l}").as_str())
+                    } else {
+                        Expr::dot(Expr::Var(x.clone()), format!("src_{l}").as_str())
+                    },
+                })
+                .collect(),
+        );
+        Expr::as_view(
+            Expr::id_view(Expr::Record(raw_fields)),
+            Expr::Lam(x, Box::new(view_body)),
+        )
+    }
+
+    /// A class of objects presenting `view`: an own extent plus optionally
+    /// an include from a freshly bound source class.
+    fn class_term(&mut self, view: &Mono, scope: &mut Scope, depth: usize) -> Expr {
+        let n = self.pick(3);
+        let own: Vec<Expr> = (0..n)
+            .map(|_| self.obj_term(view, scope, depth.saturating_sub(1)))
+            .collect();
+        let own_class = Expr::ClassExpr(polyview_syntax::ClassDef {
+            own: Box::new(Expr::set(own)),
+            includes: vec![],
+        });
+        if depth == 0 || self.flip() {
+            return own_class;
+        }
+        // Bind a source class and include it under the identity view with
+        // a (possibly selective) predicate.
+        let src = self.name("Src");
+        let src_class = self.class_term(view, scope, depth - 1);
+        let o = self.name("po");
+        scope.push((o.clone(), Mono::obj(view.clone())));
+        let pred_body = if self.flip() {
+            Expr::bool(true)
+        } else {
+            // A query-based predicate over the first field.
+            let (l, f) = match view {
+                Mono::Record(fs) => {
+                    let (l, f) = fs.iter().next().expect("non-empty record");
+                    (l.clone(), f.ty.clone())
+                }
+                _ => unreachable!(),
+            };
+            let probe = self.term(&f, scope, 0);
+            Expr::query(
+                Expr::lam("x", Expr::eq(Expr::Dot(Box::new(Expr::var("x")), l), probe)),
+                Expr::Var(o.clone()),
+            )
+        };
+        scope.pop();
+        let inner = Expr::ClassExpr(polyview_syntax::ClassDef {
+            own: Box::new(Expr::set((0..self.pick(2)).map(|_| {
+                self.obj_term(view, scope, depth.saturating_sub(1))
+            }))),
+            includes: vec![polyview_syntax::IncludeClause {
+                sources: vec![Expr::Var(src.clone())],
+                view: Expr::lam("x", Expr::var("x")),
+                pred: Expr::Lam(o, Box::new(pred_body)),
+            }],
+        });
+        Expr::let_(src, src_class, inner)
+    }
+
+    /// Public wrapper for invariant tests that need a class term directly.
+    pub fn class_term_public(&mut self, view: &Mono, scope: &mut Scope, depth: usize) -> Expr {
+        self.class_term(view, scope, depth)
+    }
+
+    fn let_wrap(&mut self, ty: &Mono, scope: &mut Scope, depth: usize) -> Expr {
+        let bty = self.ground_type(1);
+        let rhs = self.term(&bty, scope, depth - 1);
+        let x = self.name("v");
+        scope.push((x.clone(), bty));
+        let body = self.term(ty, scope, depth - 1);
+        scope.pop();
+        Expr::Let(x, Box::new(rhs), Box::new(body))
+    }
+
+    fn record_with_field(&mut self, field_ty: Mono, label: &str) -> Mono {
+        let mut fields = std::collections::BTreeMap::new();
+        fields.insert(Label::new(label), FieldTy::immutable(field_ty));
+        if self.flip() {
+            fields.insert(Label::new("pad"), FieldTy::immutable(self.ground_type(0)));
+        }
+        Mono::Record(fields)
+    }
+
+    /// A random closed, terminating, well-typed program together with its
+    /// by-construction type. Target types are observable (base/sets/unit)
+    /// so results can be compared across evaluators.
+    pub fn observable_program(&mut self, depth: usize) -> (Expr, Mono) {
+        let ty = match self.pick(5) {
+            0 => Mono::int(),
+            1 => Mono::bool(),
+            2 => Mono::str(),
+            3 => Mono::set(Mono::int()),
+            _ => Mono::Unit,
+        };
+        let mut scope = Scope::new();
+        let e = self.term(&ty, &mut scope, depth);
+        (e, ty)
+    }
+
+    /// A program exercising the class layer: classes (possibly nested
+    /// includes), finished with a counting `c-query` so the result is an
+    /// observable int.
+    pub fn class_program(&mut self, depth: usize) -> (Expr, Mono) {
+        let view = self.view_type();
+        let mut scope = Scope::new();
+        let class = self.class_term(&view, &mut scope, depth);
+        let count = Expr::cquery(
+            Expr::lam(
+                "s",
+                Expr::hom(
+                    Expr::var("s"),
+                    Expr::lam("x", Expr::int(1)),
+                    Expr::lam(
+                        "a",
+                        Expr::lam(
+                            "b",
+                            Expr::apps(Expr::var("add"), [Expr::var("a"), Expr::var("b")]),
+                        ),
+                    ),
+                    Expr::int(0),
+                ),
+            ),
+            class,
+        );
+        (count, Mono::int())
+    }
+
+    /// A mutually recursive class group shaped as a ring of `k` classes,
+    /// each with a small own extent, ending in a count query over class 0.
+    pub fn recursive_ring_program(&mut self, k: usize, depth: usize) -> (Expr, Mono) {
+        assert!(k >= 1);
+        let view = self.record_type(0, false);
+        let mut scope = Scope::new();
+        let binds: Vec<(Name, polyview_syntax::ClassDef)> = (0..k)
+            .map(|i| {
+                let next = Label::new(format!("RC{}", (i + 1) % k));
+                let n = self.pick(3);
+                let own: Vec<Expr> = (0..n)
+                    .map(|_| self.obj_term(&view, &mut scope, depth))
+                    .collect();
+                (
+                    Label::new(format!("RC{i}")),
+                    polyview_syntax::ClassDef {
+                        own: Box::new(Expr::set(own)),
+                        includes: vec![polyview_syntax::IncludeClause {
+                            sources: vec![Expr::Var(next)],
+                            view: Expr::lam("x", Expr::var("x")),
+                            pred: Expr::lam("x", Expr::bool(true)),
+                        }],
+                    },
+                )
+            })
+            .collect();
+        let count = Expr::cquery(
+            Expr::lam(
+                "s",
+                Expr::hom(
+                    Expr::var("s"),
+                    Expr::lam("x", Expr::int(1)),
+                    Expr::lam(
+                        "a",
+                        Expr::lam(
+                            "b",
+                            Expr::apps(Expr::var("add"), [Expr::var("a"), Expr::var("b")]),
+                        ),
+                    ),
+                    Expr::int(0),
+                ),
+            ),
+            Expr::var("RC0"),
+        );
+        (Expr::LetClasses(binds, Box::new(count)), Mono::int())
+    }
+}

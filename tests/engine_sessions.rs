@@ -1,0 +1,180 @@
+//! Session-level engine behaviour: multi-statement programs, persistence,
+//! interleaving of definitions and effects, error recovery, and the
+//! surface-language forms working together end to end.
+
+use polyview::{Engine, Error, Outcome};
+
+#[test]
+fn long_session_state_accumulates() {
+    let mut e = Engine::new();
+    e.load_prelude().expect("prelude");
+    e.exec(
+        r#"
+        val db_epoch = [n := 0];
+        fun tick u = update(db_epoch, n, db_epoch.n + 1);
+        class Log = class {} end;
+        "#,
+    )
+    .expect("setup");
+    for i in 0..10 {
+        e.exec(&format!(
+            "tick (); insert(Log, IDView([entry = {i}]));"
+        ))
+        .expect("step");
+    }
+    assert_eq!(e.eval_to_string("db_epoch.n").expect("runs"), "10");
+    assert_eq!(e.eval_to_string("csize Log").expect("runs"), "10");
+}
+
+#[test]
+fn rebinding_shadows_cleanly() {
+    let mut e = Engine::new();
+    e.exec("val x = 1;").expect("first");
+    assert_eq!(e.eval_to_string("x").expect("runs"), "1");
+    e.exec("val x = \"now a string\";").expect("rebind");
+    assert_eq!(e.eval_to_string("x").expect("runs"), "\"now a string\"");
+    // The old binding is gone for new code, at the new type.
+    assert!(e.infer_expr("x + 1").is_err());
+}
+
+#[test]
+fn failed_declaration_leaves_previous_state_intact() {
+    let mut e = Engine::new();
+    e.exec("val x = 41;").expect("defines");
+    // A program with a type error in the middle: the error is reported,
+    // earlier bindings in the same exec stay (declaration granularity).
+    let err = e
+        .exec("val y = x + 1; val z = y + \"bad\"; val w = 0;")
+        .expect_err("fails");
+    assert!(matches!(err, Error::Type(_)));
+    assert_eq!(e.eval_to_string("y").expect("runs"), "42");
+    // The failing and subsequent declarations did not bind.
+    assert!(e.scheme_of("z").is_none());
+    assert!(e.scheme_of("w").is_none());
+}
+
+#[test]
+fn outcomes_report_schemes_per_declaration() {
+    let mut e = Engine::new();
+    let outs = e
+        .exec("val a = 1; fun f x = x; class C = class {} end; f a")
+        .expect("runs");
+    assert_eq!(outs.len(), 4);
+    match &outs[0] {
+        Outcome::Defined(binds) => {
+            assert_eq!(binds[0].0.as_str(), "a");
+            assert_eq!(binds[0].1.to_string(), "int");
+        }
+        other => panic!("expected define, got {other:?}"),
+    }
+    match &outs[1] {
+        Outcome::Defined(binds) => {
+            assert_eq!(binds[0].1.to_string(), "∀t1::U. t1 -> t1");
+        }
+        other => panic!("expected define, got {other:?}"),
+    }
+    match &outs[3] {
+        Outcome::Value { scheme, rendered } => {
+            assert_eq!(scheme.to_string(), "int");
+            assert_eq!(rendered, "1");
+        }
+        other => panic!("expected value, got {other:?}"),
+    }
+}
+
+#[test]
+fn classes_persist_and_share_across_statements() {
+    let mut e = Engine::new();
+    e.load_prelude().expect("prelude");
+    e.exec(
+        r#"
+        class Person = class {} end;
+        class Adult = class {}
+            include Person as fn p => p
+            where fn p => query(fn x => x.Age >= 18, p)
+        end;
+        "#,
+    )
+    .expect("classes");
+    e.exec(
+        r#"
+        insert(Person, IDView([Name = "Kid", Age = 10]));
+        insert(Person, IDView([Name = "Grown", Age = 30]));
+        "#,
+    )
+    .expect("inserts");
+    assert_eq!(e.eval_to_string("csize Person").expect("runs"), "2");
+    assert_eq!(e.eval_to_string("csize Adult").expect("runs"), "1");
+    e.exec(r#"insert(Person, IDView([Name = "Elder", Age = 80]));"#)
+        .expect("insert");
+    assert_eq!(e.eval_to_string("csize Adult").expect("runs"), "2");
+}
+
+#[test]
+fn translate_expr_round_trips_through_engine() {
+    let mut e = Engine::new();
+    e.exec(r#"val joe = IDView([Name = "Joe", Salary := 2000]);"#)
+        .expect("defines");
+    let tr = e
+        .translate_expr("query(fn x => x.Salary, joe)")
+        .expect("translates");
+    // The translation references `joe`, whose *runtime* value is a native
+    // object, not a pair — translation output is for whole-program use;
+    // here we only check it is closed except for the globals it names.
+    let fv = polyview::syntax::visit::free_vars(&tr);
+    assert!(fv.contains("joe"));
+    let shown = tr.to_string();
+    assert!(shown.contains(".2"), "applies a view function: {shown}");
+}
+
+#[test]
+fn value_rendering_of_every_shape() {
+    let mut e = Engine::new();
+    for (src, expect) in [
+        ("()", "()"),
+        ("1 + 1", "2"),
+        ("\"s\"", "\"s\""),
+        ("true andalso false", "false"),
+        ("{3, 1, 2}", "{1, 2, 3}"),
+        ("[b = 2, a = 1]", "[a = 1, b = 2]"),
+        ("(1, \"x\")", "[1 = 1, 2 = \"x\"]"),
+    ] {
+        assert_eq!(e.eval_to_string(src).expect("runs"), expect, "for {src}");
+    }
+    // Functions, objects and classes render opaquely but stably.
+    assert_eq!(e.eval_to_string("fn x => x").expect("runs"), "<fn>");
+    assert!(e
+        .eval_to_string("IDView([a = 1])")
+        .expect("runs")
+        .starts_with("<obj"));
+    assert!(e
+        .eval_to_string("class {} end")
+        .expect("runs")
+        .starts_with("<class"));
+}
+
+#[test]
+fn with_stack_size_runs_deep_programs() {
+    let out = polyview::engine::with_stack_size(128 * 1024 * 1024, || {
+        let mut e = Engine::new();
+        e.exec("fun sum n = if n = 0 then 0 else n + sum (n - 1);")
+            .expect("defines");
+        e.eval_to_string("sum 3000").expect("runs")
+    });
+    assert_eq!(out, "4501500");
+}
+
+#[test]
+fn fuel_limited_engine_reports_exhaustion_not_crash() {
+    let mut e = Engine::with_fuel(500);
+    let err = e
+        .eval_expr("let fun loop x = loop x in loop 0 end")
+        .expect_err("halts");
+    assert!(matches!(
+        err,
+        Error::Runtime(polyview::eval::RuntimeError::FuelExhausted)
+    ));
+    // A fresh engine (or more fuel) recovers; the failure is clean.
+    let mut e2 = Engine::new();
+    assert_eq!(e2.eval_to_string("1 + 1").expect("runs"), "2");
+}

@@ -1,0 +1,428 @@
+//! The paper, section by section, through the surface language and the
+//! engine. Each test reproduces the exact programs (modulo concrete
+//! syntax) and results the paper states.
+
+use polyview::{Engine, Error};
+
+fn engine() -> Engine {
+    Engine::new()
+}
+
+// ===== Section 2: the core language =====
+
+#[test]
+fn s2_record_creation_and_identity() {
+    let mut e = engine();
+    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#).expect("defines");
+    assert_eq!(
+        e.scheme_of("joe").expect("bound").to_string(),
+        "[Name = string, Salary := int]"
+    );
+    // Evaluation of a record expression creates a new identity.
+    assert_eq!(
+        e.eval_to_string(r#"[Name = "Doe"] == [Name = "Doe"]"#).expect("runs"),
+        "false"
+    );
+    assert_eq!(e.eval_to_string("joe == joe").expect("runs"), "true");
+}
+
+#[test]
+fn s2_lvalue_sharing_doe_john() {
+    // The paper's Doe/john example, verbatim.
+    let mut e = engine();
+    e.exec(
+        r#"
+        val joe  = [Name = "Doe", Salary := 3000];
+        val Doe  = [Name = "Doe", Income := extract(joe, Salary)];
+        val john = [Name = "John", Salary = extract(joe, Salary)];
+        update(joe, Salary, 4000);
+        "#,
+    )
+    .expect("runs");
+    assert_eq!(e.eval_to_string("Doe.Income").expect("runs"), "4000");
+    // john's Salary is immutable yet shares the L-value.
+    assert_eq!(e.eval_to_string("john.Salary").expect("runs"), "4000");
+}
+
+#[test]
+fn s2_illegal_lvalue_uses_rejected() {
+    let mut e = engine();
+    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#).expect("defines");
+    // Arithmetic on an extracted L-value (first illegal example).
+    let err = e
+        .infer_expr(r#"[Name = "Joe Doe", Income = extract(joe, Salary) * 2]"#)
+        .expect_err("rejected");
+    assert!(err.is_type_error());
+    // Extracting the L-value of an immutable field (second illegal
+    // example).
+    let err = e
+        .infer_expr(r#"[Name = extract(joe, Name), Income := joe.Salary]"#)
+        .expect_err("rejected");
+    assert!(matches!(
+        err,
+        Error::Type(polyview_types::TypeError::MutabilityViolation { .. })
+    ));
+}
+
+#[test]
+fn s2_update_immutable_rejected() {
+    let mut e = engine();
+    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#).expect("defines");
+    assert_eq!(
+        e.eval_to_string("let u = update(joe, Salary, 4000) in joe.Salary end")
+            .expect("runs"),
+        "4000"
+    );
+    let err = e
+        .infer_expr(r#"update(joe, Name, "Peter")"#)
+        .expect_err("rejected");
+    assert!(matches!(
+        err,
+        Error::Type(polyview_types::TypeError::MutabilityViolation { .. })
+    ));
+}
+
+#[test]
+fn s2_sets_and_derived_operations() {
+    let mut e = engine();
+    assert_eq!(e.eval_to_string("union({1, 2}, {2, 3})").expect("runs"), "{1, 2, 3}");
+    assert_eq!(
+        e.eval_to_string("hom({1, 2, 3}, fn x => x, fn a => fn b => a + b, 0)")
+            .expect("runs"),
+        "6"
+    );
+    assert_eq!(e.eval_to_string("member(2, {1, 2})").expect("runs"), "true");
+    assert_eq!(
+        e.eval_to_string("map(fn x => x * 10, {1, 2})").expect("runs"),
+        "{10, 20}"
+    );
+    assert_eq!(
+        e.eval_to_string("filter(fn x => x > 1, {1, 2, 3})").expect("runs"),
+        "{2, 3}"
+    );
+    // prod of two sets has 4 elements.
+    assert_eq!(
+        e.eval_to_string(
+            "hom(prod({1, 2}, {10, 20}), fn p => p.1 + p.2, fn a => fn b => union({a}, b), {})"
+        )
+        .expect("runs"),
+        "{11, 12, 21, 22}"
+    );
+}
+
+#[test]
+fn s2_mutually_recursive_functions() {
+    let mut e = engine();
+    e.exec(
+        "fun even n = if n = 0 then true else odd (n - 1) \
+         and odd n = if n = 0 then false else even (n - 1);",
+    )
+    .expect("defines");
+    assert_eq!(e.eval_to_string("(even 4, odd 4)").expect("runs"), "[1 = true, 2 = false]");
+}
+
+// ===== Section 3: views =====
+
+fn setup_joe(e: &mut Engine) {
+    e.exec(
+        r#"
+        val joe = IDView([Name = "Joe", BirthYear = 1955,
+                          Salary := 2000, Bonus := 5000]);
+        val joe_view = joe as fn x => [Name = x.Name,
+                                       Age = this_year() - x.BirthYear,
+                                       Income = x.Salary,
+                                       Bonus := extract(x, Bonus)];
+        "#,
+    )
+    .expect("setup");
+}
+
+#[test]
+fn s33_view_types_match_paper() {
+    let mut e = engine();
+    setup_joe(&mut e);
+    assert_eq!(
+        e.scheme_of("joe").expect("bound").to_string(),
+        "obj([BirthYear = int, Bonus := int, Name = string, Salary := int])"
+    );
+    assert_eq!(
+        e.scheme_of("joe_view").expect("bound").to_string(),
+        "obj([Age = int, Bonus := int, Income = int, Name = string])"
+    );
+}
+
+#[test]
+fn s33_annual_income_is_29000() {
+    let mut e = engine();
+    setup_joe(&mut e);
+    e.exec("fun Annual_Income p = p.Income * 12 + p.Bonus;").expect("defines");
+    assert_eq!(
+        e.scheme_of("Annual_Income").expect("bound").to_string(),
+        "∀t1::[[Bonus = int, Income = int]]. t1 -> int"
+    );
+    assert_eq!(
+        e.eval_to_string("query(Annual_Income, joe_view)").expect("runs"),
+        "29000"
+    );
+}
+
+#[test]
+fn s33_objeq_and_view_update() {
+    let mut e = engine();
+    setup_joe(&mut e);
+    assert_eq!(e.eval_to_string("objeq(joe, joe_view)").expect("runs"), "true");
+
+    e.exec(
+        r#"
+        val adjustBonus = fn p => query(fn x => update(x, Bonus, x.Income * 3), p);
+        adjustBonus joe_view;
+        "#,
+    )
+    .expect("update");
+    // After the update, the paper's exact results (Age 39 via
+    // this_year() = 1994):
+    assert_eq!(
+        e.eval_to_string("query(fn x => x, joe_view)").expect("runs"),
+        "[Age = 39, Bonus := 6000, Income = 2000, Name = \"Joe\"]"
+    );
+    assert_eq!(
+        e.eval_to_string("query(fn x => x, joe)").expect("runs"),
+        "[BirthYear = 1955, Bonus := 6000, Name = \"Joe\", Salary := 2000]"
+    );
+}
+
+#[test]
+fn s33_wealthy_polymorphic_query() {
+    let mut e = engine();
+    e.exec(
+        r#"
+        fun Annual_Income p = p.Income * 12 + p.Bonus;
+        fun wealthy S = select as fn x => [Name = x.Name, Age = x.Age]
+                        from S
+                        where fn x => query(Annual_Income, x) > 100000;
+        "#,
+    )
+    .expect("defines");
+    let s = e.scheme_of("wealthy").expect("bound").to_string();
+    // ∀…[[Age = …, Bonus = int, Income = int, Name = …]].
+    //   {obj(t)} → {obj([Age = …, Name = …])}
+    assert!(s.contains("Bonus = int"), "got {s}");
+    assert!(s.contains("Income = int"), "got {s}");
+    assert!(s.contains("{obj("), "got {s}");
+
+    e.exec(
+        r#"
+        val Employees = {
+            IDView([Name = "Rich", Age = 60, Income = 10000, Bonus = 1]),
+            IDView([Name = "Poor", Age = 20, Income = 100,   Bonus = 1])
+        };
+        "#,
+    )
+    .expect("defines");
+    assert_eq!(
+        e.eval_to_string(
+            "map(fn o => query(fn x => x.Name, o), wealthy Employees)"
+        )
+        .expect("runs"),
+        "{\"Rich\"}"
+    );
+}
+
+#[test]
+fn s31_fuse_and_relobj() {
+    let mut e = engine();
+    setup_joe(&mut e);
+    // fuse of the same raw object: singleton with product views.
+    assert_eq!(
+        e.eval_to_string(
+            "hom(fuse(joe, joe_view), \
+                 fn o => query(fn p => (p.1.Salary, p.2.Income), o), \
+                 fn a => fn b => a, (0-1, 0-1))"
+        )
+        .expect("runs"),
+        "[1 = 2000, 2 = 2000]"
+    );
+    // fuse of different raws: empty.
+    assert_eq!(
+        e.eval_to_string(r#"fuse(joe, IDView([Name = "X"])) == {}"#).expect("runs"),
+        "true"
+    );
+    // relobj creates new identity.
+    assert_eq!(
+        e.eval_to_string("objeq(relobj(a = joe), relobj(a = joe))").expect("runs"),
+        "false"
+    );
+}
+
+// ===== Section 4: classes =====
+
+#[test]
+fn s42_female_member() {
+    let mut e = engine();
+    e.exec(
+        r#"
+        class Staff = class {
+            IDView([Name = "Alice", Age = 40, Sex = "female"]),
+            IDView([Name = "Bob", Age = 50, Sex = "male"])
+        } end
+        and Student = class {
+            IDView([Name = "Carol", Age = 22, Sex = "female"])
+        } end;
+
+        class FemaleMember = class {}
+            include Staff as fn s => [Name = s.Name, Age = s.Age, Category = "staff"]
+            where fn s => query(fn x => x.Sex = "female", s)
+            include Student as fn s => [Name = s.Name, Age = s.Age, Category = "student"]
+            where fn s => query(fn x => x.Sex = "female", s)
+        end;
+
+        fun names c = cquery(fn s => map(fn o => query(fn x => x.Name, o), s), c);
+        "#,
+    )
+    .expect("defines");
+    assert_eq!(
+        e.scheme_of("FemaleMember").expect("bound").to_string(),
+        "class([Age = int, Category = string, Name = string])"
+    );
+    assert_eq!(
+        e.eval_to_string("names FemaleMember").expect("runs"),
+        "{\"Alice\", \"Carol\"}"
+    );
+}
+
+#[test]
+fn s42_student_staff_intersection() {
+    let mut e = engine();
+    e.exec(
+        r#"
+        val carol = IDView([Name = "Carol", Age = 22, Sex = "female",
+                            Salary := 100, Degree := "BSc"]);
+        class Staff = class {carol,
+            IDView([Name = "Bob", Age = 50, Sex = "male",
+                    Salary := 200, Degree := "-"])} end;
+        class Student = class {carol} end;
+        class StudentStaff = class {}
+            include Staff, Student as fn p =>
+                [Name = p.1.Name, Age = p.1.Age, Sex = p.1.Sex,
+                 Sal := extract(p.1, Salary), Deg := extract(p.2, Degree)]
+            where fn p => true
+        end;
+        fun names c = cquery(fn s => map(fn o => query(fn x => x.Name, o), s), c);
+        "#,
+    )
+    .expect("defines");
+    assert_eq!(
+        e.eval_to_string("names StudentStaff").expect("runs"),
+        "{\"Carol\"}"
+    );
+    // Mutability transfers through the fused views: update Sal via
+    // StudentStaff, observe through carol.
+    e.exec(
+        "cquery(fn s => map(fn o => query(fn x => update(x, Sal, 999), o), s), StudentStaff);",
+    )
+    .expect("update");
+    assert_eq!(
+        e.eval_to_string("query(fn x => x.Salary, carol)").expect("runs"),
+        "999"
+    );
+}
+
+#[test]
+fn s44_ill_formed_recursion_rejected() {
+    // The paper's C1 = C \ C2 and C2 = C \ C1: ill-typed by the Fig. 6
+    // scope restriction.
+    let mut e = engine();
+    e.exec("class C = class {IDView([n = 1])} end;").expect("defines");
+    let err = e
+        .exec(
+            "class C1 = class {} include C as fn x => x \
+                 where fn c => cquery(fn s => not (member(c, s)), C2) end \
+             and C2 = class {} include C as fn x => x \
+                 where fn c => cquery(fn s => not (member(c, s)), C1) end;",
+        )
+        .expect_err("rejected");
+    assert!(matches!(
+        err,
+        Error::Type(polyview_types::TypeError::RecClass(_))
+    ));
+}
+
+#[test]
+fn s44_fig7_full_example() {
+    let mut e = engine();
+    e.exec(
+        r#"
+        val alice = IDView([Name = "Alice", Age = 40, Sex = "female"]);
+        val bob   = IDView([Name = "Bob",   Age = 50, Sex = "male"]);
+        val carol = IDView([Name = "Carol", Age = 22, Sex = "female"]);
+
+        class Staff = class {alice, bob}
+            include FemaleMember as fn f => [Name = f.Name, Age = f.Age, Sex = "female"]
+            where fn f => query(fn x => x.Category = "staff", f)
+        end
+        and Student = class {carol}
+            include FemaleMember as fn f => [Name = f.Name, Age = f.Age, Sex = "female"]
+            where fn f => query(fn x => x.Category = "student", f)
+        end
+        and FemaleMember = class {}
+            include Staff as fn s => [Name = s.Name, Age = s.Age, Category = "staff"]
+            where fn s => query(fn x => x.Sex = "female", s)
+            include Student as fn s => [Name = s.Name, Age = s.Age, Category = "student"]
+            where fn s => query(fn x => x.Sex = "female", s)
+        end;
+
+        fun names c = cquery(fn s => map(fn o => query(fn x => x.Name, o), s), c);
+        "#,
+    )
+    .expect("defines");
+    assert_eq!(e.eval_to_string("names Staff").expect("runs"), "{\"Alice\", \"Bob\"}");
+    assert_eq!(e.eval_to_string("names FemaleMember").expect("runs"), "{\"Alice\", \"Carol\"}");
+
+    // Mutual sharing: a staff-category FemaleMember flows into Staff.
+    e.exec(r#"insert(FemaleMember, IDView([Name = "Fran", Age = 28, Category = "staff"]));"#)
+        .expect("insert");
+    assert_eq!(
+        e.eval_to_string("names Staff").expect("runs"),
+        "{\"Alice\", \"Bob\", \"Fran\"}"
+    );
+    assert_eq!(e.eval_to_string("names Student").expect("runs"), "{\"Carol\"}");
+}
+
+#[test]
+fn s41_classes_are_first_class() {
+    let mut e = engine();
+    e.exec(
+        r#"
+        fun mk s = class s end;
+        val C1 = mk {IDView([n = 1])};
+        val C2 = mk {};
+        insert(C2, IDView([n = 2]));
+        fun count c = cquery(fn s => hom(s, fn x => 1, fn a => fn b => a + b, 0), c);
+        "#,
+    )
+    .expect("defines");
+    assert_eq!(e.eval_to_string("(count C1, count C2)").expect("runs"), "[1 = 1, 2 = 1]");
+}
+
+#[test]
+fn s31_relation_style_query() {
+    let mut e = engine();
+    e.exec(
+        r#"
+        val S = {IDView([a = 1]), IDView([a = 2])};
+        val T = {IDView([b = 10]), IDView([b = 20])};
+        val rel = relation [l = x, r = y]
+                  from x in S, y in T
+                  where query(fn p => p.a, x) = 1;
+        "#,
+    )
+    .expect("defines");
+    // Sets of records display in identity order, which is
+    // creation-order-dependent; check membership rather than order.
+    let shown = e
+        .eval_to_string("map(fn o => query(fn p => (p.l.a, p.r.b), o), rel)")
+        .expect("runs");
+    assert!(shown.contains("[1 = 1, 2 = 10]"), "got {shown}");
+    assert!(shown.contains("[1 = 1, 2 = 20]"), "got {shown}");
+    assert_eq!(shown.matches("[1 = 1").count(), 2, "got {shown}");
+}

@@ -1,0 +1,171 @@
+//! Invariants of the class semantics (Sections 4.1/4.3), as properties
+//! over generated classes and workloads:
+//!
+//! * the own extent is always a subset of the full extent;
+//! * every extent member's raw object originates from some own extent
+//!   (sharing never invents objects);
+//! * insert/delete affect only the own extent, monotonically;
+//! * extents are stable under repeated query (no query side effects).
+
+mod common;
+
+use common::Gen;
+use polyview_eval::{Machine, SetVal, Value};
+use polyview_syntax::builder as b;
+use polyview_syntax::Expr;
+use proptest::prelude::*;
+
+fn count_query(class: &str) -> Expr {
+    b::cquery(
+        b::lam(
+            "s",
+            b::hom(
+                b::v("s"),
+                b::lam("x", b::int(1)),
+                b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
+                b::int(0),
+            ),
+        ),
+        b::v(class),
+    )
+}
+
+fn as_int(v: &Value) -> i64 {
+    match v {
+        Value::Int(n) => *n,
+        other => panic!("expected int, got {other:?}"),
+    }
+}
+
+/// Set-of-keys helper.
+fn keyset(s: &SetVal) -> std::collections::BTreeSet<polyview_eval::Key> {
+    s.0.keys().cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// extent(C) ⊇ own(C), and both are stable across repeated queries.
+    #[test]
+    fn own_extent_subset_of_extent(seed in any::<u64>(), depth in 1usize..4) {
+        let mut g = Gen::new(seed);
+        let view = g.view_type();
+        let mut scope = Vec::new();
+        let class_e = g.class_term_public(&view, &mut scope, depth);
+        let mut m = Machine::new();
+        let c = m.eval(&class_e).expect("class evals");
+        let cid = c.as_class().expect("class value");
+
+        let own = m
+            .store
+            .get(m.class_data(cid).own_slot)
+            .as_set()
+            .expect("own is a set")
+            .clone();
+        let extent1 = m.extent_of(&c).expect("extent");
+        let extent2 = m.extent_of(&c).expect("extent again");
+        prop_assert_eq!(keyset(&extent1), keyset(&extent2), "extent not stable");
+        for k in keyset(&own) {
+            prop_assert!(
+                extent1.contains_key(&k),
+                "own extent member missing from extent"
+            );
+        }
+    }
+
+    /// Inserting a fresh object grows the extent by exactly one; deleting
+    /// it restores the previous extent.
+    #[test]
+    fn insert_delete_roundtrip(seed in any::<u64>(), depth in 1usize..3) {
+        let mut g = Gen::new(seed);
+        let view = g.view_type();
+        let mut scope = Vec::new();
+        let class_e = g.class_term_public(&view, &mut scope, depth);
+        let obj_e = g.term(&polyview_syntax::Mono::obj(view.clone()), &mut scope, 1);
+
+        let mut m = Machine::new();
+        let c = m.eval(&class_e).expect("class evals");
+        m.define_global("C", c);
+        let o = m.eval(&obj_e).expect("object evals");
+        m.define_global("o", o);
+
+        let before = as_int(&m.eval(&count_query("C")).expect("count"));
+        m.eval(&b::insert(b::v("C"), b::v("o"))).expect("insert");
+        let after = as_int(&m.eval(&count_query("C")).expect("count"));
+        prop_assert_eq!(after, before + 1, "fresh insert must grow extent by 1");
+
+        // Inserting the same object again is a no-op (objeq).
+        m.eval(&b::insert(b::v("C"), b::v("o"))).expect("re-insert");
+        let again = as_int(&m.eval(&count_query("C")).expect("count"));
+        prop_assert_eq!(again, after);
+
+        m.eval(&b::delete(b::v("C"), b::v("o"))).expect("delete");
+        let restored = as_int(&m.eval(&count_query("C")).expect("count"));
+        prop_assert_eq!(restored, before, "delete must restore the extent");
+    }
+
+    /// Sharing never invents identities: every extent member's key also
+    /// appears in the own extent of *some* class in the machine.
+    #[test]
+    fn extent_members_originate_from_own_extents(seed in any::<u64>(), depth in 1usize..4) {
+        let mut g = Gen::new(seed);
+        let view = g.view_type();
+        let mut scope = Vec::new();
+        let class_e = g.class_term_public(&view, &mut scope, depth);
+        let mut m = Machine::new();
+        let c = m.eval(&class_e).expect("class evals");
+        let extent = m.extent_of(&c).expect("extent");
+
+        let mut own_keys = std::collections::BTreeSet::new();
+        for cid in 0..m.class_count() {
+            let own = m
+                .store
+                .get(m.class_data(cid).own_slot)
+                .as_set()
+                .expect("own is a set")
+                .clone();
+            own_keys.extend(keyset(&own));
+        }
+        for k in keyset(&extent) {
+            prop_assert!(
+                own_keys.contains(&k),
+                "extent member {k:?} not in any own extent"
+            );
+        }
+    }
+
+    /// A lazy includer sees inserts into its source immediately.
+    #[test]
+    fn lazy_propagation_from_source(seed in any::<u64>()) {
+        let mut g = Gen::new(seed);
+        let view = g.record_type(0, false);
+        let mut scope = Vec::new();
+        let src_e = g.class_term_public(&view, &mut scope, 0); // own-extent only
+        let fresh_obj = g.term(&polyview_syntax::Mono::obj(view.clone()), &mut scope, 1);
+
+        let mut m = Machine::new();
+        let src = m.eval(&src_e).expect("source class");
+        m.define_global("Src", src);
+        let includer = m
+            .eval(&b::class(
+                b::empty(),
+                vec![b::include(
+                    vec![b::v("Src")],
+                    b::lam("x", b::v("x")),
+                    b::lam("x", b::boolean(true)),
+                )],
+            ))
+            .expect("includer");
+        m.define_global("Inc", includer);
+
+        let before_inc = as_int(&m.eval(&count_query("Inc")).expect("count"));
+        let before_src = as_int(&m.eval(&count_query("Src")).expect("count"));
+        prop_assert_eq!(before_inc, before_src, "identity include mirrors source");
+
+        let o = m.eval(&fresh_obj).expect("object");
+        m.define_global("o", o);
+        m.eval(&b::insert(b::v("Src"), b::v("o"))).expect("insert");
+        let after_inc = as_int(&m.eval(&count_query("Inc")).expect("count"));
+        prop_assert_eq!(after_inc, before_inc + 1, "insert must propagate lazily");
+    }
+}

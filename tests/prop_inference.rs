@@ -1,0 +1,266 @@
+//! Prop. 2 (principal types) and unification properties, over generated
+//! types and programs.
+
+mod common;
+
+use common::Gen;
+use polyview_syntax::{Mono, Scheme};
+use polyview_types::{builtins_sig, infer, instance, Infer};
+use proptest::prelude::*;
+
+/// A deterministic structural rename of all variables in an expression's
+/// binder names — alpha-renaming at the term level.
+fn alpha_rename(e: &polyview_syntax::Expr) -> polyview_syntax::Expr {
+    use polyview_syntax::Expr;
+    fn go(e: &Expr, suffix: &str) -> Expr {
+        match e {
+            Expr::Lam(x, b) => {
+                let nx = polyview_syntax::Label::new(format!("{x}{suffix}"));
+                Expr::Lam(nx, Box::new(go(&rename_var(b, x, suffix), suffix)))
+            }
+            Expr::Let(x, r, b) => {
+                let nx = polyview_syntax::Label::new(format!("{x}{suffix}"));
+                Expr::Let(
+                    nx,
+                    Box::new(go(r, suffix)),
+                    Box::new(go(&rename_var(b, x, suffix), suffix)),
+                )
+            }
+            other => map_children(other, &|c| go(c, suffix)),
+        }
+    }
+    // A crude but sound capture-free renamer: it relies on the generator
+    // producing globally unique binder names, so appending a suffix stays
+    // capture-free.
+    fn rename_var(e: &Expr, x: &polyview_syntax::Name, suffix: &str) -> Expr {
+        match e {
+            Expr::Var(y) if y == x => {
+                Expr::Var(polyview_syntax::Label::new(format!("{y}{suffix}")))
+            }
+            Expr::Lam(y, _) | Expr::Fix(y, _) if y == x => e.clone(),
+            Expr::Let(y, r, b) if y == x => Expr::Let(
+                y.clone(),
+                Box::new(rename_var(r, x, suffix)),
+                (*b).clone(),
+            ),
+            other => map_children(other, &|c| rename_var(c, x, suffix)),
+        }
+    }
+    fn map_children(e: &Expr, f: &dyn Fn(&Expr) -> Expr) -> Expr {
+        use polyview_syntax::Field;
+        match e {
+            Expr::Lit(_) | Expr::Var(_) => e.clone(),
+            Expr::Eq(a, b) => Expr::eq(f(a), f(b)),
+            Expr::Lam(x, b) => Expr::Lam(x.clone(), Box::new(f(b))),
+            Expr::App(a, b) => Expr::app(f(a), f(b)),
+            Expr::Record(fs) => Expr::Record(
+                fs.iter()
+                    .map(|fl| Field {
+                        label: fl.label.clone(),
+                        mutable: fl.mutable,
+                        expr: f(&fl.expr),
+                    })
+                    .collect(),
+            ),
+            Expr::Dot(a, l) => Expr::Dot(Box::new(f(a)), l.clone()),
+            Expr::Extract(a, l) => Expr::Extract(Box::new(f(a)), l.clone()),
+            Expr::Update(a, l, b) => Expr::Update(Box::new(f(a)), l.clone(), Box::new(f(b))),
+            Expr::SetLit(es) => Expr::SetLit(es.iter().map(f).collect()),
+            Expr::Union(a, b) => Expr::union(f(a), f(b)),
+            Expr::Hom(a, b, c, d) => Expr::hom(f(a), f(b), f(c), f(d)),
+            Expr::Fix(x, b) => Expr::Fix(x.clone(), Box::new(f(b))),
+            Expr::Let(x, r, b) => Expr::Let(x.clone(), Box::new(f(r)), Box::new(f(b))),
+            Expr::If(a, b, c) => Expr::if_(f(a), f(b), f(c)),
+            Expr::IdView(a) => Expr::IdView(Box::new(f(a))),
+            Expr::AsView(a, b) => Expr::as_view(f(a), f(b)),
+            Expr::Query(a, b) => Expr::query(f(a), f(b)),
+            Expr::Fuse(a, b) => Expr::fuse(f(a), f(b)),
+            Expr::RelObj(fs) => {
+                Expr::RelObj(fs.iter().map(|(l, e)| (l.clone(), f(e))).collect())
+            }
+            Expr::ClassExpr(cd) => Expr::ClassExpr(map_class(cd, f)),
+            Expr::CQuery(a, b) => Expr::cquery(f(a), f(b)),
+            Expr::Insert(a, b) => Expr::insert(f(a), f(b)),
+            Expr::Delete(a, b) => Expr::delete(f(a), f(b)),
+            Expr::LetClasses(binds, b) => Expr::LetClasses(
+                binds
+                    .iter()
+                    .map(|(n, cd)| (n.clone(), map_class(cd, f)))
+                    .collect(),
+                Box::new(f(b)),
+            ),
+        }
+    }
+    fn map_class(cd: &polyview_syntax::ClassDef, f: &dyn Fn(&Expr) -> Expr) -> polyview_syntax::ClassDef {
+        polyview_syntax::ClassDef {
+            own: Box::new(f(&cd.own)),
+            includes: cd
+                .includes
+                .iter()
+                .map(|i| polyview_syntax::IncludeClause {
+                    sources: i.sources.iter().map(f).collect(),
+                    view: f(&i.view),
+                    pred: f(&i.pred),
+                })
+                .collect(),
+        }
+    }
+    go(e, "_r")
+}
+
+fn principal_scheme(e: &polyview_syntax::Expr) -> Scheme {
+    let mut cx = Infer::new();
+    let mut env = builtins_sig::builtin_env();
+    let t = infer::infer(&mut cx, &mut env, e)
+        .unwrap_or_else(|err| panic!("ill-typed ({err}): {e}"));
+    cx.generalize(&env, &t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Inference is deterministic: the same program always gets the same
+    /// (alpha-equivalent) principal scheme.
+    #[test]
+    fn inference_is_deterministic(seed in any::<u64>(), depth in 1usize..5) {
+        let mut g = Gen::new(seed);
+        let (e, _) = g.observable_program(depth);
+        let s1 = principal_scheme(&e);
+        let s2 = principal_scheme(&e);
+        prop_assert!(instance::equivalent(&s1, &s2), "{} vs {}", s1, s2);
+    }
+
+    /// Alpha-renaming term binders does not change the principal scheme.
+    #[test]
+    fn inference_is_stable_under_alpha_renaming(seed in any::<u64>(), depth in 1usize..4) {
+        let mut g = Gen::new(seed);
+        let (e, _) = g.observable_program(depth);
+        let s1 = principal_scheme(&e);
+        let s2 = principal_scheme(&alpha_rename(&e));
+        prop_assert!(
+            instance::equivalent(&s1, &s2),
+            "alpha-renaming changed the scheme: {} vs {} for {}", s1, s2, e
+        );
+    }
+
+    /// Every scheme is an instance of itself, and instancehood is
+    /// transitive down to the by-construction monotype.
+    #[test]
+    fn instance_relation_is_reflexive_on_inferred(seed in any::<u64>(), depth in 1usize..4) {
+        let mut g = Gen::new(seed);
+        let (e, ty) = g.observable_program(depth);
+        let s = principal_scheme(&e);
+        prop_assert!(instance::instance_of(&s, &s), "not self-instance: {}", s);
+        prop_assert!(
+            instance::instance_of(&s, &Scheme::mono(ty.clone())),
+            "{} not an instance of {}", ty, s
+        );
+    }
+}
+
+// ---------- unification properties over generated types ----------
+
+fn gen_type_with_vars(g: &mut Gen, cx: &mut Infer, depth: usize) -> Mono {
+    // Reuse the ground generator, then sprinkle fresh variables by
+    // replacing random leaves.
+    fn sprinkle(t: &Mono, cx: &mut Infer, flip: &mut dyn FnMut() -> bool) -> Mono {
+        match t {
+            Mono::Base(_) | Mono::Unit => {
+                if flip() {
+                    cx.fresh()
+                } else {
+                    t.clone()
+                }
+            }
+            Mono::Arrow(a, b) => Mono::arrow(sprinkle(a, cx, flip), sprinkle(b, cx, flip)),
+            Mono::Set(e) => Mono::set(sprinkle(e, cx, flip)),
+            Mono::LVal(e) => Mono::lval(sprinkle(e, cx, flip)),
+            Mono::Obj(e) => Mono::obj(sprinkle(e, cx, flip)),
+            Mono::Class(e) => Mono::class(sprinkle(e, cx, flip)),
+            Mono::Record(fs) => Mono::Record(
+                fs.iter()
+                    .map(|(l, f)| {
+                        (
+                            l.clone(),
+                            polyview_syntax::FieldTy {
+                                mutable: f.mutable,
+                                ty: sprinkle(&f.ty, cx, flip),
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+            Mono::Var(v) => Mono::Var(*v),
+        }
+    }
+    let base = g.ground_type(depth);
+    let mut count = 0u32;
+    let mut flip = || {
+        count += 1;
+        count.is_multiple_of(3)
+    };
+    sprinkle(&base, cx, &mut flip)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// When unification succeeds, the two types resolve to the same type.
+    #[test]
+    fn unification_produces_a_unifier(seed in any::<u64>(), depth in 0usize..4) {
+        let mut g = Gen::new(seed);
+        let mut cx = Infer::new();
+        let a = gen_type_with_vars(&mut g, &mut cx, depth);
+        let b = gen_type_with_vars(&mut g, &mut cx, depth);
+        if cx.unify(&a, &b).is_ok() {
+            prop_assert_eq!(cx.resolve(&a), cx.resolve(&b));
+        }
+    }
+
+    /// Unification succeeds symmetrically and produces the same unifier up
+    /// to resolution.
+    #[test]
+    fn unification_is_symmetric(seed in any::<u64>(), depth in 0usize..4) {
+        let mut g1 = Gen::new(seed);
+        let mut cx1 = Infer::new();
+        let a1 = gen_type_with_vars(&mut g1, &mut cx1, depth);
+        let b1 = gen_type_with_vars(&mut g1, &mut cx1, depth);
+        let ok1 = cx1.unify(&a1, &b1).is_ok();
+
+        let mut g2 = Gen::new(seed);
+        let mut cx2 = Infer::new();
+        let a2 = gen_type_with_vars(&mut g2, &mut cx2, depth);
+        let b2 = gen_type_with_vars(&mut g2, &mut cx2, depth);
+        let ok2 = cx2.unify(&b2, &a2).is_ok();
+
+        prop_assert_eq!(ok1, ok2);
+        if ok1 {
+            prop_assert_eq!(cx1.resolve(&a1), cx2.resolve(&a2));
+        }
+    }
+
+    /// Unifying a type with itself always succeeds without binding
+    /// anything observable.
+    #[test]
+    fn unification_is_reflexive(seed in any::<u64>(), depth in 0usize..4) {
+        let mut g = Gen::new(seed);
+        let mut cx = Infer::new();
+        let a = gen_type_with_vars(&mut g, &mut cx, depth);
+        let before = cx.resolve(&a);
+        prop_assert!(cx.unify(&a, &a).is_ok());
+        prop_assert_eq!(cx.resolve(&a), before);
+    }
+
+    /// Resolution is idempotent after unification.
+    #[test]
+    fn resolution_is_idempotent(seed in any::<u64>(), depth in 0usize..4) {
+        let mut g = Gen::new(seed);
+        let mut cx = Infer::new();
+        let a = gen_type_with_vars(&mut g, &mut cx, depth);
+        let b = gen_type_with_vars(&mut g, &mut cx, depth);
+        let _ = cx.unify(&a, &b);
+        let once = cx.resolve(&a);
+        let twice = cx.resolve(&once);
+        prop_assert_eq!(once, twice);
+    }
+}

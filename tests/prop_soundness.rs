@@ -1,0 +1,118 @@
+//! Prop. 1 (type soundness), executable: generated well-typed programs
+//! never "go wrong" — evaluation never raises a type-category runtime
+//! error, and the resulting value has the program's type.
+
+mod common;
+
+use common::Gen;
+use polyview_eval::{Machine, Value};
+use polyview_syntax::Mono;
+use polyview_types::{builtins_sig, infer, instance, Infer};
+use proptest::prelude::*;
+
+/// Does the runtime value inhabit the (resolved, ground-ish) type?
+fn value_has_type(m: &Machine, v: &Value, t: &Mono) -> bool {
+    match (v, t) {
+        (Value::Int(_), Mono::Base(polyview_syntax::BaseTy::Int)) => true,
+        (Value::Bool(_), Mono::Base(polyview_syntax::BaseTy::Bool)) => true,
+        (Value::Str(_), Mono::Base(polyview_syntax::BaseTy::Str)) => true,
+        (Value::Unit, Mono::Unit) => true,
+        (Value::Set(s), Mono::Set(elem)) => s.values().all(|e| value_has_type(m, e, elem)),
+        (Value::Record(r), Mono::Record(fs)) => {
+            r.fields.len() == fs.len()
+                && fs.iter().all(|(l, f)| match r.fields.get(l) {
+                    Some(slot) => {
+                        slot.mutable == f.mutable
+                            && value_has_type(m, m.store.get(slot.slot), &f.ty)
+                    }
+                    None => false,
+                })
+        }
+        (Value::Obj(_), Mono::Obj(_)) => true, // view application checked by queries
+        (Value::Class(_), Mono::Class(_)) => true,
+        (Value::Closure(_) | Value::Builtin(_), Mono::Arrow(..)) => true,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generated programs typecheck at their by-construction type.
+    #[test]
+    fn generated_programs_are_well_typed(seed in any::<u64>(), depth in 1usize..5) {
+        let mut g = Gen::new(seed);
+        let (e, ty) = g.observable_program(depth);
+        let mut cx = Infer::new();
+        let mut env = builtins_sig::builtin_env();
+        let inferred = infer::infer(&mut cx, &mut env, &e)
+            .unwrap_or_else(|err| panic!("generator produced ill-typed term ({err}): {e}"));
+        // Generalizing over the remaining unconstrained variables yields a
+        // scheme of which the by-construction type must be an instance.
+        let scheme = cx.generalize(&env, &inferred);
+        prop_assert!(
+            instance::instance_of(&scheme, &polyview_syntax::Scheme::mono(ty.clone())),
+            "constructed type {} is not an instance of inferred {} for {}",
+            ty, scheme, e
+        );
+    }
+
+    /// Prop. 1: evaluation of a well-typed program never raises a
+    /// type-category error, and the value inhabits the type.
+    #[test]
+    fn well_typed_programs_cannot_go_wrong(seed in any::<u64>(), depth in 1usize..5) {
+        let mut g = Gen::new(seed);
+        let (e, ty) = g.observable_program(depth);
+        // Double-check typability (prerequisite of the proposition).
+        let mut cx = Infer::new();
+        let mut env = builtins_sig::builtin_env();
+        infer::infer_resolved(&mut cx, &mut env, &e).expect("well-typed by construction");
+
+        let mut m = Machine::new();
+        match m.eval(&e) {
+            Ok(v) => prop_assert!(
+                value_has_type(&m, &v, &ty),
+                "value {} does not inhabit {ty} for {e}",
+                m.show(&v)
+            ),
+            Err(err) => prop_assert!(
+                !err.is_type_error(),
+                "well-typed program went wrong ({err}): {e}"
+            ),
+        }
+    }
+
+    /// Prop. 1 for the class layer: class programs evaluate without
+    /// type-category errors and produce non-negative counts.
+    #[test]
+    fn class_programs_cannot_go_wrong(seed in any::<u64>(), depth in 1usize..4) {
+        let mut g = Gen::new(seed);
+        let (e, _) = g.class_program(depth);
+        let mut cx = Infer::new();
+        let mut env = builtins_sig::builtin_env();
+        infer::infer_resolved(&mut cx, &mut env, &e)
+            .unwrap_or_else(|err| panic!("class generator ill-typed ({err}): {e}"));
+        let mut m = Machine::new();
+        let v = m.eval(&e).unwrap_or_else(|err| panic!("went wrong ({err}): {e}"));
+        match v {
+            Value::Int(n) => prop_assert!(n >= 0, "negative extent count {n}"),
+            other => prop_assert!(false, "expected int, got {}", m.show(&other)),
+        }
+    }
+
+    /// Evaluation is deterministic: two runs on fresh machines agree.
+    #[test]
+    fn evaluation_is_deterministic(seed in any::<u64>(), depth in 1usize..4) {
+        let mut g = Gen::new(seed);
+        let (e, _) = g.observable_program(depth);
+        let r1 = {
+            let mut m = Machine::new();
+            m.eval(&e).map(|v| m.show(&v))
+        };
+        let r2 = {
+            let mut m = Machine::new();
+            m.eval(&e).map(|v| m.show(&v))
+        };
+        prop_assert_eq!(r1.ok(), r2.ok());
+    }
+}
