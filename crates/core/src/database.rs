@@ -4,8 +4,9 @@
 
 use crate::engine::Engine;
 use crate::error::Error;
+use crate::prepare::StmtKey;
 use polyview_eval::Value;
-use polyview_syntax::Scheme;
+use polyview_syntax::{Expr, Scheme};
 
 /// A thin OODB wrapper around [`Engine`].
 ///
@@ -57,22 +58,54 @@ impl Database {
 
     /// Run a `c-query` with the given set-level function source against a
     /// named class.
+    ///
+    /// The statement is assembled as an AST — `cquery(set_fn, class)` via
+    /// [`Expr::cquery`] with the class name as a variable node — so neither
+    /// operand is ever spliced into source text and reparsed: `set_fn` must
+    /// be one complete expression on its own and the class name can never
+    /// be reinterpreted as syntax. Compiled once per distinct
+    /// `(class, set_fn)` pair, then served from the statement cache with
+    /// zero parse/inference work per call.
     pub fn query(&mut self, class: &str, set_fn: &str) -> Result<String, Error> {
-        self.engine
-            .eval_to_string(&format!("cquery({set_fn}, {class})"))
+        let key = StmtKey::Query {
+            class: class.to_string(),
+            set_fn: set_fn.to_string(),
+        };
+        let (_, v) = self.engine.eval_cached(key, |eng| {
+            let f = eng.parse_operand(set_fn)?;
+            eng.prepare_expr(Expr::cquery(f, Expr::var(class)))
+        })?;
+        Ok(self.engine.show(&v))
     }
 
-    /// Insert an object expression into a named class's own extent.
+    /// Insert an object expression into a named class's own extent. Like
+    /// [`Database::query`], built by AST construction: `obj` must parse as
+    /// one complete expression (a trailing `")); delete(…"` is a parse
+    /// error, not a second statement) and the class name is a variable
+    /// node, never source text.
     pub fn insert(&mut self, class: &str, obj: &str) -> Result<(), Error> {
-        self.engine
-            .eval_expr(&format!("insert({class}, {obj})"))?;
+        let key = StmtKey::Insert {
+            class: class.to_string(),
+            obj: obj.to_string(),
+        };
+        self.engine.eval_cached(key, |eng| {
+            let o = eng.parse_operand(obj)?;
+            eng.prepare_expr(Expr::insert(Expr::var(class), o))
+        })?;
         Ok(())
     }
 
-    /// Delete an object expression from a named class's own extent.
+    /// Delete an object expression from a named class's own extent (same
+    /// AST-construction path as [`Database::insert`]).
     pub fn delete(&mut self, class: &str, obj: &str) -> Result<(), Error> {
-        self.engine
-            .eval_expr(&format!("delete({class}, {obj})"))?;
+        let key = StmtKey::Delete {
+            class: class.to_string(),
+            obj: obj.to_string(),
+        };
+        self.engine.eval_cached(key, |eng| {
+            let o = eng.parse_operand(obj)?;
+            eng.prepare_expr(Expr::delete(Expr::var(class), o))
+        })?;
         Ok(())
     }
 

@@ -6,13 +6,23 @@
 //! evaluation — the soundness theorem (Prop. 1) guarantees evaluation of a
 //! well-typed program never raises a type-category error, and the engine's
 //! tests assert exactly that.
+//!
+//! The engine is split into two phases (see [`crate::prepare`]):
+//! *compilation* (parse + principal type inference, via
+//! [`Engine::prepare`]) and *execution* ([`Engine::run`]). Expression entry
+//! points ([`Engine::eval_expr`] / [`Engine::eval_to_string`]) route
+//! through an LRU statement cache, so a repeated statement is compiled once
+//! and then served with zero parser and zero inference work per call;
+//! [`Engine::stats`] exposes counters that pin this down.
 
 use crate::error::Error;
+use crate::prepare::{EngineStats, Prepared, StmtCache, StmtKey, DEFAULT_STMT_CACHE_CAPACITY};
 use polyview_eval::{Machine, Value};
 use polyview_parser::{parse_expr, parse_program, Decl};
 use polyview_syntax::visit::check_rec_class_scope;
 use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
 use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv};
+use std::rc::Rc;
 
 /// Result of executing one declaration.
 #[derive(Clone, Debug)]
@@ -21,18 +31,22 @@ pub enum Outcome {
     /// principal schemes.
     Defined(Vec<(Name, Scheme)>),
     /// An evaluated bare expression.
-    Value {
-        scheme: Scheme,
-        rendered: String,
-    },
+    Value { scheme: Scheme, rendered: String },
 }
 
 /// A persistent session: parser + inference + evaluation with shared
-/// top-level environments.
+/// top-level environments, and a statement cache serving the
+/// compile-once/run-many path.
 pub struct Engine {
     cx: Infer,
     tenv: TypeEnv,
     machine: Machine,
+    stmts: StmtCache,
+    stats: EngineStats,
+    /// Bumped by every declaration (`val`/`fun`/`class`): prepared
+    /// statements compiled under an older epoch are stale because the
+    /// top-level type environment they were inferred against has changed.
+    env_epoch: u64,
 }
 
 impl Default for Engine {
@@ -47,6 +61,9 @@ impl Engine {
             cx: Infer::new(),
             tenv: builtins_sig::builtin_env(),
             machine: Machine::new(),
+            stmts: StmtCache::new(DEFAULT_STMT_CACHE_CAPACITY),
+            stats: EngineStats::default(),
+            env_epoch: 0,
         }
     }
 
@@ -60,6 +77,7 @@ impl Engine {
 
     /// Execute a program: a sequence of declarations.
     pub fn exec(&mut self, src: &str) -> Result<Vec<Outcome>, Error> {
+        self.stats.parses += 1;
         let decls = parse_program(src)?;
         let mut out = Vec::with_capacity(decls.len());
         for d in &decls {
@@ -68,10 +86,127 @@ impl Engine {
         Ok(out)
     }
 
-    /// Type-check and evaluate a single expression.
+    // ----- compile once / run many -----
+
+    /// Compile a statement: parse it and infer its principal scheme. The
+    /// returned [`Prepared`] can be executed any number of times with
+    /// [`Engine::run`] without touching the parser or inference again.
+    pub fn prepare(&mut self, src: &str) -> Result<Prepared, Error> {
+        let ast = self.parse_counted(src)?;
+        self.prepare_parsed(Some(src.to_string()), ast)
+    }
+
+    /// Compile a pre-built AST (no parsing at all): infer its principal
+    /// scheme and package it for repeated execution. This is the path the
+    /// [`crate::Database`] facade uses — operands are spliced as AST nodes,
+    /// never as source text.
+    pub fn prepare_expr(&mut self, ast: Expr) -> Result<Prepared, Error> {
+        self.prepare_parsed(None, ast)
+    }
+
+    fn prepare_parsed(&mut self, src: Option<String>, ast: Expr) -> Result<Prepared, Error> {
+        self.stats.inferences += 1;
+        let scheme = self.cx.infer_scheme(&mut self.tenv, &ast)?;
+        Ok(Prepared::new(src, Rc::new(ast), scheme, self.env_epoch))
+    }
+
+    /// Execute a prepared statement against the current store. No parsing,
+    /// no inference: the cached AST is evaluated directly under the global
+    /// environment. Fails with [`Error::StalePrepared`] if any declaration
+    /// has been executed since the statement was prepared (re-`prepare` it;
+    /// the internal statement cache does this automatically).
+    pub fn run(&mut self, p: &Prepared) -> Result<Value, Error> {
+        if p.env_epoch() != self.env_epoch {
+            return Err(Error::StalePrepared);
+        }
+        Ok(self.machine.eval_global(p.ast())?)
+    }
+
+    /// [`Engine::run`], rendering the result.
+    pub fn run_to_string(&mut self, p: &Prepared) -> Result<String, Error> {
+        let v = self.run(p)?;
+        Ok(self.machine.show(&v))
+    }
+
+    /// Execute a statement through the LRU statement cache: on a hit the
+    /// cached compiled form runs directly; on a miss (or a stale entry)
+    /// `build` compiles a fresh [`Prepared`], which is cached for next
+    /// time.
+    pub(crate) fn eval_cached(
+        &mut self,
+        key: StmtKey,
+        build: impl FnOnce(&mut Self) -> Result<Prepared, Error>,
+    ) -> Result<(Scheme, Value), Error> {
+        if let Some(p) = self.stmts.get_valid(&key, self.env_epoch) {
+            let ast = p.ast_rc();
+            let scheme = p.scheme().clone();
+            self.stats.stmt_cache_hits += 1;
+            let v = self.machine.eval_global(&ast)?;
+            return Ok((scheme, v));
+        }
+        self.stats.stmt_cache_misses += 1;
+        let p = build(self)?;
+        let scheme = p.scheme().clone();
+        let v = self.machine.eval_global(p.ast())?;
+        self.stmts.insert(key, p);
+        Ok((scheme, v))
+    }
+
+    fn parse_counted(&mut self, src: &str) -> Result<Expr, Error> {
+        self.stats.parses += 1;
+        Ok(parse_expr(src)?)
+    }
+
+    /// Parse one complete expression to be spliced into a larger statement
+    /// *as an AST node* (the [`crate::Database`] facade's operands).
+    /// Trailing input is a parse error here — an operand can never smuggle
+    /// in additional statements — and typing happens once, on the
+    /// assembled statement.
+    pub(crate) fn parse_operand(&mut self, src: &str) -> Result<Expr, Error> {
+        self.parse_counted(src)
+    }
+
+    /// Pipeline counters: parses, inferences, statement-cache hits/misses.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of statements currently held compiled in the cache.
+    pub fn stmt_cache_len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Statement-cache capacity (number of distinct statements kept
+    /// compiled).
+    pub fn stmt_cache_capacity(&self) -> usize {
+        self.stmts.capacity()
+    }
+
+    /// Resize the statement cache (0 disables caching — every call
+    /// recompiles, the "cold" path the prepared bench compares against).
+    pub fn set_stmt_cache_capacity(&mut self, capacity: usize) {
+        self.stmts.set_capacity(capacity);
+    }
+
+    /// Drop every cached statement (they recompile on next use).
+    pub fn clear_stmt_cache(&mut self) {
+        self.stmts.clear();
+    }
+
+    /// The current declaration epoch (bumped by `val`/`fun`/`class`).
+    pub fn env_epoch(&self) -> u64 {
+        self.env_epoch
+    }
+
+    /// Type-check and evaluate a single expression. Served from the
+    /// statement cache: repeating the same source performs no parsing and
+    /// no inference.
     pub fn eval_expr(&mut self, src: &str) -> Result<(Scheme, Value), Error> {
-        let e = parse_expr(src)?;
-        self.eval_ast(&e)
+        self.eval_cached(StmtKey::Src(src.to_string()), |eng| eng.prepare(src))
     }
 
     /// Evaluate an expression and render the result.
@@ -82,12 +217,15 @@ impl Engine {
 
     /// Infer the principal scheme of an expression without evaluating it.
     pub fn infer_expr(&mut self, src: &str) -> Result<Scheme, Error> {
-        let e = parse_expr(src)?;
+        let e = self.parse_counted(src)?;
+        self.stats.inferences += 1;
         Ok(self.cx.infer_scheme(&mut self.tenv, &e)?)
     }
 
-    /// Type-check and evaluate a pre-built AST.
+    /// Type-check and evaluate a pre-built AST (uncached; see
+    /// [`Engine::prepare_expr`] for the compile-once path).
     pub fn eval_ast(&mut self, e: &Expr) -> Result<(Scheme, Value), Error> {
+        self.stats.inferences += 1;
         let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
         let v = self.machine.eval(e)?;
         Ok((scheme, v))
@@ -97,16 +235,19 @@ impl Engine {
     pub fn exec_decl(&mut self, d: &Decl) -> Result<Outcome, Error> {
         match d {
             Decl::Val(name, e) => {
+                self.stats.inferences += 1;
                 let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
                 self.cx.check_ground_mutables(&scheme.body)?;
                 let v = self.machine.eval(e)?;
                 self.tenv.define_global(name.clone(), scheme.clone());
                 self.machine.define_global(name.clone(), v);
+                self.env_epoch += 1;
                 Ok(Outcome::Defined(vec![(name.clone(), scheme)]))
             }
             Decl::Fun(defs) => self.exec_fun(defs),
             Decl::Classes(binds) => self.exec_classes(binds),
             Decl::Expr(e) => {
+                self.stats.inferences += 1;
                 let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
                 let v = self.machine.eval(e)?;
                 Ok(Outcome::Value {
@@ -121,6 +262,13 @@ impl Engine {
     /// construction and bind each function. The group encoding is
     /// expansive, but its value is a closure for every definition, so
     /// top-level generalization is sound; we generalize explicitly.
+    ///
+    /// The whole group is elaborated **once**: one `fun_and` wrapper whose
+    /// body is the tuple of the defined names, one inference run, one
+    /// evaluation — then each binding's scheme is generalized from its
+    /// component type and its closure projected from the group value. (The
+    /// previous implementation re-elaborated the entire group per bound
+    /// name, O(n²) in the group size.)
     fn exec_fun(&mut self, defs: &[(Name, Vec<Name>, Expr)]) -> Result<Outcome, Error> {
         let singles: Vec<(Label, Label, Expr)> = defs
             .iter()
@@ -130,20 +278,39 @@ impl Engine {
                 let curried = params
                     .into_iter()
                     .rev()
-                    .fold(e.clone(), |acc, p| Expr::Lam(p, Box::new(acc)));
+                    .fold(e.clone(), |acc, p| Expr::lam(p, acc));
                 (f.clone(), first, curried)
             })
             .collect();
-        let mut bound = Vec::with_capacity(defs.len());
-        for (f, _, _) in defs {
-            let group = sugar::fun_and(singles.clone(), Expr::Var(f.clone()));
-            let t = infer::infer(&mut self.cx, &mut self.tenv, &group)?;
+        let names: Vec<Name> = defs.iter().map(|(f, _, _)| f.clone()).collect();
+        let body = if names.len() == 1 {
+            Expr::Var(names[0].clone())
+        } else {
+            Expr::tuple(names.iter().map(|n| Expr::Var(n.clone())))
+        };
+        let group = sugar::fun_and(singles, body);
+        self.stats.inferences += 1;
+        let t = infer::infer(&mut self.cx, &mut self.tenv, &group)?;
+        let t = self.cx.resolve(&t);
+        let v = self.machine.eval(&group)?;
+
+        let mut bound = Vec::with_capacity(names.len());
+        if names.len() == 1 {
             let scheme = self.cx.generalize(&self.tenv, &t);
-            let v = self.machine.eval(&group)?;
-            self.tenv.define_global(f.clone(), scheme.clone());
-            self.machine.define_global(f.clone(), v);
-            bound.push((f.clone(), scheme));
+            self.tenv.define_global(names[0].clone(), scheme.clone());
+            self.machine.define_global(names[0].clone(), v);
+            bound.push((names[0].clone(), scheme));
+        } else {
+            let tys = group_component_types(&t, names.len(), "fun group")?;
+            for (i, (n, ti)) in names.iter().zip(tys).enumerate() {
+                let scheme = self.cx.generalize(&self.tenv, &ti);
+                let vi = self.machine.field_of(&v, Label::tuple(i + 1).as_str())?;
+                self.tenv.define_global(n.clone(), scheme.clone());
+                self.machine.define_global(n.clone(), vi);
+                bound.push((n.clone(), scheme));
+            }
         }
+        self.env_epoch += 1;
         Ok(Outcome::Defined(bound))
     }
 
@@ -162,6 +329,7 @@ impl Engine {
             Expr::tuple(names.iter().map(|n| Expr::Var(n.clone())))
         };
         let wrapped = Expr::LetClasses(binds.to_vec(), Box::new(body));
+        self.stats.inferences += 1;
         let t = infer::infer(&mut self.cx, &mut self.tenv, &wrapped)?;
         let t = self.cx.resolve(&t);
         let v = self.machine.eval(&wrapped)?;
@@ -173,18 +341,15 @@ impl Engine {
             self.machine.define_global(names[0].clone(), v);
             bound.push((names[0].clone(), Scheme::mono(t)));
         } else {
-            let parts = match &t {
-                Mono::Record(fs) => fs,
-                other => unreachable!("class group wrapper must type as a tuple, got {other}"),
-            };
-            for (i, n) in names.iter().enumerate() {
-                let ti = parts[&Label::tuple(i + 1)].ty.clone();
+            let tys = group_component_types(&t, names.len(), "class group")?;
+            for (i, (n, ti)) in names.iter().zip(tys).enumerate() {
                 let vi = self.machine.field_of(&v, Label::tuple(i + 1).as_str())?;
                 self.tenv.define_global(n.clone(), Scheme::mono(ti.clone()));
                 self.machine.define_global(n.clone(), vi);
                 bound.push((n.clone(), Scheme::mono(ti)));
             }
         }
+        self.env_epoch += 1;
         Ok(Outcome::Defined(bound))
     }
 
@@ -232,12 +397,40 @@ impl Engine {
     }
 
     /// Translate an expression through the paper's Figs. 3/5 semantics into
-    /// a pure core-language term (type-checked first).
+    /// a pure core-language term (type-checked first). For the cached
+    /// equivalent, use [`Engine::prepare`] + [`Prepared::translation`].
     pub fn translate_expr(&mut self, src: &str) -> Result<Expr, Error> {
-        let e = parse_expr(src)?;
+        let e = self.parse_counted(src)?;
+        self.stats.inferences += 1;
         self.cx.infer_scheme(&mut self.tenv, &e)?;
         Ok(polyview_trans::translate(&e))
     }
+}
+
+/// Destructure the resolved type of a declaration-group wrapper (`fun … and
+/// …` / `class … and …` with a tuple body) into its component types. The
+/// wrapper is constructed to type as an n-tuple, so anything else is an
+/// engine invariant violation — reported as [`Error::Internal`], never a
+/// panic (this path used to `unreachable!` and index unchecked).
+fn group_component_types(t: &Mono, n: usize, what: &str) -> Result<Vec<Mono>, Error> {
+    let parts = match t {
+        Mono::Record(fs) => fs,
+        other => {
+            return Err(Error::Internal(format!(
+                "{what} wrapper must type as a tuple, got {other}"
+            )))
+        }
+    };
+    (1..=n)
+        .map(|i| {
+            parts
+                .get(&Label::tuple(i))
+                .map(|f| f.ty.clone())
+                .ok_or_else(|| {
+                    Error::Internal(format!("{what} wrapper type is missing component #{i}"))
+                })
+        })
+        .collect()
 }
 
 /// Run a computation on a dedicated thread with a large stack. The
@@ -326,9 +519,13 @@ mod tests {
     fn fun_is_polymorphic_at_top_level() {
         let mut e = Engine::new();
         e.exec("fun twice f x = f (f x);").expect("defines");
-        assert_eq!(e.eval_to_string("twice (fn n => n + 1) 0").expect("runs"), "2");
         assert_eq!(
-            e.eval_to_string("twice (fn s => s ^ \"!\") \"hi\"").expect("runs"),
+            e.eval_to_string("twice (fn n => n + 1) 0").expect("runs"),
+            "2"
+        );
+        assert_eq!(
+            e.eval_to_string("twice (fn s => s ^ \"!\") \"hi\"")
+                .expect("runs"),
             "\"hi!!\""
         );
     }
@@ -350,10 +547,8 @@ mod tests {
         )
         .expect("defines");
         assert_eq!(
-            e.eval_to_string(
-                "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)"
-            )
-            .expect("runs"),
+            e.eval_to_string("cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)")
+                .expect("runs"),
             "{\"Alice\"}"
         );
     }
@@ -416,6 +611,30 @@ mod tests {
                 .expect("runs"),
             "{\"Eve\"}"
         );
+    }
+
+    #[test]
+    fn group_destructuring_errors_instead_of_panicking() {
+        // Regression: this path used `unreachable!` plus an unchecked
+        // tuple-label index; a violated invariant must surface as
+        // `Error::Internal`, never a panic.
+        let not_a_tuple = Mono::int();
+        let err = group_component_types(&not_a_tuple, 2, "class group").expect_err("non-record");
+        assert!(err.is_internal(), "got {err:?}");
+        assert!(err.to_string().contains("class group"), "got {err}");
+
+        let missing_component = Mono::record_imm([(Label::tuple(1), Mono::int())]);
+        let err =
+            group_component_types(&missing_component, 2, "fun group").expect_err("missing #2");
+        assert!(err.is_internal(), "got {err:?}");
+        assert!(err.to_string().contains("component #2"), "got {err}");
+
+        let ok = Mono::record_imm([
+            (Label::tuple(1), Mono::int()),
+            (Label::tuple(2), Mono::bool()),
+        ]);
+        let tys = group_component_types(&ok, 2, "class group").expect("tuple");
+        assert_eq!(tys, vec![Mono::int(), Mono::bool()]);
     }
 
     #[test]

@@ -10,6 +10,14 @@ pub enum Error {
     Parse(ParseError),
     Type(TypeError),
     Runtime(RuntimeError),
+    /// A [`crate::prepare::Prepared`] statement was run against an engine
+    /// whose top-level bindings changed since it was compiled; re-prepare
+    /// it (the engine's internal statement cache does this automatically).
+    StalePrepared,
+    /// An engine invariant was violated (e.g. a declaration-group wrapper
+    /// typing to something other than a tuple). Never expected on any user
+    /// input; reported instead of panicking.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -18,6 +26,12 @@ impl fmt::Display for Error {
             Error::Parse(e) => write!(f, "{e}"),
             Error::Type(e) => write!(f, "type error: {e}"),
             Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::StalePrepared => write!(
+                f,
+                "stale prepared statement: the engine's top-level bindings \
+                 changed since it was prepared"
+            ),
+            Error::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }
     }
 }
@@ -28,6 +42,7 @@ impl std::error::Error for Error {
             Error::Parse(e) => Some(e),
             Error::Type(e) => Some(e),
             Error::Runtime(e) => Some(e),
+            Error::StalePrepared | Error::Internal(_) => None,
         }
     }
 }
@@ -59,5 +74,11 @@ impl Error {
     }
     pub fn is_runtime_error(&self) -> bool {
         matches!(self, Error::Runtime(_))
+    }
+    pub fn is_stale_prepared(&self) -> bool {
+        matches!(self, Error::StalePrepared)
+    }
+    pub fn is_internal(&self) -> bool {
+        matches!(self, Error::Internal(_))
     }
 }

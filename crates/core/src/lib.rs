@@ -29,8 +29,10 @@
 //! The pieces:
 //!
 //! * [`Engine`] — parse → infer (principal types, Fig. 1/2/4/6) → evaluate,
-//!   with persistent top-level environments.
-//! * [`Database`] — an object-database facade over named classes.
+//!   with persistent top-level environments and a compile-once/run-many
+//!   prepared-statement pipeline ([`prepare`]).
+//! * [`Database`] — an object-database facade over named classes, built on
+//!   AST construction and cached prepared statements (no source splicing).
 //! * Re-exports of the sub-crates for direct access to the AST
 //!   ([`syntax`]), parser ([`parser`]), type system ([`types`]), evaluator
 //!   ([`eval`]) and the paper's translation semantics ([`trans`]).
@@ -39,10 +41,12 @@ pub mod database;
 pub mod engine;
 pub mod error;
 pub mod prelude;
+pub mod prepare;
 
 pub use database::Database;
 pub use engine::{Engine, Outcome};
 pub use error::Error;
+pub use prepare::{EngineStats, Prepared};
 
 pub use polyview_eval as eval;
 pub use polyview_parser as parser;

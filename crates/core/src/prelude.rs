@@ -80,19 +80,23 @@ mod tests {
     fn exists_and_forall() {
         let mut e = engine();
         assert_eq!(
-            e.eval_to_string("exists (fn x => x > 2) {1, 2, 3}").expect("runs"),
+            e.eval_to_string("exists (fn x => x > 2) {1, 2, 3}")
+                .expect("runs"),
             "true"
         );
         assert_eq!(
-            e.eval_to_string("exists (fn x => x > 9) {1, 2, 3}").expect("runs"),
+            e.eval_to_string("exists (fn x => x > 9) {1, 2, 3}")
+                .expect("runs"),
             "false"
         );
         assert_eq!(
-            e.eval_to_string("forall (fn x => x > 0) {1, 2, 3}").expect("runs"),
+            e.eval_to_string("forall (fn x => x > 0) {1, 2, 3}")
+                .expect("runs"),
             "true"
         );
         assert_eq!(
-            e.eval_to_string("forall (fn x => x > 1) {1, 2, 3}").expect("runs"),
+            e.eval_to_string("forall (fn x => x > 1) {1, 2, 3}")
+                .expect("runs"),
             "false"
         );
         // Vacuous truth on the empty set.
@@ -126,24 +130,17 @@ mod tests {
     #[test]
     fn extent_and_csize_on_classes() {
         let mut e = engine();
-        e.exec(
-            "class Staff = class {IDView([Name = \"A\"]), IDView([Name = \"B\"])} end;",
-        )
-        .expect("defines");
+        e.exec("class Staff = class {IDView([Name = \"A\"]), IDView([Name = \"B\"])} end;")
+            .expect("defines");
         assert_eq!(e.eval_to_string("csize Staff").expect("runs"), "2");
-        assert_eq!(
-            e.eval_to_string("count (extent Staff)").expect("runs"),
-            "2"
-        );
+        assert_eq!(e.eval_to_string("count (extent Staff)").expect("runs"), "2");
     }
 
     #[test]
     fn materialize_applies_views() {
         let mut e = engine();
-        e.exec(
-            "val s = {IDView([Name = \"A\"]) as fn x => [N = x.Name]};",
-        )
-        .expect("defines");
+        e.exec("val s = {IDView([Name = \"A\"]) as fn x => [N = x.Name]};")
+            .expect("defines");
         assert_eq!(
             e.eval_to_string("materialize s").expect("runs"),
             "{[N = \"A\"]}"

@@ -1,0 +1,277 @@
+//! Compile once, run many: prepared statements and the engine's statement
+//! cache.
+//!
+//! The paper's workflow (Section 4, Figs. 4–6) is a database session:
+//! classes are defined once, then many `cquery`/`insert`/`delete`
+//! operations are served against them. Compilation — parsing and principal
+//! type inference — depends only on the statement text and the top-level
+//! environments, so it can be done once per statement; execution depends on
+//! the mutable store and must run per request. A [`Prepared`] value is the
+//! boundary between the two phases: it owns the resolved AST (shared via
+//! `Rc`, so repeated runs never copy it), the principal scheme inferred at
+//! compile time, and — on demand — the Fig. 3/5 translation of the
+//! statement into the pure core language.
+//!
+//! Validity: inference reads the engine's top-level type environment, so a
+//! `Prepared` is tied to the engine *declaration epoch* it was compiled
+//! under. Expression-level effects (`insert`/`delete`/`update`) do not
+//! change the epoch — a prepared query stays valid across them and observes
+//! the current extents — but `val`/`fun`/`class` declarations do, and
+//! running a stale statement reports [`crate::Error::StalePrepared`] rather
+//! than risking an unsound execution against retyped bindings.
+
+use polyview_syntax::{Expr, Scheme};
+use std::cell::OnceCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A statement compiled once (parsed + principal type inferred) by
+/// [`crate::Engine::prepare`], executable many times with
+/// [`crate::Engine::run`] without touching the parser or inference.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    src: Option<String>,
+    ast: Rc<Expr>,
+    scheme: Scheme,
+    env_epoch: u64,
+    translation: OnceCell<Rc<Expr>>,
+}
+
+impl Prepared {
+    pub(crate) fn new(src: Option<String>, ast: Rc<Expr>, scheme: Scheme, env_epoch: u64) -> Self {
+        Prepared {
+            src,
+            ast,
+            scheme,
+            env_epoch,
+            translation: OnceCell::new(),
+        }
+    }
+
+    /// The source text this statement was prepared from, when it came from
+    /// source rather than a pre-built AST.
+    pub fn src(&self) -> Option<&str> {
+        self.src.as_deref()
+    }
+
+    /// The compiled (resolved) AST.
+    pub fn ast(&self) -> &Expr {
+        &self.ast
+    }
+
+    pub(crate) fn ast_rc(&self) -> Rc<Expr> {
+        self.ast.clone()
+    }
+
+    /// The principal scheme inferred when the statement was prepared.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// The engine declaration epoch this statement was compiled under.
+    pub fn env_epoch(&self) -> u64 {
+        self.env_epoch
+    }
+
+    /// The paper's Figs. 3/5 translation of the statement into the pure
+    /// core language, computed on first request and cached.
+    pub fn translation(&self) -> &Expr {
+        self.translation
+            .get_or_init(|| Rc::new(polyview_trans::translate(&self.ast)))
+    }
+}
+
+/// Key of a cached statement. `Src` is raw source text; the `Query` /
+/// `Insert` / `Delete` variants are structured keys for the
+/// [`crate::Database`] facade — keeping the operands separate means no
+/// string splicing anywhere, so no two distinct (class, operand) pairs can
+/// ever collide on one key (and no operand can reparse as extra syntax).
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub enum StmtKey {
+    Src(String),
+    Query { class: String, set_fn: String },
+    Insert { class: String, obj: String },
+    Delete { class: String, obj: String },
+}
+
+/// An LRU statement cache: source key → [`Prepared`], with recency tracked
+/// by a monotone tick and eviction of the least-recently-used entry at
+/// capacity. Stale entries (compiled under an older declaration epoch) are
+/// dropped on lookup so the caller transparently re-prepares.
+pub(crate) struct StmtCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<StmtKey, (u64, Prepared)>,
+}
+
+/// Default number of distinct statements kept compiled per engine.
+pub const DEFAULT_STMT_CACHE_CAPACITY: usize = 256;
+
+impl StmtCache {
+    pub fn new(capacity: usize) -> Self {
+        StmtCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Look up a statement compiled under `env_epoch`, bumping its recency.
+    /// A hit under any other epoch is stale: the entry is evicted and the
+    /// lookup misses.
+    pub fn get_valid(&mut self, key: &StmtKey, env_epoch: u64) -> Option<&Prepared> {
+        match self.map.get(key) {
+            Some((_, p)) if p.env_epoch() == env_epoch => {
+                self.tick += 1;
+                let entry = self.map.get_mut(key).expect("entry just seen");
+                entry.0 = self.tick;
+                Some(&entry.1)
+            }
+            Some(_) => {
+                self.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    pub fn insert(&mut self, key: StmtKey, p: Prepared) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, p));
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Change the capacity, evicting least-recently-used entries as needed.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Counters for the engine's pipeline phases. `parses` and `inferences`
+/// count compilation work; a warmed statement cache serves repeated
+/// statements with both counters flat — the property the prepared-statement
+/// tests pin down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Calls into the parser (`parse_expr`/`parse_program`).
+    pub parses: u64,
+    /// Principal-type inference runs.
+    pub inferences: u64,
+    /// Statement-cache hits (execution without any compilation).
+    pub stmt_cache_hits: u64,
+    /// Statement-cache misses (statement compiled, then cached).
+    pub stmt_cache_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::Expr;
+
+    fn prepared(epoch: u64) -> Prepared {
+        Prepared::new(
+            None,
+            Rc::new(Expr::int(1)),
+            Scheme::mono(polyview_syntax::Mono::int()),
+            epoch,
+        )
+    }
+
+    fn key(s: &str) -> StmtKey {
+        StmtKey::Src(s.to_string())
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = StmtCache::new(2);
+        c.insert(key("a"), prepared(0));
+        c.insert(key("b"), prepared(0));
+        assert!(c.get_valid(&key("a"), 0).is_some()); // refresh a
+        c.insert(key("c"), prepared(0)); // evicts b
+        assert_eq!(c.len(), 2);
+        assert!(c.get_valid(&key("a"), 0).is_some());
+        assert!(c.get_valid(&key("b"), 0).is_none());
+        assert!(c.get_valid(&key("c"), 0).is_some());
+    }
+
+    #[test]
+    fn stale_epoch_entries_miss_and_drop() {
+        let mut c = StmtCache::new(4);
+        c.insert(key("q"), prepared(0));
+        assert!(c.get_valid(&key("q"), 1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = StmtCache::new(0);
+        c.insert(key("q"), prepared(0));
+        assert_eq!(c.len(), 0);
+        assert!(c.get_valid(&key("q"), 0).is_none());
+    }
+
+    #[test]
+    fn set_capacity_shrinks_by_recency() {
+        let mut c = StmtCache::new(8);
+        for s in ["a", "b", "c", "d"] {
+            c.insert(key(s), prepared(0));
+        }
+        assert!(c.get_valid(&key("a"), 0).is_some());
+        c.set_capacity(2);
+        assert_eq!(c.len(), 2);
+        assert!(c.get_valid(&key("a"), 0).is_some());
+        assert!(c.get_valid(&key("d"), 0).is_some());
+        assert!(c.get_valid(&key("b"), 0).is_none());
+    }
+
+    #[test]
+    fn structured_keys_do_not_collide() {
+        // With format!-spliced keys these two would both be
+        // "cquery(f, g, C)"; structured keys keep them distinct.
+        let k1 = StmtKey::Query {
+            class: "C".into(),
+            set_fn: "f, g".into(),
+        };
+        let k2 = StmtKey::Query {
+            class: "g, C".into(),
+            set_fn: "f".into(),
+        };
+        assert_ne!(k1, k2);
+    }
+}

@@ -10,9 +10,15 @@ pub type NativeFn = fn(&[Value]) -> Result<Value, RuntimeError>;
 /// `(name, arity, implementation)` for every builtin.
 pub fn natives() -> Vec<(&'static str, usize, NativeFn)> {
     vec![
-        ("add", 2, |a| Ok(Value::Int(a[0].as_int()?.wrapping_add(a[1].as_int()?)))),
-        ("sub", 2, |a| Ok(Value::Int(a[0].as_int()?.wrapping_sub(a[1].as_int()?)))),
-        ("mul", 2, |a| Ok(Value::Int(a[0].as_int()?.wrapping_mul(a[1].as_int()?)))),
+        ("add", 2, |a| {
+            Ok(Value::Int(a[0].as_int()?.wrapping_add(a[1].as_int()?)))
+        }),
+        ("sub", 2, |a| {
+            Ok(Value::Int(a[0].as_int()?.wrapping_sub(a[1].as_int()?)))
+        }),
+        ("mul", 2, |a| {
+            Ok(Value::Int(a[0].as_int()?.wrapping_mul(a[1].as_int()?)))
+        }),
         ("div", 2, |a| {
             let d = a[1].as_int()?;
             if d == 0 {
@@ -30,12 +36,24 @@ pub fn natives() -> Vec<(&'static str, usize, NativeFn)> {
             }
         }),
         ("neg", 1, |a| Ok(Value::Int(a[0].as_int()?.wrapping_neg()))),
-        ("lt", 2, |a| Ok(Value::Bool(a[0].as_int()? < a[1].as_int()?))),
-        ("le", 2, |a| Ok(Value::Bool(a[0].as_int()? <= a[1].as_int()?))),
-        ("gt", 2, |a| Ok(Value::Bool(a[0].as_int()? > a[1].as_int()?))),
-        ("ge", 2, |a| Ok(Value::Bool(a[0].as_int()? >= a[1].as_int()?))),
-        ("min", 2, |a| Ok(Value::Int(a[0].as_int()?.min(a[1].as_int()?)))),
-        ("max", 2, |a| Ok(Value::Int(a[0].as_int()?.max(a[1].as_int()?)))),
+        ("lt", 2, |a| {
+            Ok(Value::Bool(a[0].as_int()? < a[1].as_int()?))
+        }),
+        ("le", 2, |a| {
+            Ok(Value::Bool(a[0].as_int()? <= a[1].as_int()?))
+        }),
+        ("gt", 2, |a| {
+            Ok(Value::Bool(a[0].as_int()? > a[1].as_int()?))
+        }),
+        ("ge", 2, |a| {
+            Ok(Value::Bool(a[0].as_int()? >= a[1].as_int()?))
+        }),
+        ("min", 2, |a| {
+            Ok(Value::Int(a[0].as_int()?.min(a[1].as_int()?)))
+        }),
+        ("max", 2, |a| {
+            Ok(Value::Int(a[0].as_int()?.max(a[1].as_int()?)))
+        }),
         ("abs", 1, |a| Ok(Value::Int(a[0].as_int()?.wrapping_abs()))),
         ("not", 1, |a| Ok(Value::Bool(!a[0].as_bool()?))),
         ("concat", 2, |a| match (&a[0], &a[1]) {
@@ -69,11 +87,26 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert!(matches!(call("add", &[Value::Int(2), Value::Int(3)]), Ok(Value::Int(5))));
-        assert!(matches!(call("sub", &[Value::Int(2), Value::Int(3)]), Ok(Value::Int(-1))));
-        assert!(matches!(call("mul", &[Value::Int(4), Value::Int(3)]), Ok(Value::Int(12))));
-        assert!(matches!(call("div", &[Value::Int(7), Value::Int(2)]), Ok(Value::Int(3))));
-        assert!(matches!(call("imod", &[Value::Int(7), Value::Int(2)]), Ok(Value::Int(1))));
+        assert!(matches!(
+            call("add", &[Value::Int(2), Value::Int(3)]),
+            Ok(Value::Int(5))
+        ));
+        assert!(matches!(
+            call("sub", &[Value::Int(2), Value::Int(3)]),
+            Ok(Value::Int(-1))
+        ));
+        assert!(matches!(
+            call("mul", &[Value::Int(4), Value::Int(3)]),
+            Ok(Value::Int(12))
+        ));
+        assert!(matches!(
+            call("div", &[Value::Int(7), Value::Int(2)]),
+            Ok(Value::Int(3))
+        ));
+        assert!(matches!(
+            call("imod", &[Value::Int(7), Value::Int(2)]),
+            Ok(Value::Int(1))
+        ));
         assert!(matches!(call("neg", &[Value::Int(5)]), Ok(Value::Int(-5))));
         assert!(matches!(call("abs", &[Value::Int(-5)]), Ok(Value::Int(5))));
     }
@@ -92,9 +125,18 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert!(matches!(call("lt", &[Value::Int(1), Value::Int(2)]), Ok(Value::Bool(true))));
-        assert!(matches!(call("ge", &[Value::Int(2), Value::Int(2)]), Ok(Value::Bool(true))));
-        assert!(matches!(call("gt", &[Value::Int(1), Value::Int(2)]), Ok(Value::Bool(false))));
+        assert!(matches!(
+            call("lt", &[Value::Int(1), Value::Int(2)]),
+            Ok(Value::Bool(true))
+        ));
+        assert!(matches!(
+            call("ge", &[Value::Int(2), Value::Int(2)]),
+            Ok(Value::Bool(true))
+        ));
+        assert!(matches!(
+            call("gt", &[Value::Int(1), Value::Int(2)]),
+            Ok(Value::Bool(false))
+        ));
     }
 
     #[test]
@@ -102,7 +144,10 @@ mod tests {
         assert!(
             matches!(call("concat", &[Value::str("ab"), Value::str("cd")]), Ok(Value::Str(s)) if &*s == "abcd")
         );
-        assert!(matches!(call("strlen", &[Value::str("héllo")]), Ok(Value::Int(5))));
+        assert!(matches!(
+            call("strlen", &[Value::str("héllo")]),
+            Ok(Value::Int(5))
+        ));
         assert!(
             matches!(call("int_to_string", &[Value::Int(42)]), Ok(Value::Str(s)) if &*s == "42")
         );
@@ -129,7 +174,9 @@ mod tests {
     fn arities_match_type_signatures() {
         use polyview_syntax::Mono;
         let sigs: std::collections::HashMap<&str, Mono> =
-            polyview_types::builtins_sig::signatures().into_iter().collect();
+            polyview_types::builtins_sig::signatures()
+                .into_iter()
+                .collect();
         for (name, arity, _) in natives() {
             let mut t = sigs[name].clone();
             let mut n = 0;

@@ -132,6 +132,15 @@ impl Machine {
 
     /// Evaluate a closed expression in the global environment.
     pub fn eval(&mut self, e: &Expr) -> Result<Value, RuntimeError> {
+        self.eval_global(e)
+    }
+
+    /// Evaluate a cached AST under the persistent global environment — the
+    /// entry point for prepared (compile-once/run-many) execution. The AST
+    /// is only borrowed: nothing is cloned up front, and closure creation
+    /// during the run shares `Lam`/`Fix` bodies with the cached tree via
+    /// `Rc` instead of deep-copying them.
+    pub fn eval_global(&mut self, e: &Expr) -> Result<Value, RuntimeError> {
         self.eval_in(e, &Env::empty())
     }
 
@@ -192,7 +201,7 @@ impl Machine {
                     id,
                     fix_name: None,
                     param: x.clone(),
-                    body: (**body).clone(),
+                    body: body.clone(),
                     env: env.clone(),
                 })))
             }
@@ -283,7 +292,7 @@ impl Machine {
                         id,
                         fix_name: Some(x.clone()),
                         param: p.clone(),
-                        body: (**lam_body).clone(),
+                        body: lam_body.clone(),
                         env: env.clone(),
                     })))
                 }

@@ -10,8 +10,8 @@
 //! * Sets are canonical ordered maps from dedup keys to representative
 //!   elements; union is left-biased on key collision.
 
-use crate::error::RuntimeError;
 use crate::env::Env;
+use crate::error::RuntimeError;
 use polyview_syntax::{Expr, Label, Name};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -42,12 +42,16 @@ pub struct RecordVal {
 /// A user function: one parameter, a body, and the captured environment.
 /// `fix_name`, when present, re-binds the closure itself on application
 /// (this is how `fix x.λy.e` ties the knot without reference cycles).
+/// The body is shared with the source AST (`Expr::Lam` stores `Rc<Expr>`),
+/// so creating a closure never deep-clones the function body — important
+/// on the prepared-statement path, where one cached AST is evaluated many
+/// times.
 #[derive(Debug)]
 pub struct Closure {
     pub id: u64,
     pub fix_name: Option<Name>,
     pub param: Name,
-    pub body: Expr,
+    pub body: Rc<Expr>,
     pub env: Env,
 }
 
@@ -63,7 +67,13 @@ pub struct Builtin {
 
 impl std::fmt::Debug for Builtin {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Builtin({}/{}, {} applied)", self.name, self.arity, self.args.len())
+        write!(
+            f,
+            "Builtin({}/{}, {} applied)",
+            self.name,
+            self.arity,
+            self.args.len()
+        )
     }
 }
 

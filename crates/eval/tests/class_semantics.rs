@@ -77,7 +77,10 @@ fn female_member_program(body: Expr) -> Expr {
                 "FemaleMember",
                 b::class(
                     b::empty(),
-                    vec![include_from("Staff", "staff"), include_from("Student", "student")],
+                    vec![
+                        include_from("Staff", "staff"),
+                        include_from("Student", "student"),
+                    ],
                 ),
                 body,
             ),
@@ -235,10 +238,7 @@ fn own_extent_wins_over_included_on_objeq_collision() {
                     b::set([b::v("alice")]),
                     vec![b::include(
                         vec![b::v("Staff")],
-                        b::lam(
-                            "s",
-                            b::record([b::imm("Name", b::str("viewed"))]),
-                        ),
+                        b::lam("s", b::record([b::imm("Name", b::str("viewed"))])),
                         b::lam("s", b::boolean(true)),
                     )],
                 ),
@@ -261,7 +261,10 @@ fn multi_source_include_is_intersection() {
             b::class(b::set([b::v("alice"), person("Bob", 50, "male")]), vec![]),
             b::let_(
                 "Student",
-                b::class(b::set([b::v("alice"), person("Carol", 22, "female")]), vec![]),
+                b::class(
+                    b::set([b::v("alice"), person("Carol", 22, "female")]),
+                    vec![],
+                ),
                 b::let_(
                     "StudentStaff",
                     b::class(
@@ -491,9 +494,8 @@ fn two_class_cycle_terminates_and_shares() {
 fn three_class_ring_terminates() {
     let idview = || b::lam("x", b::v("x"));
     let truep = || b::lam("x", b::boolean(true));
-    let mk = |src: &str, own: Expr| {
-        b::class(own, vec![b::include(vec![b::v(src)], idview(), truep())])
-    };
+    let mk =
+        |src: &str, own: Expr| b::class(own, vec![b::include(vec![b::v(src)], idview(), truep())]);
     let e = b::let_(
         "p1",
         person("P1", 1, "x"),
@@ -564,10 +566,7 @@ fn cquery_applies_arbitrary_set_function() {
 fn class_values_expose_extent_via_machine_api() {
     let mut m = Machine::new();
     let c = m
-        .eval(&b::class(
-            b::set([person("Alice", 40, "female")]),
-            vec![],
-        ))
+        .eval(&b::class(b::set([person("Alice", 40, "female")]), vec![]))
         .expect("eval");
     let extent = m.extent_of(&c).expect("extent");
     assert_eq!(extent.len(), 1);

@@ -164,11 +164,7 @@ fn record_equality_is_identity() {
 
 #[test]
 fn function_equality_is_identity() {
-    let same = b::let_(
-        "f",
-        b::lam("x", b::v("x")),
-        b::eq(b::v("f"), b::v("f")),
-    );
+    let same = b::let_("f", b::lam("x", b::v("x")), b::eq(b::v("f"), b::v("f")));
     assert_eq!(eval_show(&same), "true");
     let diff = b::eq(b::lam("x", b::v("x")), b::lam("x", b::v("x")));
     assert_eq!(eval_show(&diff), "false");
@@ -183,7 +179,10 @@ fn base_equality_is_structural() {
 
 #[test]
 fn set_literals_deduplicate() {
-    assert_eq!(eval_show(&b::set([b::int(1), b::int(2), b::int(1)])), "{1, 2}");
+    assert_eq!(
+        eval_show(&b::set([b::int(1), b::int(2), b::int(1)])),
+        "{1, 2}"
+    );
 }
 
 #[test]
@@ -208,7 +207,10 @@ fn set_of_records_dedups_by_identity() {
 
 #[test]
 fn union_and_hom() {
-    let e = b::union(b::set([b::int(1), b::int(2)]), b::set([b::int(2), b::int(3)]));
+    let e = b::union(
+        b::set([b::int(1), b::int(2)]),
+        b::set([b::int(2), b::int(3)]),
+    );
     assert_eq!(eval_show(&e), "{1, 2, 3}");
 
     // Sum over a set via hom.
@@ -268,11 +270,17 @@ fn sugar_member_map_filter_prod() {
     assert_eq!(eval_show(&sugar::member(b::int(2), s.clone())), "true");
     assert_eq!(eval_show(&sugar::member(b::int(9), s.clone())), "false");
     assert_eq!(
-        eval_show(&sugar::map(b::lam("x", b::mul(b::v("x"), b::int(10))), s.clone())),
+        eval_show(&sugar::map(
+            b::lam("x", b::mul(b::v("x"), b::int(10))),
+            s.clone()
+        )),
         "{10, 20, 30}"
     );
     assert_eq!(
-        eval_show(&sugar::filter(b::lam("x", b::gt(b::v("x"), b::int(1))), s.clone())),
+        eval_show(&sugar::filter(
+            b::lam("x", b::gt(b::v("x"), b::int(1))),
+            s.clone()
+        )),
         "{2, 3}"
     );
     let p = sugar::prod2(b::set([b::int(1), b::int(2)]), b::set([b::int(10)]));

@@ -82,7 +82,11 @@ fn insert_invalidates_cache() {
     m.eval(&b::insert(b::v("Staff"), person("Eve", "female")))
         .expect("insert");
     let after = m.eval(&count_query("Female")).expect("count");
-    assert_eq!(format!("{after:?}"), "Int(2)", "stale cache served after insert");
+    assert_eq!(
+        format!("{after:?}"),
+        "Int(2)",
+        "stale cache served after insert"
+    );
 }
 
 #[test]
@@ -97,7 +101,8 @@ fn delete_invalidates_cache() {
     m.define_global("Staff", staff);
     let c1 = m.eval(&count_query("Staff")).expect("count");
     assert_eq!(format!("{c1:?}"), "Int(1)");
-    m.eval(&b::delete(b::v("Staff"), b::v("alice"))).expect("delete");
+    m.eval(&b::delete(b::v("Staff"), b::v("alice")))
+        .expect("delete");
     let c2 = m.eval(&count_query("Staff")).expect("count");
     assert_eq!(format!("{c2:?}"), "Int(0)");
 }

@@ -1,12 +1,11 @@
 //! `hom` — the paper's general set eliminator: the defining equation, the
-//! empty-set case, determinism over canonical order, and the
-//! definability claims of Section 2 (member/map/filter/prod from
-//! union/hom).
+//! empty-set case, and effect/duplicate semantics. The property-based half
+//! (determinism over canonical order, the Section 2 definability claims)
+//! lives in `crates/proptests/tests/eval_hom_props.rs`.
 
 use polyview_eval::Machine;
 use polyview_syntax::builder as b;
-use polyview_syntax::{sugar, Expr};
-use proptest::prelude::*;
+use polyview_syntax::Expr;
 
 fn eval_show(e: &Expr) -> String {
     let mut m = Machine::new();
@@ -75,7 +74,11 @@ fn effects_in_f_run_per_element() {
                 b::set([b::int(10), b::int(20), b::int(30)]),
                 b::lam(
                     "x",
-                    b::update(b::v("cell"), "n", b::add(b::dot(b::v("cell"), "n"), b::int(1))),
+                    b::update(
+                        b::v("cell"),
+                        "n",
+                        b::add(b::dot(b::v("cell"), "n"), b::int(1)),
+                    ),
                 ),
                 b::lam("a", b::lam("acc", b::unit())),
                 b::unit(),
@@ -84,93 +87,4 @@ fn effects_in_f_run_per_element() {
         ),
     );
     assert_eq!(eval_show(&e), "3");
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// hom with a non-commutative operator is deterministic across element
-    /// insertion orders (sets are canonical).
-    #[test]
-    fn deterministic_across_insertion_orders(mut xs in prop::collection::vec(-50i64..50, 0..8)) {
-        let fold = |elems: &[i64]| {
-            b::hom(
-                Expr::set(elems.iter().map(|n| b::int(*n))),
-                b::lam("x", b::v("x")),
-                b::lam("a", b::lam("acc", b::sub(b::v("a"), b::v("acc")))),
-                b::int(0),
-            )
-        };
-        let r1 = eval_show(&fold(&xs));
-        xs.reverse();
-        let r2 = eval_show(&fold(&xs));
-        prop_assert_eq!(r1, r2);
-    }
-
-    /// sum via hom equals the native sum of the deduplicated elements.
-    #[test]
-    fn sum_matches_reference(xs in prop::collection::vec(-50i64..50, 0..10)) {
-        let expected: i64 = xs
-            .iter()
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .sum();
-        let e = b::hom(
-            Expr::set(xs.iter().map(|n| b::int(*n))),
-            b::lam("x", b::v("x")),
-            b::lam("a", b::lam("acc", b::add(b::v("a"), b::v("acc")))),
-            b::int(0),
-        );
-        prop_assert_eq!(eval_show(&e), expected.to_string());
-    }
-
-    /// The paper's definability claims: member/map/filter from union+hom
-    /// agree with reference implementations.
-    #[test]
-    fn derived_ops_match_reference(
-        xs in prop::collection::vec(-20i64..20, 0..8),
-        probe in -20i64..20,
-    ) {
-        let dedup: std::collections::BTreeSet<i64> = xs.iter().copied().collect();
-        let set_e = Expr::set(xs.iter().map(|n| b::int(*n)));
-
-        let member = sugar::member(b::int(probe), set_e.clone());
-        prop_assert_eq!(eval_show(&member), dedup.contains(&probe).to_string());
-
-        let mapped = sugar::map(b::lam("x", b::mul(b::v("x"), b::int(3))), set_e.clone());
-        let expected: std::collections::BTreeSet<i64> =
-            dedup.iter().map(|n| n * 3).collect();
-        let shown = eval_show(&mapped);
-        let expected_shown = format!(
-            "{{{}}}",
-            expected.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
-        );
-        prop_assert_eq!(shown, expected_shown);
-
-        let filtered = sugar::filter(b::lam("x", b::gt(b::v("x"), b::int(0))), set_e);
-        let expected: std::collections::BTreeSet<i64> =
-            dedup.iter().copied().filter(|n| *n > 0).collect();
-        let expected_shown = format!(
-            "{{{}}}",
-            expected.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
-        );
-        prop_assert_eq!(eval_show(&filtered), expected_shown);
-    }
-
-    /// prod cardinality = product of deduplicated cardinalities.
-    #[test]
-    fn prod_cardinality(
-        xs in prop::collection::vec(0i64..6, 0..5),
-        ys in prop::collection::vec(0i64..6, 0..5),
-    ) {
-        let nx = xs.iter().collect::<std::collections::BTreeSet<_>>().len();
-        let ny = ys.iter().collect::<std::collections::BTreeSet<_>>().len();
-        let e = sugar::prod2(
-            Expr::set(xs.iter().map(|n| b::int(*n))),
-            Expr::set(ys.iter().map(|n| b::int(*n))),
-        );
-        let mut m = Machine::new();
-        let v = m.eval(&e).expect("eval");
-        prop_assert_eq!(v.as_set().expect("set").len(), nx * ny);
-    }
 }

@@ -23,7 +23,9 @@ fn obj(m: &mut Machine, fields: &[(&str, i64)]) -> Rc<ObjVal> {
 fn apply_view_identity_returns_raw() {
     let mut m = Machine::new();
     let o = obj(&mut m, &[("a", 1)]);
-    let mat = m.apply_view(&ViewFn::Identity, o.raw.clone()).expect("apply");
+    let mat = m
+        .apply_view(&ViewFn::Identity, o.raw.clone())
+        .expect("apply");
     assert!(mat.value_eq(&o.raw), "identity view must preserve identity");
 }
 
@@ -87,10 +89,14 @@ fn intersect_obj_sets_matches_set_semantics() {
     let only_right = obj(&mut m, &[("a", 3)]);
     let left = SetVal::from_elems([Value::Obj(shared.clone()), Value::Obj(only_left)]);
     let right = SetVal::from_elems([Value::Obj(shared.clone()), Value::Obj(only_right)]);
-    let both = m.intersect_obj_sets(&[left.clone(), right]).expect("intersect");
+    let both = m
+        .intersect_obj_sets(&[left.clone(), right])
+        .expect("intersect");
     assert_eq!(both.len(), 1);
     // Unary intersect is the set itself.
-    let same = m.intersect_obj_sets(std::slice::from_ref(&left)).expect("intersect");
+    let same = m
+        .intersect_obj_sets(std::slice::from_ref(&left))
+        .expect("intersect");
     assert_eq!(same.len(), left.len());
 }
 
@@ -132,7 +138,10 @@ fn show_caps_depth_instead_of_recursing_forever() {
     }
     let v = m.eval(&e).expect("runs");
     let shown = m.show(&v);
-    assert!(shown.contains('…'), "deep rendering must be capped: {shown}");
+    assert!(
+        shown.contains('…'),
+        "deep rendering must be capped: {shown}"
+    );
 }
 
 #[test]
@@ -172,10 +181,38 @@ fn set_contains_uses_objeq_for_objects() {
 fn class_count_and_data_access() {
     let mut m = Machine::new();
     assert_eq!(m.class_count(), 0);
-    let c = m
-        .eval(&b::class(b::empty(), vec![]))
-        .expect("class");
+    let c = m.eval(&b::class(b::empty(), vec![])).expect("class");
     assert_eq!(m.class_count(), 1);
     let cid = c.as_class().expect("class id");
     assert!(m.class_data(cid).includes.is_empty());
+}
+
+#[test]
+fn eval_global_runs_cached_ast_against_live_globals() {
+    // The prepared-statement entry point: one AST, evaluated repeatedly,
+    // observing the current global bindings and store each run.
+    let mut m = Machine::new();
+    m.define_global("x", Value::Int(1));
+    let ast = b::add(b::v("x"), b::int(1));
+    assert!(matches!(m.eval_global(&ast), Ok(Value::Int(2))));
+    m.define_global("x", Value::Int(41));
+    assert!(matches!(m.eval_global(&ast), Ok(Value::Int(42))));
+}
+
+#[test]
+fn closures_share_lam_bodies_with_the_source_ast() {
+    // `Expr::Lam` stores its body behind `Rc`; creating a closure must
+    // share that allocation, not deep-copy the body.
+    use polyview_syntax::Expr;
+    let lam = b::lam("y", b::add(b::v("y"), b::int(1)));
+    let body = match &lam {
+        Expr::Lam(_, b) => Rc::clone(b),
+        other => panic!("expected lam, got {other}"),
+    };
+    let mut m = Machine::new();
+    let v = m.eval_global(&lam).expect("closure");
+    match v {
+        Value::Closure(c) => assert!(Rc::ptr_eq(&c.body, &body)),
+        other => panic!("expected closure, got {other:?}"),
+    }
 }

@@ -395,10 +395,7 @@ fn relation_query_builds_relation_objects() {
         sugar::map(
             b::lam(
                 "o",
-                b::query(
-                    b::lam("p", b::dot(b::dot(b::v("p"), "r"), "bb")),
-                    b::v("o"),
-                ),
+                b::query(b::lam("p", b::dot(b::dot(b::v("p"), "r"), "bb")), b::v("o")),
             ),
             b::v("rel"),
         ),

@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn with_field_adds_category() {
-        let p = row().project(&["Name"]).with_field("Category", FieldVal::str("staff"));
+        let p = row()
+            .project(&["Name"])
+            .with_field("Category", FieldVal::str("staff"));
         assert_eq!(p.get("Category").and_then(FieldVal::as_str), Some("staff"));
     }
 

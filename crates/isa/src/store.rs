@@ -324,7 +324,12 @@ mod tests {
         let names: Vec<String> = st
             .extent(female)
             .iter()
-            .map(|r| r.get("Name").and_then(FieldVal::as_str).expect("name").to_string())
+            .map(|r| {
+                r.get("Name")
+                    .and_then(FieldVal::as_str)
+                    .expect("name")
+                    .to_string()
+            })
             .collect();
         assert_eq!(names.len(), 2);
         assert!(names.contains(&"Alice".to_string()));
@@ -419,7 +424,9 @@ mod tests {
     fn select_filters_extent() {
         let (mut st, _, _, female, _) = female_member_setup(Refresh::Eager);
         let over30 = st.select(female, |r| {
-            r.get("Age").and_then(FieldVal::as_int).is_some_and(|a| a > 30)
+            r.get("Age")
+                .and_then(FieldVal::as_int)
+                .is_some_and(|a| a > 30)
         });
         assert_eq!(over30.len(), 1);
     }

@@ -100,12 +100,7 @@ fn onquery_defers_all_work_to_first_query() {
     for i in 0..10 {
         st.insert(src, row(&format!("r{i}"), "x"));
     }
-    let shared = st.define_shared_class(
-        "S",
-        &[src],
-        |_| true,
-        |r| r.project(&["Name"]),
-    );
+    let shared = st.define_shared_class("S", &[src], |_| true, |r| r.project(&["Name"]));
     let base = st.stats().rematerializations;
     // Ten updates: no re-materialization yet.
     for i in 0..10 {

@@ -102,11 +102,7 @@ impl<'a> Lexer<'a> {
                                 self.bump();
                             }
                             (None, _) => {
-                                return Err(ParseError::new(
-                                    "unterminated comment",
-                                    line,
-                                    col,
-                                ))
+                                return Err(ParseError::new("unterminated comment", line, col))
                             }
                         }
                     }
@@ -154,14 +150,9 @@ impl<'a> Lexer<'a> {
                     Some(b'\\') => s.push('\\'),
                     Some(b'"') => s.push('"'),
                     Some(other) => {
-                        return Err(self.err(format!(
-                            "unknown string escape: \\{}",
-                            other as char
-                        )))
+                        return Err(self.err(format!("unknown string escape: \\{}", other as char)))
                     }
-                    None => {
-                        return Err(ParseError::new("unterminated string", line, col))
-                    }
+                    None => return Err(ParseError::new("unterminated string", line, col)),
                 },
                 Some(other) => {
                     // Collect raw bytes; the source is UTF-8 so multibyte
@@ -252,9 +243,7 @@ impl<'a> Lexer<'a> {
                     return Err(self.err("expected `:=`"));
                 }
             }
-            other => {
-                return Err(self.err(format!("unexpected character `{}`", other as char)))
-            }
+            other => return Err(self.err(format!("unexpected character `{}`", other as char))),
         })
     }
 }

@@ -38,7 +38,11 @@ pub enum Decl {
 /// Parse a whole program (sequence of declarations).
 pub fn parse_program(src: &str) -> Result<Vec<Decl>, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, depth: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut decls = Vec::new();
     while !p.at(&Tok::Eof) {
         decls.push(p.decl()?);
@@ -50,7 +54,11 @@ pub fn parse_program(src: &str) -> Result<Vec<Decl>, ParseError> {
 /// Parse a single expression (must consume the whole input).
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, depth: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect(&Tok::Eof)?;
     Ok(e)
@@ -223,14 +231,14 @@ impl Parser {
                 Ok(params
                     .into_iter()
                     .rev()
-                    .fold(body, |acc, p| Expr::Lam(p, Box::new(acc))))
+                    .fold(body, |acc, p| Expr::lam(p, acc)))
             }
             Tok::Fix => {
                 self.bump();
                 let name = self.ident()?;
                 self.expect(&Tok::Arrow)?;
                 let body = self.expr()?;
-                Ok(Expr::Fix(name, Box::new(body)))
+                Ok(Expr::fix(name, body))
             }
             Tok::If => {
                 self.bump();
@@ -791,10 +799,7 @@ fn fun_defs_to_expr(defs: Vec<(Name, Vec<Name>, Expr)>, body: Expr) -> Expr {
         .into_iter()
         .map(|(f, mut params, e)| {
             let first = params.remove(0);
-            let curried = params
-                .into_iter()
-                .rev()
-                .fold(e, |acc, p| Expr::Lam(p, Box::new(acc)));
+            let curried = params.into_iter().rev().fold(e, |acc, p| Expr::lam(p, acc));
             (f, first, curried)
         })
         .collect();
@@ -848,18 +853,12 @@ mod tests {
 
     #[test]
     fn application_is_left_associative() {
-        assert_eq!(
-            pe("f x y"),
-            b::app(b::app(b::v("f"), b::v("x")), b::v("y"))
-        );
+        assert_eq!(pe("f x y"), b::app(b::app(b::v("f"), b::v("x")), b::v("y")));
     }
 
     #[test]
     fn lambda_multi_param_curries() {
-        assert_eq!(
-            pe("fn x y => x"),
-            b::lam("x", b::lam("y", b::v("x")))
-        );
+        assert_eq!(pe("fn x y => x"), b::lam("x", b::lam("y", b::v("x"))));
         assert_eq!(pe("fn () => 1"), Expr::thunk(b::int(1)));
     }
 
@@ -888,10 +887,7 @@ mod tests {
 
     #[test]
     fn let_and_if() {
-        assert_eq!(
-            pe("let x = 1 in x end"),
-            b::let_("x", b::int(1), b::v("x"))
-        );
+        assert_eq!(pe("let x = 1 in x end"), b::let_("x", b::int(1), b::v("x")));
         assert_eq!(
             pe("if true then 1 else 2"),
             b::if_(b::boolean(true), b::int(1), b::int(2))
@@ -908,7 +904,10 @@ mod tests {
 
     #[test]
     fn view_operators() {
-        assert_eq!(pe("IDView([a = 1])"), b::id_view(b::record([b::imm("a", b::int(1))])));
+        assert_eq!(
+            pe("IDView([a = 1])"),
+            b::id_view(b::record([b::imm("a", b::int(1))]))
+        );
         assert_eq!(
             pe("x as fn y => y"),
             b::as_view(b::v("x"), b::lam("y", b::v("y")))
@@ -927,10 +926,7 @@ mod tests {
     #[test]
     fn as_chains_left() {
         let e = pe("x as f as g");
-        assert_eq!(
-            e,
-            b::as_view(b::as_view(b::v("x"), b::v("f")), b::v("g"))
-        );
+        assert_eq!(e, b::as_view(b::as_view(b::v("x"), b::v("f")), b::v("g")));
     }
 
     #[test]
@@ -947,7 +943,10 @@ mod tests {
 
     #[test]
     fn core_set_operators() {
-        assert_eq!(pe("union({1}, {2})"), b::union(b::set([b::int(1)]), b::set([b::int(2)])));
+        assert_eq!(
+            pe("union({1}, {2})"),
+            b::union(b::set([b::int(1)]), b::set([b::int(2)]))
+        );
         assert!(matches!(pe("hom({1}, f, g, 0)"), Expr::Hom(..)));
         assert!(matches!(pe("member(1, {1})"), Expr::Let(..)));
         assert!(matches!(pe("map(f, s)"), Expr::Let(..)));

@@ -1,0 +1,8 @@
+//! Host package for the property-based suite under `tests/`.
+//!
+//! This crate is intentionally empty: it exists so the proptest/rand
+//! dev-dependencies live outside the root workspace's dependency graph,
+//! keeping the tier-1 pipeline (`cargo build --release && cargo test -q`)
+//! resolvable with no network access. See `tests/` for the actual
+//! properties (Props. 1–5, parser totality, grammar round-trips, hom
+//! determinism).

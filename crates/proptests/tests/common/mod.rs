@@ -127,7 +127,7 @@ impl Gen {
                 scope.push(((x.clone()), (**a).clone()));
                 let body = self.term(r, scope, depth.saturating_sub(1));
                 scope.pop();
-                Expr::Lam(x, Box::new(body))
+                Expr::lam(x, body)
             }
             Mono::Var(_) | Mono::LVal(_) => {
                 unreachable!("generator never targets variables or L-value types")
@@ -304,7 +304,7 @@ impl Gen {
                 let pred_body = self.bool_term(scope, depth - 1);
                 scope.pop();
                 polyview_syntax::sugar::filter(
-                    Expr::Lam(x, Box::new(pred_body)),
+                    Expr::lam(x, pred_body),
                     self.set_term(elem, scope, depth - 1),
                 )
             }
@@ -380,7 +380,7 @@ impl Gen {
         );
         Expr::as_view(
             Expr::id_view(Expr::Record(raw_fields)),
-            Expr::Lam(x, Box::new(view_body)),
+            Expr::lam(x, view_body),
         )
     }
 
@@ -429,7 +429,7 @@ impl Gen {
             includes: vec![polyview_syntax::IncludeClause {
                 sources: vec![Expr::Var(src.clone())],
                 view: Expr::lam("x", Expr::var("x")),
-                pred: Expr::Lam(o, Box::new(pred_body)),
+                pred: Expr::lam(o, pred_body),
             }],
         });
         Expr::let_(src, src_class, inner)

@@ -16,7 +16,7 @@ fn alpha_rename(e: &polyview_syntax::Expr) -> polyview_syntax::Expr {
         match e {
             Expr::Lam(x, b) => {
                 let nx = polyview_syntax::Label::new(format!("{x}{suffix}"));
-                Expr::Lam(nx, Box::new(go(&rename_var(b, x, suffix), suffix)))
+                Expr::lam(nx, go(&rename_var(b, x, suffix), suffix))
             }
             Expr::Let(x, r, b) => {
                 let nx = polyview_syntax::Label::new(format!("{x}{suffix}"));
@@ -51,7 +51,7 @@ fn alpha_rename(e: &polyview_syntax::Expr) -> polyview_syntax::Expr {
         match e {
             Expr::Lit(_) | Expr::Var(_) => e.clone(),
             Expr::Eq(a, b) => Expr::eq(f(a), f(b)),
-            Expr::Lam(x, b) => Expr::Lam(x.clone(), Box::new(f(b))),
+            Expr::Lam(x, b) => Expr::lam(x.clone(), f(b)),
             Expr::App(a, b) => Expr::app(f(a), f(b)),
             Expr::Record(fs) => Expr::Record(
                 fs.iter()
@@ -68,7 +68,7 @@ fn alpha_rename(e: &polyview_syntax::Expr) -> polyview_syntax::Expr {
             Expr::SetLit(es) => Expr::SetLit(es.iter().map(f).collect()),
             Expr::Union(a, b) => Expr::union(f(a), f(b)),
             Expr::Hom(a, b, c, d) => Expr::hom(f(a), f(b), f(c), f(d)),
-            Expr::Fix(x, b) => Expr::Fix(x.clone(), Box::new(f(b))),
+            Expr::Fix(x, b) => Expr::fix(x.clone(), f(b)),
             Expr::Let(x, r, b) => Expr::Let(x.clone(), Box::new(f(r)), Box::new(f(b))),
             Expr::If(a, b, c) => Expr::if_(f(a), f(b), f(c)),
             Expr::IdView(a) => Expr::IdView(Box::new(f(a))),

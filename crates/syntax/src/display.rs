@@ -235,9 +235,11 @@ fn fmt_expr(e: &Expr, out: &mut String) {
             out.push('}');
         }
         Expr::Union(a, b) => fmt_call(out, "union", [a.as_ref(), b.as_ref()]),
-        Expr::Hom(s, f, op, z) => {
-            fmt_call(out, "hom", [s.as_ref(), f.as_ref(), op.as_ref(), z.as_ref()])
-        }
+        Expr::Hom(s, f, op, z) => fmt_call(
+            out,
+            "hom",
+            [s.as_ref(), f.as_ref(), op.as_ref(), z.as_ref()],
+        ),
         Expr::Fix(x, b) => {
             out.push_str("fix ");
             out.push_str(x.as_str());
@@ -421,7 +423,12 @@ mod tests {
 
     #[test]
     fn alpha_equivalent_schemes_print_identically() {
-        let mk = |v: TyVar| Scheme::poly(vec![(v, Kind::Univ)], Mono::arrow(Mono::Var(v), Mono::Var(v)));
+        let mk = |v: TyVar| {
+            Scheme::poly(
+                vec![(v, Kind::Univ)],
+                Mono::arrow(Mono::Var(v), Mono::Var(v)),
+            )
+        };
         assert_eq!(mk(3).to_string(), mk(77).to_string());
     }
 

@@ -168,30 +168,27 @@ mod tests {
     #[test]
     fn check_record_missing_field() {
         let k = Kind::has_field(Label::new("x"), Mono::int());
-        let fields: BTreeMap<Label, FieldTy> =
-            [(Label::new("y"), FieldTy::immutable(Mono::int()))]
-                .into_iter()
-                .collect();
+        let fields: BTreeMap<Label, FieldTy> = [(Label::new("y"), FieldTy::immutable(Mono::int()))]
+            .into_iter()
+            .collect();
         assert!(k.check_record(&fields).is_none());
     }
 
     #[test]
     fn check_record_mutability_violation() {
         let k = Kind::has_mutable_field(Label::new("x"), Mono::int());
-        let fields: BTreeMap<Label, FieldTy> =
-            [(Label::new("x"), FieldTy::immutable(Mono::int()))]
-                .into_iter()
-                .collect();
+        let fields: BTreeMap<Label, FieldTy> = [(Label::new("x"), FieldTy::immutable(Mono::int()))]
+            .into_iter()
+            .collect();
         assert!(k.check_record(&fields).is_none());
     }
 
     #[test]
     fn check_record_yields_equations() {
         let k = Kind::has_field(Label::new("x"), Mono::Var(9));
-        let fields: BTreeMap<Label, FieldTy> =
-            [(Label::new("x"), FieldTy::mutable(Mono::int()))]
-                .into_iter()
-                .collect();
+        let fields: BTreeMap<Label, FieldTy> = [(Label::new("x"), FieldTy::mutable(Mono::int()))]
+            .into_iter()
+            .collect();
         let eqs = k.check_record(&fields).expect("kind satisfied");
         assert_eq!(eqs, vec![(Mono::Var(9), Mono::int())]);
     }

@@ -194,7 +194,10 @@ pub fn intersect2(s1: Expr, s2: Expr) -> Expr {
         prod2(s1, s2),
         Expr::lam(
             x.clone(),
-            Expr::fuse(Expr::proj(Expr::Var(x.clone()), 1), Expr::proj(Expr::Var(x), 2)),
+            Expr::fuse(
+                Expr::proj(Expr::Var(x.clone()), 1),
+                Expr::proj(Expr::Var(x), 2),
+            ),
         ),
         union2(),
         Expr::empty_set(),
@@ -215,7 +218,10 @@ pub fn relation_from_where(
     binders: Vec<(Label, Expr)>,
     pred: Expr,
 ) -> Expr {
-    assert!(!binders.is_empty(), "relation query needs at least one binder");
+    assert!(
+        !binders.is_empty(),
+        "relation query needs at least one binder"
+    );
     let (names, sets): (Vec<Label>, Vec<Expr>) = binders.into_iter().unzip();
     let xx = fresh("rel_X", 0);
     // λX. let x1 = X·1 in … (relobj(l1=e1,…), P) … end
@@ -404,7 +410,11 @@ mod tests {
             map(Expr::lam("x", Expr::var("x")), Expr::empty_set()),
             filter(Expr::lam("x", Expr::bool(true)), Expr::empty_set()),
             prod2(Expr::empty_set(), Expr::empty_set()),
-            prod(vec![Expr::empty_set(), Expr::empty_set(), Expr::empty_set()]),
+            prod(vec![
+                Expr::empty_set(),
+                Expr::empty_set(),
+                Expr::empty_set(),
+            ]),
             intersect2(Expr::empty_set(), Expr::empty_set()),
             objeq(
                 Expr::id_view(Expr::record([])),

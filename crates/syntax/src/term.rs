@@ -17,6 +17,7 @@
 //! [`crate::sugar`].
 
 use crate::label::{Label, Name};
+use std::rc::Rc;
 
 /// Constants `cτ` plus the unit value `()` and booleans.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,7 +83,7 @@ pub enum Expr {
     /// `eq(e1, e2)` — L-value equality on records and functions, value
     /// equality otherwise.
     Eq(Box<Expr>, Box<Expr>),
-    Lam(Name, Box<Expr>),
+    Lam(Name, Rc<Expr>),
     App(Box<Expr>, Box<Expr>),
     /// `[l1 @ e1, …, ln @ en]` — evaluation creates a new identity.
     Record(Vec<Field>),
@@ -97,7 +98,7 @@ pub enum Expr {
     Union(Box<Expr>, Box<Expr>),
     /// `hom(S, f, op, z) = op(f(e1), op(f(e2), … op(f(en), z)…))`.
     Hom(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
-    Fix(Name, Box<Expr>),
+    Fix(Name, Rc<Expr>),
     Let(Name, Box<Expr>, Box<Expr>),
     If(Box<Expr>, Box<Expr>, Box<Expr>),
 
@@ -150,7 +151,7 @@ impl Expr {
     }
 
     pub fn lam(x: impl Into<Name>, body: Expr) -> Expr {
-        Expr::Lam(x.into(), Box::new(body))
+        Expr::Lam(x.into(), Rc::new(body))
     }
 
     /// `λ().e` — a function whose domain is `unit` (the paper's notation for
@@ -181,7 +182,7 @@ impl Expr {
     }
 
     pub fn fix(x: impl Into<Name>, body: Expr) -> Expr {
-        Expr::Fix(x.into(), Box::new(body))
+        Expr::Fix(x.into(), Rc::new(body))
     }
 
     pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {

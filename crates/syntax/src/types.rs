@@ -82,9 +82,7 @@ impl Mono {
     /// Curried n-ary arrow `a1 → … → an → r`.
     pub fn arrows(args: impl IntoIterator<Item = Mono>, r: Mono) -> Mono {
         let args: Vec<_> = args.into_iter().collect();
-        args.into_iter()
-            .rev()
-            .fold(r, |acc, a| Mono::arrow(a, acc))
+        args.into_iter().rev().fold(r, |acc, a| Mono::arrow(a, acc))
     }
 
     pub fn set(t: Mono) -> Mono {

@@ -26,7 +26,8 @@ pub fn children(e: &Expr) -> Vec<&Expr> {
         | Expr::CQuery(a, b)
         | Expr::Insert(a, b)
         | Expr::Delete(a, b) => vec![a, b],
-        Expr::Lam(_, b) | Expr::Fix(_, b) | Expr::IdView(b) => vec![b],
+        Expr::Lam(_, b) | Expr::Fix(_, b) => vec![b],
+        Expr::IdView(b) => vec![b],
         Expr::Dot(b, _) | Expr::Extract(b, _) => vec![b],
         Expr::Update(a, _, b) => vec![a, b],
         Expr::Let(_, a, b) => vec![a, b],
@@ -138,13 +139,10 @@ pub enum RecClassViolation {
 /// each source `kCʲᵢ` is either one of the bound identifiers or an
 /// expression not containing any of them, and the `as`/`where` functions and
 /// own extents contain none of them.
-pub fn check_rec_class_scope(
-    binds: &[(Name, ClassDef)],
-) -> Result<(), RecClassViolation> {
+pub fn check_rec_class_scope(binds: &[(Name, ClassDef)]) -> Result<(), RecClassViolation> {
     let names: BTreeSet<Name> = binds.iter().map(|(n, _)| n.clone()).collect();
-    let first_mentioned = |e: &Expr| -> Option<Name> {
-        free_vars(e).into_iter().find(|v| names.contains(v))
-    };
+    let first_mentioned =
+        |e: &Expr| -> Option<Name> { free_vars(e).into_iter().find(|v| names.contains(v)) };
     for (_, cd) in binds {
         if let Some(n) = first_mentioned(&cd.own) {
             return Err(RecClassViolation::InOwnExtent(n));
@@ -285,7 +283,10 @@ mod tests {
     fn rec_scope_rejects_identifier_in_own_extent() {
         let binds = vec![(
             Label::new("C1"),
-            cd(Expr::cquery(Expr::lam("s", Expr::var("s")), Expr::var("C1")), vec![]),
+            cd(
+                Expr::cquery(Expr::lam("s", Expr::var("s")), Expr::var("C1")),
+                vec![],
+            ),
         )];
         assert_eq!(
             check_rec_class_scope(&binds),
@@ -321,7 +322,10 @@ mod tests {
                 Expr::empty_set(),
                 vec![IncludeClause {
                     sources: vec![Expr::var("C1")],
-                    view: Expr::lam("x", Expr::cquery(Expr::lam("s", Expr::var("s")), Expr::var("C1"))),
+                    view: Expr::lam(
+                        "x",
+                        Expr::cquery(Expr::lam("s", Expr::var("s")), Expr::var("C1")),
+                    ),
                     pred: Expr::lam("x", Expr::bool(true)),
                 }],
             ),

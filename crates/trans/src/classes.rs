@@ -124,10 +124,7 @@ fn fuse_flat(objs: Vec<Expr>) -> Expr {
         .collect();
     let flat = Expr::lam(p, Expr::Record(fields));
     let o = fresh("c_o");
-    sugar::map(
-        Expr::lam(o.clone(), Expr::as_view(Expr::Var(o), flat)),
-        acc,
-    )
+    sugar::map(Expr::lam(o.clone(), Expr::as_view(Expr::Var(o), flat)), acc)
 }
 
 /// The candidate set of an include clause: the n-ary intersection of the
@@ -139,7 +136,9 @@ fn intersect_exts(exts: Vec<Expr>) -> Expr {
         return exts.into_iter().next().expect("m = 1");
     }
     let xx = fresh("c_X");
-    let components: Vec<Expr> = (1..=m).map(|j| Expr::proj(Expr::Var(xx.clone()), j)).collect();
+    let components: Vec<Expr> = (1..=m)
+        .map(|j| Expr::proj(Expr::Var(xx.clone()), j))
+        .collect();
     Expr::hom(
         sugar::prod(exts),
         Expr::lam(xx, fuse_flat(components)),
@@ -166,22 +165,16 @@ struct IncludePlan {
 /// `l_var` is the visited-set variable for recursive groups (`None` for
 /// plain classes), `fn_names[i]` the recursive function bound for sibling
 /// `i`.
-fn ext_body(
-    cell: &Name,
-    plans: &[IncludePlan],
-    l_var: Option<&Name>,
-    fn_names: &[Name],
-) -> Expr {
+fn ext_body(cell: &Name, plans: &[IncludePlan], l_var: Option<&Name>, fn_names: &[Name]) -> Expr {
     let mut acc = Expr::dot(Expr::Var(cell.clone()), CELL_FIELD);
     for plan in plans {
         let exts: Vec<Expr> = plan
             .sources
             .iter()
             .map(|s| match s {
-                SourceExt::External(v) => Expr::app(
-                    Expr::dot(Expr::Var(v.clone()), EXT),
-                    Expr::unit(),
-                ),
+                SourceExt::External(v) => {
+                    Expr::app(Expr::dot(Expr::Var(v.clone()), EXT), Expr::unit())
+                }
                 SourceExt::Recursive(a) => {
                     let l = l_var.expect("recursive source outside a recursive group");
                     let idx = Expr::int(*a as i64 + 1);
@@ -289,10 +282,7 @@ pub fn translate_classes(e: &Expr) -> Expr {
         }
         Expr::CQuery(f, c) => Expr::app(
             translate_classes(f),
-            Expr::app(
-                Expr::dot(translate_classes(c), EXT),
-                Expr::unit(),
-            ),
+            Expr::app(Expr::dot(translate_classes(c), EXT), Expr::unit()),
         ),
         Expr::Insert(c, obj) => {
             // tr: update(C, OwnExt, C·OwnExt ∪ₒ {tr(e)}).
@@ -387,7 +377,7 @@ pub fn translate_classes(e: &Expr) -> Expr {
         // ----- homomorphic cases -----
         Expr::Lit(_) | Expr::Var(_) => e.clone(),
         Expr::Eq(a, b) => Expr::eq(translate_classes(a), translate_classes(b)),
-        Expr::Lam(x, b) => Expr::Lam(x.clone(), Box::new(translate_classes(b))),
+        Expr::Lam(x, b) => Expr::lam(x.clone(), translate_classes(b)),
         Expr::App(f, a) => Expr::app(translate_classes(f), translate_classes(a)),
         Expr::Record(fs) => Expr::Record(
             fs.iter()
@@ -413,7 +403,7 @@ pub fn translate_classes(e: &Expr) -> Expr {
             translate_classes(op),
             translate_classes(z),
         ),
-        Expr::Fix(x, b) => Expr::Fix(x.clone(), Box::new(translate_classes(b))),
+        Expr::Fix(x, b) => Expr::fix(x.clone(), translate_classes(b)),
         Expr::Let(x, r, b) => Expr::Let(
             x.clone(),
             Box::new(translate_classes(r)),

@@ -56,9 +56,16 @@ fn is_obj_rep(internal: &Mono, t: &Mono) -> bool {
         return false;
     }
     let (raw, viewfn) = match (fs.get(&Label::tuple(1)), fs.get(&Label::tuple(2))) {
-        (Some(FieldTy { mutable: false, ty: raw }), Some(FieldTy { mutable: false, ty: vf })) => {
-            (raw, vf)
-        }
+        (
+            Some(FieldTy {
+                mutable: false,
+                ty: raw,
+            }),
+            Some(FieldTy {
+                mutable: false,
+                ty: vf,
+            }),
+        ) => (raw, vf),
         _ => return false,
     };
     match viewfn {
@@ -119,12 +126,18 @@ mod tests {
     fn obj_rep_shape() {
         let raw = Mono::record_imm([(Label::new("a"), Mono::int())]);
         let src = Mono::obj(Mono::record_imm([(Label::new("b"), Mono::int())]));
-        let good = obj_rep_of(raw.clone(), Mono::record_imm([(Label::new("b"), Mono::int())]));
+        let good = obj_rep_of(
+            raw.clone(),
+            Mono::record_imm([(Label::new("b"), Mono::int())]),
+        );
         assert!(is_internal_rep(&good, &src));
         // Mismatched raw domains fail.
         let bad = Mono::pair(
             raw,
-            Mono::arrow(Mono::int(), Mono::record_imm([(Label::new("b"), Mono::int())])),
+            Mono::arrow(
+                Mono::int(),
+                Mono::record_imm([(Label::new("b"), Mono::int())]),
+            ),
         );
         assert!(!is_internal_rep(&bad, &src));
     }

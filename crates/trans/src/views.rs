@@ -144,7 +144,10 @@ pub fn translate_views(e: &Expr) -> Expr {
         }
 
         // ----- classes must be gone already -----
-        Expr::ClassExpr(_) | Expr::CQuery(..) | Expr::Insert(..) | Expr::Delete(..)
+        Expr::ClassExpr(_)
+        | Expr::CQuery(..)
+        | Expr::Insert(..)
+        | Expr::Delete(..)
         | Expr::LetClasses(..) => {
             panic!("translate_views: class construct remains; run translate_classes first")
         }
@@ -152,7 +155,7 @@ pub fn translate_views(e: &Expr) -> Expr {
         // ----- homomorphic cases -----
         Expr::Lit(_) | Expr::Var(_) => e.clone(),
         Expr::Eq(a, b) => Expr::eq(translate_views(a), translate_views(b)),
-        Expr::Lam(x, b) => Expr::Lam(x.clone(), Box::new(translate_views(b))),
+        Expr::Lam(x, b) => Expr::lam(x.clone(), translate_views(b)),
         Expr::App(f, a) => Expr::app(translate_views(f), translate_views(a)),
         Expr::Record(fs) => Expr::Record(
             fs.iter()
@@ -178,17 +181,15 @@ pub fn translate_views(e: &Expr) -> Expr {
             translate_views(op),
             translate_views(z),
         ),
-        Expr::Fix(x, b) => Expr::Fix(x.clone(), Box::new(translate_views(b))),
+        Expr::Fix(x, b) => Expr::fix(x.clone(), translate_views(b)),
         Expr::Let(x, r, b) => Expr::Let(
             x.clone(),
             Box::new(translate_views(r)),
             Box::new(translate_views(b)),
         ),
-        Expr::If(c, t, e2) => Expr::if_(
-            translate_views(c),
-            translate_views(t),
-            translate_views(e2),
-        ),
+        Expr::If(c, t, e2) => {
+            Expr::if_(translate_views(c), translate_views(t), translate_views(e2))
+        }
     }
 }
 

@@ -159,10 +159,7 @@ fn relobj_query() {
             "dept",
             b::id_view(b::record([b::imm("DName", b::str("RIMS"))])),
             b::query(
-                b::lam(
-                    "p",
-                    b::dot(b::dot(b::v("p"), "d"), "DName"),
-                ),
+                b::lam("p", b::dot(b::dot(b::v("p"), "d"), "DName")),
                 b::relobj([("e", b::v("joe")), ("d", b::v("dept"))]),
             ),
         ),
@@ -208,10 +205,7 @@ fn class_with_include_and_pred() {
                 b::empty(),
                 vec![b::include(
                     vec![b::v("Staff")],
-                    b::lam(
-                        "s",
-                        b::record([b::imm("Name", b::dot(b::v("s"), "Name"))]),
-                    ),
+                    b::lam("s", b::record([b::imm("Name", b::dot(b::v("s"), "Name"))])),
                     b::lam(
                         "s",
                         b::query(
@@ -329,7 +323,10 @@ fn two_source_intersection_class() {
             b::class(b::set([b::v("alice"), person("Bob", 50, "male")]), vec![]),
             b::let_(
                 "B",
-                b::class(b::set([b::v("alice"), person("Carol", 22, "female")]), vec![]),
+                b::class(
+                    b::set([b::v("alice"), person("Carol", 22, "female")]),
+                    vec![],
+                ),
                 b::let_(
                     "Both",
                     b::class(
@@ -338,9 +335,7 @@ fn two_source_intersection_class() {
                             vec![b::v("A"), b::v("B")],
                             b::lam(
                                 "p",
-                                b::record([
-                                    b::imm("Name", b::dot(b::proj(b::v("p"), 1), "Name")),
-                                ]),
+                                b::record([b::imm("Name", b::dot(b::proj(b::v("p"), 1), "Name"))]),
                             ),
                             b::lam("p", b::boolean(true)),
                         )],
@@ -444,7 +439,11 @@ fn fig7_style_mutual_sharing() {
                 "FemaleMember",
                 b::class(
                     b::set([fran]),
-                    vec![b::include(vec![b::v("Staff")], to_member("staff"), sex_pred())],
+                    vec![b::include(
+                        vec![b::v("Staff")],
+                        to_member("staff"),
+                        sex_pred(),
+                    )],
                 ),
             ),
         ],

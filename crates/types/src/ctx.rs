@@ -144,9 +144,9 @@ impl Infer {
                 }
                 match self.kind_of(u) {
                     Kind::Univ => false,
-                    Kind::Record(reqs) => reqs
-                        .values()
-                        .any(|r| self.occurs_inner(v, &r.ty, visited)),
+                    Kind::Record(reqs) => {
+                        reqs.values().any(|r| self.occurs_inner(v, &r.ty, visited))
+                    }
                 }
             }
             Mono::Base(_) | Mono::Unit => false,
@@ -225,7 +225,10 @@ mod tests {
         let a = cx.fresh_var_id();
         cx.bind_raw(a, Mono::int());
         let t = Mono::set(Mono::arrow(Mono::Var(a), Mono::bool()));
-        assert_eq!(cx.resolve(&t), Mono::set(Mono::arrow(Mono::int(), Mono::bool())));
+        assert_eq!(
+            cx.resolve(&t),
+            Mono::set(Mono::arrow(Mono::int(), Mono::bool()))
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub enum TypeError {
     NonGroundMutable { label: Label, ty: Mono },
     /// Two record *types* disagree on a field's mutability (record types
     /// are exact; `[l = τ]` and `[l := τ]` are different types).
-    FieldMutabilityMismatch { label: Label, left: Mono, right: Mono },
+    FieldMutabilityMismatch {
+        label: Label,
+        left: Mono,
+        right: Mono,
+    },
 }
 
 impl fmt::Display for TypeError {
@@ -50,7 +54,10 @@ impl fmt::Display for TypeError {
                  (l := τ) is required"
             ),
             TypeError::NotARecord(t) => {
-                write!(f, "type {t} is not a record type, cannot satisfy a record kind")
+                write!(
+                    f,
+                    "type {t} is not a record type, cannot satisfy a record kind"
+                )
             }
             TypeError::Unbound(x) => write!(f, "unbound variable `{x}`"),
             TypeError::RecClass(v) => match v {

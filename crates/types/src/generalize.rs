@@ -241,7 +241,10 @@ mod tests {
         let fvs = t.free_vars();
         assert_eq!(fvs.len(), 2);
         let (v0, v1) = (fvs[0], fvs[1]);
-        assert_eq!(cx.kind_of(v1), Kind::has_field(Label::new("x"), Mono::Var(v0)));
+        assert_eq!(
+            cx.kind_of(v1),
+            Kind::has_field(Label::new("x"), Mono::Var(v0))
+        );
     }
 
     #[test]
@@ -273,10 +276,6 @@ mod tests {
         assert!(!is_nonexpansive(&b::set([b::record([])])));
         // let of values is a value.
         assert!(is_nonexpansive(&b::let_("x", b::int(1), b::v("x"))));
-        assert!(!is_nonexpansive(&b::let_(
-            "x",
-            b::record([]),
-            b::v("x")
-        )));
+        assert!(!is_nonexpansive(&b::let_("x", b::record([]), b::v("x"))));
     }
 }

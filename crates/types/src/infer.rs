@@ -202,7 +202,10 @@ pub fn infer(cx: &mut Infer, env: &mut TypeEnv, e: &Expr) -> Result<Mono, TypeEr
             let tc = infer(cx, env, c)?;
             let t1 = cx.fresh();
             let t2 = cx.fresh();
-            cx.unify(&tf, &Mono::arrow(Mono::set(Mono::obj(t1.clone())), t2.clone()))?;
+            cx.unify(
+                &tf,
+                &Mono::arrow(Mono::set(Mono::obj(t1.clone())), t2.clone()),
+            )?;
             cx.unify(&tc, &Mono::class(t1))?;
             Ok(t2)
         }
@@ -351,7 +354,11 @@ mod tests {
     fn update_requires_mutable_field() {
         // update(joe, Name, "Peter") is rejected: Name immutable (paper §2).
         let joe = b::record([b::imm("Name", b::str("Joe")), b::mt("Salary", b::int(2000))]);
-        let bad = b::let_("joe", joe.clone(), b::update(b::v("joe"), "Name", b::str("P")));
+        let bad = b::let_(
+            "joe",
+            joe.clone(),
+            b::update(b::v("joe"), "Name", b::str("P")),
+        );
         assert!(matches!(
             infer_err(&bad),
             TypeError::MutabilityViolation { .. }
@@ -378,7 +385,10 @@ mod tests {
         let ok = b::let_(
             "joe",
             joe.clone(),
-            b::record([b::imm("Doe", b::str("D")), b::mt("Income", b::extract(b::v("joe"), "Salary"))]),
+            b::record([
+                b::imm("Doe", b::str("D")),
+                b::mt("Income", b::extract(b::v("joe"), "Salary")),
+            ]),
         );
         assert_eq!(infer_str_of(&ok), "[Doe = string, Income := int]");
 
@@ -549,7 +559,10 @@ mod tests {
 
     #[test]
     fn query_applies_view() {
-        let q = b::query(b::lam("x", b::dot(b::v("x"), "Name")), b::id_view(joe_raw()));
+        let q = b::query(
+            b::lam("x", b::dot(b::v("x"), "Name")),
+            b::id_view(joe_raw()),
+        );
         assert_eq!(infer_str_of(&q), "string");
     }
 
@@ -605,7 +618,10 @@ mod tests {
     fn relobj_builds_record_of_views() {
         let e = b::relobj([
             ("emp", b::id_view(joe_raw())),
-            ("dept", b::id_view(b::record([b::imm("DName", b::str("RIMS"))]))),
+            (
+                "dept",
+                b::id_view(b::record([b::imm("DName", b::str("RIMS"))])),
+            ),
         ]);
         let s = infer_str_of(&e);
         assert!(s.starts_with("obj([dept = ["), "got {s}");
@@ -684,7 +700,11 @@ mod tests {
             b::imm("Age", b::int(40)),
             b::imm("Sex", b::str("male")),
         ]));
-        let ins = b::let_("Staff", staff_class(), b::insert(b::v("Staff"), obj.clone()));
+        let ins = b::let_(
+            "Staff",
+            staff_class(),
+            b::insert(b::v("Staff"), obj.clone()),
+        );
         assert_eq!(infer_str_of(&ins), "unit");
         let del = b::let_("Staff", staff_class(), b::delete(b::v("Staff"), obj));
         assert_eq!(infer_str_of(&del), "unit");
@@ -758,11 +778,17 @@ mod tests {
             vec![
                 (
                     "A",
-                    b::class(b::empty(), vec![b::include(vec![b::v("B")], view("a"), pred("a"))]),
+                    b::class(
+                        b::empty(),
+                        vec![b::include(vec![b::v("B")], view("a"), pred("a"))],
+                    ),
                 ),
                 (
                     "B",
-                    b::class(b::empty(), vec![b::include(vec![b::v("A")], view("b"), pred("b"))]),
+                    b::class(
+                        b::empty(),
+                        vec![b::include(vec![b::v("A")], view("b"), pred("b"))],
+                    ),
                 ),
             ],
             b::v("A"),
@@ -774,12 +800,7 @@ mod tests {
     #[test]
     fn recursive_class_scope_violation_is_type_error() {
         // The ill-typed C1 = C \ C2 and C2 = C \ C1 from §4.4.
-        let pred = |other: &str| {
-            b::lam(
-                "c",
-                b::cquery(b::lam("s", b::boolean(true)), b::v(other)),
-            )
-        };
+        let pred = |other: &str| b::lam("c", b::cquery(b::lam("s", b::boolean(true)), b::v(other)));
         let e = b::let_(
             "C",
             staff_class(),
@@ -789,14 +810,22 @@ mod tests {
                         "C1",
                         b::class(
                             b::empty(),
-                            vec![b::include(vec![b::v("C")], b::lam("x", b::v("x")), pred("C2"))],
+                            vec![b::include(
+                                vec![b::v("C")],
+                                b::lam("x", b::v("x")),
+                                pred("C2"),
+                            )],
                         ),
                     ),
                     (
                         "C2",
                         b::class(
                             b::empty(),
-                            vec![b::include(vec![b::v("C")], b::lam("x", b::v("x")), pred("C1"))],
+                            vec![b::include(
+                                vec![b::v("C")],
+                                b::lam("x", b::v("x")),
+                                pred("C1"),
+                            )],
                         ),
                     ),
                 ],
@@ -821,9 +850,15 @@ mod tests {
         use polyview_syntax::sugar;
         let m = sugar::member(b::int(1), b::set([b::int(1), b::int(2)]));
         assert_eq!(infer_str_of(&m), "bool");
-        let mp = sugar::map(b::lam("x", b::mul(b::v("x"), b::int(2))), b::set([b::int(1)]));
+        let mp = sugar::map(
+            b::lam("x", b::mul(b::v("x"), b::int(2))),
+            b::set([b::int(1)]),
+        );
         assert_eq!(infer_str_of(&mp), "{int}");
-        let fl = sugar::filter(b::lam("x", b::gt(b::v("x"), b::int(0))), b::set([b::int(1)]));
+        let fl = sugar::filter(
+            b::lam("x", b::gt(b::v("x"), b::int(0))),
+            b::set([b::int(1)]),
+        );
         assert_eq!(infer_str_of(&fl), "{int}");
     }
 
@@ -835,7 +870,10 @@ mod tests {
         assert_eq!(infer_str_of(&sugar::objeq(o1.clone(), o2.clone())), "bool");
         let i = sugar::intersect2(b::set([o1]), b::set([o2]));
         let s = infer_str_of(&i);
-        assert!(s.starts_with("{obj([1 = [a = int], 2 = [b = int]])}"), "got {s}");
+        assert!(
+            s.starts_with("{obj([1 = [a = int], 2 = [b = int]])}"),
+            "got {s}"
+        );
     }
 
     #[test]
@@ -861,10 +899,7 @@ mod tests {
                     ]),
                 ),
                 b::v("S"),
-                b::lam(
-                    "x",
-                    b::gt(b::query(annual, b::v("x")), b::int(100000)),
-                ),
+                b::lam("x", b::gt(b::query(annual, b::v("x")), b::int(100000))),
             ),
         );
         let s = infer_closed(&wealthy).unwrap().to_string();
@@ -882,14 +917,14 @@ mod tests {
         let s1 = b::set([b::id_view(b::record([b::imm("a", b::int(1))]))]);
         let s2 = b::set([b::id_view(b::record([b::imm("b", b::int(2))]))]);
         let e = sugar::relation_from_where(
-            vec![
-                (Label::new("x"), b::v("x1")),
-                (Label::new("y"), b::v("x2")),
-            ],
+            vec![(Label::new("x"), b::v("x1")), (Label::new("y"), b::v("x2"))],
             vec![(Label::new("x1"), s1), (Label::new("x2"), s2)],
             b::boolean(true),
         );
         let s = infer_str_of(&e);
-        assert!(s.starts_with("{obj([x = [a = int], y = [b = int]])}"), "got {s}");
+        assert!(
+            s.starts_with("{obj([x = [a = int], y = [b = int]])}"),
+            "got {s}"
+        );
     }
 }

@@ -270,7 +270,10 @@ mod tests {
         let mut cx = Infer::new();
         let f = cx.fresh();
         let a = cx.fresh_with_kind(Kind::has_field(Label::new("Name"), f.clone()));
-        let joe = rec(vec![("Name", false, Mono::str()), ("Salary", true, Mono::int())]);
+        let joe = rec(vec![
+            ("Name", false, Mono::str()),
+            ("Salary", true, Mono::int()),
+        ]);
         cx.unify(&a, &joe).expect("discharge");
         assert_eq!(cx.resolve(&f), Mono::str());
         assert_eq!(cx.resolve(&a), cx.resolve(&joe));
@@ -312,10 +315,7 @@ mod tests {
         let mut cx = Infer::new();
         let r1 = rec(vec![("x", false, Mono::int())]);
         let r2 = rec(vec![("x", false, Mono::int()), ("y", false, Mono::int())]);
-        assert!(matches!(
-            cx.unify(&r1, &r2),
-            Err(TypeError::Mismatch(..))
-        ));
+        assert!(matches!(cx.unify(&r1, &r2), Err(TypeError::Mismatch(..))));
     }
 
     #[test]
@@ -366,7 +366,8 @@ mod tests {
     #[test]
     fn constrain_univ_is_noop() {
         let mut cx = Infer::new();
-        cx.constrain(&Mono::int(), Kind::Univ).expect("U admits all");
+        cx.constrain(&Mono::int(), Kind::Univ)
+            .expect("U admits all");
     }
 
     #[test]

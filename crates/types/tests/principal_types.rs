@@ -27,8 +27,14 @@ fn rejected(src: &str) {
 #[test]
 fn core_polymorphism() {
     assert_eq!(principal("fn x => x"), "∀t1::U. t1 -> t1");
-    assert_eq!(principal("fn f => fn x => f (f x)"), "∀t1::U. (t1 -> t1) -> t1 -> t1");
-    assert_eq!(principal("fn x => fn y => x"), "∀t1::U.∀t2::U. t1 -> t2 -> t1");
+    assert_eq!(
+        principal("fn f => fn x => f (f x)"),
+        "∀t1::U. (t1 -> t1) -> t1 -> t1"
+    );
+    assert_eq!(
+        principal("fn x => fn y => x"),
+        "∀t1::U.∀t2::U. t1 -> t2 -> t1"
+    );
     assert_eq!(principal("{}"), "∀t1::U. {t1}");
     assert_eq!(principal("fn s => union(s, s)"), "∀t1::U. {t1} -> {t1}");
 }
@@ -72,10 +78,7 @@ fn hom_is_fully_polymorphic() {
 
 #[test]
 fn view_layer_types() {
-    assert_eq!(
-        principal("fn r => IDView(r)"),
-        "∀t1::[[]]. t1 -> obj(t1)"
-    );
+    assert_eq!(principal("fn r => IDView(r)"), "∀t1::[[]]. t1 -> obj(t1)");
     assert_eq!(
         principal("fn o => fn f => o as f"),
         "∀t1::U.∀t2::U. obj(t1) -> (t1 -> t2) -> obj(t2)"
@@ -126,13 +129,8 @@ fn class_layer_types() {
 fn select_is_the_papers_polymorphic_view_query() {
     // select as … from … where … over any set of objects whose view
     // exposes Name.
-    let s = principal(
-        "fn S => select as fn x => [N = x.Name] from S where fn o => true",
-    );
-    assert_eq!(
-        s,
-        "∀t1::[[Name = t2]].∀t2::U. {obj(t1)} -> {obj([N = t2])}"
-    );
+    let s = principal("fn S => select as fn x => [N = x.Name] from S where fn o => true");
+    assert_eq!(s, "∀t1::[[Name = t2]].∀t2::U. {obj(t1)} -> {obj([N = t2])}");
 }
 
 #[test]

@@ -20,7 +20,10 @@ fn kind_constraint_through_obj_constructor() {
     // obj(a) ~ obj([x = int]) discharges a's kind against the record.
     let mut cx = Infer::new();
     let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
-    let target = Mono::obj(rec(vec![("x", false, Mono::int()), ("y", false, Mono::bool())]));
+    let target = Mono::obj(rec(vec![
+        ("x", false, Mono::int()),
+        ("y", false, Mono::bool()),
+    ]));
     cx.unify(&Mono::obj(a.clone()), &target).expect("unifies");
     assert_eq!(cx.resolve(&Mono::obj(a)), cx.resolve(&target));
 }
@@ -69,10 +72,7 @@ fn conflicting_field_types_across_merge() {
     let mut cx = Infer::new();
     let a = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::int()));
     let b = cx.fresh_with_kind(Kind::has_field(Label::new("x"), Mono::bool()));
-    assert!(matches!(
-        cx.unify(&a, &b),
-        Err(TypeError::Mismatch(..))
-    ));
+    assert!(matches!(cx.unify(&a, &b), Err(TypeError::Mismatch(..))));
 }
 
 #[test]
@@ -81,10 +81,7 @@ fn occurs_check_via_kind_field() {
     // infinite type and must be caught.
     let mut cx = Infer::new();
     let a = cx.fresh_var_id();
-    cx.set_kind(
-        a,
-        Kind::has_field(Label::new("x"), Mono::set(Mono::Var(a))),
-    );
+    cx.set_kind(a, Kind::has_field(Label::new("x"), Mono::set(Mono::Var(a))));
     let target = rec(vec![("x", false, Mono::set(Mono::Var(a)))]);
     assert!(matches!(
         cx.unify(&Mono::Var(a), &target),
@@ -166,7 +163,10 @@ fn instance_through_obj_and_class_constructors() {
             Mono::set(Mono::obj(Mono::Var(0))),
         ),
     );
-    let staff = rec(vec![("Name", false, Mono::str()), ("Age", false, Mono::int())]);
+    let staff = rec(vec![
+        ("Name", false, Mono::str()),
+        ("Age", false, Mono::int()),
+    ]);
     let spec = Scheme::mono(Mono::arrow(
         Mono::class(staff.clone()),
         Mono::set(Mono::obj(staff)),

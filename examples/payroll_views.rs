@@ -42,9 +42,8 @@ fn main() {
     // are statically rejected.
     let leak = engine.infer_expr("map(fn o => query(fn x => x.Salary, o), directory)");
     println!("directory salary leak rejected: {}", leak.unwrap_err());
-    let poke = engine.infer_expr(
-        "map(fn o => query(fn x => update(x, Name, \"?\"), o), directory)",
-    );
+    let poke =
+        engine.infer_expr("map(fn o => query(fn x => update(x, Name, \"?\"), o), directory)");
     println!("directory name update rejected: {}", poke.unwrap_err());
 
     // Finance runs the paper's wealthy query…

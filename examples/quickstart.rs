@@ -32,7 +32,10 @@ fn main() {
             "#,
         )
         .expect("joe_view defines");
-    println!("joe_view : {}", engine.scheme_of("joe_view").expect("bound"));
+    println!(
+        "joe_view : {}",
+        engine.scheme_of("joe_view").expect("bound")
+    );
 
     // Queries evaluate views lazily. Annual_Income is the paper's
     // polymorphic query: ∀t::[[Income = int, Bonus = int]]. t → int.

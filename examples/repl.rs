@@ -34,8 +34,8 @@ fn main() {
     let mut engine = Engine::new();
 
     if let Some(path) = std::env::args().nth(1) {
-        let src = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let src =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         match engine.exec(&src) {
             Ok(outcomes) => report(&engine, &outcomes),
             Err(e) => {

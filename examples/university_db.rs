@@ -41,7 +41,10 @@ fn main() {
         "#,
     )
     .expect("FemaleMember");
-    println!("FemaleMember : {}", db.schema("FemaleMember").expect("bound"));
+    println!(
+        "FemaleMember : {}",
+        db.schema("FemaleMember").expect("bound")
+    );
     println!("FemaleMember extent:");
     for row in db.dump("FemaleMember").expect("dump") {
         println!("  {row}");

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline-safe verification: everything here runs with no network access.
+#
+# The workspace proper has zero external dependencies (DESIGN.md §7). The
+# property-test and benchmark packages are excluded because they carry
+# proptest/rand/criterion; run them explicitly when a registry is
+# reachable:
+#
+#     cargo test  --manifest-path crates/proptests/Cargo.toml
+#     cargo bench --manifest-path crates/bench/Cargo.toml
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests (all crates)"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK: build, tests, fmt, clippy all green (offline)."

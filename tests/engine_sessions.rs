@@ -17,10 +17,8 @@ fn long_session_state_accumulates() {
     )
     .expect("setup");
     for i in 0..10 {
-        e.exec(&format!(
-            "tick (); insert(Log, IDView([entry = {i}]));"
-        ))
-        .expect("step");
+        e.exec(&format!("tick (); insert(Log, IDView([entry = {i}]));"))
+            .expect("step");
     }
     assert_eq!(e.eval_to_string("db_epoch.n").expect("runs"), "10");
     assert_eq!(e.eval_to_string("csize Log").expect("runs"), "10");

@@ -13,14 +13,16 @@ fn engine() -> Engine {
 #[test]
 fn s2_record_creation_and_identity() {
     let mut e = engine();
-    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#).expect("defines");
+    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#)
+        .expect("defines");
     assert_eq!(
         e.scheme_of("joe").expect("bound").to_string(),
         "[Name = string, Salary := int]"
     );
     // Evaluation of a record expression creates a new identity.
     assert_eq!(
-        e.eval_to_string(r#"[Name = "Doe"] == [Name = "Doe"]"#).expect("runs"),
+        e.eval_to_string(r#"[Name = "Doe"] == [Name = "Doe"]"#)
+            .expect("runs"),
         "false"
     );
     assert_eq!(e.eval_to_string("joe == joe").expect("runs"), "true");
@@ -47,7 +49,8 @@ fn s2_lvalue_sharing_doe_john() {
 #[test]
 fn s2_illegal_lvalue_uses_rejected() {
     let mut e = engine();
-    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#).expect("defines");
+    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#)
+        .expect("defines");
     // Arithmetic on an extracted L-value (first illegal example).
     let err = e
         .infer_expr(r#"[Name = "Joe Doe", Income = extract(joe, Salary) * 2]"#)
@@ -67,7 +70,8 @@ fn s2_illegal_lvalue_uses_rejected() {
 #[test]
 fn s2_update_immutable_rejected() {
     let mut e = engine();
-    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#).expect("defines");
+    e.exec(r#"val joe = [Name = "Doe", Salary := 3000];"#)
+        .expect("defines");
     assert_eq!(
         e.eval_to_string("let u = update(joe, Salary, 4000) in joe.Salary end")
             .expect("runs"),
@@ -85,7 +89,10 @@ fn s2_update_immutable_rejected() {
 #[test]
 fn s2_sets_and_derived_operations() {
     let mut e = engine();
-    assert_eq!(e.eval_to_string("union({1, 2}, {2, 3})").expect("runs"), "{1, 2, 3}");
+    assert_eq!(
+        e.eval_to_string("union({1, 2}, {2, 3})").expect("runs"),
+        "{1, 2, 3}"
+    );
     assert_eq!(
         e.eval_to_string("hom({1, 2, 3}, fn x => x, fn a => fn b => a + b, 0)")
             .expect("runs"),
@@ -93,11 +100,13 @@ fn s2_sets_and_derived_operations() {
     );
     assert_eq!(e.eval_to_string("member(2, {1, 2})").expect("runs"), "true");
     assert_eq!(
-        e.eval_to_string("map(fn x => x * 10, {1, 2})").expect("runs"),
+        e.eval_to_string("map(fn x => x * 10, {1, 2})")
+            .expect("runs"),
         "{10, 20}"
     );
     assert_eq!(
-        e.eval_to_string("filter(fn x => x > 1, {1, 2, 3})").expect("runs"),
+        e.eval_to_string("filter(fn x => x > 1, {1, 2, 3})")
+            .expect("runs"),
         "{2, 3}"
     );
     // prod of two sets has 4 elements.
@@ -118,7 +127,10 @@ fn s2_mutually_recursive_functions() {
          and odd n = if n = 0 then false else even (n - 1);",
     )
     .expect("defines");
-    assert_eq!(e.eval_to_string("(even 4, odd 4)").expect("runs"), "[1 = true, 2 = false]");
+    assert_eq!(
+        e.eval_to_string("(even 4, odd 4)").expect("runs"),
+        "[1 = true, 2 = false]"
+    );
 }
 
 // ===== Section 3: views =====
@@ -155,13 +167,15 @@ fn s33_view_types_match_paper() {
 fn s33_annual_income_is_29000() {
     let mut e = engine();
     setup_joe(&mut e);
-    e.exec("fun Annual_Income p = p.Income * 12 + p.Bonus;").expect("defines");
+    e.exec("fun Annual_Income p = p.Income * 12 + p.Bonus;")
+        .expect("defines");
     assert_eq!(
         e.scheme_of("Annual_Income").expect("bound").to_string(),
         "∀t1::[[Bonus = int, Income = int]]. t1 -> int"
     );
     assert_eq!(
-        e.eval_to_string("query(Annual_Income, joe_view)").expect("runs"),
+        e.eval_to_string("query(Annual_Income, joe_view)")
+            .expect("runs"),
         "29000"
     );
 }
@@ -170,7 +184,10 @@ fn s33_annual_income_is_29000() {
 fn s33_objeq_and_view_update() {
     let mut e = engine();
     setup_joe(&mut e);
-    assert_eq!(e.eval_to_string("objeq(joe, joe_view)").expect("runs"), "true");
+    assert_eq!(
+        e.eval_to_string("objeq(joe, joe_view)").expect("runs"),
+        "true"
+    );
 
     e.exec(
         r#"
@@ -182,7 +199,8 @@ fn s33_objeq_and_view_update() {
     // After the update, the paper's exact results (Age 39 via
     // this_year() = 1994):
     assert_eq!(
-        e.eval_to_string("query(fn x => x, joe_view)").expect("runs"),
+        e.eval_to_string("query(fn x => x, joe_view)")
+            .expect("runs"),
         "[Age = 39, Bonus := 6000, Income = 2000, Name = \"Joe\"]"
     );
     assert_eq!(
@@ -220,10 +238,8 @@ fn s33_wealthy_polymorphic_query() {
     )
     .expect("defines");
     assert_eq!(
-        e.eval_to_string(
-            "map(fn o => query(fn x => x.Name, o), wealthy Employees)"
-        )
-        .expect("runs"),
+        e.eval_to_string("map(fn o => query(fn x => x.Name, o), wealthy Employees)")
+            .expect("runs"),
         "{\"Rich\"}"
     );
 }
@@ -244,12 +260,14 @@ fn s31_fuse_and_relobj() {
     );
     // fuse of different raws: empty.
     assert_eq!(
-        e.eval_to_string(r#"fuse(joe, IDView([Name = "X"])) == {}"#).expect("runs"),
+        e.eval_to_string(r#"fuse(joe, IDView([Name = "X"])) == {}"#)
+            .expect("runs"),
         "true"
     );
     // relobj creates new identity.
     assert_eq!(
-        e.eval_to_string("objeq(relobj(a = joe), relobj(a = joe))").expect("runs"),
+        e.eval_to_string("objeq(relobj(a = joe), relobj(a = joe))")
+            .expect("runs"),
         "false"
     );
 }
@@ -317,12 +335,11 @@ fn s42_student_staff_intersection() {
     );
     // Mutability transfers through the fused views: update Sal via
     // StudentStaff, observe through carol.
-    e.exec(
-        "cquery(fn s => map(fn o => query(fn x => update(x, Sal, 999), o), s), StudentStaff);",
-    )
-    .expect("update");
+    e.exec("cquery(fn s => map(fn o => query(fn x => update(x, Sal, 999), o), s), StudentStaff);")
+        .expect("update");
     assert_eq!(
-        e.eval_to_string("query(fn x => x.Salary, carol)").expect("runs"),
+        e.eval_to_string("query(fn x => x.Salary, carol)")
+            .expect("runs"),
         "999"
     );
 }
@@ -332,7 +349,8 @@ fn s44_ill_formed_recursion_rejected() {
     // The paper's C1 = C \ C2 and C2 = C \ C1: ill-typed by the Fig. 6
     // scope restriction.
     let mut e = engine();
-    e.exec("class C = class {IDView([n = 1])} end;").expect("defines");
+    e.exec("class C = class {IDView([n = 1])} end;")
+        .expect("defines");
     let err = e
         .exec(
             "class C1 = class {} include C as fn x => x \
@@ -375,8 +393,14 @@ fn s44_fig7_full_example() {
         "#,
     )
     .expect("defines");
-    assert_eq!(e.eval_to_string("names Staff").expect("runs"), "{\"Alice\", \"Bob\"}");
-    assert_eq!(e.eval_to_string("names FemaleMember").expect("runs"), "{\"Alice\", \"Carol\"}");
+    assert_eq!(
+        e.eval_to_string("names Staff").expect("runs"),
+        "{\"Alice\", \"Bob\"}"
+    );
+    assert_eq!(
+        e.eval_to_string("names FemaleMember").expect("runs"),
+        "{\"Alice\", \"Carol\"}"
+    );
 
     // Mutual sharing: a staff-category FemaleMember flows into Staff.
     e.exec(r#"insert(FemaleMember, IDView([Name = "Fran", Age = 28, Category = "staff"]));"#)
@@ -385,7 +409,10 @@ fn s44_fig7_full_example() {
         e.eval_to_string("names Staff").expect("runs"),
         "{\"Alice\", \"Bob\", \"Fran\"}"
     );
-    assert_eq!(e.eval_to_string("names Student").expect("runs"), "{\"Carol\"}");
+    assert_eq!(
+        e.eval_to_string("names Student").expect("runs"),
+        "{\"Carol\"}"
+    );
 }
 
 #[test]
@@ -401,7 +428,10 @@ fn s41_classes_are_first_class() {
         "#,
     )
     .expect("defines");
-    assert_eq!(e.eval_to_string("(count C1, count C2)").expect("runs"), "[1 = 1, 2 = 1]");
+    assert_eq!(
+        e.eval_to_string("(count C1, count C2)").expect("runs"),
+        "[1 = 1, 2 = 1]"
+    );
 }
 
 #[test]

@@ -51,13 +51,19 @@ fn booleans_and_comparison() {
 fn let_functions_recursion() {
     check("let x = 21 in x + x end", "42");
     check("let f = fn x => x * x in f 7 end", "49");
-    check("let fun fact n = if n = 0 then 1 else n * fact (n - 1) in fact 5 end", "120");
+    check(
+        "let fun fact n = if n = 0 then 1 else n * fact (n - 1) in fact 5 end",
+        "120",
+    );
     check(
         "let fun even n = if n = 0 then true else odd (n - 1) \
          and odd n = if n = 0 then false else even (n - 1) in even 9 end",
         "false",
     );
-    check("(fix f => fn n => if n > 100 then n else f (n * 2)) 3", "192");
+    check(
+        "(fix f => fn n => if n > 100 then n else f (n * 2)) 3",
+        "192",
+    );
     check("(fn x y z => x + y + z) 1 2 3", "6");
 }
 
@@ -66,7 +72,10 @@ fn records_and_tuples() {
     check("[a = 1, b = \"x\"].a", "1");
     check("[a = 1, b = \"x\"].b", "\"x\"");
     check("(1, 2, 3).2", "2");
-    check("let r = [m := 5] in let u = update(r, m, 6) in r.m end end", "6");
+    check(
+        "let r = [m := 5] in let u = update(r, m, 6) in r.m end end",
+        "6",
+    );
     check(
         "let r = [m := 1] in \
          let s = [alias := extract(r, m)] in \
@@ -95,7 +104,10 @@ fn sets_and_prelude() {
     check("subset {1} {1, 2}", "true");
     check("flatten {{1}, {2, 3}}", "{1, 2, 3}");
     check("count (prod({1, 2}, {1, 2, 3}))", "6");
-    check("hom({1, 2, 3}, fn x => x * x, fn a => fn b => a + b, 0)", "14");
+    check(
+        "hom({1, 2, 3}, fn x => x * x, fn a => fn b => a + b, 0)",
+        "14",
+    );
 }
 
 #[test]

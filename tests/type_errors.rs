@@ -96,9 +96,7 @@ fn view_layer_violations() {
     assert_type_error("query(fn x => x, 1)");
     assert_type_error("query(1, joe)");
     // Querying a hidden field through a view.
-    assert_type_error(
-        "query(fn x => x.BirthYear, joe as fn y => [Name = y.Name])",
-    );
+    assert_type_error("query(fn x => x.BirthYear, joe as fn y => [Name = y.Name])");
     // as needs an object on the left.
     assert_type_error("1 as fn x => x");
     // fuse needs objects.
@@ -112,9 +110,7 @@ fn view_update_restrictions_propagate() {
     // A view exposing Income immutably forbids updates through it, even
     // though the underlying Salary is mutable (the paper's access
     // restriction example).
-    assert_type_error(
-        "query(fn x => update(x, Income, 1), joe as fn y => [Income = y.Salary])",
-    );
+    assert_type_error("query(fn x => update(x, Income, 1), joe as fn y => [Income = y.Salary])");
 }
 
 #[test]
@@ -131,9 +127,7 @@ fn class_layer_violations() {
          where fn s => true end",
     );
     // predicate must return bool.
-    assert_type_error(
-        "class {} include Staff as fn s => s where fn s => 1 end",
-    );
+    assert_type_error("class {} include Staff as fn s => s where fn s => 1 end");
     // view must produce the class's object type consistently across
     // clauses.
     assert_type_error(
@@ -147,7 +141,8 @@ fn polymorphism_is_not_unsound_subtyping() {
     // A function requiring Income cannot be applied to a record without
     // it, even through an object.
     let mut e = Engine::new();
-    e.exec("fun annual p = p.Income * 12 + p.Bonus;").expect("defines");
+    e.exec("fun annual p = p.Income * 12 + p.Bonus;")
+        .expect("defines");
     let err = e
         .infer_expr("annual [Income = 3]")
         .expect_err("missing Bonus");
