@@ -86,6 +86,31 @@ fn bench_database_facade(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_observability_overhead(c: &mut Criterion) {
+    // The acceptance bar for the observability layer (DESIGN.md §9): with
+    // spans enabled against a NullSink, the prepared-run hot path must stay
+    // within 5% of the untraced baseline. Counters are always on — the
+    // baseline already pays for them — so this isolates the span machinery
+    // (clock reads + attr bookkeeping) alone.
+    let mut group = c.benchmark_group("E8_obs_overhead");
+    let src = format!("cquery({SET_FN}, Staff)");
+    for n in [8usize, 64] {
+        let mut base = staff_engine(n);
+        let p = base.prepare(&src).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("untraced", n), &p, |bch, p| {
+            bch.iter(|| black_box(base.run(black_box(p)).expect("runs")))
+        });
+
+        let mut traced = staff_engine(n);
+        let p = traced.prepare(&src).expect("compiles");
+        traced.set_trace_sink(std::rc::Rc::new(polyview::obs::NullSink));
+        group.bench_with_input(BenchmarkId::new("null_sink", n), &p, |bch, p| {
+            bch.iter(|| black_box(traced.run(black_box(p)).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
 fn bench_compile_phase_alone(c: &mut Criterion) {
     // What `prepare` actually saves per call: the parse + inference cost
     // of the statement, isolated from evaluation.
@@ -99,6 +124,7 @@ fn bench_compile_phase_alone(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = polyview_bench::quick();
-    targets = bench_cold_vs_prepared, bench_database_facade, bench_compile_phase_alone
+    targets = bench_cold_vs_prepared, bench_database_facade,
+        bench_observability_overhead, bench_compile_phase_alone
 }
 criterion_main!(benches);

@@ -16,9 +16,13 @@
 //! [`Engine::stats`] exposes counters that pin this down.
 
 use crate::error::Error;
-use crate::prepare::{EngineStats, Prepared, StmtCache, StmtKey, DEFAULT_STMT_CACHE_CAPACITY};
+use crate::explain::Explain;
+use crate::prepare::{
+    CacheLookup, EngineStats, Prepared, StmtCache, StmtKey, DEFAULT_STMT_CACHE_CAPACITY,
+};
 use polyview_eval::{Machine, Value};
-use polyview_parser::{parse_expr, parse_program, Decl};
+use polyview_obs::{Clock, Counter, Histogram, Registry, Span, TraceSink, Tracer};
+use polyview_parser::{parse_expr_counted, parse_program_counted, Decl, ParseStats};
 use polyview_syntax::visit::check_rec_class_scope;
 use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
 use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv};
@@ -34,15 +38,78 @@ pub enum Outcome {
     Value { scheme: Scheme, rendered: String },
 }
 
+/// Handles into the engine's metrics registry, resolved once at
+/// construction so the hot paths pay a `Cell` bump per event and never hash
+/// a metric name. The last block mirrors counters owned by the inference
+/// context and the machine; they are synced into the registry only at
+/// export time ([`Engine::metrics_json`]).
+struct PhaseMetrics {
+    parses: Counter,
+    inferences: Counter,
+    stmt_cache_hits: Counter,
+    stmt_cache_misses: Counter,
+    stmt_cache_evictions: Counter,
+    epoch_invalidations: Counter,
+    tokens_lexed: Counter,
+    nodes_parsed: Counter,
+    parse_ns: Histogram,
+    infer_ns: Histogram,
+    translate_ns: Histogram,
+    eval_ns: Histogram,
+    translated_size: Histogram,
+    unify_steps: Counter,
+    occurs_checks: Counter,
+    kind_merges: Counter,
+    instantiations: Counter,
+    fuel_consumed: Counter,
+    records_allocated: Counter,
+    sets_allocated: Counter,
+}
+
+impl PhaseMetrics {
+    fn new(reg: &Registry) -> Self {
+        PhaseMetrics {
+            parses: reg.counter("engine.parses"),
+            inferences: reg.counter("engine.inferences"),
+            stmt_cache_hits: reg.counter("engine.stmt_cache_hits"),
+            stmt_cache_misses: reg.counter("engine.stmt_cache_misses"),
+            stmt_cache_evictions: reg.counter("engine.stmt_cache_evictions"),
+            epoch_invalidations: reg.counter("engine.epoch_invalidations"),
+            tokens_lexed: reg.counter("parser.tokens_lexed"),
+            nodes_parsed: reg.counter("parser.nodes_parsed"),
+            parse_ns: reg.histogram("phase.parse_ns"),
+            infer_ns: reg.histogram("phase.infer_ns"),
+            translate_ns: reg.histogram("phase.translate_ns"),
+            eval_ns: reg.histogram("phase.eval_ns"),
+            translated_size: reg.histogram("trans.translated_size"),
+            unify_steps: reg.counter("types.unify_steps"),
+            occurs_checks: reg.counter("types.occurs_checks"),
+            kind_merges: reg.counter("types.kind_merges"),
+            instantiations: reg.counter("types.instantiations"),
+            fuel_consumed: reg.counter("eval.fuel_consumed"),
+            records_allocated: reg.counter("eval.records_allocated"),
+            sets_allocated: reg.counter("eval.sets_allocated"),
+        }
+    }
+}
+
 /// A persistent session: parser + inference + evaluation with shared
 /// top-level environments, and a statement cache serving the
 /// compile-once/run-many path.
+///
+/// Every engine carries an observability layer (DESIGN.md §9): a metrics
+/// [`Registry`] always collecting phase latencies and pipeline counters,
+/// and a [`Tracer`] that additionally emits per-phase span records to a
+/// [`TraceSink`] when enabled ([`Engine::set_trace_sink`] /
+/// [`Engine::set_tracing`]).
 pub struct Engine {
     cx: Infer,
     tenv: TypeEnv,
     machine: Machine,
     stmts: StmtCache,
-    stats: EngineStats,
+    metrics: Rc<Registry>,
+    tracer: Tracer,
+    phases: PhaseMetrics,
     /// Bumped by every declaration (`val`/`fun`/`class`): prepared
     /// statements compiled under an older epoch are stale because the
     /// top-level type environment they were inferred against has changed.
@@ -57,12 +124,16 @@ impl Default for Engine {
 
 impl Engine {
     pub fn new() -> Self {
+        let metrics = Rc::new(Registry::new());
+        let phases = PhaseMetrics::new(&metrics);
         Engine {
             cx: Infer::new(),
             tenv: builtins_sig::builtin_env(),
             machine: Machine::new(),
             stmts: StmtCache::new(DEFAULT_STMT_CACHE_CAPACITY),
-            stats: EngineStats::default(),
+            metrics,
+            tracer: Tracer::disabled(),
+            phases,
             env_epoch: 0,
         }
     }
@@ -75,10 +146,71 @@ impl Engine {
         e
     }
 
+    // ----- instrumented phases -----
+    //
+    // Each phase helper times one pipeline stage against the tracer clock,
+    // feeds the duration into the phase histogram, and attaches the
+    // per-statement work-counter deltas as span attributes (emitted only
+    // when tracing is enabled). On an error the open span is dropped
+    // without emitting; the phase counter has already been bumped.
+
+    /// Record a finished parse: span attributes, latency, token/node
+    /// totals. Returns the measured duration.
+    fn note_parse(&mut self, mut span: Span, ps: ParseStats) -> u64 {
+        span.attr("tokens", ps.tokens);
+        span.attr("nodes", ps.nodes);
+        let dur = span.finish(&self.tracer);
+        self.phases.parse_ns.observe(dur);
+        self.phases.tokens_lexed.add(ps.tokens);
+        self.phases.nodes_parsed.add(ps.nodes);
+        dur
+    }
+
+    /// Run an inference computation as the timed "infer" phase.
+    fn infer_phase<T>(
+        &mut self,
+        f: impl FnOnce(&mut Infer, &mut TypeEnv) -> Result<T, polyview_types::TypeError>,
+    ) -> Result<T, Error> {
+        self.phases.inferences.inc();
+        let before = self.cx.stats();
+        let mut span = self.tracer.span("infer");
+        let r = f(&mut self.cx, &mut self.tenv);
+        let after = self.cx.stats();
+        span.attr("unify_steps", after.unify_steps - before.unify_steps);
+        span.attr("occurs_checks", after.occurs_checks - before.occurs_checks);
+        span.attr("kind_merges", after.kind_merges - before.kind_merges);
+        span.attr(
+            "instantiations",
+            after.instantiations - before.instantiations,
+        );
+        let dur = span.finish(&self.tracer);
+        self.phases.infer_ns.observe(dur);
+        Ok(r?)
+    }
+
+    /// Evaluate an expression as the timed "eval" phase.
+    fn eval_phase(&mut self, e: &Expr) -> Result<Value, Error> {
+        let before = self.machine.stats();
+        let mut span = self.tracer.span("eval");
+        let r = self.machine.eval_global(e);
+        let after = self.machine.stats();
+        span.attr("fuel", after.fuel_consumed - before.fuel_consumed);
+        span.attr(
+            "records",
+            after.records_allocated - before.records_allocated,
+        );
+        span.attr("sets", after.sets_allocated - before.sets_allocated);
+        let dur = span.finish(&self.tracer);
+        self.phases.eval_ns.observe(dur);
+        Ok(r?)
+    }
+
     /// Execute a program: a sequence of declarations.
     pub fn exec(&mut self, src: &str) -> Result<Vec<Outcome>, Error> {
-        self.stats.parses += 1;
-        let decls = parse_program(src)?;
+        self.phases.parses.inc();
+        let span = self.tracer.span("parse");
+        let (decls, ps) = parse_program_counted(src)?;
+        self.note_parse(span, ps);
         let mut out = Vec::with_capacity(decls.len());
         for d in &decls {
             out.push(self.exec_decl(d)?);
@@ -105,8 +237,7 @@ impl Engine {
     }
 
     fn prepare_parsed(&mut self, src: Option<String>, ast: Expr) -> Result<Prepared, Error> {
-        self.stats.inferences += 1;
-        let scheme = self.cx.infer_scheme(&mut self.tenv, &ast)?;
+        let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, &ast))?;
         Ok(Prepared::new(src, Rc::new(ast), scheme, self.env_epoch))
     }
 
@@ -117,9 +248,10 @@ impl Engine {
     /// the internal statement cache does this automatically).
     pub fn run(&mut self, p: &Prepared) -> Result<Value, Error> {
         if p.env_epoch() != self.env_epoch {
+            self.phases.epoch_invalidations.inc();
             return Err(Error::StalePrepared);
         }
-        Ok(self.machine.eval_global(p.ast())?)
+        self.eval_phase(p.ast())
     }
 
     /// [`Engine::run`], rendering the result.
@@ -137,24 +269,33 @@ impl Engine {
         key: StmtKey,
         build: impl FnOnce(&mut Self) -> Result<Prepared, Error>,
     ) -> Result<(Scheme, Value), Error> {
-        if let Some(p) = self.stmts.get_valid(&key, self.env_epoch) {
-            let ast = p.ast_rc();
-            let scheme = p.scheme().clone();
-            self.stats.stmt_cache_hits += 1;
-            let v = self.machine.eval_global(&ast)?;
-            return Ok((scheme, v));
+        match self.stmts.lookup(&key, self.env_epoch) {
+            CacheLookup::Hit(p) => {
+                self.phases.stmt_cache_hits.inc();
+                let scheme = p.scheme().clone();
+                let v = self.eval_phase(p.ast())?;
+                return Ok((scheme, v));
+            }
+            CacheLookup::Stale => {
+                self.phases.epoch_invalidations.inc();
+                self.phases.stmt_cache_misses.inc();
+            }
+            CacheLookup::Miss => self.phases.stmt_cache_misses.inc(),
         }
-        self.stats.stmt_cache_misses += 1;
         let p = build(self)?;
         let scheme = p.scheme().clone();
-        let v = self.machine.eval_global(p.ast())?;
-        self.stmts.insert(key, p);
+        let v = self.eval_phase(p.ast())?;
+        let evicted = self.stmts.insert(key, p);
+        self.phases.stmt_cache_evictions.add(evicted as u64);
         Ok((scheme, v))
     }
 
     fn parse_counted(&mut self, src: &str) -> Result<Expr, Error> {
-        self.stats.parses += 1;
-        Ok(parse_expr(src)?)
+        self.phases.parses.inc();
+        let span = self.tracer.span("parse");
+        let (ast, ps) = parse_expr_counted(src)?;
+        self.note_parse(span, ps);
+        Ok(ast)
     }
 
     /// Parse one complete expression to be spliced into a larger statement
@@ -166,13 +307,186 @@ impl Engine {
         self.parse_counted(src)
     }
 
-    /// Pipeline counters: parses, inferences, statement-cache hits/misses.
+    /// A snapshot of the pipeline counters: compilation work, statement
+    /// cache traffic, inference and evaluation work.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let i = self.cx.stats();
+        let m = self.machine.stats();
+        EngineStats {
+            parses: self.phases.parses.get(),
+            inferences: self.phases.inferences.get(),
+            stmt_cache_hits: self.phases.stmt_cache_hits.get(),
+            stmt_cache_misses: self.phases.stmt_cache_misses.get(),
+            stmt_cache_evictions: self.phases.stmt_cache_evictions.get(),
+            epoch_invalidations: self.phases.epoch_invalidations.get(),
+            tokens_lexed: self.phases.tokens_lexed.get(),
+            nodes_parsed: self.phases.nodes_parsed.get(),
+            unify_steps: i.unify_steps,
+            occurs_checks: i.occurs_checks,
+            kind_merges: i.kind_merges,
+            instantiations: i.instantiations,
+            fuel_consumed: m.fuel_consumed,
+            records_allocated: m.records_allocated,
+            sets_allocated: m.sets_allocated,
+        }
     }
 
+    /// Zero every counter and histogram — the registry's metrics, the
+    /// inference work counters, and the machine work counters. Histogram
+    /// and counter handles stay live; environments and caches are
+    /// untouched.
     pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
+        self.metrics.reset();
+        self.cx.reset_stats();
+        self.machine.reset_stats();
+    }
+
+    // ----- observability -----
+
+    /// The engine's metrics registry (counters and phase-latency
+    /// histograms, always on).
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Export every metric as JSON lines — exactly one JSON object per
+    /// line. Counters owned by the inference context and the machine are
+    /// synced into the registry first, so the export is a complete,
+    /// self-consistent snapshot.
+    pub fn metrics_json(&self) -> String {
+        let i = self.cx.stats();
+        let m = self.machine.stats();
+        self.phases.unify_steps.set(i.unify_steps);
+        self.phases.occurs_checks.set(i.occurs_checks);
+        self.phases.kind_merges.set(i.kind_merges);
+        self.phases.instantiations.set(i.instantiations);
+        self.phases.fuel_consumed.set(m.fuel_consumed);
+        self.phases.records_allocated.set(m.records_allocated);
+        self.phases.sets_allocated.set(m.sets_allocated);
+        self.metrics.to_json_lines()
+    }
+
+    /// Replace the tracer clock (inject a
+    /// [`polyview_obs::ManualClock`] for deterministic phase timings in
+    /// tests).
+    pub fn set_clock(&mut self, clock: Rc<dyn Clock>) {
+        self.tracer.set_clock(clock);
+    }
+
+    /// Install a trace sink and enable span emission. Phase timings and
+    /// histograms are always collected; the sink only receives the
+    /// per-phase [`polyview_obs::SpanRecord`]s.
+    pub fn set_trace_sink(&mut self, sink: Rc<dyn TraceSink>) {
+        self.tracer.set_sink(sink);
+    }
+
+    /// Toggle span emission to the installed sink.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Is span emission currently enabled?
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Compile and run `src` with every phase timed and its work counters
+    /// diffed, returning a per-statement [`Explain`] report.
+    ///
+    /// Explain always compiles fresh — a cached compilation would report
+    /// zero parse and inference work — but it consults the cache first to
+    /// report whether a plain [`Engine::eval_expr`] would have hit, and it
+    /// stores the fresh compilation so subsequent calls do.
+    pub fn explain(&mut self, src: &str) -> Result<Explain, Error> {
+        let key = StmtKey::Src(src.to_string());
+        let cached_before = self.stmts.contains_valid(&key, self.env_epoch);
+        if cached_before {
+            self.phases.stmt_cache_hits.inc();
+        } else {
+            self.phases.stmt_cache_misses.inc();
+        }
+
+        self.phases.parses.inc();
+        let span = self.tracer.span("parse");
+        let (ast, ps) = parse_expr_counted(src)?;
+        let parse_ns = self.note_parse(span, ps);
+
+        let i_before = self.cx.stats();
+        self.phases.inferences.inc();
+        let mut span = self.tracer.span("infer");
+        let scheme_res = self.cx.infer_scheme(&mut self.tenv, &ast);
+        let i = {
+            let after = self.cx.stats();
+            polyview_types::InferStats {
+                unify_steps: after.unify_steps - i_before.unify_steps,
+                occurs_checks: after.occurs_checks - i_before.occurs_checks,
+                kind_merges: after.kind_merges - i_before.kind_merges,
+                instantiations: after.instantiations - i_before.instantiations,
+            }
+        };
+        span.attr("unify_steps", i.unify_steps);
+        span.attr("occurs_checks", i.occurs_checks);
+        span.attr("kind_merges", i.kind_merges);
+        span.attr("instantiations", i.instantiations);
+        let infer_ns = span.finish(&self.tracer);
+        self.phases.infer_ns.observe(infer_ns);
+        let scheme = scheme_res?;
+
+        let mut span = self.tracer.span("translate");
+        let (_core, ts) = polyview_trans::translate_measured(&ast);
+        span.attr("core_nodes", ts.translated_size);
+        let translate_ns = span.finish(&self.tracer);
+        self.phases.translate_ns.observe(translate_ns);
+        self.phases.translated_size.observe(ts.translated_size);
+
+        let m_before = self.machine.stats();
+        let mut span = self.tracer.span("eval");
+        let v_res = self.machine.eval_global(&ast);
+        let m = {
+            let after = self.machine.stats();
+            polyview_eval::MachineStats {
+                fuel_consumed: after.fuel_consumed - m_before.fuel_consumed,
+                records_allocated: after.records_allocated - m_before.records_allocated,
+                sets_allocated: after.sets_allocated - m_before.sets_allocated,
+            }
+        };
+        span.attr("fuel", m.fuel_consumed);
+        span.attr("records", m.records_allocated);
+        span.attr("sets", m.sets_allocated);
+        let eval_ns = span.finish(&self.tracer);
+        self.phases.eval_ns.observe(eval_ns);
+        let v = v_res?;
+        let rendered = self.machine.show(&v);
+
+        let p = Prepared::new(
+            Some(src.to_string()),
+            Rc::new(ast),
+            scheme.clone(),
+            self.env_epoch,
+        );
+        let evicted = self.stmts.insert(key, p);
+        self.phases.stmt_cache_evictions.add(evicted as u64);
+
+        Ok(Explain {
+            src: src.to_string(),
+            scheme,
+            rendered,
+            cached_before,
+            parse_ns,
+            infer_ns,
+            translate_ns,
+            eval_ns,
+            tokens: ps.tokens,
+            nodes: ps.nodes,
+            unify_steps: i.unify_steps,
+            occurs_checks: i.occurs_checks,
+            kind_merges: i.kind_merges,
+            instantiations: i.instantiations,
+            translated_size: ts.translated_size,
+            fuel_consumed: m.fuel_consumed,
+            records_allocated: m.records_allocated,
+            sets_allocated: m.sets_allocated,
+        })
     }
 
     /// Number of statements currently held compiled in the cache.
@@ -188,8 +502,12 @@ impl Engine {
 
     /// Resize the statement cache (0 disables caching — every call
     /// recompiles, the "cold" path the prepared bench compares against).
+    /// Shrinking below the current length evicts oldest-first,
+    /// deterministically; the evictions show up in
+    /// [`EngineStats::stmt_cache_evictions`].
     pub fn set_stmt_cache_capacity(&mut self, capacity: usize) {
-        self.stmts.set_capacity(capacity);
+        let evicted = self.stmts.set_capacity(capacity);
+        self.phases.stmt_cache_evictions.add(evicted as u64);
     }
 
     /// Drop every cached statement (they recompile on next use).
@@ -218,16 +536,14 @@ impl Engine {
     /// Infer the principal scheme of an expression without evaluating it.
     pub fn infer_expr(&mut self, src: &str) -> Result<Scheme, Error> {
         let e = self.parse_counted(src)?;
-        self.stats.inferences += 1;
-        Ok(self.cx.infer_scheme(&mut self.tenv, &e)?)
+        self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, &e))
     }
 
     /// Type-check and evaluate a pre-built AST (uncached; see
     /// [`Engine::prepare_expr`] for the compile-once path).
     pub fn eval_ast(&mut self, e: &Expr) -> Result<(Scheme, Value), Error> {
-        self.stats.inferences += 1;
-        let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
-        let v = self.machine.eval(e)?;
+        let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, e))?;
+        let v = self.eval_phase(e)?;
         Ok((scheme, v))
     }
 
@@ -235,10 +551,9 @@ impl Engine {
     pub fn exec_decl(&mut self, d: &Decl) -> Result<Outcome, Error> {
         match d {
             Decl::Val(name, e) => {
-                self.stats.inferences += 1;
-                let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
+                let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, e))?;
                 self.cx.check_ground_mutables(&scheme.body)?;
-                let v = self.machine.eval(e)?;
+                let v = self.eval_phase(e)?;
                 self.tenv.define_global(name.clone(), scheme.clone());
                 self.machine.define_global(name.clone(), v);
                 self.env_epoch += 1;
@@ -247,9 +562,8 @@ impl Engine {
             Decl::Fun(defs) => self.exec_fun(defs),
             Decl::Classes(binds) => self.exec_classes(binds),
             Decl::Expr(e) => {
-                self.stats.inferences += 1;
-                let scheme = self.cx.infer_scheme(&mut self.tenv, e)?;
-                let v = self.machine.eval(e)?;
+                let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, e))?;
+                let v = self.eval_phase(e)?;
                 Ok(Outcome::Value {
                     scheme,
                     rendered: self.machine.show(&v),
@@ -289,10 +603,9 @@ impl Engine {
             Expr::tuple(names.iter().map(|n| Expr::Var(n.clone())))
         };
         let group = sugar::fun_and(singles, body);
-        self.stats.inferences += 1;
-        let t = infer::infer(&mut self.cx, &mut self.tenv, &group)?;
+        let t = self.infer_phase(|cx, tenv| infer::infer(cx, tenv, &group))?;
         let t = self.cx.resolve(&t);
-        let v = self.machine.eval(&group)?;
+        let v = self.eval_phase(&group)?;
 
         let mut bound = Vec::with_capacity(names.len());
         if names.len() == 1 {
@@ -329,10 +642,9 @@ impl Engine {
             Expr::tuple(names.iter().map(|n| Expr::Var(n.clone())))
         };
         let wrapped = Expr::LetClasses(binds.to_vec(), Box::new(body));
-        self.stats.inferences += 1;
-        let t = infer::infer(&mut self.cx, &mut self.tenv, &wrapped)?;
+        let t = self.infer_phase(|cx, tenv| infer::infer(cx, tenv, &wrapped))?;
         let t = self.cx.resolve(&t);
-        let v = self.machine.eval(&wrapped)?;
+        let v = self.eval_phase(&wrapped)?;
 
         let mut bound = Vec::with_capacity(names.len());
         if names.len() == 1 {
@@ -401,9 +713,14 @@ impl Engine {
     /// equivalent, use [`Engine::prepare`] + [`Prepared::translation`].
     pub fn translate_expr(&mut self, src: &str) -> Result<Expr, Error> {
         let e = self.parse_counted(src)?;
-        self.stats.inferences += 1;
-        self.cx.infer_scheme(&mut self.tenv, &e)?;
-        Ok(polyview_trans::translate(&e))
+        self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, &e))?;
+        let mut span = self.tracer.span("translate");
+        let (core, ts) = polyview_trans::translate_measured(&e);
+        span.attr("core_nodes", ts.translated_size);
+        let dur = span.finish(&self.tracer);
+        self.phases.translate_ns.observe(dur);
+        self.phases.translated_size.observe(ts.translated_size);
+        Ok(core)
     }
 }
 

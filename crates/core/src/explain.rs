@@ -1,0 +1,159 @@
+//! `:explain` — a per-statement pipeline report.
+//!
+//! [`crate::Engine::explain`] compiles a statement *fresh* (even when the
+//! statement cache holds it), timing each phase with the engine's tracer
+//! clock and diffing the layer work counters around each phase, so the
+//! report attributes parse/infer/translate/eval cost to exactly this
+//! statement. The [`Explain`] value is plain data; `Display` renders the
+//! REPL view.
+
+use polyview_syntax::Scheme;
+
+/// Per-statement pipeline report produced by [`crate::Engine::explain`].
+///
+/// Durations come from the engine's tracer clock (nanoseconds; inject a
+/// [`polyview_obs::ManualClock`] for deterministic values). Work counters
+/// are deltas across this statement only, not session totals.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// The statement text.
+    pub src: String,
+    /// Principal scheme inferred for the statement.
+    pub scheme: Scheme,
+    /// Rendered result value.
+    pub rendered: String,
+    /// Whether the statement cache already held a valid compilation of this
+    /// statement before the explain run (i.e. a plain
+    /// [`eval_expr`](crate::Engine::eval_expr) would have hit).
+    pub cached_before: bool,
+
+    /// Parse-phase wall time.
+    pub parse_ns: u64,
+    /// Inference-phase wall time.
+    pub infer_ns: u64,
+    /// Translation-phase (Figs. 3/5) wall time.
+    pub translate_ns: u64,
+    /// Evaluation-phase wall time.
+    pub eval_ns: u64,
+
+    /// Tokens produced by the lexer.
+    pub tokens: u64,
+    /// AST nodes produced by the parser.
+    pub nodes: u64,
+    /// Unification steps spent on this statement.
+    pub unify_steps: u64,
+    /// Occurs checks spent on this statement.
+    pub occurs_checks: u64,
+    /// Record-kind merges spent on this statement.
+    pub kind_merges: u64,
+    /// Scheme instantiations spent on this statement.
+    pub instantiations: u64,
+    /// AST nodes of the Figs. 3/5 translation of this statement.
+    pub translated_size: u64,
+    /// Evaluation steps spent running this statement.
+    pub fuel_consumed: u64,
+    /// Records constructed while running this statement.
+    pub records_allocated: u64,
+    /// Sets constructed while running this statement.
+    pub sets_allocated: u64,
+}
+
+/// Render nanoseconds with a readable unit.
+fn ns(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{}ms", n / 1_000_000)
+    } else if n >= 10_000 {
+        format!("{}µs", n / 1_000)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "statement  {}", self.src)?;
+        writeln!(f, "type       {}", self.scheme)?;
+        writeln!(f, "result     {}", self.rendered)?;
+        writeln!(
+            f,
+            "cache      {}",
+            if self.cached_before {
+                "hit (explain recompiled anyway)"
+            } else {
+                "miss (now cached)"
+            }
+        )?;
+        writeln!(
+            f,
+            "parse      {:>8}  tokens={} nodes={}",
+            ns(self.parse_ns),
+            self.tokens,
+            self.nodes
+        )?;
+        writeln!(
+            f,
+            "infer      {:>8}  unify-steps={} occurs-checks={} kind-merges={} instantiations={}",
+            ns(self.infer_ns),
+            self.unify_steps,
+            self.occurs_checks,
+            self.kind_merges,
+            self.instantiations
+        )?;
+        writeln!(
+            f,
+            "translate  {:>8}  core-nodes={}",
+            ns(self.translate_ns),
+            self.translated_size
+        )?;
+        write!(
+            f,
+            "eval       {:>8}  fuel={} records={} sets={}",
+            ns(self.eval_ns),
+            self.fuel_consumed,
+            self.records_allocated,
+            self.sets_allocated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_picks_units() {
+        assert_eq!(ns(0), "0ns");
+        assert_eq!(ns(9_999), "9999ns");
+        assert_eq!(ns(10_000), "10µs");
+        assert_eq!(ns(2_000_000), "2000µs");
+        assert_eq!(ns(10_000_000), "10ms");
+    }
+
+    #[test]
+    fn display_mentions_every_phase() {
+        let e = Explain {
+            src: "1 + 2".into(),
+            scheme: Scheme::mono(polyview_syntax::Mono::int()),
+            rendered: "3".into(),
+            cached_before: false,
+            parse_ns: 100,
+            infer_ns: 200,
+            translate_ns: 300,
+            eval_ns: 400,
+            tokens: 3,
+            nodes: 3,
+            unify_steps: 2,
+            occurs_checks: 1,
+            kind_merges: 0,
+            instantiations: 0,
+            translated_size: 3,
+            fuel_consumed: 3,
+            records_allocated: 0,
+            sets_allocated: 0,
+        };
+        let s = e.to_string();
+        for needle in ["parse", "infer", "translate", "eval", "miss", "int"] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+}

@@ -40,15 +40,18 @@
 pub mod database;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod prelude;
 pub mod prepare;
 
 pub use database::Database;
 pub use engine::{Engine, Outcome};
 pub use error::Error;
+pub use explain::Explain;
 pub use prepare::{EngineStats, Prepared};
 
 pub use polyview_eval as eval;
+pub use polyview_obs as obs;
 pub use polyview_parser as parser;
 pub use polyview_syntax as syntax;
 pub use polyview_trans as trans;

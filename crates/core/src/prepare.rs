@@ -59,10 +59,6 @@ impl Prepared {
         &self.ast
     }
 
-    pub(crate) fn ast_rc(&self) -> Rc<Expr> {
-        self.ast.clone()
-    }
-
     /// The principal scheme inferred when the statement was prepared.
     pub fn scheme(&self) -> &Scheme {
         &self.scheme
@@ -94,6 +90,23 @@ pub enum StmtKey {
     Delete { class: String, obj: String },
 }
 
+/// Outcome of a statement-cache lookup. Distinguishing [`Stale`] from
+/// [`Miss`] lets the engine count epoch invalidations separately from cold
+/// misses.
+///
+/// [`Stale`]: CacheLookup::Stale
+/// [`Miss`]: CacheLookup::Miss
+#[derive(Clone, Debug)]
+pub(crate) enum CacheLookup {
+    /// Valid entry under the current epoch (the clone shares the AST).
+    Hit(Prepared),
+    /// Entry existed but was compiled under an older declaration epoch; it
+    /// has been dropped and the caller must re-prepare.
+    Stale,
+    /// No entry.
+    Miss,
+}
+
 /// An LRU statement cache: source key → [`Prepared`], with recency tracked
 /// by a monotone tick and eviction of the least-recently-used entry at
 /// capacity. Stale entries (compiled under an older declaration epoch) are
@@ -117,40 +130,47 @@ impl StmtCache {
     }
 
     /// Look up a statement compiled under `env_epoch`, bumping its recency.
-    /// A hit under any other epoch is stale: the entry is evicted and the
-    /// lookup misses.
-    pub fn get_valid(&mut self, key: &StmtKey, env_epoch: u64) -> Option<&Prepared> {
-        match self.map.get(key) {
-            Some((_, p)) if p.env_epoch() == env_epoch => {
+    /// A hit under any other epoch is stale: the entry is dropped and the
+    /// caller re-prepares.
+    pub fn lookup(&mut self, key: &StmtKey, env_epoch: u64) -> CacheLookup {
+        match self.map.get_mut(key) {
+            Some((tick, p)) if p.env_epoch() == env_epoch => {
                 self.tick += 1;
-                let entry = self.map.get_mut(key).expect("entry just seen");
-                entry.0 = self.tick;
-                Some(&entry.1)
+                *tick = self.tick;
+                CacheLookup::Hit(p.clone())
             }
             Some(_) => {
                 self.map.remove(key);
-                None
+                CacheLookup::Stale
             }
-            None => None,
+            None => CacheLookup::Miss,
         }
     }
 
-    pub fn insert(&mut self, key: StmtKey, p: Prepared) {
+    /// Is there a valid entry for `key` under `env_epoch`? Pure peek: does
+    /// not bump recency and does not drop stale entries (`explain` uses it
+    /// to report cache state without perturbing it).
+    pub fn contains_valid(&self, key: &StmtKey, env_epoch: u64) -> bool {
+        self.map
+            .get(key)
+            .is_some_and(|(_, p)| p.env_epoch() == env_epoch)
+    }
+
+    /// Insert (or refresh) an entry, evicting oldest-first to stay within
+    /// capacity. Returns the number of entries evicted. At capacity 0
+    /// nothing is stored (and nothing needs evicting).
+    pub fn insert(&mut self, key: StmtKey, p: Prepared) -> usize {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(lru) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (tick, _))| *tick)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&lru);
-            }
-        }
+        let evicted = if self.map.contains_key(&key) {
+            0
+        } else {
+            self.evict_down_to(self.capacity - 1)
+        };
         self.tick += 1;
         self.map.insert(key, (self.tick, p));
+        evicted
     }
 
     pub fn len(&self) -> usize {
@@ -161,21 +181,34 @@ impl StmtCache {
         self.capacity
     }
 
-    /// Change the capacity, evicting least-recently-used entries as needed.
-    pub fn set_capacity(&mut self, capacity: usize) {
+    /// Change the capacity, evicting least-recently-used entries as needed
+    /// (capacity 0 empties the cache entirely). Returns the number of
+    /// entries evicted.
+    pub fn set_capacity(&mut self, capacity: usize) -> usize {
         self.capacity = capacity;
-        while self.map.len() > capacity {
-            if let Some(lru) = self
+        self.evict_down_to(capacity)
+    }
+
+    /// Evict least-recently-used entries until at most `target` remain.
+    /// Deterministic: ticks are unique and monotone, so "oldest first" is a
+    /// total order regardless of hash-map iteration order.
+    fn evict_down_to(&mut self, target: usize) -> usize {
+        let mut evicted = 0;
+        while self.map.len() > target {
+            let oldest = self
                 .map
                 .iter()
                 .min_by_key(|(_, (tick, _))| *tick)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&lru);
-            } else {
-                break;
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    self.map.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
             }
         }
+        evicted
     }
 
     pub fn clear(&mut self) {
@@ -183,10 +216,15 @@ impl StmtCache {
     }
 }
 
-/// Counters for the engine's pipeline phases. `parses` and `inferences`
-/// count compilation work; a warmed statement cache serves repeated
-/// statements with both counters flat — the property the prepared-statement
-/// tests pin down.
+/// A snapshot of the engine's pipeline counters, assembled by
+/// [`crate::Engine::stats`] from the metrics registry plus the per-layer
+/// work counters ([`polyview_types::InferStats`],
+/// [`polyview_eval::MachineStats`]).
+///
+/// `parses` and `inferences` count compilation work; a warmed statement
+/// cache serves repeated statements with both counters flat — the property
+/// the prepared-statement tests pin down. All counters are monotone until
+/// [`crate::Engine::reset_stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Calls into the parser (`parse_expr`/`parse_program`).
@@ -197,6 +235,60 @@ pub struct EngineStats {
     pub stmt_cache_hits: u64,
     /// Statement-cache misses (statement compiled, then cached).
     pub stmt_cache_misses: u64,
+    /// Entries evicted from the statement cache (LRU pressure or an
+    /// explicit capacity shrink).
+    pub stmt_cache_evictions: u64,
+    /// Prepared statements found stale because a `val`/`fun`/`class`
+    /// declaration bumped the epoch (cache drops + explicit stale `run`s).
+    pub epoch_invalidations: u64,
+    /// Tokens produced by the lexer (excluding end-of-input).
+    pub tokens_lexed: u64,
+    /// AST nodes produced by the parser.
+    pub nodes_parsed: u64,
+    /// Unification steps ([`polyview_types::InferStats::unify_steps`]).
+    pub unify_steps: u64,
+    /// Occurs checks ([`polyview_types::InferStats::occurs_checks`]).
+    pub occurs_checks: u64,
+    /// Record-kind merges ([`polyview_types::InferStats::kind_merges`]).
+    pub kind_merges: u64,
+    /// Scheme instantiations
+    /// ([`polyview_types::InferStats::instantiations`]).
+    pub instantiations: u64,
+    /// Evaluation steps ([`polyview_eval::MachineStats::fuel_consumed`]).
+    pub fuel_consumed: u64,
+    /// Records constructed
+    /// ([`polyview_eval::MachineStats::records_allocated`]).
+    pub records_allocated: u64,
+    /// Sets constructed ([`polyview_eval::MachineStats::sets_allocated`]).
+    pub sets_allocated: u64,
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pipeline   parses={} inferences={} tokens={} nodes={}",
+            self.parses, self.inferences, self.tokens_lexed, self.nodes_parsed
+        )?;
+        writeln!(
+            f,
+            "stmt-cache hits={} misses={} evictions={} epoch-invalidations={}",
+            self.stmt_cache_hits,
+            self.stmt_cache_misses,
+            self.stmt_cache_evictions,
+            self.epoch_invalidations
+        )?;
+        writeln!(
+            f,
+            "inference  unify-steps={} occurs-checks={} kind-merges={} instantiations={}",
+            self.unify_steps, self.occurs_checks, self.kind_merges, self.instantiations
+        )?;
+        write!(
+            f,
+            "evaluator  fuel={} records={} sets={}",
+            self.fuel_consumed, self.records_allocated, self.sets_allocated
+        )
+    }
 }
 
 #[cfg(test)]
@@ -217,33 +309,55 @@ mod tests {
         StmtKey::Src(s.to_string())
     }
 
-    #[test]
-    fn lru_evicts_least_recently_used() {
-        let mut c = StmtCache::new(2);
-        c.insert(key("a"), prepared(0));
-        c.insert(key("b"), prepared(0));
-        assert!(c.get_valid(&key("a"), 0).is_some()); // refresh a
-        c.insert(key("c"), prepared(0)); // evicts b
-        assert_eq!(c.len(), 2);
-        assert!(c.get_valid(&key("a"), 0).is_some());
-        assert!(c.get_valid(&key("b"), 0).is_none());
-        assert!(c.get_valid(&key("c"), 0).is_some());
+    fn hit(c: &mut StmtCache, s: &str, epoch: u64) -> bool {
+        matches!(c.lookup(&key(s), epoch), CacheLookup::Hit(_))
     }
 
     #[test]
-    fn stale_epoch_entries_miss_and_drop() {
+    fn lru_evicts_least_recently_used() {
+        let mut c = StmtCache::new(2);
+        assert_eq!(c.insert(key("a"), prepared(0)), 0);
+        assert_eq!(c.insert(key("b"), prepared(0)), 0);
+        assert!(hit(&mut c, "a", 0)); // refresh a
+        assert_eq!(c.insert(key("c"), prepared(0)), 1); // evicts b
+        assert_eq!(c.len(), 2);
+        assert!(hit(&mut c, "a", 0));
+        assert!(matches!(c.lookup(&key("b"), 0), CacheLookup::Miss));
+        assert!(hit(&mut c, "c", 0));
+    }
+
+    #[test]
+    fn stale_epoch_entries_report_stale_and_drop() {
         let mut c = StmtCache::new(4);
         c.insert(key("q"), prepared(0));
-        assert!(c.get_valid(&key("q"), 1).is_none());
+        assert!(matches!(c.lookup(&key("q"), 1), CacheLookup::Stale));
         assert_eq!(c.len(), 0);
+        // Once dropped, a further lookup is a plain miss.
+        assert!(matches!(c.lookup(&key("q"), 1), CacheLookup::Miss));
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = StmtCache::new(0);
-        c.insert(key("q"), prepared(0));
+        assert_eq!(c.insert(key("q"), prepared(0)), 0);
         assert_eq!(c.len(), 0);
-        assert!(c.get_valid(&key("q"), 0).is_none());
+        assert!(matches!(c.lookup(&key("q"), 0), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn set_capacity_to_zero_evicts_everything() {
+        let mut c = StmtCache::new(4);
+        for s in ["a", "b", "c"] {
+            c.insert(key(s), prepared(0));
+        }
+        assert_eq!(c.set_capacity(0), 3);
+        assert_eq!(c.len(), 0);
+        // Inserts are now no-ops, and growing again re-enables caching.
+        assert_eq!(c.insert(key("a"), prepared(0)), 0);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.set_capacity(2), 0);
+        c.insert(key("a"), prepared(0));
+        assert!(hit(&mut c, "a", 0));
     }
 
     #[test]
@@ -252,12 +366,29 @@ mod tests {
         for s in ["a", "b", "c", "d"] {
             c.insert(key(s), prepared(0));
         }
-        assert!(c.get_valid(&key("a"), 0).is_some());
-        c.set_capacity(2);
+        assert!(hit(&mut c, "a", 0));
+        assert_eq!(c.set_capacity(2), 2); // evicts b then c, oldest first
         assert_eq!(c.len(), 2);
-        assert!(c.get_valid(&key("a"), 0).is_some());
-        assert!(c.get_valid(&key("d"), 0).is_some());
-        assert!(c.get_valid(&key("b"), 0).is_none());
+        assert!(hit(&mut c, "a", 0));
+        assert!(hit(&mut c, "d", 0));
+        assert!(matches!(c.lookup(&key("b"), 0), CacheLookup::Miss));
+        assert!(matches!(c.lookup(&key("c"), 0), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn contains_valid_peeks_without_touching_recency() {
+        let mut c = StmtCache::new(2);
+        c.insert(key("a"), prepared(0));
+        c.insert(key("b"), prepared(0));
+        // Peeking at "a" must NOT refresh it: the next insert still evicts
+        // it as the oldest entry.
+        assert!(c.contains_valid(&key("a"), 0));
+        assert!(!c.contains_valid(&key("a"), 1)); // wrong epoch
+        assert!(!c.contains_valid(&key("z"), 0));
+        c.insert(key("c"), prepared(0));
+        assert!(matches!(c.lookup(&key("a"), 0), CacheLookup::Miss));
+        // The stale peek above must not have dropped the entry either.
+        assert!(c.contains_valid(&key("b"), 0));
     }
 
     #[test]

@@ -21,5 +21,5 @@ pub mod value;
 
 pub use env::Env;
 pub use error::RuntimeError;
-pub use machine::Machine;
+pub use machine::{Machine, MachineStats};
 pub use value::{Key, SetVal, Value, ViewFn};

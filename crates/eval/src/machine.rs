@@ -35,6 +35,20 @@ pub struct ClassData {
     pub includes: Vec<IncludeSpec>,
 }
 
+/// Work counters for the evaluator: fuel units burned (one per expression
+/// node and application, counted even when fuel is unbounded) and the number
+/// of identity-carrying records / object sets constructed. Per-statement
+/// deltas make evaluation cost observable (see DESIGN.md §9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Evaluation steps taken (the same unit that fuel budgets are in).
+    pub fuel_consumed: u64,
+    /// Records constructed (record expressions, relobj raws, view tuples).
+    pub records_allocated: u64,
+    /// Sets constructed by set-producing primitives.
+    pub sets_allocated: u64,
+}
+
 /// The evaluation machine.
 pub struct Machine {
     pub store: Store,
@@ -51,6 +65,8 @@ pub struct Machine {
     /// Bumped by every `insert`/`delete`; cache entries from older epochs
     /// are stale.
     class_epoch: u64,
+    /// Work counters; monotone until [`Machine::reset_stats`].
+    stats: MachineStats,
 }
 
 impl Default for Machine {
@@ -71,6 +87,7 @@ impl Machine {
             extent_cache_enabled: false,
             extent_cache: HashMap::new(),
             class_epoch: 0,
+            stats: MachineStats::default(),
         };
         for (name, arity, f) in builtins::natives() {
             let id = m.fresh_id();
@@ -120,7 +137,18 @@ impl Machine {
         self.classes.len()
     }
 
+    /// Snapshot of the work counters.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Zero the work counters (store, classes, and globals are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = MachineStats::default();
+    }
+
     fn burn(&mut self) -> Result<(), RuntimeError> {
+        self.stats.fuel_consumed += 1;
         if let Some(f) = &mut self.fuel {
             if *f == 0 {
                 return Err(RuntimeError::FuelExhausted);
@@ -224,6 +252,7 @@ impl Machine {
                     );
                 }
                 let id = self.fresh_id();
+                self.stats.records_allocated += 1;
                 Ok(Value::Record(Rc::new(RecordVal { id, fields: slots })))
             }
             Expr::Dot(e, l) => {
@@ -269,6 +298,7 @@ impl Machine {
                 for e in es {
                     elems.push(self.eval_in(e, env)?);
                 }
+                self.stats.sets_allocated += 1;
                 Ok(Value::Set(SetVal::from_elems(elems)))
             }
             Expr::Union(a, b) => {
@@ -276,6 +306,7 @@ impl Machine {
                 let vb = self.eval_in(b, env)?;
                 let sa = va.as_set()?;
                 let sb = vb.as_set()?;
+                self.stats.sets_allocated += 1;
                 Ok(Value::Set(sa.union_left(sb)))
             }
             Expr::Hom(s, f, op, z) => {
@@ -352,6 +383,7 @@ impl Machine {
                 }
                 // relobj creates a *new* raw object, hence new identity.
                 let rec_id = self.fresh_id();
+                self.stats.records_allocated += 1;
                 let raw = Value::Record(Rc::new(RecordVal {
                     id: rec_id,
                     fields: raw_fields,
@@ -526,6 +558,7 @@ impl Machine {
                     );
                 }
                 let id = self.fresh_id();
+                self.stats.records_allocated += 1;
                 Ok(Value::Record(Rc::new(RecordVal { id, fields })))
             }
             ViewFn::RelFields(views) => {
@@ -548,6 +581,7 @@ impl Machine {
                     );
                 }
                 let id = self.fresh_id();
+                self.stats.records_allocated += 1;
                 Ok(Value::Record(Rc::new(RecordVal { id, fields })))
             }
         }
@@ -565,6 +599,7 @@ impl Machine {
     /// `include` clauses).
     pub fn fuse_objs(&mut self, objs: &[Rc<ObjVal>]) -> SetVal {
         assert!(!objs.is_empty(), "fuse of zero objects");
+        self.stats.sets_allocated += 1;
         if objs.len() == 1 {
             return SetVal::from_elems([Value::Obj(objs[0].clone())]);
         }

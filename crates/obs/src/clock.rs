@@ -1,0 +1,127 @@
+//! Time sources: wall-clock for production, a manual clock for tests.
+//!
+//! Everything downstream (spans, phase histograms) reads time through the
+//! [`Clock`] trait, so an engine can be handed a [`ManualClock`] and every
+//! reported duration becomes a deterministic function of the number of
+//! clock reads — the property the `:explain` integration tests assert.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// A monotone nanosecond time source.
+pub trait Clock {
+    /// Nanoseconds since an arbitrary (per-clock) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// [`std::time::Instant`]-backed clock; the origin is the moment of
+/// construction.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        // Saturate at u64::MAX (≈584 years of uptime) rather than wrap.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: every [`Clock::now_ns`] read returns
+/// the current time and then advances it by a fixed step, so a span that
+/// reads the clock twice always measures exactly `step` (plus whatever was
+/// advanced manually in between).
+pub struct ManualClock {
+    now: Cell<u64>,
+    step: Cell<u64>,
+}
+
+impl ManualClock {
+    /// A frozen clock (step 0): time moves only via [`ManualClock::advance`].
+    pub fn new() -> Self {
+        ManualClock::with_step(0)
+    }
+
+    /// A self-advancing clock: each read moves time forward by `step_ns`.
+    pub fn with_step(step_ns: u64) -> Self {
+        ManualClock {
+            now: Cell::new(0),
+            step: Cell::new(step_ns),
+        }
+    }
+
+    /// Move time forward explicitly.
+    pub fn advance(&self, ns: u64) {
+        self.now.set(self.now.get().saturating_add(ns));
+    }
+
+    /// Change the per-read step.
+    pub fn set_step(&self, step_ns: u64) {
+        self.step.set(step_ns);
+    }
+
+    /// The current reading, without advancing.
+    pub fn peek(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        ManualClock::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        let t = self.now.get();
+        self.now.set(t.saturating_add(self.step.get()));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_steps_per_read() {
+        let c = ManualClock::with_step(100);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 100);
+        c.advance(5);
+        assert_eq!(c.now_ns(), 205);
+        assert_eq!(c.peek(), 305);
+    }
+
+    #[test]
+    fn frozen_clock_only_moves_manually() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        c.advance(42);
+        assert_eq!(c.now_ns(), 42);
+    }
+}

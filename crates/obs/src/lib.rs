@@ -1,0 +1,66 @@
+//! Zero-dependency observability for the polyview pipeline.
+//!
+//! The paper's workflow (Section 4) is a database session: classes are
+//! declared once and then served many queries. Optimising that loop —
+//! kinded unification in Fig. 1's sense, the Fig. 3/5 translation size,
+//! evaluation fuel — requires a measurement substrate first. This crate is
+//! that substrate, built on `std` alone so the tier-1 pipeline stays fully
+//! offline (DESIGN.md §7: no external crates, not even `tracing`):
+//!
+//! * [`Clock`] — a nanosecond time source. [`WallClock`] wraps
+//!   [`std::time::Instant`]; [`ManualClock`] is injectable and advances
+//!   deterministically, so phase-timing assertions are exact in tests.
+//! * [`Span`] / [`Tracer`] — lightweight begin/finish spans. Finishing a
+//!   span yields its duration and, when tracing is enabled, emits a
+//!   [`SpanRecord`] to the configured [`TraceSink`].
+//! * [`Registry`] — named monotone [`Counter`]s and log2-bucketed
+//!   [`Histogram`]s (latencies, sizes), exportable as JSON lines (one JSON
+//!   object per line) without any serialization dependency.
+//! * [`TraceSink`] — [`NullSink`] (drop everything), [`CollectingSink`]
+//!   (keep records in memory, for tests), and [`JsonLinesSink`] (write one
+//!   JSON object per record to any [`std::io::Write`]).
+//!
+//! Everything is single-threaded by design, matching the engine: handles
+//! are `Rc`-shared with `Cell`/`RefCell` interiors, so hot paths pay an
+//! increment, not an atomic.
+
+pub mod clock;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry};
+pub use sink::{CollectingSink, JsonLinesSink, NullSink, SpanRecord, TraceSink};
+pub use span::{Span, Tracer};
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+/// Metric and span names are ASCII identifiers in practice, but the escape
+/// keeps the JSON-lines exports well-formed for arbitrary input.
+pub(crate) fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        json_escape("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

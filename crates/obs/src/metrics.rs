@@ -1,0 +1,329 @@
+//! A metrics registry: named monotone counters and log2-bucketed
+//! histograms, with a JSON-lines export.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are `Rc`-shared with the registry,
+//! so a hot path resolves its metric once at construction time and then
+//! pays a `Cell` increment per event — no string hashing per observation.
+
+use crate::json_escape;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, and bucket 64 holds the top of the
+/// `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The log2 bucket index of a value.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (for rendering).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A named monotone counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().saturating_add(n));
+    }
+
+    /// Overwrite the value — used to mirror counters owned by another layer
+    /// (e.g. the evaluator's fuel tally) into the registry at export time.
+    pub fn set(&self, n: u64) {
+        self.0.set(n);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+#[derive(Debug)]
+struct HistogramData {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        HistogramData {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// An immutable view of a histogram's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Meaningless (`u64::MAX`) when `count == 0`.
+    pub min: u64,
+    pub max: u64,
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A log2-bucketed histogram for latencies and sizes. Cloning shares the
+/// underlying data.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Rc<RefCell<HistogramData>>);
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        let mut h = self.0.borrow_mut();
+        h.count += 1;
+        h.sum = h.sum.saturating_add(v);
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+        h.buckets[bucket_index(v)] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.borrow().sum
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = self.0.borrow();
+        HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i, c))
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        *self.0.borrow_mut() = HistogramData::default();
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// `counter`/`histogram` are get-or-create: the first call mints the
+/// metric, later calls (and clones of the returned handle) share it.
+/// [`Registry::reset`] zeroes every metric *in place*, so handles resolved
+/// before the reset keep working.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RefCell<BTreeMap<String, Counter>>,
+    histograms: RefCell<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Current value of a counter (0 if it was never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .borrow()
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Zero every counter and histogram, keeping existing handles live.
+    pub fn reset(&self) {
+        for c in self.counters.borrow().values() {
+            c.set(0);
+        }
+        for h in self.histograms.borrow().values() {
+            h.reset();
+        }
+    }
+
+    /// Export the registry as JSON lines: exactly one JSON object per line,
+    /// counters first, then histograms, each sorted by name.
+    ///
+    /// ```text
+    /// {"kind":"counter","name":"engine.parses","value":3}
+    /// {"kind":"histogram","name":"phase.parse_ns","count":2,"sum":700,"min":300,"max":400,"buckets":[[9,2]]}
+    /// ```
+    ///
+    /// Bucket entries are `[index, count]` pairs where index `i` covers
+    /// values in `[2^(i-1), 2^i)` (index 0 is the value 0).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.borrow().iter() {
+            out.push_str("{\"kind\":\"counter\",\"name\":\"");
+            json_escape(name, &mut out);
+            out.push_str(&format!("\",\"value\":{}}}\n", c.get()));
+        }
+        for (name, h) in self.histograms.borrow().iter() {
+            let s = h.snapshot();
+            out.push_str("{\"kind\":\"histogram\",\"name\":\"");
+            json_escape(name, &mut out);
+            let min = if s.count == 0 { 0 } else { s.min };
+            out.push_str(&format!(
+                "\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                s.count, s.sum, min, s.max
+            ));
+            for (i, (idx, c)) in s.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{idx},{c}]"));
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(11), 1024);
+    }
+
+    #[test]
+    fn counters_share_state_across_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter_value("x"), 3);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 5, 5, 300] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 311);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 300);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (3, 2), (9, 1)]);
+        assert_eq!(s.mean(), 62);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_and_keeps_handles() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        c.add(7);
+        h.observe(9);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(reg.counter_value("c"), 1);
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_line() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(2);
+        reg.counter("a.count").inc();
+        reg.histogram("h").observe(3);
+        let out = reg.to_json_lines();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Counters sorted by name, then histograms.
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"name\":\"a.count\",\"value\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"kind\":\"counter\",\"name\":\"b.count\",\"value\":2}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"kind\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\"buckets\":[[2,1]]}"
+        );
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_exports_zero_min() {
+        let reg = Registry::new();
+        reg.histogram("h");
+        let out = reg.to_json_lines();
+        assert!(out.contains("\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]"));
+    }
+}

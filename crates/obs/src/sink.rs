@@ -1,0 +1,174 @@
+//! Trace sinks: where finished spans go.
+//!
+//! The engine always *times* phases (histograms are cheap); emitting
+//! per-span records is opt-in via a [`TraceSink`]. [`NullSink`] is the
+//! default, [`CollectingSink`] backs tests, and [`JsonLinesSink`] streams
+//! one JSON object per span to any writer (the REPL's `:trace on`).
+
+use crate::json_escape;
+use std::cell::RefCell;
+use std::io::Write;
+
+/// One finished span: a named phase with a start time, a duration, and
+/// integer attributes (counts, sizes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: String,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub attrs: Vec<(String, u64)>,
+}
+
+impl SpanRecord {
+    /// Render as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"kind\":\"span\",\"name\":\"");
+        json_escape(&self.name, &mut out);
+        out.push_str(&format!(
+            "\",\"start_ns\":{},\"dur_ns\":{}",
+            self.start_ns, self.dur_ns
+        ));
+        for (k, v) in &self.attrs {
+            out.push_str(",\"");
+            json_escape(k, &mut out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A consumer of finished spans. `&self` with interior mutability so sinks
+/// can be shared via `Rc` with the engine.
+pub trait TraceSink {
+    fn emit(&self, span: &SpanRecord);
+}
+
+/// Discards every span.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _span: &SpanRecord) {}
+}
+
+/// Keeps every span in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    spans: RefCell<Vec<SpanRecord>>,
+}
+
+impl CollectingSink {
+    pub fn new() -> Self {
+        CollectingSink::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.borrow().is_empty()
+    }
+
+    /// A copy of the collected spans, in emission order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.borrow().clone()
+    }
+
+    /// Drain the collected spans.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.spans.borrow_mut())
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn emit(&self, span: &SpanRecord) {
+        self.spans.borrow_mut().push(span.clone());
+    }
+}
+
+/// Writes one JSON object per span to the wrapped writer. Write errors are
+/// swallowed: tracing must never fail the traced computation.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    out: RefCell<W>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out: RefCell::new(out),
+        }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out.into_inner()
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn emit(&self, span: &SpanRecord) {
+        let mut line = span.to_json();
+        line.push('\n');
+        let _ = self.out.borrow_mut().write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> SpanRecord {
+        SpanRecord {
+            name: "infer".into(),
+            start_ns: 10,
+            dur_ns: 32,
+            attrs: vec![("unify_steps".into(), 4)],
+        }
+    }
+
+    #[test]
+    fn span_record_json_shape() {
+        assert_eq!(
+            record().to_json(),
+            "{\"kind\":\"span\",\"name\":\"infer\",\"start_ns\":10,\"dur_ns\":32,\"unify_steps\":4}"
+        );
+    }
+
+    #[test]
+    fn collecting_sink_collects_in_order() {
+        let s = CollectingSink::new();
+        assert!(s.is_empty());
+        s.emit(&record());
+        s.emit(&SpanRecord {
+            name: "eval".into(),
+            start_ns: 50,
+            dur_ns: 9,
+            attrs: vec![],
+        });
+        assert_eq!(s.len(), 2);
+        let spans = s.take();
+        assert_eq!(spans[0].name, "infer");
+        assert_eq!(spans[1].name, "eval");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_span() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.emit(&record());
+        sink.emit(&record());
+        let buf = sink.into_inner();
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        for l in text.lines() {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn null_sink_is_a_noop() {
+        NullSink.emit(&record());
+    }
+}

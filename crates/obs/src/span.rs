@@ -1,0 +1,160 @@
+//! Spans and the tracer that times them.
+//!
+//! A [`Tracer`] bundles a [`Clock`] and a [`TraceSink`]. Starting a span
+//! reads the clock once; finishing it reads the clock again, returns the
+//! duration (callers feed it into a histogram), and — only when tracing is
+//! enabled — emits a [`SpanRecord`] to the sink. A span does not borrow
+//! the tracer while open, so the traced computation is free to take `&mut`
+//! over whatever owns the tracer.
+
+use crate::clock::{Clock, WallClock};
+use crate::sink::{NullSink, SpanRecord, TraceSink};
+use std::rc::Rc;
+
+/// Clock + sink + an on/off switch for record emission. Timing itself is
+/// always on; only the per-span records are gated.
+pub struct Tracer {
+    clock: Rc<dyn Clock>,
+    sink: Rc<dyn TraceSink>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Wall clock, null sink, emission disabled — the production default.
+    pub fn disabled() -> Self {
+        Tracer {
+            clock: Rc::new(WallClock::new()),
+            sink: Rc::new(NullSink),
+            enabled: false,
+        }
+    }
+
+    pub fn new(clock: Rc<dyn Clock>, sink: Rc<dyn TraceSink>) -> Self {
+        Tracer {
+            clock,
+            sink,
+            enabled: true,
+        }
+    }
+
+    pub fn set_clock(&mut self, clock: Rc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Install a sink and enable emission.
+    pub fn set_sink(&mut self, sink: Rc<dyn TraceSink>) {
+        self.sink = sink;
+        self.enabled = true;
+    }
+
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Start a span at the current clock reading.
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        Span {
+            name: name.into(),
+            start_ns: self.clock.now_ns(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Emit a record (only when enabled).
+    pub fn emit(&self, record: &SpanRecord) {
+        if self.enabled {
+            self.sink.emit(record);
+        }
+    }
+}
+
+/// An open span: a name, a start time, and integer attributes attached
+/// along the way. Finish with [`Span::finish`] to get the duration.
+#[derive(Clone, Debug)]
+pub struct Span {
+    name: String,
+    start_ns: u64,
+    attrs: Vec<(String, u64)>,
+}
+
+impl Span {
+    pub fn attr(&mut self, key: impl Into<String>, value: u64) {
+        self.attrs.push((key.into(), value));
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Close the span against `tracer`: reads the clock, emits the record
+    /// if tracing is enabled, and returns the measured duration in ns.
+    pub fn finish(self, tracer: &Tracer) -> u64 {
+        let dur_ns = tracer.now_ns().saturating_sub(self.start_ns);
+        if tracer.is_enabled() {
+            tracer.emit(&SpanRecord {
+                name: self.name,
+                start_ns: self.start_ns,
+                dur_ns,
+                attrs: self.attrs,
+            });
+        }
+        dur_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::sink::CollectingSink;
+
+    #[test]
+    fn span_measures_clock_delta() {
+        let clock = Rc::new(ManualClock::new());
+        let tracer = Tracer::new(clock.clone(), Rc::new(NullSink));
+        let sp = tracer.span("parse");
+        clock.advance(250);
+        assert_eq!(sp.finish(&tracer), 250);
+    }
+
+    #[test]
+    fn stepping_clock_gives_nonzero_spans() {
+        let tracer = Tracer::new(Rc::new(ManualClock::with_step(100)), Rc::new(NullSink));
+        let sp = tracer.span("infer");
+        assert_eq!(sp.finish(&tracer), 100);
+    }
+
+    #[test]
+    fn enabled_tracer_emits_records_with_attrs() {
+        let sink = Rc::new(CollectingSink::new());
+        let mut tracer = Tracer::new(Rc::new(ManualClock::with_step(10)), sink.clone());
+        let mut sp = tracer.span("eval");
+        sp.attr("fuel", 7);
+        sp.finish(&tracer);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "eval");
+        assert_eq!(spans[0].dur_ns, 10);
+        assert_eq!(spans[0].attrs, vec![("fuel".to_string(), 7)]);
+
+        tracer.set_enabled(false);
+        tracer.span("eval").finish(&tracer);
+        assert_eq!(sink.len(), 1, "disabled tracer must not emit");
+    }
+
+    #[test]
+    fn disabled_tracer_still_times() {
+        let mut tracer = Tracer::disabled();
+        tracer.set_clock(Rc::new(ManualClock::with_step(33)));
+        let sp = tracer.span("parse");
+        assert_eq!(sp.finish(&tracer), 33);
+    }
+}

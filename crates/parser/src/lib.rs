@@ -25,4 +25,6 @@ pub mod parser;
 pub mod token;
 
 pub use error::ParseError;
-pub use parser::{parse_expr, parse_program, Decl};
+pub use parser::{
+    parse_expr, parse_expr_counted, parse_program, parse_program_counted, Decl, ParseStats,
+};

@@ -19,6 +19,7 @@ use crate::error::ParseError;
 use crate::lexer::lex;
 use crate::token::{Spanned, Tok};
 use polyview_syntax::sugar;
+use polyview_syntax::visit;
 use polyview_syntax::{ClassDef, Expr, Field, IncludeClause, Label, Name};
 
 /// A top-level declaration.
@@ -35,9 +36,24 @@ pub enum Decl {
     Expr(Expr),
 }
 
+/// Front-end work counters: how many tokens the lexer produced (excluding
+/// the end-of-input marker) and how many AST nodes the parse built. Fed
+/// into the engine's metrics registry by the observability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    pub tokens: u64,
+    pub nodes: u64,
+}
+
 /// Parse a whole program (sequence of declarations).
 pub fn parse_program(src: &str) -> Result<Vec<Decl>, ParseError> {
+    parse_program_counted(src).map(|(decls, _)| decls)
+}
+
+/// [`parse_program`], also reporting token and node counts.
+pub fn parse_program_counted(src: &str) -> Result<(Vec<Decl>, ParseStats), ParseError> {
     let toks = lex(src)?;
+    let tokens = (toks.len() as u64).saturating_sub(1); // exclude Eof
     let mut p = Parser {
         toks,
         pos: 0,
@@ -48,12 +64,19 @@ pub fn parse_program(src: &str) -> Result<Vec<Decl>, ParseError> {
         decls.push(p.decl()?);
         while p.eat(&Tok::Semi) {}
     }
-    Ok(decls)
+    let nodes = decls.iter().map(decl_nodes).sum();
+    Ok((decls, ParseStats { tokens, nodes }))
 }
 
 /// Parse a single expression (must consume the whole input).
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    parse_expr_counted(src).map(|(e, _)| e)
+}
+
+/// [`parse_expr`], also reporting token and node counts.
+pub fn parse_expr_counted(src: &str) -> Result<(Expr, ParseStats), ParseError> {
     let toks = lex(src)?;
+    let tokens = (toks.len() as u64).saturating_sub(1); // exclude Eof
     let mut p = Parser {
         toks,
         pos: 0,
@@ -61,7 +84,17 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     };
     let e = p.expr()?;
     p.expect(&Tok::Eof)?;
-    Ok(e)
+    let nodes = visit::term_size(&e);
+    Ok((e, ParseStats { tokens, nodes }))
+}
+
+/// AST nodes contributed by one declaration (the expressions it binds).
+fn decl_nodes(d: &Decl) -> u64 {
+    match d {
+        Decl::Val(_, e) | Decl::Expr(e) => visit::term_size(e),
+        Decl::Fun(defs) => defs.iter().map(|(_, _, e)| visit::term_size(e)).sum(),
+        Decl::Classes(binds) => binds.iter().map(|(_, cd)| visit::class_def_size(cd)).sum(),
+    }
 }
 
 /// Maximum expression nesting depth; beyond this the parser reports an
@@ -818,6 +851,22 @@ mod tests {
 
     fn pe(src: &str) -> Expr {
         parse_expr(src).expect("parses")
+    }
+
+    #[test]
+    fn counted_parse_reports_tokens_and_nodes() {
+        let (e, stats) = parse_expr_counted("1 + 2 * 3").expect("parses");
+        // Desugared arithmetic builds applications, so nodes ≥ literal count.
+        assert_eq!(stats.nodes, visit::term_size(&e));
+        assert_eq!(stats.tokens, 5, "1 + 2 * 3 is five tokens");
+
+        let (decls, pstats) =
+            parse_program_counted("val x = 1;\nfun f n = n + x;").expect("parses");
+        assert_eq!(decls.len(), 2);
+        assert!(pstats.tokens > 0 && pstats.nodes > 0);
+
+        let (_, cstats) = parse_program_counted("class C = class {} end;").expect("parses");
+        assert!(cstats.nodes > 0, "class declarations contribute nodes");
     }
 
     #[test]

@@ -48,6 +48,20 @@ pub fn children(e: &Expr) -> Vec<&Expr> {
     }
 }
 
+/// Number of expression nodes in `e` (the term's size, used by the
+/// observability layer to report parse output and translation blow-up for
+/// the Fig. 3/5 semantics).
+pub fn term_size(e: &Expr) -> u64 {
+    let mut n = 0u64;
+    walk(e, &mut |_| n += 1);
+    n
+}
+
+/// Total node count of a class definition's constituent expressions.
+pub fn class_def_size(cd: &ClassDef) -> u64 {
+    class_children(cd).into_iter().map(term_size).sum()
+}
+
 fn class_children(cd: &ClassDef) -> Vec<&Expr> {
     let mut v: Vec<&Expr> = vec![&cd.own];
     for inc in &cd.includes {
@@ -346,5 +360,24 @@ mod tests {
         walk(&e, &mut |_| count += 1);
         // record + 1 + pair-record + 2 + 3
         assert_eq!(count, 5);
+        assert_eq!(term_size(&e), 5);
+    }
+
+    #[test]
+    fn term_size_counts_class_definitions() {
+        // class {∅} include C as (λx.x) where (λx.true) end
+        let e = Expr::ClassExpr(cd(
+            Expr::empty_set(),
+            vec![IncludeClause {
+                sources: vec![Expr::var("C")],
+                view: Expr::lam("x", Expr::var("x")),
+                pred: Expr::lam("x", Expr::bool(true)),
+            }],
+        ));
+        // ClassExpr + own set + source var + (lam + var) + (lam + true)
+        assert_eq!(term_size(&e), 7);
+        if let Expr::ClassExpr(cd) = &e {
+            assert_eq!(class_def_size(cd), 6);
+        }
     }
 }

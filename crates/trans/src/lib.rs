@@ -27,10 +27,47 @@ pub mod classes;
 pub mod internal_rep;
 pub mod views;
 
-use polyview_syntax::Expr;
+use polyview_syntax::{visit, Expr};
+
+/// Node counts before and after translation. The translated size is the
+/// honest cost of the Fig. 3/5 encoding (let-bound pairs, `f^i` closures),
+/// surfaced per statement through the observability layer (DESIGN.md §9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransStats {
+    /// AST nodes in the source term.
+    pub source_size: u64,
+    /// AST nodes in the fully translated core term.
+    pub translated_size: u64,
+}
 
 /// Full translation: eliminate classes (Fig. 5), then objects (Fig. 3).
 /// The result is a pure core-language term.
 pub fn translate(e: &Expr) -> Expr {
     views::translate_views(&classes::translate_classes(e))
+}
+
+/// [`translate`], also reporting source/translated node counts.
+pub fn translate_measured(e: &Expr) -> (Expr, TransStats) {
+    let out = translate(e);
+    let stats = TransStats {
+        source_size: visit::term_size(e),
+        translated_size: visit::term_size(&out),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::builder as b;
+
+    #[test]
+    fn measured_translation_reports_growth() {
+        // view(e) expands to a pair construction: output strictly larger.
+        let e = b::id_view(b::record([b::imm("x", b::int(1))]));
+        let (out, stats) = translate_measured(&e);
+        assert_eq!(stats.source_size, visit::term_size(&e));
+        assert_eq!(stats.translated_size, visit::term_size(&out));
+        assert!(stats.translated_size > stats.source_size);
+    }
 }

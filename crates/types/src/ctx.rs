@@ -6,7 +6,23 @@
 //! variables); [`Infer::resolve`] applies it exhaustively.
 
 use polyview_syntax::{FieldReq, Kind, Mono, TyVar};
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Work counters for the inference engine: each counts one fundamental
+/// operation of the Fig. 1 algorithm, so per-statement deltas make
+/// inference cost claims checkable (see DESIGN.md §9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InferStats {
+    /// Calls into [`Infer::unify`] (including recursive sub-unifications).
+    pub unify_steps: u64,
+    /// Occurs checks performed before binding a variable.
+    pub occurs_checks: u64,
+    /// Record-kind merges between two kinded variables (the `F < F'` join).
+    pub kind_merges: u64,
+    /// Scheme instantiations (every polymorphic variable use).
+    pub instantiations: u64,
+}
 
 /// Mutable state threaded through unification and inference.
 #[derive(Debug, Default)]
@@ -14,6 +30,8 @@ pub struct Infer {
     next_var: TyVar,
     subst: HashMap<TyVar, Mono>,
     kinds: HashMap<TyVar, Kind>,
+    /// `Cell` so `&self` paths (e.g. the occurs check) can count too.
+    stats: Cell<InferStats>,
 }
 
 impl Infer {
@@ -129,6 +147,7 @@ impl Infer {
     /// through the kinds of encountered variables? (Kinds contain types, so
     /// a cycle through a kind is also an infinite type.)
     pub fn occurs(&self, v: TyVar, t: &Mono) -> bool {
+        self.note(|s| s.occurs_checks += 1);
         let mut visited: HashSet<TyVar> = HashSet::new();
         self.occurs_inner(v, t, &mut visited)
     }
@@ -193,6 +212,23 @@ impl Infer {
     /// Number of fresh variables minted so far (diagnostics / benches).
     pub fn vars_minted(&self) -> u32 {
         self.next_var
+    }
+
+    /// Snapshot of the inference work counters.
+    pub fn stats(&self) -> InferStats {
+        self.stats.get()
+    }
+
+    /// Zero the work counters (the substitution and kinds are untouched).
+    pub fn reset_stats(&self) {
+        self.stats.set(InferStats::default());
+    }
+
+    /// Bump counters through the `Cell` (usable from `&self` paths).
+    pub(crate) fn note(&self, f: impl FnOnce(&mut InferStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 }
 
@@ -269,5 +305,38 @@ mod tests {
     fn kind_default_is_univ() {
         let cx = Infer::new();
         assert_eq!(cx.kind_of(99), Kind::Univ);
+    }
+
+    #[test]
+    fn work_counters_track_unify_occurs_merge_instantiate() {
+        let mut cx = Infer::new();
+        assert_eq!(cx.stats(), InferStats::default());
+
+        // var–record bind: one unify step + one occurs check.
+        let a = cx.fresh();
+        cx.unify(&a, &Mono::int()).expect("binds");
+        let s = cx.stats();
+        assert_eq!(s.unify_steps, 1);
+        assert_eq!(s.occurs_checks, 1);
+        assert_eq!(s.kind_merges, 0);
+
+        // kinded var–var unification records a kind merge.
+        let f1 = cx.fresh();
+        let f2 = cx.fresh();
+        let k1 = cx.fresh_with_kind(Kind::has_field(Label::new("x"), f1));
+        let k2 = cx.fresh_with_kind(Kind::has_field(Label::new("x"), f2));
+        cx.unify(&k1, &k2).expect("merges");
+        assert_eq!(cx.stats().kind_merges, 1);
+
+        // instantiation of a polytype counts.
+        let scheme = polyview_syntax::Scheme::poly(
+            vec![(900, Kind::Univ)],
+            Mono::arrow(Mono::Var(900), Mono::Var(900)),
+        );
+        cx.instantiate(&scheme);
+        assert_eq!(cx.stats().instantiations, 1);
+
+        cx.reset_stats();
+        assert_eq!(cx.stats(), InferStats::default());
     }
 }

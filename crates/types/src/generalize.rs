@@ -39,6 +39,7 @@ impl Infer {
     /// kinds. Substitution into the kinds is simultaneous, so binder order
     /// does not matter.
     pub fn instantiate(&mut self, s: &Scheme) -> Mono {
+        self.note(|st| st.instantiations += 1);
         if s.binders.is_empty() {
             return s.body.clone();
         }

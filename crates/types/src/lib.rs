@@ -27,7 +27,7 @@ pub mod infer;
 pub mod instance;
 pub mod unify;
 
-pub use ctx::Infer;
+pub use ctx::{Infer, InferStats};
 pub use env::TypeEnv;
 pub use error::TypeError;
 

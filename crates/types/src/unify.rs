@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 impl Infer {
     /// Unify two types under the current substitution and kind assignment.
     pub fn unify(&mut self, t1: &Mono, t2: &Mono) -> Result<(), TypeError> {
+        self.note(|s| s.unify_steps += 1);
         let a = self.shallow(t1);
         let b = self.shallow(t2);
         match (a, b) {
@@ -53,6 +54,7 @@ impl Infer {
                 k
             }
             (Kind::Record(rv), Kind::Record(ru)) => {
+                self.note(|s| s.kind_merges += 1);
                 self.bind_raw(u, Mono::Var(v));
                 let mut merged: BTreeMap<_, FieldReq> = rv;
                 let mut pending = Vec::new();

@@ -1,0 +1,27 @@
+//! Run a small Section 4 session and dump the engine's metrics registry as
+//! JSON lines on stdout — one JSON object per line.
+//!
+//! `scripts/verify.sh` pipes this through a JSON parser to check the export
+//! format; it is also a minimal example of reading the observability layer
+//! programmatically.
+
+use polyview::Engine;
+
+fn main() {
+    let mut engine = Engine::new();
+    engine
+        .exec(
+            r#"
+            val joe = IDView([Name = "Joe", Salary := 2000]);
+            class Employee = class {joe} end;
+            "#,
+        )
+        .expect("session defines");
+    // Run one statement twice so cache hits and misses both show up.
+    for _ in 0..2 {
+        engine
+            .eval_to_string("cquery(fn s => map(fn o => query(fn x => x.Salary, o), s), Employee)")
+            .expect("query runs");
+    }
+    print!("{}", engine.metrics_json());
+}

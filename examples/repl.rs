@@ -10,9 +10,16 @@
 //!
 //! Also accepts a file argument: `cargo run --example repl -- prog.pv`
 //! executes the file and prints each declaration's outcome.
+//!
+//! Observability commands (see DESIGN.md §9): `:stats` prints the pipeline
+//! counters, `:trace on|off` toggles span emission to stderr as JSON
+//! lines, `:explain STMT` compiles and runs a statement with every phase
+//! timed, and `:metrics` dumps the full registry as JSON lines.
 
+use polyview::obs::JsonLinesSink;
 use polyview::{Engine, Outcome};
 use std::io::{BufRead, Write};
+use std::rc::Rc;
 
 fn report(engine: &Engine, outcomes: &[Outcome]) {
     for o in outcomes {
@@ -48,6 +55,7 @@ fn main() {
 
     println!("polyview — a polymorphic calculus for views and object sharing");
     println!("type declarations or expressions; :q quits, :t EXPR shows a type");
+    println!(":stats, :trace on|off, :explain STMT, :metrics show pipeline internals");
     let stdin = std::io::stdin();
     let mut line = String::new();
     loop {
@@ -67,6 +75,35 @@ fn main() {
         if let Some(rest) = input.strip_prefix(":t ") {
             match engine.infer_expr(rest) {
                 Ok(s) => println!("{rest} : {s}"),
+                Err(e) => println!("{e}"),
+            }
+            continue;
+        }
+        if input == ":stats" {
+            println!("{}", engine.stats());
+            continue;
+        }
+        if input == ":metrics" {
+            print!("{}", engine.metrics_json());
+            continue;
+        }
+        if let Some(rest) = input.strip_prefix(":trace") {
+            match rest.trim() {
+                "on" => {
+                    engine.set_trace_sink(Rc::new(JsonLinesSink::new(std::io::stderr())));
+                    println!("tracing on (spans to stderr as JSON lines)");
+                }
+                "off" => {
+                    engine.set_tracing(false);
+                    println!("tracing off");
+                }
+                _ => println!("usage: :trace on|off"),
+            }
+            continue;
+        }
+        if let Some(rest) = input.strip_prefix(":explain ") {
+            match engine.explain(rest) {
+                Ok(report) => println!("{report}"),
                 Err(e) => println!("{e}"),
             }
             continue;

@@ -26,4 +26,39 @@ cargo fmt --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "OK: build, tests, fmt, clippy all green (offline)."
+echo "==> dependency hygiene: workspace members carry no external deps"
+# Every dependency line in every workspace manifest must be a path/workspace
+# dependency — a line pulling from a registry (e.g. `serde = "1"`) fails.
+for manifest in Cargo.toml \
+    crates/syntax/Cargo.toml crates/parser/Cargo.toml crates/types/Cargo.toml \
+    crates/eval/Cargo.toml crates/trans/Cargo.toml crates/isa/Cargo.toml \
+    crates/obs/Cargo.toml crates/core/Cargo.toml; do
+    awk -v manifest="$manifest" '
+        /^\[/ {
+            in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
+            next
+        }
+        in_deps && NF && $0 !~ /^[[:space:]]*#/ \
+                     && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/ \
+                     && $0 !~ /path[[:space:]]*=/ {
+            printf "external dependency in %s: %s\n", manifest, $0
+            bad = 1
+        }
+        END { exit bad }
+    ' "$manifest" || { echo "FAIL: dependency hygiene ($manifest)"; exit 1; }
+done
+
+echo "==> metrics export: one JSON object per line"
+cargo run -q --release --example metrics_dump | python3 -c '
+import json, sys
+lines = sys.stdin.read().splitlines()
+assert lines, "metrics_dump printed nothing"
+for line in lines:
+    obj = json.loads(line)
+    assert isinstance(obj, dict) and "kind" in obj and "name" in obj, line
+kinds = {json.loads(l)["kind"] for l in lines}
+assert kinds == {"counter", "histogram"}, kinds
+print(f"  {len(lines)} metrics lines, all valid JSON objects")
+'
+
+echo "OK: build, tests, fmt, clippy, dep hygiene, metrics export all green (offline)."
