@@ -1,0 +1,136 @@
+//! E9: pool scaling (DESIGN.md §10). Read throughput of the replicated
+//! serving layer at 1/2/4/8 workers against the single-engine baseline,
+//! plus a 90/10 read/write mix where every write bumps the declaration
+//! epoch (invalidating every replica's statement cache — the worst
+//! realistic case for the log/replay protocol).
+//!
+//! Expected shape: a read-only batch scales near-linearly with workers
+//! until the single-threaded router saturates (classification + channel
+//! hops are the per-request overhead vs a bare `eval_to_string`); the
+//! mixed workload scales sub-linearly because each write is applied on
+//! every replica and re-compiles the next read on each of them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polyview_pool::{Pool, PoolConfig, Submit};
+use std::hint::black_box;
+
+const BATCH: u64 = 256;
+const QUERY: &str = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
+
+fn seeded_pool(workers: usize) -> Pool {
+    let mut pool = Pool::new(PoolConfig::default().workers(workers).queue_capacity(64));
+    pool.run(0, "class Staff = class {} end;").expect("class");
+    for i in 0..64 {
+        pool.run(
+            0,
+            &format!("insert(Staff, IDView([Name = \"emp{i}\", Age = {}]))", 20 + i % 50),
+        )
+        .expect("insert");
+    }
+    pool.barrier().expect("seeded");
+    pool
+}
+
+/// Submit one read per session round-robin (spreading affinity over every
+/// worker), retrying on backpressure, then wait for all replies — the
+/// pool's natural pipelined usage: queues fill, replicas drain in
+/// parallel, the router never blocks on evaluation.
+fn read_batch(pool: &mut Pool, sessions: u64) {
+    let mut tickets = Vec::with_capacity(BATCH as usize);
+    for i in 0..BATCH {
+        loop {
+            match pool.submit_read(i % sessions, QUERY).expect("classified") {
+                Submit::Queued(t) => break tickets.push(t),
+                Submit::Full => std::thread::yield_now(),
+            }
+        }
+    }
+    for t in tickets {
+        black_box(t.wait().expect("read"));
+    }
+}
+
+fn bench_read_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_pool_read_scaling");
+    group.throughput(Throughput::Elements(BATCH));
+
+    // Baseline: one engine, same statements, no channels — what a worker
+    // does once the request reaches it (warm statement cache).
+    let mut single = polyview::Engine::new();
+    single.exec("class Staff = class {} end;").expect("class");
+    for i in 0..64 {
+        single
+            .exec(&format!(
+                "insert(Staff, IDView([Name = \"emp{i}\", Age = {}]))",
+                20 + i % 50
+            ))
+            .expect("insert");
+    }
+    single.eval_to_string(QUERY).expect("warm-up");
+    group.bench_function("single_engine", |bch| {
+        bch.iter(|| {
+            for _ in 0..BATCH {
+                black_box(single.eval_to_string(QUERY).expect("read"));
+            }
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut pool = seeded_pool(workers);
+        // Warm every replica's statement cache before measuring.
+        read_batch(&mut pool, workers as u64 * 4);
+        group.bench_with_input(
+            BenchmarkId::new("pool", workers),
+            &workers,
+            |bch, &w| bch.iter(|| read_batch(&mut pool, w as u64 * 4)),
+        );
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_mixed_workload(c: &mut Criterion) {
+    // 90% reads / 10% writes. The write re-binds a `val`, so it bumps the
+    // declaration epoch on every replica and the next read per replica
+    // recompiles — replication makes writes cost O(workers).
+    let mut group = c.benchmark_group("E9_pool_mixed_90_10");
+    group.throughput(Throughput::Elements(BATCH));
+    for workers in [1usize, 2, 4, 8] {
+        let mut pool = seeded_pool(workers);
+        let sessions = workers as u64 * 4;
+        group.bench_with_input(
+            BenchmarkId::new("pool", workers),
+            &workers,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut tickets = Vec::with_capacity(BATCH as usize);
+                    for i in 0..BATCH {
+                        let (session, src) = if i % 10 == 9 {
+                            (i % sessions, format!("val tick = {i};"))
+                        } else {
+                            (i % sessions, QUERY.to_string())
+                        };
+                        loop {
+                            match pool.submit(session, &src).expect("classified") {
+                                Submit::Queued(t) => break tickets.push(t),
+                                Submit::Full => std::thread::yield_now(),
+                            }
+                        }
+                    }
+                    for t in tickets {
+                        black_box(t.wait().expect("statement"));
+                    }
+                })
+            },
+        );
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_read_scaling, bench_mixed_workload
+}
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! deletes and queries — the workflow the paper's introduction motivates,
 //! with every operation statically typed by the underlying engine.
 
+use crate::classify::StmtClass;
 use crate::engine::Engine;
 use crate::error::Error;
 use crate::prepare::StmtKey;
@@ -9,6 +10,29 @@ use polyview_eval::Value;
 use polyview_syntax::{Expr, Scheme};
 
 /// A thin OODB wrapper around [`Engine`].
+///
+/// # Reads take `&mut self` — by design, and why
+///
+/// Every facade method except [`Database::schema`] takes `&mut self`, even
+/// [`Database::query`], which performs no declaration and no store effect.
+/// This is deliberate: *logical* read/write classification is *not* the
+/// same thing as Rust-level mutability here, and conflating them would bake
+/// a false invariant into the API.
+///
+/// * Evaluating any statement drives the [`polyview_eval::Machine`], which
+///   allocates fresh record/object identities in its slot store, burns
+///   fuel, and bumps work counters — all `&mut` state, even for a pure
+///   query.
+/// * The statement cache ([`crate::prepare::StmtCache`]) updates recency on
+///   every hit, and a miss inserts the fresh compilation.
+///
+/// Neither effect is observable by later statements (a query's allocations
+/// are unreachable once it returns), which is exactly the distinction the
+/// replicated serving layer (`crates/pool`) routes on. The **single source
+/// of truth** for that distinction is [`crate::classify`]:
+/// [`classify_program`](crate::classify::classify_program) — not the
+/// mutability of these method receivers. [`Database::classify`] exposes it
+/// on the facade.
 ///
 /// ```
 /// use polyview::Database;
@@ -133,6 +157,15 @@ impl Database {
     /// The principal scheme of a bound name.
     pub fn schema(&self, name: &str) -> Option<Scheme> {
         self.engine.scheme_of(name)
+    }
+
+    /// Read/write classification of a statement
+    /// ([`crate::classify::classify_program`]): [`Database::query`] is
+    /// always a read; [`Database::insert`]/[`Database::delete`] and any
+    /// `exec` that declares or mutates are writes. The serving pool routes
+    /// on this, not on receiver mutability (see the type-level docs).
+    pub fn classify(src: &str) -> Result<StmtClass, Error> {
+        Ok(crate::classify::classify_program(src)?)
     }
 
     /// The underlying engine, for anything the facade doesn't cover.

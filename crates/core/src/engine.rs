@@ -28,6 +28,16 @@ use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
 use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv};
 use std::rc::Rc;
 
+/// What a declaration-log replay did ([`Engine::replay`] /
+/// [`Engine::from_log`]): entries applied, and how many of them failed
+/// (failures are deterministic across replicas, so they are counted rather
+/// than propagated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    pub applied: u64,
+    pub errors: u64,
+}
+
 /// Result of executing one declaration.
 #[derive(Clone, Debug)]
 pub enum Outcome {
@@ -144,6 +154,36 @@ impl Engine {
         let mut e = Engine::new();
         e.machine.fuel = Some(fuel);
         e
+    }
+
+    /// Construct an engine by replaying a declaration log from offset 0 —
+    /// how a replica (or a respawned worker) in a serving pool
+    /// (`crates/pool`) catches up to its peers. Equivalent to `Engine::new`
+    /// followed by [`Engine::replay`].
+    pub fn from_log<'a>(entries: impl IntoIterator<Item = &'a str>) -> (Self, ReplaySummary) {
+        let mut e = Engine::new();
+        let summary = e.replay(entries);
+        (e, summary)
+    }
+
+    /// Apply a sequence of already-sequenced declaration-log entries.
+    ///
+    /// Replay is *deterministic*: the engine's pipeline has no hidden
+    /// nondeterminism, so two engines replaying the same entries in the
+    /// same order end with the same `env_epoch`, the same top-level
+    /// bindings, and extents that render identically. An entry that fails
+    /// (parse, type, or runtime error) fails identically on every replica —
+    /// its error is *counted*, not propagated, so replicas that already
+    /// accepted the log's order never diverge on error handling.
+    pub fn replay<'a>(&mut self, entries: impl IntoIterator<Item = &'a str>) -> ReplaySummary {
+        let mut summary = ReplaySummary::default();
+        for src in entries {
+            summary.applied += 1;
+            if self.exec(src).is_err() {
+                summary.errors += 1;
+            }
+        }
+        summary
     }
 
     // ----- instrumented phases -----

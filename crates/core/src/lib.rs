@@ -37,6 +37,7 @@
 //!   ([`syntax`]), parser ([`parser`]), type system ([`types`]), evaluator
 //!   ([`eval`]) and the paper's translation semantics ([`trans`]).
 
+pub mod classify;
 pub mod database;
 pub mod engine;
 pub mod error;
@@ -44,8 +45,9 @@ pub mod explain;
 pub mod prelude;
 pub mod prepare;
 
+pub use classify::{classify_decl, classify_expr, classify_program, StmtClass};
 pub use database::Database;
-pub use engine::{Engine, Outcome};
+pub use engine::{Engine, Outcome, ReplaySummary};
 pub use error::Error;
 pub use explain::Explain;
 pub use prepare::{EngineStats, Prepared};

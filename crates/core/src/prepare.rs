@@ -75,6 +75,14 @@ impl Prepared {
         self.translation
             .get_or_init(|| Rc::new(polyview_trans::translate(&self.ast)))
     }
+
+    /// Read/write classification of the compiled statement
+    /// ([`crate::classify::classify_expr`]): a serving pool routes `Read`
+    /// statements to any replica and sequences `Write` statements through
+    /// its declaration log.
+    pub fn class(&self) -> crate::classify::StmtClass {
+        crate::classify::classify_expr(&self.ast)
+    }
 }
 
 /// Key of a cached statement. `Src` is raw source text; the `Query` /
@@ -261,6 +269,30 @@ pub struct EngineStats {
     pub records_allocated: u64,
     /// Sets constructed ([`polyview_eval::MachineStats::sets_allocated`]).
     pub sets_allocated: u64,
+}
+
+impl EngineStats {
+    /// Component-wise sum — how a replicated pool (`crates/pool`)
+    /// aggregates the counters of N engines into one fleet-level snapshot.
+    pub fn merged(self, other: EngineStats) -> EngineStats {
+        EngineStats {
+            parses: self.parses + other.parses,
+            inferences: self.inferences + other.inferences,
+            stmt_cache_hits: self.stmt_cache_hits + other.stmt_cache_hits,
+            stmt_cache_misses: self.stmt_cache_misses + other.stmt_cache_misses,
+            stmt_cache_evictions: self.stmt_cache_evictions + other.stmt_cache_evictions,
+            epoch_invalidations: self.epoch_invalidations + other.epoch_invalidations,
+            tokens_lexed: self.tokens_lexed + other.tokens_lexed,
+            nodes_parsed: self.nodes_parsed + other.nodes_parsed,
+            unify_steps: self.unify_steps + other.unify_steps,
+            occurs_checks: self.occurs_checks + other.occurs_checks,
+            kind_merges: self.kind_merges + other.kind_merges,
+            instantiations: self.instantiations + other.instantiations,
+            fuel_consumed: self.fuel_consumed + other.fuel_consumed,
+            records_allocated: self.records_allocated + other.records_allocated,
+            sets_allocated: self.sets_allocated + other.sets_allocated,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineStats {

@@ -1,0 +1,220 @@
+//! `polyview-pool` — the concurrent serving layer: a replicated engine
+//! pool (DESIGN.md §10).
+//!
+//! # Replication, not sharing
+//!
+//! The evaluator's value graphs are `Rc`-shared ([`polyview::Value`] holds
+//! `Rc<RecordVal>`, closures capture environments by `Rc`, sets share
+//! spines), so an [`polyview::Engine`] is deliberately **not `Send`** —
+//! its values must stay confined to the thread that created them, or the
+//! non-atomic reference counts race. Instead of wrapping the evaluator in
+//! locks (and giving up everything single-threaded evaluation buys), the
+//! pool runs **N worker threads, each owning a full replica** of the
+//! engine, and keeps the replicas in lock-step with an append-only
+//! **declaration log** ([`DeclLog`]):
+//!
+//! * **writes** (top-level declarations, `insert`/`delete`/`update` —
+//!   classified by [`polyview::classify`], the single source of truth) are
+//!   sequenced through the log and replayed deterministically on every
+//!   replica, so each worker's top-level environments, prepared-statement
+//!   cache, and `env_epoch` evolve identically;
+//! * **reads** (queries, expression evaluation) have no effect any later
+//!   statement can observe, so they fan out to any replica — each request
+//!   carries the log length observed at submit time, and the serving
+//!   replica catches up to at least that offset first, which gives
+//!   *read-your-writes* to every session on every worker.
+//!
+//! Requests travel over **bounded** `std::sync::mpsc` queues: when a
+//! worker's queue is full the submit returns [`Submit::Full`] instead of
+//! growing without bound — callers see backpressure, not latency collapse.
+//! Session affinity (hash of the session id → worker,
+//! [`Pool::worker_for`]) keeps a REPL-style session on one replica, so its
+//! statement-cache locality survives and its own writes are visible with
+//! no cross-replica wait.
+//!
+//! Workers are supervised: a panicked worker's thread is detected and
+//! respawned, and the replacement **replays the log from offset 0**,
+//! converging with its peers before it serves anything
+//! ([`Pool::stats`] counts respawns). The whole crate is std-only — no
+//! external dependencies enter the tier-1 build graph.
+//!
+//! ```
+//! use polyview_pool::{Pool, PoolConfig};
+//!
+//! let mut pool = Pool::new(PoolConfig::default().workers(2));
+//! let session = 7;
+//! pool.run(session, "class Staff = class {} end;").unwrap();
+//! pool.run(session, "insert(Staff, IDView([Name = \"Ada\"]))").unwrap();
+//! let names = pool
+//!     .run(session, "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)")
+//!     .unwrap();
+//! assert_eq!(names, "{\"Ada\"}");
+//! pool.shutdown();
+//! ```
+
+mod log;
+mod router;
+mod stats;
+mod supervisor;
+mod worker;
+
+pub use crate::log::DeclLog;
+pub use polyview::StmtClass;
+pub use router::{Pool, Submit, Ticket, WorkerGate};
+pub use stats::{PoolStats, WorkerStats};
+pub use worker::WorkerReport;
+
+/// Construction-time knobs for a [`Pool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of engine replicas (worker threads). Each owns a complete
+    /// [`polyview::Engine`]; memory scales linearly.
+    pub workers: usize,
+    /// Bound of each worker's request queue. A full queue reports
+    /// [`Submit::Full`] at submit time (backpressure) rather than queueing
+    /// without limit.
+    pub queue_capacity: usize,
+    /// Stack size of each worker thread. The tree-walking evaluator
+    /// recurses with the interpreted program (see
+    /// [`polyview::engine::with_stack_size`]), so workers must not inherit
+    /// the small default stack of spawned threads; deep translations and
+    /// non-tail `fix` loops need room.
+    pub stack_bytes: usize,
+    /// Per-replica evaluation fuel ([`polyview::Engine::with_fuel`]);
+    /// `None` is unlimited. Fuel exhaustion is deterministic, so replicas
+    /// agree on which statements die. Like the engine's, this is a
+    /// *total* budget per replica, not per statement — an exhausted
+    /// replica stays exhausted (size it well below what `stack_bytes`
+    /// can absorb, since fuel must run out before the stack does).
+    pub fuel: Option<u64>,
+    /// Load the standard prelude into every replica at spawn (before any
+    /// log replay; all replicas do it, so they stay in lock-step).
+    pub load_prelude: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            queue_capacity: 64,
+            stack_bytes: 256 * 1024 * 1024,
+            fuel: None,
+            load_prelude: false,
+        }
+    }
+}
+
+impl PoolConfig {
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    pub fn stack_bytes(mut self, n: usize) -> Self {
+        self.stack_bytes = n;
+        self
+    }
+
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    pub fn load_prelude(mut self, yes: bool) -> Self {
+        self.load_prelude = yes;
+        self
+    }
+}
+
+/// Errors crossing the pool boundary.
+///
+/// Worker replies cross threads, and [`polyview::Error`] is not `Send`
+/// (type errors carry `Rc`-shared type structure), so engine errors are
+/// rendered on the worker and carried as their display strings, tagged
+/// with the original kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// The statement failed to parse (rendered [`polyview::Error::Parse`]).
+    Parse(String),
+    /// The statement failed to type-check (rendered
+    /// [`polyview::Error::Type`]).
+    Type(String),
+    /// The statement failed at runtime (rendered
+    /// [`polyview::Error::Runtime`]).
+    Runtime(String),
+    /// Rendered [`polyview::Error::StalePrepared`].
+    StalePrepared,
+    /// Rendered [`polyview::Error::Internal`], or a pool invariant
+    /// violation.
+    Internal(String),
+    /// The statement's [`StmtClass`] does not match the submit entry point
+    /// ([`Pool::submit_read`] given a write, or [`Pool::submit_write`]
+    /// given a read). Use [`Pool::submit`] to auto-route.
+    Misrouted { expected: StmtClass, got: StmtClass },
+    /// The serving worker died before replying (its respawn replays the
+    /// log, but in-flight requests are lost — resubmit).
+    WorkerLost,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Parse(m)
+            | PoolError::Type(m)
+            | PoolError::Runtime(m)
+            | PoolError::Internal(m) => write!(f, "{m}"),
+            PoolError::StalePrepared => write!(f, "stale prepared statement"),
+            PoolError::Misrouted { expected, got } => write!(
+                f,
+                "misrouted statement: submitted as a {expected} but classified as a {got}"
+            ),
+            PoolError::WorkerLost => {
+                write!(f, "pool worker died before replying; resubmit the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<polyview::Error> for PoolError {
+    fn from(e: polyview::Error) -> Self {
+        let rendered = e.to_string();
+        match e {
+            polyview::Error::Parse(_) => PoolError::Parse(rendered),
+            polyview::Error::Type(_) => PoolError::Type(rendered),
+            polyview::Error::Runtime(_) => PoolError::Runtime(rendered),
+            polyview::Error::StalePrepared => PoolError::StalePrepared,
+            polyview::Error::Internal(_) => PoolError::Internal(rendered),
+        }
+    }
+}
+
+impl From<polyview::parser::ParseError> for PoolError {
+    fn from(e: polyview::parser::ParseError) -> Self {
+        PoolError::from(polyview::Error::from(e))
+    }
+}
+
+impl PoolError {
+    pub fn is_parse(&self) -> bool {
+        matches!(self, PoolError::Parse(_))
+    }
+    pub fn is_type(&self) -> bool {
+        matches!(self, PoolError::Type(_))
+    }
+    pub fn is_runtime(&self) -> bool {
+        matches!(self, PoolError::Runtime(_))
+    }
+    pub fn is_misrouted(&self) -> bool {
+        matches!(self, PoolError::Misrouted { .. })
+    }
+    pub fn is_worker_lost(&self) -> bool {
+        matches!(self, PoolError::WorkerLost)
+    }
+}

@@ -1,0 +1,87 @@
+//! The declaration log: the pool's single total order over writes.
+//!
+//! Every write (`val`/`fun`/`class` declaration, `insert`/`delete`,
+//! `update`) is appended here exactly once, at submit time, and replayed by
+//! every replica in offset order. Because the engine pipeline is
+//! deterministic ([`polyview::Engine::replay`]), replicas that have applied
+//! the same prefix of the log are in identical states — same `env_epoch`,
+//! same top-level bindings, extents that render identically — regardless of
+//! how many reads each has served in between.
+//!
+//! The log is append-only and entries are `Arc<str>`, so replaying clones a
+//! pointer, never the source text, and the lock is held only for the
+//! pointer clone — never while an engine executes anything.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An append-only, thread-shared sequence of write statements.
+#[derive(Debug, Default)]
+pub struct DeclLog {
+    entries: Mutex<Vec<Arc<str>>>,
+}
+
+impl DeclLog {
+    pub fn new() -> Self {
+        DeclLog::default()
+    }
+
+    /// Number of sequenced writes. Also the `min_offset` a read submitted
+    /// *now* must observe for read-your-writes.
+    pub fn len(&self) -> u64 {
+        self.lock().len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The entry at `offset`, if sequenced yet.
+    pub fn get(&self, offset: u64) -> Option<Arc<str>> {
+        self.lock().get(offset as usize).cloned()
+    }
+
+    /// Append an entry, returning its offset. The router prefers
+    /// [`DeclLog::lock`] so it can reserve the offset and enqueue the
+    /// apply-request atomically; this standalone append exists for tests
+    /// and for building a log ahead of pool construction.
+    pub fn append(&self, src: &str) -> u64 {
+        let mut entries = self.lock();
+        let offset = entries.len() as u64;
+        entries.push(Arc::from(src));
+        offset
+    }
+
+    /// Lock the underlying entry vector. Poison-tolerant: a worker never
+    /// holds this lock while executing user code, but if a panic ever does
+    /// poison it, the log's data is still consistent (appends are a single
+    /// `push`), so we keep serving rather than wedging the whole pool.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Vec<Arc<str>>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_dense_offsets() {
+        let log = DeclLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.append("val x = 1;"), 0);
+        assert_eq!(log.append("val y = 2;"), 1);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.get(0).as_deref(), Some("val x = 1;"));
+        assert_eq!(log.get(1).as_deref(), Some("val y = 2;"));
+        assert_eq!(log.get(2), None);
+    }
+
+    #[test]
+    fn entries_are_shared_not_copied() {
+        let log = DeclLog::new();
+        log.append("val x = 1;");
+        let a = log.get(0).unwrap();
+        let b = log.get(0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,440 @@
+//! The pool front-end: classification, session-affinity routing, write
+//! sequencing, barriers, and shutdown.
+//!
+//! A [`Pool`] is driven from one coordinating thread (`&mut self`
+//! methods); all concurrency lives behind the workers' queues. That makes
+//! the ordering story easy to state: offsets are assigned under the log
+//! lock and enqueued before the lock drops, so each queue sees
+//! non-decreasing offsets, and a worker's catch-up-then-serve loop never
+//! observes a gap.
+
+use crate::log::DeclLog;
+use crate::supervisor::{spawn_worker, WorkerHandle};
+use crate::worker::Request;
+use crate::{PoolConfig, PoolError};
+use polyview::{classify_program, StmtClass};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TrySendError};
+use std::sync::Arc;
+
+/// Outcome of a submit against a bounded queue.
+#[derive(Debug)]
+pub enum Submit<T> {
+    /// Accepted; the `T` resolves when the worker serves it.
+    Queued(T),
+    /// The target worker's queue is at capacity — backpressure. Retry,
+    /// shed, or route elsewhere; nothing was enqueued and (for writes)
+    /// nothing was sequenced.
+    Full,
+}
+
+impl<T> Submit<T> {
+    pub fn is_full(&self) -> bool {
+        matches!(self, Submit::Full)
+    }
+
+    pub fn queued(self) -> Option<T> {
+        match self {
+            Submit::Queued(t) => Some(t),
+            Submit::Full => None,
+        }
+    }
+}
+
+/// A pending reply from a worker.
+#[derive(Debug)]
+pub struct Ticket {
+    worker: usize,
+    rx: Receiver<Result<String, PoolError>>,
+}
+
+impl Ticket {
+    /// Which worker is serving this request.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Block until the worker replies. If the worker dies first, resolves
+    /// to [`PoolError::WorkerLost`] (the supervisor respawns the worker on
+    /// the pool's next interaction; resubmit the request).
+    pub fn wait(self) -> Result<String, PoolError> {
+        self.rx.recv().unwrap_or(Err(PoolError::WorkerLost))
+    }
+}
+
+/// Holds one worker inside its `Pause` request until dropped (or
+/// [`WorkerGate::release`]d). Deterministic backpressure for tests and
+/// demos: a paused worker dequeues nothing, so its bounded queue fills.
+#[derive(Debug)]
+pub struct WorkerGate {
+    _tx: Sender<()>,
+}
+
+impl WorkerGate {
+    /// Unblock the worker (equivalent to dropping the gate).
+    pub fn release(self) {}
+}
+
+/// A replicated engine pool. See the crate docs for the model; the
+/// API surface is [`Pool::submit`] / [`Pool::submit_read`] /
+/// [`Pool::submit_write`] (non-blocking, backpressured), [`Pool::run`]
+/// (blocking convenience), [`Pool::barrier`], [`Pool::stats`] /
+/// [`Pool::metrics_json`], and [`Pool::shutdown`].
+pub struct Pool {
+    pub(crate) cfg: PoolConfig,
+    pub(crate) log: Arc<DeclLog>,
+    pub(crate) workers: Vec<WorkerHandle>,
+    pub(crate) respawns: u64,
+    pub(crate) submitted_reads: u64,
+    pub(crate) submitted_writes: u64,
+    pub(crate) rejected_full: u64,
+}
+
+impl Pool {
+    pub fn new(cfg: PoolConfig) -> Pool {
+        assert!(cfg.workers >= 1, "a pool needs at least one worker");
+        let log = Arc::new(DeclLog::new());
+        let workers = (0..cfg.workers)
+            .map(|i| spawn_worker(i, 0, &cfg, &log))
+            .collect();
+        Pool {
+            cfg,
+            log,
+            workers,
+            respawns: 0,
+            submitted_reads: 0,
+            submitted_writes: 0,
+            rejected_full: 0,
+        }
+    }
+
+    /// A pool of `n` replicas with default queue/stack settings.
+    pub fn with_workers(n: usize) -> Pool {
+        Pool::new(PoolConfig::default().workers(n))
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of writes sequenced so far.
+    pub fn log_len(&self) -> u64 {
+        self.log.len()
+    }
+
+    /// The declaration log (shared with every replica).
+    pub fn log(&self) -> &Arc<DeclLog> {
+        &self.log
+    }
+
+    /// Session affinity: which worker serves `session`'s requests. A
+    /// bijective finalizer (splitmix64) spreads adjacent session ids
+    /// across replicas while keeping the mapping stable for a session's
+    /// lifetime — so a REPL-style session reuses one replica's warmed
+    /// statement cache.
+    pub fn worker_for(&self, session: u64) -> usize {
+        (splitmix64(session) % self.workers.len() as u64) as usize
+    }
+
+    /// Classify `src` ([`polyview::classify`], the single source of
+    /// truth) and route it: reads to the session's affinity worker, writes
+    /// through the declaration log.
+    pub fn submit(&mut self, session: u64, src: &str) -> Result<Submit<Ticket>, PoolError> {
+        match classify_program(src)? {
+            StmtClass::Read => {
+                let worker = self.worker_for(session);
+                Ok(self.dispatch_read(worker, src))
+            }
+            StmtClass::Write => {
+                let worker = self.worker_for(session);
+                Ok(self.dispatch_write(worker, src))
+            }
+        }
+    }
+
+    /// Submit a statement that must be a read; a write is rejected with
+    /// [`PoolError::Misrouted`] *before* anything is enqueued, so a
+    /// mis-labelled mutation can never bypass log sequencing.
+    pub fn submit_read(&mut self, session: u64, src: &str) -> Result<Submit<Ticket>, PoolError> {
+        match classify_program(src)? {
+            StmtClass::Read => {
+                let worker = self.worker_for(session);
+                Ok(self.dispatch_read(worker, src))
+            }
+            got @ StmtClass::Write => Err(PoolError::Misrouted {
+                expected: StmtClass::Read,
+                got,
+            }),
+        }
+    }
+
+    /// Submit a statement that must be a write. Rejecting reads keeps the
+    /// log free of no-op entries (every replica would replay them
+    /// forever).
+    pub fn submit_write(&mut self, session: u64, src: &str) -> Result<Submit<Ticket>, PoolError> {
+        match classify_program(src)? {
+            StmtClass::Write => {
+                let worker = self.worker_for(session);
+                Ok(self.dispatch_write(worker, src))
+            }
+            got @ StmtClass::Read => Err(PoolError::Misrouted {
+                expected: StmtClass::Write,
+                got,
+            }),
+        }
+    }
+
+    /// Blocking convenience over [`Pool::submit`]: spins (yielding) on
+    /// backpressure and waits for the reply. REPL-style callers want
+    /// exactly this; servers should use `submit` and handle
+    /// [`Submit::Full`] themselves.
+    pub fn run(&mut self, session: u64, src: &str) -> Result<String, PoolError> {
+        loop {
+            match self.submit(session, src)? {
+                Submit::Queued(ticket) => return ticket.wait(),
+                Submit::Full => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Route a read to a *specific* replica (bypassing affinity), waiting
+    /// for the reply. The request still carries the current log length, so
+    /// the replica catches up before answering — this is the probe the
+    /// convergence tests use to check that every replica answers a query
+    /// identically.
+    pub fn probe_worker(&mut self, worker: usize, src: &str) -> Result<String, PoolError> {
+        self.supervise();
+        let min_offset = self.log.len();
+        let (reply, rx) = sync_channel(1);
+        let req = Request::Read {
+            src: src.to_string(),
+            min_offset,
+            reply,
+        };
+        if self.blocking_send(worker, req).is_err() {
+            return Err(PoolError::WorkerLost);
+        }
+        rx.recv().unwrap_or(Err(PoolError::WorkerLost))
+    }
+
+    /// Wait until every replica has applied every write sequenced so far.
+    /// Returns each worker's applied offset (all ≥ the log length observed
+    /// at entry). Dead workers are respawned — and therefore fully caught
+    /// up by replay — as part of the barrier.
+    pub fn barrier(&mut self) -> Result<Vec<u64>, PoolError> {
+        self.supervise();
+        let upto = self.log.len();
+        let mut pending = Vec::with_capacity(self.workers.len());
+        for i in 0..self.workers.len() {
+            let (reply, rx) = sync_channel(1);
+            if self
+                .blocking_send(i, Request::Barrier { upto, reply })
+                .is_err()
+            {
+                return Err(PoolError::WorkerLost);
+            }
+            pending.push(rx);
+        }
+        let mut applied = Vec::with_capacity(pending.len());
+        for rx in pending {
+            applied.push(rx.recv().map_err(|_| PoolError::WorkerLost)?);
+        }
+        Ok(applied)
+    }
+
+    /// Hold `worker` inside a `Pause` request until the returned gate is
+    /// dropped. While paused, the worker dequeues nothing, so submissions
+    /// to it observe real [`Submit::Full`] backpressure — the hook the
+    /// tier-1 backpressure test and the example server use. (The pause
+    /// request itself is sent blocking, so it always lands.)
+    pub fn pause_worker(&mut self, worker: usize) -> Result<WorkerGate, PoolError> {
+        self.supervise();
+        let (gtx, grx) = channel();
+        if self
+            .blocking_send(worker, Request::Pause { gate: grx })
+            .is_err()
+        {
+            return Err(PoolError::WorkerLost);
+        }
+        Ok(WorkerGate { _tx: gtx })
+    }
+
+    /// Make `worker` panic, and wait until its thread is actually dead —
+    /// a deterministic chaos hook for supervision tests. The next pool
+    /// interaction ([`Pool::supervise`] runs on every submit, barrier, and
+    /// stats call) respawns it with a full log replay. Do not call while
+    /// the worker is paused (it would never dequeue the crash); use
+    /// [`Pool::queue_worker_panic`] + [`Pool::await_worker_exit`] there.
+    pub fn inject_worker_panic(&mut self, worker: usize) {
+        self.supervise();
+        let _ = self.blocking_send(worker, Request::Crash);
+        self.await_worker_exit(worker);
+    }
+
+    /// Enqueue a panic without waiting for it to be served — composes with
+    /// [`Pool::pause_worker`] to order a crash deterministically between
+    /// other queued requests. Returns false if the queue was full.
+    pub fn queue_worker_panic(&mut self, worker: usize) -> bool {
+        self.try_send(worker, Request::Crash).is_ok()
+    }
+
+    /// Spin until `worker`'s current thread has exited.
+    pub fn await_worker_exit(&self, worker: usize) {
+        while !self.workers[worker].join.is_finished() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Stop every worker and join their threads. Workers finish whatever
+    /// is already queued first (the queue drains before the disconnect is
+    /// observed), so shutdown is clean, not abortive.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for handle in self.workers.drain(..) {
+            // Best effort explicit shutdown, then disconnect the queue —
+            // the worker exits on whichever it sees first. Never block on
+            // a full queue here.
+            let _ = handle.tx.try_send(Request::Shutdown);
+            drop(handle.tx);
+            let _ = handle.join.join();
+        }
+    }
+
+    // ----- dispatch internals -----
+
+    fn dispatch_read(&mut self, worker: usize, src: &str) -> Submit<Ticket> {
+        self.supervise();
+        let min_offset = self.log.len();
+        let (reply, rx) = sync_channel(1);
+        let req = Request::Read {
+            src: src.to_string(),
+            min_offset,
+            reply,
+        };
+        match self.try_send(worker, req) {
+            Ok(()) => {
+                self.submitted_reads += 1;
+                Submit::Queued(Ticket { worker, rx })
+            }
+            Err(()) => {
+                self.rejected_full += 1;
+                Submit::Full
+            }
+        }
+    }
+
+    fn dispatch_write(&mut self, worker: usize, src: &str) -> Submit<Ticket> {
+        self.supervise();
+        let (reply, rx) = sync_channel(1);
+        // Reserve the next offset and enqueue the apply-request while
+        // holding the log lock: nothing is sequenced unless the affinity
+        // worker accepted the request (backpressure must not grow the
+        // log), and no other thread can observe the offset before the
+        // entry is in place.
+        let mut entries = self.log.lock();
+        let offset = entries.len() as u64;
+        match self.workers[worker]
+            .tx
+            .try_send(Request::Write { offset, reply })
+        {
+            Ok(()) => {
+                entries.push(Arc::from(src));
+                drop(entries);
+                self.workers[worker]
+                    .shared
+                    .depth
+                    .fetch_add(1, Ordering::Relaxed);
+                self.submitted_writes += 1;
+                // Eager propagation: nudge every other replica to replay
+                // the new entry now rather than on its next read. Best
+                // effort — a full queue just means that replica catches up
+                // lazily (its next offset-carrying request replays the
+                // gap).
+                for i in 0..self.workers.len() {
+                    if i != worker {
+                        let _ = self.try_send(i, Request::CatchUp { upto: offset + 1 });
+                    }
+                }
+                Submit::Queued(Ticket { worker, rx })
+            }
+            Err(_) => {
+                drop(entries);
+                self.rejected_full += 1;
+                Submit::Full
+            }
+        }
+    }
+
+    /// Non-blocking send with depth accounting. `Err(())` covers both a
+    /// full queue and a disconnected (dead) worker; for reads the caller
+    /// reports backpressure either way and the dead worker is respawned on
+    /// the next interaction.
+    fn try_send(&mut self, worker: usize, req: Request) -> Result<(), ()> {
+        match self.workers[worker].tx.try_send(req) {
+            Ok(()) => {
+                self.workers[worker]
+                    .shared
+                    .depth
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(()),
+        }
+    }
+
+    /// Blocking send for control-plane requests (barrier, stats, pause,
+    /// probe): waits out a momentarily full queue, errs only if the worker
+    /// is gone.
+    pub(crate) fn blocking_send(&mut self, worker: usize, req: Request) -> Result<(), ()> {
+        match self.workers[worker].tx.send(req) {
+            Ok(()) => {
+                self.workers[worker]
+                    .shared
+                    .depth
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err(()),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// splitmix64's finalizer: a cheap bijective mixer, plenty for spreading
+/// session ids across a handful of replicas.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_is_stable_and_spread() {
+        let pool = Pool::new(PoolConfig::default().workers(4));
+        let w = pool.worker_for(42);
+        assert_eq!(pool.worker_for(42), w, "affinity must be stable");
+        let hit: std::collections::BTreeSet<usize> = (0..64).map(|s| pool.worker_for(s)).collect();
+        assert!(hit.len() > 1, "sessions must spread across replicas");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn splitmix_is_not_identity_like() {
+        // Adjacent inputs should not map to adjacent outputs mod small n.
+        let outs: Vec<u64> = (0..8).map(|i| splitmix64(i) % 4).collect();
+        assert!(outs.iter().collect::<std::collections::BTreeSet<_>>().len() > 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Worker supervision: spawning, liveness detection, and respawn-with-
+//! replay.
+//!
+//! The failure model is crash-only: a worker that panics (evaluator bug,
+//! injected crash) takes its whole replica down — there is no partial
+//! state to repair, because the replacement rebuilds the replica
+//! deterministically by replaying the declaration log from offset 0
+//! ([`crate::log::DeclLog`]). In-flight requests on the dead worker's
+//! queue are lost; their tickets resolve to
+//! [`crate::PoolError::WorkerLost`] (the reply senders drop with the
+//! queue), and callers resubmit.
+//!
+//! Supervision is pull-based: the router checks `JoinHandle::is_finished`
+//! on every pool interaction ([`Pool::supervise`]) rather than running a
+//! monitor thread — a dead worker is respawned before the next request
+//! could be routed to it, which is the only moment liveness matters.
+
+use crate::log::DeclLog;
+use crate::router::Pool;
+use crate::worker::{worker_main, Request, WorkerCfg, WorkerShared};
+use crate::PoolConfig;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The router's handle on one worker slot.
+pub(crate) struct WorkerHandle {
+    /// Respawn generation of the thread currently in this slot.
+    pub generation: u64,
+    pub tx: SyncSender<Request>,
+    pub join: JoinHandle<()>,
+    pub shared: Arc<WorkerShared>,
+}
+
+/// Spawn a worker thread for `index` at `generation`. The thread gets the
+/// pool's configured stack size — engines must never run on a default
+/// spawned-thread stack (see [`polyview::engine::with_stack_size`]) — and
+/// constructs its engine locally, since engines cannot cross threads.
+pub(crate) fn spawn_worker(
+    index: usize,
+    generation: u64,
+    cfg: &PoolConfig,
+    log: &Arc<DeclLog>,
+) -> WorkerHandle {
+    let (tx, rx) = sync_channel(cfg.queue_capacity);
+    let shared = Arc::new(WorkerShared::default());
+    let wcfg = WorkerCfg {
+        fuel: cfg.fuel,
+        load_prelude: cfg.load_prelude,
+    };
+    // The replay horizon must be read on *this* (router) thread: the
+    // router is the only appender, so no write can be sequenced between
+    // this read and the handle becoming routable — every offset >=
+    // `backlog` reaches the worker as an explicit request. Reading the
+    // length on the worker thread instead would race with a write
+    // sequenced right after spawn and double-apply its entry.
+    let backlog = log.len();
+    let join = std::thread::Builder::new()
+        .name(format!("pool-worker-{index}"))
+        .stack_size(cfg.stack_bytes)
+        .spawn({
+            let log = Arc::clone(log);
+            let shared = Arc::clone(&shared);
+            move || worker_main(index, generation, wcfg, log, shared, rx, backlog)
+        })
+        .expect("spawn pool worker thread");
+    WorkerHandle {
+        generation,
+        tx,
+        join,
+        shared,
+    }
+}
+
+impl Pool {
+    /// Respawn every worker whose thread has exited (panic or poison).
+    /// The replacement replays the log from offset 0 before serving;
+    /// respawns are counted in [`crate::PoolStats::respawns`]. Returns how
+    /// many workers were respawned by this call.
+    pub(crate) fn supervise(&mut self) -> usize {
+        let mut respawned = 0;
+        for i in 0..self.workers.len() {
+            if self.workers[i].join.is_finished() {
+                let generation = self.workers[i].generation + 1;
+                let fresh = spawn_worker(i, generation, &self.cfg, &self.log);
+                let old = std::mem::replace(&mut self.workers[i], fresh);
+                // Reap the dead thread; a panic here is already accounted
+                // for (that's why we are respawning).
+                let _ = old.join.join();
+                respawned += 1;
+            }
+        }
+        self.respawns += respawned as u64;
+        respawned
+    }
+}

@@ -1,0 +1,267 @@
+//! A pool worker: one thread owning one full engine replica.
+//!
+//! The worker's only interface is its bounded request queue. Every request
+//! that depends on log state carries an offset, and the worker *catches up*
+//! — replays log entries it has not applied yet — before serving it, so
+//! ordering guarantees are local and simple:
+//!
+//! * The router is single-threaded per pool and assigns offsets under the
+//!   log lock, so offsets arriving on one queue are non-decreasing.
+//! * A `Write { offset }` therefore always finds `applied == offset` and
+//!   executes the entry itself, capturing its outcome for the caller; the
+//!   same entry reaches every other replica as plain replay.
+//! * A `Read { min_offset }` first replays to `min_offset` — the log length
+//!   at submit time — which is what makes read-your-writes hold on *any*
+//!   replica, not just the session's affinity worker.
+//!
+//! The engine is constructed inside the spawned thread (its `Rc`-based
+//! values never cross threads), and the thread itself is spawned with the
+//! pool's configured stack size, so deep translations and non-tail `fix`
+//! recursion get the same headroom [`polyview::engine::with_stack_size`]
+//! provides on the single-engine path.
+
+use crate::log::DeclLog;
+use crate::PoolError;
+use polyview::{Engine, EngineStats, Outcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+/// A request to a worker. Reply channels are rendezvous-sized
+/// (`sync_channel(1)`); exactly one reply is ever sent, so a worker never
+/// blocks on a reply — if the caller dropped its ticket, the reply is
+/// discarded.
+pub(crate) enum Request {
+    /// Evaluate a read after replaying the log to at least `min_offset`.
+    Read {
+        src: String,
+        min_offset: u64,
+        reply: SyncSender<Result<String, PoolError>>,
+    },
+    /// Apply the log entry at `offset` (replaying any gap first) and reply
+    /// with its outcome.
+    Write {
+        offset: u64,
+        reply: SyncSender<Result<String, PoolError>>,
+    },
+    /// Replay the log to at least `upto` (eager write propagation; safe to
+    /// drop when the queue is full — the next offset-carrying request
+    /// replays the gap anyway).
+    CatchUp { upto: u64 },
+    /// Replay to at least `upto`, then reply with the applied offset.
+    Barrier { upto: u64, reply: SyncSender<u64> },
+    /// Reply with a full observability report.
+    Stats { reply: SyncSender<WorkerReport> },
+    /// Block until the gate's sender is dropped — a deterministic way to
+    /// hold a worker busy (backpressure tests, demos).
+    Pause { gate: Receiver<()> },
+    /// Panic on purpose (supervision tests).
+    Crash,
+    /// Exit the serve loop (queue disconnection does the same).
+    Shutdown,
+}
+
+/// One worker's observability snapshot, produced on its own thread (the
+/// engine's metrics registry is `Rc`-based and cannot cross the channel
+/// itself, so the JSON export is rendered worker-side).
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    pub worker: usize,
+    /// Respawn generation: 0 for the original spawn, +1 per respawn.
+    pub generation: u64,
+    /// Log offset this replica has applied up to (exclusive).
+    pub applied: u64,
+    /// Replayed entries that failed (deterministic across replicas).
+    pub replay_errors: u64,
+    /// The replica's declaration epoch — equal on all replicas that have
+    /// applied the same log prefix.
+    pub env_epoch: u64,
+    pub stats: EngineStats,
+    /// The replica's full metrics registry as JSON lines.
+    pub metrics_json: String,
+}
+
+/// Gauges shared between a worker and the router: current queue depth
+/// (incremented at enqueue, decremented at dequeue), replay progress, and
+/// replay error count.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerShared {
+    pub depth: AtomicU64,
+    pub applied: AtomicU64,
+    pub replay_errors: AtomicU64,
+}
+
+/// The engine-affecting slice of [`crate::PoolConfig`], shipped to the
+/// worker thread at spawn.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WorkerCfg {
+    pub fuel: Option<u64>,
+    pub load_prelude: bool,
+}
+
+pub(crate) fn worker_main(
+    index: usize,
+    generation: u64,
+    cfg: WorkerCfg,
+    log: Arc<DeclLog>,
+    shared: Arc<WorkerShared>,
+    rx: Receiver<Request>,
+    backlog: u64,
+) {
+    let mut w = Worker {
+        engine: match cfg.fuel {
+            Some(f) => Engine::with_fuel(f),
+            None => Engine::new(),
+        },
+        log,
+        shared,
+        applied: 0,
+    };
+    if cfg.load_prelude {
+        // Deterministic: every replica loads the same prelude before any
+        // log entry, so epochs stay aligned.
+        let _ = w.engine.load_prelude();
+    }
+    // A respawned replica starts cold: replay the log from offset 0
+    // before serving anything. `backlog` is the log length observed *on
+    // the router thread* at spawn time — reading `log.len()` here instead
+    // would race with a write sequenced after the spawn, whose
+    // `Write { offset }` request is already in this queue and must find
+    // its entry unapplied.
+    w.catch_up(backlog);
+
+    while let Ok(req) = rx.recv() {
+        w.shared.depth.fetch_sub(1, Ordering::Relaxed);
+        match req {
+            Request::Read {
+                src,
+                min_offset,
+                reply,
+            } => {
+                w.catch_up(min_offset);
+                let _ = reply.try_send(w.eval_read(&src));
+            }
+            Request::Write { offset, reply } => {
+                let _ = reply.try_send(w.apply_write(offset));
+            }
+            Request::CatchUp { upto } => w.catch_up(upto),
+            Request::Barrier { upto, reply } => {
+                w.catch_up(upto);
+                let _ = reply.try_send(w.applied);
+            }
+            Request::Stats { reply } => {
+                let _ = reply.try_send(w.report(index, generation));
+            }
+            Request::Pause { gate } => {
+                // Held until the router-side WorkerGate drops its sender.
+                let _ = gate.recv();
+            }
+            Request::Crash => panic!("pool worker {index}: injected crash"),
+            Request::Shutdown => break,
+        }
+    }
+}
+
+struct Worker {
+    engine: Engine,
+    log: Arc<DeclLog>,
+    shared: Arc<WorkerShared>,
+    /// Entries applied so far (exclusive upper offset). Mirrored into
+    /// `shared.applied` for the router's lag gauge.
+    applied: u64,
+}
+
+impl Worker {
+    /// Replay log entries until `applied >= upto`. Entry errors are
+    /// deterministic across replicas (same entry, same engine state), so
+    /// they are counted, never propagated — exactly
+    /// [`polyview::Engine::replay`]'s contract, incrementalized.
+    fn catch_up(&mut self, upto: u64) {
+        while self.applied < upto {
+            let Some(entry) = self.log.get(self.applied) else {
+                break;
+            };
+            let _ = self.apply_entry(&entry);
+        }
+    }
+
+    fn apply_entry(&mut self, src: &str) -> Result<String, PoolError> {
+        let res = self
+            .engine
+            .exec(src)
+            .map(|out| render_outcomes(&out))
+            .map_err(PoolError::from);
+        if res.is_err() {
+            self.shared.replay_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.applied += 1;
+        self.shared.applied.store(self.applied, Ordering::Relaxed);
+        res
+    }
+
+    /// Apply the write sequenced at `offset`, capturing its outcome.
+    /// Per-queue offsets are non-decreasing (router invariant), so by the
+    /// time this dequeues, `catch_up(offset)` leaves `applied == offset`.
+    fn apply_write(&mut self, offset: u64) -> Result<String, PoolError> {
+        self.catch_up(offset);
+        if self.applied != offset {
+            return Err(PoolError::Internal(format!(
+                "write at offset {offset} already replayed (applied = {})",
+                self.applied
+            )));
+        }
+        let Some(entry) = self.log.get(offset) else {
+            return Err(PoolError::Internal(format!(
+                "write at offset {offset} not in the log (len = {})",
+                self.log.len()
+            )));
+        };
+        self.apply_entry(&entry)
+    }
+
+    /// Serve a read. The hot path is a single expression through the
+    /// engine's statement cache (repeats cost zero parse/inference work);
+    /// a read-classified *program* (e.g. `"1 + 1; 2 + 2;"`) falls back to
+    /// uncached execution.
+    fn eval_read(&mut self, src: &str) -> Result<String, PoolError> {
+        match self.engine.eval_to_string(src) {
+            Ok(s) => Ok(s),
+            Err(polyview::Error::Parse(_)) => self
+                .engine
+                .exec(src)
+                .map(|out| render_outcomes(&out))
+                .map_err(PoolError::from),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn report(&self, index: usize, generation: u64) -> WorkerReport {
+        WorkerReport {
+            worker: index,
+            generation,
+            applied: self.applied,
+            replay_errors: self.shared.replay_errors.load(Ordering::Relaxed),
+            env_epoch: self.engine.env_epoch(),
+            stats: self.engine.stats(),
+            metrics_json: self.engine.metrics_json(),
+        }
+    }
+}
+
+/// Render an executed statement's outcomes the way the REPL would: one
+/// line per declaration, `name : scheme` for bindings, the rendered value
+/// for bare expressions.
+fn render_outcomes(out: &[Outcome]) -> String {
+    let lines: Vec<String> = out
+        .iter()
+        .map(|o| match o {
+            Outcome::Defined(binds) => binds
+                .iter()
+                .map(|(n, s)| format!("{n} : {s}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            Outcome::Value { rendered, .. } => rendered.clone(),
+        })
+        .collect();
+    lines.join("\n")
+}

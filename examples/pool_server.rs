@@ -1,0 +1,101 @@
+//! A miniature serving deployment of the pool (`crates/pool`,
+//! DESIGN.md §10): several "client" threads issue writes and queries
+//! against a replicated engine fleet, a worker crash is injected halfway
+//! through, and the run ends with a convergence check plus the pool's
+//! aggregated stats.
+//!
+//! The pool handle itself stays on the main thread (the router is
+//! single-threaded by design); client threads hand their statements over a
+//! plain channel, which is exactly the shape a network front-end would
+//! take: accept loops parse requests, one router owns the fleet.
+
+use polyview_pool::{Pool, PoolConfig, Submit};
+use std::sync::mpsc;
+
+fn main() {
+    let mut pool = Pool::new(PoolConfig::default().workers(4).queue_capacity(32));
+
+    // Schema + seed data: writes are sequenced through the declaration log
+    // and replayed on every replica.
+    pool.run(0, "class Staff = class {} end;").expect("class");
+    pool.run(
+        0,
+        "class Female = class {} include Staff as fn x => [Name = x.Name] \
+         where fn x => query(fn p => p.Sex = \"female\", x) end;",
+    )
+    .expect("view class");
+
+    // Simulated clients: each thread is a session, producing a stream of
+    // statements; the main thread routes them with session affinity.
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    let clients: Vec<_> = (1..=4u64)
+        .map(|session| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..5 {
+                    let name = format!("S{session}-{i}");
+                    let sex = if i % 2 == 0 { "female" } else { "male" };
+                    tx.send((
+                        session,
+                        format!("insert(Staff, IDView([Name = \"{name}\", Sex = \"{sex}\"]))"),
+                    ))
+                    .unwrap();
+                    tx.send((
+                        session,
+                        "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Female)".into(),
+                    ))
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let mut served = 0u64;
+    for (n, (session, stmt)) in rx.iter().enumerate() {
+        // Blocking submit: retries on backpressure, waits for the result.
+        pool.run(session, &stmt).expect("statement");
+        served += 1;
+        if n == 10 {
+            // Chaos: kill a replica mid-stream. Supervision respawns it and
+            // the replacement replays the log from offset 0.
+            pool.inject_worker_panic(1);
+            println!("-- injected crash on worker 1 --");
+        }
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // Convergence: after a barrier, every replica (including the respawn)
+    // answers the same query identically.
+    pool.barrier().expect("barrier");
+    let expected = pool
+        .probe_worker(
+            0,
+            "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)",
+        )
+        .expect("probe");
+    for w in 1..pool.worker_count() {
+        let got = pool
+            .probe_worker(
+                w,
+                "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)",
+            )
+            .expect("probe");
+        assert_eq!(got, expected, "replica {w} diverged");
+    }
+    println!("served {served} statements; all replicas agree on {expected}");
+
+    // One backpressure demonstration: saturate a paused replica's queue.
+    let gate = pool.pause_worker(0).expect("pause");
+    let mut queued = 0;
+    while let Submit::Queued(_) = pool.submit_read(0, "1 + 1").expect("classified") {
+        queued += 1;
+    }
+    gate.release();
+    println!("backpressure after {queued} queued reads: Submit::Full");
+
+    println!("\n{}", pool.stats());
+    pool.shutdown();
+}

@@ -20,6 +20,12 @@ cargo test -q
 echo "==> workspace tests (all crates)"
 cargo test --workspace -q
 
+echo "==> pool smoke: serving-layer suite under --release"
+# The pool suite exercises real concurrency (worker threads, crash
+# injection, backpressure); run it under the release profile too so
+# timing-sensitive regressions surface in both profiles.
+cargo test -q --release --test pool
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -32,7 +38,7 @@ echo "==> dependency hygiene: workspace members carry no external deps"
 for manifest in Cargo.toml \
     crates/syntax/Cargo.toml crates/parser/Cargo.toml crates/types/Cargo.toml \
     crates/eval/Cargo.toml crates/trans/Cargo.toml crates/isa/Cargo.toml \
-    crates/obs/Cargo.toml crates/core/Cargo.toml; do
+    crates/obs/Cargo.toml crates/core/Cargo.toml crates/pool/Cargo.toml; do
     awk -v manifest="$manifest" '
         /^\[/ {
             in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)

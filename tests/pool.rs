@@ -1,0 +1,367 @@
+//! Tier-1 tests for the serving layer (`crates/pool`, DESIGN.md §10).
+//!
+//! Everything here is deterministic and std-only: pauses use the pool's
+//! gate hook (no sleeps), crashes use the injection hook (the thread is
+//! dead before the call returns), and convergence is checked by probing
+//! every replica for the same query after a barrier.
+
+use polyview_pool::{Pool, PoolConfig, PoolError, StmtClass, Submit};
+
+const NAMES_QUERY: &str = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
+
+fn small_pool(workers: usize) -> Pool {
+    // Small queues so backpressure is reachable; default stack/fuel.
+    Pool::new(PoolConfig::default().workers(workers).queue_capacity(8))
+}
+
+/// After any interleaving of writes from two sessions, all replicas have
+/// the same declaration epoch and answer queries identically — the
+/// declaration log imposes one total order on writes, and replay is
+/// deterministic.
+#[test]
+fn interleaved_writes_converge_on_all_replicas() {
+    let mut pool = small_pool(4);
+    let (alice, bob) = (11, 22);
+
+    pool.run(alice, "class Staff = class {} end;")
+        .expect("class");
+    // Interleave writes from two sessions (their affinity workers differ
+    // or coincide — either way the log sequences them).
+    for i in 0..6 {
+        let (session, name) = if i % 2 == 0 {
+            (alice, format!("A{i}"))
+        } else {
+            (bob, format!("B{i}"))
+        };
+        pool.run(
+            session,
+            &format!("insert(Staff, IDView([Name = \"{name}\"]))"),
+        )
+        .expect("insert");
+    }
+    pool.run(bob, "val answer = 42;").expect("val");
+
+    let applied = pool.barrier().expect("barrier");
+    assert_eq!(applied.len(), 4);
+    assert!(applied.iter().all(|&a| a == pool.log_len()));
+
+    // Every replica answers the same query with the same rendering…
+    let expected = pool.probe_worker(0, NAMES_QUERY).expect("probe");
+    assert!(
+        expected.contains("A0") && expected.contains("B5"),
+        "{expected}"
+    );
+    for w in 1..pool.worker_count() {
+        assert_eq!(pool.probe_worker(w, NAMES_QUERY).expect("probe"), expected);
+    }
+    for w in 0..pool.worker_count() {
+        assert_eq!(pool.probe_worker(w, "answer").expect("probe"), "42");
+    }
+
+    // …and reports the same declaration epoch.
+    let stats = pool.stats();
+    let epochs: Vec<u64> = stats.per_worker.iter().map(|w| w.env_epoch).collect();
+    assert_eq!(epochs.len(), 4);
+    assert!(
+        epochs.windows(2).all(|p| p[0] == p[1]),
+        "replicas diverged: {epochs:?}"
+    );
+    pool.shutdown();
+}
+
+/// A session sees its own writes immediately: reads carry the log length
+/// observed at submit time, so the serving replica catches up first (and
+/// session affinity keeps the session on one warmed replica throughout).
+#[test]
+fn read_your_writes_under_session_affinity() {
+    let mut pool = small_pool(3);
+    let session = 7;
+    let affinity = pool.worker_for(session);
+
+    pool.run(session, "val x = 1;").expect("write");
+    assert_eq!(pool.run(session, "x").expect("read"), "1");
+
+    for i in 2..6 {
+        let t = pool
+            .submit_write(session, &format!("val x = {i};"))
+            .expect("classified")
+            .queued()
+            .expect("queued");
+        assert_eq!(t.worker(), affinity, "writes follow session affinity");
+        t.wait().expect("write applies");
+        let r = pool
+            .submit_read(session, "x")
+            .expect("classified")
+            .queued()
+            .expect("queued");
+        assert_eq!(r.worker(), affinity, "reads follow session affinity");
+        assert_eq!(r.wait().expect("read"), i.to_string());
+    }
+    pool.shutdown();
+}
+
+/// A full queue reports `Submit::Full` instead of queueing unboundedly,
+/// and clears once the worker drains.
+#[test]
+fn backpressure_reports_full_on_a_full_queue() {
+    let mut pool = Pool::new(PoolConfig::default().workers(1).queue_capacity(2));
+    let session = 1;
+    assert_eq!(pool.worker_for(session), 0);
+
+    // Warm the replica, then hold it inside a pause request so nothing
+    // dequeues — deterministic, no timing.
+    pool.run(session, "val y = 10;").expect("write");
+    let gate = pool.pause_worker(0).expect("pause");
+
+    // Fill the queue to capacity, then observe backpressure.
+    let mut tickets = Vec::new();
+    loop {
+        match pool.submit_read(session, "y + 1").expect("classified") {
+            Submit::Queued(t) => tickets.push(t),
+            Submit::Full => break,
+        }
+        assert!(tickets.len() <= 2, "queue accepted more than its capacity");
+    }
+    assert!(pool
+        .submit_read(session, "y + 1")
+        .expect("classified")
+        .is_full());
+    // Writes are backpressured too — and a rejected write is NOT
+    // sequenced: the log must not grow.
+    let log_before = pool.log_len();
+    assert!(pool
+        .submit_write(session, "val y = 99;")
+        .expect("classified")
+        .is_full());
+    assert_eq!(pool.log_len(), log_before);
+
+    // `stats_local` never messages workers, so it is safe while one is
+    // paused with a full queue.
+    let stats = pool.stats_local();
+    assert!(stats.rejected_full >= 2, "got {}", stats.rejected_full);
+
+    // Release the worker: every queued ticket resolves.
+    gate.release();
+    for t in tickets {
+        assert_eq!(t.wait().expect("drained"), "11");
+    }
+    assert_eq!(pool.run(session, "y + 1").expect("after drain"), "11");
+    pool.shutdown();
+}
+
+/// A panicked worker is respawned and catches up by replaying the log from
+/// offset 0: it converges to the same state as its peers, and the respawn
+/// is counted in pool stats.
+#[test]
+fn worker_panic_respawns_and_replays() {
+    let mut pool = small_pool(2);
+    let session = 5;
+    pool.run(session, "class Staff = class {} end;")
+        .expect("class");
+    pool.run(session, "insert(Staff, IDView([Name = \"Eve\"]))")
+        .expect("insert");
+    pool.run(session, "val marker = 123;").expect("val");
+    pool.barrier().expect("barrier");
+
+    pool.inject_worker_panic(0);
+
+    // The next interaction respawns worker 0; the barrier then waits for
+    // its full replay.
+    let applied = pool.barrier().expect("barrier after crash");
+    assert!(applied.iter().all(|&a| a == pool.log_len()));
+    let stats = pool.stats();
+    assert_eq!(stats.respawns, 1);
+    let w0 = stats.per_worker.iter().find(|w| w.worker == 0).expect("w0");
+    assert_eq!(w0.generation, 1, "respawned slot bumps its generation");
+    assert_eq!(w0.replay_lag, 0);
+
+    // The respawned replica answers exactly like the survivor.
+    let fresh = pool.probe_worker(0, NAMES_QUERY).expect("respawned");
+    let survivor = pool.probe_worker(1, NAMES_QUERY).expect("survivor");
+    assert_eq!(fresh, survivor);
+    assert_eq!(pool.probe_worker(0, "marker").expect("probe"), "123");
+    pool.shutdown();
+}
+
+/// An in-flight request on a crashed worker resolves to `WorkerLost`
+/// rather than hanging, and a resubmit succeeds against the respawn.
+#[test]
+fn inflight_request_on_crashed_worker_reports_worker_lost() {
+    let mut pool = Pool::new(PoolConfig::default().workers(1).queue_capacity(4));
+    let session = 3;
+    pool.run(session, "val z = 9;").expect("write");
+
+    // Hold the worker inside a pause, queue a crash *ahead of* the read,
+    // then release: the worker dequeues Crash first and dies with the read
+    // still queued — its reply sender drops with the queue.
+    let gate = pool.pause_worker(0).expect("pause");
+    assert!(pool.queue_worker_panic(0), "crash queued");
+    let stuck = pool
+        .submit_read(session, "z")
+        .expect("classified")
+        .queued()
+        .expect("queued");
+    gate.release();
+    pool.await_worker_exit(0);
+    assert!(
+        stuck.wait().expect_err("lost").is_worker_lost(),
+        "queued request behind a crash resolves to WorkerLost"
+    );
+
+    // Respawn + replay: state is intact.
+    assert_eq!(pool.run(session, "z").expect("resubmit"), "9");
+    assert_eq!(pool.stats().respawns, 1);
+    pool.shutdown();
+}
+
+/// Misrouted statements are rejected by classification — the single
+/// source of truth (`polyview::classify`) — before anything is enqueued
+/// or sequenced.
+#[test]
+fn classification_guards_the_entry_points() {
+    let mut pool = small_pool(2);
+    let err = pool
+        .submit_read(1, "val x = 1;")
+        .expect_err("write as read");
+    assert_eq!(
+        err,
+        PoolError::Misrouted {
+            expected: StmtClass::Read,
+            got: StmtClass::Write
+        }
+    );
+    let err = pool.submit_write(1, "1 + 1").expect_err("read as write");
+    assert!(err.is_misrouted());
+    assert_eq!(pool.log_len(), 0, "nothing was sequenced");
+
+    // Parse errors surface at submit, engine errors through the ticket.
+    assert!(pool.submit(1, "val = 3").expect_err("parse").is_parse());
+    let t = pool
+        .submit(1, "1 + true")
+        .expect("classified")
+        .queued()
+        .unwrap();
+    assert!(t.wait().expect_err("type error").is_type());
+    pool.shutdown();
+}
+
+/// Deterministic failures replay identically: an entry that fails on one
+/// replica fails on all of them, and replicas stay converged afterwards.
+#[test]
+fn failing_writes_replay_deterministically() {
+    let mut pool = small_pool(3);
+    pool.run(1, "class Staff = class {} end;").expect("class");
+    // `update` on an immutable field classifies as a write and fails to
+    // type-check — on every replica equally.
+    pool.run(1, "val r = [Name = \"Joe\"];").expect("val");
+    let err = pool
+        .run(1, "update(r, Name, \"P\")")
+        .expect_err("type error");
+    assert!(err.is_type(), "got {err:?}");
+    pool.barrier().expect("barrier");
+
+    let stats = pool.stats();
+    let errors: Vec<u64> = stats.per_worker.iter().map(|w| w.replay_errors).collect();
+    assert!(
+        errors.windows(2).all(|p| p[0] == p[1]),
+        "replicas disagree on replay errors: {errors:?}"
+    );
+    let epochs: Vec<u64> = stats.per_worker.iter().map(|w| w.env_epoch).collect();
+    assert!(epochs.windows(2).all(|p| p[0] == p[1]), "{epochs:?}");
+    pool.shutdown();
+}
+
+/// Shutdown drains and joins every worker without deadlock — including
+/// with queued work — and dropping a pool does the same.
+#[test]
+fn clean_shutdown_with_queued_work() {
+    let mut pool = small_pool(4);
+    pool.run(9, "val v = 5;").expect("write");
+    let mut tickets = Vec::new();
+    for _ in 0..16 {
+        if let Submit::Queued(t) = pool.submit_read(9, "v * v").expect("classified") {
+            tickets.push(t);
+        }
+    }
+    pool.shutdown(); // joins; queued requests were served or dropped
+    for t in tickets {
+        match t.wait() {
+            Ok(v) => assert_eq!(v, "25"),
+            Err(e) => assert_eq!(e, PoolError::WorkerLost),
+        }
+    }
+
+    // Drop-based shutdown must not hang either.
+    let mut pool = small_pool(2);
+    pool.run(1, "val w = 1;").expect("write");
+    drop(pool);
+}
+
+/// Pool metrics merge every replica's registry: pool gauges, merged
+/// engine counters, and per-worker namespaced lines, one JSON object per
+/// line.
+#[test]
+fn pool_metrics_are_aggregated_json_lines() {
+    let mut pool = small_pool(2);
+    pool.run(4, "val m = 2;").expect("write");
+    pool.run(4, "m + m").expect("read");
+    pool.barrier().expect("barrier");
+
+    let out = pool.metrics_json();
+    for line in out.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    for needle in [
+        "\"name\":\"pool.workers\",\"value\":2",
+        "\"name\":\"pool.submitted_reads\"",
+        "\"name\":\"pool.worker0.replay_lag\"",
+        "\"name\":\"pool.worker1.queue_depth\"",
+        "\"name\":\"engine.parses\"",
+        "\"name\":\"worker0.phase.eval_ns\"",
+        "\"name\":\"worker1.engine.parses\"",
+    ] {
+        assert!(out.contains(needle), "missing {needle} in:\n{out}");
+    }
+
+    // The merged engine counters equal the sum over replicas.
+    let stats = pool.stats();
+    let summed: u64 = stats.per_worker.iter().map(|w| w.engine.parses).sum();
+    assert_eq!(stats.engine.parses, summed);
+    pool.shutdown();
+}
+
+/// The pool serves the same language the single engine does — a smoke
+/// test that the paper's workflow (classes, views, queries) survives
+/// replication end to end.
+#[test]
+fn paper_workflow_through_the_pool() {
+    let mut pool = small_pool(2);
+    let s = 1;
+    pool.run(s, "class Staff = class {} end;").expect("class");
+    pool.run(
+        s,
+        "insert(Staff, IDView([Name = \"Alice\", Sex = \"female\"]))",
+    )
+    .expect("insert");
+    pool.run(s, "insert(Staff, IDView([Name = \"Bob\", Sex = \"male\"]))")
+        .expect("insert");
+    pool.run(
+        s,
+        "class Female = class {} include Staff as fn x => [Name = x.Name] \
+         where fn x => query(fn p => p.Sex = \"female\", x) end;",
+    )
+    .expect("view class");
+    pool.barrier().expect("barrier");
+    let expected = "{\"Alice\"}";
+    for w in 0..pool.worker_count() {
+        assert_eq!(
+            pool.probe_worker(
+                w,
+                "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Female)"
+            )
+            .expect("probe"),
+            expected
+        );
+    }
+    pool.shutdown();
+}
