@@ -23,10 +23,41 @@
 //! read, `insert`/`delete`/`exec` are writes), and
 //! [`crate::Prepared::class`] classifies a compiled statement without
 //! reparsing.
+//!
+//! # Syntactic classification alone is NOT sound for routing
+//!
+//! The free functions below ([`classify_expr`] / [`classify_decl`] /
+//! [`classify_program`]) look only at the statement's own AST. That misses
+//! effects reached *through a name*: after `fun f x = insert(C, x);` (a
+//! write — every replica binds `f`), the bare call `f(o)` contains no
+//! `Insert` node and classifies as `Read`. Routing on that alone would run
+//! the insert on a single replica, bypassing the declaration log and
+//! silently diverging the pool. Anything that routes on classification
+//! must therefore use an [`EffectSet`]: observe every sequenced write
+//! ([`EffectSet::observe_program`]) so names whose values can perform
+//! effects when used are known, and classify through it
+//! ([`EffectSet::classify_program`]), which additionally marks any
+//! statement mentioning such a name as a write. The pool does exactly this
+//! (DESIGN.md §10).
+//!
+//! ## Residual escape: effectful closures stored in data
+//!
+//! `EffectSet` tracks effects per *top-level name*. An effectful closure
+//! smuggled through a data structure — e.g. a write stores
+//! `fn x => insert(C, x)` into a mutable record field, and a later
+//! statement calls `(r.F)(o)` without mentioning any effectful name — is
+//! still classified as a read; full tracking would need a type-and-effect
+//! system ([`crate::types`] does none). Callers that construct such values
+//! must force sequencing at the call site by wrapping it in a declaration
+//! (`val it = (r.F)(o);` — declarations always classify as writes). Note
+//! the *storing* statement itself always classifies as a write (it
+//! contains `Update`/`Insert` syntactically); only the later indirect
+//! call can escape.
 
-use polyview_parser::{parse_program, Decl};
-use polyview_syntax::visit::walk;
-use polyview_syntax::Expr;
+use polyview_parser::{parse_program, Decl, ParseError};
+use polyview_syntax::visit::{class_children, free_vars, walk};
+use polyview_syntax::{Expr, Name};
+use std::collections::BTreeSet;
 
 /// Whether a statement changes state any later statement can observe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -92,13 +123,187 @@ pub fn classify_decl(d: &Decl) -> StmtClass {
 /// Classify a whole program (`;`-separated declarations): a write iff any
 /// of its declarations writes. Parsing happens against no environment, so
 /// classification needs no engine and can run on the submitting thread.
-pub fn classify_program(src: &str) -> Result<StmtClass, polyview_parser::ParseError> {
+///
+/// **Purely syntactic** — see the module docs: a call to a previously
+/// declared effectful function escapes this. Routing layers must classify
+/// through an [`EffectSet`] instead.
+pub fn classify_program(src: &str) -> Result<StmtClass, ParseError> {
     let decls = parse_program(src)?;
     Ok(if decls.iter().any(|d| classify_decl(d).is_write()) {
         StmtClass::Write
     } else {
         StmtClass::Read
     })
+}
+
+/// Does `e` contain an effect node (`insert`/`delete`/`update`) anywhere,
+/// including under binders?
+fn has_effect_node(e: &Expr) -> bool {
+    classify_expr(e).is_write()
+}
+
+/// The set of top-level names whose values may perform store effects when
+/// *used* — the environment-aware half of classification.
+///
+/// A routing layer feeds it every statement it sequences as a write
+/// ([`EffectSet::observe_program`], in log order), and classifies incoming
+/// statements with [`EffectSet::classify_program`]: a statement is a write
+/// if it is syntactically a write ([`classify_decl`]) **or** mentions any
+/// effectful name as a free variable. That closes the declared-function
+/// escape (`fun f x = insert(C, x); … f(o)`), including aliases
+/// (`val g = f;` marks `g`), higher-order mentions (`map(f, s)` — `f` is
+/// free in the statement), and mutual recursion (fixpoint over each
+/// `fun … and …` / `class … and …` group).
+///
+/// Marking is conservative in the safe direction: a statement that merely
+/// *mentions* an effectful name without calling it, or that locally
+/// shadows one, classifies as a write and pays one sequencing round-trip —
+/// never the reverse. The residual escape (effectful closures reached
+/// through data, not names) is documented in the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct EffectSet {
+    effectful: BTreeSet<Name>,
+}
+
+impl EffectSet {
+    pub fn new() -> Self {
+        EffectSet::default()
+    }
+
+    /// Names currently known effectful.
+    pub fn len(&self) -> usize {
+        self.effectful.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.effectful.is_empty()
+    }
+
+    pub fn is_effectful(&self, name: &str) -> bool {
+        self.effectful.contains(name)
+    }
+
+    /// Does `e` reference (as a free variable) any name known effectful,
+    /// or contain an effect node outright?
+    fn expr_carries_effect(&self, e: &Expr) -> bool {
+        has_effect_node(e) || free_vars(e).iter().any(|v| self.effectful.contains(v))
+    }
+
+    /// [`classify_expr`], plus: mentioning an effectful name is a write.
+    pub fn classify_expr(&self, e: &Expr) -> StmtClass {
+        if self.expr_carries_effect(e) {
+            StmtClass::Write
+        } else {
+            StmtClass::Read
+        }
+    }
+
+    /// [`classify_decl`], through the set.
+    pub fn classify_decl(&self, d: &Decl) -> StmtClass {
+        match d {
+            Decl::Val(_, _) | Decl::Fun(_) | Decl::Classes(_) => StmtClass::Write,
+            Decl::Expr(e) => self.classify_expr(e),
+        }
+    }
+
+    /// [`classify_program`], through the set. This is the classification
+    /// entry point routing layers must use.
+    pub fn classify_program(&self, src: &str) -> Result<StmtClass, ParseError> {
+        let decls = parse_program(src)?;
+        Ok(if decls.iter().any(|d| self.classify_decl(d).is_write()) {
+            StmtClass::Write
+        } else {
+            StmtClass::Read
+        })
+    }
+
+    /// Record the names a sequenced write makes effectful. Call this for
+    /// every write, in log order — later statements are classified against
+    /// the accumulated set.
+    pub fn observe_decl(&mut self, d: &Decl) {
+        match d {
+            // `val x = e;` — x is effectful if its value can carry an
+            // effect: e contains an effect node (possibly under a binder,
+            // i.e. x may be an effectful closure) or references an
+            // effectful name (aliasing / partial application).
+            Decl::Val(x, e) => {
+                if self.expr_carries_effect(e) {
+                    self.effectful.insert(x.clone());
+                }
+            }
+            // `fun f … = e and g … = e';` — fixpoint over the group so
+            // mutual recursion converges: f is effectful if its body has
+            // an effect node or mentions an effectful name or an
+            // effectful sibling. Parameters shadow outer names.
+            Decl::Fun(binds) => {
+                let mut marked: BTreeSet<Name> = BTreeSet::new();
+                loop {
+                    let mut changed = false;
+                    for (f, params, body) in binds {
+                        if marked.contains(f) {
+                            continue;
+                        }
+                        let fv = free_vars(body);
+                        let dirty = has_effect_node(body)
+                            || fv.iter().any(|v| {
+                                !params.contains(v)
+                                    && (self.effectful.contains(v) || marked.contains(v))
+                            });
+                        if dirty {
+                            marked.insert(f.clone());
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                self.effectful.extend(marked);
+            }
+            // `class C = … and D = …;` — a class is effectful if any of
+            // its constituent expressions (own extent, include sources,
+            // viewing functions, predicates) carries an effect: querying
+            // the class then runs that code. Same group fixpoint (a class
+            // sourcing an effectful sibling is effectful too).
+            Decl::Classes(binds) => {
+                let mut marked: BTreeSet<Name> = BTreeSet::new();
+                loop {
+                    let mut changed = false;
+                    for (c, cd) in binds {
+                        if marked.contains(c) {
+                            continue;
+                        }
+                        let dirty = class_children(cd).into_iter().any(|e| {
+                            self.expr_carries_effect(e)
+                                || free_vars(e).iter().any(|v| marked.contains(v))
+                        });
+                        if dirty {
+                            marked.insert(c.clone());
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                self.effectful.extend(marked);
+            }
+            // A bare expression binds nothing. (It may *store* an
+            // effectful closure into a field — the storing statement is a
+            // write syntactically; the residual escape is the later
+            // indirect call, see the module docs.)
+            Decl::Expr(_) => {}
+        }
+    }
+
+    /// [`EffectSet::observe_decl`] over a parsed program, in order —
+    /// within one program, `fun f x = insert(C, x); val g = f;` marks both.
+    pub fn observe_program(&mut self, src: &str) -> Result<(), ParseError> {
+        for d in parse_program(src)? {
+            self.observe_decl(&d);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +369,94 @@ mod tests {
     #[test]
     fn parse_errors_surface() {
         assert!(classify_program("val = 3").is_err());
+    }
+
+    // ----- EffectSet: the declared-function escape and its closure -----
+
+    #[test]
+    fn call_of_declared_effectful_function_is_a_write() {
+        let mut fx = EffectSet::new();
+        // Purely syntactic classification misses this call…
+        assert_eq!(classify_program("f(o)").unwrap(), StmtClass::Read);
+        // …but after observing the declaration, the set catches it.
+        fx.observe_program("fun f x = insert(C, x);").unwrap();
+        assert!(fx.is_effectful("f"));
+        assert_eq!(fx.classify_program("f(o)").unwrap(), StmtClass::Write);
+        // Higher-order mention too: f is free in the statement.
+        assert_eq!(fx.classify_program("map(f, s)").unwrap(), StmtClass::Write);
+        // Unrelated reads stay reads.
+        assert_eq!(fx.classify_program("1 + 2").unwrap(), StmtClass::Read);
+        assert_eq!(fx.classify_program("g(o)").unwrap(), StmtClass::Read);
+    }
+
+    #[test]
+    fn aliases_of_effectful_names_propagate() {
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun f x = insert(C, x); val g = f;")
+            .unwrap();
+        assert!(fx.is_effectful("g"));
+        assert_eq!(fx.classify_program("g(o)").unwrap(), StmtClass::Write);
+        // An effectful closure bound by val is caught by the binder check.
+        fx.observe_program("val h = fn x => delete(C, x);").unwrap();
+        assert_eq!(fx.classify_program("h(o)").unwrap(), StmtClass::Write);
+    }
+
+    #[test]
+    fn mutual_recursion_reaches_a_fixpoint() {
+        let mut fx = EffectSet::new();
+        // g is effectful only through f; declared in one group.
+        fx.observe_program("fun f x = insert(C, x) and g y = f(y);")
+            .unwrap();
+        assert!(fx.is_effectful("f") && fx.is_effectful("g"));
+        // A pure group stays pure.
+        let mut pure = EffectSet::new();
+        pure.observe_program("fun even n = if n = 0 then true else odd(n - 1) and odd n = if n = 0 then false else even(n - 1);")
+            .unwrap();
+        assert!(pure.is_empty());
+    }
+
+    #[test]
+    fn parameters_shadow_effectful_names() {
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun f x = insert(C, x);").unwrap();
+        // `g`'s parameter f shadows the global: g is pure.
+        fx.observe_program("fun g f = f;").unwrap();
+        assert!(!fx.is_effectful("g"));
+        // Conservative direction: a local binder shadowing f still
+        // classifies the *statement* as a write (free_vars is exact, but
+        // `let f = … in f(1) end` has no free f — so this stays a read).
+        assert_eq!(
+            fx.classify_program("let f = fn x => x in f(1) end")
+                .unwrap(),
+            StmtClass::Read
+        );
+    }
+
+    #[test]
+    fn class_with_effectful_predicate_marks_queries_as_writes() {
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun track x = insert(Audit, x);")
+            .unwrap();
+        fx.observe_program(
+            "class Logged = class {} include Staff as fn x => [Name = x.Name] \
+             where fn x => query(fn p => track(p), x) end;",
+        )
+        .unwrap();
+        assert!(fx.is_effectful("Logged"));
+        assert_eq!(
+            fx.classify_program("cquery(fn s => s, Logged)").unwrap(),
+            StmtClass::Write
+        );
+        // A pure view class stays a read target.
+        fx.observe_program(
+            "class Female = class {} include Staff as fn x => [Name = x.Name] \
+             where fn x => query(fn p => p.Sex = \"female\", x) end;",
+        )
+        .unwrap();
+        assert!(!fx.is_effectful("Female"));
+        assert_eq!(
+            fx.classify_program("cquery(fn s => s, Female)").unwrap(),
+            StmtClass::Read
+        );
     }
 }

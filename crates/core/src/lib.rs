@@ -45,7 +45,7 @@ pub mod explain;
 pub mod prelude;
 pub mod prepare;
 
-pub use classify::{classify_decl, classify_expr, classify_program, StmtClass};
+pub use classify::{classify_decl, classify_expr, classify_program, EffectSet, StmtClass};
 pub use database::Database;
 pub use engine::{Engine, Outcome, ReplaySummary};
 pub use error::Error;

@@ -13,8 +13,11 @@
 //! engine, and keeps the replicas in lock-step with an append-only
 //! **declaration log** ([`DeclLog`]):
 //!
-//! * **writes** (top-level declarations, `insert`/`delete`/`update` —
-//!   classified by [`polyview::classify`], the single source of truth) are
+//! * **writes** (top-level declarations, `insert`/`delete`/`update`, and
+//!   any statement mentioning a name the pool's [`polyview::EffectSet`]
+//!   knows is effectful — e.g. a call to a previously declared
+//!   `fun f x = insert(C, x)`; see `classify`'s module docs for why the
+//!   name-aware set, not bare syntax, is the single source of truth) are
 //!   sequenced through the log and replayed deterministically on every
 //!   replica, so each worker's top-level environments, prepared-statement
 //!   cache, and `env_epoch` evolve identically;
@@ -156,9 +159,24 @@ pub enum PoolError {
     /// ([`Pool::submit_read`] given a write, or [`Pool::submit_write`]
     /// given a read). Use [`Pool::submit`] to auto-route.
     Misrouted { expected: StmtClass, got: StmtClass },
-    /// The serving worker died before replying (its respawn replays the
-    /// log, but in-flight requests are lost — resubmit).
-    WorkerLost,
+    /// The serving worker died before replying. **Whether to resubmit
+    /// depends on what was lost:**
+    ///
+    /// * `sequenced: None` — a read (or control request). It had no
+    ///   effect; resubmit freely.
+    /// * `sequenced: Some(offset)` — a **write**. It was already pushed
+    ///   into the declaration log at `offset` before the worker died, so
+    ///   every replica — including the dead worker's respawn, which
+    ///   replays from offset 0 — **will apply it**. Only its outcome
+    ///   string was lost. Resubmitting would sequence it a *second* time
+    ///   and double-apply it (e.g. a duplicate `insert`). To observe the
+    ///   outcome, re-run an equivalent read after a
+    ///   [`Pool::barrier`].
+    WorkerLost {
+        /// The log offset the lost request was sequenced at, if it was a
+        /// write. `None` for reads and control requests.
+        sequenced: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for PoolError {
@@ -173,8 +191,20 @@ impl std::fmt::Display for PoolError {
                 f,
                 "misrouted statement: submitted as a {expected} but classified as a {got}"
             ),
-            PoolError::WorkerLost => {
-                write!(f, "pool worker died before replying; resubmit the request")
+            PoolError::WorkerLost { sequenced: None } => {
+                write!(
+                    f,
+                    "pool worker died before replying; the request had no effect and is safe to resubmit"
+                )
+            }
+            PoolError::WorkerLost {
+                sequenced: Some(offset),
+            } => {
+                write!(
+                    f,
+                    "pool worker died before replying, but the write was already sequenced at log \
+                     offset {offset} and will be applied by every replica — do not resubmit it"
+                )
             }
         }
     }
@@ -215,6 +245,6 @@ impl PoolError {
         matches!(self, PoolError::Misrouted { .. })
     }
     pub fn is_worker_lost(&self) -> bool {
-        matches!(self, PoolError::WorkerLost)
+        matches!(self, PoolError::WorkerLost { .. })
     }
 }

@@ -12,7 +12,7 @@ use crate::log::DeclLog;
 use crate::supervisor::{spawn_worker, WorkerHandle};
 use crate::worker::Request;
 use crate::{PoolConfig, PoolError};
-use polyview::{classify_program, StmtClass};
+use polyview::{EffectSet, StmtClass};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TrySendError};
 use std::sync::Arc;
@@ -45,6 +45,8 @@ impl<T> Submit<T> {
 #[derive(Debug)]
 pub struct Ticket {
     worker: usize,
+    /// For writes, the log offset the statement was sequenced at.
+    sequenced: Option<u64>,
     rx: Receiver<Result<String, PoolError>>,
 }
 
@@ -54,11 +56,23 @@ impl Ticket {
         self.worker
     }
 
+    /// The log offset this request was sequenced at, if it is a write.
+    /// A write ticket's statement is durably in the declaration log — it
+    /// will be applied by every replica whether or not the reply arrives.
+    pub fn sequenced(&self) -> Option<u64> {
+        self.sequenced
+    }
+
     /// Block until the worker replies. If the worker dies first, resolves
     /// to [`PoolError::WorkerLost`] (the supervisor respawns the worker on
-    /// the pool's next interaction; resubmit the request).
+    /// the pool's next interaction). A lost *read* is safe to resubmit; a
+    /// lost *write* carries `sequenced: Some(offset)` and **must not be
+    /// resubmitted** — it is already in the log and will be applied by
+    /// every replica, only its outcome string was lost.
     pub fn wait(self) -> Result<String, PoolError> {
-        self.rx.recv().unwrap_or(Err(PoolError::WorkerLost))
+        self.rx.recv().unwrap_or(Err(PoolError::WorkerLost {
+            sequenced: self.sequenced,
+        }))
     }
 }
 
@@ -84,6 +98,11 @@ pub struct Pool {
     pub(crate) cfg: PoolConfig,
     pub(crate) log: Arc<DeclLog>,
     pub(crate) workers: Vec<WorkerHandle>,
+    /// Names declared effectful by sequenced writes — the router-side half
+    /// of classification ([`polyview::EffectSet`]). Kept in lockstep with
+    /// the log: updated the moment a write is sequenced, so a later
+    /// `f(o)` routes as a write even though it is syntactically pure.
+    pub(crate) effects: EffectSet,
     pub(crate) respawns: u64,
     pub(crate) submitted_reads: u64,
     pub(crate) submitted_writes: u64,
@@ -94,6 +113,13 @@ impl Pool {
     pub fn new(cfg: PoolConfig) -> Pool {
         assert!(cfg.workers >= 1, "a pool needs at least one worker");
         let log = Arc::new(DeclLog::new());
+        let mut effects = EffectSet::new();
+        if cfg.load_prelude {
+            // Replicas load the prelude before serving; classification
+            // must see the same declarations (the prelude is pure today,
+            // but that is not this module's invariant to assume).
+            let _ = effects.observe_program(polyview::prelude::PRELUDE);
+        }
         let workers = (0..cfg.workers)
             .map(|i| spawn_worker(i, 0, &cfg, &log))
             .collect();
@@ -101,6 +127,7 @@ impl Pool {
             cfg,
             log,
             workers,
+            effects,
             respawns: 0,
             submitted_reads: 0,
             submitted_writes: 0,
@@ -136,11 +163,18 @@ impl Pool {
         (splitmix64(session) % self.workers.len() as u64) as usize
     }
 
-    /// Classify `src` ([`polyview::classify`], the single source of
-    /// truth) and route it: reads to the session's affinity worker, writes
-    /// through the declaration log.
+    /// Classify `src` against the pool's [`EffectSet`] — syntax *plus*
+    /// names that sequenced writes made effectful (`classify`'s module
+    /// docs explain why bare syntax is not enough: `f(o)` after
+    /// `fun f x = insert(C, x);` must be a write).
+    pub fn classify(&self, src: &str) -> Result<StmtClass, PoolError> {
+        Ok(self.effects.classify_program(src)?)
+    }
+
+    /// Classify `src` ([`Pool::classify`]) and route it: reads to the
+    /// session's affinity worker, writes through the declaration log.
     pub fn submit(&mut self, session: u64, src: &str) -> Result<Submit<Ticket>, PoolError> {
-        match classify_program(src)? {
+        match self.classify(src)? {
             StmtClass::Read => {
                 let worker = self.worker_for(session);
                 Ok(self.dispatch_read(worker, src))
@@ -156,7 +190,7 @@ impl Pool {
     /// [`PoolError::Misrouted`] *before* anything is enqueued, so a
     /// mis-labelled mutation can never bypass log sequencing.
     pub fn submit_read(&mut self, session: u64, src: &str) -> Result<Submit<Ticket>, PoolError> {
-        match classify_program(src)? {
+        match self.classify(src)? {
             StmtClass::Read => {
                 let worker = self.worker_for(session);
                 Ok(self.dispatch_read(worker, src))
@@ -170,9 +204,13 @@ impl Pool {
 
     /// Submit a statement that must be a write. Rejecting reads keeps the
     /// log free of no-op entries (every replica would replay them
-    /// forever).
+    /// forever). For the one classification blind spot — calling an
+    /// effectful closure reached through *data* rather than a name (see
+    /// `classify`'s module docs) — wrap the call in a declaration
+    /// (`val it = …;`): declarations always classify as writes, which
+    /// forces sequencing.
     pub fn submit_write(&mut self, session: u64, src: &str) -> Result<Submit<Ticket>, PoolError> {
-        match classify_program(src)? {
+        match self.classify(src)? {
             StmtClass::Write => {
                 let worker = self.worker_for(session);
                 Ok(self.dispatch_write(worker, src))
@@ -184,15 +222,32 @@ impl Pool {
         }
     }
 
-    /// Blocking convenience over [`Pool::submit`]: spins (yielding) on
-    /// backpressure and waits for the reply. REPL-style callers want
-    /// exactly this; servers should use `submit` and handle
-    /// [`Submit::Full`] themselves.
+    /// Blocking convenience over [`Pool::submit`]: waits out backpressure
+    /// (sleeping with capped exponential backoff between retries — never a
+    /// hot spin) and waits for the reply. Classification runs **once**,
+    /// not per retry. REPL-style callers want exactly this; servers should
+    /// use `submit` and handle [`Submit::Full`] themselves.
     pub fn run(&mut self, session: u64, src: &str) -> Result<String, PoolError> {
+        let class = self.classify(src)?;
+        let worker = self.worker_for(session);
+        let mut backoff = std::time::Duration::from_micros(50);
         loop {
-            match self.submit(session, src)? {
+            let submit = match class {
+                StmtClass::Read => self.dispatch_read(worker, src),
+                StmtClass::Write => self.dispatch_write(worker, src),
+            };
+            match submit {
                 Submit::Queued(ticket) => return ticket.wait(),
-                Submit::Full => std::thread::yield_now(),
+                Submit::Full => {
+                    // The queue is full because the worker is busy (or
+                    // paused): sleep rather than spin, backing off to a
+                    // bound that keeps a wedged worker from pinning this
+                    // core while staying responsive once it drains.
+                    // `dispatch_*` re-runs supervision each retry, so a
+                    // *dead* worker is respawned, not waited on.
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(std::time::Duration::from_millis(5));
+                }
             }
         }
     }
@@ -201,8 +256,16 @@ impl Pool {
     /// for the reply. The request still carries the current log length, so
     /// the replica catches up before answering — this is the probe the
     /// convergence tests use to check that every replica answers a query
-    /// identically.
+    /// identically. A statement classifying as a write is rejected
+    /// ([`PoolError::Misrouted`]): executing it on one replica only would
+    /// diverge the pool.
     pub fn probe_worker(&mut self, worker: usize, src: &str) -> Result<String, PoolError> {
+        if let got @ StmtClass::Write = self.classify(src)? {
+            return Err(PoolError::Misrouted {
+                expected: StmtClass::Read,
+                got,
+            });
+        }
         self.supervise();
         let min_offset = self.log.len();
         let (reply, rx) = sync_channel(1);
@@ -212,9 +275,10 @@ impl Pool {
             reply,
         };
         if self.blocking_send(worker, req).is_err() {
-            return Err(PoolError::WorkerLost);
+            return Err(PoolError::WorkerLost { sequenced: None });
         }
-        rx.recv().unwrap_or(Err(PoolError::WorkerLost))
+        rx.recv()
+            .unwrap_or(Err(PoolError::WorkerLost { sequenced: None }))
     }
 
     /// Wait until every replica has applied every write sequenced so far.
@@ -231,13 +295,16 @@ impl Pool {
                 .blocking_send(i, Request::Barrier { upto, reply })
                 .is_err()
             {
-                return Err(PoolError::WorkerLost);
+                return Err(PoolError::WorkerLost { sequenced: None });
             }
             pending.push(rx);
         }
         let mut applied = Vec::with_capacity(pending.len());
         for rx in pending {
-            applied.push(rx.recv().map_err(|_| PoolError::WorkerLost)?);
+            applied.push(
+                rx.recv()
+                    .map_err(|_| PoolError::WorkerLost { sequenced: None })?,
+            );
         }
         Ok(applied)
     }
@@ -254,7 +321,7 @@ impl Pool {
             .blocking_send(worker, Request::Pause { gate: grx })
             .is_err()
         {
-            return Err(PoolError::WorkerLost);
+            return Err(PoolError::WorkerLost { sequenced: None });
         }
         Ok(WorkerGate { _tx: gtx })
     }
@@ -317,7 +384,11 @@ impl Pool {
         match self.try_send(worker, req) {
             Ok(()) => {
                 self.submitted_reads += 1;
-                Submit::Queued(Ticket { worker, rx })
+                Submit::Queued(Ticket {
+                    worker,
+                    sequenced: None,
+                    rx,
+                })
             }
             Err(()) => {
                 self.rejected_full += 1;
@@ -336,6 +407,13 @@ impl Pool {
         // entry is in place.
         let mut entries = self.log.lock();
         let offset = entries.len() as u64;
+        // Gauge before send, so the worker's decrement-on-dequeue can
+        // never observe (and wrap below) a count that excludes its own
+        // request; undone if the send fails.
+        self.workers[worker]
+            .shared
+            .depth
+            .fetch_add(1, Ordering::Relaxed);
         match self.workers[worker]
             .tx
             .try_send(Request::Write { offset, reply })
@@ -343,10 +421,10 @@ impl Pool {
             Ok(()) => {
                 entries.push(Arc::from(src));
                 drop(entries);
-                self.workers[worker]
-                    .shared
-                    .depth
-                    .fetch_add(1, Ordering::Relaxed);
+                // The write is sequenced: record the names it makes
+                // effectful, so later statements that *use* them classify
+                // as writes too (the declared-function escape).
+                let _ = self.effects.observe_program(src);
                 self.submitted_writes += 1;
                 // Eager propagation: nudge every other replica to replay
                 // the new entry now rather than on its next read. Best
@@ -358,9 +436,17 @@ impl Pool {
                         let _ = self.try_send(i, Request::CatchUp { upto: offset + 1 });
                     }
                 }
-                Submit::Queued(Ticket { worker, rx })
+                Submit::Queued(Ticket {
+                    worker,
+                    sequenced: Some(offset),
+                    rx,
+                })
             }
             Err(_) => {
+                self.workers[worker]
+                    .shared
+                    .depth
+                    .fetch_sub(1, Ordering::Relaxed);
                 drop(entries);
                 self.rejected_full += 1;
                 Submit::Full
@@ -368,36 +454,43 @@ impl Pool {
         }
     }
 
-    /// Non-blocking send with depth accounting. `Err(())` covers both a
-    /// full queue and a disconnected (dead) worker; for reads the caller
+    /// Non-blocking send with depth accounting — the gauge is incremented
+    /// *before* the send and rolled back on failure, so the worker's
+    /// decrement at dequeue always finds its own increment already in
+    /// place (no transient wrap past zero). `Err(())` covers both a full
+    /// queue and a disconnected (dead) worker; for reads the caller
     /// reports backpressure either way and the dead worker is respawned on
     /// the next interaction.
     fn try_send(&mut self, worker: usize, req: Request) -> Result<(), ()> {
+        let depth = &self.workers[worker].shared.depth;
+        depth.fetch_add(1, Ordering::Relaxed);
         match self.workers[worker].tx.try_send(req) {
-            Ok(()) => {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 self.workers[worker]
                     .shared
                     .depth
-                    .fetch_add(1, Ordering::Relaxed);
-                Ok(())
+                    .fetch_sub(1, Ordering::Relaxed);
+                Err(())
             }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(()),
         }
     }
 
     /// Blocking send for control-plane requests (barrier, stats, pause,
     /// probe): waits out a momentarily full queue, errs only if the worker
-    /// is gone.
+    /// is gone. Same gauge discipline as [`Pool::try_send`].
     pub(crate) fn blocking_send(&mut self, worker: usize, req: Request) -> Result<(), ()> {
+        let depth = &self.workers[worker].shared.depth;
+        depth.fetch_add(1, Ordering::Relaxed);
         match self.workers[worker].tx.send(req) {
-            Ok(()) => {
+            Ok(()) => Ok(()),
+            Err(_) => {
                 self.workers[worker]
                     .shared
                     .depth
-                    .fetch_add(1, Ordering::Relaxed);
-                Ok(())
+                    .fetch_sub(1, Ordering::Relaxed);
+                Err(())
             }
-            Err(_) => Err(()),
         }
     }
 }

@@ -8,7 +8,12 @@
 //! ([`crate::log::DeclLog`]). In-flight requests on the dead worker's
 //! queue are lost; their tickets resolve to
 //! [`crate::PoolError::WorkerLost`] (the reply senders drop with the
-//! queue), and callers resubmit.
+//! queue). What a caller does next depends on what was lost: a **read**
+//! had no effect and is safely resubmitted, but a **write** was sequenced
+//! into the log *before* it was enqueued, so the respawn's replay (and
+//! every other replica) applies it anyway — only its outcome string is
+//! gone, and resubmitting would double-apply it. `WorkerLost::sequenced`
+//! carries the write's log offset so callers can tell the two apart.
 //!
 //! Supervision is pull-based: the router checks `JoinHandle::is_finished`
 //! on every pool interaction ([`Pool::supervise`]) rather than running a

@@ -131,7 +131,15 @@ pub(crate) fn worker_main(
     w.catch_up(backlog);
 
     while let Ok(req) = rx.recv() {
-        w.shared.depth.fetch_sub(1, Ordering::Relaxed);
+        // Saturating: every routed request increments the gauge before it
+        // is sent, but shutdown's best-effort `Shutdown` bypasses the
+        // accounting — clamp at zero rather than wrapping the gauge.
+        let _ = w
+            .shared
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
         match req {
             Request::Read {
                 src,

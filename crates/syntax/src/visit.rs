@@ -62,7 +62,9 @@ pub fn class_def_size(cd: &ClassDef) -> u64 {
     class_children(cd).into_iter().map(term_size).sum()
 }
 
-fn class_children(cd: &ClassDef) -> Vec<&Expr> {
+/// The constituent expressions of a class definition: its own extent and,
+/// per include clause, the sources, viewing function, and predicate.
+pub fn class_children(cd: &ClassDef) -> Vec<&Expr> {
     let mut v: Vec<&Expr> = vec![&cd.own];
     for inc in &cd.includes {
         v.extend(inc.sources.iter());

@@ -214,6 +214,99 @@ fn inflight_request_on_crashed_worker_reports_worker_lost() {
     pool.shutdown();
 }
 
+/// The declared-function escape is closed: a bare call of a previously
+/// declared effectful function contains no `insert` node syntactically,
+/// but the pool's effect set knows the name and routes it as a write —
+/// sequenced through the log and applied on every replica, never executed
+/// on a single one.
+#[test]
+fn effectful_function_calls_are_sequenced_as_writes() {
+    let mut pool = small_pool(3);
+    let s = 1;
+    pool.run(s, "class Staff = class {} end;").expect("class");
+    pool.run(s, "fun add x = insert(Staff, x);").expect("fun");
+
+    // submit_read rejects the call before anything is enqueued…
+    let call = "add(IDView([Name = \"Zoe\"]))";
+    assert!(pool
+        .submit_read(s, call)
+        .expect_err("misrouted")
+        .is_misrouted());
+    // …and so does probe_worker (serving it on one replica would diverge
+    // the pool).
+    assert!(pool
+        .probe_worker(0, call)
+        .expect_err("probe")
+        .is_misrouted());
+
+    // The auto-routing path sequences it.
+    let before = pool.log_len();
+    pool.run(s, call).expect("effectful call");
+    assert_eq!(pool.log_len(), before + 1, "the call went through the log");
+
+    // Aliases propagate effectfulness: `val add2 = add;` marks add2.
+    pool.run(s, "val add2 = add;").expect("alias");
+    pool.run(s, "add2(IDView([Name = \"Ida\"]))")
+        .expect("aliased call");
+
+    pool.barrier().expect("barrier");
+    let expected = pool.probe_worker(0, NAMES_QUERY).expect("probe");
+    assert!(
+        expected.contains("Zoe") && expected.contains("Ida"),
+        "{expected}"
+    );
+    for w in 1..pool.worker_count() {
+        assert_eq!(
+            pool.probe_worker(w, NAMES_QUERY).expect("probe"),
+            expected,
+            "replica {w} diverged"
+        );
+    }
+    pool.shutdown();
+}
+
+/// A write lost in flight was sequenced *before* it was enqueued, so the
+/// respawned worker replays it from the log: the error carries the offset
+/// (`sequenced: Some(_)`) and the caller must NOT resubmit — the effect
+/// lands exactly once without it.
+#[test]
+fn lost_write_is_already_sequenced_and_still_applies() {
+    let mut pool = Pool::new(PoolConfig::default().workers(1).queue_capacity(4));
+    let s = 2;
+    pool.run(s, "class Staff = class {} end;").expect("class");
+
+    // Hold the worker, queue a crash, then sequence a write *behind* the
+    // crash: the worker dies with the write still queued.
+    let gate = pool.pause_worker(0).expect("pause");
+    assert!(pool.queue_worker_panic(0), "crash queued");
+    let t = pool
+        .submit_write(s, "insert(Staff, IDView([Name = \"Ada\"]))")
+        .expect("classified")
+        .queued()
+        .expect("queued");
+    let offset = t.sequenced().expect("write tickets carry their offset");
+    assert_eq!(offset + 1, pool.log_len());
+    gate.release();
+    pool.await_worker_exit(0);
+    let err = t.wait().expect_err("lost");
+    assert_eq!(
+        err,
+        PoolError::WorkerLost {
+            sequenced: Some(offset)
+        }
+    );
+
+    // No resubmit: the respawn's replay applies the sequenced write.
+    // Exactly one Ada — resubmitting would have produced two.
+    pool.barrier().expect("barrier");
+    assert_eq!(
+        pool.probe_worker(0, NAMES_QUERY).expect("probe"),
+        "{\"Ada\"}"
+    );
+    assert_eq!(pool.stats().respawns, 1);
+    pool.shutdown();
+}
+
 /// Misrouted statements are rejected by classification — the single
 /// source of truth (`polyview::classify`) — before anything is enqueued
 /// or sequenced.
@@ -287,7 +380,7 @@ fn clean_shutdown_with_queued_work() {
     for t in tickets {
         match t.wait() {
             Ok(v) => assert_eq!(v, "25"),
-            Err(e) => assert_eq!(e, PoolError::WorkerLost),
+            Err(e) => assert_eq!(e, PoolError::WorkerLost { sequenced: None }),
         }
     }
 
