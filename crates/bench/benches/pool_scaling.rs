@@ -11,14 +11,19 @@
 //! every replica and re-compiles the next read on each of them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use polyview_pool::{Pool, PoolConfig, Submit};
+use polyview_pool::{CollectingEventSink, NullEventSink, Pool, PoolConfig, Submit};
 use std::hint::black_box;
+use std::sync::Arc;
 
 const BATCH: u64 = 256;
 const QUERY: &str = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
 
 fn seeded_pool(workers: usize) -> Pool {
-    let mut pool = Pool::new(PoolConfig::default().workers(workers).queue_capacity(64));
+    seeded_pool_with(PoolConfig::default().workers(workers).queue_capacity(64))
+}
+
+fn seeded_pool_with(cfg: PoolConfig) -> Pool {
+    let mut pool = Pool::new(cfg);
     pool.run(0, "class Staff = class {} end;").expect("class");
     for i in 0..64 {
         pool.run(
@@ -128,9 +133,71 @@ fn bench_mixed_workload(c: &mut Criterion) {
     group.finish();
 }
 
+/// One 90/10 batch (same shape as `E9_pool_mixed_90_10`), reusable across
+/// the telemetry-overhead variants.
+fn mixed_batch(pool: &mut Pool, sessions: u64) {
+    let mut tickets = Vec::with_capacity(BATCH as usize);
+    for i in 0..BATCH {
+        let (session, src) = if i % 10 == 9 {
+            (i % sessions, format!("val tick = {i};"))
+        } else {
+            (i % sessions, QUERY.to_string())
+        };
+        loop {
+            match pool.submit(session, &src).expect("classified") {
+                Submit::Queued(t) => break tickets.push(t),
+                Submit::Full => std::thread::yield_now(),
+            }
+        }
+    }
+    for t in tickets {
+        black_box(t.wait().expect("statement"));
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    // What does request telemetry (DESIGN.md §11) cost on the hot path?
+    // Three variants of the 4-worker 90/10 mix:
+    //   - `off`: telemetry disabled — the production default; the flag
+    //     check is the only per-request cost, so this must match
+    //     E9_pool_mixed_90_10/pool/4.
+    //   - `null_sink`: full instrumentation (clock reads, histogram
+    //     observations, event construction) with events discarded — the
+    //     intrinsic tracing overhead.
+    //   - `collecting_sink`: events retained in memory — adds one mutex
+    //     push per event, the worst in-process sink. The sink is drained
+    //     between iterations so the Vec never grows unboundedly.
+    let mut group = c.benchmark_group("E9_trace_overhead");
+    group.throughput(Throughput::Elements(BATCH));
+    const WORKERS: usize = 4;
+    let sessions = WORKERS as u64 * 4;
+    let base = || PoolConfig::default().workers(WORKERS).queue_capacity(64);
+
+    let mut pool = seeded_pool_with(base());
+    group.bench_function("off", |bch| bch.iter(|| mixed_batch(&mut pool, sessions)));
+    pool.shutdown();
+
+    let mut pool = seeded_pool_with(base().event_sink(Arc::new(NullEventSink)));
+    group.bench_function("null_sink", |bch| {
+        bch.iter(|| mixed_batch(&mut pool, sessions))
+    });
+    pool.shutdown();
+
+    let sink = Arc::new(CollectingEventSink::new());
+    let mut pool = seeded_pool_with(base().event_sink(sink.clone()));
+    group.bench_function("collecting_sink", |bch| {
+        bch.iter(|| {
+            mixed_batch(&mut pool, sessions);
+            black_box(sink.take().len());
+        })
+    });
+    pool.shutdown();
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = polyview_bench::quick();
-    targets = bench_read_scaling, bench_mixed_workload
+    targets = bench_read_scaling, bench_mixed_workload, bench_trace_overhead
 }
 criterion_main!(benches);

@@ -430,6 +430,20 @@ impl Engine {
         self.tracer.is_enabled()
     }
 
+    /// Stamp every subsequent phase span with `key = value` as its first
+    /// attribute, until [`Engine::clear_span_tag`]. An embedding layer
+    /// (the serving pool) uses this to tag parse/infer/translate/eval
+    /// spans with the request they run on behalf of, so one trace id
+    /// stitches the router's and the replica's views together.
+    pub fn set_span_tag(&mut self, key: impl Into<String>, value: u64) {
+        self.tracer.set_tag(Some((key.into(), value)));
+    }
+
+    /// Stop stamping phase spans (see [`Engine::set_span_tag`]).
+    pub fn clear_span_tag(&mut self) {
+        self.tracer.set_tag(None);
+    }
+
     /// Compile and run `src` with every phase timed and its work counters
     /// diffed, returning a per-statement [`Explain`] report.
     ///

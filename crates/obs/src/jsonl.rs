@@ -1,0 +1,336 @@
+//! A tiny std-only JSON *line* validator — enough to smoke-test our own
+//! JSON-lines exports (metrics, spans, events) without pulling in serde.
+//!
+//! [`check_object_line`] validates that a line is exactly one syntactically
+//! well-formed JSON object (full recursive-descent over values, UTF-8
+//! escapes included) and returns its top-level keys in order of
+//! appearance. It deliberately does *not* build a value tree: callers only
+//! need "is this parseable?" plus "which keys are present?" — the contract
+//! the `verify.sh` trace-smoke gate and `pool_server --trace` self-check
+//! assert.
+
+/// Why a line failed validation. The offset is a byte position into the
+/// line, for error messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    pub offset: usize,
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &'static str) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message,
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(message)
+        }
+    }
+
+    /// Parse a string literal, returning its unescaped contents.
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.bump() else {
+                return self.err("unterminated string");
+            };
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        // Surrogate pairs: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        if (0xD800..0xDC00).contains(&cp) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return self.err("unpaired high surrogate");
+                            }
+                            let low = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return self.err("invalid low surrogate");
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            match char::from_u32(c) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid surrogate pair"),
+                            }
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return self.err("unpaired low surrogate");
+                        } else {
+                            match char::from_u32(cp) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                    }
+                    _ => return self.err("invalid escape"),
+                },
+                0x00..=0x1F => return self.err("unescaped control character"),
+                0x20..=0x7F => out.push(b as char),
+                _ => {
+                    // Re-assemble the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or(JsonError {
+                        offset: start,
+                        message: "invalid utf-8",
+                    })?;
+                    while self.pos < start + len {
+                        self.pos += 1;
+                    }
+                    let slice = self.bytes.get(start..start + len).ok_or(JsonError {
+                        offset: start,
+                        message: "truncated utf-8",
+                    })?;
+                    let s = std::str::from_utf8(slice).map_err(|_| JsonError {
+                        offset: start,
+                        message: "invalid utf-8",
+                    })?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.bump() else {
+                return self.err("truncated \\u escape");
+            };
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return self.err("invalid \\u escape"),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return self.err("invalid number"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("invalid number fraction");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("invalid number exponent");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &'static str, message: &'static str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            self.err(message)
+        }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.object()?;
+                Ok(())
+            }
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true", "invalid literal"),
+            Some(b'f') => self.literal("false", "invalid literal"),
+            Some(b'n') => self.literal("null", "invalid literal"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected value"),
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.expect(b'[', "expected array")?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b']') => return Ok(()),
+                Some(b',') => continue,
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    /// Parse an object, returning its keys in order of appearance.
+    fn object(&mut self) -> Result<Vec<String>, JsonError> {
+        self.expect(b'{', "expected object")?;
+        let mut keys = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(keys);
+        }
+        loop {
+            self.skip_ws();
+            keys.push(self.string()?);
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b'}') => return Ok(keys),
+                Some(b',') => continue,
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+fn utf8_len(b: u8) -> Option<usize> {
+    match b {
+        0xC2..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF4 => Some(4),
+        _ => None,
+    }
+}
+
+/// Validate that `line` is exactly one well-formed JSON object (with
+/// nothing but whitespace around it) and return its top-level keys in
+/// order of appearance.
+pub fn check_object_line(line: &str) -> Result<Vec<String>, JsonError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let keys = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content after object");
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_our_export_shapes() {
+        let keys = check_object_line(
+            "{\"kind\":\"span\",\"name\":\"pool.completed\",\"trace_id\":3,\"parent\":3,\"start_ns\":1,\"dur_ns\":9,\"worker\":0}",
+        )
+        .expect("valid");
+        assert_eq!(
+            keys,
+            vec!["kind", "name", "trace_id", "parent", "start_ns", "dur_ns", "worker"]
+        );
+        let keys = check_object_line(
+            "{\"kind\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\"buckets\":[[2,1]]}",
+        )
+        .expect("valid");
+        assert_eq!(keys[0], "kind");
+    }
+
+    #[test]
+    fn accepts_nested_values_and_escapes() {
+        let keys = check_object_line(
+            " {\"a\\n\\u00e9\": [1, -2.5e3, true, false, null, {\"x\": []}], \"b\": \"\\ud83d\\ude00\"} ",
+        )
+        .expect("valid");
+        assert_eq!(keys, vec!["a\né", "b"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "[1,2]",
+            "{\"a\":1} trailing",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{a:1}",
+            "{\"a\":01}",
+            "{\"a\":+1}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":\"\\q\"}",
+            "{\"a\":\"\\ud800\"}",
+            "{\"a\":nul}",
+            "{\"a\":1",
+        ] {
+            assert!(check_object_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

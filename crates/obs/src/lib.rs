@@ -20,17 +20,28 @@
 //!   (keep records in memory, for tests), and [`JsonLinesSink`] (write one
 //!   JSON object per record to any [`std::io::Write`]).
 //!
-//! Everything is single-threaded by design, matching the engine: handles
-//! are `Rc`-shared with `Cell`/`RefCell` interiors, so hot paths pay an
-//! increment, not an atomic.
+//! The engine-side types are single-threaded by design, matching the
+//! engine: handles are `Rc`-shared with `Cell`/`RefCell` interiors, so hot
+//! paths pay an increment, not an atomic. Layers that cross threads (the
+//! serving pool) use the [`shared`] module — the `Send + Sync` atomic
+//! twins of the same vocabulary ([`SharedRegistry`], [`EventSink`],
+//! [`SharedClock`]) — and [`jsonl`] provides a tiny std-only JSON line
+//! checker for smoke-testing the exports.
 
 pub mod clock;
+pub mod jsonl;
 pub mod metrics;
+pub mod shared;
 pub mod sink;
 pub mod span;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use shared::{
+    CollectingEventSink, EventRecord, EventSink, JsonLinesEventSink, NullEventSink, SharedClock,
+    SharedCounter, SharedGauge, SharedHistogram, SharedManualClock, SharedRegistry,
+    SharedWallClock,
+};
 pub use sink::{CollectingSink, JsonLinesSink, NullSink, SpanRecord, TraceSink};
 pub use span::{Span, Tracer};
 

@@ -1,9 +1,10 @@
-//! A metrics registry: named monotone counters and log2-bucketed
-//! histograms, with a JSON-lines export.
+//! A metrics registry: named monotone counters, settable gauges, and
+//! log2-bucketed histograms, with a JSON-lines export.
 //!
-//! Handles ([`Counter`], [`Histogram`]) are `Rc`-shared with the registry,
-//! so a hot path resolves its metric once at construction time and then
-//! pays a `Cell` increment per event — no string hashing per observation.
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Rc`-shared with the
+//! registry, so a hot path resolves its metric once at construction time and
+//! then pays a `Cell` increment per event — no string hashing per
+//! observation.
 
 use crate::json_escape;
 use std::cell::{Cell, RefCell};
@@ -33,6 +34,19 @@ pub fn bucket_lower_bound(i: usize) -> u64 {
     }
 }
 
+/// Inclusive upper bound of a bucket: the largest value the bucket can
+/// hold. Bucket 0 holds only 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`, so
+/// its upper bound is `2^i - 1`; bucket 64 tops out at `u64::MAX`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 /// A named monotone counter. Cloning shares the underlying cell.
 #[derive(Clone, Debug, Default)]
 pub struct Counter(Rc<Cell<u64>>);
@@ -50,6 +64,31 @@ impl Counter {
     /// (e.g. the evaluator's fuel tally) into the registry at export time.
     pub fn set(&self, n: u64) {
         self.0.set(n);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A named settable gauge: a point-in-time level (queue depth, replay
+/// lag), not a monotone tally. Cloning shares the underlying cell. In the
+/// JSON-lines export a gauge carries `"kind":"gauge"`, so dashboards can
+/// tell levels from rates without name conventions.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Rc<Cell<u64>>);
+
+impl Gauge {
+    pub fn set(&self, n: u64) {
+        self.0.set(n);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().saturating_add(n));
+    }
+
+    pub fn sub(&self, n: u64) {
+        self.0.set(self.0.get().saturating_sub(n));
     }
 
     pub fn get(&self) -> u64 {
@@ -90,10 +129,48 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(usize, u64)>,
 }
 
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+}
+
 impl HistogramSnapshot {
     /// Mean observed value (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets.
+    ///
+    /// Walks the buckets until the cumulative count reaches `⌈q·count⌉`
+    /// observations and reports that bucket's **upper bound**
+    /// ([`bucket_upper_bound`]) — a conservative (over-)estimate with at
+    /// most 2× error, which is exactly the resolution the buckets store.
+    /// Refinements: an empty histogram reports 0, and the top bucket
+    /// reports the true recorded maximum instead of its bound (so p99 of a
+    /// histogram never exceeds the largest value ever observed).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        let mut last = 0usize;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            last = i;
+            if seen >= target {
+                break;
+            }
+        }
+        bucket_upper_bound(last).min(self.max)
     }
 }
 
@@ -142,15 +219,16 @@ impl Histogram {
     }
 }
 
-/// A registry of named counters and histograms.
+/// A registry of named counters, gauges, and histograms.
 ///
-/// `counter`/`histogram` are get-or-create: the first call mints the
-/// metric, later calls (and clones of the returned handle) share it.
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call mints
+/// the metric, later calls (and clones of the returned handle) share it.
 /// [`Registry::reset`] zeroes every metric *in place*, so handles resolved
 /// before the reset keep working.
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: RefCell<BTreeMap<String, Counter>>,
+    gauges: RefCell<BTreeMap<String, Gauge>>,
     histograms: RefCell<BTreeMap<String, Histogram>>,
 }
 
@@ -161,6 +239,14 @@ impl Registry {
 
     pub fn counter(&self, name: &str) -> Counter {
         self.counters
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
             .borrow_mut()
             .entry(name.to_string())
             .or_default()
@@ -184,21 +270,31 @@ impl Registry {
             .unwrap_or(0)
     }
 
-    /// Zero every counter and histogram, keeping existing handles live.
+    /// Current value of a gauge (0 if it was never created).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauges.borrow().get(name).map(|g| g.get()).unwrap_or(0)
+    }
+
+    /// Zero every counter, gauge, and histogram, keeping existing handles
+    /// live.
     pub fn reset(&self) {
         for c in self.counters.borrow().values() {
             c.set(0);
+        }
+        for g in self.gauges.borrow().values() {
+            g.set(0);
         }
         for h in self.histograms.borrow().values() {
             h.reset();
         }
     }
 
-    /// Export the registry as JSON lines: exactly one JSON object per line,
-    /// counters first, then histograms, each sorted by name.
+    /// Export the registry as JSON lines: exactly one JSON object per line
+    /// — counters first, then gauges, then histograms, each sorted by name.
     ///
     /// ```text
     /// {"kind":"counter","name":"engine.parses","value":3}
+    /// {"kind":"gauge","name":"pool.worker0.queue_depth","value":2}
     /// {"kind":"histogram","name":"phase.parse_ns","count":2,"sum":700,"min":300,"max":400,"buckets":[[9,2]]}
     /// ```
     ///
@@ -207,29 +303,43 @@ impl Registry {
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for (name, c) in self.counters.borrow().iter() {
-            out.push_str("{\"kind\":\"counter\",\"name\":\"");
-            json_escape(name, &mut out);
-            out.push_str(&format!("\",\"value\":{}}}\n", c.get()));
+            json_metric_value_line(&mut out, "counter", name, c.get());
+        }
+        for (name, g) in self.gauges.borrow().iter() {
+            json_metric_value_line(&mut out, "gauge", name, g.get());
         }
         for (name, h) in self.histograms.borrow().iter() {
-            let s = h.snapshot();
-            out.push_str("{\"kind\":\"histogram\",\"name\":\"");
-            json_escape(name, &mut out);
-            let min = if s.count == 0 { 0 } else { s.min };
-            out.push_str(&format!(
-                "\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
-                s.count, s.sum, min, s.max
-            ));
-            for (i, (idx, c)) in s.buckets.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!("[{idx},{c}]"));
-            }
-            out.push_str("]}\n");
+            json_histogram_line(&mut out, name, &h.snapshot());
         }
         out
     }
+}
+
+/// Render one `{"kind":…,"name":…,"value":…}` metric line (plus newline).
+pub(crate) fn json_metric_value_line(out: &mut String, kind: &str, name: &str, value: u64) {
+    out.push_str("{\"kind\":\"");
+    out.push_str(kind);
+    out.push_str("\",\"name\":\"");
+    json_escape(name, out);
+    out.push_str(&format!("\",\"value\":{value}}}\n"));
+}
+
+/// Render one histogram metric line (plus newline) from a snapshot.
+pub(crate) fn json_histogram_line(out: &mut String, name: &str, s: &HistogramSnapshot) {
+    out.push_str("{\"kind\":\"histogram\",\"name\":\"");
+    json_escape(name, out);
+    let min = if s.count == 0 { 0 } else { s.min };
+    out.push_str(&format!(
+        "\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        s.count, s.sum, min, s.max
+    ));
+    for (i, (idx, c)) in s.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{idx},{c}]"));
+    }
+    out.push_str("]}\n");
 }
 
 #[cfg(test)]
@@ -317,6 +427,74 @@ mod tests {
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn quantile_estimates_bucket_upper_bounds() {
+        let h = Histogram::default();
+        // 10 observations: 0, 1, 3, 3, 5, 9, 17, 33, 100, 1000.
+        // Buckets: 0→[0], 1→[1], 2→[3,3], 3→[5], 4→[9], 5→[17], 6→[33],
+        // 7→[100], 10→[1000].
+        for v in [0, 1, 3, 3, 5, 9, 17, 33, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // p50 → 5th observation → bucket 3 (values 4..=7) → upper bound 7.
+        assert_eq!(s.quantile(0.5), 7);
+        // p90 → 9th observation → bucket 7 (values 64..=127) → 127.
+        assert_eq!(s.quantile(0.9), 127);
+        // p99 → 10th observation → bucket 10, but the recorded max (1000)
+        // is tighter than the bucket bound (1023).
+        assert_eq!(s.quantile(0.99), 1000);
+        // p0 clamps to the first observation's bucket.
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 1000);
+        // Empty histogram → 0.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+        // A single observation answers every quantile with (at most) its
+        // own bucket bound clamped to itself.
+        let one = Histogram::default();
+        one.observe(6);
+        assert_eq!(one.snapshot().quantile(0.5), 6);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(11), 2047);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_are_settable_and_export_their_own_kind() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(2);
+        g.sub(3);
+        assert_eq!(g.get(), 4);
+        assert_eq!(reg.gauge_value("depth"), 4);
+        g.sub(100); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        g.set(9);
+        reg.counter("c").inc();
+        reg.histogram("h").observe(1);
+        let out = reg.to_json_lines();
+        let lines: Vec<&str> = out.lines().collect();
+        // Counters, then gauges, then histograms.
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"name\":\"c\",\"value\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"kind\":\"gauge\",\"name\":\"depth\",\"value\":9}"
+        );
+        assert!(lines[2].starts_with("{\"kind\":\"histogram\""));
+        reg.reset();
+        assert_eq!(g.get(), 0, "reset zeroes gauges in place");
     }
 
     #[test]

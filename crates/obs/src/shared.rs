@@ -1,0 +1,646 @@
+//! Thread-safe telemetry: the atomic twins of the `Rc`-based metrics and
+//! sinks, for layers that span threads (the serving pool).
+//!
+//! The engine-side registry (`crate::metrics`) is deliberately
+//! single-threaded — `Rc<Cell<_>>` handles cost an increment, not an
+//! atomic. A replicated pool is different: a request's life crosses the
+//! router thread, a worker thread, and whichever thread waits on the
+//! ticket, so anything that observes it must be `Send + Sync`. This module
+//! provides exactly that, still std-only:
+//!
+//! * [`SharedCounter`] / [`SharedGauge`] — `AtomicU64`-backed twins of
+//!   [`crate::Counter`] / [`crate::Gauge`].
+//! * [`SharedHistogram`] — the same log2 buckets as [`crate::Histogram`]
+//!   ([`crate::metrics::bucket_index`]), all-atomic, producing the same
+//!   [`HistogramSnapshot`] (so `quantile`/`mean` are shared code).
+//! * [`SharedRegistry`] — get-or-create metric naming with the same
+//!   `to_json_lines` contract as [`crate::Registry`] (one JSON object per
+//!   line; counters, then gauges, then histograms, each sorted by name).
+//! * [`EventSink`] + [`EventRecord`] — cross-thread trace events. An
+//!   `EventRecord` is a [`crate::SpanRecord`] extended with `trace_id` and
+//!   `parent` correlation fields; its JSON keeps `"kind":"span"` so span
+//!   tooling consumes both streams uniformly.
+//! * [`SharedClock`] — the `Send + Sync` time source; [`SharedWallClock`]
+//!   for production, [`SharedManualClock`] (atomic, step-advance,
+//!   read-counting) for deterministic tests.
+//!
+//! Consistency note: a [`SharedHistogram`] observation updates five atomics
+//! without a lock, so a concurrent snapshot is *monotone* (every recorded
+//! field is a value that existed) but not a consistent cut; under
+//! quiescence — barriers, test assertions — it is exact.
+
+use crate::json_escape;
+use crate::metrics::{
+    bucket_index, json_histogram_line, json_metric_value_line, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A named monotone counter shared across threads. Cloning shares the
+/// underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct SharedCounter(Arc<AtomicU64>);
+
+impl SharedCounter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value (mirroring a counter owned by another layer at
+    /// export time — same contract as [`crate::Counter::set`]).
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable level shared across threads (queue depth, replay lag).
+/// Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct SharedGauge(Arc<AtomicU64>);
+
+impl SharedGauge {
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Saturating decrement: a gauge never wraps below zero.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct SharedHistogramData {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for SharedHistogramData {
+    fn default() -> Self {
+        SharedHistogramData {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The thread-safe twin of [`crate::Histogram`]: identical log2 buckets,
+/// identical snapshot type, atomic updates. Cloning shares the data.
+#[derive(Clone, Debug, Default)]
+pub struct SharedHistogram(Arc<SharedHistogramData>);
+
+impl SharedHistogram {
+    pub fn observe(&self, v: u64) {
+        let h = &self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating, matching `crate::Histogram` — `fetch_add` would wrap.
+        let _ = h
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot into the same [`HistogramSnapshot`] the single-threaded
+    /// histogram produces (shared `mean`/`quantile` estimation).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &self.0;
+        HistogramSnapshot {
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            min: h.min.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((i, c))
+                })
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        let h = &self.0;
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A thread-safe registry of named shared metrics, with the same
+/// get-or-create handle semantics and the same JSON-lines export contract
+/// as [`crate::Registry`]. The maps are behind one mutex, taken only when
+/// *resolving* a handle or exporting — never per observation.
+#[derive(Debug, Default)]
+pub struct SharedRegistry {
+    inner: Mutex<SharedRegistryMaps>,
+}
+
+#[derive(Debug, Default)]
+struct SharedRegistryMaps {
+    counters: BTreeMap<String, SharedCounter>,
+    gauges: BTreeMap<String, SharedGauge>,
+    histograms: BTreeMap<String, SharedHistogram>,
+}
+
+impl SharedRegistry {
+    pub fn new() -> Self {
+        SharedRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedRegistryMaps> {
+        // Poison-tolerant: metric maps are only ever inserted into, so a
+        // panic mid-insert leaves them structurally sound.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn counter(&self, name: &str) -> SharedCounter {
+        self.lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> SharedGauge {
+        self.lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> SharedHistogram {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Current value of a counter (0 if it was never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0 if it was never created).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.lock().gauges.get(name).map(|g| g.get()).unwrap_or(0)
+    }
+
+    /// Zero every metric in place; existing handles stay live.
+    pub fn reset(&self) {
+        let maps = self.lock();
+        for c in maps.counters.values() {
+            c.set(0);
+        }
+        for g in maps.gauges.values() {
+            g.set(0);
+        }
+        for h in maps.histograms.values() {
+            h.reset();
+        }
+    }
+
+    /// Same format contract as [`crate::Registry::to_json_lines`]: one JSON
+    /// object per line — counters, then gauges, then histograms, each
+    /// sorted by name.
+    pub fn to_json_lines(&self) -> String {
+        let maps = self.lock();
+        let mut out = String::new();
+        for (name, c) in maps.counters.iter() {
+            json_metric_value_line(&mut out, "counter", name, c.get());
+        }
+        for (name, g) in maps.gauges.iter() {
+            json_metric_value_line(&mut out, "gauge", name, g.get());
+        }
+        for (name, h) in maps.histograms.iter() {
+            json_histogram_line(&mut out, name, &h.snapshot());
+        }
+        out
+    }
+}
+
+/// One cross-thread trace event: a [`crate::SpanRecord`] extended with the
+/// correlation fields that stitch a request's life together across
+/// threads.
+///
+/// * `trace_id` — the request this event belongs to (0 = no request, e.g.
+///   background replay work).
+/// * `parent` — set on events emitted *inside* another component on behalf
+///   of the request (a worker's engine phase spans carry the owning
+///   request id here); `None` on top-level lifecycle events.
+///
+/// Instantaneous lifecycle stamps are events with `dur_ns == 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    pub name: String,
+    pub trace_id: u64,
+    pub parent: Option<u64>,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub attrs: Vec<(String, u64)>,
+}
+
+impl EventRecord {
+    /// Render as a single-line JSON object. The shape is
+    /// [`crate::SpanRecord::to_json`]'s (`"kind":"span"`, flat integer
+    /// attributes) plus `trace_id` and — when present — `parent`, so span
+    /// tooling reads both streams.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"kind\":\"span\",\"name\":\"");
+        json_escape(&self.name, &mut out);
+        out.push_str(&format!("\",\"trace_id\":{}", self.trace_id));
+        if let Some(p) = self.parent {
+            out.push_str(&format!(",\"parent\":{p}"));
+        }
+        out.push_str(&format!(
+            ",\"start_ns\":{},\"dur_ns\":{}",
+            self.start_ns, self.dur_ns
+        ));
+        for (k, v) in &self.attrs {
+            out.push_str(",\"");
+            json_escape(k, &mut out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A thread-safe consumer of trace events — the `Send + Sync` twin of
+/// [`crate::TraceSink`]. Emission must never fail the traced request.
+pub trait EventSink: Send + Sync {
+    fn emit(&self, event: &EventRecord);
+}
+
+/// Discards every event.
+#[derive(Debug, Default)]
+pub struct NullEventSink;
+
+impl EventSink for NullEventSink {
+    fn emit(&self, _event: &EventRecord) {}
+}
+
+/// Keeps every event in memory, in emission order — the test sink.
+#[derive(Debug, Default)]
+pub struct CollectingEventSink {
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl CollectingEventSink {
+    pub fn new() -> Self {
+        CollectingEventSink::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<EventRecord>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A copy of the collected events, in emission order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.lock().clone()
+    }
+
+    /// Drain the collected events.
+    pub fn take(&self) -> Vec<EventRecord> {
+        std::mem::take(&mut *self.lock())
+    }
+}
+
+impl EventSink for CollectingEventSink {
+    fn emit(&self, event: &EventRecord) {
+        self.lock().push(event.clone());
+    }
+}
+
+/// Writes one JSON object per event to the wrapped writer. Write errors
+/// are swallowed: tracing must never fail the traced request.
+#[derive(Debug)]
+pub struct JsonLinesEventSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesEventSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonLinesEventSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonLinesEventSink<W> {
+    fn emit(&self, event: &EventRecord) {
+        let mut line = event.to_json();
+        line.push('\n');
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// A monotone nanosecond time source shared across threads — the
+/// `Send + Sync` twin of [`crate::Clock`].
+pub trait SharedClock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// [`Instant`]-backed shared clock; the origin is the moment of
+/// construction.
+#[derive(Debug)]
+pub struct SharedWallClock {
+    origin: Instant,
+}
+
+impl SharedWallClock {
+    pub fn new() -> Self {
+        SharedWallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SharedWallClock {
+    fn default() -> Self {
+        SharedWallClock::new()
+    }
+}
+
+impl SharedClock for SharedWallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic shared clock for tests: every read returns the current
+/// time and advances it by a fixed step (the atomic twin of
+/// [`crate::ManualClock`]), and reads are counted — the hook the
+/// "disabled tracing performs zero clock reads" assertions use.
+#[derive(Debug)]
+pub struct SharedManualClock {
+    now: AtomicU64,
+    step: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl SharedManualClock {
+    /// A frozen clock (step 0): time moves only via
+    /// [`SharedManualClock::advance`].
+    pub fn new() -> Self {
+        SharedManualClock::with_step(0)
+    }
+
+    /// A self-advancing clock: each read moves time forward by `step_ns`.
+    pub fn with_step(step_ns: u64) -> Self {
+        SharedManualClock {
+            now: AtomicU64::new(0),
+            step: AtomicU64::new(step_ns),
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Move time forward explicitly.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Change the per-read step.
+    pub fn set_step(&self, step_ns: u64) {
+        self.step.store(step_ns, Ordering::Relaxed);
+    }
+
+    /// The current reading, without advancing (and without counting a
+    /// read).
+    pub fn peek(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// How many times [`SharedClock::now_ns`] has been called.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for SharedManualClock {
+    fn default() -> Self {
+        SharedManualClock::new()
+    }
+}
+
+impl SharedClock for SharedManualClock {
+    fn now_ns(&self) -> u64 {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.now
+            .fetch_add(self.step.load(Ordering::Relaxed), Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_counter_and_gauge_share_state_across_clones_and_threads() {
+        let reg = SharedRegistry::new();
+        let c = reg.counter("x");
+        let g = reg.gauge("d");
+        let (c2, g2) = (c.clone(), g.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                c2.add(2);
+                g2.add(5);
+            });
+        });
+        c.inc();
+        g.sub(2);
+        assert_eq!(reg.counter_value("x"), 3);
+        assert_eq!(reg.gauge_value("d"), 3);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauges saturate at zero");
+    }
+
+    #[test]
+    fn shared_histogram_matches_local_histogram_snapshot() {
+        let shared = SharedHistogram::default();
+        let local = crate::Histogram::default();
+        for v in [0, 1, 5, 5, 300, u64::MAX] {
+            shared.observe(v);
+            local.observe(v);
+        }
+        assert_eq!(shared.snapshot(), local.snapshot());
+        assert_eq!(
+            shared.snapshot().quantile(0.5),
+            local.snapshot().quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn shared_registry_json_lines_match_contract() {
+        let reg = SharedRegistry::new();
+        reg.counter("b.count").add(2);
+        reg.counter("a.count").inc();
+        reg.gauge("depth").set(4);
+        reg.histogram("h").observe(3);
+        let out = reg.to_json_lines();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"name\":\"a.count\",\"value\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"kind\":\"counter\",\"name\":\"b.count\",\"value\":2}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"kind\":\"gauge\",\"name\":\"depth\",\"value\":4}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"kind\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\"buckets\":[[2,1]]}"
+        );
+        reg.reset();
+        assert_eq!(reg.counter_value("a.count"), 0);
+        assert_eq!(reg.gauge_value("depth"), 0);
+        assert_eq!(reg.histogram("h").count(), 0);
+    }
+
+    #[test]
+    fn event_record_json_shape() {
+        let ev = EventRecord {
+            name: "pool.dequeued".into(),
+            trace_id: 7,
+            parent: None,
+            start_ns: 10,
+            dur_ns: 3,
+            attrs: vec![("worker".into(), 1)],
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"kind\":\"span\",\"name\":\"pool.dequeued\",\"trace_id\":7,\"start_ns\":10,\"dur_ns\":3,\"worker\":1}"
+        );
+        let child = EventRecord {
+            name: "engine.parse".into(),
+            trace_id: 7,
+            parent: Some(7),
+            start_ns: 12,
+            dur_ns: 1,
+            attrs: vec![],
+        };
+        assert_eq!(
+            child.to_json(),
+            "{\"kind\":\"span\",\"name\":\"engine.parse\",\"trace_id\":7,\"parent\":7,\"start_ns\":12,\"dur_ns\":1}"
+        );
+    }
+
+    #[test]
+    fn sinks_collect_and_serialize_across_threads() {
+        let sink = Arc::new(CollectingEventSink::new());
+        let ev = EventRecord {
+            name: "e".into(),
+            trace_id: 1,
+            parent: None,
+            start_ns: 0,
+            dur_ns: 0,
+            attrs: vec![],
+        };
+        std::thread::scope(|s| {
+            let sink2 = Arc::clone(&sink);
+            let ev2 = ev.clone();
+            s.spawn(move || sink2.emit(&ev2));
+        });
+        sink.emit(&ev);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+
+        let json = JsonLinesEventSink::new(Vec::new());
+        json.emit(&ev);
+        json.emit(&ev);
+        let text = String::from_utf8(json.into_inner()).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        NullEventSink.emit(&ev);
+    }
+
+    #[test]
+    fn shared_manual_clock_steps_and_counts_reads() {
+        let c = SharedManualClock::with_step(100);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 100);
+        c.advance(5);
+        assert_eq!(c.now_ns(), 205);
+        assert_eq!(c.peek(), 305);
+        assert_eq!(c.reads(), 3, "peek does not count as a read");
+        let frozen = SharedManualClock::new();
+        assert_eq!(frozen.now_ns(), 0);
+        assert_eq!(frozen.now_ns(), 0);
+    }
+
+    #[test]
+    fn shared_wall_clock_is_monotone() {
+        let c = SharedWallClock::new();
+        let a = c.now_ns();
+        assert!(c.now_ns() >= a);
+    }
+}

@@ -17,6 +17,7 @@ pub struct Tracer {
     clock: Rc<dyn Clock>,
     sink: Rc<dyn TraceSink>,
     enabled: bool,
+    tag: Option<(String, u64)>,
 }
 
 impl Tracer {
@@ -26,6 +27,7 @@ impl Tracer {
             clock: Rc::new(WallClock::new()),
             sink: Rc::new(NullSink),
             enabled: false,
+            tag: None,
         }
     }
 
@@ -34,6 +36,7 @@ impl Tracer {
             clock,
             sink,
             enabled: true,
+            tag: None,
         }
     }
 
@@ -51,6 +54,14 @@ impl Tracer {
         self.enabled = enabled;
     }
 
+    /// Set (or clear, with `None`) a correlation tag. While set, every
+    /// span started by this tracer carries it as its first attribute —
+    /// this is how an embedding layer (the pool worker) stamps engine
+    /// phase spans with the request they run on behalf of.
+    pub fn set_tag(&mut self, tag: Option<(String, u64)>) {
+        self.tag = tag;
+    }
+
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
@@ -59,12 +70,17 @@ impl Tracer {
         self.clock.now_ns()
     }
 
-    /// Start a span at the current clock reading.
+    /// Start a span at the current clock reading. If a correlation tag is
+    /// set, the span starts with it as its first attribute.
     pub fn span(&self, name: impl Into<String>) -> Span {
         Span {
             name: name.into(),
             start_ns: self.clock.now_ns(),
-            attrs: Vec::new(),
+            attrs: self
+                .tag
+                .as_ref()
+                .map(|(k, v)| vec![(k.clone(), *v)])
+                .unwrap_or_default(),
         }
     }
 
@@ -156,5 +172,23 @@ mod tests {
         tracer.set_clock(Rc::new(ManualClock::with_step(33)));
         let sp = tracer.span("parse");
         assert_eq!(sp.finish(&tracer), 33);
+    }
+
+    #[test]
+    fn tag_is_seeded_as_first_attr_while_set() {
+        let sink = Rc::new(CollectingSink::new());
+        let mut tracer = Tracer::new(Rc::new(ManualClock::with_step(1)), sink.clone());
+        tracer.set_tag(Some(("request_id".into(), 42)));
+        let mut sp = tracer.span("parse");
+        sp.attr("tokens", 9);
+        sp.finish(&tracer);
+        tracer.set_tag(None);
+        tracer.span("parse").finish(&tracer);
+        let spans = sink.spans();
+        assert_eq!(
+            spans[0].attrs,
+            vec![("request_id".to_string(), 42), ("tokens".to_string(), 9)]
+        );
+        assert!(spans[1].attrs.is_empty(), "cleared tag must not leak");
     }
 }

@@ -59,16 +59,24 @@ mod log;
 mod router;
 mod stats;
 mod supervisor;
+mod telemetry;
 mod worker;
 
 pub use crate::log::DeclLog;
+pub use polyview::obs::{
+    CollectingEventSink, EventRecord, EventSink, JsonLinesEventSink, NullEventSink, SharedClock,
+    SharedManualClock, SharedWallClock,
+};
 pub use polyview::StmtClass;
 pub use router::{Pool, Submit, Ticket, WorkerGate};
 pub use stats::{PoolStats, WorkerStats};
+pub use telemetry::SlowRequest;
 pub use worker::WorkerReport;
 
+use std::sync::Arc;
+
 /// Construction-time knobs for a [`Pool`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct PoolConfig {
     /// Number of engine replicas (worker threads). Each owns a complete
     /// [`polyview::Engine`]; memory scales linearly.
@@ -93,6 +101,27 @@ pub struct PoolConfig {
     /// Load the standard prelude into every replica at spawn (before any
     /// log replay; all replicas do it, so they stay in lock-step).
     pub load_prelude: bool,
+    /// Master switch for request telemetry (trace events, latency
+    /// histograms, slow log). Default **off**: the disabled path is a
+    /// near-no-op — one branch per submit, no clock reads, no sink calls.
+    /// Flipped on automatically by [`PoolConfig::event_sink`] and
+    /// [`PoolConfig::slow_threshold_ns`].
+    pub telemetry_enabled: bool,
+    /// Where trace events go when telemetry is enabled. Default:
+    /// [`NullEventSink`] (histograms and the slow log still fill — the
+    /// sink only carries the per-event records).
+    pub event_sink: Arc<dyn EventSink>,
+    /// The shared time source for every telemetry timestamp (router,
+    /// workers, and — bridged — the engines' own phase spans). Default:
+    /// [`SharedWallClock`]; inject a [`SharedManualClock`] for
+    /// deterministic timelines in tests.
+    pub telemetry_clock: Arc<dyn SharedClock>,
+    /// End-to-end latency at or above which a request is recorded in the
+    /// bounded slow-request ring ([`Pool::slow_requests`]). `None`
+    /// (default): no slow log.
+    pub slow_threshold_ns: Option<u64>,
+    /// Capacity of the slow-request ring (oldest entries evicted).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for PoolConfig {
@@ -103,7 +132,29 @@ impl Default for PoolConfig {
             stack_bytes: 256 * 1024 * 1024,
             fuel: None,
             load_prelude: false,
+            telemetry_enabled: false,
+            event_sink: Arc::new(NullEventSink),
+            telemetry_clock: Arc::new(SharedWallClock::new()),
+            slow_threshold_ns: None,
+            slow_log_capacity: 32,
         }
+    }
+}
+
+impl std::fmt::Debug for PoolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The sink and clock are `dyn` trait objects without `Debug`;
+        // everything else prints.
+        f.debug_struct("PoolConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("stack_bytes", &self.stack_bytes)
+            .field("fuel", &self.fuel)
+            .field("load_prelude", &self.load_prelude)
+            .field("telemetry_enabled", &self.telemetry_enabled)
+            .field("slow_threshold_ns", &self.slow_threshold_ns)
+            .field("slow_log_capacity", &self.slow_log_capacity)
+            .finish_non_exhaustive()
     }
 }
 
@@ -130,6 +181,41 @@ impl PoolConfig {
 
     pub fn load_prelude(mut self, yes: bool) -> Self {
         self.load_prelude = yes;
+        self
+    }
+
+    /// Explicitly enable or disable request telemetry (the sink and
+    /// threshold builders below enable it implicitly).
+    pub fn telemetry_enabled(mut self, yes: bool) -> Self {
+        self.telemetry_enabled = yes;
+        self
+    }
+
+    /// Install an event sink **and enable telemetry**.
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.event_sink = sink;
+        self.telemetry_enabled = true;
+        self
+    }
+
+    /// Replace the telemetry time source. Does *not* enable telemetry by
+    /// itself — tests inject a [`SharedManualClock`] precisely to assert
+    /// the disabled path never reads it.
+    pub fn telemetry_clock(mut self, clock: Arc<dyn SharedClock>) -> Self {
+        self.telemetry_clock = clock;
+        self
+    }
+
+    /// Record requests at or above `ns` end-to-end in the slow log, **and
+    /// enable telemetry**.
+    pub fn slow_threshold_ns(mut self, ns: u64) -> Self {
+        self.slow_threshold_ns = Some(ns);
+        self.telemetry_enabled = true;
+        self
+    }
+
+    pub fn slow_log_capacity(mut self, n: usize) -> Self {
+        self.slow_log_capacity = n;
         self
     }
 }

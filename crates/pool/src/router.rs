@@ -10,6 +10,7 @@
 
 use crate::log::DeclLog;
 use crate::supervisor::{spawn_worker, WorkerHandle};
+use crate::telemetry::{RequestTrace, SlowRequest, Telemetry};
 use crate::worker::Request;
 use crate::{PoolConfig, PoolError};
 use polyview::{EffectSet, StmtClass};
@@ -48,6 +49,24 @@ pub struct Ticket {
     /// For writes, the log offset the statement was sequenced at.
     sequenced: Option<u64>,
     rx: Receiver<Result<String, PoolError>>,
+    /// Telemetry context, carried so a dead worker still yields a
+    /// terminal `pool.worker_lost` event and an e2e observation.
+    trace: Option<TicketTrace>,
+}
+
+/// The ticket's half of the trace: enough to emit the terminal event if
+/// the worker never replies.
+struct TicketTrace {
+    telemetry: Arc<Telemetry>,
+    trace: RequestTrace,
+}
+
+impl std::fmt::Debug for TicketTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TicketTrace")
+            .field("trace", &self.trace)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Ticket {
@@ -70,9 +89,21 @@ impl Ticket {
     /// resubmitted** — it is already in the log and will be applied by
     /// every replica, only its outcome string was lost.
     pub fn wait(self) -> Result<String, PoolError> {
-        self.rx.recv().unwrap_or(Err(PoolError::WorkerLost {
-            sequenced: self.sequenced,
-        }))
+        match self.rx.recv() {
+            Ok(res) => res,
+            Err(_) => {
+                // The serving worker died with the request in flight: the
+                // worker-side terminal event never fired, so the ticket
+                // emits it — the trace still ends, and the e2e histogram
+                // still counts the request.
+                if let Some(tt) = &self.trace {
+                    tt.telemetry.note_worker_lost(&tt.trace, self.worker);
+                }
+                Err(PoolError::WorkerLost {
+                    sequenced: self.sequenced,
+                })
+            }
+        }
     }
 }
 
@@ -103,6 +134,10 @@ pub struct Pool {
     /// the log: updated the moment a write is sequenced, so a later
     /// `f(o)` routes as a write even though it is syntactically pure.
     pub(crate) effects: EffectSet,
+    /// Shared request telemetry (trace events, latency histograms, slow
+    /// log) — one instance for the pool's lifetime, shared with every
+    /// worker across respawns.
+    pub(crate) telemetry: Arc<Telemetry>,
     pub(crate) respawns: u64,
     pub(crate) submitted_reads: u64,
     pub(crate) submitted_writes: u64,
@@ -120,14 +155,16 @@ impl Pool {
             // but that is not this module's invariant to assume).
             let _ = effects.observe_program(polyview::prelude::PRELUDE);
         }
+        let telemetry = Arc::new(Telemetry::new(&cfg));
         let workers = (0..cfg.workers)
-            .map(|i| spawn_worker(i, 0, &cfg, &log))
+            .map(|i| spawn_worker(i, 0, &cfg, &log, &telemetry))
             .collect();
         Pool {
             cfg,
             log,
             workers,
             effects,
+            telemetry,
             respawns: 0,
             submitted_reads: 0,
             submitted_writes: 0,
@@ -177,11 +214,13 @@ impl Pool {
         match self.classify(src)? {
             StmtClass::Read => {
                 let worker = self.worker_for(session);
-                Ok(self.dispatch_read(worker, src))
+                let trace = self.telemetry.begin(session, StmtClass::Read);
+                Ok(self.dispatch_read(worker, src, trace))
             }
             StmtClass::Write => {
                 let worker = self.worker_for(session);
-                Ok(self.dispatch_write(worker, src))
+                let trace = self.telemetry.begin(session, StmtClass::Write);
+                Ok(self.dispatch_write(worker, src, trace))
             }
         }
     }
@@ -193,7 +232,8 @@ impl Pool {
         match self.classify(src)? {
             StmtClass::Read => {
                 let worker = self.worker_for(session);
-                Ok(self.dispatch_read(worker, src))
+                let trace = self.telemetry.begin(session, StmtClass::Read);
+                Ok(self.dispatch_read(worker, src, trace))
             }
             got @ StmtClass::Write => Err(PoolError::Misrouted {
                 expected: StmtClass::Read,
@@ -213,7 +253,8 @@ impl Pool {
         match self.classify(src)? {
             StmtClass::Write => {
                 let worker = self.worker_for(session);
-                Ok(self.dispatch_write(worker, src))
+                let trace = self.telemetry.begin(session, StmtClass::Write);
+                Ok(self.dispatch_write(worker, src, trace))
             }
             got @ StmtClass::Read => Err(PoolError::Misrouted {
                 expected: StmtClass::Write,
@@ -230,11 +271,15 @@ impl Pool {
     pub fn run(&mut self, session: u64, src: &str) -> Result<String, PoolError> {
         let class = self.classify(src)?;
         let worker = self.worker_for(session);
+        // One trace for the whole call: a backpressured retry re-stamps
+        // its enqueue time (after a `pool.rejected_full` event) rather
+        // than minting a fresh id, so the final timeline shows the waits.
+        let trace = self.telemetry.begin(session, class);
         let mut backoff = std::time::Duration::from_micros(50);
         loop {
             let submit = match class {
-                StmtClass::Read => self.dispatch_read(worker, src),
-                StmtClass::Write => self.dispatch_write(worker, src),
+                StmtClass::Read => self.dispatch_read(worker, src, trace),
+                StmtClass::Write => self.dispatch_write(worker, src, trace),
             };
             match submit {
                 Submit::Queued(ticket) => return ticket.wait(),
@@ -273,12 +318,21 @@ impl Pool {
             src: src.to_string(),
             min_offset,
             reply,
+            trace: None,
         };
         if self.blocking_send(worker, req).is_err() {
             return Err(PoolError::WorkerLost { sequenced: None });
         }
         rx.recv()
             .unwrap_or(Err(PoolError::WorkerLost { sequenced: None }))
+    }
+
+    /// The slow-request log, oldest first: every telemetry-tracked
+    /// request whose end-to-end latency met
+    /// [`crate::PoolConfig::slow_threshold_ns`], up to the configured ring
+    /// capacity. Empty when no threshold is set (the default).
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        self.telemetry.slow_requests()
     }
 
     /// Wait until every replica has applied every write sequenced so far.
@@ -372,32 +426,70 @@ impl Pool {
 
     // ----- dispatch internals -----
 
-    fn dispatch_read(&mut self, worker: usize, src: &str) -> Submit<Ticket> {
+    fn dispatch_read(
+        &mut self,
+        worker: usize,
+        src: &str,
+        mut trace: Option<RequestTrace>,
+    ) -> Submit<Ticket> {
         self.supervise();
         let min_offset = self.log.len();
+        // Stamp the enqueue time *before* the send: the worker can
+        // dequeue (and read the clock) the instant the send lands, and
+        // its reading must be ordered after ours for the queue wait to be
+        // well-defined.
+        if let Some(t) = trace.as_mut() {
+            self.telemetry.stamp_enqueue(t);
+        }
         let (reply, rx) = sync_channel(1);
         let req = Request::Read {
             src: src.to_string(),
             min_offset,
             reply,
+            trace,
         };
         match self.try_send(worker, req) {
             Ok(()) => {
                 self.submitted_reads += 1;
-                Submit::Queued(Ticket {
-                    worker,
-                    sequenced: None,
-                    rx,
-                })
+                if let Some(t) = &trace {
+                    self.telemetry.note_enqueued(t, worker, None);
+                }
+                Submit::Queued(self.ticket(worker, None, rx, trace))
             }
             Err(()) => {
                 self.rejected_full += 1;
+                if let Some(t) = &trace {
+                    self.telemetry.note_rejected(t, worker);
+                }
                 Submit::Full
             }
         }
     }
 
-    fn dispatch_write(&mut self, worker: usize, src: &str) -> Submit<Ticket> {
+    fn ticket(
+        &self,
+        worker: usize,
+        sequenced: Option<u64>,
+        rx: Receiver<Result<String, PoolError>>,
+        trace: Option<RequestTrace>,
+    ) -> Ticket {
+        Ticket {
+            worker,
+            sequenced,
+            rx,
+            trace: trace.map(|trace| TicketTrace {
+                telemetry: Arc::clone(&self.telemetry),
+                trace,
+            }),
+        }
+    }
+
+    fn dispatch_write(
+        &mut self,
+        worker: usize,
+        src: &str,
+        mut trace: Option<RequestTrace>,
+    ) -> Submit<Ticket> {
         self.supervise();
         let (reply, rx) = sync_channel(1);
         // Reserve the next offset and enqueue the apply-request while
@@ -407,6 +499,10 @@ impl Pool {
         // entry is in place.
         let mut entries = self.log.lock();
         let offset = entries.len() as u64;
+        // Enqueue stamp before the send (see `dispatch_read`).
+        if let Some(t) = trace.as_mut() {
+            self.telemetry.stamp_enqueue(t);
+        }
         // Gauge before send, so the worker's decrement-on-dequeue can
         // never observe (and wrap below) a count that excludes its own
         // request; undone if the send fails.
@@ -414,10 +510,11 @@ impl Pool {
             .shared
             .depth
             .fetch_add(1, Ordering::Relaxed);
-        match self.workers[worker]
-            .tx
-            .try_send(Request::Write { offset, reply })
-        {
+        match self.workers[worker].tx.try_send(Request::Write {
+            offset,
+            reply,
+            trace,
+        }) {
             Ok(()) => {
                 entries.push(Arc::from(src));
                 drop(entries);
@@ -426,6 +523,9 @@ impl Pool {
                 // as writes too (the declared-function escape).
                 let _ = self.effects.observe_program(src);
                 self.submitted_writes += 1;
+                if let Some(t) = &trace {
+                    self.telemetry.note_enqueued(t, worker, Some(offset));
+                }
                 // Eager propagation: nudge every other replica to replay
                 // the new entry now rather than on its next read. Best
                 // effort — a full queue just means that replica catches up
@@ -436,11 +536,7 @@ impl Pool {
                         let _ = self.try_send(i, Request::CatchUp { upto: offset + 1 });
                     }
                 }
-                Submit::Queued(Ticket {
-                    worker,
-                    sequenced: Some(offset),
-                    rx,
-                })
+                Submit::Queued(self.ticket(worker, Some(offset), rx, trace))
             }
             Err(_) => {
                 self.workers[worker]
@@ -449,6 +545,9 @@ impl Pool {
                     .fetch_sub(1, Ordering::Relaxed);
                 drop(entries);
                 self.rejected_full += 1;
+                if let Some(t) = &trace {
+                    self.telemetry.note_rejected(t, worker);
+                }
                 Submit::Full
             }
         }

@@ -11,8 +11,9 @@
 //! counters, and respawns.
 
 use crate::router::Pool;
+use crate::telemetry::SlowRequest;
 use crate::worker::{Request, WorkerReport};
-use polyview::obs::Registry;
+use polyview::obs::{HistogramSnapshot, Registry};
 use polyview::EngineStats;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::sync_channel;
@@ -52,6 +53,17 @@ pub struct PoolStats {
     /// Merged engine counters across all replicas.
     pub engine: EngineStats,
     pub per_worker: Vec<WorkerStats>,
+    /// Time spent queued, enqueue → dequeue (telemetry-tracked requests
+    /// only; empty when telemetry is off).
+    pub queue_wait: HistogramSnapshot,
+    /// Pre-serve log replay time.
+    pub catchup: HistogramSnapshot,
+    /// End-to-end latency of reads, submit → completion.
+    pub e2e_read: HistogramSnapshot,
+    /// End-to-end latency of writes.
+    pub e2e_write: HistogramSnapshot,
+    /// The slow-request ring (oldest first); see [`Pool::slow_requests`].
+    pub slow_requests: Vec<SlowRequest>,
 }
 
 impl std::fmt::Display for PoolStats {
@@ -77,6 +89,39 @@ impl std::fmt::Display for PoolStats {
                 w.queue_depth,
                 w.replay_errors,
                 w.env_epoch
+            )?;
+        }
+        for (name, h) in [
+            ("queue_wait", &self.queue_wait),
+            ("catchup   ", &self.catchup),
+            ("e2e read  ", &self.e2e_read),
+            ("e2e write ", &self.e2e_write),
+        ] {
+            if h.count > 0 {
+                writeln!(
+                    f,
+                    "latency    {name} n={} p50={}ns p95={}ns p99={}ns max={}ns",
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.max
+                )?;
+            }
+        }
+        for s in &self.slow_requests {
+            writeln!(
+                f,
+                "slow       id={} session={} worker={} gen={} class={} e2e={}ns queue={}ns catchup={}ns src={:?}",
+                s.id,
+                s.session,
+                s.worker,
+                s.generation,
+                s.class,
+                s.e2e_ns,
+                s.queue_wait_ns,
+                s.catchup_ns,
+                s.src
             )?;
         }
         write!(f, "{}", self.engine)
@@ -105,18 +150,28 @@ impl Pool {
             respawns: self.respawns,
             engine: EngineStats::default(),
             per_worker: Vec::new(),
+            queue_wait: self.telemetry.queue_wait_ns.snapshot(),
+            catchup: self.telemetry.catchup_ns.snapshot(),
+            e2e_read: self.telemetry.e2e_read_ns.snapshot(),
+            e2e_write: self.telemetry.e2e_write_ns.snapshot(),
+            slow_requests: self.telemetry.slow_requests(),
         }
     }
 
     /// Export pool metrics as JSON lines, in three layers:
     ///
     /// 1. `pool.*` counters — submissions, backpressure rejections,
-    ///    respawns, log length, and per-worker `pool.workerN.queue_depth`
-    ///    / `pool.workerN.replay_lag` / `pool.workerN.applied` gauges;
+    ///    respawns, log length — and per-worker `pool.workerN.queue_depth`
+    ///    / `pool.workerN.replay_lag` / `pool.workerN.applied` **gauges**
+    ///    (`"kind":"gauge"`: levels, not monotone counts);
     /// 2. merged engine counters under their usual names
     ///    (`engine.parses`, `types.unify_steps`, …), summed across
     ///    replicas;
-    /// 3. every replica's full registry (histograms included),
+    /// 3. the pool's request-latency histograms (`pool.queue_wait_ns`,
+    ///    `pool.catchup_ns`, `pool.e2e_read_ns`, `pool.e2e_write_ns` —
+    ///    all zero while telemetry is disabled) and one
+    ///    `pool.slow_requests` gauge;
+    /// 4. every replica's full registry (histograms included),
     ///    re-namespaced as `workerN.<metric>`.
     ///
     /// Same format contract as [`polyview::Engine::metrics_json`]: exactly
@@ -134,17 +189,21 @@ impl Pool {
             .set(stats.submitted_writes);
         reg.counter("pool.rejected_full").set(stats.rejected_full);
         reg.counter("pool.respawns").set(stats.respawns);
+        reg.gauge("pool.slow_requests")
+            .set(stats.slow_requests.len() as u64);
         for w in &stats.per_worker {
             let i = w.worker;
-            reg.counter(&format!("pool.worker{i}.queue_depth"))
+            reg.gauge(&format!("pool.worker{i}.queue_depth"))
                 .set(w.queue_depth);
-            reg.counter(&format!("pool.worker{i}.replay_lag"))
+            reg.gauge(&format!("pool.worker{i}.replay_lag"))
                 .set(w.replay_lag);
-            reg.counter(&format!("pool.worker{i}.applied"))
-                .set(w.applied);
+            reg.gauge(&format!("pool.worker{i}.applied")).set(w.applied);
         }
         set_engine_counters(&reg, &stats.engine);
         let mut out = reg.to_json_lines();
+        // The shared telemetry registry renders its own lines (same
+        // one-object-per-line contract): the latency histograms.
+        out.push_str(&self.telemetry.registry.to_json_lines());
 
         for r in reports.iter().flatten() {
             let prefix = format!("\"name\":\"worker{}.", r.worker);
@@ -205,6 +264,11 @@ impl Pool {
             respawns: self.respawns,
             engine,
             per_worker,
+            queue_wait: self.telemetry.queue_wait_ns.snapshot(),
+            catchup: self.telemetry.catchup_ns.snapshot(),
+            e2e_read: self.telemetry.e2e_read_ns.snapshot(),
+            e2e_write: self.telemetry.e2e_write_ns.snapshot(),
+            slow_requests: self.telemetry.slow_requests(),
         }
     }
 }

@@ -22,6 +22,7 @@
 
 use crate::log::DeclLog;
 use crate::router::Pool;
+use crate::telemetry::Telemetry;
 use crate::worker::{worker_main, Request, WorkerCfg, WorkerShared};
 use crate::PoolConfig;
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -46,6 +47,7 @@ pub(crate) fn spawn_worker(
     generation: u64,
     cfg: &PoolConfig,
     log: &Arc<DeclLog>,
+    telemetry: &Arc<Telemetry>,
 ) -> WorkerHandle {
     let (tx, rx) = sync_channel(cfg.queue_capacity);
     let shared = Arc::new(WorkerShared::default());
@@ -66,7 +68,8 @@ pub(crate) fn spawn_worker(
         .spawn({
             let log = Arc::clone(log);
             let shared = Arc::clone(&shared);
-            move || worker_main(index, generation, wcfg, log, shared, rx, backlog)
+            let telemetry = Arc::clone(telemetry);
+            move || worker_main(index, generation, wcfg, log, shared, telemetry, rx, backlog)
         })
         .expect("spawn pool worker thread");
     WorkerHandle {
@@ -87,7 +90,7 @@ impl Pool {
         for i in 0..self.workers.len() {
             if self.workers[i].join.is_finished() {
                 let generation = self.workers[i].generation + 1;
-                let fresh = spawn_worker(i, generation, &self.cfg, &self.log);
+                let fresh = spawn_worker(i, generation, &self.cfg, &self.log, &self.telemetry);
                 let old = std::mem::replace(&mut self.workers[i], fresh);
                 // Reap the dead thread; a panic here is already accounted
                 // for (that's why we are respawning).

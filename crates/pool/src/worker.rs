@@ -21,8 +21,11 @@
 //! provides on the single-engine path.
 
 use crate::log::DeclLog;
+use crate::telemetry::{RequestTrace, Telemetry};
 use crate::PoolError;
+use polyview::obs::{EventRecord, EventSink, SharedClock, SpanRecord};
 use polyview::{Engine, EngineStats, Outcome};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
@@ -37,12 +40,16 @@ pub(crate) enum Request {
         src: String,
         min_offset: u64,
         reply: SyncSender<Result<String, PoolError>>,
+        /// Telemetry context minted at submit (`None` when disabled, and
+        /// always for control-plane probes).
+        trace: Option<RequestTrace>,
     },
     /// Apply the log entry at `offset` (replaying any gap first) and reply
     /// with its outcome.
     Write {
         offset: u64,
         reply: SyncSender<Result<String, PoolError>>,
+        trace: Option<RequestTrace>,
     },
     /// Replay the log to at least `upto` (eager write propagation; safe to
     /// drop when the queue is full — the next offset-carrying request
@@ -99,12 +106,14 @@ pub(crate) struct WorkerCfg {
     pub load_prelude: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn worker_main(
     index: usize,
     generation: u64,
     cfg: WorkerCfg,
     log: Arc<DeclLog>,
     shared: Arc<WorkerShared>,
+    telemetry: Arc<Telemetry>,
     rx: Receiver<Request>,
     backlog: u64,
 ) {
@@ -115,8 +124,26 @@ pub(crate) fn worker_main(
         },
         log,
         shared,
+        index,
+        generation,
         applied: 0,
     };
+    if telemetry.enabled {
+        // Put the replica's engine on the pool's shared timeline and
+        // forward its phase spans (parse/infer/translate/eval) into the
+        // shared event stream, tagged with the serving request's trace id
+        // — this is what stitches the router's and the replica's views of
+        // one request together. Only wired when telemetry is on: the
+        // disabled pool never touches the shared clock or sink.
+        w.engine
+            .set_clock(Rc::new(ClockBridge(Arc::clone(&telemetry.clock))));
+        w.engine.set_trace_sink(Rc::new(SpanBridge {
+            sink: Arc::clone(&telemetry.sink),
+            worker: index,
+            generation,
+        }));
+    }
+    let telemetry = &*telemetry;
     if cfg.load_prelude {
         // Deterministic: every replica loads the same prelude before any
         // log entry, so epochs stay aligned.
@@ -145,12 +172,36 @@ pub(crate) fn worker_main(
                 src,
                 min_offset,
                 reply,
+                trace,
             } => {
+                let serve = w.begin_serve(telemetry, trace);
+                let before = w.applied;
                 w.catch_up(min_offset);
-                let _ = reply.try_send(w.eval_read(&src));
+                let serve = w.note_catchup(telemetry, serve, w.applied - before);
+                let res = w.eval_read(&src);
+                w.finish_serve(telemetry, serve, res.is_ok(), &src);
+                let _ = reply.try_send(res);
             }
-            Request::Write { offset, reply } => {
-                let _ = reply.try_send(w.apply_write(offset));
+            Request::Write {
+                offset,
+                reply,
+                trace,
+            } => {
+                let serve = w.begin_serve(telemetry, trace);
+                // Time the *gap* replay separately from the write itself:
+                // after this catch-up, `apply_write`'s own catch-up is a
+                // no-op and the write's cost lands in the engine phases.
+                let before = w.applied;
+                w.catch_up(offset);
+                let serve = w.note_catchup(telemetry, serve, w.applied - before);
+                let src = serve
+                    .is_some()
+                    .then(|| w.log.get(offset))
+                    .flatten()
+                    .unwrap_or_default();
+                let res = w.apply_write(offset);
+                w.finish_serve(telemetry, serve, res.is_ok(), &src);
+                let _ = reply.try_send(res);
             }
             Request::CatchUp { upto } => w.catch_up(upto),
             Request::Barrier { upto, reply } => {
@@ -174,12 +225,124 @@ struct Worker {
     engine: Engine,
     log: Arc<DeclLog>,
     shared: Arc<WorkerShared>,
+    index: usize,
+    generation: u64,
     /// Entries applied so far (exclusive upper offset). Mirrored into
     /// `shared.applied` for the router's lag gauge.
     applied: u64,
 }
 
+/// Worker-side timing state for one traced request, between dequeue and
+/// completion.
+struct ServeTrace {
+    trace: RequestTrace,
+    dequeued_ns: u64,
+    queue_wait_ns: u64,
+    catchup_ns: u64,
+}
+
+/// Adapts the pool's [`SharedClock`] to the engine's single-threaded
+/// [`polyview::obs::Clock`], so engine phase spans live on the same
+/// timeline as the pool lifecycle events.
+struct ClockBridge(Arc<dyn SharedClock>);
+
+impl polyview::obs::Clock for ClockBridge {
+    fn now_ns(&self) -> u64 {
+        self.0.now_ns()
+    }
+}
+
+/// Forwards the engine's phase [`SpanRecord`]s into the pool's shared
+/// [`EventSink`] as `engine.*` events. The trace id is recovered from the
+/// `request_id` span tag ([`polyview::Engine::set_span_tag`], stamped by
+/// [`Worker::begin_serve`]); spans from untagged work — replay, prelude
+/// load — carry trace id 0 and no parent.
+struct SpanBridge {
+    sink: Arc<dyn EventSink>,
+    worker: usize,
+    generation: u64,
+}
+
+impl polyview::obs::TraceSink for SpanBridge {
+    fn emit(&self, span: &SpanRecord) {
+        let trace_id = span
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "request_id")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        let mut attrs: Vec<(String, u64)> = span
+            .attrs
+            .iter()
+            .filter(|(k, _)| k != "request_id")
+            .cloned()
+            .collect();
+        attrs.push(("worker".to_string(), self.worker as u64));
+        attrs.push(("generation".to_string(), self.generation));
+        self.sink.emit(&EventRecord {
+            name: format!("engine.{}", span.name),
+            trace_id,
+            parent: (trace_id != 0).then_some(trace_id),
+            start_ns: span.start_ns,
+            dur_ns: span.dur_ns,
+            attrs,
+        });
+    }
+}
+
 impl Worker {
+    /// Traced-request prologue: stamp the dequeue (queue-wait event +
+    /// histogram) and tag the engine so its phase spans carry the trace
+    /// id. Untraced requests pass straight through (`None`).
+    fn begin_serve(
+        &mut self,
+        telemetry: &Telemetry,
+        trace: Option<RequestTrace>,
+    ) -> Option<ServeTrace> {
+        let trace = trace?;
+        let dequeued_ns = telemetry.note_dequeued(&trace, self.index, self.generation);
+        self.engine.set_span_tag("request_id", trace.id);
+        Some(ServeTrace {
+            trace,
+            dequeued_ns,
+            queue_wait_ns: dequeued_ns.saturating_sub(trace.enqueued_ns),
+            catchup_ns: 0,
+        })
+    }
+
+    /// Stamp the end of pre-serve log replay (catch-up event + histogram).
+    fn note_catchup(
+        &mut self,
+        telemetry: &Telemetry,
+        serve: Option<ServeTrace>,
+        replayed: u64,
+    ) -> Option<ServeTrace> {
+        let mut serve = serve?;
+        serve.catchup_ns = telemetry.note_catchup(&serve.trace, serve.dequeued_ns, replayed);
+        Some(serve)
+    }
+
+    /// Traced-request epilogue: untag the engine, stamp completion (e2e
+    /// event + histogram), and feed the slow log.
+    fn finish_serve(
+        &mut self,
+        telemetry: &Telemetry,
+        serve: Option<ServeTrace>,
+        ok: bool,
+        src: &str,
+    ) {
+        let Some(serve) = serve else { return };
+        self.engine.clear_span_tag();
+        telemetry.note_completed(
+            &serve.trace,
+            self.index,
+            self.generation,
+            ok,
+            serve.queue_wait_ns,
+            serve.catchup_ns,
+            src,
+        );
+    }
     /// Replay log entries until `applied >= upto`. Entry errors are
     /// deterministic across replicas (same entry, same engine state), so
     /// they are counted, never propagated — exactly

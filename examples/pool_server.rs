@@ -8,12 +8,36 @@
 //! single-threaded by design); client threads hand their statements over a
 //! plain channel, which is exactly the shape a network front-end would
 //! take: accept loops parse requests, one router owns the fleet.
+//!
+//! With `--trace`, request telemetry is enabled (DESIGN.md §11): every
+//! trace event of the run is printed to **stdout** as one JSON object per
+//! line (prose moves to stderr), after being validated by the std-only
+//! JSON checker in `polyview::obs::jsonl` — the `verify.sh` trace-smoke
+//! gate consumes this stream.
 
-use polyview_pool::{Pool, PoolConfig, Submit};
+use polyview_pool::{CollectingEventSink, Pool, PoolConfig, Submit};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 fn main() {
-    let mut pool = Pool::new(PoolConfig::default().workers(4).queue_capacity(32));
+    let tracing = std::env::args().any(|a| a == "--trace");
+    // Prose goes to stdout normally, but to stderr under --trace, where
+    // stdout is reserved for the JSON event stream.
+    macro_rules! say {
+        ($($t:tt)*) => {
+            if tracing { eprintln!($($t)*) } else { println!($($t)*) }
+        };
+    }
+
+    let mut cfg = PoolConfig::default().workers(4).queue_capacity(32);
+    let sink = Arc::new(CollectingEventSink::new());
+    if tracing {
+        // Collect in memory and dump at the end: the event stream stays
+        // ordered per trace and the demo's timing is unaffected. A slow
+        // threshold is set so the stats block demonstrates the slow log.
+        cfg = cfg.event_sink(sink.clone()).slow_threshold_ns(200_000);
+    }
+    let mut pool = Pool::new(cfg);
 
     // Schema + seed data: writes are sequenced through the declaration log
     // and replayed on every replica.
@@ -60,7 +84,7 @@ fn main() {
             // Chaos: kill a replica mid-stream. Supervision respawns it and
             // the replacement replays the log from offset 0.
             pool.inject_worker_panic(1);
-            println!("-- injected crash on worker 1 --");
+            say!("-- injected crash on worker 1 --");
         }
     }
     for c in clients {
@@ -85,7 +109,7 @@ fn main() {
             .expect("probe");
         assert_eq!(got, expected, "replica {w} diverged");
     }
-    println!("served {served} statements; all replicas agree on {expected}");
+    say!("served {served} statements; all replicas agree on {expected}");
 
     // One backpressure demonstration: saturate a paused replica's queue.
     let gate = pool.pause_worker(0).expect("pause");
@@ -94,8 +118,30 @@ fn main() {
         queued += 1;
     }
     gate.release();
-    println!("backpressure after {queued} queued reads: Submit::Full");
+    say!("backpressure after {queued} queued reads: Submit::Full");
 
-    println!("\n{}", pool.stats());
+    say!("\n{}", pool.stats());
     pool.shutdown();
+
+    if tracing {
+        // Dump the event stream: one JSON object per line on stdout, each
+        // line self-validated by the zero-dep checker before it is
+        // printed — a malformed export fails the run, not just the gate.
+        let events = sink.take();
+        let mut checked = 0usize;
+        for ev in &events {
+            let line = ev.to_json();
+            let keys = polyview::obs::jsonl::check_object_line(&line)
+                .unwrap_or_else(|e| panic!("malformed event line ({e}): {line}"));
+            for required in ["kind", "name", "trace_id", "start_ns", "dur_ns"] {
+                assert!(
+                    keys.iter().any(|k| k == required),
+                    "event line missing key {required:?}: {line}"
+                );
+            }
+            checked += 1;
+            println!("{line}");
+        }
+        eprintln!("emitted {checked} trace events, all validated");
+    }
 }

@@ -32,6 +32,14 @@ cargo fmt --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> dependency hygiene: crates/obs declares no dependencies at all"
+# The observability crate must stay std-only (DESIGN.md §9/§11): not even
+# path dependencies, so it can never grow a transitive external edge.
+if grep -q '^\[.*dependencies\]' crates/obs/Cargo.toml; then
+    echo "FAIL: crates/obs/Cargo.toml declares a dependencies section"
+    exit 1
+fi
+
 echo "==> dependency hygiene: workspace members carry no external deps"
 # Every dependency line in every workspace manifest must be a path/workspace
 # dependency — a line pulling from a registry (e.g. `serde = "1"`) fails.
@@ -67,4 +75,32 @@ assert kinds == {"counter", "histogram"}, kinds
 print(f"  {len(lines)} metrics lines, all valid JSON objects")
 '
 
-echo "OK: build, tests, fmt, clippy, dep hygiene, metrics export all green (offline)."
+echo "==> trace export: pool_server --trace emits valid JSON event lines"
+# The binary self-validates each line with the std-only checker in
+# polyview::obs::jsonl before printing; this gate re-checks the stream
+# independently and asserts the schema keys and cross-thread stitching.
+cargo run -q --release --example pool_server -- --trace 2>/dev/null | python3 -c '
+import json, sys
+lines = sys.stdin.read().splitlines()
+assert lines, "pool_server --trace printed nothing"
+required = {"kind", "name", "trace_id", "start_ns", "dur_ns"}
+events = []
+for line in lines:
+    obj = json.loads(line)
+    assert isinstance(obj, dict), line
+    assert required <= obj.keys(), f"missing keys in {line}"
+    assert obj["kind"] == "span", line
+    events.append(obj)
+names = {e["name"] for e in events}
+for must in ("pool.submitted", "pool.enqueued", "pool.dequeued",
+             "pool.catchup", "pool.completed", "engine.eval"):
+    assert must in names, f"no {must} event in trace"
+# Engine-phase events carry the owning request as parent: at least one
+# trace id must stitch a pool lifecycle to an engine span.
+stitched = {e["parent"] for e in events if e["name"].startswith("engine.") and "parent" in e}
+assert stitched & {e["trace_id"] for e in events if e["name"] == "pool.submitted"}, \
+    "no engine span stitched to a submitted request"
+print(f"  {len(events)} trace events, all valid and stitched")
+'
+
+echo "OK: build, tests, fmt, clippy, dep hygiene, metrics + trace export all green (offline)."
