@@ -1,14 +1,19 @@
 //! E9: pool scaling (DESIGN.md §10). Read throughput of the replicated
 //! serving layer at 1/2/4/8 workers against the single-engine baseline,
-//! plus a 90/10 read/write mix where every write bumps the declaration
-//! epoch (invalidating every replica's statement cache — the worst
-//! realistic case for the log/replay protocol).
+//! plus two 90/10 read/write mixes that bracket the statement cache's
+//! behavior under per-name dependency invalidation (DESIGN.md §12): the
+//! default mix rebinds a `val` the query never mentions (replicas replay
+//! the write but keep their cached compilation), and the `related_write`
+//! variant rebinds a name the query depends on (every replica drops and
+//! recompiles — the worst realistic case for the log/replay protocol,
+//! and what *every* write cost before per-name invalidation).
 //!
 //! Expected shape: a read-only batch scales near-linearly with workers
 //! until the single-threaded router saturates (classification + channel
 //! hops are the per-request overhead vs a bare `eval_to_string`); the
-//! mixed workload scales sub-linearly because each write is applied on
-//! every replica and re-compiles the next read on each of them.
+//! related-write mix scales sub-linearly because each write is applied on
+//! every replica and re-compiles the next read on each of them, while the
+//! unrelated mix should track the read-only shape much more closely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use polyview_pool::{CollectingEventSink, NullEventSink, Pool, PoolConfig, Submit};
@@ -28,7 +33,10 @@ fn seeded_pool_with(cfg: PoolConfig) -> Pool {
     for i in 0..64 {
         pool.run(
             0,
-            &format!("insert(Staff, IDView([Name = \"emp{i}\", Age = {}]))", 20 + i % 50),
+            &format!(
+                "insert(Staff, IDView([Name = \"emp{i}\", Age = {}]))",
+                20 + i % 50
+            ),
         )
         .expect("insert");
     }
@@ -84,64 +92,25 @@ fn bench_read_scaling(c: &mut Criterion) {
         let mut pool = seeded_pool(workers);
         // Warm every replica's statement cache before measuring.
         read_batch(&mut pool, workers as u64 * 4);
-        group.bench_with_input(
-            BenchmarkId::new("pool", workers),
-            &workers,
-            |bch, &w| bch.iter(|| read_batch(&mut pool, w as u64 * 4)),
-        );
+        group.bench_with_input(BenchmarkId::new("pool", workers), &workers, |bch, &w| {
+            bch.iter(|| read_batch(&mut pool, w as u64 * 4))
+        });
         pool.shutdown();
     }
     group.finish();
 }
 
-fn bench_mixed_workload(c: &mut Criterion) {
-    // 90% reads / 10% writes. The write re-binds a `val`, so it bumps the
-    // declaration epoch on every replica and the next read per replica
-    // recompiles — replication makes writes cost O(workers).
-    let mut group = c.benchmark_group("E9_pool_mixed_90_10");
-    group.throughput(Throughput::Elements(BATCH));
-    for workers in [1usize, 2, 4, 8] {
-        let mut pool = seeded_pool(workers);
-        let sessions = workers as u64 * 4;
-        group.bench_with_input(
-            BenchmarkId::new("pool", workers),
-            &workers,
-            |bch, _| {
-                bch.iter(|| {
-                    let mut tickets = Vec::with_capacity(BATCH as usize);
-                    for i in 0..BATCH {
-                        let (session, src) = if i % 10 == 9 {
-                            (i % sessions, format!("val tick = {i};"))
-                        } else {
-                            (i % sessions, QUERY.to_string())
-                        };
-                        loop {
-                            match pool.submit(session, &src).expect("classified") {
-                                Submit::Queued(t) => break tickets.push(t),
-                                Submit::Full => std::thread::yield_now(),
-                            }
-                        }
-                    }
-                    for t in tickets {
-                        black_box(t.wait().expect("statement"));
-                    }
-                })
-            },
-        );
-        pool.shutdown();
-    }
-    group.finish();
-}
-
-/// One 90/10 batch (same shape as `E9_pool_mixed_90_10`), reusable across
-/// the telemetry-overhead variants.
-fn mixed_batch(pool: &mut Pool, sessions: u64) {
+/// One 90/10 batch with a caller-chosen read statement and write source:
+/// the knob that separates the unrelated-rebind mix (cached compilations
+/// survive every write) from the related-rebind one (every write
+/// invalidates every replica's cached read).
+fn mixed_batch_of(pool: &mut Pool, sessions: u64, read: &str, write: &dyn Fn(u64) -> String) {
     let mut tickets = Vec::with_capacity(BATCH as usize);
     for i in 0..BATCH {
         let (session, src) = if i % 10 == 9 {
-            (i % sessions, format!("val tick = {i};"))
+            (i % sessions, write(i))
         } else {
-            (i % sessions, QUERY.to_string())
+            (i % sessions, read.to_string())
         };
         loop {
             match pool.submit(session, &src).expect("classified") {
@@ -153,6 +122,53 @@ fn mixed_batch(pool: &mut Pool, sessions: u64) {
     for t in tickets {
         black_box(t.wait().expect("statement"));
     }
+}
+
+fn bench_mixed_workload(c: &mut Criterion) {
+    // 90% reads / 10% writes, two flavors per worker count:
+    //   - `pool` (unrelated): the write rebinds `val tick`, a name the
+    //     read never mentions — replicas replay it, but per-name
+    //     invalidation keeps every replica's cached compilation warm.
+    //   - `related_write`: the write rebinds `sel`, which the read
+    //     depends on — every replica drops its cached read and
+    //     recompiles, so writes cost O(workers) compilations. This is
+    //     what *every* write in the mix cost under global-epoch
+    //     invalidation.
+    let mut group = c.benchmark_group("E9_pool_mixed_90_10");
+    group.throughput(Throughput::Elements(BATCH));
+    const SEL_DECL: &str = "val sel = fn o => query(fn x => x.Name, o);";
+    const SEL_QUERY: &str = "cquery(fn s => map(sel, s), Staff)";
+    for workers in [1usize, 2, 4, 8] {
+        let sessions = workers as u64 * 4;
+
+        let mut pool = seeded_pool(workers);
+        group.bench_with_input(BenchmarkId::new("pool", workers), &workers, |bch, _| {
+            bch.iter(|| mixed_batch_of(&mut pool, sessions, QUERY, &|i| format!("val tick = {i};")))
+        });
+        pool.shutdown();
+
+        let mut pool = seeded_pool(workers);
+        pool.run(0, SEL_DECL).expect("sel");
+        pool.barrier().expect("seeded");
+        group.bench_with_input(
+            BenchmarkId::new("related_write", workers),
+            &workers,
+            |bch, _| {
+                bch.iter(|| {
+                    mixed_batch_of(&mut pool, sessions, SEL_QUERY, &|_| SEL_DECL.to_string())
+                })
+            },
+        );
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+/// One 90/10 unrelated-rebind batch (same shape as
+/// `E9_pool_mixed_90_10/pool`), reusable across the telemetry-overhead
+/// variants.
+fn mixed_batch(pool: &mut Pool, sessions: u64) {
+    mixed_batch_of(pool, sessions, QUERY, &|i| format!("val tick = {i};"))
 }
 
 fn bench_trace_overhead(c: &mut Criterion) {

@@ -111,6 +111,44 @@ fn bench_observability_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rebind_invalidation(c: &mut Criterion) {
+    // The payoff of per-name dependency invalidation: interleave the
+    // cached query with a `val` rebind each iteration. An *unrelated*
+    // rebind leaves the cached compilation valid (the rebind itself plus a
+    // cache hit), while rebinding a name the query *depends on* forces a
+    // drop + full recompile. The gap between the two variants is exactly
+    // the compilation work the old global-epoch scheme paid on every
+    // declaration.
+    let mut group = c.benchmark_group("E8_rebind_invalidation");
+    let query = format!("cquery({SET_FN}, Staff)");
+
+    let mut unrelated = staff_engine(32);
+    unrelated.exec("val tick = 0;").expect("seed");
+    unrelated.eval_to_string(&query).expect("warm-up");
+    group.bench_function("unrelated_rebind", |bch| {
+        bch.iter(|| {
+            unrelated.exec("val tick = 1;").expect("rebind");
+            black_box(unrelated.eval_to_string(black_box(&query)).expect("runs"))
+        })
+    });
+
+    let mut related = staff_engine(32);
+    related
+        .exec("val sel = fn o => query(fn x => x.Name, o);")
+        .expect("seed");
+    let dep_query = "cquery(fn s => map(sel, s), Staff)";
+    related.eval_to_string(dep_query).expect("warm-up");
+    group.bench_function("related_rebind", |bch| {
+        bch.iter(|| {
+            related
+                .exec("val sel = fn o => query(fn x => x.Name, o);")
+                .expect("rebind");
+            black_box(related.eval_to_string(black_box(dep_query)).expect("runs"))
+        })
+    });
+    group.finish();
+}
+
 fn bench_compile_phase_alone(c: &mut Criterion) {
     // What `prepare` actually saves per call: the parse + inference cost
     // of the statement, isolated from evaluation.
@@ -125,6 +163,7 @@ criterion_group! {
     name = benches;
     config = polyview_bench::quick();
     targets = bench_cold_vs_prepared, bench_database_facade,
-        bench_observability_overhead, bench_compile_phase_alone
+        bench_observability_overhead, bench_rebind_invalidation,
+        bench_compile_phase_alone
 }
 criterion_main!(benches);

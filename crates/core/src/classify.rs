@@ -40,22 +40,31 @@
 //! statement mentioning such a name as a write. The pool does exactly this
 //! (DESIGN.md §10).
 //!
-//! ## Residual escape: effectful closures stored in data
+//! ## Residual escape: effectful closures reached through applications
 //!
-//! `EffectSet` tracks effects per *top-level name*. An effectful closure
-//! smuggled through a data structure — e.g. a write stores
-//! `fn x => insert(C, x)` into a mutable record field, and a later
-//! statement calls `(r.F)(o)` without mentioning any effectful name — is
-//! still classified as a read; full tracking would need a type-and-effect
-//! system ([`crate::types`] does none). Callers that construct such values
+//! `EffectSet` tracks effects per *top-level name*, and constructor
+//! positions propagate like application arguments: a record/tuple/set
+//! literal mentioning an effectful name (`[f = insert_fn]`, `{insert_fn}`)
+//! carries the effect, because the name is free in the literal. Storing
+//! such a value into previously-existing data also taints the *target* —
+//! after `update(box, F, fn x => insert(C, x))` the name `box` is
+//! effectful (the closure is reachable through a field read), and after
+//! `insert(C, obj)` with an effect-carrying `obj` the class `C` is (a
+//! query can hand the smuggled closure out). The storing statement is a
+//! write syntactically, so the observing router always sees it.
+//!
+//! What remains out of reach without a type-and-effect system
+//! ([`crate::types`] does none): a store that only happens *inside a
+//! called function* taints the function's name, not the argument it is
+//! applied to — after `fun put b = update(b, F, insert_fn); put(box)` the
+//! call is sequenced (`put` is effectful) but `box` is not marked, so a
+//! later `(box.F)(o)` still classifies as a read. The same holds for
+//! targets aliased *before* the store. Callers that construct such values
 //! must force sequencing at the call site by wrapping it in a declaration
-//! (`val it = (r.F)(o);` — declarations always classify as writes). Note
-//! the *storing* statement itself always classifies as a write (it
-//! contains `Update`/`Insert` syntactically); only the later indirect
-//! call can escape.
+//! (`val it = (box.F)(o);` — declarations always classify as writes).
 
 use polyview_parser::{parse_program, Decl, ParseError};
-use polyview_syntax::visit::{class_children, free_vars, walk};
+use polyview_syntax::visit::{children, class_children, free_vars, walk};
 use polyview_syntax::{Expr, Name};
 use std::collections::BTreeSet;
 
@@ -142,6 +151,21 @@ fn has_effect_node(e: &Expr) -> bool {
     classify_expr(e).is_write()
 }
 
+/// Every `(target, payload)` pair of a store write inside `e`, in
+/// syntactic order: `insert(target, payload)` and
+/// `update(target, _, payload)`. These are the sites where a value can be
+/// made reachable from previously-existing data.
+fn store_sites<'a>(e: &'a Expr, out: &mut Vec<(&'a Expr, &'a Expr)>) {
+    match e {
+        Expr::Insert(target, payload) => out.push((target, payload)),
+        Expr::Update(target, _, payload) => out.push((target, payload)),
+        _ => {}
+    }
+    for c in children(e) {
+        store_sites(c, out);
+    }
+}
+
 /// The set of top-level names whose values may perform store effects when
 /// *used* — the environment-aware half of classification.
 ///
@@ -217,6 +241,40 @@ impl EffectSet {
         })
     }
 
+    /// Mark the *targets* of store writes whose payload can carry an
+    /// effect: after `update(box, F, fn x => insert(C, x))`, any statement
+    /// mentioning `box` may reach the stored closure through a field read,
+    /// so `box` itself becomes effectful (likewise `insert(C, obj)` with an
+    /// effect-carrying `obj` taints `C` — querying `C` can hand the closure
+    /// out). Only names free in the whole observed expression are tainted:
+    /// a target that is locally bound (`fn b => update(b, …)`) names no
+    /// top-level binding, and the binder case is already covered by the
+    /// `val`/`fun` marking rules. Iterated to a fixpoint so a payload
+    /// mentioning a target tainted earlier in the same statement converges.
+    fn taint_store_targets(&mut self, e: &Expr) {
+        let mut sites = Vec::new();
+        store_sites(e, &mut sites);
+        if sites.is_empty() {
+            return;
+        }
+        let outer = free_vars(e);
+        loop {
+            let mut changed = false;
+            for (target, payload) in &sites {
+                if self.expr_carries_effect(payload) {
+                    for n in free_vars(target) {
+                        if outer.contains(&n) && self.effectful.insert(n) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
     /// Record the names a sequenced write makes effectful. Call this for
     /// every write, in log order — later statements are classified against
     /// the accumulated set.
@@ -225,11 +283,14 @@ impl EffectSet {
             // `val x = e;` — x is effectful if its value can carry an
             // effect: e contains an effect node (possibly under a binder,
             // i.e. x may be an effectful closure) or references an
-            // effectful name (aliasing / partial application).
+            // effectful name (aliasing / partial application). Evaluating
+            // e can also *store* an effectful closure into existing data;
+            // those targets are tainted too.
             Decl::Val(x, e) => {
                 if self.expr_carries_effect(e) {
                     self.effectful.insert(x.clone());
                 }
+                self.taint_store_targets(e);
             }
             // `fun f … = e and g … = e';` — fixpoint over the group so
             // mutual recursion converges: f is effectful if its body has
@@ -288,11 +349,14 @@ impl EffectSet {
                 }
                 self.effectful.extend(marked);
             }
-            // A bare expression binds nothing. (It may *store* an
-            // effectful closure into a field — the storing statement is a
-            // write syntactically; the residual escape is the later
-            // indirect call, see the module docs.)
-            Decl::Expr(_) => {}
+            // A bare expression binds nothing, but it can *store* an
+            // effectful closure into previously-existing data —
+            // `update(box, F, insert_fn)` — making the closure reachable
+            // from a name the statement never rebinds. Taint the store
+            // targets so the later indirect call `(box.F)(o)` classifies
+            // as a write. (The storing statement itself is always a write
+            // syntactically, so it is observed here in log order.)
+            Decl::Expr(e) => self.taint_store_targets(e),
         }
     }
 
@@ -430,6 +494,69 @@ mod tests {
                 .unwrap(),
             StmtClass::Read
         );
+    }
+
+    #[test]
+    fn constructor_positions_propagate_effectfulness() {
+        // Regression pin: an effectful name is free in a record/tuple/set
+        // literal exactly like in an application argument, so data-smuggled
+        // mentions classify as writes.
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun ins x = insert(C, x);").unwrap();
+        for src in [
+            "[f = ins]",                  // record field
+            "{ins}",                      // set literal
+            "[a = 1, b = [inner = ins]]", // nested constructor
+            "IDView([f = ins])",          // object constructor
+        ] {
+            assert_eq!(fx.classify_program(src).unwrap(), StmtClass::Write, "{src}");
+        }
+        // Pure constructors stay reads.
+        assert_eq!(
+            fx.classify_program("[f = fn x => x]").unwrap(),
+            StmtClass::Read
+        );
+    }
+
+    #[test]
+    fn storing_an_effectful_closure_taints_the_target() {
+        let mut fx = EffectSet::new();
+        // `box` starts out pure…
+        fx.observe_program("val box = [F := fn x => x];").unwrap();
+        assert!(!fx.is_effectful("box"));
+        assert_eq!(fx.classify_program("(box.F)(o)").unwrap(), StmtClass::Read);
+        // …until a sequenced write smuggles an effectful closure into it.
+        fx.observe_program("update(box, F, fn x => insert(C, x))")
+            .unwrap();
+        assert!(fx.is_effectful("box"));
+        assert_eq!(fx.classify_program("(box.F)(o)").unwrap(), StmtClass::Write);
+
+        // Inserting an effect-carrying object taints the class: queries
+        // against it can hand the closure out.
+        let mut fx = EffectSet::new();
+        fx.observe_program("insert(Tasks, IDView([Run = fn x => delete(Done, x)]))")
+            .unwrap();
+        assert!(fx.is_effectful("Tasks"));
+        assert_eq!(
+            fx.classify_program("cquery(fn s => s, Tasks)").unwrap(),
+            StmtClass::Write
+        );
+
+        // Pure payloads taint nothing.
+        let mut fx = EffectSet::new();
+        fx.observe_program("update(box, F, fn x => x)").unwrap();
+        fx.observe_program("insert(Tasks, IDView([N = 1]))")
+            .unwrap();
+        assert!(fx.is_empty());
+
+        // A locally-bound target names no top-level binding: observing
+        // `fn b => update(b, F, ins)` must not taint a global `b`.
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun ins x = insert(C, x);").unwrap();
+        fx.observe_program("val h = fn b => update(b, F, ins);")
+            .unwrap();
+        assert!(!fx.is_effectful("b"));
+        assert!(fx.is_effectful("h"), "closure itself is effectful");
     }
 
     #[test]

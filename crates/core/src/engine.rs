@@ -18,14 +18,15 @@
 use crate::error::Error;
 use crate::explain::Explain;
 use crate::prepare::{
-    CacheLookup, EngineStats, Prepared, StmtCache, StmtKey, DEFAULT_STMT_CACHE_CAPACITY,
+    CacheLookup, Deps, EngineStats, Prepared, StmtCache, StmtKey, DEFAULT_STMT_CACHE_CAPACITY,
 };
 use polyview_eval::{Machine, Value};
 use polyview_obs::{Clock, Counter, Histogram, Registry, Span, TraceSink, Tracer};
 use polyview_parser::{parse_expr_counted, parse_program_counted, Decl, ParseStats};
-use polyview_syntax::visit::check_rec_class_scope;
+use polyview_syntax::visit::{check_rec_class_scope, free_vars};
 use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
 use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// What a declaration-log replay did ([`Engine::replay`] /
@@ -59,6 +60,7 @@ struct PhaseMetrics {
     stmt_cache_hits: Counter,
     stmt_cache_misses: Counter,
     stmt_cache_evictions: Counter,
+    stmt_cache_dep_invalidations: Counter,
     epoch_invalidations: Counter,
     tokens_lexed: Counter,
     nodes_parsed: Counter,
@@ -84,6 +86,7 @@ impl PhaseMetrics {
             stmt_cache_hits: reg.counter("engine.stmt_cache_hits"),
             stmt_cache_misses: reg.counter("engine.stmt_cache_misses"),
             stmt_cache_evictions: reg.counter("engine.stmt_cache_evictions"),
+            stmt_cache_dep_invalidations: reg.counter("engine.stmt_cache_dep_invalidations"),
             epoch_invalidations: reg.counter("engine.epoch_invalidations"),
             tokens_lexed: reg.counter("parser.tokens_lexed"),
             nodes_parsed: reg.counter("parser.nodes_parsed"),
@@ -120,10 +123,18 @@ pub struct Engine {
     metrics: Rc<Registry>,
     tracer: Tracer,
     phases: PhaseMetrics,
-    /// Bumped by every declaration (`val`/`fun`/`class`): prepared
-    /// statements compiled under an older epoch are stale because the
-    /// top-level type environment they were inferred against has changed.
+    /// Bumped by every declaration (`val`/`fun`/`class`). Staleness of
+    /// prepared statements is decided per name ([`Engine::name_epoch`]);
+    /// the global epoch remains as the fallback for [`Deps::Global`]
+    /// statements and as an observability signal
+    /// ([`crate::prepare::EngineStats`], pool convergence checks).
     env_epoch: u64,
+    /// Per-name declaration epochs: how many times each top-level name has
+    /// been (re)bound. A name absent from the map — every builtin, every
+    /// prelude name until someone shadows it — has implicit epoch 0.
+    /// [`Engine::prepare`] snapshots the epochs of a statement's free
+    /// names; the statement is stale iff one of them moves (DESIGN.md §12).
+    name_epochs: HashMap<Name, u64>,
 }
 
 impl Default for Engine {
@@ -145,6 +156,7 @@ impl Engine {
             tracer: Tracer::disabled(),
             phases,
             env_epoch: 0,
+            name_epochs: HashMap::new(),
         }
     }
 
@@ -278,16 +290,55 @@ impl Engine {
 
     fn prepare_parsed(&mut self, src: Option<String>, ast: Expr) -> Result<Prepared, Error> {
         let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, &ast))?;
-        Ok(Prepared::new(src, Rc::new(ast), scheme, self.env_epoch))
+        let deps = self.snapshot_deps(&ast);
+        Ok(Prepared::new(
+            src,
+            Rc::new(ast),
+            scheme,
+            deps,
+            self.env_epoch,
+        ))
+    }
+
+    /// The dependency snapshot for an AST about to be prepared: every free
+    /// top-level name paired with its current declaration epoch (absent
+    /// names — builtins, the prelude — are epoch 0). The free-variable walk
+    /// is binder-exact and total, so every engine-compiled statement gets
+    /// [`Deps::Names`]; [`Deps::Global`] exists only as the defensive
+    /// fallback for `Prepared` values built without an AST-derived set.
+    fn snapshot_deps(&self, ast: &Expr) -> Deps {
+        Deps::Names(
+            free_vars(ast)
+                .into_iter()
+                .map(|n| {
+                    let at = self.name_epochs.get(&n).copied().unwrap_or(0);
+                    (n, at)
+                })
+                .collect(),
+        )
+    }
+
+    /// Bump the declaration epochs for a declaration that (re)binds
+    /// `names`: the global epoch once, and each bound name's own epoch.
+    /// Callers must bump *before* the first environment mutation — a group
+    /// declaration can fail partway through binding (see
+    /// [`Engine::define_group`]), and cached statements must never keep
+    /// validating against a partially-applied group.
+    fn bump_epochs(&mut self, names: &[Name]) {
+        self.env_epoch += 1;
+        for n in names {
+            *self.name_epochs.entry(n.clone()).or_insert(0) += 1;
+        }
     }
 
     /// Execute a prepared statement against the current store. No parsing,
     /// no inference: the cached AST is evaluated directly under the global
-    /// environment. Fails with [`Error::StalePrepared`] if any declaration
-    /// has been executed since the statement was prepared (re-`prepare` it;
-    /// the internal statement cache does this automatically).
+    /// environment. Fails with [`Error::StalePrepared`] if a name the
+    /// statement depends on has been rebound since it was prepared
+    /// (re-`prepare` it; the internal statement cache does this
+    /// automatically). Declarations of unrelated names do not invalidate.
     pub fn run(&mut self, p: &Prepared) -> Result<Value, Error> {
-        if p.env_epoch() != self.env_epoch {
+        if !p.is_fresh(&self.name_epochs, self.env_epoch) {
             self.phases.epoch_invalidations.inc();
             return Err(Error::StalePrepared);
         }
@@ -309,7 +360,7 @@ impl Engine {
         key: StmtKey,
         build: impl FnOnce(&mut Self) -> Result<Prepared, Error>,
     ) -> Result<(Scheme, Value), Error> {
-        match self.stmts.lookup(&key, self.env_epoch) {
+        match self.stmts.lookup(&key, &self.name_epochs, self.env_epoch) {
             CacheLookup::Hit(p) => {
                 self.phases.stmt_cache_hits.inc();
                 let scheme = p.scheme().clone();
@@ -317,7 +368,7 @@ impl Engine {
                 return Ok((scheme, v));
             }
             CacheLookup::Stale => {
-                self.phases.epoch_invalidations.inc();
+                self.phases.stmt_cache_dep_invalidations.inc();
                 self.phases.stmt_cache_misses.inc();
             }
             CacheLookup::Miss => self.phases.stmt_cache_misses.inc(),
@@ -358,6 +409,7 @@ impl Engine {
             stmt_cache_hits: self.phases.stmt_cache_hits.get(),
             stmt_cache_misses: self.phases.stmt_cache_misses.get(),
             stmt_cache_evictions: self.phases.stmt_cache_evictions.get(),
+            stmt_cache_dep_invalidations: self.phases.stmt_cache_dep_invalidations.get(),
             epoch_invalidations: self.phases.epoch_invalidations.get(),
             tokens_lexed: self.phases.tokens_lexed.get(),
             nodes_parsed: self.phases.nodes_parsed.get(),
@@ -453,7 +505,9 @@ impl Engine {
     /// stores the fresh compilation so subsequent calls do.
     pub fn explain(&mut self, src: &str) -> Result<Explain, Error> {
         let key = StmtKey::Src(src.to_string());
-        let cached_before = self.stmts.contains_valid(&key, self.env_epoch);
+        let cached_before = self
+            .stmts
+            .contains_valid(&key, &self.name_epochs, self.env_epoch);
         if cached_before {
             self.phases.stmt_cache_hits.inc();
         } else {
@@ -512,10 +566,19 @@ impl Engine {
         let v = v_res?;
         let rendered = self.machine.show(&v);
 
+        let deps = self.snapshot_deps(&ast);
+        let dep_rows = match &deps {
+            Deps::Names(ds) => ds
+                .iter()
+                .map(|(n, at)| (n.as_str().to_string(), *at))
+                .collect(),
+            Deps::Global(_) => Vec::new(),
+        };
         let p = Prepared::new(
             Some(src.to_string()),
             Rc::new(ast),
             scheme.clone(),
+            deps,
             self.env_epoch,
         );
         let evicted = self.stmts.insert(key, p);
@@ -526,6 +589,7 @@ impl Engine {
             scheme,
             rendered,
             cached_before,
+            deps: dep_rows,
             parse_ns,
             infer_ns,
             translate_ns,
@@ -570,8 +634,19 @@ impl Engine {
     }
 
     /// The current declaration epoch (bumped by `val`/`fun`/`class`).
+    /// Observability only — staleness is decided per name, see
+    /// [`Engine::name_epoch`].
     pub fn env_epoch(&self) -> u64 {
         self.env_epoch
+    }
+
+    /// How many times `name` has been (re)bound at top level. Names never
+    /// bound by a declaration — builtins, prelude names — are epoch 0.
+    pub fn name_epoch(&self, name: &str) -> u64 {
+        self.name_epochs
+            .get(&Label::new(name))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Type-check and evaluate a single expression. Served from the
@@ -608,9 +683,9 @@ impl Engine {
                 let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, e))?;
                 self.cx.check_ground_mutables(&scheme.body)?;
                 let v = self.eval_phase(e)?;
+                self.bump_epochs(std::slice::from_ref(name));
                 self.tenv.define_global(name.clone(), scheme.clone());
                 self.machine.define_global(name.clone(), v);
-                self.env_epoch += 1;
                 Ok(Outcome::Defined(vec![(name.clone(), scheme)]))
             }
             Decl::Fun(defs) => self.exec_fun(defs),
@@ -661,24 +736,52 @@ impl Engine {
         let t = self.cx.resolve(&t);
         let v = self.eval_phase(&group)?;
 
-        let mut bound = Vec::with_capacity(names.len());
-        if names.len() == 1 {
-            let scheme = self.cx.generalize(&self.tenv, &t);
-            self.tenv.define_global(names[0].clone(), scheme.clone());
-            self.machine.define_global(names[0].clone(), v);
-            bound.push((names[0].clone(), scheme));
+        let tys = if names.len() == 1 {
+            vec![t]
         } else {
-            let tys = group_component_types(&t, names.len(), "fun group")?;
-            for (i, (n, ti)) in names.iter().zip(tys).enumerate() {
-                let scheme = self.cx.generalize(&self.tenv, &ti);
-                let vi = self.machine.field_of(&v, Label::tuple(i + 1).as_str())?;
-                self.tenv.define_global(n.clone(), scheme.clone());
-                self.machine.define_global(n.clone(), vi);
-                bound.push((n.clone(), scheme));
-            }
-        }
-        self.env_epoch += 1;
+            group_component_types(&t, names.len(), "fun group")?
+        };
+        let bound = self.define_group(&names, tys, v, true)?;
         Ok(Outcome::Defined(bound))
+    }
+
+    /// Bind the members of an already-elaborated `fun`/`class` group:
+    /// project each member's value out of the group tuple and define it
+    /// globally, generalizing the scheme when `generalize` holds.
+    ///
+    /// Epochs (global and per-name) are bumped **before** the first
+    /// `define_global` — the per-member projection can fail mid-loop
+    /// (`field_of` on a malformed group value), and by then earlier members
+    /// have already been redefined. Bumping first means every cached
+    /// statement that depends on a group member is invalidated even when
+    /// the group only partially applies; the environment may hold a
+    /// half-bound group after such an error, but nothing stale can run
+    /// against it.
+    fn define_group(
+        &mut self,
+        names: &[Name],
+        tys: Vec<Mono>,
+        v: Value,
+        generalize: bool,
+    ) -> Result<Vec<(Name, Scheme)>, Error> {
+        self.bump_epochs(names);
+        let mut bound = Vec::with_capacity(names.len());
+        for (i, (n, ti)) in names.iter().zip(tys).enumerate() {
+            let scheme = if generalize {
+                self.cx.generalize(&self.tenv, &ti)
+            } else {
+                Scheme::mono(ti)
+            };
+            let vi = if names.len() == 1 {
+                v.clone()
+            } else {
+                self.machine.field_of(&v, Label::tuple(i + 1).as_str())?
+            };
+            self.tenv.define_global(n.clone(), scheme.clone());
+            self.machine.define_global(n.clone(), vi);
+            bound.push((n.clone(), scheme));
+        }
+        Ok(bound)
     }
 
     /// `class A = class … end and …`: a top-level (possibly mutually
@@ -700,22 +803,12 @@ impl Engine {
         let t = self.cx.resolve(&t);
         let v = self.eval_phase(&wrapped)?;
 
-        let mut bound = Vec::with_capacity(names.len());
-        if names.len() == 1 {
-            self.tenv
-                .define_global(names[0].clone(), Scheme::mono(t.clone()));
-            self.machine.define_global(names[0].clone(), v);
-            bound.push((names[0].clone(), Scheme::mono(t)));
+        let tys = if names.len() == 1 {
+            vec![t]
         } else {
-            let tys = group_component_types(&t, names.len(), "class group")?;
-            for (i, (n, ti)) in names.iter().zip(tys).enumerate() {
-                let vi = self.machine.field_of(&v, Label::tuple(i + 1).as_str())?;
-                self.tenv.define_global(n.clone(), Scheme::mono(ti.clone()));
-                self.machine.define_global(n.clone(), vi);
-                bound.push((n.clone(), Scheme::mono(ti)));
-            }
-        }
-        self.env_epoch += 1;
+            group_component_types(&t, names.len(), "class group")?
+        };
+        let bound = self.define_group(&names, tys, v, false)?;
         Ok(Outcome::Defined(bound))
     }
 
@@ -1006,6 +1099,54 @@ mod tests {
         ]);
         let tys = group_component_types(&ok, 2, "class group").expect("tuple");
         assert_eq!(tys, vec![Mono::int(), Mono::bool()]);
+    }
+
+    #[test]
+    fn name_epochs_track_only_the_names_a_declaration_binds() {
+        let mut e = Engine::new();
+        assert_eq!(e.name_epoch("map"), 0, "prelude names are epoch 0");
+        e.exec("val x = 1;").expect("defines");
+        e.exec("fun f a = a and g a = a;").expect("defines");
+        assert_eq!(e.name_epoch("x"), 1);
+        assert_eq!(e.name_epoch("f"), 1);
+        assert_eq!(e.name_epoch("g"), 1);
+        assert_eq!(e.name_epoch("map"), 0, "unbound names never move");
+        e.exec("val x = 2;").expect("rebinds");
+        assert_eq!(e.name_epoch("x"), 2);
+        assert_eq!(e.name_epoch("f"), 1);
+    }
+
+    #[test]
+    fn partial_group_failure_still_invalidates_dependents() {
+        // Regression: binding a group redefines members one at a time, and
+        // the per-member projection can fail mid-loop. The epoch bump used
+        // to happen only *after* the loop, so a mid-loop failure left the
+        // type environment mutated while prepared statements kept
+        // validating — a stale statement could run against retyped
+        // bindings. `define_group` must bump before the first mutation.
+        let mut e = Engine::new();
+        e.exec("fun f a = a and g a = a;").expect("defines");
+        let p = e.prepare("f 1").expect("compiles");
+        e.run(&p).expect("fresh runs");
+
+        // Drive `define_group` with a malformed group value: two names and
+        // types, but a 1-tuple value, so projecting `g`'s component fails
+        // after `f` has already been redefined as an int.
+        let one_tuple = Expr::tuple(std::iter::once(Expr::int(7)));
+        let (_, v) = e.eval_ast(&one_tuple).expect("builds group value");
+        let names = [Label::new("f"), Label::new("g")];
+        let err = e
+            .define_group(&names, vec![Mono::int(), Mono::int()], v, false)
+            .expect_err("projection of #2 fails");
+        assert!(err.is_runtime_error(), "got {err:?}");
+
+        // `f` was redefined before the failure …
+        assert_eq!(e.scheme_of("f").expect("bound").to_string(), "int");
+        // … so the prepared application must be stale, not runnable.
+        assert!(matches!(e.run(&p), Err(Error::StalePrepared)));
+        // Both group members' epochs moved despite the partial application.
+        assert_eq!(e.name_epoch("f"), 2);
+        assert_eq!(e.name_epoch("g"), 2);
     }
 
     #[test]

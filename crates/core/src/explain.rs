@@ -26,6 +26,11 @@ pub struct Explain {
     /// statement before the explain run (i.e. a plain
     /// [`eval_expr`](crate::Engine::eval_expr) would have hit).
     pub cached_before: bool,
+    /// The statement's dependency snapshot: each free top-level name with
+    /// the declaration epoch it was captured at. The cached compilation
+    /// stays valid until one of these names is rebound; unrelated
+    /// declarations leave it warm.
+    pub deps: Vec<(String, u64)>,
 
     /// Parse-phase wall time.
     pub parse_ns: u64,
@@ -83,6 +88,19 @@ impl std::fmt::Display for Explain {
                 "miss (now cached)"
             }
         )?;
+        if self.deps.is_empty() {
+            writeln!(
+                f,
+                "deps       (none — cache entry pinned to the global epoch)"
+            )?;
+        } else {
+            let rows: Vec<String> = self
+                .deps
+                .iter()
+                .map(|(n, at)| format!("{n}@{at}"))
+                .collect();
+            writeln!(f, "deps       {}", rows.join(" "))?;
+        }
         writeln!(
             f,
             "parse      {:>8}  tokens={} nodes={}",
@@ -136,6 +154,7 @@ mod tests {
             scheme: Scheme::mono(polyview_syntax::Mono::int()),
             rendered: "3".into(),
             cached_before: false,
+            deps: vec![("plus".into(), 0)],
             parse_ns: 100,
             infer_ns: 200,
             translate_ns: 300,
@@ -152,7 +171,15 @@ mod tests {
             sets_allocated: 0,
         };
         let s = e.to_string();
-        for needle in ["parse", "infer", "translate", "eval", "miss", "int"] {
+        for needle in [
+            "parse",
+            "infer",
+            "translate",
+            "eval",
+            "miss",
+            "int",
+            "plus@0",
+        ] {
             assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
         }
     }

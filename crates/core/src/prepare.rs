@@ -13,17 +13,62 @@
 //! statement into the pure core language.
 //!
 //! Validity: inference reads the engine's top-level type environment, so a
-//! `Prepared` is tied to the engine *declaration epoch* it was compiled
-//! under. Expression-level effects (`insert`/`delete`/`update`) do not
-//! change the epoch — a prepared query stays valid across them and observes
-//! the current extents — but `val`/`fun`/`class` declarations do, and
-//! running a stale statement reports [`crate::Error::StalePrepared`] rather
-//! than risking an unsound execution against retyped bindings.
+//! `Prepared` is tied to the bindings it was inferred against. Staleness is
+//! tracked *per name* ([`Deps`]): at compile time the engine snapshots the
+//! declaration epoch of every free top-level name of the statement, and the
+//! statement is stale iff one of those names has been rebound since —
+//! rebinding an *unrelated* `val` leaves every cached plan valid.
+//! Expression-level effects (`insert`/`delete`/`update`) bump no epoch at
+//! all — a prepared query stays valid across them and observes the current
+//! extents — but rebinding a name a statement depends on does, and running
+//! a stale statement reports [`crate::Error::StalePrepared`] rather than
+//! risking an unsound execution against retyped bindings.
+//!
+//! Soundness of the per-name scheme: inference consults the top-level
+//! environment only at the statement's free variables, and a name's scheme
+//! (and value) can change only when a `val`/`fun`/`class` declaration
+//! rebinds *that name*. Names never rebound — including every builtin and
+//! prelude name — sit at epoch 0 forever, so a statement over a stable
+//! schema never recompiles. The global declaration epoch is kept as a
+//! defensive fallback ([`Deps::Global`]) for statements whose dependency
+//! set cannot be computed.
 
-use polyview_syntax::{Expr, Scheme};
+use polyview_syntax::{Expr, Name, Scheme};
 use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// What a [`Prepared`] statement's validity is checked against (DESIGN.md
+/// §12).
+#[derive(Clone, Debug)]
+pub enum Deps {
+    /// The statement's free top-level names, each paired with that name's
+    /// declaration epoch snapshotted at compile time. The statement is
+    /// stale iff some dependency's epoch has moved; rebinding a name the
+    /// statement never mentions leaves it valid. A name absent from the
+    /// engine's epoch map has implicit epoch 0 (never rebound) — this is
+    /// how builtins and the prelude stay free.
+    Names(Vec<(Name, u64)>),
+    /// Defensive fallback: the global declaration epoch at compile time —
+    /// stale after *any* declaration. The engine computes [`Deps::Names`]
+    /// for every AST it prepares (the free-variable walk is total); this
+    /// variant exists for callers that cannot produce a dependency set and
+    /// preserves the pre-per-name semantics exactly.
+    Global(u64),
+}
+
+impl Deps {
+    /// Is a statement with these dependencies still valid under the given
+    /// per-name epochs (`name_epochs`, missing key = 0) and global epoch?
+    pub fn is_fresh(&self, name_epochs: &HashMap<Name, u64>, env_epoch: u64) -> bool {
+        match self {
+            Deps::Names(ds) => ds
+                .iter()
+                .all(|(n, at)| name_epochs.get(n).copied().unwrap_or(0) == *at),
+            Deps::Global(at) => *at == env_epoch,
+        }
+    }
+}
 
 /// A statement compiled once (parsed + principal type inferred) by
 /// [`crate::Engine::prepare`], executable many times with
@@ -33,16 +78,24 @@ pub struct Prepared {
     src: Option<String>,
     ast: Rc<Expr>,
     scheme: Scheme,
+    deps: Deps,
     env_epoch: u64,
     translation: OnceCell<Rc<Expr>>,
 }
 
 impl Prepared {
-    pub(crate) fn new(src: Option<String>, ast: Rc<Expr>, scheme: Scheme, env_epoch: u64) -> Self {
+    pub(crate) fn new(
+        src: Option<String>,
+        ast: Rc<Expr>,
+        scheme: Scheme,
+        deps: Deps,
+        env_epoch: u64,
+    ) -> Self {
         Prepared {
             src,
             ast,
             scheme,
+            deps,
             env_epoch,
             translation: OnceCell::new(),
         }
@@ -64,7 +117,21 @@ impl Prepared {
         &self.scheme
     }
 
-    /// The engine declaration epoch this statement was compiled under.
+    /// The dependency snapshot staleness is checked against: the
+    /// statement's free top-level names with their compile-time epochs
+    /// (or the global-epoch fallback).
+    pub fn deps(&self) -> &Deps {
+        &self.deps
+    }
+
+    /// Is this statement still valid under the given per-name epochs and
+    /// global epoch? See [`Deps::is_fresh`].
+    pub fn is_fresh(&self, name_epochs: &HashMap<Name, u64>, env_epoch: u64) -> bool {
+        self.deps.is_fresh(name_epochs, env_epoch)
+    }
+
+    /// The global declaration epoch this statement was compiled under
+    /// (observability; staleness is decided by [`Prepared::deps`]).
     pub fn env_epoch(&self) -> u64 {
         self.env_epoch
     }
@@ -99,17 +166,18 @@ pub enum StmtKey {
 }
 
 /// Outcome of a statement-cache lookup. Distinguishing [`Stale`] from
-/// [`Miss`] lets the engine count epoch invalidations separately from cold
-/// misses.
+/// [`Miss`] lets the engine count dependency invalidations separately from
+/// cold misses.
 ///
 /// [`Stale`]: CacheLookup::Stale
 /// [`Miss`]: CacheLookup::Miss
 #[derive(Clone, Debug)]
 pub(crate) enum CacheLookup {
-    /// Valid entry under the current epoch (the clone shares the AST).
+    /// Valid entry — every dependency at its compile-time epoch (the clone
+    /// shares the AST).
     Hit(Prepared),
-    /// Entry existed but was compiled under an older declaration epoch; it
-    /// has been dropped and the caller must re-prepare.
+    /// Entry existed but a name it depends on has been rebound since it was
+    /// compiled; it has been dropped and the caller must re-prepare.
     Stale,
     /// No entry.
     Miss,
@@ -117,7 +185,7 @@ pub(crate) enum CacheLookup {
 
 /// An LRU statement cache: source key → [`Prepared`], with recency tracked
 /// by a monotone tick and eviction of the least-recently-used entry at
-/// capacity. Stale entries (compiled under an older declaration epoch) are
+/// capacity. Stale entries (a dependency was rebound since compilation) are
 /// dropped on lookup so the caller transparently re-prepares.
 pub(crate) struct StmtCache {
     capacity: usize,
@@ -137,12 +205,18 @@ impl StmtCache {
         }
     }
 
-    /// Look up a statement compiled under `env_epoch`, bumping its recency.
-    /// A hit under any other epoch is stale: the entry is dropped and the
-    /// caller re-prepares.
-    pub fn lookup(&mut self, key: &StmtKey, env_epoch: u64) -> CacheLookup {
+    /// Look up a statement, bumping its recency. An entry whose dependency
+    /// snapshot no longer matches the current per-name epochs (or the
+    /// global epoch, for [`Deps::Global`] entries) is stale: it is dropped
+    /// and the caller re-prepares.
+    pub fn lookup(
+        &mut self,
+        key: &StmtKey,
+        name_epochs: &HashMap<Name, u64>,
+        env_epoch: u64,
+    ) -> CacheLookup {
         match self.map.get_mut(key) {
-            Some((tick, p)) if p.env_epoch() == env_epoch => {
+            Some((tick, p)) if p.is_fresh(name_epochs, env_epoch) => {
                 self.tick += 1;
                 *tick = self.tick;
                 CacheLookup::Hit(p.clone())
@@ -155,13 +229,18 @@ impl StmtCache {
         }
     }
 
-    /// Is there a valid entry for `key` under `env_epoch`? Pure peek: does
-    /// not bump recency and does not drop stale entries (`explain` uses it
-    /// to report cache state without perturbing it).
-    pub fn contains_valid(&self, key: &StmtKey, env_epoch: u64) -> bool {
+    /// Is there a valid entry for `key` under the current epochs? Pure
+    /// peek: does not bump recency and does not drop stale entries
+    /// (`explain` uses it to report cache state without perturbing it).
+    pub fn contains_valid(
+        &self,
+        key: &StmtKey,
+        name_epochs: &HashMap<Name, u64>,
+        env_epoch: u64,
+    ) -> bool {
         self.map
             .get(key)
-            .is_some_and(|(_, p)| p.env_epoch() == env_epoch)
+            .is_some_and(|(_, p)| p.is_fresh(name_epochs, env_epoch))
     }
 
     /// Insert (or refresh) an entry, evicting oldest-first to stay within
@@ -246,8 +325,14 @@ pub struct EngineStats {
     /// Entries evicted from the statement cache (LRU pressure or an
     /// explicit capacity shrink).
     pub stmt_cache_evictions: u64,
-    /// Prepared statements found stale because a `val`/`fun`/`class`
-    /// declaration bumped the epoch (cache drops + explicit stale `run`s).
+    /// Cache entries dropped because a name they depend on was rebound
+    /// since compilation (per-name invalidation, DESIGN.md §12). Distinct
+    /// from cold misses — a dep invalidation also counts as a miss, but a
+    /// miss alone means the statement was never cached.
+    pub stmt_cache_dep_invalidations: u64,
+    /// Explicit [`crate::Engine::run`]s of a stale [`Prepared`] handle
+    /// ([`crate::Error::StalePrepared`]): a dependency — or, for
+    /// global-fallback statements, any declaration — moved underneath it.
     pub epoch_invalidations: u64,
     /// Tokens produced by the lexer (excluding end-of-input).
     pub tokens_lexed: u64,
@@ -281,6 +366,8 @@ impl EngineStats {
             stmt_cache_hits: self.stmt_cache_hits + other.stmt_cache_hits,
             stmt_cache_misses: self.stmt_cache_misses + other.stmt_cache_misses,
             stmt_cache_evictions: self.stmt_cache_evictions + other.stmt_cache_evictions,
+            stmt_cache_dep_invalidations: self.stmt_cache_dep_invalidations
+                + other.stmt_cache_dep_invalidations,
             epoch_invalidations: self.epoch_invalidations + other.epoch_invalidations,
             tokens_lexed: self.tokens_lexed + other.tokens_lexed,
             nodes_parsed: self.nodes_parsed + other.nodes_parsed,
@@ -304,10 +391,11 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
-            "stmt-cache hits={} misses={} evictions={} epoch-invalidations={}",
+            "stmt-cache hits={} misses={} evictions={} dep-invalidations={} epoch-invalidations={}",
             self.stmt_cache_hits,
             self.stmt_cache_misses,
             self.stmt_cache_evictions,
+            self.stmt_cache_dep_invalidations,
             self.epoch_invalidations
         )?;
         writeln!(
@@ -326,15 +414,32 @@ impl std::fmt::Display for EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polyview_syntax::Expr;
+    use polyview_syntax::{Expr, Label};
 
+    /// A prepared statement on the pre-per-name global fallback: stale
+    /// after any epoch move.
     fn prepared(epoch: u64) -> Prepared {
         Prepared::new(
             None,
             Rc::new(Expr::int(1)),
             Scheme::mono(polyview_syntax::Mono::int()),
+            Deps::Global(epoch),
             epoch,
         )
+    }
+
+    fn prepared_deps(deps: Vec<(&str, u64)>) -> Prepared {
+        Prepared::new(
+            None,
+            Rc::new(Expr::int(1)),
+            Scheme::mono(polyview_syntax::Mono::int()),
+            Deps::Names(deps.into_iter().map(|(n, e)| (Label::new(n), e)).collect()),
+            0,
+        )
+    }
+
+    fn epochs(entries: &[(&str, u64)]) -> HashMap<Name, u64> {
+        entries.iter().map(|(n, e)| (Label::new(n), *e)).collect()
     }
 
     fn key(s: &str) -> StmtKey {
@@ -342,7 +447,10 @@ mod tests {
     }
 
     fn hit(c: &mut StmtCache, s: &str, epoch: u64) -> bool {
-        matches!(c.lookup(&key(s), epoch), CacheLookup::Hit(_))
+        matches!(
+            c.lookup(&key(s), &HashMap::new(), epoch),
+            CacheLookup::Hit(_)
+        )
     }
 
     #[test]
@@ -354,7 +462,10 @@ mod tests {
         assert_eq!(c.insert(key("c"), prepared(0)), 1); // evicts b
         assert_eq!(c.len(), 2);
         assert!(hit(&mut c, "a", 0));
-        assert!(matches!(c.lookup(&key("b"), 0), CacheLookup::Miss));
+        assert!(matches!(
+            c.lookup(&key("b"), &HashMap::new(), 0),
+            CacheLookup::Miss
+        ));
         assert!(hit(&mut c, "c", 0));
     }
 
@@ -362,10 +473,16 @@ mod tests {
     fn stale_epoch_entries_report_stale_and_drop() {
         let mut c = StmtCache::new(4);
         c.insert(key("q"), prepared(0));
-        assert!(matches!(c.lookup(&key("q"), 1), CacheLookup::Stale));
+        assert!(matches!(
+            c.lookup(&key("q"), &HashMap::new(), 1),
+            CacheLookup::Stale
+        ));
         assert_eq!(c.len(), 0);
         // Once dropped, a further lookup is a plain miss.
-        assert!(matches!(c.lookup(&key("q"), 1), CacheLookup::Miss));
+        assert!(matches!(
+            c.lookup(&key("q"), &HashMap::new(), 1),
+            CacheLookup::Miss
+        ));
     }
 
     #[test]
@@ -373,7 +490,10 @@ mod tests {
         let mut c = StmtCache::new(0);
         assert_eq!(c.insert(key("q"), prepared(0)), 0);
         assert_eq!(c.len(), 0);
-        assert!(matches!(c.lookup(&key("q"), 0), CacheLookup::Miss));
+        assert!(matches!(
+            c.lookup(&key("q"), &HashMap::new(), 0),
+            CacheLookup::Miss
+        ));
     }
 
     #[test]
@@ -403,8 +523,14 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(hit(&mut c, "a", 0));
         assert!(hit(&mut c, "d", 0));
-        assert!(matches!(c.lookup(&key("b"), 0), CacheLookup::Miss));
-        assert!(matches!(c.lookup(&key("c"), 0), CacheLookup::Miss));
+        assert!(matches!(
+            c.lookup(&key("b"), &HashMap::new(), 0),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            c.lookup(&key("c"), &HashMap::new(), 0),
+            CacheLookup::Miss
+        ));
     }
 
     #[test]
@@ -414,13 +540,60 @@ mod tests {
         c.insert(key("b"), prepared(0));
         // Peeking at "a" must NOT refresh it: the next insert still evicts
         // it as the oldest entry.
-        assert!(c.contains_valid(&key("a"), 0));
-        assert!(!c.contains_valid(&key("a"), 1)); // wrong epoch
-        assert!(!c.contains_valid(&key("z"), 0));
+        assert!(c.contains_valid(&key("a"), &HashMap::new(), 0));
+        assert!(!c.contains_valid(&key("a"), &HashMap::new(), 1)); // wrong epoch
+        assert!(!c.contains_valid(&key("z"), &HashMap::new(), 0));
         c.insert(key("c"), prepared(0));
-        assert!(matches!(c.lookup(&key("a"), 0), CacheLookup::Miss));
+        assert!(matches!(
+            c.lookup(&key("a"), &HashMap::new(), 0),
+            CacheLookup::Miss
+        ));
         // The stale peek above must not have dropped the entry either.
-        assert!(c.contains_valid(&key("b"), 0));
+        assert!(c.contains_valid(&key("b"), &HashMap::new(), 0));
+    }
+
+    #[test]
+    fn name_deps_survive_unrelated_epoch_moves() {
+        let mut c = StmtCache::new(4);
+        c.insert(key("q"), prepared_deps(vec![("Employee", 0), ("map", 0)]));
+        // An unrelated name was rebound (and the global epoch moved): the
+        // entry stays a hit.
+        let unrelated = epochs(&[("tick", 3)]);
+        assert!(matches!(
+            c.lookup(&key("q"), &unrelated, 3),
+            CacheLookup::Hit(_)
+        ));
+        assert!(c.contains_valid(&key("q"), &unrelated, 3));
+        // A dependency was rebound: stale, dropped.
+        let related = epochs(&[("tick", 3), ("Employee", 1)]);
+        assert!(!c.contains_valid(&key("q"), &related, 4));
+        assert!(matches!(
+            c.lookup(&key("q"), &related, 4),
+            CacheLookup::Stale
+        ));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn absent_names_have_implicit_epoch_zero() {
+        // Builtins/prelude names never appear in the epoch map; a snapshot
+        // taken at 0 matches forever, and a snapshot taken after a rebind
+        // (epoch > 0) never matches an empty map.
+        let fresh = prepared_deps(vec![("map", 0)]);
+        assert!(fresh.is_fresh(&HashMap::new(), 99));
+        let rebound = prepared_deps(vec![("map", 2)]);
+        assert!(!rebound.is_fresh(&HashMap::new(), 99));
+        assert!(rebound.is_fresh(&epochs(&[("map", 2)]), 99));
+    }
+
+    #[test]
+    fn global_fallback_invalidates_on_any_epoch_move() {
+        let p = prepared(7);
+        assert!(matches!(p.deps(), Deps::Global(7)));
+        // Per-name epochs are ignored by the fallback: only the global
+        // epoch decides.
+        assert!(p.is_fresh(&epochs(&[("x", 5)]), 7));
+        assert!(!p.is_fresh(&HashMap::new(), 8));
     }
 
     #[test]

@@ -62,8 +62,9 @@ pub struct Machine {
     /// [`Machine::enable_extent_cache`]).
     extent_cache_enabled: bool,
     extent_cache: HashMap<ClassId, (u64, SetVal)>,
-    /// Bumped by every `insert`/`delete`; cache entries from older epochs
-    /// are stale.
+    /// Bumped by every store mutation — `insert`, `delete`, and record
+    /// field `update` (extent predicates can read mutable fields); cache
+    /// entries from older epochs are stale.
     class_epoch: u64,
     /// Work counters; monotone until [`Machine::reset_stats`].
     stats: MachineStats,
@@ -291,6 +292,10 @@ impl Machine {
                 };
                 let nv = self.eval_in(rhs, env)?;
                 self.store.set(slot, nv);
+                // A field write can change what any extent predicate
+                // observes (`include … where` reads object state), so it
+                // invalidates cached extents exactly like insert/delete.
+                self.class_epoch += 1;
                 Ok(Value::Unit)
             }
             Expr::SetLit(es) => {
@@ -718,12 +723,13 @@ impl Machine {
     /// Opt-in memoization of top-level class extents, an *extension* to the
     /// paper's always-recompute semantics (§4.3's `λ()` delay).
     ///
-    /// Cache entries are invalidated by any `insert`/`delete` (a global
-    /// epoch). CAVEAT: the cache does **not** observe `update` on record
-    /// fields, so a predicate or viewing function reading mutable state may
-    /// see stale extents while the cache is enabled — exactly the
-    /// consistency hazard that makes the paper choose lazy evaluation. The
-    /// E4 ablation bench quantifies the trade-off.
+    /// Cache entries are invalidated by any store mutation — `insert`,
+    /// `delete`, and record-field `update` all bump a global epoch — so a
+    /// predicate or viewing function reading mutable state always sees
+    /// extents consistent with the current store; enabling the cache is
+    /// observationally transparent. The cost is coarseness: one `update`
+    /// anywhere recomputes every extent on next read. The E4 ablation
+    /// bench quantifies the trade-off.
     pub fn enable_extent_cache(&mut self, enabled: bool) {
         self.extent_cache_enabled = enabled;
         if !enabled {

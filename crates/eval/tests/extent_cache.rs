@@ -1,7 +1,7 @@
 //! The opt-in extent cache (an extension over the paper's
-//! always-recompute semantics): correctness of invalidation on
-//! insert/delete, and its documented staleness caveat under record-field
-//! updates.
+//! always-recompute semantics): correctness of invalidation on every
+//! store mutation — insert, delete, and record-field update — so the
+//! cached and uncached machines are observationally identical.
 
 use polyview_eval::Machine;
 use polyview_syntax::builder as b;
@@ -119,10 +119,12 @@ fn disabling_clears_cache() {
 }
 
 #[test]
-fn documented_staleness_under_field_update() {
-    // The caveat: a record-field update is invisible to the cache. With a
-    // mutable Sex field, flipping it after a cached query leaves the cache
-    // stale until the next insert/delete.
+fn field_update_invalidates_cache() {
+    // Regression: a record-field update used to be invisible to the cache
+    // (only insert/delete bumped the epoch), so with a mutable Sex field,
+    // flipping it after a cached query served a stale extent. Every store
+    // write now invalidates, and the cached machine must agree with the
+    // plain one.
     let flip_sex = |m: &mut Machine| {
         m.eval(&b::cquery(
             b::lam(
@@ -182,7 +184,8 @@ fn documented_staleness_under_field_update() {
     let v = plain.eval(&count_query("Female")).expect("count");
     assert_eq!(format!("{v:?}"), "Int(1)");
 
-    // With the cache: stale until an insert/delete bumps the epoch.
+    // With the cache: the update bumps the epoch, so the next read
+    // recomputes and observes the new field value.
     let mut cached = Machine::new();
     cached.enable_extent_cache(true);
     mk_setup(&mut cached);
@@ -191,7 +194,7 @@ fn documented_staleness_under_field_update() {
     let v = cached.eval(&count_query("Female")).expect("count");
     assert_eq!(
         format!("{v:?}"),
-        "Int(0)",
-        "cache is documented to miss field updates"
+        "Int(1)",
+        "update must invalidate cached extents"
     );
 }

@@ -283,6 +283,8 @@ fn set_engine_counters(reg: &Registry, s: &EngineStats) {
         .set(s.stmt_cache_misses);
     reg.counter("engine.stmt_cache_evictions")
         .set(s.stmt_cache_evictions);
+    reg.counter("engine.stmt_cache_dep_invalidations")
+        .set(s.stmt_cache_dep_invalidations);
     reg.counter("engine.epoch_invalidations")
         .set(s.epoch_invalidations);
     reg.counter("parser.tokens_lexed").set(s.tokens_lexed);

@@ -2,8 +2,9 @@
 //! JSON lines on stdout — one JSON object per line.
 //!
 //! `scripts/verify.sh` pipes this through a JSON parser to check the export
-//! format; it is also a minimal example of reading the observability layer
-//! programmatically.
+//! format and the statement cache's behavior under an unrelated rebind
+//! (hits > 0, no dependency invalidations); it is also a minimal example of
+//! reading the observability layer programmatically.
 
 use polyview::Engine;
 
@@ -23,5 +24,12 @@ fn main() {
             .eval_to_string("cquery(fn s => map(fn o => query(fn x => x.Salary, o), s), Employee)")
             .expect("query runs");
     }
+    // Rebind a name the query never mentions: per-name dependency
+    // invalidation keeps the cached compilation warm, so the third run is
+    // another hit and `engine.stmt_cache_dep_invalidations` stays 0.
+    engine.exec("val unrelated = 1;").expect("rebind");
+    engine
+        .eval_to_string("cquery(fn s => map(fn o => query(fn x => x.Salary, o), s), Employee)")
+        .expect("query runs");
     print!("{}", engine.metrics_json());
 }

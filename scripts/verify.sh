@@ -62,7 +62,10 @@ for manifest in Cargo.toml \
     ' "$manifest" || { echo "FAIL: dependency hygiene ($manifest)"; exit 1; }
 done
 
-echo "==> metrics export: one JSON object per line"
+echo "==> metrics export: one JSON object per line + cache-behavior smoke"
+# metrics_dump runs the same query three times around an unrelated `val`
+# rebind: per-name dependency invalidation (DESIGN.md §12) must keep the
+# cached compilation warm — hits > 0, dep-invalidations exactly 0.
 cargo run -q --release --example metrics_dump | python3 -c '
 import json, sys
 lines = sys.stdin.read().splitlines()
@@ -72,7 +75,13 @@ for line in lines:
     assert isinstance(obj, dict) and "kind" in obj and "name" in obj, line
 kinds = {json.loads(l)["kind"] for l in lines}
 assert kinds == {"counter", "histogram"}, kinds
-print(f"  {len(lines)} metrics lines, all valid JSON objects")
+counters = {o["name"]: o["value"] for o in map(json.loads, lines) if o["kind"] == "counter"}
+hits = counters["engine.stmt_cache_hits"]
+deps = counters["engine.stmt_cache_dep_invalidations"]
+assert hits > 0, f"expected statement-cache hits, got {hits}"
+assert deps == 0, f"unrelated rebind must not invalidate: dep_invalidations={deps}"
+print(f"  {len(lines)} metrics lines, all valid JSON objects; "
+      f"stmt_cache_hits={hits}, dep_invalidations={deps}")
 '
 
 echo "==> trace export: pool_server --trace emits valid JSON event lines"

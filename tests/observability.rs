@@ -187,10 +187,10 @@ fn lru_pressure_evictions_are_counted() {
     assert_eq!(e.stmt_cache_len(), 2);
 }
 
-// ----- StalePrepared interleavings and epoch invalidations -----
+// ----- StalePrepared interleavings and dependency invalidations -----
 
 #[test]
-fn prepared_survives_mutations_but_not_declarations() {
+fn prepared_survives_mutations_and_unrelated_declarations() {
     let mut e = Engine::new();
     e.exec(SESSION).expect("defines");
     let p = e.prepare(SALARIES).expect("compiles");
@@ -208,19 +208,36 @@ fn prepared_survives_mutations_but_not_declarations() {
     assert_eq!(e.run_to_string(&p).expect("runs"), "{3000, 4000}");
     assert_eq!(e.stats().epoch_invalidations, 0);
 
-    // A val declaration bumps the epoch: the prepared query is stale.
+    // Declarations of names the query never mentions leave it valid too —
+    // staleness is per dependency, not per global epoch.
     e.exec("val unrelated = 1;").expect("declares");
+    e.exec("fun twice x = x + x;").expect("declares");
+    e.exec("class Dept = class {} end;").expect("declares");
+    assert_eq!(e.run_to_string(&p).expect("still fresh"), "{3000, 4000}");
+    assert_eq!(e.stats().epoch_invalidations, 0);
+
+    // Rebinding a dependency makes it stale.
+    e.exec("class Employee = class {} end;").expect("rebinds");
     assert!(matches!(e.run(&p), Err(Error::StalePrepared)));
     assert_eq!(e.stats().epoch_invalidations, 1);
 }
 
 #[test]
-fn each_declaration_kind_invalidates_prepared() {
-    let decls = ["val v = 1;", "fun f x = x;", "class C = class {} end;"];
-    for decl in decls {
+fn each_declaration_kind_invalidates_prepared_when_it_rebinds_a_dep() {
+    // Each kind rebinding a dependency of the prepared query (`Employee`
+    // and `sel`) invalidates; the same kinds binding fresh names do not.
+    let query = "cquery(fn s => map(sel, s), Employee)";
+    let rebinding = [
+        "val Employee = 1;",
+        "fun sel o = o;",
+        "class Employee = class {} end;",
+    ];
+    for decl in rebinding {
         let mut e = Engine::new();
         e.exec(SESSION).expect("defines");
-        let p = e.prepare(SALARIES).expect("compiles");
+        e.exec("fun sel o = query(fn x => x.Salary, o);")
+            .expect("defines sel");
+        let p = e.prepare(query).expect("compiles");
         e.run(&p).expect("fresh runs");
         e.exec(decl).expect("declares");
         assert!(
@@ -229,21 +246,53 @@ fn each_declaration_kind_invalidates_prepared() {
         );
         assert_eq!(e.stats().epoch_invalidations, 1, "after {decl}");
     }
+
+    let unrelated = ["val v = 1;", "fun f x = x;", "class C = class {} end;"];
+    for decl in unrelated {
+        let mut e = Engine::new();
+        e.exec(SESSION).expect("defines");
+        e.exec("fun sel o = query(fn x => x.Salary, o);")
+            .expect("defines sel");
+        let p = e.prepare(query).expect("compiles");
+        e.run(&p).expect("fresh runs");
+        e.exec(decl).expect("declares");
+        e.run(&p)
+            .unwrap_or_else(|err| panic!("{decl} must not invalidate: {err}"));
+        assert_eq!(e.stats().epoch_invalidations, 0, "after {decl}");
+    }
 }
 
 #[test]
-fn stale_cache_entries_count_as_epoch_invalidations() {
+fn stale_cache_entries_count_as_dep_invalidations() {
     let mut e = Engine::new();
     e.exec(SESSION).expect("defines");
     e.eval_to_string(SALARIES).expect("fills cache");
+
+    // An unrelated declaration leaves the cached compilation warm.
     e.exec("val unrelated = 1;").expect("declares");
-    // The cached compilation is from the old epoch: dropped + recompiled.
+    let before = e.stats();
+    e.eval_to_string(SALARIES).expect("hits");
+    let after = e.stats();
+    assert_eq!(after.stmt_cache_hits, before.stmt_cache_hits + 1);
+    assert_eq!(
+        after.stmt_cache_dep_invalidations,
+        before.stmt_cache_dep_invalidations
+    );
+
+    // Rebinding a dependency drops the entry: dep-invalidation + miss, and
+    // `epoch_invalidations` (explicit stale `run`s) stays untouched.
+    e.exec("class Employee = class {} end;")
+        .expect("rebinds a dep");
     let before = e.stats();
     e.eval_to_string(SALARIES).expect("recompiles");
     let after = e.stats();
-    assert_eq!(after.epoch_invalidations, before.epoch_invalidations + 1);
+    assert_eq!(
+        after.stmt_cache_dep_invalidations,
+        before.stmt_cache_dep_invalidations + 1
+    );
     assert_eq!(after.stmt_cache_misses, before.stmt_cache_misses + 1);
     assert_eq!(after.stmt_cache_hits, before.stmt_cache_hits);
+    assert_eq!(after.epoch_invalidations, before.epoch_invalidations);
 }
 
 // ----- metrics export -----

@@ -458,3 +458,73 @@ fn paper_workflow_through_the_pool() {
     }
     pool.shutdown();
 }
+
+/// The payoff of per-name dependency invalidation, multiplied by
+/// replication: an unrelated `val` rebind is replayed on every replica
+/// without evicting any replica's statement cache, while rebinding a name
+/// the cached query depends on invalidates on every replica.
+#[test]
+fn unrelated_rebind_keeps_replica_caches_warm() {
+    let mut pool = small_pool(3);
+    let s = 7;
+    pool.run(s, "class Staff = class {} end;").expect("class");
+    pool.run(s, "insert(Staff, IDView([Name = \"Alice\"]))")
+        .expect("insert");
+    pool.barrier().expect("barrier");
+
+    // Warm every replica's statement cache (second probe is the hit).
+    for w in 0..pool.worker_count() {
+        assert_eq!(
+            pool.probe_worker(w, NAMES_QUERY).expect("cold"),
+            "{\"Alice\"}"
+        );
+        pool.probe_worker(w, NAMES_QUERY).expect("warm");
+    }
+
+    // An unrelated rebind is sequenced and replayed everywhere…
+    pool.run(s, "val unrelated = 1;").expect("rebind");
+    pool.barrier().expect("barrier");
+    let before = pool.stats();
+    for w in 0..pool.worker_count() {
+        assert_eq!(
+            pool.probe_worker(w, NAMES_QUERY).expect("still warm"),
+            "{\"Alice\"}"
+        );
+    }
+    let after = pool.stats();
+    // …and every replica still serves the query from its cache.
+    for (b, a) in before.per_worker.iter().zip(after.per_worker.iter()) {
+        assert_eq!(b.worker, a.worker);
+        assert_eq!(
+            a.engine.stmt_cache_hits,
+            b.engine.stmt_cache_hits + 1,
+            "worker {} lost its cached statement to an unrelated rebind",
+            a.worker
+        );
+        assert_eq!(
+            a.engine.stmt_cache_dep_invalidations, b.engine.stmt_cache_dep_invalidations,
+            "worker {} saw a spurious dep invalidation",
+            a.worker
+        );
+    }
+
+    // Rebinding a name the query depends on invalidates on every replica.
+    pool.run(s, "class Staff = class {} end;")
+        .expect("rebind dep");
+    pool.barrier().expect("barrier");
+    let before = pool.stats();
+    for w in 0..pool.worker_count() {
+        assert_eq!(pool.probe_worker(w, NAMES_QUERY).expect("recompiles"), "{}");
+    }
+    let after = pool.stats();
+    for (b, a) in before.per_worker.iter().zip(after.per_worker.iter()) {
+        assert_eq!(
+            a.engine.stmt_cache_dep_invalidations,
+            b.engine.stmt_cache_dep_invalidations + 1,
+            "worker {} must drop the stale compilation",
+            a.worker
+        );
+        assert_eq!(a.engine.stmt_cache_hits, b.engine.stmt_cache_hits);
+    }
+    pool.shutdown();
+}

@@ -279,6 +279,87 @@ fn class_operand_is_a_name_not_source() {
     assert!(err.is_type_error(), "got {err:?}");
 }
 
+// ----- per-name dependency invalidation -----
+
+#[test]
+fn unrelated_rebind_keeps_prepared_statement_and_cache_hot() {
+    let mut e = Engine::new();
+    e.exec(
+        "class Staff = class {} end;\n\
+         insert(Staff, IDView([Name = \"Alice\", Age = 40]));",
+    )
+    .expect("setup");
+    let query = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
+    let p = e.prepare(query).expect("compiles");
+    assert_eq!(e.run_to_string(&p).expect("runs"), "{\"Alice\"}");
+    assert_eq!(e.eval_to_string(query).expect("fills cache"), "{\"Alice\"}");
+
+    // Rebind names the query never mentions: the prepared handle keeps
+    // running and the cached compilation hits without re-inference.
+    e.exec("val tick = 1;").expect("declares");
+    e.exec("val tick = 2;").expect("rebinds");
+    e.exec("fun helper x = x + 1;").expect("declares");
+    assert_eq!(e.run_to_string(&p).expect("still fresh"), "{\"Alice\"}");
+    let before = e.stats();
+    assert_eq!(e.eval_to_string(query).expect("warm"), "{\"Alice\"}");
+    let after = e.stats();
+    assert_eq!(after.stmt_cache_hits, before.stmt_cache_hits + 1);
+    assert_eq!(after.inferences, before.inferences, "no re-inference");
+    assert_eq!(
+        after.stmt_cache_dep_invalidations,
+        before.stmt_cache_dep_invalidations
+    );
+    assert_eq!(after.epoch_invalidations, 0, "no stale run ever happened");
+}
+
+#[test]
+fn rebinding_a_dependency_invalidates() {
+    let mut e = Engine::new();
+    e.exec("val base = 10;").expect("defines");
+    let p = e.prepare("base + 1").expect("compiles");
+    assert_eq!(e.run_to_string(&p).expect("runs"), "11");
+    e.exec("val base = 20;").expect("rebinds");
+    let err = e.run(&p).expect_err("stale");
+    assert!(err.is_stale_prepared(), "got {err:?}");
+
+    // The cached form of the same source is dropped and recompiled too.
+    e.eval_to_string("base + 1").expect("fills cache");
+    e.exec("val base = 30;").expect("rebinds");
+    let before = e.stats();
+    assert_eq!(e.eval_to_string("base + 1").expect("recompiles"), "31");
+    let after = e.stats();
+    assert_eq!(
+        after.stmt_cache_dep_invalidations,
+        before.stmt_cache_dep_invalidations + 1
+    );
+    assert_eq!(after.stmt_cache_misses, before.stmt_cache_misses + 1);
+}
+
+#[test]
+fn rebinding_any_group_member_invalidates_dependents_of_each() {
+    // A `fun … and …` group rebinds every member name: a statement
+    // depending on *any* member goes stale, and statements depending on
+    // neither stay fresh.
+    let mut e = Engine::new();
+    e.exec("fun f x = x + 1 and g x = x * 2;").expect("defines");
+    e.exec("val other = 5;").expect("defines");
+    let on_f = e.prepare("f 1").expect("compiles");
+    let on_g = e.prepare("g 1").expect("compiles");
+    let on_other = e.prepare("other + 1").expect("compiles");
+    e.run(&on_f).expect("fresh");
+    e.run(&on_g).expect("fresh");
+
+    // Rebinding the group through *one* member's new definition still
+    // rebinds both names.
+    e.exec("fun f x = x and g x = x;").expect("rebinds group");
+    assert!(e.run(&on_f).expect_err("f dep").is_stale_prepared());
+    assert!(e.run(&on_g).expect_err("g dep").is_stale_prepared());
+    assert_eq!(
+        e.run_to_string(&on_other).expect("unrelated stays fresh"),
+        "6"
+    );
+}
+
 // ----- fun groups elaborate once -----
 
 #[test]
