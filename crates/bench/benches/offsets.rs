@@ -1,0 +1,154 @@
+//! E10: the index-passing compile tier (DESIGN.md §13). Field access,
+//! destructive update, and record construction in a hot loop, executed
+//! through the offset-resolved backend (`compile_tier` on, the default)
+//! versus pure dynamic label lookup (`set_compile_tier(false)`).
+//!
+//! Expected shape: the offset backend wins on every record-heavy loop —
+//! a resolved access is an integer slot read where the dynamic path
+//! binary-searches the layout per operation — and the gap widens with
+//! record width. The E8 extension at the bottom reruns the prepared-run
+//! hot path on both backends: prepared statements store the *lowered*
+//! code, so the tier's advantage survives compile-once/run-many.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyview::Engine;
+use std::hint::black_box;
+
+/// An engine with the tier chosen *before* any declaration: lowering
+/// happens at declaration/prepare time, so the toggle must precede the
+/// whole session.
+fn engine(compile_tier: bool) -> Engine {
+    let mut e = Engine::new();
+    e.set_compile_tier(compile_tier);
+    e
+}
+
+/// A record literal of `width` immutable fields plus one mutable `M`.
+fn wide_record(width: usize) -> String {
+    let mut fields: Vec<String> = (0..width).map(|i| format!("F{i} = {i}")).collect();
+    fields.push("M := 0".to_string());
+    format!("[{}]", fields.join(", "))
+}
+
+fn bench_dot_hot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_dot");
+    for width in [4usize, 16, 64] {
+        // Sum one field over a recursive loop: every iteration is a
+        // field access plus arithmetic, the minimal dot-dominated load.
+        let setup = format!(
+            "val r = {};\n\
+             fun go n = if n = 0 then 0 else r.F1 + go (n - 1);",
+            wide_record(width)
+        );
+        for (label, tier) in [("offset", true), ("dynamic", false)] {
+            let mut e = engine(tier);
+            e.exec(&setup).expect("setup");
+            let p = e.prepare("go 200").expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(label, width),
+                &p,
+                |bch, p| bch.iter(|| black_box(e.run(black_box(p)).expect("runs"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_update_hot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_update");
+    for width in [4usize, 16, 64] {
+        let setup = format!(
+            "val r = {};\n\
+             fun go n = if n = 0 then r.M \
+                        else let u = update(r, M, r.M + 1) in go (n - 1) end;",
+            wide_record(width)
+        );
+        for (label, tier) in [("offset", true), ("dynamic", false)] {
+            let mut e = engine(tier);
+            e.exec(&setup).expect("setup");
+            let p = e.prepare("go 200").expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(label, width),
+                &p,
+                |bch, p| bch.iter(|| black_box(e.run(black_box(p)).expect("runs"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_record_construction(c: &mut Criterion) {
+    // Record construction always lowers (labels are syntactically known):
+    // the offset backend writes slots by position into the shared layout,
+    // the dynamic backend assembles the layout per construction.
+    let mut group = c.benchmark_group("E10_construct");
+    for width in [4usize, 16, 64] {
+        let src = format!(
+            "hom({{1, 2, 3, 4}}, fn x => query(fn q => q.F1, IDView({})), \
+             fn a => fn b => a + b, 0)",
+            wide_record(width)
+        );
+        for (label, tier) in [("offset", true), ("dynamic", false)] {
+            let mut e = engine(tier);
+            let p = e.prepare(&src).expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(label, width),
+                &p,
+                |bch, p| bch.iter(|| black_box(e.run(black_box(p)).expect("runs"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_polymorphic_call(c: &mut Criterion) {
+    // An index-abstracted function called monomorphically: the caller
+    // passes constant offsets, so the body's accesses are slot reads.
+    // The dynamic backend re-searches the label on every call.
+    let mut group = c.benchmark_group("E10_index_passing");
+    let setup = "fun name x = x.Name;\n\
+                 fun go n = if n = 0 then \"\" else let v = name [Name = \"a\", \
+                 A = 1, B = 2, C = 3, D = 4, E = 5] in go (n - 1) end;";
+    for (label, tier) in [("offset", true), ("dynamic", false)] {
+        let mut e = engine(tier);
+        e.exec(setup).expect("setup");
+        let p = e.prepare("go 200").expect("compiles");
+        group.bench_function(label, |bch| {
+            bch.iter(|| black_box(e.run(black_box(&p)).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prepared_backends(c: &mut Criterion) {
+    // E8 extension: the compile-once/run-many pipeline on both backends.
+    // `prepare` stores the lowered code, so the offset tier's advantage
+    // is a property of `run`, not of recompilation.
+    let mut group = c.benchmark_group("E8_prepared_by_backend");
+    let src = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
+    for (label, tier) in [("offset", true), ("dynamic", false)] {
+        let mut e = engine(tier);
+        e.exec("class Staff = class {} end;").expect("class");
+        for i in 0..32 {
+            e.exec(&format!(
+                "insert(Staff, IDView([Name = \"emp{i}\", Age = {}]));",
+                20 + (i % 50)
+            ))
+            .expect("insert");
+        }
+        let p = e.prepare(src).expect("compiles");
+        group.bench_function(label, |bch| {
+            bch.iter(|| black_box(e.run(black_box(&p)).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_dot_hot_loop, bench_update_hot_loop,
+        bench_record_construction, bench_polymorphic_call,
+        bench_prepared_backends
+}
+criterion_main!(benches);

@@ -107,7 +107,10 @@ pub fn classify_expr(e: &Expr) -> StmtClass {
     walk(e, &mut |n| {
         if matches!(
             n,
-            Expr::Insert(_, _) | Expr::Delete(_, _) | Expr::Update(_, _, _)
+            Expr::Insert(_, _)
+                | Expr::Delete(_, _)
+                | Expr::Update(_, _, _)
+                | Expr::UpdateAt(_, _, _, _)
         ) {
             writes = true;
         }
@@ -159,6 +162,7 @@ fn store_sites<'a>(e: &'a Expr, out: &mut Vec<(&'a Expr, &'a Expr)>) {
     match e {
         Expr::Insert(target, payload) => out.push((target, payload)),
         Expr::Update(target, _, payload) => out.push((target, payload)),
+        Expr::UpdateAt(target, _, _, payload) => out.push((target, payload)),
         _ => {}
     }
     for c in children(e) {

@@ -25,7 +25,8 @@ use polyview_obs::{Clock, Counter, Histogram, Registry, Span, TraceSink, Tracer}
 use polyview_parser::{parse_expr_counted, parse_program_counted, Decl, ParseStats};
 use polyview_syntax::visit::{check_rec_class_scope, free_vars};
 use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
-use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv};
+use polyview_trans::{lower_binding, lower_statement, IndexSig, LowerStats};
+use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv, TypeTable};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -66,6 +67,7 @@ struct PhaseMetrics {
     nodes_parsed: Counter,
     parse_ns: Histogram,
     infer_ns: Histogram,
+    lower_ns: Histogram,
     translate_ns: Histogram,
     eval_ns: Histogram,
     translated_size: Histogram,
@@ -76,6 +78,8 @@ struct PhaseMetrics {
     fuel_consumed: Counter,
     records_allocated: Counter,
     sets_allocated: Counter,
+    field_offsets_resolved: Counter,
+    dyn_field_fallbacks: Counter,
 }
 
 impl PhaseMetrics {
@@ -92,6 +96,7 @@ impl PhaseMetrics {
             nodes_parsed: reg.counter("parser.nodes_parsed"),
             parse_ns: reg.histogram("phase.parse_ns"),
             infer_ns: reg.histogram("phase.infer_ns"),
+            lower_ns: reg.histogram("phase.lower_ns"),
             translate_ns: reg.histogram("phase.translate_ns"),
             eval_ns: reg.histogram("phase.eval_ns"),
             translated_size: reg.histogram("trans.translated_size"),
@@ -102,6 +107,8 @@ impl PhaseMetrics {
             fuel_consumed: reg.counter("eval.fuel_consumed"),
             records_allocated: reg.counter("eval.records_allocated"),
             sets_allocated: reg.counter("eval.sets_allocated"),
+            field_offsets_resolved: reg.counter("eval.field_offsets_resolved"),
+            dyn_field_fallbacks: reg.counter("eval.dyn_field_fallbacks"),
         }
     }
 }
@@ -135,6 +142,25 @@ pub struct Engine {
     /// [`Engine::prepare`] snapshots the epochs of a statement's free
     /// names; the statement is stale iff one of them moves (DESIGN.md §12).
     name_epochs: HashMap<Name, u64>,
+    /// Compile tier toggle (DESIGN.md §13): when on (the default), every
+    /// prepared statement and declaration is lowered to offset-resolved
+    /// form before evaluation. Set it **before the first declaration** —
+    /// code compiled under one setting must not run against bindings
+    /// compiled under the other (use a fresh engine per backend, as the
+    /// differential suite does).
+    compile_tier: bool,
+    /// Index signatures of top-level bindings the compile tier has
+    /// index-abstracted: use sites of these names must apply one index
+    /// argument per entry before their real arguments. Maintained in
+    /// lock-step with the value environment — entries are cleared when
+    /// their name is rebound ([`Engine::bump_epochs`]).
+    index_sigs: HashMap<Name, Rc<IndexSig>>,
+    /// `val g = f;` alias edges (alias → source). When a name is rebound,
+    /// every alias that points at it (transitively) has its epoch bumped
+    /// too: the alias's *value* still holds the old binding, so statements
+    /// depending on the alias must go stale with the source (DESIGN.md
+    /// §12).
+    alias_edges: HashMap<Name, Name>,
 }
 
 impl Default for Engine {
@@ -157,7 +183,23 @@ impl Engine {
             phases,
             env_epoch: 0,
             name_epochs: HashMap::new(),
+            compile_tier: true,
+            index_sigs: HashMap::new(),
+            alias_edges: HashMap::new(),
         }
+    }
+
+    /// Toggle the compile tier (offset-resolved execution). On by default.
+    /// Must be set before the first declaration: bindings compiled with
+    /// the tier on hold index-abstracted values that only tier-compiled
+    /// statements know how to call. Use a fresh engine per setting.
+    pub fn set_compile_tier(&mut self, on: bool) {
+        self.compile_tier = on;
+    }
+
+    /// Is the compile tier (offset-resolved execution) enabled?
+    pub fn compile_tier(&self) -> bool {
+        self.compile_tier
     }
 
     /// Cap evaluation steps (useful when running untrusted or generated
@@ -252,6 +294,14 @@ impl Engine {
             after.records_allocated - before.records_allocated,
         );
         span.attr("sets", after.sets_allocated - before.sets_allocated);
+        span.attr(
+            "offsets",
+            after.field_offsets_resolved - before.field_offsets_resolved,
+        );
+        span.attr(
+            "dyn_fallbacks",
+            after.dyn_field_fallbacks - before.dyn_field_fallbacks,
+        );
         let dur = span.finish(&self.tracer);
         self.phases.eval_ns.observe(dur);
         Ok(r?)
@@ -289,15 +339,24 @@ impl Engine {
     }
 
     fn prepare_parsed(&mut self, src: Option<String>, ast: Expr) -> Result<Prepared, Error> {
+        // Pin the AST behind `Rc` *before* inference: the type table keys
+        // per-node results by node address, and the lowering pass must see
+        // exactly the nodes inference recorded.
+        let ast = Rc::new(ast);
+        if self.compile_tier {
+            self.cx.enable_table();
+        }
         let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, &ast))?;
         let deps = self.snapshot_deps(&ast);
-        Ok(Prepared::new(
-            src,
-            Rc::new(ast),
-            scheme,
-            deps,
-            self.env_epoch,
-        ))
+        let mut p = Prepared::new(src, ast.clone(), scheme, deps, self.env_epoch);
+        if self.compile_tier {
+            if let Some((code, stats, _)) =
+                self.lower_phase(|table, sigs| lower_statement(&ast, table, sigs))
+            {
+                p.set_code(Rc::new(code), stats);
+            }
+        }
+        Ok(p)
     }
 
     /// The dependency snapshot for an AST about to be prepared: every free
@@ -324,11 +383,61 @@ impl Engine {
     /// declaration can fail partway through binding (see
     /// [`Engine::define_group`]), and cached statements must never keep
     /// validating against a partially-applied group.
+    ///
+    /// Aliases are invalidated transitively: if `g` was declared as
+    /// `val g = f;`, its value snapshot of `f` is now stale, so `g`'s
+    /// epoch moves with `f`'s — and so on through chains of aliases. Only
+    /// the *directly* rebound names lose their alias/index-signature
+    /// registry entries: a cascaded alias keeps its (old) value, which its
+    /// recorded signature still describes.
     fn bump_epochs(&mut self, names: &[Name]) {
         self.env_epoch += 1;
+        let mut bumped: Vec<Name> = Vec::new();
         for n in names {
             *self.name_epochs.entry(n.clone()).or_insert(0) += 1;
+            self.index_sigs.remove(n);
+            self.alias_edges.remove(n);
+            bumped.push(n.clone());
         }
+        // Transitive closure over reverse alias edges. `bumped` only ever
+        // grows and each name enters once, so this terminates even on
+        // (impossible) cyclic edge sets.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let next: Vec<Name> = self
+                .alias_edges
+                .iter()
+                .filter(|(alias, src)| bumped.contains(src) && !bumped.contains(alias))
+                .map(|(alias, _)| alias.clone())
+                .collect();
+            for alias in next {
+                *self.name_epochs.entry(alias.clone()).or_insert(0) += 1;
+                bumped.push(alias);
+                changed = true;
+            }
+        }
+    }
+
+    /// Run the compile tier on one statement: consume the inference
+    /// table recorded for it and lower, timed as the "lower" phase.
+    /// Returns `None` when no table was recorded (tier off, or inference
+    /// bypassed recording).
+    fn lower_phase<T>(
+        &mut self,
+        f: impl FnOnce(&TypeTable, &HashMap<Name, Rc<IndexSig>>) -> (T, LowerStats),
+    ) -> Option<(T, LowerStats, u64)> {
+        let table = self.cx.take_table()?;
+        let mut span = self.tracer.span("lower");
+        let (out, stats) = f(&table, &self.index_sigs);
+        span.attr("offsets", stats.offsets_resolved);
+        span.attr("index_params", stats.index_params_used);
+        span.attr("abstractions", stats.index_abstractions);
+        span.attr("residue", stats.dynamic_residue);
+        span.attr("records", stats.records_lowered);
+        let dur = span.finish(&self.tracer);
+        self.phases.lower_ns.observe(dur);
+        Some((out, stats, dur))
     }
 
     /// Execute a prepared statement against the current store. No parsing,
@@ -342,7 +451,7 @@ impl Engine {
             self.phases.epoch_invalidations.inc();
             return Err(Error::StalePrepared);
         }
-        self.eval_phase(p.ast())
+        self.eval_phase(p.code())
     }
 
     /// [`Engine::run`], rendering the result.
@@ -364,7 +473,7 @@ impl Engine {
             CacheLookup::Hit(p) => {
                 self.phases.stmt_cache_hits.inc();
                 let scheme = p.scheme().clone();
-                let v = self.eval_phase(p.ast())?;
+                let v = self.eval_phase(p.code())?;
                 return Ok((scheme, v));
             }
             CacheLookup::Stale => {
@@ -375,7 +484,7 @@ impl Engine {
         }
         let p = build(self)?;
         let scheme = p.scheme().clone();
-        let v = self.eval_phase(p.ast())?;
+        let v = self.eval_phase(p.code())?;
         let evicted = self.stmts.insert(key, p);
         self.phases.stmt_cache_evictions.add(evicted as u64);
         Ok((scheme, v))
@@ -420,6 +529,8 @@ impl Engine {
             fuel_consumed: m.fuel_consumed,
             records_allocated: m.records_allocated,
             sets_allocated: m.sets_allocated,
+            field_offsets_resolved: m.field_offsets_resolved,
+            dyn_field_fallbacks: m.dyn_field_fallbacks,
         }
     }
 
@@ -455,6 +566,10 @@ impl Engine {
         self.phases.fuel_consumed.set(m.fuel_consumed);
         self.phases.records_allocated.set(m.records_allocated);
         self.phases.sets_allocated.set(m.sets_allocated);
+        self.phases
+            .field_offsets_resolved
+            .set(m.field_offsets_resolved);
+        self.phases.dyn_field_fallbacks.set(m.dyn_field_fallbacks);
         self.metrics.to_json_lines()
     }
 
@@ -521,6 +636,9 @@ impl Engine {
 
         let i_before = self.cx.stats();
         self.phases.inferences.inc();
+        if self.compile_tier {
+            self.cx.enable_table();
+        }
         let mut span = self.tracer.span("infer");
         let scheme_res = self.cx.infer_scheme(&mut self.tenv, &ast);
         let i = {
@@ -540,6 +658,25 @@ impl Engine {
         self.phases.infer_ns.observe(infer_ns);
         let scheme = scheme_res?;
 
+        // Compile tier: lower to offset-resolved form (timed), keeping the
+        // per-op report for the render below.
+        let mut lower_ns = 0;
+        let mut lower = LowerStats::default();
+        let mut offset_rows = Vec::new();
+        let code = if self.compile_tier {
+            match self.lower_phase(|table, sigs| lower_statement(&ast, table, sigs)) {
+                Some((c, st, dur)) => {
+                    lower = st;
+                    offset_rows = polyview_trans::offset_report(&c);
+                    lower_ns = dur;
+                    Some(Rc::new(c))
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+
         let mut span = self.tracer.span("translate");
         let (_core, ts) = polyview_trans::translate_measured(&ast);
         span.attr("core_nodes", ts.translated_size);
@@ -549,18 +686,23 @@ impl Engine {
 
         let m_before = self.machine.stats();
         let mut span = self.tracer.span("eval");
-        let v_res = self.machine.eval_global(&ast);
+        let v_res = self.machine.eval_global(code.as_deref().unwrap_or(&ast));
         let m = {
             let after = self.machine.stats();
             polyview_eval::MachineStats {
                 fuel_consumed: after.fuel_consumed - m_before.fuel_consumed,
                 records_allocated: after.records_allocated - m_before.records_allocated,
                 sets_allocated: after.sets_allocated - m_before.sets_allocated,
+                field_offsets_resolved: after.field_offsets_resolved
+                    - m_before.field_offsets_resolved,
+                dyn_field_fallbacks: after.dyn_field_fallbacks - m_before.dyn_field_fallbacks,
             }
         };
         span.attr("fuel", m.fuel_consumed);
         span.attr("records", m.records_allocated);
         span.attr("sets", m.sets_allocated);
+        span.attr("offsets", m.field_offsets_resolved);
+        span.attr("dyn_fallbacks", m.dyn_field_fallbacks);
         let eval_ns = span.finish(&self.tracer);
         self.phases.eval_ns.observe(eval_ns);
         let v = v_res?;
@@ -574,13 +716,16 @@ impl Engine {
                 .collect(),
             Deps::Global(_) => Vec::new(),
         };
-        let p = Prepared::new(
+        let mut p = Prepared::new(
             Some(src.to_string()),
             Rc::new(ast),
             scheme.clone(),
             deps,
             self.env_epoch,
         );
+        if let Some(code) = code {
+            p.set_code(code, lower);
+        }
         let evicted = self.stmts.insert(key, p);
         self.phases.stmt_cache_evictions.add(evicted as u64);
 
@@ -592,6 +737,7 @@ impl Engine {
             deps: dep_rows,
             parse_ns,
             infer_ns,
+            lower_ns,
             translate_ns,
             eval_ns,
             tokens: ps.tokens,
@@ -600,10 +746,18 @@ impl Engine {
             occurs_checks: i.occurs_checks,
             kind_merges: i.kind_merges,
             instantiations: i.instantiations,
+            offsets_resolved: lower.offsets_resolved,
+            index_params_used: lower.index_params_used,
+            index_abstractions: lower.index_abstractions,
+            dynamic_residue: lower.dynamic_residue,
+            records_lowered: lower.records_lowered,
+            offset_rows,
             translated_size: ts.translated_size,
             fuel_consumed: m.fuel_consumed,
             records_allocated: m.records_allocated,
             sets_allocated: m.sets_allocated,
+            field_offsets_resolved: m.field_offsets_resolved,
+            dyn_field_fallbacks: m.dyn_field_fallbacks,
         })
     }
 
@@ -671,8 +825,17 @@ impl Engine {
     /// Type-check and evaluate a pre-built AST (uncached; see
     /// [`Engine::prepare_expr`] for the compile-once path).
     pub fn eval_ast(&mut self, e: &Expr) -> Result<(Scheme, Value), Error> {
+        if self.compile_tier {
+            self.cx.enable_table();
+        }
         let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, e))?;
-        let v = self.eval_phase(e)?;
+        let code = if self.compile_tier {
+            self.lower_phase(|table, sigs| lower_statement(e, table, sigs))
+                .map(|(c, _, _)| c)
+        } else {
+            None
+        };
+        let v = self.eval_phase(code.as_ref().unwrap_or(e))?;
         Ok((scheme, v))
     }
 
@@ -680,10 +843,34 @@ impl Engine {
     pub fn exec_decl(&mut self, d: &Decl) -> Result<Outcome, Error> {
         match d {
             Decl::Val(name, e) => {
+                if self.compile_tier {
+                    self.cx.enable_table();
+                }
                 let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, e))?;
                 self.cx.check_ground_mutables(&scheme.body)?;
-                let v = self.eval_phase(e)?;
+                let mut sig = None;
+                let lowered = if self.compile_tier {
+                    self.lower_phase(|table, sigs| {
+                        let (c, s, st) = lower_binding(e, &scheme.binders, table, sigs);
+                        ((c, s), st)
+                    })
+                } else {
+                    None
+                };
+                let v = match &lowered {
+                    Some(((code, s), _, _)) => {
+                        sig = s.clone();
+                        self.eval_phase(code)?
+                    }
+                    None => self.eval_phase(e)?,
+                };
                 self.bump_epochs(std::slice::from_ref(name));
+                if let Some(s) = sig {
+                    self.index_sigs.insert(name.clone(), s);
+                }
+                if let Expr::Var(src) = e {
+                    self.alias_edges.insert(name.clone(), src.clone());
+                }
                 self.tenv.define_global(name.clone(), scheme.clone());
                 self.machine.define_global(name.clone(), v);
                 Ok(Outcome::Defined(vec![(name.clone(), scheme)]))
@@ -691,8 +878,17 @@ impl Engine {
             Decl::Fun(defs) => self.exec_fun(defs),
             Decl::Classes(binds) => self.exec_classes(binds),
             Decl::Expr(e) => {
+                if self.compile_tier {
+                    self.cx.enable_table();
+                }
                 let scheme = self.infer_phase(|cx, tenv| cx.infer_scheme(tenv, e))?;
-                let v = self.eval_phase(e)?;
+                let code = if self.compile_tier {
+                    self.lower_phase(|table, sigs| lower_statement(e, table, sigs))
+                        .map(|(c, _, _)| c)
+                } else {
+                    None
+                };
+                let v = self.eval_phase(code.as_ref().unwrap_or(e))?;
                 Ok(Outcome::Value {
                     scheme,
                     rendered: self.machine.show(&v),
@@ -732,9 +928,75 @@ impl Engine {
             Expr::tuple(names.iter().map(|n| Expr::Var(n.clone())))
         };
         let group = sugar::fun_and(singles, body);
+        if self.compile_tier {
+            self.cx.enable_table();
+        }
         let t = self.infer_phase(|cx, tenv| infer::infer(cx, tenv, &group))?;
         let t = self.cx.resolve(&t);
-        let v = self.eval_phase(&group)?;
+
+        if self.compile_tier && names.len() == 1 {
+            // A single definition elaborates to `let f = fix f => λ… in f
+            // end`; index-abstract the `fix` itself (the same node
+            // inference recorded) so a record-polymorphic function takes
+            // its offsets as parameters. The binders come from the table's
+            // recorded *let scheme* — they name the rhs's own type
+            // variables, which is what the rhs's operand records refer to.
+            // The global scheme, however, is re-generalized from the
+            // group's body occurrence (a fresh instantiation), so the sig
+            // we register must be renamed through that occurrence's
+            // instantiation record before use sites can consult it.
+            // Mutually recursive groups stay on the plain-lowered path
+            // below — their bundle encoding is not a λ, so they keep
+            // dynamic lookups as documented residue.
+            if let Expr::Let(_, rhs, body) = &group {
+                let lowered = self.lower_phase(|table, sigs| {
+                    let binders = table
+                        .let_schemes
+                        .get(&polyview_types::table::node_id(&group))
+                        .cloned()
+                        .unwrap_or_default();
+                    let (c, s, st) = lower_binding(rhs, &binders, table, sigs);
+                    let renamed = match s {
+                        None => Some((c, None)),
+                        Some(s) => table
+                            .instantiations
+                            .get(&polyview_types::table::node_id(body))
+                            .and_then(|inst| {
+                                s.iter()
+                                    .map(|(b, l)| {
+                                        inst.iter().find(|(bb, _)| bb == b).and_then(|(_, m)| {
+                                            match m {
+                                                Mono::Var(g) => Some((*g, l.clone())),
+                                                _ => None,
+                                            }
+                                        })
+                                    })
+                                    .collect::<Option<IndexSig>>()
+                            })
+                            .map(|r| (c, Some(Rc::new(r)))),
+                    };
+                    (renamed, st)
+                });
+                if let Some((Some((code, sig)), _, _)) = lowered {
+                    let v = self.eval_phase(&code)?;
+                    let bound = self.define_group(&names, vec![t], v, true)?;
+                    if let Some(s) = sig {
+                        self.index_sigs.insert(names[0].clone(), s);
+                    }
+                    return Ok(Outcome::Defined(bound));
+                }
+                // Renaming failed (or the table was off): fall through to
+                // the plain path, which keeps the un-abstracted encoding.
+            }
+        }
+
+        let code = if self.compile_tier {
+            self.lower_phase(|table, sigs| lower_statement(&group, table, sigs))
+                .map(|(c, _, _)| c)
+        } else {
+            None
+        };
+        let v = self.eval_phase(code.as_ref().unwrap_or(&group))?;
 
         let tys = if names.len() == 1 {
             vec![t]
@@ -799,9 +1061,18 @@ impl Engine {
             Expr::tuple(names.iter().map(|n| Expr::Var(n.clone())))
         };
         let wrapped = Expr::LetClasses(binds.to_vec(), Box::new(body));
+        if self.compile_tier {
+            self.cx.enable_table();
+        }
         let t = self.infer_phase(|cx, tenv| infer::infer(cx, tenv, &wrapped))?;
         let t = self.cx.resolve(&t);
-        let v = self.eval_phase(&wrapped)?;
+        let code = if self.compile_tier {
+            self.lower_phase(|table, sigs| lower_statement(&wrapped, table, sigs))
+                .map(|(c, _, _)| c)
+        } else {
+            None
+        };
+        let v = self.eval_phase(code.as_ref().unwrap_or(&wrapped))?;
 
         let tys = if names.len() == 1 {
             vec![t]

@@ -36,6 +36,9 @@ pub struct Explain {
     pub parse_ns: u64,
     /// Inference-phase wall time.
     pub infer_ns: u64,
+    /// Lowering-phase (offset compilation) wall time. Zero when the engine's
+    /// compile tier is off.
+    pub lower_ns: u64,
     /// Translation-phase (Figs. 3/5) wall time.
     pub translate_ns: u64,
     /// Evaluation-phase wall time.
@@ -53,6 +56,22 @@ pub struct Explain {
     pub kind_merges: u64,
     /// Scheme instantiations spent on this statement.
     pub instantiations: u64,
+    /// Field accesses and updates the compile tier resolved to constant
+    /// integer offsets in this statement.
+    pub offsets_resolved: u64,
+    /// Field operations compiled against an in-scope index *parameter*
+    /// (inside an index-abstracted polymorphic function body).
+    pub index_params_used: u64,
+    /// Polymorphic bindings rewritten into index-abstracted form.
+    pub index_abstractions: u64,
+    /// Field operations the compile tier could not resolve and left on the
+    /// dynamic-lookup path (documented residue; zero on monomorphic code).
+    pub dynamic_residue: u64,
+    /// Record constructions compiled to layout-directed slot writes.
+    pub records_lowered: u64,
+    /// Per-operation offset/layout report rows (one per field op or record
+    /// construction in the lowered statement), e.g. `dot .Name @0`.
+    pub offset_rows: Vec<String>,
     /// AST nodes of the Figs. 3/5 translation of this statement.
     pub translated_size: u64,
     /// Evaluation steps spent running this statement.
@@ -61,6 +80,12 @@ pub struct Explain {
     pub records_allocated: u64,
     /// Sets constructed while running this statement.
     pub sets_allocated: u64,
+    /// Field operations the evaluator executed through a resolved offset
+    /// while running this statement.
+    pub field_offsets_resolved: u64,
+    /// Field operations the evaluator fell back to dynamic label lookup for
+    /// while running this statement.
+    pub dyn_field_fallbacks: u64,
 }
 
 /// Render nanoseconds with a readable unit.
@@ -119,17 +144,36 @@ impl std::fmt::Display for Explain {
         )?;
         writeln!(
             f,
+            "lower      {:>8}  offsets={} index-params={} abstractions={} residue={} records={}",
+            ns(self.lower_ns),
+            self.offsets_resolved,
+            self.index_params_used,
+            self.index_abstractions,
+            self.dynamic_residue,
+            self.records_lowered
+        )?;
+        if self.offset_rows.is_empty() {
+            writeln!(f, "offsets    (no field operations in this statement)")?;
+        } else {
+            for row in &self.offset_rows {
+                writeln!(f, "offsets    {row}")?;
+            }
+        }
+        writeln!(
+            f,
             "translate  {:>8}  core-nodes={}",
             ns(self.translate_ns),
             self.translated_size
         )?;
         write!(
             f,
-            "eval       {:>8}  fuel={} records={} sets={}",
+            "eval       {:>8}  fuel={} records={} sets={} offsets={} dyn-fallbacks={}",
             ns(self.eval_ns),
             self.fuel_consumed,
             self.records_allocated,
-            self.sets_allocated
+            self.sets_allocated,
+            self.field_offsets_resolved,
+            self.dyn_field_fallbacks
         )
     }
 }
@@ -157,6 +201,7 @@ mod tests {
             deps: vec![("plus".into(), 0)],
             parse_ns: 100,
             infer_ns: 200,
+            lower_ns: 250,
             translate_ns: 300,
             eval_ns: 400,
             tokens: 3,
@@ -165,17 +210,29 @@ mod tests {
             occurs_checks: 1,
             kind_merges: 0,
             instantiations: 0,
+            offsets_resolved: 1,
+            index_params_used: 0,
+            index_abstractions: 0,
+            dynamic_residue: 0,
+            records_lowered: 0,
+            offset_rows: vec!["dot .Name @0".into()],
             translated_size: 3,
             fuel_consumed: 3,
             records_allocated: 0,
             sets_allocated: 0,
+            field_offsets_resolved: 1,
+            dyn_field_fallbacks: 0,
         };
         let s = e.to_string();
         for needle in [
             "parse",
             "infer",
+            "lower",
+            "offsets",
+            "dot .Name @0",
             "translate",
             "eval",
+            "dyn-fallbacks",
             "miss",
             "int",
             "plus@0",

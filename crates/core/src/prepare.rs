@@ -34,6 +34,7 @@
 //! set cannot be computed.
 
 use polyview_syntax::{Expr, Name, Scheme};
+use polyview_trans::LowerStats;
 use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -77,6 +78,13 @@ impl Deps {
 pub struct Prepared {
     src: Option<String>,
     ast: Rc<Expr>,
+    /// The executable form [`crate::Engine::run`] evaluates. With the
+    /// compile tier on this is the offset-resolved lowering of `ast`
+    /// (DESIGN.md §13); with the tier off it is `ast` itself.
+    code: Rc<Expr>,
+    /// Compile-tier work counters for this statement (all zero when the
+    /// tier is off).
+    lower: LowerStats,
     scheme: Scheme,
     deps: Deps,
     env_epoch: u64,
@@ -93,12 +101,21 @@ impl Prepared {
     ) -> Self {
         Prepared {
             src,
+            code: ast.clone(),
             ast,
+            lower: LowerStats::default(),
             scheme,
             deps,
             env_epoch,
             translation: OnceCell::new(),
         }
+    }
+
+    /// Attach the compile tier's output: the offset-resolved form that
+    /// [`crate::Engine::run`] will evaluate instead of the source AST.
+    pub(crate) fn set_code(&mut self, code: Rc<Expr>, lower: LowerStats) {
+        self.code = code;
+        self.lower = lower;
     }
 
     /// The source text this statement was prepared from, when it came from
@@ -107,9 +124,21 @@ impl Prepared {
         self.src.as_deref()
     }
 
-    /// The compiled (resolved) AST.
+    /// The compiled (resolved) AST, exactly as inferred — *not* the
+    /// lowered form (see [`Prepared::code`]).
     pub fn ast(&self) -> &Expr {
         &self.ast
+    }
+
+    /// The executable form: the compile tier's offset-resolved lowering
+    /// when the tier is on, the source AST otherwise.
+    pub fn code(&self) -> &Expr {
+        &self.code
+    }
+
+    /// Compile-tier work counters for this statement.
+    pub fn lower_stats(&self) -> LowerStats {
+        self.lower
     }
 
     /// The principal scheme inferred when the statement was prepared.
@@ -354,6 +383,13 @@ pub struct EngineStats {
     pub records_allocated: u64,
     /// Sets constructed ([`polyview_eval::MachineStats::sets_allocated`]).
     pub sets_allocated: u64,
+    /// Field operations executed through a compile-time integer offset
+    /// ([`polyview_eval::MachineStats::field_offsets_resolved`]).
+    pub field_offsets_resolved: u64,
+    /// Field operations that fell back to dynamic label lookup
+    /// ([`polyview_eval::MachineStats::dyn_field_fallbacks`]). Zero on a
+    /// fully lowered workload — the property `scripts/verify.sh` gates.
+    pub dyn_field_fallbacks: u64,
 }
 
 impl EngineStats {
@@ -378,6 +414,8 @@ impl EngineStats {
             fuel_consumed: self.fuel_consumed + other.fuel_consumed,
             records_allocated: self.records_allocated + other.records_allocated,
             sets_allocated: self.sets_allocated + other.sets_allocated,
+            field_offsets_resolved: self.field_offsets_resolved + other.field_offsets_resolved,
+            dyn_field_fallbacks: self.dyn_field_fallbacks + other.dyn_field_fallbacks,
         }
     }
 }
@@ -405,8 +443,12 @@ impl std::fmt::Display for EngineStats {
         )?;
         write!(
             f,
-            "evaluator  fuel={} records={} sets={}",
-            self.fuel_consumed, self.records_allocated, self.sets_allocated
+            "evaluator  fuel={} records={} sets={} offsets={} dyn-fallbacks={}",
+            self.fuel_consumed,
+            self.records_allocated,
+            self.sets_allocated,
+            self.field_offsets_resolved,
+            self.dyn_field_fallbacks
         )
     }
 }

@@ -11,10 +11,10 @@ use crate::env::Env;
 use crate::error::RuntimeError;
 use crate::store::Store;
 use crate::value::{
-    Builtin, ClassId, Closure, FieldSlot, Key, ObjVal, RecordVal, SetVal, Value, ViewFn,
+    Builtin, ClassId, Closure, Key, ObjVal, RecordVal, SetVal, SlotId, Value, ViewFn,
 };
-use polyview_syntax::{ClassDef, Expr, Label, Lit, Name};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use polyview_syntax::{ClassDef, Expr, Idx, Label, Layout, Lit, Name};
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
 /// One `include` clause of an evaluated class: resolved source classes, the
@@ -47,6 +47,17 @@ pub struct MachineStats {
     pub records_allocated: u64,
     /// Sets constructed by set-producing primitives.
     pub sets_allocated: u64,
+    /// Field operations executed through a compile-time integer offset:
+    /// lowered `dot@i`/`extract@i`/`update@i` with a resolved index, and
+    /// lowered record constructions. The compile tier's success metric.
+    pub field_offsets_resolved: u64,
+    /// Field operations that fell back to dynamic label lookup: un-lowered
+    /// `dot`/`extract`/`update`/record constructions (compile tier off, or
+    /// residue the lowering could not resolve) and lowered ops whose index
+    /// parameter carried the unresolved sentinel. Machine-internal record
+    /// building (view materialization, relobj raws) is *not* counted — it
+    /// has no source field operation to lower (DESIGN.md §13).
+    pub dyn_field_fallbacks: u64,
 }
 
 /// The evaluation machine.
@@ -235,7 +246,9 @@ impl Machine {
                 })))
             }
             Expr::Record(fields) => {
-                let mut slots = BTreeMap::new();
+                // Un-lowered construction: the layout must be computed
+                // from the labels at runtime (counted as fallback work).
+                let mut triples = Vec::with_capacity(fields.len());
                 for f in fields {
                     let v = self.eval_in(&f.expr, env)?;
                     let slot = match v {
@@ -244,51 +257,35 @@ impl Machine {
                         Value::LValue(s) => s,
                         other => self.store.alloc(other),
                     };
-                    slots.insert(
-                        f.label.clone(),
-                        FieldSlot {
-                            mutable: f.mutable,
-                            slot,
-                        },
-                    );
+                    triples.push((f.label.clone(), f.mutable, slot));
                 }
-                let id = self.fresh_id();
-                self.stats.records_allocated += 1;
-                Ok(Value::Record(Rc::new(RecordVal { id, fields: slots })))
+                self.stats.dyn_field_fallbacks += 1;
+                Ok(self.build_record(triples))
             }
             Expr::Dot(e, l) => {
                 let v = self.eval_in(e, env)?;
                 let r = v.as_record()?;
-                let f = r
-                    .fields
-                    .get(l)
-                    .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
-                Ok(self.store.get(f.slot).clone())
+                let (_, slot) = self.field_slot(r, l, None)?;
+                Ok(self.store.get(slot).clone())
             }
             Expr::Extract(e, l) => {
                 let v = self.eval_in(e, env)?;
                 let r = v.as_record()?;
-                let f = r
-                    .fields
-                    .get(l)
-                    .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
-                if !f.mutable {
+                let (i, slot) = self.field_slot(r, l, None)?;
+                if !r.layout.is_mutable(i) {
                     return Err(RuntimeError::ImmutableField(l.clone()));
                 }
-                Ok(Value::LValue(f.slot))
+                Ok(Value::LValue(slot))
             }
             Expr::Update(e, l, rhs) => {
                 let v = self.eval_in(e, env)?;
                 let slot = {
                     let r = v.as_record()?;
-                    let f = r
-                        .fields
-                        .get(l)
-                        .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
-                    if !f.mutable {
+                    let (i, slot) = self.field_slot(r, l, None)?;
+                    if !r.layout.is_mutable(i) {
                         return Err(RuntimeError::ImmutableField(l.clone()));
                     }
-                    f.slot
+                    slot
                 };
                 let nv = self.eval_in(rhs, env)?;
                 self.store.set(slot, nv);
@@ -297,6 +294,66 @@ impl Machine {
                 // invalidates cached extents exactly like insert/delete.
                 self.class_epoch += 1;
                 Ok(Value::Unit)
+            }
+            // ---------- lowered field operations (the compile tier) ----------
+            Expr::DotAt(e, l, idx) => {
+                let v = self.eval_in(e, env)?;
+                let off = self.resolve_idx(idx, env)?;
+                let r = v.as_record()?;
+                let (_, slot) = self.field_slot(r, l, off)?;
+                Ok(self.store.get(slot).clone())
+            }
+            Expr::ExtractAt(e, l, idx) => {
+                let v = self.eval_in(e, env)?;
+                let off = self.resolve_idx(idx, env)?;
+                let r = v.as_record()?;
+                let (i, slot) = self.field_slot(r, l, off)?;
+                if !r.layout.is_mutable(i) {
+                    return Err(RuntimeError::ImmutableField(l.clone()));
+                }
+                Ok(Value::LValue(slot))
+            }
+            Expr::UpdateAt(e, l, idx, rhs) => {
+                let v = self.eval_in(e, env)?;
+                let off = self.resolve_idx(idx, env)?;
+                let slot = {
+                    let r = v.as_record()?;
+                    let (i, slot) = self.field_slot(r, l, off)?;
+                    if !r.layout.is_mutable(i) {
+                        return Err(RuntimeError::ImmutableField(l.clone()));
+                    }
+                    slot
+                };
+                let nv = self.eval_in(rhs, env)?;
+                self.store.set(slot, nv);
+                self.class_epoch += 1;
+                Ok(Value::Unit)
+            }
+            Expr::RecordAt(layout, entries) => {
+                // Lowered construction: entries are in source (evaluation)
+                // order, each carrying its target slot; the layout is shared
+                // with every record built here, not recomputed.
+                let mut slots: Vec<SlotId> = vec![usize::MAX; layout.len()];
+                for (off, fe) in entries {
+                    let v = self.eval_in(fe, env)?;
+                    let slot = match v {
+                        Value::LValue(s) => s,
+                        other => self.store.alloc(other),
+                    };
+                    slots[*off] = slot;
+                }
+                debug_assert!(
+                    slots.iter().all(|s| *s != usize::MAX),
+                    "lowered record construction left a slot unfilled"
+                );
+                let id = self.fresh_id();
+                self.stats.records_allocated += 1;
+                self.stats.field_offsets_resolved += 1;
+                Ok(Value::Record(Rc::new(RecordVal {
+                    id,
+                    layout: layout.clone(),
+                    slots,
+                })))
             }
             Expr::SetLit(es) => {
                 let mut elems = Vec::with_capacity(es.len());
@@ -371,28 +428,17 @@ impl Machine {
                 Ok(Value::Set(self.fuse_objs(&[oa, ob])))
             }
             Expr::RelObj(fields) => {
-                let mut raw_fields = BTreeMap::new();
+                let mut raw_fields = Vec::with_capacity(fields.len());
                 let mut views = Vec::with_capacity(fields.len());
                 for (l, e) in fields {
                     let v = self.eval_in(e, env)?;
                     let o = v.as_obj()?.clone();
                     let slot = self.store.alloc(o.raw.clone());
-                    raw_fields.insert(
-                        l.clone(),
-                        FieldSlot {
-                            mutable: false,
-                            slot,
-                        },
-                    );
+                    raw_fields.push((l.clone(), false, slot));
                     views.push((l.clone(), Rc::new(o.view.clone())));
                 }
                 // relobj creates a *new* raw object, hence new identity.
-                let rec_id = self.fresh_id();
-                self.stats.records_allocated += 1;
-                let raw = Value::Record(Rc::new(RecordVal {
-                    id: rec_id,
-                    fields: raw_fields,
-                }));
+                let raw = self.build_record(raw_fields);
                 let id = self.fresh_id();
                 Ok(Value::Obj(Rc::new(ObjVal {
                     id,
@@ -501,6 +547,75 @@ impl Machine {
         Ok(includes)
     }
 
+    /// Build a record value from `(label, mutable, slot)` triples (any
+    /// order; slots already allocated). Used by un-lowered record
+    /// expressions and by machine-internal constructions (relobj raws,
+    /// view materialization) — the latter have no source field operation,
+    /// so this helper does not touch the offset/fallback counters.
+    fn build_record(&mut self, mut triples: Vec<(Label, bool, SlotId)>) -> Value {
+        triples.sort_by(|a, b| a.0.cmp(&b.0));
+        let layout = Layout::new(triples.iter().map(|(l, m, _)| (l.clone(), *m)));
+        let slots = triples.into_iter().map(|(_, _, s)| s).collect();
+        let id = self.fresh_id();
+        self.stats.records_allocated += 1;
+        Value::Record(Rc::new(RecordVal {
+            id,
+            layout: Rc::new(layout),
+            slots,
+        }))
+    }
+
+    /// Locate a field: `(offset, slot)`. With a resolved offset (`Some`)
+    /// this is a direct slot read — the fast path the compile tier buys —
+    /// checked against the source label only under `debug_assertions`.
+    /// Without one (un-lowered op, or an index parameter that carried the
+    /// unresolved sentinel) the label is looked up in the layout, and the
+    /// fallback counter records the residue.
+    fn field_slot(
+        &mut self,
+        r: &RecordVal,
+        l: &Label,
+        resolved: Option<usize>,
+    ) -> Result<(usize, SlotId), RuntimeError> {
+        match resolved {
+            Some(i) if i < r.slots.len() => {
+                debug_assert_eq!(
+                    r.layout.label_at(i),
+                    l,
+                    "lowered offset disagrees with source label"
+                );
+                self.stats.field_offsets_resolved += 1;
+                Ok((i, r.slots[i]))
+            }
+            _ => {
+                self.stats.dyn_field_fallbacks += 1;
+                let i = r
+                    .offset_of(l)
+                    .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
+                Ok((i, r.slots[i]))
+            }
+        }
+    }
+
+    /// Resolve a lowered index operand to an offset. An index *parameter*
+    /// is an ordinary λ-bound variable holding an int; a negative value is
+    /// the lowering's "could not resolve" sentinel and yields `None`
+    /// (dynamic fallback).
+    fn resolve_idx(&mut self, idx: &Idx, env: &Env) -> Result<Option<usize>, RuntimeError> {
+        match idx {
+            Idx::Const(n) => Ok(Some(*n)),
+            Idx::Var(x) => {
+                let v = env
+                    .lookup(x)
+                    .or_else(|| self.globals.get(x))
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::Unbound(x.clone()))?;
+                let n = v.as_int()?;
+                Ok(usize::try_from(n).ok())
+            }
+        }
+    }
+
     /// Apply a function value.
     pub fn apply(&mut self, f: Value, arg: Value) -> Result<Value, RuntimeError> {
         self.burn()?;
@@ -550,44 +665,27 @@ impl Machine {
                 self.apply_view(outer, mid)
             }
             ViewFn::Tuple(vs) => {
-                let mut fields = BTreeMap::new();
+                let mut fields = Vec::with_capacity(vs.len());
                 for (i, v) in vs.iter().enumerate() {
                     let val = self.apply_view(v, raw.clone())?;
                     let slot = self.store.alloc(val);
-                    fields.insert(
-                        Label::tuple(i + 1),
-                        FieldSlot {
-                            mutable: false,
-                            slot,
-                        },
-                    );
+                    fields.push((Label::tuple(i + 1), false, slot));
                 }
-                let id = self.fresh_id();
-                self.stats.records_allocated += 1;
-                Ok(Value::Record(Rc::new(RecordVal { id, fields })))
+                Ok(self.build_record(fields))
             }
             ViewFn::RelFields(views) => {
                 let r = raw.as_record()?.clone();
-                let mut fields = BTreeMap::new();
+                let mut fields = Vec::with_capacity(views.len());
                 for (l, v) in views {
-                    let f = r
-                        .fields
-                        .get(l)
+                    let i = r
+                        .offset_of(l)
                         .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
-                    let component_raw = self.store.get(f.slot).clone();
+                    let component_raw = self.store.get(r.slots[i]).clone();
                     let val = self.apply_view(v, component_raw)?;
                     let slot = self.store.alloc(val);
-                    fields.insert(
-                        l.clone(),
-                        FieldSlot {
-                            mutable: false,
-                            slot,
-                        },
-                    );
+                    fields.push((l.clone(), false, slot));
                 }
-                let id = self.fresh_id();
-                self.stats.records_allocated += 1;
-                Ok(Value::Record(Rc::new(RecordVal { id, fields })))
+                Ok(self.build_record(fields))
             }
         }
     }
@@ -746,8 +844,8 @@ impl Machine {
     pub fn field_of(&self, record: &Value, label: &str) -> Result<Value, RuntimeError> {
         let r = record.as_record()?;
         let l = Label::new(label);
-        let f = r.fields.get(&l).ok_or(RuntimeError::NoSuchField(l))?;
-        Ok(self.store.get(f.slot).clone())
+        let i = r.offset_of(&l).ok_or(RuntimeError::NoSuchField(l))?;
+        Ok(self.store.get(r.slots[i]).clone())
     }
 
     /// Pretty-print a value, reading record fields through the store.
@@ -769,13 +867,13 @@ impl Machine {
             Value::Str(s) => format!("{s:?}"),
             Value::Record(r) => {
                 let mut out = String::from("[");
-                for (i, (l, f)) in r.fields.iter().enumerate() {
+                for (i, (l, mutable, slot)) in r.iter().enumerate() {
                     if i > 0 {
                         out.push_str(", ");
                     }
                     out.push_str(l.as_str());
-                    out.push_str(if f.mutable { " := " } else { " = " });
-                    out.push_str(&self.show_depth(self.store.get(f.slot), depth - 1));
+                    out.push_str(if mutable { " := " } else { " = " });
+                    out.push_str(&self.show_depth(self.store.get(slot), depth - 1));
                 }
                 out.push(']');
                 out

@@ -12,7 +12,7 @@
 
 use crate::env::Env;
 use crate::error::RuntimeError;
-use polyview_syntax::{Expr, Label, Name};
+use polyview_syntax::{Expr, Label, Layout, Name};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -25,18 +25,32 @@ pub type RecordId = u64;
 /// Index of a class in the machine's class table.
 pub type ClassId = usize;
 
-/// A record field: mutability plus the slot holding the field's value.
-#[derive(Clone, Debug)]
-pub struct FieldSlot {
-    pub mutable: bool,
-    pub slot: SlotId,
-}
-
-/// A record value. Fields are kept in label order (canonical).
+/// A record value, laid out flat: `slots[i]` holds the field whose label
+/// is `layout.label_at(i)`, i.e. slot order *is* canonical label order —
+/// the offset contract the compile tier's lowered `dot@i`/`update@i`
+/// forms rely on. Mutability lives in the shared [`Layout`]; records
+/// built from the same lowered construction site share one layout
+/// allocation.
 #[derive(Debug)]
 pub struct RecordVal {
     pub id: RecordId,
-    pub fields: BTreeMap<Label, FieldSlot>,
+    pub layout: Rc<Layout>,
+    pub slots: Vec<SlotId>,
+}
+
+impl RecordVal {
+    /// The offset of `l` in this record's layout.
+    pub fn offset_of(&self, l: &Label) -> Option<usize> {
+        self.layout.offset_of(l)
+    }
+
+    /// `(label, mutable, slot)` triples in slot (canonical label) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Label, bool, SlotId)> + '_ {
+        self.layout
+            .iter()
+            .zip(self.slots.iter().copied())
+            .map(|((l, m), s)| (l, m, s))
+    }
 }
 
 /// A user function: one parameter, a body, and the captured environment.
@@ -310,7 +324,8 @@ mod tests {
     fn rec(id: RecordId) -> Value {
         Value::Record(Rc::new(RecordVal {
             id,
-            fields: BTreeMap::new(),
+            layout: Rc::new(Layout::new([])),
+            slots: Vec::new(),
         }))
     }
 

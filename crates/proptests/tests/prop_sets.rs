@@ -4,8 +4,8 @@
 
 use polyview_eval::value::{ObjVal, RecordVal, ViewFn};
 use polyview_eval::{Key, SetVal, Value};
+use polyview_syntax::Layout;
 use proptest::prelude::*;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Build a value from a compact descriptor: ints are base values, (raw id,
@@ -23,7 +23,8 @@ fn value(e: &Elem) -> Value {
             id: *assoc,
             raw: Value::Record(Rc::new(RecordVal {
                 id: *raw,
-                fields: BTreeMap::new(),
+                layout: Rc::new(Layout::new([])),
+                slots: Vec::new(),
             })),
             view: ViewFn::Identity,
         })),

@@ -19,11 +19,11 @@ fn value_has_type(m: &Machine, v: &Value, t: &Mono) -> bool {
         (Value::Unit, Mono::Unit) => true,
         (Value::Set(s), Mono::Set(elem)) => s.values().all(|e| value_has_type(m, e, elem)),
         (Value::Record(r), Mono::Record(fs)) => {
-            r.fields.len() == fs.len()
-                && fs.iter().all(|(l, f)| match r.fields.get(l) {
-                    Some(slot) => {
-                        slot.mutable == f.mutable
-                            && value_has_type(m, m.store.get(slot.slot), &f.ty)
+            r.layout.len() == fs.len()
+                && fs.iter().all(|(l, f)| match r.offset_of(l) {
+                    Some(off) => {
+                        r.layout.is_mutable(off) == f.mutable
+                            && value_has_type(m, m.store.get(r.slots[off]), &f.ty)
                     }
                     None => false,
                 })

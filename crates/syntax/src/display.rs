@@ -289,6 +289,55 @@ fn fmt_expr(e: &Expr, out: &mut String) {
         Expr::CQuery(f, c) => fmt_call(out, "cquery", [f.as_ref(), c.as_ref()]),
         Expr::Insert(c, e) => fmt_call(out, "insert", [c.as_ref(), e.as_ref()]),
         Expr::Delete(c, e) => fmt_call(out, "delete", [c.as_ref(), e.as_ref()]),
+        // Lowered forms (never produced by the parser): render the source
+        // label together with the resolved offset so `:explain` output and
+        // debug dumps show exactly what the compile tier decided.
+        Expr::DotAt(e, l, idx) => {
+            fmt_expr(e, out);
+            out.push('.');
+            out.push_str(l.as_str());
+            fmt_idx(idx, out);
+        }
+        Expr::ExtractAt(e, l, idx) => {
+            out.push_str("extract");
+            fmt_idx(idx, out);
+            out.push('(');
+            fmt_expr(e, out);
+            out.push_str(", ");
+            out.push_str(l.as_str());
+            out.push(')');
+        }
+        Expr::UpdateAt(e, l, idx, v) => {
+            out.push_str("update");
+            fmt_idx(idx, out);
+            out.push('(');
+            fmt_expr(e, out);
+            out.push_str(", ");
+            out.push_str(l.as_str());
+            out.push_str(", ");
+            fmt_expr(v, out);
+            out.push(')');
+        }
+        Expr::RecordAt(layout, fs) => {
+            // Entries are in source (evaluation) order, each tagged with
+            // its target slot; print label from the layout at that slot.
+            out.push('[');
+            for (i, (slot, e)) in fs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(layout.label_at(*slot).as_str());
+                out.push('@');
+                out.push_str(&slot.to_string());
+                out.push_str(if layout.is_mutable(*slot) {
+                    " := "
+                } else {
+                    " = "
+                });
+                fmt_expr(e, out);
+            }
+            out.push(']');
+        }
         Expr::LetClasses(binds, body) => {
             out.push_str("let class ");
             for (i, (c, cd)) in binds.iter().enumerate() {
@@ -302,6 +351,20 @@ fn fmt_expr(e: &Expr, out: &mut String) {
             out.push_str(" in ");
             fmt_expr(body, out);
             out.push_str(" end");
+        }
+    }
+}
+
+/// `@3` for a resolved constant offset, `@?x` for an index parameter.
+fn fmt_idx(idx: &crate::term::Idx, out: &mut String) {
+    match idx {
+        crate::term::Idx::Const(n) => {
+            out.push('@');
+            out.push_str(&n.to_string());
+        }
+        crate::term::Idx::Var(x) => {
+            out.push_str("@?");
+            out.push_str(x.as_str());
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod builder;
 pub mod display;
 pub mod kind;
 pub mod label;
+pub mod layout;
 pub mod scheme;
 pub mod sugar;
 pub mod term;
@@ -29,6 +30,7 @@ pub mod visit;
 
 pub use kind::{FieldReq, Kind, MutReq};
 pub use label::{Label, Name};
+pub use layout::Layout;
 pub use scheme::Scheme;
-pub use term::{ClassDef, Expr, Field, IncludeClause, Lit};
+pub use term::{ClassDef, Expr, Field, Idx, IncludeClause, Lit};
 pub use types::{BaseTy, FieldTy, Mono, RecordTy, TyVar};

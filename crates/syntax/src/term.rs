@@ -17,6 +17,7 @@
 //! [`crate::sugar`].
 
 use crate::label::{Label, Name};
+use crate::layout::Layout;
 use std::rc::Rc;
 
 /// Constants `cτ` plus the unit value `()` and booleans.
@@ -131,6 +132,39 @@ pub enum Expr {
     /// of the bodies (cyclically), but not inside `as`/`where` functions or
     /// own-extent expressions.
     LetClasses(Vec<(Name, ClassDef)>, Box<Expr>),
+
+    // ----- offset-resolved forms (the compile tier) -----
+    //
+    // These variants are produced only by the lowering pass in
+    // `polyview-trans` (Ohori's index-passing compilation, TOPLAS 1995);
+    // the parser never emits them and inference rejects them in source
+    // position. Each keeps the source label so the dynamic fallback and
+    // error messages stay exact.
+    /// `e·l` with the field's slot offset resolved at compile time.
+    DotAt(Box<Expr>, Label, Idx),
+    /// `extract(e, l)` with a resolved slot offset.
+    ExtractAt(Box<Expr>, Label, Idx),
+    /// `update(e, l, e')` with a resolved slot offset.
+    UpdateAt(Box<Expr>, Label, Idx, Box<Expr>),
+    /// A record construction with a precomputed [`Layout`]: each entry is
+    /// `(slot offset, field expression)` in *source evaluation order*, so
+    /// effects run exactly as the un-lowered `Record` would.
+    RecordAt(Rc<Layout>, Vec<(usize, Expr)>),
+}
+
+/// How a lowered field operation finds its slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Idx {
+    /// The offset is a compile-time constant — the operand's record type
+    /// was concrete at lowering time.
+    Const(usize),
+    /// The offset arrives at run time through an index *parameter*: the
+    /// named variable (an ordinary λ-bound variable with a reserved
+    /// `#i`-prefixed name, so source programs cannot capture it) holds the
+    /// integer offset supplied at the enclosing function's instantiation
+    /// site. A negative value is the "unresolved" sentinel: the operation
+    /// falls back to dynamic lookup by label, and the evaluator counts it.
+    Var(Name),
 }
 
 impl Expr {
@@ -268,6 +302,21 @@ impl Expr {
     /// `e·1` / `e·2` projections.
     pub fn proj(e: Expr, i: usize) -> Expr {
         Expr::dot(e, Label::tuple(i))
+    }
+
+    /// `e·l` resolved to a slot offset (lowering-pass output).
+    pub fn dot_at(e: Expr, l: impl Into<Label>, idx: Idx) -> Expr {
+        Expr::DotAt(Box::new(e), l.into(), idx)
+    }
+
+    /// `extract(e, l)` resolved to a slot offset (lowering-pass output).
+    pub fn extract_at(e: Expr, l: impl Into<Label>, idx: Idx) -> Expr {
+        Expr::ExtractAt(Box::new(e), l.into(), idx)
+    }
+
+    /// `update(e, l, v)` resolved to a slot offset (lowering-pass output).
+    pub fn update_at(e: Expr, l: impl Into<Label>, idx: Idx, v: Expr) -> Expr {
+        Expr::UpdateAt(Box::new(e), l.into(), idx, Box::new(v))
     }
 
     /// Structural size (number of AST nodes). Used by benches and property

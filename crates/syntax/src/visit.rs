@@ -30,6 +30,9 @@ pub fn children(e: &Expr) -> Vec<&Expr> {
         Expr::IdView(b) => vec![b],
         Expr::Dot(b, _) | Expr::Extract(b, _) => vec![b],
         Expr::Update(a, _, b) => vec![a, b],
+        Expr::DotAt(b, _, _) | Expr::ExtractAt(b, _, _) => vec![b],
+        Expr::UpdateAt(a, _, _, b) => vec![a, b],
+        Expr::RecordAt(_, fs) => fs.iter().map(|(_, e)| e).collect(),
         Expr::Let(_, a, b) => vec![a, b],
         Expr::If(a, b, c) => vec![a, b, c],
         Expr::Record(fs) => fs.iter().map(|f| &f.expr).collect(),
@@ -123,10 +126,31 @@ fn free_vars_into(e: &Expr, bound: &mut BTreeSet<Name>, out: &mut BTreeSet<Name>
                 bound.remove(&c);
             }
         }
+        // Lowered field operations can reference an index *parameter* (an
+        // ordinary λ-bound variable) through their Idx, which is not an
+        // expression child — account for it explicitly so free-variable
+        // computation stays exact on lowered terms.
+        Expr::DotAt(b, _, idx) | Expr::ExtractAt(b, _, idx) => {
+            free_vars_into(b, bound, out);
+            idx_free_var(idx, bound, out);
+        }
+        Expr::UpdateAt(a, _, idx, v) => {
+            free_vars_into(a, bound, out);
+            idx_free_var(idx, bound, out);
+            free_vars_into(v, bound, out);
+        }
         other => {
             for child in children(other) {
                 free_vars_into(child, bound, out);
             }
+        }
+    }
+}
+
+fn idx_free_var(idx: &crate::term::Idx, bound: &BTreeSet<Name>, out: &mut BTreeSet<Name>) {
+    if let crate::term::Idx::Var(x) = idx {
+        if !bound.contains(x) {
+            out.insert(x.clone());
         }
     }
 }

@@ -423,6 +423,24 @@ pub fn translate_classes(e: &Expr) -> Expr {
                 .map(|(l, e)| (l.clone(), translate_classes(e)))
                 .collect(),
         ),
+
+        // ----- lowered forms (offset-resolved; structure-preserving) -----
+        Expr::DotAt(b, l, i) => Expr::DotAt(Box::new(translate_classes(b)), l.clone(), i.clone()),
+        Expr::ExtractAt(b, l, i) => {
+            Expr::ExtractAt(Box::new(translate_classes(b)), l.clone(), i.clone())
+        }
+        Expr::UpdateAt(b, l, i, v) => Expr::UpdateAt(
+            Box::new(translate_classes(b)),
+            l.clone(),
+            i.clone(),
+            Box::new(translate_classes(v)),
+        ),
+        Expr::RecordAt(layout, fs) => Expr::RecordAt(
+            layout.clone(),
+            fs.iter()
+                .map(|(off, fe)| (*off, translate_classes(fe)))
+                .collect(),
+        ),
     }
 }
 

@@ -8,6 +8,9 @@
 //!   `[OwnExt := S, Ext = λ().…]` in the *object* language.
 //! * [`internal_rep`] implements the type-level relation of Prop. 3/4: is a
 //!   translated type an internal representation of a source type?
+//! * [`lower`] implements the compile tier: Ohori-style index-passing
+//!   lowering that resolves field operations to integer offsets using the
+//!   per-node results recorded during inference.
 //!
 //! The full pipeline `translate` composes the two stages (classes first,
 //! then views), yielding a pure core-language term. Together with
@@ -25,7 +28,12 @@
 
 pub mod classes;
 pub mod internal_rep;
+pub mod lower;
 pub mod views;
+
+pub use lower::{
+    lower_binding, lower_statement, offset_report, sig_from_binders, IndexSig, LowerStats,
+};
 
 use polyview_syntax::{visit, Expr};
 

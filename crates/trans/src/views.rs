@@ -190,6 +190,24 @@ pub fn translate_views(e: &Expr) -> Expr {
         Expr::If(c, t, e2) => {
             Expr::if_(translate_views(c), translate_views(t), translate_views(e2))
         }
+
+        // ----- lowered forms (offset-resolved; structure-preserving) -----
+        Expr::DotAt(b, l, i) => Expr::DotAt(Box::new(translate_views(b)), l.clone(), i.clone()),
+        Expr::ExtractAt(b, l, i) => {
+            Expr::ExtractAt(Box::new(translate_views(b)), l.clone(), i.clone())
+        }
+        Expr::UpdateAt(b, l, i, v) => Expr::UpdateAt(
+            Box::new(translate_views(b)),
+            l.clone(),
+            i.clone(),
+            Box::new(translate_views(v)),
+        ),
+        Expr::RecordAt(layout, fs) => Expr::RecordAt(
+            layout.clone(),
+            fs.iter()
+                .map(|(off, fe)| (*off, translate_views(fe)))
+                .collect(),
+        ),
     }
 }
 

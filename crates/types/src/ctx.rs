@@ -5,7 +5,8 @@
 //! triangular (a bound variable maps to a type that may itself contain bound
 //! variables); [`Infer::resolve`] applies it exhaustively.
 
-use polyview_syntax::{FieldReq, Kind, Mono, TyVar};
+use crate::table::{NodeId, TypeTable};
+use polyview_syntax::{FieldReq, Kind, Mono, Scheme, TyVar};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -32,6 +33,9 @@ pub struct Infer {
     kinds: HashMap<TyVar, Kind>,
     /// `Cell` so `&self` paths (e.g. the occurs check) can count too.
     stats: Cell<InferStats>,
+    /// Per-node recording for the compile tier; `None` (the default)
+    /// disables it, so plain type checking pays nothing.
+    table: Option<Box<TypeTable>>,
 }
 
 impl Infer {
@@ -222,6 +226,59 @@ impl Infer {
     /// Zero the work counters (the substitution and kinds are untouched).
     pub fn reset_stats(&self) {
         self.stats.set(InferStats::default());
+    }
+
+    /// Start recording per-node inference results (idempotent: an
+    /// in-progress table is kept).
+    /// Begin per-node recording for the next inference run. Any previous
+    /// recording is discarded: node ids are raw AST addresses, valid only
+    /// for the statement whose inference just ran, and a later allocation
+    /// may legitimately reuse an address — stale entries must never be
+    /// allowed to alias it.
+    pub fn enable_table(&mut self) {
+        self.table = Some(Box::default());
+    }
+
+    pub fn table_enabled(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Take the recorded table, resolving every stored type against the
+    /// current substitution — after inference of a statement completes,
+    /// the variables it minted are never bound again, so the resolved
+    /// forms are final and the consumer needs no inference context.
+    pub fn take_table(&mut self) -> Option<Box<TypeTable>> {
+        let mut t = self.table.take()?;
+        for ty in t.operand_types.values_mut() {
+            *ty = self.resolve(ty);
+        }
+        for pairs in t.instantiations.values_mut() {
+            for (_, ty) in pairs.iter_mut() {
+                *ty = self.resolve(ty);
+            }
+        }
+        Some(t)
+    }
+
+    pub(crate) fn record_operand(&mut self, node: NodeId, t: Mono) {
+        if let Some(tab) = &mut self.table {
+            tab.operand_types.insert(node, t);
+        }
+    }
+
+    pub(crate) fn record_instantiation(&mut self, node: NodeId, pairs: Vec<(TyVar, TyVar)>) {
+        if let Some(tab) = &mut self.table {
+            tab.instantiations.insert(
+                node,
+                pairs.into_iter().map(|(b, f)| (b, Mono::Var(f))).collect(),
+            );
+        }
+    }
+
+    pub(crate) fn record_let_scheme(&mut self, node: NodeId, s: &Scheme) {
+        if let Some(tab) = &mut self.table {
+            tab.let_schemes.insert(node, s.binders.clone());
+        }
     }
 
     /// Bump counters through the `Cell` (usable from `&self` paths).

@@ -36,6 +36,11 @@ pub enum TypeError {
         left: Mono,
         right: Mono,
     },
+    /// A lowered (offset-resolved) form reached the type checker. Lowering
+    /// runs strictly *after* inference; source programs cannot contain
+    /// these forms, so this indicates a pipeline-ordering bug, not a user
+    /// error.
+    LoweredForm(&'static str),
 }
 
 impl fmt::Display for TypeError {
@@ -91,6 +96,11 @@ impl fmt::Display for TypeError {
                 f,
                 "record types {left} and {right} disagree on the mutability of \
                  field `{label}`"
+            ),
+            TypeError::LoweredForm(form) => write!(
+                f,
+                "lowered form `{form}` reached type inference; lowering must run \
+                 after inference"
             ),
         }
     }

@@ -39,20 +39,28 @@ impl Infer {
     /// kinds. Substitution into the kinds is simultaneous, so binder order
     /// does not matter.
     pub fn instantiate(&mut self, s: &Scheme) -> Mono {
+        self.instantiate_mapped(s).0
+    }
+
+    /// Instantiate, also returning the `(binder, fresh variable)` pairs in
+    /// binder order — the record the compile tier needs to synthesize
+    /// index arguments at this use site.
+    pub fn instantiate_mapped(&mut self, s: &Scheme) -> (Mono, Vec<(TyVar, TyVar)>) {
         self.note(|st| st.instantiations += 1);
         if s.binders.is_empty() {
-            return s.body.clone();
+            return (s.body.clone(), Vec::new());
         }
-        let mapping: HashMap<TyVar, TyVar> = s
+        let pairs: Vec<(TyVar, TyVar)> = s
             .binders
             .iter()
             .map(|(v, _)| (*v, self.fresh_var_id()))
             .collect();
+        let mapping: HashMap<TyVar, TyVar> = pairs.iter().copied().collect();
         for (v, k) in &s.binders {
             let k2 = rename_kind(k, &mapping);
             self.set_kind(mapping[v], k2);
         }
-        rename_mono(&s.body, &mapping)
+        (rename_mono(&s.body, &mapping), pairs)
     }
 
     /// Check the paper's ground-monotype restriction on a fully resolved

@@ -21,7 +21,9 @@ pub fn infer(cx: &mut Infer, env: &mut TypeEnv, e: &Expr) -> Result<Mono, TypeEr
         Expr::Var(x) => match env.lookup(x) {
             Some(s) => {
                 let s = s.clone();
-                Ok(cx.instantiate(&s))
+                let (t, pairs) = cx.instantiate_mapped(&s);
+                cx.record_instantiation(crate::table::node_id(e), pairs);
+                Ok(t)
             }
             None => Err(TypeError::Unbound(x.clone())),
         },
@@ -65,23 +67,26 @@ pub fn infer(cx: &mut Infer, env: &mut TypeEnv, e: &Expr) -> Result<Mono, TypeEr
             }
             Ok(Mono::Record(tys))
         }
-        Expr::Dot(e, l) => {
+        Expr::Dot(obj, l) => {
             // (dot): K,A ▷ e : τ1, K ⊢ τ1 :: [[l = τ2]] ⟹ e·l : τ2.
-            let t = infer(cx, env, e)?;
+            let t = infer(cx, env, obj)?;
+            cx.record_operand(crate::table::node_id(e), t.clone());
             let f = cx.fresh();
             cx.constrain(&t, Kind::has_field(l.clone(), f.clone()))?;
             Ok(f)
         }
-        Expr::Extract(e, l) => {
+        Expr::Extract(obj, l) => {
             // (ext): requires a *mutable* field; yields L(τ2).
-            let t = infer(cx, env, e)?;
+            let t = infer(cx, env, obj)?;
+            cx.record_operand(crate::table::node_id(e), t.clone());
             let f = cx.fresh();
             cx.constrain(&t, Kind::has_mutable_field(l.clone(), f.clone()))?;
             Ok(Mono::lval(f))
         }
-        Expr::Update(e, l, v) => {
+        Expr::Update(obj, l, v) => {
             // (upd): requires a mutable field; yields unit.
-            let t = infer(cx, env, e)?;
+            let t = infer(cx, env, obj)?;
+            cx.record_operand(crate::table::node_id(e), t.clone());
             let tv = infer(cx, env, v)?;
             cx.constrain(&t, Kind::has_mutable_field(l.clone(), tv))?;
             Ok(Mono::Unit)
@@ -131,6 +136,7 @@ pub fn infer(cx: &mut Infer, env: &mut TypeEnv, e: &Expr) -> Result<Mono, TypeEr
             } else {
                 Scheme::mono(t_rhs)
             };
+            cx.record_let_scheme(crate::table::node_id(e), &scheme);
             env.push(x.clone(), scheme);
             let t = infer(cx, env, body);
             env.pop();
@@ -239,6 +245,12 @@ pub fn infer(cx: &mut Infer, env: &mut TypeEnv, e: &Expr) -> Result<Mono, TypeEr
             env.truncate(depth);
             result
         }
+
+        // ---------- lowered forms (produced only after inference) ----------
+        Expr::DotAt(..) => Err(TypeError::LoweredForm("dot@i")),
+        Expr::ExtractAt(..) => Err(TypeError::LoweredForm("extract@i")),
+        Expr::UpdateAt(..) => Err(TypeError::LoweredForm("update@i")),
+        Expr::RecordAt(..) => Err(TypeError::LoweredForm("record@layout")),
     }
 }
 

@@ -25,11 +25,13 @@ pub mod error;
 pub mod generalize;
 pub mod infer;
 pub mod instance;
+pub mod table;
 pub mod unify;
 
 pub use ctx::{Infer, InferStats};
 pub use env::TypeEnv;
 pub use error::TypeError;
+pub use table::{NodeId, TypeTable};
 
 use polyview_syntax::{Expr, Scheme};
 

@@ -1,0 +1,51 @@
+//! Per-node inference results consumed by the compile tier.
+//!
+//! The lowering pass (`polyview-trans`) turns `dot`/`extract`/`update`
+//! into offset-resolved forms, but the offsets come from *types*: the
+//! operand's record type fixes the canonical field order, and a kinded
+//! record variable in a binding's scheme names the index parameters a
+//! polymorphic function must abstract over. Inference records exactly
+//! that information here, keyed by AST node address — nodes must
+//! therefore be pinned (behind an `Rc`) before inference and the *same*
+//! nodes handed to the lowering pass.
+//!
+//! Recording is opt-in ([`crate::Infer::enable_table`]); the pure
+//! type-checking paths pay nothing. Types are stored unresolved during
+//! inference and resolved against the final substitution when the table
+//! is taken ([`crate::Infer::take_table`]), so consumers never need the
+//! inference context.
+
+use polyview_syntax::{Expr, Kind, Mono, TyVar};
+use std::collections::HashMap;
+
+/// Identity of an AST node: its address. Valid only while the tree it
+/// came from is alive and unmoved (the prepare pipeline keeps statement
+/// ASTs behind `Rc`).
+pub type NodeId = usize;
+
+/// The node id of an expression.
+pub fn node_id(e: &Expr) -> NodeId {
+    e as *const Expr as usize
+}
+
+/// Inference results addressed by AST node, produced by running
+/// inference with recording enabled.
+#[derive(Debug, Default)]
+pub struct TypeTable {
+    /// `Dot`/`Extract`/`Update` node → the record operand's type. When it
+    /// resolves to a concrete `Mono::Record`, the field offset is the
+    /// label's rank in the type (record types are width-exact, so every
+    /// runtime value agrees); when it resolves to a kinded variable, the
+    /// offset must come from an index parameter.
+    pub operand_types: HashMap<NodeId, Mono>,
+    /// `Var` node → `(scheme binder, instantiation type)` pairs in binder
+    /// order: what each quantified variable of the variable's scheme was
+    /// instantiated to at this use site. This is where index *arguments*
+    /// are synthesized for calls to index-abstracted functions.
+    pub instantiations: HashMap<NodeId, Vec<(TyVar, Mono)>>,
+    /// `Let` node → the binders of the scheme its right-hand side was
+    /// generalized to (empty when the value restriction forced a
+    /// monotype). Kinded binders here are what make a *local* binding a
+    /// candidate for index abstraction.
+    pub let_schemes: HashMap<NodeId, Vec<(TyVar, Kind)>>,
+}

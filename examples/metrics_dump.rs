@@ -31,5 +31,18 @@ fn main() {
     engine
         .eval_to_string("cquery(fn s => map(fn o => query(fn x => x.Salary, o), s), Employee)")
         .expect("query runs");
+    // Polymorphic field traffic through the compile tier: an
+    // index-abstracted function, a direct offset update, and a record
+    // construction. `scripts/verify.sh` asserts this whole session runs
+    // with `eval.dyn_field_fallbacks` exactly 0.
+    engine
+        .exec("fun raise r = update(r, Salary, r.Salary + 100);")
+        .expect("fun defines");
+    engine
+        .eval_to_string(
+            "let s = [Name = \"Ada\", Salary := 900] in \
+             let u = raise s in s.Salary end end",
+        )
+        .expect("raise runs");
     print!("{}", engine.metrics_json());
 }

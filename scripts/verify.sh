@@ -80,8 +80,16 @@ hits = counters["engine.stmt_cache_hits"]
 deps = counters["engine.stmt_cache_dep_invalidations"]
 assert hits > 0, f"expected statement-cache hits, got {hits}"
 assert deps == 0, f"unrelated rebind must not invalidate: dep_invalidations={deps}"
+# Compile-tier gate (DESIGN.md §13): on this workload every field access,
+# update, and record construction must execute through an integer offset —
+# the dynamic-lookup fallback counter stays exactly 0.
+offs = counters["eval.field_offsets_resolved"]
+falls = counters["eval.dyn_field_fallbacks"]
+assert offs > 0, f"expected offset-resolved field ops, got {offs}"
+assert falls == 0, f"compile tier fell back to dynamic lookup {falls} time(s)"
 print(f"  {len(lines)} metrics lines, all valid JSON objects; "
-      f"stmt_cache_hits={hits}, dep_invalidations={deps}")
+      f"stmt_cache_hits={hits}, dep_invalidations={deps}, "
+      f"field_offsets={offs}, dyn_fallbacks={falls}")
 '
 
 echo "==> trace export: pool_server --trace emits valid JSON event lines"

@@ -1,0 +1,184 @@
+//! Differential suite for the two execution backends: the offset-resolved
+//! compile tier (default) versus pure dynamic label lookup
+//! ([`Engine::set_compile_tier`]`(false)`). Every session in the corpus is
+//! replayed statement by statement through one fresh engine per backend and
+//! the rendered outcomes — values, schemes, bound names, *and* errors —
+//! must agree exactly. The tier changes how field operations execute, never
+//! what they compute.
+//!
+//! The final test pins the ISSUE's acceptance property: on the demo/test
+//! workloads the compiled tier executes every field access, update, and
+//! record construction through integer offsets — zero dynamic-lookup
+//! fallbacks.
+
+use polyview::{Engine, Outcome};
+
+/// Multi-statement sessions exercising records, views, classes, updates,
+/// polymorphic field functions, aliases, and rebinds. Statements that
+/// should *fail* are part of the corpus too: both backends must fail the
+/// same way.
+const SESSIONS: &[&[&str]] = &[
+    // Monomorphic record traffic: construction, dot, destructive update.
+    &[
+        "val r = [Name = \"Alice\", Age = 40, Salary := 9000];",
+        "r.Name",
+        "r.Age + 2",
+        "update(r, Salary, r.Salary + 500)",
+        "r.Salary",
+        "[x = 1, y = [z = \"deep\"]].y.z",
+    ],
+    // Polymorphic functions over kinded record variables: index
+    // abstraction at the binding, index application at each use.
+    &[
+        "fun name x = x.Name;",
+        "val get_age = fn x => x.Age;",
+        "name [Name = \"Bob\", Age = 50]",
+        "name [Name = \"Carol\"]",
+        "get_age [Age = 22, Name = \"Dan\"]",
+        "fun bump r = update(r, Salary, r.Salary + 1);",
+        "let s = [Salary := 10, Name = \"Eve\"] in (bump s).Salary end",
+        "fun pair r = [fst = r.A, snd = r.B];",
+        "pair [A = 1, B = 2, C = 3]",
+    ],
+    // Aliases of polymorphic functions and higher-order use.
+    &[
+        "fun name x = x.Name;",
+        "val alias = name;",
+        "alias [Name = \"Fay\", Dept = \"CS\"]",
+        "map(fn r => r.N, {[N = 1], [N = 2]})",
+        "let apply = fn f => fn x => f x in apply name [Name = \"Gil\"] end",
+    ],
+    // Recursive polymorphic traversal repassing its index parameters.
+    &[
+        "fun total s = hom(s, fn r => r.Salary, fn a => fn b => a + b, 0);",
+        "total {[Salary = 1], [Salary = 2], [Salary = 3]}",
+        "fun countdown r = if r.N = 0 then 0 else countdown(update(r, N, r.N - 1));",
+        "countdown [N := 5]",
+    ],
+    // Views and object sharing: the paper's core machinery.
+    &[
+        "val o = IDView([Name = \"Ann\", Age = 30, Salary := 800]);",
+        "query(fn x => x.Name, o)",
+        "query(fn x => x.Age, o as fn y => [Age = y.Age + 1])",
+        "let u = query(fn x => update(x, Salary, 900), o) in query(fn x => x.Salary, o) end",
+        "objeq(o, o as fn x => [Z = 1])",
+    ],
+    // Classes with inclusion and predicates (demo.pv shape).
+    &[
+        "val alice = IDView([Name = \"Alice\", Age = 40, Sex = \"female\", Salary := 9000]);",
+        "val bob = IDView([Name = \"Bob\", Age = 50, Sex = \"male\", Salary := 7000]);",
+        "class Staff = class {alice, bob} end;",
+        "class Women = class {} include Staff as fn s => [Name = s.Name] \
+         where fn s => query(fn x => x.Sex = \"female\", s) end;",
+        "fun names c = cquery(fn s => map(fn o => query(fn x => x.Name, o), s), c);",
+        "names Staff",
+        "names Women",
+        "insert(Staff, IDView([Name = \"Eve\", Age = 31, Sex = \"female\", Salary := 100]));",
+        "names Women",
+    ],
+    // Rebinds mid-session: cache invalidation on both backends.
+    &[
+        "val r = [A = 1];",
+        "r.A",
+        "val r = [A = 10, B = 20];",
+        "r.A + r.B",
+        "fun get x = x.B;",
+        "get r",
+        "fun get x = x.A;",
+        "get r",
+    ],
+    // Errors must be identical: type errors and runtime errors.
+    &[
+        "val r = [A = 1];",
+        "r.Missing",
+        "update(r, A, 2)",
+        "1 + \"no\"",
+        "query(fn x => x.A, 3)",
+    ],
+];
+
+/// Render one statement's outcome (or error) canonically.
+fn step(e: &mut Engine, src: &str) -> String {
+    match e.exec(src) {
+        Ok(outcomes) => outcomes
+            .iter()
+            .map(|o| match o {
+                Outcome::Defined(binds) => binds
+                    .iter()
+                    .map(|(n, s)| format!("{n} : {s}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                Outcome::Value { scheme, rendered } => format!("{rendered} : {scheme}"),
+            })
+            .collect::<Vec<_>>()
+            .join("; "),
+        Err(err) => format!("error: {err}"),
+    }
+}
+
+#[test]
+fn both_backends_agree_on_every_session() {
+    for (i, session) in SESSIONS.iter().enumerate() {
+        let mut offset = Engine::new();
+        let mut dynamic = Engine::new();
+        dynamic.set_compile_tier(false);
+        assert!(offset.compile_tier() && !dynamic.compile_tier());
+        for (j, stmt) in session.iter().enumerate() {
+            let a = step(&mut offset, stmt);
+            let b = step(&mut dynamic, stmt);
+            assert_eq!(a, b, "session {i} stmt {j} diverged: {stmt}");
+        }
+    }
+}
+
+#[test]
+fn both_backends_agree_on_the_prelude_corpus() {
+    // The same program through both backends, prelude loaded, comparing
+    // rendered results directly.
+    const PROGRAMS: &[&str] = &[
+        "map(fn r => r.X * 2, {[X = 1], [X = 2], [X = 3]})",
+        "filter(fn r => r.Keep, {[Keep = true, V = 1], [Keep = false, V = 2]})",
+        "hom({[W = 2], [W = 3]}, fn r => r.W, fn a => fn b => a * b, 1)",
+        "materialize {IDView([a = 5]) as fn x => [b = x.a]}",
+    ];
+    for src in PROGRAMS {
+        let mut offset = Engine::new();
+        offset.load_prelude().expect("prelude");
+        let mut dynamic = Engine::new();
+        dynamic.set_compile_tier(false);
+        dynamic.load_prelude().expect("prelude");
+        assert_eq!(
+            step(&mut offset, src),
+            step(&mut dynamic, src),
+            "program diverged: {src}"
+        );
+    }
+}
+
+#[test]
+fn offset_tier_runs_the_corpus_without_dynamic_fallbacks() {
+    // The acceptance gate: on these workloads the compiled tier resolves
+    // every user-level field operation to an integer offset. The dynamic
+    // backend, by construction, resolves none.
+    let mut offset = Engine::new();
+    let mut dynamic = Engine::new();
+    dynamic.set_compile_tier(false);
+    for session in SESSIONS {
+        for stmt in *session {
+            let _ = step(&mut offset, stmt);
+            let _ = step(&mut dynamic, stmt);
+        }
+    }
+    let s = offset.stats();
+    assert!(
+        s.field_offsets_resolved > 0,
+        "corpus must exercise offset ops"
+    );
+    assert_eq!(
+        s.dyn_field_fallbacks, 0,
+        "compiled tier fell back to dynamic lookup"
+    );
+    let d = dynamic.stats();
+    assert_eq!(d.field_offsets_resolved, 0, "tier off must stay dynamic");
+    assert!(d.dyn_field_fallbacks > 0);
+}

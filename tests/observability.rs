@@ -341,9 +341,9 @@ fn trace_sink_collects_phase_spans_only_when_enabled() {
     e.eval_to_string("1 + 2").expect("runs");
     let spans = sink.take();
     let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
-    assert_eq!(names, ["parse", "infer", "eval"]);
+    assert_eq!(names, ["parse", "infer", "lower", "eval"]);
     assert!(spans.iter().all(|s| s.dur_ns == 7), "manual clock steps");
-    let eval_span = &spans[2];
+    let eval_span = &spans[3];
     assert!(
         eval_span.attrs.iter().any(|(k, v)| k == "fuel" && *v > 0),
         "eval span carries a fuel attribute: {:?}",

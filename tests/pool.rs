@@ -528,3 +528,99 @@ fn unrelated_rebind_keeps_replica_caches_warm() {
     }
     pool.shutdown();
 }
+
+/// The compile tier composes with replication: statements compiled to
+/// offset form stay warm in every replica's cache across unrelated log
+/// replay, a respawned worker rebuilds its cache by replaying the same
+/// compiled pipeline, and no replica ever falls back to dynamic field
+/// lookup on this workload.
+#[test]
+fn compiled_statements_stay_warm_across_replay_and_respawn() {
+    let mut pool = small_pool(2);
+    let s = 9;
+    pool.run(s, "val alice = IDView([Name = \"Alice\", Age = 40]);")
+        .expect("val");
+    pool.run(s, "class Staff = class {alice} end;")
+        .expect("class");
+    pool.run(
+        s,
+        "fun names c = cquery(fn x => map(fn o => query(fn r => r.Name, o), x), c);",
+    )
+    .expect("fun");
+    pool.barrier().expect("barrier");
+
+    // Warm every replica (the first probe compiles through the tier).
+    for w in 0..pool.worker_count() {
+        assert_eq!(
+            pool.probe_worker(w, "names Staff").expect("cold"),
+            "{\"Alice\"}"
+        );
+    }
+
+    // An unrelated write replays everywhere; the compiled statements
+    // survive it — the second probe is a pure cache hit (no re-inference,
+    // hence no re-lowering either: hits run the stored offset code).
+    pool.run(s, "val tick = 1;").expect("write");
+    pool.barrier().expect("barrier");
+    let before = pool.stats();
+    for w in 0..pool.worker_count() {
+        assert_eq!(
+            pool.probe_worker(w, "names Staff").expect("warm"),
+            "{\"Alice\"}"
+        );
+    }
+    let after = pool.stats();
+    for (b, a) in before.per_worker.iter().zip(after.per_worker.iter()) {
+        assert_eq!(b.worker, a.worker);
+        assert_eq!(
+            a.engine.stmt_cache_hits,
+            b.engine.stmt_cache_hits + 1,
+            "worker {} lost its compiled statement to replay",
+            a.worker
+        );
+        assert_eq!(
+            a.engine.inferences, b.engine.inferences,
+            "worker {} re-inferred on a warm hit",
+            a.worker
+        );
+    }
+
+    // A respawned worker replays the whole log through the same compile
+    // tier, then re-fills its (fresh) statement cache on first probe and
+    // hits on the second.
+    pool.inject_worker_panic(0);
+    pool.barrier().expect("respawn");
+    assert_eq!(
+        pool.probe_worker(0, "names Staff").expect("recompiles"),
+        "{\"Alice\"}"
+    );
+    let before = pool.stats();
+    assert_eq!(
+        pool.probe_worker(0, "names Staff").expect("hit"),
+        "{\"Alice\"}"
+    );
+    let after = pool.stats();
+    let b0 = before
+        .per_worker
+        .iter()
+        .find(|w| w.worker == 0)
+        .expect("w0");
+    let a0 = after.per_worker.iter().find(|w| w.worker == 0).expect("w0");
+    assert_eq!(a0.engine.stmt_cache_hits, b0.engine.stmt_cache_hits + 1);
+
+    // Every replica — survivor and respawn alike — ran this workload
+    // entirely through integer offsets.
+    for w in &after.per_worker {
+        assert!(
+            w.engine.field_offsets_resolved > 0,
+            "worker {} never used the offset tier",
+            w.worker
+        );
+        assert_eq!(
+            w.engine.dyn_field_fallbacks, 0,
+            "worker {} fell back to dynamic lookup",
+            w.worker
+        );
+    }
+    pool.shutdown();
+}

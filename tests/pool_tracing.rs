@@ -80,6 +80,7 @@ fn one_trace_id_stitches_a_write_end_to_end() {
             "pool.catchup",
             "engine.parse",
             "engine.infer",
+            "engine.lower",
             "engine.eval",
             "pool.completed",
         ]
@@ -110,15 +111,20 @@ fn one_trace_id_stitches_a_write_end_to_end() {
     assert_eq!((catchup.start_ns, catchup.dur_ns), (2, 1));
     assert_eq!(attr(catchup, "replayed"), Some(0));
     let completed = by_name("pool.completed");
-    // 2 router reads + 2 worker reads before the engine, 3 spans × 2
+    // 2 router reads + 2 worker reads before the engine, 4 spans × 2
     // reads inside it, then the completion read itself: e2e is exactly
-    // 10 steps.
-    assert_eq!((completed.start_ns, completed.dur_ns), (0, 10));
+    // 12 steps.
+    assert_eq!((completed.start_ns, completed.dur_ns), (0, 12));
     assert_eq!(attr(completed, "ok"), Some(1));
 
     // Every engine phase span carries the owning request's trace id as
     // its parent — the cross-thread stitch.
-    for phase in ["engine.parse", "engine.infer", "engine.eval"] {
+    for phase in [
+        "engine.parse",
+        "engine.infer",
+        "engine.lower",
+        "engine.eval",
+    ] {
         let e = by_name(phase);
         assert_eq!(e.parent, Some(1), "{phase} must parent to the trace");
         assert_eq!(attr(e, "worker"), Some(0));

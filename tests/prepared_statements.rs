@@ -336,6 +336,49 @@ fn rebinding_a_dependency_invalidates() {
 }
 
 #[test]
+fn rebinding_through_a_val_alias_invalidates_transitively() {
+    // `val g = f;` records an alias edge g → f. Rebinding f must mark g
+    // (and any chain built on g) stale too: a compiled statement on the
+    // alias may have been specialised against the aliased binding, so
+    // its cached compilation cannot outlive the source's rebind.
+    let mut e = Engine::new();
+    e.exec("val f = fn x => x + 1;").expect("defines");
+    e.exec("val g = f;").expect("aliases");
+    e.exec("val h = g;").expect("chains the alias");
+    e.exec("val other = 5;").expect("unrelated");
+    let on_g = e.prepare("g 1").expect("compiles");
+    let on_h = e.prepare("h 1").expect("compiles");
+    let on_other = e.prepare("other + 1").expect("compiles");
+    assert_eq!(e.run_to_string(&on_g).expect("runs"), "2");
+    assert_eq!(e.run_to_string(&on_h).expect("runs"), "2");
+
+    // f is the only name rebound, but the staleness cascades g → f and
+    // h → g → f. Unrelated statements stay warm.
+    e.exec("val f = fn x => x * 10;")
+        .expect("rebinds the source");
+    assert!(e.run(&on_g).expect_err("alias dep").is_stale_prepared());
+    assert!(
+        e.run(&on_h)
+            .expect_err("chained alias dep")
+            .is_stale_prepared(),
+        "staleness must follow the alias chain transitively"
+    );
+    assert_eq!(e.run_to_string(&on_other).expect("unrelated"), "6");
+
+    // The cached-statement path invalidates the same way.
+    e.eval_to_string("g 2").expect("fills cache");
+    e.exec("val f = fn x => x - 1;").expect("rebinds again");
+    let before = e.stats();
+    e.eval_to_string("g 2").expect("recompiles");
+    let after = e.stats();
+    assert_eq!(
+        after.stmt_cache_dep_invalidations,
+        before.stmt_cache_dep_invalidations + 1,
+        "alias rebind must drop the cached compilation"
+    );
+}
+
+#[test]
 fn rebinding_any_group_member_invalidates_dependents_of_each() {
     // A `fun … and …` group rebinds every member name: a statement
     // depending on *any* member goes stale, and statements depending on
