@@ -27,7 +27,7 @@ use polyview_syntax::visit::{check_rec_class_scope, free_vars};
 use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
 use polyview_trans::{lower_binding, lower_statement, IndexSig, LowerStats};
 use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv, TypeTable};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// What a declaration-log replay did ([`Engine::replay`] /
@@ -392,29 +392,27 @@ impl Engine {
     /// recorded signature still describes.
     fn bump_epochs(&mut self, names: &[Name]) {
         self.env_epoch += 1;
-        let mut bumped: Vec<Name> = Vec::new();
+        let mut bumped: HashSet<Name> = HashSet::new();
         for n in names {
             *self.name_epochs.entry(n.clone()).or_insert(0) += 1;
             self.index_sigs.remove(n);
             self.alias_edges.remove(n);
-            bumped.push(n.clone());
+            bumped.insert(n.clone());
         }
-        // Transitive closure over reverse alias edges. `bumped` only ever
-        // grows and each name enters once, so this terminates even on
-        // (impossible) cyclic edge sets.
-        let mut changed = true;
-        while changed {
-            changed = false;
-            let next: Vec<Name> = self
-                .alias_edges
-                .iter()
-                .filter(|(alias, src)| bumped.contains(src) && !bumped.contains(alias))
-                .map(|(alias, _)| alias.clone())
-                .collect();
-            for alias in next {
-                *self.name_epochs.entry(alias.clone()).or_insert(0) += 1;
-                bumped.push(alias);
-                changed = true;
+        // Transitive closure over reverse alias edges: a worklist over a
+        // src → aliases index, each alias bumped at most once (the
+        // `bumped` guard also terminates (impossible) cyclic edge sets).
+        let mut rev: HashMap<&Name, Vec<&Name>> = HashMap::new();
+        for (alias, src) in &self.alias_edges {
+            rev.entry(src).or_default().push(alias);
+        }
+        let mut work: Vec<Name> = names.to_vec();
+        while let Some(n) = work.pop() {
+            for alias in rev.get(&n).into_iter().flatten() {
+                if bumped.insert((*alias).clone()) {
+                    *self.name_epochs.entry((*alias).clone()).or_insert(0) += 1;
+                    work.push((*alias).clone());
+                }
             }
         }
     }

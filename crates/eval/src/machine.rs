@@ -567,10 +567,12 @@ impl Machine {
 
     /// Locate a field: `(offset, slot)`. With a resolved offset (`Some`)
     /// this is a direct slot read — the fast path the compile tier buys —
-    /// checked against the source label only under `debug_assertions`.
-    /// Without one (un-lowered op, or an index parameter that carried the
-    /// unresolved sentinel) the label is looked up in the layout, and the
-    /// fallback counter records the residue.
+    /// guarded by one label compare against the layout, in release builds
+    /// too: a wrong-but-in-bounds compiled offset must degrade into the
+    /// counted dynamic path below, never silently read the wrong field.
+    /// Without a resolved offset (un-lowered op, or an index parameter
+    /// that carried the unresolved sentinel) the label is looked up in
+    /// the layout, and the fallback counter records the residue.
     fn field_slot(
         &mut self,
         r: &RecordVal,
@@ -578,12 +580,7 @@ impl Machine {
         resolved: Option<usize>,
     ) -> Result<(usize, SlotId), RuntimeError> {
         match resolved {
-            Some(i) if i < r.slots.len() => {
-                debug_assert_eq!(
-                    r.layout.label_at(i),
-                    l,
-                    "lowered offset disagrees with source label"
-                );
+            Some(i) if i < r.slots.len() && r.layout.label_at(i) == l => {
                 self.stats.field_offsets_resolved += 1;
                 Ok((i, r.slots[i]))
             }

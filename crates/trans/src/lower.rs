@@ -29,7 +29,10 @@
 //! index-abstracted *iff* this pass wrapped it, and then **every** `Var`
 //! occurrence of that name immediately applies all its index arguments
 //! (a monomorphic recursive occurrence inside `fix` re-passes the
-//! enclosing parameters). Non-function values are never wrapped —
+//! enclosing parameters; an alias `val g = f` snapshots `f`'s value
+//! into a `let`-bound `#src` binder at definition time and applies the
+//! indices through the snapshot, so rebinding `f` never changes `g`).
+//! Non-function values are never wrapped —
 //! instantiating a wrapped record would mint a fresh identity and change
 //! `eq` — so bindings whose right-hand side is not a `λ`, a `fix`-bound
 //! `λ`, or an alias of an already-abstracted name keep their dynamic
@@ -168,9 +171,10 @@ impl<'a> Lowerer<'a> {
     }
 
     /// Can this right-hand side be index-abstracted? Only function values
-    /// (and aliases of abstracted names, which η-expand to one): wrapping
-    /// any other value would re-evaluate it per instantiation and mint
-    /// fresh record/set identities.
+    /// (and aliases of abstracted names, which snapshot the source value
+    /// and η-expand around it): wrapping any other value would
+    /// re-evaluate it per instantiation and mint fresh record/set
+    /// identities.
     fn wrappable(&self, rhs: &Expr) -> bool {
         match rhs {
             Expr::Lam(..) => true,
@@ -197,6 +201,19 @@ impl<'a> Lowerer<'a> {
                 let inner_low = self.lower(inner);
                 self.locals.pop();
                 Expr::fix(f.clone(), wrap_index_lams(sig, inner_low))
+            }
+            // Alias of an abstracted binding. Bare η-expansion
+            // (`λ#i… x #i…`) would leave `x` a *name* in the closure body,
+            // re-resolved against the global environment on every call —
+            // late binding, while `val g = x` without the tier snapshots
+            // x's value at definition time. Bind the source value once
+            // (`let #src = x`) and re-apply the indices through the
+            // snapshot, so rebinding `x` can never reach the alias.
+            Expr::Var(x) => {
+                let applied = self.lower(rhs);
+                let src = snapshot_name(x);
+                let body = replace_app_head(applied, x, &src);
+                Expr::let_(src, Expr::Var(x.clone()), wrap_index_lams(sig, body))
             }
             _ => {
                 let low = self.lower(rhs);
@@ -441,6 +458,23 @@ fn wrap_index_lams(sig: &IndexSig, body: Expr) -> Expr {
         .fold(body, |acc, (v, l)| Expr::lam(param_name(*v, l), acc))
 }
 
+/// The reserved name binding an alias's definition-time snapshot of its
+/// source value.
+fn snapshot_name(src: &Name) -> Name {
+    Label::new(format!("#src.{src}"))
+}
+
+/// Replace the head variable of an application spine: `x a₁ … aₙ` with
+/// head `from` becomes `to a₁ … aₙ`. Used to route an alias's index
+/// application through its snapshot binder.
+fn replace_app_head(e: Expr, from: &Name, to: &Name) -> Expr {
+    match e {
+        Expr::App(f, a) => Expr::app(replace_app_head(*f, from, to), *a),
+        Expr::Var(x) if &x == from => Expr::Var(to.clone()),
+        other => other,
+    }
+}
+
 /// Human-readable rows describing every field operation of a compiled
 /// statement — resolved offsets, index parameters, layouts, and dynamic
 /// residue. Rendered by the REPL's `:explain`.
@@ -653,9 +687,12 @@ mod tests {
     }
 
     #[test]
-    fn alias_of_abstracted_binding_eta_expands() {
+    fn alias_of_abstracted_binding_snapshots_and_eta_expands() {
         // Global f is abstracted over (t, Bonus); val g = f must become
-        // λ#i. f #i so g's value is again an index-taking function.
+        // let #src = f in λ#i. #src #i end — an index-taking function
+        // again, but one that captured f's *value* at definition time
+        // (referencing f by name in the λ body would late-bind: rebinding
+        // f would change g's behaviour, which tier-off semantics forbid).
         let g_rhs = b::v("f");
         let mut cx = Infer::new();
         cx.enable_table();
@@ -675,19 +712,32 @@ mod tests {
         assert_eq!(sig.len(), 1);
         assert_eq!(stats.index_params_used, 1);
         assert_eq!(stats.dynamic_residue, 0);
-        // λ#i. (f #i)
+        // let #src.f = f in λ#i. (#src.f #i) end
         match &low {
-            Expr::Lam(p, body) => {
-                assert!(p.as_str().starts_with("#i"));
+            Expr::Let(src, rhs, body) => {
+                assert_eq!(src.as_str(), "#src.f");
+                assert!(
+                    matches!(**rhs, Expr::Var(ref x) if x.as_str() == "f"),
+                    "snapshot must bind the bare source, got {rhs}"
+                );
                 match &**body {
-                    Expr::App(fun, arg) => {
-                        assert!(matches!(**fun, Expr::Var(ref x) if x.as_str() == "f"));
-                        assert!(matches!(**arg, Expr::Var(ref a) if a == p));
+                    Expr::Lam(p, inner) => {
+                        assert!(p.as_str().starts_with("#i"));
+                        match &**inner {
+                            Expr::App(fun, arg) => {
+                                assert!(
+                                    matches!(**fun, Expr::Var(ref x) if x == src),
+                                    "index application must go through the snapshot, got {fun}"
+                                );
+                                assert!(matches!(**arg, Expr::Var(ref a) if a == p));
+                            }
+                            other => panic!("expected application, got {other}"),
+                        }
                     }
-                    other => panic!("expected application, got {other}"),
+                    other => panic!("expected index λ, got {other}"),
                 }
             }
-            other => panic!("expected η-expansion, got {other}"),
+            other => panic!("expected snapshot let, got {other}"),
         }
     }
 

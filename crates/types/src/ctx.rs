@@ -228,8 +228,6 @@ impl Infer {
         self.stats.set(InferStats::default());
     }
 
-    /// Start recording per-node inference results (idempotent: an
-    /// in-progress table is kept).
     /// Begin per-node recording for the next inference run. Any previous
     /// recording is discarded: node ids are raw AST addresses, valid only
     /// for the statement whose inference just ran, and a later allocation

@@ -87,6 +87,21 @@ const SESSIONS: &[&[&str]] = &[
         "fun get x = x.A;",
         "get r",
     ],
+    // Rebinding the *source* of an index-abstracted alias: the alias
+    // snapshots the source value at definition time, so calls through it
+    // must keep the old behaviour on both backends — even when the source
+    // is rebound to a different signature or to a non-function.
+    &[
+        "val f = fn p => p.Bonus;",
+        "val g = f;",
+        "g [Bonus = 7, Zed = 1]",
+        "val f = fn p => p.Zed;",
+        "g [Bonus = 7, Zed = 1]",
+        "val h = g;",
+        "val f = 42;",
+        "val g = true;",
+        "h [Bonus = 9]",
+    ],
     // Errors must be identical: type errors and runtime errors.
     &[
         "val r = [A = 1];",

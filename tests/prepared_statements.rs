@@ -379,6 +379,30 @@ fn rebinding_through_a_val_alias_invalidates_transitively() {
 }
 
 #[test]
+fn alias_keeps_its_snapshot_when_the_source_is_rebound() {
+    // `val g = f;` copies f's *value*. With the compile tier on, g's
+    // lowered form is index-abstracted — it must still capture f's value
+    // at definition time rather than re-resolve the global name on every
+    // call: after f is rebound (even to a non-function), calling g must
+    // behave exactly as the old f did, matching tier-off semantics.
+    let mut e = Engine::new();
+    assert!(e.compile_tier());
+    e.exec("val f = fn p => p.Bonus;").expect("defines");
+    e.exec("val g = f;").expect("aliases");
+    e.exec("val f = 42;").expect("rebinds to a non-function");
+    assert_eq!(
+        e.eval_to_string("g [Bonus = 7, Zed = 1]").expect("runs"),
+        "7",
+        "alias must keep the old f's behaviour after the rebind"
+    );
+
+    // The same through a chain: h snapshots g, which snapshotted f.
+    e.exec("val h = g;").expect("chains the alias");
+    e.exec("val g = true;").expect("rebinds the middle");
+    assert_eq!(e.eval_to_string("h [Bonus = 9]").expect("runs"), "9");
+}
+
+#[test]
 fn rebinding_any_group_member_invalidates_dependents_of_each() {
     // A `fun … and …` group rebinds every member name: a statement
     // depending on *any* member goes stale, and statements depending on
