@@ -1,0 +1,133 @@
+//! E11: profiler overhead (DESIGN.md §14). What does the attribution
+//! profiler cost, and does the zero-cost-when-off claim hold under load?
+//!
+//! Two workload shapes, three sampling settings each:
+//!
+//! * **single engine** — `Engine::profile` vs a plain `eval_to_string` of
+//!   the same statement. The profiled path recompiles (it bypasses the
+//!   statement cache to keep `:explain` honest) and wraps every eval node
+//!   in two clock reads, so this measures the *worst-case* per-statement
+//!   cost of `:profile`.
+//! * **pool 90/10 mix** — the E9 unrelated-rebind mix on 4 workers with
+//!   `profile_sample_every` off / 100 / 1. `off` must match
+//!   `E9_pool_mixed_90_10/pool/4` (the only added per-request cost is a
+//!   `None` check in the worker loop); `every_100` is the continuous-
+//!   profiling production setting and should sit within noise of `off`;
+//!   `every_1` profiles every request — the ceiling.
+//!
+//! Expected shape: off ≈ every_100 ≪ every_1, and the single-engine
+//! profiled/plain ratio bounds the per-sample cost (two monotonic clock
+//! reads + a frame push/pop per eval node, plus the recompile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polyview_pool::{Pool, PoolConfig, Submit};
+use std::hint::black_box;
+
+const BATCH: u64 = 256;
+const QUERY: &str = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
+
+fn seeded_engine() -> polyview::Engine {
+    let mut e = polyview::Engine::new();
+    e.exec("class Staff = class {} end;").expect("class");
+    for i in 0..64 {
+        e.exec(&format!(
+            "insert(Staff, IDView([Name = \"emp{i}\", Age = {}]))",
+            20 + i % 50
+        ))
+        .expect("insert");
+    }
+    e.eval_to_string(QUERY).expect("warm-up");
+    e
+}
+
+fn seeded_pool(cfg: PoolConfig) -> Pool {
+    let mut pool = Pool::new(cfg);
+    pool.run(0, "class Staff = class {} end;").expect("class");
+    for i in 0..64 {
+        pool.run(
+            0,
+            &format!(
+                "insert(Staff, IDView([Name = \"emp{i}\", Age = {}]))",
+                20 + i % 50
+            ),
+        )
+        .expect("insert");
+    }
+    pool.barrier().expect("seeded");
+    pool
+}
+
+fn bench_single_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_profile_single");
+    let mut engine = seeded_engine();
+    group.bench_function("plain_eval", |bch| {
+        bch.iter(|| black_box(engine.eval_to_string(QUERY).expect("read")))
+    });
+    group.bench_function("profiled", |bch| {
+        bch.iter(|| black_box(engine.profile(QUERY).expect("profiled").eval_ns))
+    });
+    // Rendering on top of profiling: the full `:profile` experience.
+    group.bench_function("profiled_rendered", |bch| {
+        bch.iter(|| {
+            let r = engine.profile(QUERY).expect("profiled");
+            black_box((r.to_string().len(), r.to_json_lines().len()))
+        })
+    });
+    group.finish();
+}
+
+/// The E9 90/10 unrelated-rebind mix (reads of `QUERY`, every tenth
+/// request rebinds `val tick`), pipelined through the pool.
+fn mixed_batch(pool: &mut Pool, sessions: u64) {
+    let mut tickets = Vec::with_capacity(BATCH as usize);
+    for i in 0..BATCH {
+        let src = if i % 10 == 9 {
+            format!("val tick = {i};")
+        } else {
+            QUERY.to_string()
+        };
+        loop {
+            match pool.submit(i % sessions, &src).expect("classified") {
+                Submit::Queued(t) => break tickets.push(t),
+                Submit::Full => std::thread::yield_now(),
+            }
+        }
+    }
+    for t in tickets {
+        black_box(t.wait().expect("statement"));
+    }
+}
+
+fn bench_pool_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_profile_overhead");
+    group.throughput(Throughput::Elements(BATCH));
+    const WORKERS: usize = 4;
+    let sessions = WORKERS as u64 * 4;
+    let base = || PoolConfig::default().workers(WORKERS).queue_capacity(64);
+
+    for (name, cfg) in [
+        ("off", base()),
+        ("every_100", base().profile_sample_every(100)),
+        ("every_1", base().profile_sample_every(1)),
+    ] {
+        let mut pool = seeded_pool(cfg);
+        mixed_batch(&mut pool, sessions); // warm replica caches
+        group.bench_with_input(BenchmarkId::new("mixed_90_10", name), &(), |bch, _| {
+            bch.iter(|| mixed_batch(&mut pool, sessions))
+        });
+        // The sampled profile really accrued (every_* variants only).
+        let stats = pool.stats();
+        if name != "off" {
+            assert!(stats.per_worker.iter().any(|w| w.profile_samples > 0));
+        }
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_single_engine, bench_pool_sampling
+}
+criterion_main!(benches);

@@ -20,7 +20,8 @@ use crate::explain::Explain;
 use crate::prepare::{
     CacheLookup, Deps, EngineStats, Prepared, StmtCache, StmtKey, DEFAULT_STMT_CACHE_CAPACITY,
 };
-use polyview_eval::{Machine, Value};
+use crate::profile::ProfileReport;
+use polyview_eval::{Machine, Profile, Value};
 use polyview_obs::{Clock, Counter, Histogram, Registry, Span, TraceSink, Tracer};
 use polyview_parser::{parse_expr_counted, parse_program_counted, Decl, ParseStats};
 use polyview_syntax::visit::{check_rec_class_scope, free_vars};
@@ -80,6 +81,14 @@ struct PhaseMetrics {
     sets_allocated: Counter,
     field_offsets_resolved: Counter,
     dyn_field_fallbacks: Counter,
+    /// Lowering-time twins of the two eval counters above: offsets the
+    /// compile tier resolved statically, and the *static* residue it left
+    /// behind (field ops it could not resolve). Distinct from
+    /// `eval.dyn_field_fallbacks`, which counts fallbacks actually
+    /// *executed* — the two disagree whenever residue sits on a cold
+    /// branch or a fallback runs in a loop.
+    lower_offsets: Counter,
+    lower_residue: Counter,
 }
 
 impl PhaseMetrics {
@@ -109,6 +118,8 @@ impl PhaseMetrics {
             sets_allocated: reg.counter("eval.sets_allocated"),
             field_offsets_resolved: reg.counter("eval.field_offsets_resolved"),
             dyn_field_fallbacks: reg.counter("eval.dyn_field_fallbacks"),
+            lower_offsets: reg.counter("trans.offsets_resolved"),
+            lower_residue: reg.counter("trans.dynamic_residue"),
         }
     }
 }
@@ -428,6 +439,8 @@ impl Engine {
         let table = self.cx.take_table()?;
         let mut span = self.tracer.span("lower");
         let (out, stats) = f(&table, &self.index_sigs);
+        self.phases.lower_offsets.add(stats.offsets_resolved);
+        self.phases.lower_residue.add(stats.dynamic_residue);
         span.attr("offsets", stats.offsets_resolved);
         span.attr("index_params", stats.index_params_used);
         span.attr("abstractions", stats.index_abstractions);
@@ -573,8 +586,10 @@ impl Engine {
 
     /// Replace the tracer clock (inject a
     /// [`polyview_obs::ManualClock`] for deterministic phase timings in
-    /// tests).
+    /// tests). The evaluation profiler is wired to the same clock, so one
+    /// injection makes phase timings *and* profile trees deterministic.
     pub fn set_clock(&mut self, clock: Rc<dyn Clock>) {
+        self.machine.set_profile_clock(Rc::clone(&clock));
         self.tracer.set_clock(clock);
     }
 
@@ -757,6 +772,64 @@ impl Engine {
             field_offsets_resolved: m.field_offsets_resolved,
             dyn_field_fallbacks: m.dyn_field_fallbacks,
         })
+    }
+
+    /// Compile and run `src` with the evaluation profiler attached,
+    /// returning a per-node attribution report (REPL `:profile`).
+    ///
+    /// Like [`Engine::explain`], profile compiles fresh — but unlike
+    /// explain it does *not* install the compilation in the statement
+    /// cache: a profile run exists to be observed, and leaving the cache
+    /// untouched keeps `:profile x; :explain x` reporting an honest miss.
+    /// The profiler is scoped to the eval phase, so parse/infer/lower work
+    /// never appears in the tree.
+    pub fn profile(&mut self, src: &str) -> Result<ProfileReport, Error> {
+        let ast = self.parse_counted(src)?;
+        let p = self.prepare_parsed(Some(src.to_string()), ast)?;
+        self.machine.profile_start();
+        let r = self.eval_phase(p.code());
+        let profile = self.machine.profile_stop().unwrap_or_default();
+        let v = r?;
+        let rendered = self.machine.show(&v);
+        let class_names = self.class_names();
+        Ok(ProfileReport {
+            src: src.to_string(),
+            scheme: p.scheme().clone(),
+            rendered,
+            eval_ns: profile.total_ns(),
+            profile,
+            class_names,
+        })
+    }
+
+    /// Attach the evaluation profiler to the machine: every statement run
+    /// from now on accumulates into one profile, until
+    /// [`Engine::stop_profiling`]. This is the embedding-layer API (the
+    /// serving pool samples requests with it); [`Engine::profile`] is the
+    /// one-statement convenience.
+    pub fn start_profiling(&mut self) {
+        self.machine.profile_start();
+    }
+
+    /// Detach the profiler and return what it collected (`None` if
+    /// profiling was never started).
+    pub fn stop_profiling(&mut self) -> Option<Profile> {
+        self.machine.profile_stop()
+    }
+
+    /// Class-id → bound-name pairs from the global environment, for
+    /// rendering view-recompute attribution. When several names alias one
+    /// class the lexically smallest name wins (deterministic).
+    pub(crate) fn class_names(&self) -> Vec<(usize, String)> {
+        let mut names: Vec<(usize, String)> = Vec::new();
+        for (n, v) in self.machine.globals_iter() {
+            if let Value::Class(id) = v {
+                names.push((*id, n.as_str().to_string()));
+            }
+        }
+        names.sort();
+        names.dedup_by_key(|(id, _)| *id);
+        names
     }
 
     /// Number of statements currently held compiled in the cache.

@@ -88,8 +88,9 @@ pub struct Explain {
     pub dyn_field_fallbacks: u64,
 }
 
-/// Render nanoseconds with a readable unit.
-fn ns(n: u64) -> String {
+/// Render nanoseconds with a readable unit. Shared with the profile
+/// report's table renderer.
+pub(crate) fn ns(n: u64) -> String {
     if n >= 10_000_000 {
         format!("{}ms", n / 1_000_000)
     } else if n >= 10_000 {
@@ -144,7 +145,7 @@ impl std::fmt::Display for Explain {
         )?;
         writeln!(
             f,
-            "lower      {:>8}  offsets={} index-params={} abstractions={} residue={} records={}",
+            "lower      {:>8}  offsets={} index-params={} abstractions={} static-residue={} records={}",
             ns(self.lower_ns),
             self.offsets_resolved,
             self.index_params_used,
@@ -167,7 +168,7 @@ impl std::fmt::Display for Explain {
         )?;
         write!(
             f,
-            "eval       {:>8}  fuel={} records={} sets={} offsets={} dyn-fallbacks={}",
+            "eval       {:>8}  fuel={} records={} sets={} offsets={} runtime-fallbacks={}",
             ns(self.eval_ns),
             self.fuel_consumed,
             self.records_allocated,
@@ -232,7 +233,11 @@ mod tests {
             "dot .Name @0",
             "translate",
             "eval",
-            "dyn-fallbacks",
+            // The two fallback families must stay visually distinct:
+            // lowering residue is a *static* fact, the eval counter a
+            // *runtime* one (DESIGN.md §14).
+            "static-residue",
+            "runtime-fallbacks",
             "miss",
             "int",
             "plus@0",

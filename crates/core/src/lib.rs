@@ -44,6 +44,7 @@ pub mod error;
 pub mod explain;
 pub mod prelude;
 pub mod prepare;
+pub mod profile;
 
 pub use classify::{classify_decl, classify_expr, classify_program, EffectSet, StmtClass};
 pub use database::Database;
@@ -51,6 +52,7 @@ pub use engine::{Engine, Outcome, ReplaySummary};
 pub use error::Error;
 pub use explain::Explain;
 pub use prepare::{EngineStats, Prepared};
+pub use profile::ProfileReport;
 
 pub use polyview_eval as eval;
 pub use polyview_obs as obs;
@@ -59,5 +61,5 @@ pub use polyview_syntax as syntax;
 pub use polyview_trans as trans;
 pub use polyview_types as types;
 
-pub use polyview_eval::{Machine, Value};
+pub use polyview_eval::{Machine, Profile, ProfileNode, Value};
 pub use polyview_syntax::{Expr, Mono, Scheme};

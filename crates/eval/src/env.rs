@@ -44,6 +44,23 @@ impl Env {
     pub fn is_empty(&self) -> bool {
         self.0.is_none()
     }
+
+    /// How many links a lookup of `name` inspects: 1-based position of the
+    /// binding, or the full chain length on a miss (a global/builtin hit
+    /// walks the entire local chain first). This is the profiler's
+    /// env-lookup depth attribution; it does not touch values.
+    pub fn lookup_cost(&self, name: &Name) -> u64 {
+        let mut cur = self;
+        let mut hops = 0u64;
+        while let Env(Some(node)) = cur {
+            hops += 1;
+            if &node.name == name {
+                return hops;
+            }
+            cur = &node.next;
+        }
+        hops
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +81,17 @@ mod tests {
             .bind(Label::new("x"), Value::Int(1))
             .bind(Label::new("x"), Value::Int(2));
         assert!(matches!(env.lookup(&Label::new("x")), Some(Value::Int(2))));
+    }
+
+    #[test]
+    fn lookup_cost_counts_links_inspected() {
+        let env = Env::empty()
+            .bind(Label::new("x"), Value::Int(1))
+            .bind(Label::new("y"), Value::Int(2));
+        assert_eq!(env.lookup_cost(&Label::new("y")), 1);
+        assert_eq!(env.lookup_cost(&Label::new("x")), 2);
+        assert_eq!(env.lookup_cost(&Label::new("z")), 2, "miss walks it all");
+        assert_eq!(Env::empty().lookup_cost(&Label::new("z")), 0);
     }
 
     #[test]

@@ -16,10 +16,12 @@ pub mod builtins;
 pub mod env;
 pub mod error;
 pub mod machine;
+pub mod profile;
 pub mod store;
 pub mod value;
 
 pub use env::Env;
 pub use error::RuntimeError;
 pub use machine::{Machine, MachineStats};
+pub use profile::{FallbackSite, HotNode, Profile, ProfileNode, ViewRecompute};
 pub use value::{Key, SetVal, Value, ViewFn};

@@ -9,10 +9,12 @@
 use crate::builtins;
 use crate::env::Env;
 use crate::error::RuntimeError;
+use crate::profile::{Profile, Profiler};
 use crate::store::Store;
 use crate::value::{
     Builtin, ClassId, Closure, Key, ObjVal, RecordVal, SetVal, SlotId, Value, ViewFn,
 };
+use polyview_obs::{Clock, WallClock};
 use polyview_syntax::{ClassDef, Expr, Idx, Label, Layout, Lit, Name};
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
@@ -79,6 +81,15 @@ pub struct Machine {
     class_epoch: u64,
     /// Work counters; monotone until [`Machine::reset_stats`].
     stats: MachineStats,
+    /// The attribution profiler, present only between
+    /// [`Machine::profile_start`] and [`Machine::profile_stop`]. While
+    /// `None` (the default), evaluation pays exactly one `is_none` check
+    /// per node and performs **zero** clock reads.
+    profiler: Option<Profiler>,
+    /// Clock handed to profilers started on this machine. Sticky: set it
+    /// once (tests inject a `ManualClock`), every later `profile_start`
+    /// uses it.
+    profile_clock: Rc<dyn Clock>,
 }
 
 impl Default for Machine {
@@ -100,6 +111,8 @@ impl Machine {
             extent_cache: HashMap::new(),
             class_epoch: 0,
             stats: MachineStats::default(),
+            profiler: None,
+            profile_clock: Rc::new(WallClock::new()),
         };
         for (name, arity, f) in builtins::natives() {
             let id = m.fresh_id();
@@ -141,6 +154,12 @@ impl Machine {
         self.globals.get(name)
     }
 
+    /// Iterate the global value environment (the engine uses this to
+    /// resolve class ids back to their bound names in profile reports).
+    pub fn globals_iter(&self) -> impl Iterator<Item = (&Name, &Value)> {
+        self.globals.iter()
+    }
+
     pub fn class_data(&self, id: ClassId) -> &ClassData {
         &self.classes[id]
     }
@@ -157,6 +176,29 @@ impl Machine {
     /// Zero the work counters (store, classes, and globals are untouched).
     pub fn reset_stats(&mut self) {
         self.stats = MachineStats::default();
+    }
+
+    /// Install the clock future [`Machine::profile_start`] calls will use.
+    /// Does not affect a profiler already running.
+    pub fn set_profile_clock(&mut self, clock: Rc<dyn Clock>) {
+        self.profile_clock = clock;
+    }
+
+    /// Begin attribution profiling: every subsequent `eval_in` node opens a
+    /// timed frame until [`Machine::profile_stop`]. Starting while already
+    /// profiling discards the in-flight profile.
+    pub fn profile_start(&mut self) {
+        self.profiler = Some(Profiler::new(Rc::clone(&self.profile_clock)));
+    }
+
+    /// Stop profiling and return the collected [`Profile`] (`None` if
+    /// profiling was never started).
+    pub fn profile_stop(&mut self) -> Option<Profile> {
+        self.profiler.take().map(Profiler::finish)
+    }
+
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
     }
 
     fn burn(&mut self) -> Result<(), RuntimeError> {
@@ -186,11 +228,25 @@ impl Machine {
 
     /// Evaluate under a local environment.
     ///
-    /// The hot recursion path (variables, application, let, if) stays in
-    /// this function with a deliberately small stack frame; everything else
-    /// is dispatched to a cold helper with its own frame.
+    /// The profiler check is the *only* cost the profiler adds to normal
+    /// runs: one `Option::is_none` on a field already in cache (fuel was
+    /// just touched). With a profiler installed, dispatch detours through
+    /// [`Machine::eval_profiled`] which brackets the node with two clock
+    /// reads.
     pub fn eval_in(&mut self, e: &Expr, env: &Env) -> Result<Value, RuntimeError> {
         self.burn()?;
+        if self.profiler.is_none() {
+            self.eval_dispatch(e, env)
+        } else {
+            self.eval_profiled(e, env)
+        }
+    }
+
+    /// The undecorated dispatch. The hot recursion path (variables,
+    /// application, let, if) stays in this function with a deliberately
+    /// small stack frame; everything else is dispatched to a cold helper
+    /// with its own frame.
+    fn eval_dispatch(&mut self, e: &Expr, env: &Env) -> Result<Value, RuntimeError> {
         match e {
             Expr::Lit(l) => Ok(match l {
                 Lit::Unit => Value::Unit,
@@ -224,11 +280,50 @@ impl Machine {
         }
     }
 
+    /// Profiled dispatch: open a frame keyed by this node (unless past the
+    /// depth cap), attribute env-lookup depth for variables, evaluate, and
+    /// close the frame — on errors too, so the tree stays balanced.
+    /// Out-of-line so the unprofiled path carries none of this code.
+    #[inline(never)]
+    fn eval_profiled(&mut self, e: &Expr, env: &Env) -> Result<Value, RuntimeError> {
+        let entered = match &mut self.profiler {
+            Some(p) => p.enter(e),
+            None => unreachable!("checked by eval_in"),
+        };
+        if entered {
+            if let Expr::Var(x) = e {
+                let hops = env.lookup_cost(x);
+                if let Some(p) = &mut self.profiler {
+                    p.note_env_lookup(hops);
+                }
+            }
+        }
+        let r = self.eval_dispatch(e, env);
+        if entered {
+            // A nested profile_stop (impossible today: stop is a machine
+            // API, not an expression) would take the profiler; guard
+            // rather than unwrap.
+            if let Some(p) = &mut self.profiler {
+                p.exit();
+            }
+        }
+        r
+    }
+
+    /// A field operation fell back to dynamic label lookup: bump the stat
+    /// and, when profiling, attribute the fallback to the current site.
+    fn note_dyn_fallback(&mut self, label: &str) {
+        self.stats.dyn_field_fallbacks += 1;
+        if let Some(p) = &mut self.profiler {
+            p.note_fallback(label);
+        }
+    }
+
     #[inline(never)]
     fn eval_cold(&mut self, e: &Expr, env: &Env) -> Result<Value, RuntimeError> {
         match e {
             Expr::Lit(_) | Expr::Var(_) | Expr::App(..) | Expr::Let(..) | Expr::If(..) => {
-                unreachable!("handled by eval_in")
+                unreachable!("handled by eval_dispatch")
             }
             Expr::Eq(a, b) => {
                 let va = self.eval_in(a, env)?;
@@ -259,7 +354,7 @@ impl Machine {
                     };
                     triples.push((f.label.clone(), f.mutable, slot));
                 }
-                self.stats.dyn_field_fallbacks += 1;
+                self.note_dyn_fallback("[record]");
                 Ok(self.build_record(triples))
             }
             Expr::Dot(e, l) => {
@@ -585,7 +680,7 @@ impl Machine {
                 Ok((i, r.slots[i]))
             }
             _ => {
-                self.stats.dyn_field_fallbacks += 1;
+                self.note_dyn_fallback(l.as_str());
                 let i = r
                     .offset_of(l)
                     .ok_or_else(|| RuntimeError::NoSuchField(l.clone()))?;
@@ -801,13 +896,23 @@ impl Machine {
         if self.extent_cache_enabled {
             if let Some((epoch, cached)) = self.extent_cache.get(&cid) {
                 if *epoch == self.class_epoch {
-                    return Ok(cached.clone());
+                    let rows = cached.len() as u64;
+                    let served = cached.clone();
+                    if let Some(p) = &mut self.profiler {
+                        p.note_extent(cid, true, rows, self.class_epoch);
+                    }
+                    return Ok(served);
                 }
             }
         }
         let mut visited = BTreeSet::new();
         visited.insert(cid);
         let extent = self.class_extent(cid, &visited)?;
+        if let Some(p) = &mut self.profiler {
+            // A recompute with the cache on means the previous entry was
+            // invalidated by the epoch current now.
+            p.note_extent(cid, false, extent.len() as u64, self.class_epoch);
+        }
         if self.extent_cache_enabled {
             self.extent_cache
                 .insert(cid, (self.class_epoch, extent.clone()));

@@ -45,9 +45,14 @@ impl Clock for WallClock {
 /// the current time and then advances it by a fixed step, so a span that
 /// reads the clock twice always measures exactly `step` (plus whatever was
 /// advanced manually in between).
+///
+/// Reads are counted ([`ManualClock::reads`]) — the hook the "disabled
+/// profiling performs zero clock reads" assertions use (mirroring
+/// [`crate::SharedManualClock`], its cross-thread twin).
 pub struct ManualClock {
     now: Cell<u64>,
     step: Cell<u64>,
+    reads: Cell<u64>,
 }
 
 impl ManualClock {
@@ -61,6 +66,7 @@ impl ManualClock {
         ManualClock {
             now: Cell::new(0),
             step: Cell::new(step_ns),
+            reads: Cell::new(0),
         }
     }
 
@@ -78,6 +84,12 @@ impl ManualClock {
     pub fn peek(&self) -> u64 {
         self.now.get()
     }
+
+    /// How many times [`Clock::now_ns`] has been called on this clock.
+    /// `peek` and `advance` do not count.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
 }
 
 impl Default for ManualClock {
@@ -88,6 +100,7 @@ impl Default for ManualClock {
 
 impl Clock for ManualClock {
     fn now_ns(&self) -> u64 {
+        self.reads.set(self.reads.get() + 1);
         let t = self.now.get();
         self.now.set(t.saturating_add(self.step.get()));
         t
@@ -123,5 +136,17 @@ mod tests {
         assert_eq!(c.now_ns(), 0);
         c.advance(42);
         assert_eq!(c.now_ns(), 42);
+    }
+
+    #[test]
+    fn manual_clock_counts_reads() {
+        let c = ManualClock::with_step(10);
+        assert_eq!(c.reads(), 0);
+        c.now_ns();
+        c.now_ns();
+        assert_eq!(c.reads(), 2);
+        c.advance(5);
+        assert_eq!(c.peek(), 25);
+        assert_eq!(c.reads(), 2, "peek and advance are not reads");
     }
 }

@@ -47,8 +47,10 @@ pub use span::{Span, Tracer};
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
 /// Metric and span names are ASCII identifiers in practice, but the escape
-/// keeps the JSON-lines exports well-formed for arbitrary input.
-pub(crate) fn json_escape(s: &str, out: &mut String) {
+/// keeps the JSON-lines exports well-formed for arbitrary input. Public so
+/// downstream JSON-lines renderers (the engine's profile export) share one
+/// escaping discipline with the registry's.
+pub fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

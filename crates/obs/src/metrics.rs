@@ -459,6 +459,48 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile (including the bounds) reports 0.
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+
+        // Single sample: every quantile collapses onto that sample
+        // (bucket upper bound clamped by the recorded max).
+        let one = Histogram::default();
+        one.observe(42); // bucket 6 (33..=64), bound 63, max 42
+        let s = one.snapshot();
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 42, "q={q}");
+        }
+
+        // All mass in the top (saturation) bucket: the bucket bound is
+        // u64::MAX, and the recorded-max clamp keeps the estimate honest.
+        let top = Histogram::default();
+        for _ in 0..3 {
+            top.observe(u64::MAX);
+        }
+        let s = top.snapshot();
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(s.quantile(0.5), u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        // Saturating values just below the bound land in the same bucket
+        // but report their own max, not the bucket's.
+        let near = Histogram::default();
+        near.observe(u64::MAX - 7);
+        assert_eq!(near.snapshot().quantile(0.99), u64::MAX - 7);
+
+        // q = 0.0 and q = 1.0 clamp to the first and last observation.
+        let h = Histogram::default();
+        h.observe(1);
+        h.observe(500);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1, "q=0 targets the first observation");
+        assert_eq!(s.quantile(1.0), 500, "q=1 targets the last observation");
+    }
+
+    #[test]
     fn bucket_upper_bounds() {
         assert_eq!(bucket_upper_bound(0), 0);
         assert_eq!(bucket_upper_bound(1), 1);

@@ -44,6 +44,13 @@ impl Tracer {
         self.clock = clock;
     }
 
+    /// A handle on the tracer's clock (shared, not copied) — so other
+    /// consumers of the same timeline (the evaluation profiler) can be
+    /// wired to it.
+    pub fn clock(&self) -> Rc<dyn Clock> {
+        Rc::clone(&self.clock)
+    }
+
     /// Install a sink and enable emission.
     pub fn set_sink(&mut self, sink: Rc<dyn TraceSink>) {
         self.sink = sink;

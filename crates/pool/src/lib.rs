@@ -122,6 +122,14 @@ pub struct PoolConfig {
     pub slow_threshold_ns: Option<u64>,
     /// Capacity of the slow-request ring (oldest entries evicted).
     pub slow_log_capacity: usize,
+    /// Profile every Nth served request per worker (the first served
+    /// request always profiles, then every Nth after it). Sampled
+    /// profiles merge into one per-worker attribution profile, surfaced
+    /// in [`PoolStats`]; when the slow log is on, a slow request that was
+    /// sampled carries its own profile in its [`SlowRequest`] entry.
+    /// `None` (default): never profile — workers pay one flag check per
+    /// request and their engines none at all.
+    pub profile_sample_every: Option<u64>,
 }
 
 impl Default for PoolConfig {
@@ -137,6 +145,7 @@ impl Default for PoolConfig {
             telemetry_clock: Arc::new(SharedWallClock::new()),
             slow_threshold_ns: None,
             slow_log_capacity: 32,
+            profile_sample_every: None,
         }
     }
 }
@@ -154,6 +163,7 @@ impl std::fmt::Debug for PoolConfig {
             .field("telemetry_enabled", &self.telemetry_enabled)
             .field("slow_threshold_ns", &self.slow_threshold_ns)
             .field("slow_log_capacity", &self.slow_log_capacity)
+            .field("profile_sample_every", &self.profile_sample_every)
             .finish_non_exhaustive()
     }
 }
@@ -216,6 +226,15 @@ impl PoolConfig {
 
     pub fn slow_log_capacity(mut self, n: usize) -> Self {
         self.slow_log_capacity = n;
+        self
+    }
+
+    /// Profile every `n`th served request per worker (`n` is clamped to at
+    /// least 1). Independent of telemetry: sampling fills the per-worker
+    /// profile in [`PoolStats`] either way; the slow-log attachment
+    /// additionally needs [`PoolConfig::slow_threshold_ns`].
+    pub fn profile_sample_every(mut self, n: u64) -> Self {
+        self.profile_sample_every = Some(n.max(1));
         self
     }
 }

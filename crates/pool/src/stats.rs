@@ -35,6 +35,12 @@ pub struct WorkerStats {
     /// The replica's declaration epoch.
     pub env_epoch: u64,
     pub engine: EngineStats,
+    /// Requests whose evaluation was profiled on this replica
+    /// ([`crate::PoolConfig::profile_sample_every`]); 0 when sampling is
+    /// off.
+    pub profile_samples: u64,
+    /// The merged attribution profile of this replica's sampled requests.
+    pub profile: Option<polyview::Profile>,
 }
 
 /// A fleet-level snapshot: pool counters plus every replica's state and
@@ -90,6 +96,22 @@ impl std::fmt::Display for PoolStats {
                 w.replay_errors,
                 w.env_epoch
             )?;
+            if let Some(p) = &w.profile {
+                let hot = p.hot_nodes();
+                let hottest = hot
+                    .first()
+                    .map(|h| format!("{} {}", h.kind, h.span))
+                    .unwrap_or_else(|| "-".to_string());
+                writeln!(
+                    f,
+                    "profile {}  samples={} nodes={} fallback-sites={} hottest={:?}",
+                    w.worker,
+                    w.profile_samples,
+                    p.node_count(),
+                    p.fallback_sites.len(),
+                    hottest
+                )?;
+            }
         }
         for (name, h) in [
             ("queue_wait", &self.queue_wait),
@@ -198,6 +220,8 @@ impl Pool {
             reg.gauge(&format!("pool.worker{i}.replay_lag"))
                 .set(w.replay_lag);
             reg.gauge(&format!("pool.worker{i}.applied")).set(w.applied);
+            reg.gauge(&format!("pool.worker{i}.profile_samples"))
+                .set(w.profile_samples);
         }
         set_engine_counters(&reg, &stats.engine);
         let mut out = reg.to_json_lines();
@@ -253,6 +277,8 @@ impl Pool {
                 replay_errors: r.replay_errors,
                 env_epoch: r.env_epoch,
                 engine: r.stats,
+                profile_samples: r.profile_samples,
+                profile: r.profile.clone(),
             });
         }
         PoolStats {

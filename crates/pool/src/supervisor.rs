@@ -54,6 +54,7 @@ pub(crate) fn spawn_worker(
     let wcfg = WorkerCfg {
         fuel: cfg.fuel,
         load_prelude: cfg.load_prelude,
+        profile_sample_every: cfg.profile_sample_every,
     };
     // The replay horizon must be read on *this* (router) thread: the
     // router is the only appender, so no write can be sequenced between

@@ -81,6 +81,11 @@ pub struct SlowRequest {
     pub catchup_ns: u64,
     /// The statement source, truncated to [`SLOW_SRC_MAX`] characters.
     pub src: String,
+    /// The request's own attribution profile, present when request
+    /// sampling ([`crate::PoolConfig::profile_sample_every`]) happened to
+    /// profile this request — the offending statement arrives already
+    /// attributed, node by node.
+    pub profile: Option<polyview::Profile>,
 }
 
 /// Character cap on the source text kept in a [`SlowRequest`].
@@ -278,6 +283,7 @@ impl Telemetry {
         queue_wait_ns: u64,
         catchup_ns: u64,
         src: &str,
+        profile: Option<polyview::Profile>,
     ) {
         let done_ns = self.clock.now_ns();
         let e2e = done_ns.saturating_sub(trace.submitted_ns);
@@ -308,6 +314,7 @@ impl Telemetry {
                 queue_wait_ns,
                 catchup_ns,
                 src: src.chars().take(SLOW_SRC_MAX).collect(),
+                profile,
             });
         }
     }

@@ -24,7 +24,7 @@ use crate::log::DeclLog;
 use crate::telemetry::{RequestTrace, Telemetry};
 use crate::PoolError;
 use polyview::obs::{EventRecord, EventSink, SharedClock, SpanRecord};
-use polyview::{Engine, EngineStats, Outcome};
+use polyview::{Engine, EngineStats, Outcome, Profile};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -86,6 +86,12 @@ pub struct WorkerReport {
     pub stats: EngineStats,
     /// The replica's full metrics registry as JSON lines.
     pub metrics_json: String,
+    /// Requests whose evaluation was profiled
+    /// ([`crate::PoolConfig::profile_sample_every`]).
+    pub profile_samples: u64,
+    /// The merged attribution profile of every sampled request, `None`
+    /// until something has been sampled.
+    pub profile: Option<Profile>,
 }
 
 /// Gauges shared between a worker and the router: current queue depth
@@ -104,6 +110,7 @@ pub(crate) struct WorkerShared {
 pub(crate) struct WorkerCfg {
     pub fuel: Option<u64>,
     pub load_prelude: bool,
+    pub profile_sample_every: Option<u64>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -127,6 +134,10 @@ pub(crate) fn worker_main(
         index,
         generation,
         applied: 0,
+        sample_every: cfg.profile_sample_every,
+        served: 0,
+        profile_acc: Profile::default(),
+        profile_samples: 0,
     };
     if telemetry.enabled {
         // Put the replica's engine on the pool's shared timeline and
@@ -178,8 +189,10 @@ pub(crate) fn worker_main(
                 let before = w.applied;
                 w.catch_up(min_offset);
                 let serve = w.note_catchup(telemetry, serve, w.applied - before);
+                let sampled = w.maybe_profile_start();
                 let res = w.eval_read(&src);
-                w.finish_serve(telemetry, serve, res.is_ok(), &src);
+                let profile = w.maybe_profile_stop(sampled);
+                w.finish_serve(telemetry, serve, res.is_ok(), &src, profile);
                 let _ = reply.try_send(res);
             }
             Request::Write {
@@ -199,8 +212,10 @@ pub(crate) fn worker_main(
                     .then(|| w.log.get(offset))
                     .flatten()
                     .unwrap_or_default();
+                let sampled = w.maybe_profile_start();
                 let res = w.apply_write(offset);
-                w.finish_serve(telemetry, serve, res.is_ok(), &src);
+                let profile = w.maybe_profile_stop(sampled);
+                w.finish_serve(telemetry, serve, res.is_ok(), &src, profile);
                 let _ = reply.try_send(res);
             }
             Request::CatchUp { upto } => w.catch_up(upto),
@@ -230,6 +245,14 @@ struct Worker {
     /// Entries applied so far (exclusive upper offset). Mirrored into
     /// `shared.applied` for the router's lag gauge.
     applied: u64,
+    /// Profile every Nth served request (`None`: never).
+    sample_every: Option<u64>,
+    /// Read/write requests served (the sampling counter; replay and
+    /// control requests don't count).
+    served: u64,
+    /// Merged profile of every sampled request on this replica.
+    profile_acc: Profile,
+    profile_samples: u64,
 }
 
 /// Worker-side timing state for one traced request, between dequeue and
@@ -330,6 +353,7 @@ impl Worker {
         serve: Option<ServeTrace>,
         ok: bool,
         src: &str,
+        profile: Option<Profile>,
     ) {
         let Some(serve) = serve else { return };
         self.engine.clear_span_tag();
@@ -341,7 +365,36 @@ impl Worker {
             serve.queue_wait_ns,
             serve.catchup_ns,
             src,
+            profile,
         );
+    }
+
+    /// Sampling prologue: count the request and, when it lands on the
+    /// sample grid (first request, then every Nth), attach the profiler.
+    /// Returns whether this request is being profiled.
+    fn maybe_profile_start(&mut self) -> bool {
+        let Some(n) = self.sample_every else {
+            return false;
+        };
+        let sampled = self.served.is_multiple_of(n);
+        self.served += 1;
+        if sampled {
+            self.engine.start_profiling();
+        }
+        sampled
+    }
+
+    /// Sampling epilogue: detach the profiler, merge what it saw into the
+    /// worker's accumulated profile, and hand back the request's own
+    /// profile (for the slow log).
+    fn maybe_profile_stop(&mut self, sampled: bool) -> Option<Profile> {
+        if !sampled {
+            return None;
+        }
+        let profile = self.engine.stop_profiling()?;
+        self.profile_acc.absorb(&profile);
+        self.profile_samples += 1;
+        Some(profile)
     }
     /// Replay log entries until `applied >= upto`. Entry errors are
     /// deterministic across replicas (same entry, same engine state), so
@@ -415,6 +468,8 @@ impl Worker {
             env_epoch: self.engine.env_epoch(),
             stats: self.engine.stats(),
             metrics_json: self.engine.metrics_json(),
+            profile_samples: self.profile_samples,
+            profile: (self.profile_samples > 0).then(|| self.profile_acc.clone()),
         }
     }
 }

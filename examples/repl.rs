@@ -11,10 +11,12 @@
 //! Also accepts a file argument: `cargo run --example repl -- prog.pv`
 //! executes the file and prints each declaration's outcome.
 //!
-//! Observability commands (see DESIGN.md §9): `:stats` prints the pipeline
-//! counters, `:trace on|off` toggles span emission to stderr as JSON
-//! lines, `:explain STMT` compiles and runs a statement with every phase
-//! timed, and `:metrics` dumps the full registry as JSON lines.
+//! Observability commands (see DESIGN.md §9 and §14): `:stats` prints the
+//! pipeline counters, `:trace on|off` toggles span emission to stderr as
+//! JSON lines, `:explain STMT` compiles and runs a statement with every
+//! phase timed, `:profile STMT` runs one with the evaluation profiler
+//! attached (hot-node table, fallback sites, view recomputes), and
+//! `:metrics` dumps the full registry as JSON lines.
 
 use polyview::obs::JsonLinesSink;
 use polyview::{Engine, Outcome};
@@ -55,7 +57,9 @@ fn main() {
 
     println!("polyview — a polymorphic calculus for views and object sharing");
     println!("type declarations or expressions; :q quits, :t EXPR shows a type");
-    println!(":stats, :trace on|off, :explain STMT, :metrics show pipeline internals");
+    println!(
+        ":stats, :trace on|off, :explain STMT, :profile STMT, :metrics show pipeline internals"
+    );
     let stdin = std::io::stdin();
     let mut line = String::new();
     loop {
@@ -103,6 +107,13 @@ fn main() {
         }
         if let Some(rest) = input.strip_prefix(":explain ") {
             match engine.explain(rest) {
+                Ok(report) => println!("{report}"),
+                Err(e) => println!("{e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = input.strip_prefix(":profile ") {
+            match engine.profile(rest) {
                 Ok(report) => println!("{report}"),
                 Err(e) => println!("{e}"),
             }

@@ -347,3 +347,83 @@ fn disabled_telemetry_reads_no_clock_and_emits_nothing() {
     assert!(pool.slow_requests().is_empty());
     pool.shutdown();
 }
+
+// ----- sampled continuous profiling (DESIGN.md §14) -----
+
+#[test]
+fn sampled_profiles_merge_into_worker_stats_and_slow_log() {
+    let clock = Arc::new(SharedManualClock::with_step(1));
+    let mut pool = Pool::new(
+        PoolConfig::default()
+            .workers(1)
+            .telemetry_clock(clock.clone())
+            .profile_sample_every(1)
+            .slow_threshold_ns(1)
+            .slow_log_capacity(8),
+    );
+    // A mutual group with a row-polymorphic field read: every profiled
+    // request attributes runtime fallback sites too.
+    pool.run(3, "fun step r = r.Steps and same r = step(r);")
+        .expect("write");
+    pool.run(3, "step([Steps := 4])").expect("read");
+    pool.run(3, "step([Steps := 5])").expect("read");
+
+    let stats = pool.stats();
+    let w = &stats.per_worker[0];
+    assert_eq!(w.profile_samples, 3, "every-1 samples every request");
+    let profile = w.profile.as_ref().expect("merged worker profile");
+    assert!(profile.total_ns() > 0);
+    assert!(
+        profile.fallback_sites.iter().any(|s| s.label == "Steps"),
+        "fallback attribution crosses the worker boundary: {:?}",
+        profile.fallback_sites
+    );
+
+    // Slow-log entries carry their own per-request profile.
+    let slow = pool.slow_requests();
+    assert!(!slow.is_empty());
+    for s in &slow {
+        let p = s.profile.as_ref().expect("sampled slow request profile");
+        assert!(p.total_ns() > 0);
+    }
+
+    // The fleet snapshot surfaces the sample count in both renderings.
+    let shown = stats.to_string();
+    assert!(shown.contains("samples=3"), "display:\n{shown}");
+    assert!(pool
+        .metrics_json()
+        .contains("\"name\":\"pool.worker0.profile_samples\",\"value\":3"));
+    pool.shutdown();
+}
+
+#[test]
+fn sampling_every_n_profiles_the_first_and_every_nth_request() {
+    let mut pool = Pool::new(PoolConfig::default().workers(1).profile_sample_every(2));
+    pool.run(3, "val a = 1;").expect("write"); // request 0: sampled
+    pool.run(3, "a + 1").expect("read"); // 1: skipped
+    pool.run(3, "a + 2").expect("read"); // 2: sampled
+    pool.run(3, "a + 3").expect("read"); // 3: skipped
+    let stats = pool.stats();
+    assert_eq!(stats.per_worker[0].profile_samples, 2);
+    assert!(stats.per_worker[0].profile.is_some());
+    pool.shutdown();
+}
+
+#[test]
+fn profiling_is_off_by_default_in_the_pool() {
+    let clock = Arc::new(SharedManualClock::with_step(1));
+    let mut pool = Pool::new(
+        PoolConfig::default()
+            .workers(1)
+            .telemetry_clock(clock.clone())
+            .slow_threshold_ns(1),
+    );
+    pool.run(3, "val a = 1;").expect("write");
+    pool.run(3, "a + 1").expect("read");
+    let stats = pool.stats();
+    assert_eq!(stats.per_worker[0].profile_samples, 0);
+    assert!(stats.per_worker[0].profile.is_none());
+    assert!(pool.slow_requests().iter().all(|s| s.profile.is_none()));
+    assert!(!stats.to_string().contains("profile "), "no profile row");
+    pool.shutdown();
+}
