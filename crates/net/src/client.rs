@@ -1,0 +1,201 @@
+//! Blocking client for the JSON-lines protocol.
+//!
+//! Two styles:
+//!
+//! * **Call** — [`NetClient::call`] / [`NetClient::call_batch`] send
+//!   one request and wait for its response. Simple, one in flight.
+//! * **Pipelined** — [`NetClient::send_stmt`] /
+//!   [`NetClient::send_batch`] return immediately with the request id;
+//!   pair with [`NetClient::recv`] later. The server answers
+//!   pool-accepted requests in order, but `busy` rejections overtake,
+//!   so pipelining callers must match on the echoed id.
+
+use crate::proto::{self, Reply, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server closed the connection.
+    Closed,
+    /// The server sent a line this client cannot decode.
+    Proto(String),
+    /// Admission control refused the request; retry later.
+    Busy,
+    /// The server answered with a structured error.
+    Server { kind: String, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Proto(m) => write!(f, "protocol error: {m}"),
+            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One TCP connection to a [`crate::NetServer`].
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(NetClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Send a raw line (no trailing newline). Public so tests can put
+    /// arbitrary — including malformed — bytes on the wire.
+    pub fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        Ok(())
+    }
+
+    /// Read the next raw response line, newline stripped.
+    pub fn recv_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Read and decode the next response.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let line = self.recv_line()?;
+        proto::decode_response(&line).map_err(|e| ClientError::Proto(e.message))
+    }
+
+    /// Pipelined single statement; returns the request id.
+    pub fn send_stmt(&mut self, src: &str) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let line = polyview::obs::jsonl::ObjectBuilder::new()
+            .field_str("op", "stmt")
+            .field_u64("id", id)
+            .field_str("src", src)
+            .finish();
+        self.send_line(&line)?;
+        Ok(id)
+    }
+
+    /// Pipelined batch; returns the request id.
+    pub fn send_batch(&mut self, stmts: &[&str]) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let line = polyview::obs::jsonl::ObjectBuilder::new()
+            .field_str("op", "batch")
+            .field_u64("id", id)
+            .field_str_array("stmts", stmts)
+            .finish();
+        self.send_line(&line)?;
+        Ok(id)
+    }
+
+    /// Pipelined ping; returns the request id.
+    pub fn send_ping(&mut self) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let line = polyview::obs::jsonl::ObjectBuilder::new()
+            .field_str("op", "ping")
+            .field_u64("id", id)
+            .finish();
+        self.send_line(&line)?;
+        Ok(id)
+    }
+
+    /// Pin this connection to `session`; waits for the ack.
+    pub fn hello(&mut self, session: u64) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        let line = polyview::obs::jsonl::ObjectBuilder::new()
+            .field_str("op", "hello")
+            .field_u64("id", id)
+            .field_u64("session", session)
+            .finish();
+        self.send_line(&line)?;
+        self.expect_ok(id).map(|_| ())
+    }
+
+    /// Send one statement and wait for its result. Requires no
+    /// pipelined requests outstanding.
+    pub fn call(&mut self, src: &str) -> Result<String, ClientError> {
+        let id = self.send_stmt(src)?;
+        self.expect_ok(id)
+    }
+
+    /// Send a batch and wait for its per-statement results
+    /// (`Err((message, kind))` entries for failed statements).
+    /// Requires no pipelined requests outstanding.
+    #[allow(clippy::type_complexity)]
+    pub fn call_batch(
+        &mut self,
+        stmts: &[&str],
+    ) -> Result<Vec<Result<String, (String, String)>>, ClientError> {
+        let id = self.send_batch(stmts)?;
+        let resp = self.recv()?;
+        if resp.id != Some(id) {
+            return Err(ClientError::Proto(format!(
+                "response id {:?} does not match request id {id}",
+                resp.id
+            )));
+        }
+        match resp.reply {
+            Reply::Results(results) => Ok(results),
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Err { kind, message } => Err(ClientError::Server { kind, message }),
+            Reply::Ok(v) => Err(ClientError::Proto(format!(
+                "expected results, got ok {v:?}"
+            ))),
+        }
+    }
+
+    fn expect_ok(&mut self, id: u64) -> Result<String, ClientError> {
+        let resp = self.recv()?;
+        if resp.id != Some(id) {
+            return Err(ClientError::Proto(format!(
+                "response id {:?} does not match request id {id}",
+                resp.id
+            )));
+        }
+        match resp.reply {
+            Reply::Ok(v) => Ok(v),
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Err { kind, message } => Err(ClientError::Server { kind, message }),
+            Reply::Results(_) => Err(ClientError::Proto(
+                "expected a single result, got a batch".to_string(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `polyview-net` — the TCP front door over the replicated engine
+//! pool.
+//!
+//! [`NetServer`] binds a listener, builds a [`polyview_pool::Pool`]
+//! from its config, and serves a **pipelined JSON-lines protocol**:
+//! one JSON object per line in both directions, many requests in
+//! flight per connection, responses to pool-accepted requests in
+//! request order (see [`proto`] for the wire grammar and DESIGN.md §15
+//! for the full contract).
+//!
+//! The crate is std-only — blocking `std::net` sockets, one reader and
+//! one writer thread per connection, and the zero-dependency JSON
+//! codec from `polyview-obs` on both ends of the wire. Sessions map
+//! onto pool session affinity: a `hello` frame pins a connection to an
+//! explicit session id, giving read-your-writes across connections
+//! that share it. Admission control is explicit at every tier
+//! (connection cap, per-connection in-flight cap, bounded pool queues)
+//! and always surfaces as a structured `busy` response rather than a
+//! stall or a disconnect.
+//!
+//! ```no_run
+//! use polyview_net::{NetClient, NetConfig, NetServer};
+//!
+//! let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+//! let mut client = NetClient::connect(server.local_addr()).unwrap();
+//! client.call("table People : {{Name:String}};").unwrap();
+//! let rows = client.call("cquery (fun p => p#Name) People;").unwrap();
+//! println!("{rows}");
+//! let pool = server.drain(); // graceful: in-flight requests finish
+//! drop(pool);
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, NetClient};
+pub use proto::{Command, Frame, FrameError, Reply, Response};
+pub use server::{NetConfig, NetServer, NetStats};

@@ -1,0 +1,413 @@
+//! Wire protocol: one JSON object per `\n`-terminated line, both ways.
+//!
+//! The grammar is deliberately tiny (DESIGN.md §15). Requests:
+//!
+//! ```json
+//! {"op":"hello","id":1,"session":7}
+//! {"op":"stmt","id":2,"src":"cquery (fun p => p#Name) People;"}
+//! {"op":"batch","id":3,"stmts":["insert People {Name=\"ada\"};","cquery (fun p => p#Name) People;"]}
+//! {"op":"ping","id":4}
+//! ```
+//!
+//! Responses always carry the request's `id` (when it could be decoded):
+//!
+//! ```json
+//! {"id":2,"ok":"val it = ..."}
+//! {"id":3,"results":[{"ok":"..."},{"err":"...","kind":"runtime"}]}
+//! {"id":2,"busy":true}
+//! {"id":2,"err":"unbound variable x","kind":"type"}
+//! ```
+//!
+//! `kind` classifies errors with the same taxonomy as
+//! [`polyview_pool::PoolError`] — `parse`, `type`, `runtime`, `stale`,
+//! `internal`, `misrouted`, `lost` — plus `proto` for frames the server
+//! could not decode (malformed JSON, unknown `op`, missing field,
+//! oversized line) and `busy` for connection-limit rejections that
+//! arrive before any frame is read.
+//!
+//! Encoding and decoding both go through [`polyview::obs::jsonl`]: the
+//! server validates every inbound frame with the same recursive-descent
+//! parser the verify gates use on outbound telemetry, so the wire stays
+//! honest in both directions without an external JSON dependency.
+
+use polyview::obs::jsonl::{self, JsonValue, ObjectBuilder};
+use polyview_pool::PoolError;
+
+/// Default bound on one wire frame (the line, excluding the newline).
+/// Longer lines are discarded and answered with a `proto` error; the
+/// connection stays open (§15 "malformed input is a value, not a
+/// disconnect").
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    pub cmd: Command,
+}
+
+/// The request operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Pin this connection to an explicit session id (affinity +
+    /// read-your-writes across connections that share it).
+    Hello { session: u64 },
+    /// One statement, auto-routed like [`polyview_pool::Pool::submit`].
+    Stmt { src: String },
+    /// N statements, one ticket: sequenced under a single log-lock hold
+    /// and served in order on the session's replica.
+    Batch { stmts: Vec<String> },
+    /// Liveness probe; answered immediately with `{"id":N,"ok":"pong"}`.
+    Ping,
+}
+
+/// Why a frame failed to decode. Carries the request id when the line
+/// was well-formed enough to yield one, so the error response can still
+/// be correlated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameError {
+    pub id: Option<u64>,
+    pub message: String,
+}
+
+impl FrameError {
+    fn new(id: Option<u64>, message: impl Into<String>) -> FrameError {
+        FrameError {
+            id,
+            message: message.into(),
+        }
+    }
+}
+
+/// Decode one request line into a [`Frame`].
+pub fn decode_frame(line: &str) -> Result<Frame, FrameError> {
+    let members = jsonl::parse_object_line(line)
+        .map_err(|e| FrameError::new(None, format!("malformed frame: {e}")))?;
+    let id = JsonValue::get(&members, "id")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| FrameError::new(None, "frame is missing an integer \"id\""))?;
+    let op = JsonValue::get(&members, "op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| FrameError::new(Some(id), "frame is missing a string \"op\""))?;
+    let cmd = match op {
+        "hello" => {
+            let session = JsonValue::get(&members, "session")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| {
+                    FrameError::new(Some(id), "\"hello\" needs an integer \"session\"")
+                })?;
+            Command::Hello { session }
+        }
+        "stmt" => {
+            let src = JsonValue::get(&members, "src")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| FrameError::new(Some(id), "\"stmt\" needs a string \"src\""))?;
+            Command::Stmt {
+                src: src.to_string(),
+            }
+        }
+        "batch" => {
+            let items = JsonValue::get(&members, "stmts")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| {
+                    FrameError::new(Some(id), "\"batch\" needs a string array \"stmts\"")
+                })?;
+            let mut stmts = Vec::with_capacity(items.len());
+            for item in items {
+                let s = item.as_str().ok_or_else(|| {
+                    FrameError::new(Some(id), "\"batch\" needs a string array \"stmts\"")
+                })?;
+                stmts.push(s.to_string());
+            }
+            if stmts.is_empty() {
+                return Err(FrameError::new(
+                    Some(id),
+                    "\"batch\" must carry at least one statement",
+                ));
+            }
+            Command::Batch { stmts }
+        }
+        "ping" => Command::Ping,
+        other => return Err(FrameError::new(Some(id), format!("unknown op {other:?}"))),
+    };
+    Ok(Frame { id, cmd })
+}
+
+/// The `kind` string for a [`PoolError`] on the wire.
+pub fn error_kind(e: &PoolError) -> &'static str {
+    match e {
+        PoolError::Parse(_) => "parse",
+        PoolError::Type(_) => "type",
+        PoolError::Runtime(_) => "runtime",
+        PoolError::StalePrepared => "stale",
+        PoolError::Internal(_) => "internal",
+        PoolError::Misrouted { .. } => "misrouted",
+        PoolError::WorkerLost { .. } => "lost",
+    }
+}
+
+/// `{"id":N,"ok":"..."}`
+pub fn ok_line(id: u64, value: &str) -> String {
+    ObjectBuilder::new()
+        .field_u64("id", id)
+        .field_str("ok", value)
+        .finish()
+}
+
+/// `{"id":N,"err":"...","kind":"..."}`; `id` omitted when the frame
+/// never yielded one.
+pub fn err_line(id: Option<u64>, kind: &str, message: &str) -> String {
+    let b = ObjectBuilder::new();
+    let b = match id {
+        Some(id) => b.field_u64("id", id),
+        None => b,
+    };
+    b.field_str("err", message).field_str("kind", kind).finish()
+}
+
+/// `{"id":N,"busy":true}` — admission control said no; retry later.
+pub fn busy_line(id: Option<u64>) -> String {
+    let b = ObjectBuilder::new();
+    let b = match id {
+        Some(id) => b.field_u64("id", id),
+        None => b,
+    };
+    b.field_bool("busy", true).finish()
+}
+
+/// `{"id":N,"results":[...]}` — one entry per batch statement, in
+/// submission order.
+pub fn results_line(id: u64, results: &[Result<String, PoolError>]) -> String {
+    let mut arr = String::from("[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        let entry = match r {
+            Ok(v) => ObjectBuilder::new().field_str("ok", v).finish(),
+            Err(e) => ObjectBuilder::new()
+                .field_str("err", &e.to_string())
+                .field_str("kind", error_kind(e))
+                .finish(),
+        };
+        arr.push_str(&entry);
+    }
+    arr.push(']');
+    ObjectBuilder::new()
+        .field_u64("id", id)
+        .field_raw("results", &arr)
+        .finish()
+}
+
+/// A decoded response, as seen by [`crate::NetClient`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The echoed request id; absent only on pre-decode rejections
+    /// (connection-limit busy, unparseable frame).
+    pub id: Option<u64>,
+    pub reply: Reply,
+}
+
+/// The response payloads. Batch entries render errors as
+/// `(message, kind)` pairs since [`PoolError`] does not round-trip
+/// through the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    Ok(String),
+    Results(Vec<Result<String, (String, String)>>),
+    Busy,
+    Err { kind: String, message: String },
+}
+
+/// Decode one response line (client side).
+pub fn decode_response(line: &str) -> Result<Response, FrameError> {
+    let members = jsonl::parse_object_line(line)
+        .map_err(|e| FrameError::new(None, format!("malformed response: {e}")))?;
+    let id = JsonValue::get(&members, "id").and_then(JsonValue::as_u64);
+    if let Some(v) = JsonValue::get(&members, "ok").and_then(JsonValue::as_str) {
+        return Ok(Response {
+            id,
+            reply: Reply::Ok(v.to_string()),
+        });
+    }
+    if JsonValue::get(&members, "busy").and_then(JsonValue::as_bool) == Some(true) {
+        return Ok(Response {
+            id,
+            reply: Reply::Busy,
+        });
+    }
+    if let Some(message) = JsonValue::get(&members, "err").and_then(JsonValue::as_str) {
+        let kind = JsonValue::get(&members, "kind")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("internal")
+            .to_string();
+        return Ok(Response {
+            id,
+            reply: Reply::Err {
+                kind,
+                message: message.to_string(),
+            },
+        });
+    }
+    if let Some(items) = JsonValue::get(&members, "results").and_then(JsonValue::as_array) {
+        let mut results = Vec::with_capacity(items.len());
+        for item in items {
+            let entry = item
+                .as_object()
+                .ok_or_else(|| FrameError::new(id, "\"results\" entries must be objects"))?;
+            if let Some(v) = JsonValue::get(entry, "ok").and_then(JsonValue::as_str) {
+                results.push(Ok(v.to_string()));
+            } else if let Some(m) = JsonValue::get(entry, "err").and_then(JsonValue::as_str) {
+                let kind = JsonValue::get(entry, "kind")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("internal")
+                    .to_string();
+                results.push(Err((m.to_string(), kind)));
+            } else {
+                return Err(FrameError::new(
+                    id,
+                    "\"results\" entry has neither ok nor err",
+                ));
+            }
+        }
+        return Ok(Response {
+            id,
+            reply: Reply::Results(results),
+        });
+    }
+    Err(FrameError::new(
+        id,
+        "response has no ok/results/busy/err field",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_the_decoder() {
+        assert_eq!(
+            decode_frame(r#"{"op":"hello","id":1,"session":7}"#).unwrap(),
+            Frame {
+                id: 1,
+                cmd: Command::Hello { session: 7 }
+            }
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"stmt","id":2,"src":"query f Db;"}"#).unwrap(),
+            Frame {
+                id: 2,
+                cmd: Command::Stmt {
+                    src: "query f Db;".to_string()
+                }
+            }
+        );
+        assert_eq!(
+            decode_frame(r#"{"id":3,"op":"batch","stmts":["a;","b;"]}"#).unwrap(),
+            Frame {
+                id: 3,
+                cmd: Command::Batch {
+                    stmts: vec!["a;".to_string(), "b;".to_string()]
+                }
+            }
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"ping","id":4}"#).unwrap(),
+            Frame {
+                id: 4,
+                cmd: Command::Ping
+            }
+        );
+    }
+
+    #[test]
+    fn bad_frames_keep_the_id_when_they_can() {
+        assert_eq!(decode_frame("nope").unwrap_err().id, None);
+        assert_eq!(decode_frame(r#"{"op":"stmt"}"#).unwrap_err().id, None);
+        assert_eq!(
+            decode_frame(r#"{"op":"stmt","id":9}"#).unwrap_err().id,
+            Some(9)
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"warp","id":9}"#).unwrap_err().id,
+            Some(9)
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"batch","id":9,"stmts":[]}"#)
+                .unwrap_err()
+                .id,
+            Some(9)
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"batch","id":9,"stmts":[1]}"#)
+                .unwrap_err()
+                .id,
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn response_lines_decode_back() {
+        let ok = decode_response(&ok_line(5, "val it = 3 : Int")).unwrap();
+        assert_eq!(
+            ok,
+            Response {
+                id: Some(5),
+                reply: Reply::Ok("val it = 3 : Int".to_string())
+            }
+        );
+
+        let busy = decode_response(&busy_line(Some(6))).unwrap();
+        assert_eq!(
+            busy,
+            Response {
+                id: Some(6),
+                reply: Reply::Busy
+            }
+        );
+
+        let err = decode_response(&err_line(None, "proto", "malformed frame: bad")).unwrap();
+        assert_eq!(
+            err,
+            Response {
+                id: None,
+                reply: Reply::Err {
+                    kind: "proto".to_string(),
+                    message: "malformed frame: bad".to_string()
+                }
+            }
+        );
+
+        let line = results_line(
+            7,
+            &[
+                Ok("val it = 1 : Int".to_string()),
+                Err(PoolError::Runtime("boom".to_string())),
+            ],
+        );
+        let resp = decode_response(&line).unwrap();
+        assert_eq!(
+            resp.reply,
+            Reply::Results(vec![
+                Ok("val it = 1 : Int".to_string()),
+                Err(("boom".to_string(), "runtime".to_string())),
+            ])
+        );
+    }
+
+    #[test]
+    fn every_encoded_line_is_valid_jsonl() {
+        for line in [
+            ok_line(1, "weird \"quotes\" and \\ slashes"),
+            err_line(Some(2), "type", "line\nbreak"),
+            err_line(None, "proto", "no id"),
+            busy_line(Some(3)),
+            busy_line(None),
+            results_line(4, &[Ok("x".to_string()), Err(PoolError::StalePrepared)]),
+        ] {
+            jsonl::check_object_line(&line).expect("encoder emits valid JSON lines");
+        }
+    }
+}

@@ -1,0 +1,705 @@
+//! The TCP front door: blocking `std::net` threads around one
+//! [`Pool`].
+//!
+//! # Threading model
+//!
+//! * One **accept** thread owns the listener. Per accepted socket it
+//!   enforces the connection cap, stamps `net.accepted`, and spawns a
+//!   reader.
+//! * One **reader** thread per connection reads bounded lines, decodes
+//!   frames, and submits to the pool under a brief mutex hold.
+//!   Responses the reader can produce *immediately* — `ping`, `hello`,
+//!   protocol errors, `busy` rejections — it writes itself.
+//! * One **writer** thread per connection drains a channel of pool
+//!   tickets **in submission order** and writes their responses. This
+//!   is what makes the protocol pipelined: the reader never blocks on
+//!   an engine evaluation, so a client may have many statements in
+//!   flight, capped by [`NetConfig::max_in_flight`].
+//!
+//! The ordering contract follows: responses to pool-accepted requests
+//! arrive in request order; immediate responses may overtake them.
+//! Request ids disambiguate (DESIGN.md §15).
+//!
+//! # Drain
+//!
+//! [`NetServer::drain`] stops accepting, shuts down the read half of
+//! every live socket (readers see EOF mid-pipeline, writers finish the
+//! tickets already in their channels), joins every thread, and returns
+//! the inner [`Pool`] so callers can inspect or keep using it. Nothing
+//! accepted is dropped: a request that got a ticket gets its response
+//! before its connection closes.
+
+use crate::proto::{self, Command, DEFAULT_MAX_FRAME_BYTES};
+use polyview::obs::{
+    EventRecord, EventSink, HistogramSnapshot, SharedClock, SharedCounter, SharedGauge,
+    SharedHistogram, SharedRegistry, SharedWallClock,
+};
+use polyview_pool::{BatchTicket, Pool, PoolConfig, Submit, Ticket};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration. Admission control is two-tier: a cap on open
+/// connections (checked at accept) and a per-connection cap on
+/// pipelined requests awaiting responses (checked at submit), on top
+/// of the pool's own bounded queues.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Configuration for the pool the server fronts; the server owns
+    /// the pool it builds from this.
+    pub pool: PoolConfig,
+    /// Maximum simultaneously open connections. Excess connects get a
+    /// single `{"busy":true}` line and are closed.
+    pub max_conns: usize,
+    /// Maximum pool-accepted requests a single connection may have
+    /// awaiting responses. Excess frames get `{"id":N,"busy":true}`;
+    /// the connection stays open.
+    pub max_in_flight: usize,
+    /// Longest accepted wire line in bytes (excluding the newline).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            pool: PoolConfig::default(),
+            max_conns: 64,
+            max_in_flight: 32,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl NetConfig {
+    pub fn pool(mut self, cfg: PoolConfig) -> Self {
+        self.pool = cfg;
+        self
+    }
+
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n;
+        self
+    }
+
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n.max(1);
+        self
+    }
+
+    pub fn max_frame_bytes(mut self, n: usize) -> Self {
+        self.max_frame_bytes = n.max(2);
+        self
+    }
+}
+
+/// Server-side counters, backed by a [`SharedRegistry`] so
+/// [`NetServer::metrics_json`] renders them alongside the pool's.
+struct Metrics {
+    registry: SharedRegistry,
+    conns_open: SharedGauge,
+    conns_accepted: SharedCounter,
+    rejected_busy: SharedCounter,
+    frames_decoded: SharedCounter,
+    frames_invalid: SharedCounter,
+    responses: SharedCounter,
+    read_to_decode_ns: SharedHistogram,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = SharedRegistry::new();
+        Metrics {
+            conns_open: registry.gauge("net.conns_open"),
+            conns_accepted: registry.counter("net.conns_accepted"),
+            rejected_busy: registry.counter("net.rejected_busy"),
+            frames_decoded: registry.counter("net.frames_decoded"),
+            frames_invalid: registry.counter("net.frames_invalid"),
+            responses: registry.counter("net.responses"),
+            read_to_decode_ns: registry.histogram("net.read_to_decode_ns"),
+            registry,
+        }
+    }
+}
+
+/// Point-in-time snapshot of the server's own counters (the pool's
+/// live separately in [`polyview_pool::PoolStats`]).
+#[derive(Clone, Debug)]
+pub struct NetStats {
+    /// Connections currently open.
+    pub conns_open: u64,
+    /// Connections ever accepted (excludes cap rejections).
+    pub conns_accepted: u64,
+    /// Requests refused by admission control: connection cap,
+    /// in-flight cap, or a full pool queue.
+    pub rejected_busy: u64,
+    /// Frames decoded and dispatched.
+    pub frames_decoded: u64,
+    /// Lines that failed to decode (malformed JSON, bad shape,
+    /// oversized).
+    pub frames_invalid: u64,
+    /// Response lines written.
+    pub responses: u64,
+    /// Socket-read to frame-decoded latency.
+    pub read_to_decode: HistogramSnapshot,
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "net: {} open / {} accepted connections",
+            self.conns_open, self.conns_accepted
+        )?;
+        writeln!(
+            f,
+            "     {} decoded, {} invalid, {} busy-rejected, {} responses",
+            self.frames_decoded, self.frames_invalid, self.rejected_busy, self.responses
+        )?;
+        write!(
+            f,
+            "     read→decode ns: p50={} p95={} p99={} (n={})",
+            self.read_to_decode.quantile(0.50),
+            self.read_to_decode.quantile(0.95),
+            self.read_to_decode.quantile(0.99),
+            self.read_to_decode.count
+        )
+    }
+}
+
+/// Clock + sink pair for `net.*` trace events; present only when the
+/// pool's telemetry is on, so the disabled path stays a no-op.
+struct NetTelemetry {
+    clock: Arc<dyn SharedClock>,
+    sink: Arc<dyn EventSink>,
+}
+
+impl NetTelemetry {
+    fn emit(&self, name: &str, trace_id: u64, start_ns: u64, dur_ns: u64, conn: u64) {
+        self.sink.emit(&EventRecord {
+            name: name.to_string(),
+            trace_id,
+            parent: None,
+            start_ns,
+            dur_ns,
+            attrs: vec![("conn".to_string(), conn)],
+        });
+    }
+}
+
+/// Everything a connection's threads share with the server.
+struct Shared {
+    pool: Mutex<Pool>,
+    metrics: Metrics,
+    telemetry: Option<NetTelemetry>,
+    /// Time source for the read→decode histogram. Aliases the pool's
+    /// telemetry clock when telemetry is on (deterministic tests see
+    /// manual time everywhere); otherwise a private wall clock.
+    clock: Arc<dyn SharedClock>,
+    max_in_flight: usize,
+    max_frame_bytes: usize,
+}
+
+struct ConnHandle {
+    /// Kept solely so drain can `Shutdown::Read` a live reader.
+    stream: TcpStream,
+    join: JoinHandle<()>,
+}
+
+/// The TCP front door. Construct with [`NetServer::bind`]; stop with
+/// [`NetServer::drain`] (keep the pool) or [`NetServer::shutdown`]
+/// (tear everything down).
+pub struct NetServer {
+    local_addr: SocketAddr,
+    /// `Some` until [`NetServer::drain`] takes the pool out.
+    shared: Option<Arc<Shared>>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port), build the pool
+    /// from `cfg.pool`, and start accepting.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = Pool::new(cfg.pool.clone());
+        let telemetry = if pool.telemetry_enabled() {
+            Some(NetTelemetry {
+                clock: pool.telemetry_clock(),
+                sink: pool.event_sink(),
+            })
+        } else {
+            None
+        };
+        let clock: Arc<dyn SharedClock> = match &telemetry {
+            Some(t) => Arc::clone(&t.clock),
+            None => Arc::new(SharedWallClock::new()),
+        };
+        let shared = Arc::new(Shared {
+            pool: Mutex::new(pool),
+            metrics: Metrics::new(),
+            telemetry,
+            clock,
+            max_in_flight: cfg.max_in_flight.max(1),
+            max_frame_bytes: cfg.max_frame_bytes.max(2),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let max_conns = cfg.max_conns;
+            std::thread::Builder::new()
+                .name("net-accept".to_string())
+                .spawn(move || accept_loop(listener, shared, stop, conns, max_conns))?
+        };
+        Ok(NetServer {
+            local_addr,
+            shared: Some(shared),
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Run `f` against the pool under the server's mutex. This is the
+    /// only pool access the server exposes while serving — handing out
+    /// the lock, not the pool, keeps [`NetServer::drain`]'s single
+    /// ownership intact. Tests use it to reach deterministic hooks
+    /// like [`Pool::pause_worker`].
+    pub fn with_pool<R>(&self, f: impl FnOnce(&mut Pool) -> R) -> R {
+        let mut guard = lock(&self.shared().pool);
+        f(&mut guard)
+    }
+
+    fn shared(&self) -> &Arc<Shared> {
+        self.shared.as_ref().expect("server not drained")
+    }
+
+    /// Snapshot the server's own counters.
+    pub fn stats(&self) -> NetStats {
+        let m = &self.shared().metrics;
+        NetStats {
+            conns_open: m.conns_open.get(),
+            conns_accepted: m.conns_accepted.get(),
+            rejected_busy: m.rejected_busy.get(),
+            frames_decoded: m.frames_decoded.get(),
+            frames_invalid: m.frames_invalid.get(),
+            responses: m.responses.get(),
+            read_to_decode: m.read_to_decode_ns.snapshot(),
+        }
+    }
+
+    /// `net.*` and pool metrics as JSON lines (one object per line,
+    /// same shape as [`polyview_pool::Pool::metrics_json`]).
+    pub fn metrics_json(&self) -> String {
+        let mut out = self.shared().metrics.registry.to_json_lines();
+        out.push_str(&self.with_pool(|p| p.metrics_json()));
+        out
+    }
+
+    /// Graceful drain: stop accepting, let every in-flight request
+    /// finish and flush its response, close all connections, and
+    /// return the pool (its workers still running).
+    pub fn drain(mut self) -> Pool {
+        self.drain_threads();
+        let shared = self.shared.take().expect("server not drained");
+        match Arc::try_unwrap(shared) {
+            Ok(s) => s.pool.into_inner().unwrap_or_else(|e| e.into_inner()),
+            Err(_) => unreachable!("all connection threads joined; no pool clones remain"),
+        }
+    }
+
+    /// Drain, then shut the pool down too.
+    pub fn shutdown(self) {
+        let mut pool = self.drain();
+        let _ = pool.drain();
+        pool.shutdown();
+    }
+
+    /// Stop accepting and join every thread. Idempotent.
+    fn drain_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // The accept thread blocks in `listener.incoming()`; a
+            // throwaway local connection wakes it so it can observe
+            // the stop flag. If it already exited, the connect just
+            // fails — fine either way.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+        let handles: Vec<ConnHandle> = lock(&self.conns).drain(..).collect();
+        for conn in &handles {
+            // EOF for the reader without killing queued responses: the
+            // write half stays open until the writer thread finishes.
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        for conn in handles {
+            let _ = conn.join.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // `drain`/`shutdown` already joined everything; this makes a
+        // plain drop equally safe (no detached threads holding the
+        // pool).
+        self.drain_threads();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+    max_conns: usize,
+) {
+    let mut next_conn: u64 = 0;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Reap finished connections so the cap counts live ones only.
+        lock(&conns).retain(|c| !c.join.is_finished());
+        if shared.metrics.conns_open.get() >= max_conns as u64 {
+            shared.metrics.rejected_busy.inc();
+            let mut line = proto::busy_line(None);
+            line.push('\n');
+            let _ = stream.write_all(line.as_bytes());
+            continue; // dropping the stream closes it
+        }
+        let conn_id = next_conn;
+        next_conn += 1;
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.metrics.conns_accepted.inc();
+        shared.metrics.conns_open.add(1);
+        if let Some(t) = &shared.telemetry {
+            // No request yet, so no trace id: conn attr is the join
+            // key until the first frame's `net.read` lands.
+            let now = t.clock.now_ns();
+            t.emit("net.accepted", 0, now, 0, conn_id);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let join = match std::thread::Builder::new()
+            .name(format!("net-conn-{conn_id}"))
+            .spawn(move || conn_main(conn_id, reader_stream, conn_shared))
+        {
+            Ok(j) => j,
+            Err(_) => {
+                shared.metrics.conns_open.sub(1);
+                continue;
+            }
+        };
+        lock(&conns).push(ConnHandle { stream, join });
+    }
+}
+
+/// A pool-accepted request travelling from reader to writer.
+enum PendingReply {
+    Stmt { id: u64, ticket: Ticket },
+    Batch { id: u64, ticket: BatchTicket },
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer (CR trimmed, LF consumed).
+    Line,
+    /// The line exceeded the frame bound; it was consumed and
+    /// discarded up to and including its LF.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line into `buf`, never holding more than
+/// `max` payload bytes: once a line overflows the bound the rest of it
+/// is consumed in discard mode, so a hostile megabyte line costs
+/// bounded memory and one `proto` error, not a disconnect.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let mut discarding = false;
+    loop {
+        let (newline_at, chunk_len) = {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF. A trailing unterminated line still counts.
+                return Ok(if discarding {
+                    LineRead::TooLong
+                } else if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            let newline_at = chunk.iter().position(|&b| b == b'\n');
+            let take = newline_at.unwrap_or(chunk.len());
+            if !discarding {
+                buf.extend_from_slice(&chunk[..take]);
+                if buf.len() > max {
+                    discarding = true;
+                    buf.clear();
+                }
+            }
+            (newline_at, chunk.len())
+        };
+        match newline_at {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(if discarding {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line
+                });
+            }
+            None => reader.consume(chunk_len),
+        }
+    }
+}
+
+fn write_line(out: &Mutex<TcpStream>, line: &str) {
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    let mut stream = lock(out);
+    // A dead peer surfaces as EOF on the reader; nothing to do here.
+    let _ = stream.write_all(framed.as_bytes());
+}
+
+fn conn_main(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.metrics.conns_open.sub(1);
+            return;
+        }
+    };
+    // Immediate responses (reader) and ticket responses (writer) share
+    // the socket through this mutex; each line is written whole.
+    let out = Arc::new(Mutex::new(write_half));
+    let in_flight = Arc::new(AtomicU64::new(0));
+    let (pending_tx, pending_rx) = channel::<PendingReply>();
+    let writer = {
+        let out = Arc::clone(&out);
+        let shared = Arc::clone(&shared);
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::Builder::new()
+            .name(format!("net-write-{conn_id}"))
+            .spawn(move || writer_main(pending_rx, out, shared, in_flight))
+    };
+    let writer = match writer {
+        Ok(w) => w,
+        Err(_) => {
+            shared.metrics.conns_open.sub(1);
+            return;
+        }
+    };
+
+    // Until a `hello` pins one, every connection gets a private
+    // session id: affinity groups its own statements, and the high bit
+    // keeps it clear of small hand-picked ids.
+    let mut session: u64 = (1 << 63) | conn_id;
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match read_bounded_line(&mut reader, &mut buf, shared.max_frame_bytes) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                shared.metrics.frames_invalid.inc();
+                let msg = format!("frame exceeds {} bytes", shared.max_frame_bytes);
+                write_line(&out, &proto::err_line(None, "proto", &msg));
+                shared.metrics.responses.inc();
+            }
+            Ok(LineRead::Line) => {
+                let line = String::from_utf8_lossy(&buf);
+                if line.trim().is_empty() {
+                    continue; // blank keep-alive lines are free
+                }
+                let read_ns = shared.clock.now_ns();
+                handle_frame(
+                    &shared,
+                    &out,
+                    &pending_tx,
+                    &in_flight,
+                    conn_id,
+                    &mut session,
+                    &line,
+                    read_ns,
+                );
+            }
+        }
+    }
+    drop(pending_tx); // writer drains remaining tickets, then exits
+    let _ = writer.join();
+    shared.metrics.conns_open.sub(1);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    shared: &Arc<Shared>,
+    out: &Mutex<TcpStream>,
+    pending_tx: &Sender<PendingReply>,
+    in_flight: &AtomicU64,
+    conn_id: u64,
+    session: &mut u64,
+    line: &str,
+    read_ns: u64,
+) {
+    let frame = match proto::decode_frame(line) {
+        Ok(f) => f,
+        Err(e) => {
+            shared.metrics.frames_invalid.inc();
+            write_line(out, &proto::err_line(e.id, "proto", &e.message));
+            shared.metrics.responses.inc();
+            return;
+        }
+    };
+    let decoded_ns = shared.clock.now_ns();
+    shared
+        .metrics
+        .read_to_decode_ns
+        .observe(decoded_ns.saturating_sub(read_ns));
+    shared.metrics.frames_decoded.inc();
+    let id = frame.id;
+    match frame.cmd {
+        Command::Ping => {
+            write_line(out, &proto::ok_line(id, "pong"));
+            shared.metrics.responses.inc();
+        }
+        Command::Hello { session: s } => {
+            *session = s;
+            write_line(out, &proto::ok_line(id, &format!("session {s}")));
+            shared.metrics.responses.inc();
+        }
+        Command::Stmt { src } => {
+            if in_flight.load(Ordering::SeqCst) >= shared.max_in_flight as u64 {
+                reject_busy(shared, out, id);
+                return;
+            }
+            let submitted = lock(&shared.pool).submit(*session, &src);
+            match submitted {
+                Err(e) => {
+                    write_line(
+                        out,
+                        &proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
+                    );
+                    shared.metrics.responses.inc();
+                }
+                Ok(Submit::Full) => reject_busy(shared, out, id),
+                Ok(Submit::Queued(ticket)) => {
+                    emit_frame_events(shared, ticket.trace_id(), conn_id, read_ns, decoded_ns);
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    let _ = pending_tx.send(PendingReply::Stmt { id, ticket });
+                }
+            }
+        }
+        Command::Batch { stmts } => {
+            if in_flight.load(Ordering::SeqCst) >= shared.max_in_flight as u64 {
+                reject_busy(shared, out, id);
+                return;
+            }
+            let refs: Vec<&str> = stmts.iter().map(String::as_str).collect();
+            let submitted = lock(&shared.pool).submit_batch(*session, &refs);
+            match submitted {
+                Err(e) => {
+                    write_line(
+                        out,
+                        &proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
+                    );
+                    shared.metrics.responses.inc();
+                }
+                Ok(Submit::Full) => reject_busy(shared, out, id),
+                Ok(Submit::Queued(ticket)) => {
+                    emit_frame_events(shared, ticket.trace_id(), conn_id, read_ns, decoded_ns);
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    let _ = pending_tx.send(PendingReply::Batch { id, ticket });
+                }
+            }
+        }
+    }
+}
+
+fn reject_busy(shared: &Shared, out: &Mutex<TcpStream>, id: u64) {
+    shared.metrics.rejected_busy.inc();
+    write_line(out, &proto::busy_line(Some(id)));
+    shared.metrics.responses.inc();
+}
+
+/// Stamp `net.read` and `net.decoded` with the trace id the pool
+/// minted at submit, so one id spans socket → router → worker →
+/// engine. Emitted *after* submit because the id does not exist
+/// earlier; the events' own timestamps restore wire order.
+fn emit_frame_events(
+    shared: &Shared,
+    trace_id: Option<u64>,
+    conn_id: u64,
+    read_ns: u64,
+    decoded_ns: u64,
+) {
+    if let (Some(t), Some(trace_id)) = (&shared.telemetry, trace_id) {
+        t.emit("net.read", trace_id, read_ns, 0, conn_id);
+        t.emit(
+            "net.decoded",
+            trace_id,
+            read_ns,
+            decoded_ns.saturating_sub(read_ns),
+            conn_id,
+        );
+    }
+}
+
+fn writer_main(
+    pending: Receiver<PendingReply>,
+    out: Arc<Mutex<TcpStream>>,
+    shared: Arc<Shared>,
+    in_flight: Arc<AtomicU64>,
+) {
+    while let Ok(reply) = pending.recv() {
+        let line = match reply {
+            PendingReply::Stmt { id, ticket } => match ticket.wait() {
+                Ok(v) => proto::ok_line(id, &v),
+                Err(e) => proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
+            },
+            PendingReply::Batch { id, ticket } => match ticket.wait() {
+                Ok(results) => proto::results_line(id, &results),
+                Err(e) => proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
+            },
+        };
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+        write_line(&out, &line);
+        shared.metrics.responses.inc();
+    }
+}

@@ -1,13 +1,23 @@
-//! A tiny std-only JSON *line* validator — enough to smoke-test our own
-//! JSON-lines exports (metrics, spans, events) without pulling in serde.
+//! A tiny std-only JSON *line* codec — enough to smoke-test our own
+//! JSON-lines exports (metrics, spans, events) and to carry the network
+//! front door's wire protocol (`crates/net`) without pulling in serde.
 //!
-//! [`check_object_line`] validates that a line is exactly one syntactically
-//! well-formed JSON object (full recursive-descent over values, UTF-8
-//! escapes included) and returns its top-level keys in order of
-//! appearance. It deliberately does *not* build a value tree: callers only
-//! need "is this parseable?" plus "which keys are present?" — the contract
-//! the `verify.sh` trace-smoke gate and `pool_server --trace` self-check
-//! assert.
+//! Three layers, all sharing one recursive-descent core:
+//!
+//! * [`check_object_line`] validates that a line is exactly one
+//!   syntactically well-formed JSON object (UTF-8 escapes included) and
+//!   returns its top-level keys in order of appearance. It does *not*
+//!   build a value tree: callers only need "is this parseable?" plus
+//!   "which keys are present?" — the contract the `verify.sh` trace-smoke
+//!   gate and `pool_server --trace` self-check assert.
+//! * [`parse_object_line`] builds the value tree as ordered
+//!   `(key, `[`JsonValue`]`)` pairs — the decode half of the wire frame
+//!   codec. [`JsonValue`] carries typed accessors ([`JsonValue::as_str`],
+//!   [`JsonValue::as_u64`], …) so frame handlers read fields without
+//!   pattern-matching boilerplate.
+//! * [`ObjectBuilder`] renders a single-line JSON object with correct
+//!   string escaping — the encode half, shared by responses and any other
+//!   hand-rolled JSON-lines export.
 
 /// Why a line failed validation. The offset is a byte position into the
 /// line, for error messages.
@@ -20,6 +30,66 @@ pub struct JsonError {
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+/// One parsed JSON value. Numbers are carried as `f64` (integers up to
+/// 2^53 round-trip exactly — wire ids and counters are far below that);
+/// object members keep their order of appearance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact non-negative integer (a `Num` with no
+    /// fractional part, within `f64`'s exact-integer range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// First member with key `key` (objects preserve appearance order and
+    /// may, per JSON, repeat keys — first wins here).
+    pub fn get<'v>(members: &'v [(String, JsonValue)], key: &str) -> Option<&'v JsonValue> {
+        members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 }
 
@@ -232,6 +302,87 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Value-building twin of [`Parser::value`].
+    fn value_tree(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => Ok(JsonValue::Obj(self.object_tree()?)),
+            Some(b'[') => self.array_tree(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self
+                .literal("true", "invalid literal")
+                .map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "invalid literal")
+                .map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self
+                .literal("null", "invalid literal")
+                .map(|()| JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                self.number()?;
+                // `number` validated the grammar, which is a strict subset
+                // of Rust's float syntax, so the text parse cannot fail.
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+                        offset: start,
+                        message: "invalid utf-8",
+                    })?;
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| JsonError {
+                        offset: start,
+                        message: "invalid number",
+                    })
+            }
+            _ => self.err("expected value"),
+        }
+    }
+
+    fn array_tree(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[', "expected array")?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value_tree()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b']') => return Ok(JsonValue::Arr(items)),
+                Some(b',') => continue,
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    /// Value-building twin of [`Parser::object`].
+    fn object_tree(&mut self) -> Result<Vec<(String, JsonValue)>, JsonError> {
+        self.expect(b'{', "expected object")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(members);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            let value = self.value_tree()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b'}') => return Ok(members),
+                Some(b',') => continue,
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
     /// Parse an object, returning its keys in order of appearance.
     fn object(&mut self) -> Result<Vec<String>, JsonError> {
         self.expect(b'{', "expected object")?;
@@ -283,6 +434,115 @@ pub fn check_object_line(line: &str) -> Result<Vec<String>, JsonError> {
     Ok(keys)
 }
 
+/// Parse `line` as exactly one JSON object (nothing but whitespace around
+/// it), returning its members as ordered `(key, value)` pairs — the decode
+/// half of the wire frame codec.
+pub fn parse_object_line(line: &str) -> Result<Vec<(String, JsonValue)>, JsonError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let members = p.object_tree()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content after object");
+    }
+    Ok(members)
+}
+
+/// Builds a single-line JSON object with correct string escaping — the
+/// encode half of the wire frame codec. Keys render in insertion order;
+/// the caller is responsible for not repeating them.
+///
+/// ```
+/// use polyview_obs::jsonl::ObjectBuilder;
+/// let line = ObjectBuilder::new()
+///     .field_u64("id", 7)
+///     .field_str("ok", "1 + 1 = \"2\"")
+///     .finish();
+/// assert_eq!(line, "{\"id\":7,\"ok\":\"1 + 1 = \\\"2\\\"\"}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ObjectBuilder {
+    out: String,
+    first: bool,
+}
+
+impl Default for ObjectBuilder {
+    fn default() -> Self {
+        ObjectBuilder::new()
+    }
+}
+
+impl ObjectBuilder {
+    pub fn new() -> Self {
+        ObjectBuilder {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        crate::json_escape(key, &mut self.out);
+        self.out.push_str("\":");
+    }
+
+    pub fn field_str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.out.push('"');
+        crate::json_escape(value, &mut self.out);
+        self.out.push('"');
+        self
+    }
+
+    pub fn field_u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    pub fn field_bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    pub fn field_str_array<S: AsRef<str>>(mut self, key: &str, items: &[S]) -> Self {
+        self.key(key);
+        self.out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push('"');
+            crate::json_escape(item.as_ref(), &mut self.out);
+            self.out.push('"');
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Splice a pre-rendered JSON value (e.g. a nested array of objects
+    /// built with more [`ObjectBuilder`]s). The caller guarantees `raw` is
+    /// well-formed JSON.
+    pub fn field_raw(mut self, key: &str, raw: &str) -> Self {
+        self.key(key);
+        self.out.push_str(raw);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +591,79 @@ mod tests {
             "{\"a\":1",
         ] {
             assert!(check_object_line(bad).is_err(), "accepted: {bad}");
+            assert!(
+                parse_object_line(bad).is_err(),
+                "tree parse accepted: {bad}"
+            );
         }
+    }
+
+    #[test]
+    fn parse_object_line_builds_typed_values() {
+        let members = parse_object_line(
+            "{\"op\":\"batch\",\"id\":41,\"stmts\":[\"val x = 1;\",\"x\"],\"deep\":{\"ok\":true,\"none\":null},\"f\":-2.5}",
+        )
+        .expect("valid");
+        assert_eq!(
+            members.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["op", "id", "stmts", "deep", "f"]
+        );
+        assert_eq!(
+            JsonValue::get(&members, "op").unwrap().as_str(),
+            Some("batch")
+        );
+        assert_eq!(JsonValue::get(&members, "id").unwrap().as_u64(), Some(41));
+        let stmts = JsonValue::get(&members, "stmts")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].as_str(), Some("val x = 1;"));
+        let deep = JsonValue::get(&members, "deep")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(JsonValue::get(deep, "ok").unwrap().as_bool(), Some(true));
+        assert_eq!(JsonValue::get(deep, "none"), Some(&JsonValue::Null));
+        assert_eq!(JsonValue::get(&members, "f"), Some(&JsonValue::Num(-2.5)));
+        // Typed accessors refuse mismatches rather than coercing.
+        assert_eq!(JsonValue::get(&members, "f").unwrap().as_u64(), None);
+        assert_eq!(JsonValue::get(&members, "id").unwrap().as_str(), None);
+        assert_eq!(JsonValue::get(&members, "missing"), None);
+    }
+
+    #[test]
+    fn object_builder_round_trips_through_the_parser() {
+        let nested = ObjectBuilder::new()
+            .field_str("err", "bad \"thing\"\n")
+            .finish();
+        let line = ObjectBuilder::new()
+            .field_u64("id", 9)
+            .field_bool("busy", true)
+            .field_str_array("stmts", &["a", "b\\c"])
+            .field_raw("results", &format!("[{nested}]"))
+            .finish();
+        let members = parse_object_line(&line).expect("builder output parses");
+        assert_eq!(JsonValue::get(&members, "id").unwrap().as_u64(), Some(9));
+        assert_eq!(
+            JsonValue::get(&members, "busy").unwrap().as_bool(),
+            Some(true)
+        );
+        let stmts = JsonValue::get(&members, "stmts")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(stmts[1].as_str(), Some("b\\c"));
+        let results = JsonValue::get(&members, "results")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let inner = results[0].as_object().unwrap();
+        assert_eq!(
+            JsonValue::get(inner, "err").unwrap().as_str(),
+            Some("bad \"thing\"\n")
+        );
+        // And the validator agrees the builder emits exactly one object.
+        assert!(check_object_line(&line).is_ok());
     }
 }

@@ -68,7 +68,7 @@ pub use polyview::obs::{
     SharedManualClock, SharedWallClock,
 };
 pub use polyview::StmtClass;
-pub use router::{Pool, Submit, Ticket, WorkerGate};
+pub use router::{BatchTicket, Pool, Submit, Ticket, WorkerGate};
 pub use stats::{PoolStats, WorkerStats};
 pub use telemetry::SlowRequest;
 pub use worker::WorkerReport;

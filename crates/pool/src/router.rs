@@ -11,8 +11,9 @@
 use crate::log::DeclLog;
 use crate::supervisor::{spawn_worker, WorkerHandle};
 use crate::telemetry::{RequestTrace, SlowRequest, Telemetry};
-use crate::worker::Request;
+use crate::worker::{BatchItem, Request};
 use crate::{PoolConfig, PoolError};
+use polyview::obs::{EventSink, SharedClock};
 use polyview::{EffectSet, StmtClass};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TrySendError};
@@ -82,6 +83,15 @@ impl Ticket {
         self.sequenced
     }
 
+    /// The telemetry trace id minted for this request, `None` when
+    /// telemetry is disabled. This is the join key a front end (the
+    /// network door) uses to stamp its own events — `net.read`,
+    /// `net.decoded` — onto the same trace the pool and engine are
+    /// already writing.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace.as_ref().map(|tt| tt.trace.id)
+    }
+
     /// Block until the worker replies. If the worker dies first, resolves
     /// to [`PoolError::WorkerLost`] (the supervisor respawns the worker on
     /// the pool's next interaction). A lost *read* is safe to resubmit; a
@@ -101,6 +111,57 @@ impl Ticket {
                 }
                 Err(PoolError::WorkerLost {
                     sequenced: self.sequenced,
+                })
+            }
+        }
+    }
+}
+
+/// A pending reply for a pipelined batch ([`Pool::submit_batch`]): N
+/// statements, one queue slot, one ticket.
+#[derive(Debug)]
+pub struct BatchTicket {
+    worker: usize,
+    /// For batches containing writes: the contiguous log range
+    /// `[first, first + count)` the writes were sequenced at.
+    sequenced: Option<(u64, u64)>,
+    rx: Receiver<Vec<Result<String, PoolError>>>,
+    trace: Option<TicketTrace>,
+}
+
+impl BatchTicket {
+    /// Which worker is serving this batch.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// The `(first_offset, count)` log range this batch's writes were
+    /// sequenced at, if any. Like a single write's offset, the range is
+    /// durable the moment the ticket exists: every replica will apply the
+    /// writes whether or not the reply arrives.
+    pub fn sequenced(&self) -> Option<(u64, u64)> {
+        self.sequenced
+    }
+
+    /// The telemetry trace id of the batch (see [`Ticket::trace_id`]).
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace.as_ref().map(|tt| tt.trace.id)
+    }
+
+    /// Block until the worker replies with one result per statement, in
+    /// submission order. A lost worker resolves to
+    /// [`PoolError::WorkerLost`] carrying the first sequenced offset:
+    /// batch writes, like single writes, are already in the log and must
+    /// not be resubmitted.
+    pub fn wait(self) -> Result<Vec<Result<String, PoolError>>, PoolError> {
+        match self.rx.recv() {
+            Ok(res) => Ok(res),
+            Err(_) => {
+                if let Some(tt) = &self.trace {
+                    tt.telemetry.note_worker_lost(&tt.trace, self.worker);
+                }
+                Err(PoolError::WorkerLost {
+                    sequenced: self.sequenced.map(|(first, _)| first),
                 })
             }
         }
@@ -261,6 +322,146 @@ impl Pool {
                 got,
             }),
         }
+    }
+
+    /// Submit a pipelined batch: N statements, one queue slot, one
+    /// [`BatchTicket`] — the front door's amortization lever. All write
+    /// items are sequenced **contiguously under one log-lock hold**
+    /// (instead of N lock acquisitions and N queue slots), and the batch
+    /// is served in order on the session's affinity replica, so a read
+    /// item observes every write item before it. Backpressure is
+    /// all-or-nothing: a full queue rejects the whole batch with
+    /// [`Submit::Full`] and sequences nothing.
+    pub fn submit_batch(
+        &mut self,
+        session: u64,
+        stmts: &[&str],
+    ) -> Result<Submit<BatchTicket>, PoolError> {
+        if stmts.is_empty() {
+            return Err(PoolError::Internal("empty batch".to_string()));
+        }
+        let mut classes = Vec::with_capacity(stmts.len());
+        for src in stmts {
+            classes.push(self.classify(src)?);
+        }
+        let worker = self.worker_for(session);
+        let class = if classes.iter().any(|c| matches!(c, StmtClass::Write)) {
+            StmtClass::Write
+        } else {
+            StmtClass::Read
+        };
+        let mut trace = self.telemetry.begin(session, class);
+        self.supervise();
+        let (reply, rx) = sync_channel(1);
+        // Same atomicity discipline as `dispatch_write`, generalized:
+        // reserve a contiguous offset range for the write items and
+        // enqueue the batch while holding the log lock — nothing is
+        // sequenced unless the queue accepted the request.
+        let mut entries = self.log.lock();
+        let base = entries.len() as u64;
+        let mut next = base;
+        let mut items = Vec::with_capacity(stmts.len());
+        let mut writes = Vec::new();
+        for (src, class) in stmts.iter().zip(&classes) {
+            match class {
+                StmtClass::Write => {
+                    items.push(BatchItem::Write { offset: next });
+                    next += 1;
+                    writes.push(*src);
+                }
+                StmtClass::Read => items.push(BatchItem::Read {
+                    src: (*src).to_string(),
+                }),
+            }
+        }
+        let n_writes = writes.len() as u64;
+        if let Some(t) = trace.as_mut() {
+            self.telemetry.stamp_enqueue(t);
+        }
+        self.workers[worker]
+            .shared
+            .depth
+            .fetch_add(1, Ordering::Relaxed);
+        match self.workers[worker].tx.try_send(Request::Batch {
+            items,
+            min_offset: base,
+            src: stmts.join(" ; "),
+            reply,
+            trace,
+        }) {
+            Ok(()) => {
+                for src in &writes {
+                    entries.push(Arc::from(*src));
+                }
+                drop(entries);
+                for src in &writes {
+                    let _ = self.effects.observe_program(src);
+                }
+                self.submitted_writes += n_writes;
+                self.submitted_reads += stmts.len() as u64 - n_writes;
+                let sequenced = (n_writes > 0).then_some(base);
+                if let Some(t) = &trace {
+                    self.telemetry.note_enqueued(t, worker, sequenced);
+                }
+                if n_writes > 0 {
+                    for i in 0..self.workers.len() {
+                        if i != worker {
+                            let _ = self.try_send(i, Request::CatchUp { upto: next });
+                        }
+                    }
+                }
+                Ok(Submit::Queued(BatchTicket {
+                    worker,
+                    sequenced: (n_writes > 0).then_some((base, n_writes)),
+                    rx,
+                    trace: trace.map(|trace| TicketTrace {
+                        telemetry: Arc::clone(&self.telemetry),
+                        trace,
+                    }),
+                }))
+            }
+            Err(_) => {
+                self.workers[worker]
+                    .shared
+                    .depth
+                    .fetch_sub(1, Ordering::Relaxed);
+                drop(entries);
+                self.rejected_full += 1;
+                if let Some(t) = &trace {
+                    self.telemetry.note_rejected(t, worker);
+                }
+                Ok(Submit::Full)
+            }
+        }
+    }
+
+    /// Whether request telemetry is enabled (fixed at construction).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.enabled
+    }
+
+    /// The shared time source every telemetry timestamp comes from. A
+    /// front end (the network door) reads the same clock so its events —
+    /// `net.read`, `net.decoded` — land on the same timeline as the
+    /// pool's and the engines'.
+    pub fn telemetry_clock(&self) -> Arc<dyn SharedClock> {
+        Arc::clone(&self.telemetry.clock)
+    }
+
+    /// The shared sink telemetry events are emitted to, for front ends
+    /// stamping their own lifecycle events onto a request's trace.
+    pub fn event_sink(&self) -> Arc<dyn EventSink> {
+        Arc::clone(&self.telemetry.sink)
+    }
+
+    /// Flush everything already accepted: every request queued on every
+    /// replica is served and every sequenced write applied before this
+    /// returns. This is the pool-side half of a graceful drain (the
+    /// network door stops accepting, drains its connections, then calls
+    /// this); a barrier gives exactly that, since barrier requests queue
+    /// behind all earlier work.
+    pub fn drain(&mut self) -> Result<(), PoolError> {
+        self.barrier().map(|_| ())
     }
 
     /// Blocking convenience over [`Pool::submit`]: waits out backpressure

@@ -51,6 +51,20 @@ pub(crate) enum Request {
         reply: SyncSender<Result<String, PoolError>>,
         trace: Option<RequestTrace>,
     },
+    /// Serve a pipelined batch: one queue slot, one reply, one catch-up to
+    /// `min_offset`, then every item in order on this replica. Write items
+    /// were sequenced contiguously under the log lock at submit, so a
+    /// read item placed after a write item observes that write — batches
+    /// are read-your-writes *internally*, not just across requests.
+    Batch {
+        items: Vec<BatchItem>,
+        min_offset: u64,
+        /// Truncated source summary for the slow log (the items themselves
+        /// carry only offsets for writes).
+        src: String,
+        reply: SyncSender<Vec<Result<String, PoolError>>>,
+        trace: Option<RequestTrace>,
+    },
     /// Replay the log to at least `upto` (eager write propagation; safe to
     /// drop when the queue is full — the next offset-carrying request
     /// replays the gap anyway).
@@ -66,6 +80,15 @@ pub(crate) enum Request {
     Crash,
     /// Exit the serve loop (queue disconnection does the same).
     Shutdown,
+}
+
+/// One statement of a pipelined batch ([`Request::Batch`]). Writes were
+/// already sequenced (the offset is the item's identity — the entry text
+/// lives in the log); reads carry their source.
+#[derive(Debug)]
+pub(crate) enum BatchItem {
+    Write { offset: u64 },
+    Read { src: String },
 }
 
 /// One worker's observability snapshot, produced on its own thread (the
@@ -217,6 +240,32 @@ pub(crate) fn worker_main(
                 let profile = w.maybe_profile_stop(sampled);
                 w.finish_serve(telemetry, serve, res.is_ok(), &src, profile);
                 let _ = reply.try_send(res);
+            }
+            Request::Batch {
+                items,
+                min_offset,
+                src,
+                reply,
+                trace,
+            } => {
+                let serve = w.begin_serve(telemetry, trace);
+                let before = w.applied;
+                w.catch_up(min_offset);
+                let serve = w.note_catchup(telemetry, serve, w.applied - before);
+                let sampled = w.maybe_profile_start();
+                let mut results = Vec::with_capacity(items.len());
+                let mut all_ok = true;
+                for item in items {
+                    let res = match item {
+                        BatchItem::Write { offset } => w.apply_write(offset),
+                        BatchItem::Read { src } => w.eval_read(&src),
+                    };
+                    all_ok &= res.is_ok();
+                    results.push(res);
+                }
+                let profile = w.maybe_profile_stop(sampled);
+                w.finish_serve(telemetry, serve, all_ok, &src, profile);
+                let _ = reply.try_send(results);
             }
             Request::CatchUp { upto } => w.catch_up(upto),
             Request::Barrier { upto, reply } => {

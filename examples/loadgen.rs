@@ -1,0 +1,166 @@
+//! Wire-level load generator for the TCP front door
+//! (`examples/pool_server.rs --listen`).
+//!
+//! Drives the E9 90/10 mix from the benchmark suite over loopback:
+//! each client thread owns one connection and one session, and issues
+//! 90% view reads (`cquery` over the `Female` view) to 10% base-class
+//! inserts, using the same `Staff`/`Female` schema as the in-process
+//! demo. The schema itself is installed first over a separate
+//! connection with a single `batch` frame — one ticket, one log-lock
+//! hold for both declarations.
+//!
+//! Frame budget (for pairing with `pool_server --requests N`):
+//! exactly `1 + clients + requests` frames are sent — the setup batch,
+//! one `hello` per client, and one `stmt` per request. `busy`
+//! responses are retried (and counted); anything else unexpected
+//! aborts the run.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:4000 [--requests 200] [--clients 4]
+//! loadgen --addr-file /tmp/addr [--requests 200] [--clients 4]
+//! ```
+
+use polyview_net::{ClientError, NetClient};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let requests: u64 = flag_value("--requests").map_or(200, |n| n.parse().expect("--requests N"));
+    let clients: u64 = flag_value("--clients").map_or(4, |n| n.parse().expect("--clients N"));
+    let clients = clients.max(1);
+    let addr = match (flag_value("--addr"), flag_value("--addr-file")) {
+        (Some(addr), _) => addr,
+        (None, Some(path)) => wait_for_addr_file(&path),
+        (None, None) => {
+            eprintln!(
+                "usage: loadgen (--addr ADDR | --addr-file PATH) [--requests N] [--clients C]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    // Schema setup: one batch frame over a throwaway connection. Writes
+    // are sequenced globally, so the client sessions see them no matter
+    // which replica serves them.
+    let mut setup = NetClient::connect(&addr).expect("connect for setup");
+    let results = setup
+        .call_batch(&[
+            "class Staff = class {} end;",
+            "class Female = class {} include Staff as fn x => [Name = x.Name] \
+             where fn x => query(fn p => p.Sex = \"female\", x) end;",
+        ])
+        .expect("setup batch");
+    for r in &results {
+        if let Err((message, kind)) = r {
+            panic!("schema setup failed ({kind}): {message}");
+        }
+    }
+    drop(setup);
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let share = requests / clients + u64::from(c < requests % clients);
+            std::thread::spawn(move || client_main(&addr, c, share))
+        })
+        .collect();
+    let mut totals = ClientTotals::default();
+    for w in workers {
+        totals.merge(&w.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed();
+
+    assert_eq!(
+        totals.reads + totals.writes,
+        requests,
+        "every request served"
+    );
+    println!(
+        "loadgen: {} requests ({} reads / {} writes) over {} clients in {:?}",
+        requests, totals.reads, totals.writes, clients, elapsed
+    );
+    println!(
+        "loadgen: {} busy retries, {} statement errors, {} frames sent",
+        totals.busy_retries,
+        totals.stmt_errors,
+        1 + clients + requests + totals.busy_retries,
+    );
+    if totals.stmt_errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[derive(Default)]
+struct ClientTotals {
+    reads: u64,
+    writes: u64,
+    busy_retries: u64,
+    stmt_errors: u64,
+}
+
+impl ClientTotals {
+    fn merge(&mut self, other: &ClientTotals) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.busy_retries += other.busy_retries;
+        self.stmt_errors += other.stmt_errors;
+    }
+}
+
+fn client_main(addr: &str, client: u64, share: u64) -> ClientTotals {
+    let mut conn = NetClient::connect(addr).expect("connect");
+    conn.hello(100 + client).expect("hello");
+    let mut totals = ClientTotals::default();
+    for i in 0..share {
+        // The E9 mix: every tenth statement is a write.
+        let write = i % 10 == 9;
+        let stmt = if write {
+            totals.writes += 1;
+            format!("insert(Staff, IDView([Name = \"L{client}-{i}\", Sex = \"female\"]))")
+        } else {
+            totals.reads += 1;
+            "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Female)".to_string()
+        };
+        loop {
+            match conn.call(&stmt) {
+                Ok(_) => break,
+                Err(ClientError::Busy) => {
+                    totals.busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(ClientError::Server { kind, message }) => {
+                    eprintln!("statement failed ({kind}): {message}");
+                    totals.stmt_errors += 1;
+                    break;
+                }
+                Err(e) => panic!("wire failure: {e}"),
+            }
+        }
+    }
+    totals
+}
+
+/// Poll for the server's `--addr-file` (renamed into place once bound).
+fn wait_for_addr_file(path: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(contents) = std::fs::read_to_string(path) {
+            let addr = contents.trim();
+            if !addr.is_empty() {
+                return addr.to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server address file {path} never appeared"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

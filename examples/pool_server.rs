@@ -15,12 +15,106 @@
 //! JSON checker in `polyview::obs::jsonl` — the `verify.sh` trace-smoke
 //! gate consumes this stream.
 
+//! With `--listen ADDR` the example becomes a real network front door
+//! instead: it binds a `polyview_net::NetServer` on `ADDR` (port 0 for
+//! ephemeral), optionally writes the resolved address to `--addr-file
+//! PATH` for scripted clients (`examples/loadgen.rs`), serves until
+//! `--requests N` frames have been decoded (or stdin reaches EOF when
+//! no bound is given), then drains gracefully and prints both net and
+//! pool stats. `--trace` works in this mode too, dumping the combined
+//! `net.*` + pool + engine event stream. The default in-process mode
+//! (`--in-process` to name it explicitly) is unchanged.
+
+use polyview_net::{NetConfig, NetServer};
 use polyview_pool::{CollectingEventSink, Pool, PoolConfig, Submit};
+use std::io::Read as _;
 use std::sync::mpsc;
 use std::sync::Arc;
 
 fn main() {
-    let tracing = std::env::args().any(|a| a == "--trace");
+    let args: Vec<String> = std::env::args().collect();
+    let tracing = args.iter().any(|a| a == "--trace");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(addr) = flag_value("--listen") {
+        let addr_file = flag_value("--addr-file");
+        let requests = flag_value("--requests").map(|n| n.parse::<u64>().expect("--requests N"));
+        run_listen(&addr, addr_file.as_deref(), requests, tracing);
+        return;
+    }
+    run_in_process(tracing);
+}
+
+/// Serve the pool over TCP until the frame budget (or stdin) runs out.
+fn run_listen(addr: &str, addr_file: Option<&str>, requests: Option<u64>, tracing: bool) {
+    let sink = Arc::new(CollectingEventSink::new());
+    let mut pool_cfg = PoolConfig::default().workers(4).queue_capacity(256);
+    if tracing {
+        pool_cfg = pool_cfg.event_sink(sink.clone());
+    }
+    let cfg = NetConfig::default()
+        .pool(pool_cfg)
+        .max_conns(32)
+        .max_in_flight(16);
+    let server = NetServer::bind(addr, cfg).expect("bind listen address");
+    eprintln!("listening on {}", server.local_addr());
+    if let Some(path) = addr_file {
+        // The file's appearance is the readiness signal for clients, so
+        // write the whole address atomically via a rename.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{}\n", server.local_addr())).expect("write addr file");
+        std::fs::rename(&tmp, path).expect("publish addr file");
+    }
+    match requests {
+        Some(target) => {
+            // Exit once the wire has carried `target` decoded frames;
+            // scripted runs (verify.sh) size their loadgen to match.
+            while server.stats().frames_decoded < target {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        None => {
+            // Serve until the operator closes stdin.
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().read_to_end(&mut sink);
+        }
+    }
+    eprintln!("{}", server.stats());
+    let mut pool = server.drain();
+    let _ = pool.drain();
+    eprintln!("\n{}", pool.stats());
+    pool.shutdown();
+    if tracing {
+        dump_events(&sink);
+    }
+}
+
+/// Validate and print every collected trace event, one JSON object per
+/// line on stdout (the verify.sh trace gates consume this stream).
+fn dump_events(sink: &CollectingEventSink) {
+    let events = sink.take();
+    let mut checked = 0usize;
+    for ev in &events {
+        let line = ev.to_json();
+        let keys = polyview::obs::jsonl::check_object_line(&line)
+            .unwrap_or_else(|e| panic!("malformed event line ({e}): {line}"));
+        for required in ["kind", "name", "trace_id", "start_ns", "dur_ns"] {
+            assert!(
+                keys.iter().any(|k| k == required),
+                "event line missing key {required:?}: {line}"
+            );
+        }
+        checked += 1;
+        println!("{line}");
+    }
+    eprintln!("emitted {checked} trace events, all validated");
+}
+
+fn run_in_process(tracing: bool) {
     // Prose goes to stdout normally, but to stderr under --trace, where
     // stdout is reserved for the JSON event stream.
     macro_rules! say {
@@ -127,21 +221,6 @@ fn main() {
         // Dump the event stream: one JSON object per line on stdout, each
         // line self-validated by the zero-dep checker before it is
         // printed — a malformed export fails the run, not just the gate.
-        let events = sink.take();
-        let mut checked = 0usize;
-        for ev in &events {
-            let line = ev.to_json();
-            let keys = polyview::obs::jsonl::check_object_line(&line)
-                .unwrap_or_else(|e| panic!("malformed event line ({e}): {line}"));
-            for required in ["kind", "name", "trace_id", "start_ns", "dur_ns"] {
-                assert!(
-                    keys.iter().any(|k| k == required),
-                    "event line missing key {required:?}: {line}"
-                );
-            }
-            checked += 1;
-            println!("{line}");
-        }
-        eprintln!("emitted {checked} trace events, all validated");
+        dump_events(&sink);
     }
 }

@@ -46,7 +46,8 @@ echo "==> dependency hygiene: workspace members carry no external deps"
 for manifest in Cargo.toml \
     crates/syntax/Cargo.toml crates/parser/Cargo.toml crates/types/Cargo.toml \
     crates/eval/Cargo.toml crates/trans/Cargo.toml crates/isa/Cargo.toml \
-    crates/obs/Cargo.toml crates/core/Cargo.toml crates/pool/Cargo.toml; do
+    crates/obs/Cargo.toml crates/core/Cargo.toml crates/pool/Cargo.toml \
+    crates/net/Cargo.toml; do
     awk -v manifest="$manifest" '
         /^\[/ {
             in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
@@ -163,4 +164,52 @@ assert stitched & {e["trace_id"] for e in events if e["name"] == "pool.submitted
 print(f"  {len(events)} trace events, all valid and stitched")
 '
 
-echo "OK: build, tests, fmt, clippy, dep hygiene, metrics + profile + trace export all green (offline)."
+echo "==> net smoke: loadgen drives the TCP front door over loopback"
+# A real server process on an ephemeral loopback port, a real wire-level
+# client. Frame budget is exact: 1 setup batch + 3 hellos + 60 statements
+# = 64 frames, and the server exits after decoding precisely that many,
+# draining gracefully. The server's stderr stats must report zero invalid
+# frames and zero busy rejections; its --trace stdout must be valid JSON
+# event lines with `net.*` spans stitched to `engine.*` spans by trace id.
+cargo build -q --release --example pool_server --example loadgen
+net_dir="$(mktemp -d)"
+target/release/examples/pool_server --listen 127.0.0.1:0 \
+    --addr-file "$net_dir/addr" --requests 64 --trace \
+    >"$net_dir/trace" 2>"$net_dir/stats" &
+net_server_pid=$!
+target/release/examples/loadgen --addr-file "$net_dir/addr" \
+    --requests 60 --clients 3 >"$net_dir/loadgen"
+wait "$net_server_pid"
+grep -q "0 busy retries, 0 statement errors" "$net_dir/loadgen" \
+    || { echo "FAIL: loadgen saw rejections or errors"; cat "$net_dir/loadgen"; exit 1; }
+grep -q "64 decoded, 0 invalid, 0 busy-rejected" "$net_dir/stats" \
+    || { echo "FAIL: server counters off"; cat "$net_dir/stats"; exit 1; }
+python3 -c '
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "net server --trace printed nothing"
+required = {"kind", "name", "trace_id", "start_ns", "dur_ns"}
+events = []
+for line in lines:
+    obj = json.loads(line)
+    assert isinstance(obj, dict) and obj["kind"] == "span", line
+    assert required <= obj.keys(), f"missing keys in {line}"
+    events.append(obj)
+names = {e["name"] for e in events}
+for must in ("net.accepted", "net.read", "net.decoded",
+             "pool.submitted", "pool.sequenced", "engine.eval"):
+    assert must in names, f"no {must} event in the wire trace"
+# Socket-side events reuse the pool-minted request trace id, so one id
+# spans socket -> router -> worker -> engine.
+net_traces = {e["trace_id"] for e in events if e["name"] == "net.read"}
+pool_traces = {e["trace_id"] for e in events if e["name"] == "pool.submitted"}
+assert net_traces and 0 not in net_traces, "net.read must carry real trace ids"
+assert net_traces <= pool_traces, "every net.read id must belong to a submitted request"
+engine_parents = {e.get("parent") for e in events if e["name"].startswith("engine.")}
+assert net_traces & engine_parents, "no net-side id reached an engine span"
+print(f"  {len(events)} wire-trace events; {len(net_traces)} socket traces, "
+      f"all stitched through pool to engine spans")
+' "$net_dir/trace"
+rm -rf "$net_dir"
+
+echo "OK: build, tests, fmt, clippy, dep hygiene, metrics + profile + trace + net smoke all green (offline)."
