@@ -1,0 +1,179 @@
+//! Introspection-plane overhead on the wire (DESIGN.md §16). What does
+//! serving `stats`/`health`/`watch` cost a loaded server?
+//!
+//! The workload is the E9 90/10 mix from `pool_scaling.rs` carried over
+//! real loopback TCP (the PR 8 front door): four client connections,
+//! each pinned to a session, issuing 90% view reads to 10%
+//! unrelated-`val` rebinds with blocking calls. Variants:
+//!
+//!   - `window_off`: stats window disabled — the production default when
+//!     nobody introspects. Windowing is pull-driven, so this must match
+//!     `window_on` (enabling the ring costs nothing until someone polls:
+//!     the zero-clock-reads-when-idle claim, asserted in the pool's
+//!     tier-1 tests, shown here as a throughput non-regression).
+//!   - `window_on`: ring configured, no consumer attached.
+//!   - `stats_poll_per_batch`: a fifth connection issues one `stats`
+//!     call per batch — the load-balancer-scrape shape. The poll ticks
+//!     the window, locks the pool once, and serializes the full
+//!     snapshot; its cost is amortized over the batch.
+//!   - `watch_25ms`: a fifth connection holds a `watch` subscription at
+//!     25ms while the mix runs — the push path through the writer
+//!     thread, with a drain thread consuming pushes off the socket.
+//!
+//! A second group measures the introspection ops themselves round-trip
+//! on an otherwise idle server, with `ping` as the wire-RTT baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use polyview_net::{NetClient, NetConfig, NetServer};
+use polyview_pool::{PoolConfig, WindowConfig};
+use std::hint::black_box;
+
+const BATCH: u64 = 128;
+const CLIENTS: u64 = 4;
+const QUERY: &str = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
+
+/// Bind a loopback server (4 workers, E9 shape) and seed the same
+/// Staff extent `pool_scaling.rs` uses, over the wire.
+fn seeded_server(window: bool) -> NetServer {
+    let mut pool_cfg = PoolConfig::default().workers(4).queue_capacity(64);
+    if window {
+        pool_cfg = pool_cfg.stats_window(WindowConfig {
+            capacity: 16,
+            interval_ns: 25_000_000,
+        });
+    }
+    let cfg = NetConfig::default()
+        .pool(pool_cfg)
+        .max_conns(8)
+        .max_in_flight(16);
+    let server = NetServer::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let mut setup = NetClient::connect(server.local_addr()).expect("setup conn");
+    setup.call("class Staff = class {} end;").expect("class");
+    for i in 0..64 {
+        setup
+            .call(&format!(
+                "insert(Staff, IDView([Name = \"emp{i}\", Age = {}]))",
+                20 + i % 50
+            ))
+            .expect("insert");
+    }
+    server
+}
+
+/// One session-pinned client connection per pool worker.
+fn connect_clients(server: &NetServer) -> Vec<NetClient> {
+    (0..CLIENTS)
+        .map(|c| {
+            let mut conn = NetClient::connect(server.local_addr()).expect("client conn");
+            conn.hello(100 + c).expect("hello");
+            conn
+        })
+        .collect()
+}
+
+/// The wire-level E9 mix: `BATCH` blocking calls round-robined over the
+/// client connections, every tenth an unrelated-`val` rebind (replicas
+/// replay it; per-name invalidation keeps the cached read warm, so the
+/// extent — and thus the read cost — stays constant across iterations).
+fn wire_mix(conns: &mut [NetClient]) {
+    for i in 0..BATCH {
+        let conn = &mut conns[(i % CLIENTS) as usize];
+        if i % 10 == 9 {
+            black_box(conn.call(&format!("val tick = {i};")).expect("write"));
+        } else {
+            black_box(conn.call(QUERY).expect("read"));
+        }
+    }
+}
+
+fn teardown(server: NetServer) {
+    let mut pool = server.drain();
+    pool.shutdown();
+}
+
+fn bench_mix_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_net_stats_overhead");
+    group.throughput(Throughput::Elements(BATCH));
+
+    let server = seeded_server(false);
+    let mut conns = connect_clients(&server);
+    wire_mix(&mut conns); // warm every replica's statement cache
+    group.bench_function("window_off", |b| b.iter(|| wire_mix(&mut conns)));
+    drop(conns);
+    teardown(server);
+
+    let server = seeded_server(true);
+    let mut conns = connect_clients(&server);
+    wire_mix(&mut conns);
+    group.bench_function("window_on", |b| b.iter(|| wire_mix(&mut conns)));
+    drop(conns);
+    teardown(server);
+
+    let server = seeded_server(true);
+    let mut conns = connect_clients(&server);
+    let mut poller = NetClient::connect(server.local_addr()).expect("poller conn");
+    wire_mix(&mut conns);
+    group.bench_function("stats_poll_per_batch", |b| {
+        b.iter(|| {
+            wire_mix(&mut conns);
+            black_box(poller.stats().expect("stats").len());
+        })
+    });
+    drop(poller);
+    drop(conns);
+    teardown(server);
+
+    let server = seeded_server(true);
+    let mut conns = connect_clients(&server);
+    let mut watcher = NetClient::connect(server.local_addr()).expect("watcher conn");
+    watcher.watch(25).expect("watch");
+    // Drain pushes off the watcher's socket so the server's writer never
+    // backs up; the thread exits when teardown closes the connection.
+    let drain = std::thread::spawn(move || {
+        let mut pushes = 0u64;
+        while watcher.recv().is_ok() {
+            pushes += 1;
+        }
+        pushes
+    });
+    wire_mix(&mut conns);
+    group.bench_function("watch_25ms", |b| b.iter(|| wire_mix(&mut conns)));
+    drop(conns);
+    teardown(server);
+    let pushes = drain.join().expect("drain thread");
+    eprintln!("watch_25ms variant: {pushes} pushes drained");
+    group.finish();
+}
+
+fn bench_op_latency(c: &mut Criterion) {
+    // The ops themselves, round-trip on an idle server: `ping` is the
+    // bare wire RTT (read -> decode -> writer -> write), `health` adds
+    // the lock-free verdict fold, `stats` adds the window tick, the
+    // pool lock, and serializing the full snapshot object.
+    let mut group = c.benchmark_group("E9_stats_op_latency");
+    let server = seeded_server(true);
+    let mut conn = NetClient::connect(server.local_addr()).expect("conn");
+
+    group.bench_function("ping", |b| {
+        b.iter(|| {
+            conn.send_ping().expect("ping");
+            black_box(conn.recv().expect("pong"));
+        })
+    });
+    group.bench_function("health", |b| {
+        b.iter(|| black_box(conn.health().expect("health")))
+    });
+    group.bench_function("stats", |b| {
+        b.iter(|| black_box(conn.stats().expect("stats").len()))
+    });
+    drop(conn);
+    teardown(server);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_mix_overhead, bench_op_latency
+}
+criterion_main!(benches);

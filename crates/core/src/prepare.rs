@@ -418,6 +418,36 @@ impl EngineStats {
             dyn_field_fallbacks: self.dyn_field_fallbacks + other.dyn_field_fallbacks,
         }
     }
+
+    /// Engine-level health signals, in the serving layer's vocabulary
+    /// (`crates/pool`'s `Health::Degraded { reasons }`): an empty list is
+    /// "healthy". The engine has no queues or replicas, so its health is
+    /// about the *compile tier holding up*:
+    ///
+    /// * runtime field fallbacks — the offset-resolved tier is being
+    ///   bypassed at runtime (counted per operation, so this also catches
+    ///   workloads the lowerer resolved but the machine re-dispatched);
+    /// * statement-cache thrash — evictions outpacing hits means the
+    ///   working set no longer fits and every statement recompiles.
+    ///
+    /// Surfaced by the REPL's `:health` command and available to any
+    /// embedder serving a single engine.
+    pub fn health_reasons(&self) -> Vec<String> {
+        let mut reasons = Vec::new();
+        if self.dyn_field_fallbacks > 0 {
+            reasons.push(format!(
+                "{} dynamic field fallbacks (offset tier bypassed at runtime)",
+                self.dyn_field_fallbacks
+            ));
+        }
+        if self.stmt_cache_evictions > 0 && self.stmt_cache_evictions >= self.stmt_cache_hits {
+            reasons.push(format!(
+                "statement cache thrashing (evictions {} >= hits {})",
+                self.stmt_cache_evictions, self.stmt_cache_hits
+            ));
+        }
+        reasons
+    }
 }
 
 impl std::fmt::Display for EngineStats {
@@ -493,6 +523,36 @@ mod tests {
             c.lookup(&key(s), &HashMap::new(), epoch),
             CacheLookup::Hit(_)
         )
+    }
+
+    #[test]
+    fn health_reasons_flag_fallbacks_and_cache_thrash() {
+        let healthy = EngineStats::default();
+        assert!(healthy.health_reasons().is_empty());
+
+        let fallbacks = EngineStats {
+            dyn_field_fallbacks: 3,
+            ..EngineStats::default()
+        };
+        let reasons = fallbacks.health_reasons();
+        assert_eq!(reasons.len(), 1);
+        assert!(reasons[0].contains("3 dynamic field fallbacks"));
+
+        // Evictions at parity with hits: the cache is churning.
+        let thrash = EngineStats {
+            stmt_cache_evictions: 5,
+            stmt_cache_hits: 5,
+            ..EngineStats::default()
+        };
+        assert!(thrash.health_reasons()[0].contains("thrashing"));
+
+        // Plenty of hits per eviction is normal steady-state, not thrash.
+        let warm = EngineStats {
+            stmt_cache_evictions: 5,
+            stmt_cache_hits: 500,
+            ..EngineStats::default()
+        };
+        assert!(warm.health_reasons().is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!   so pipelining callers must match on the echoed id.
 
 use crate::proto::{self, Reply, Response};
+use polyview::obs::jsonl::JsonValue;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -127,13 +128,97 @@ impl NetClient {
 
     /// Pipelined ping; returns the request id.
     pub fn send_ping(&mut self) -> Result<u64, ClientError> {
+        self.send_op("ping")
+    }
+
+    /// Pipelined `stats`; returns the request id.
+    pub fn send_stats(&mut self) -> Result<u64, ClientError> {
+        self.send_op("stats")
+    }
+
+    /// Pipelined `health`; returns the request id.
+    pub fn send_health(&mut self) -> Result<u64, ClientError> {
+        self.send_op("health")
+    }
+
+    fn send_op(&mut self, op: &str) -> Result<u64, ClientError> {
         let id = self.fresh_id();
         let line = polyview::obs::jsonl::ObjectBuilder::new()
-            .field_str("op", "ping")
+            .field_str("op", op)
             .field_u64("id", id)
             .finish();
         self.send_line(&line)?;
         Ok(id)
+    }
+
+    /// Request the server's introspection object and wait for it:
+    /// the decoded members of the `stats` object. Requires no
+    /// pipelined requests outstanding (watch pushes are skipped).
+    pub fn stats(&mut self) -> Result<Vec<(String, JsonValue)>, ClientError> {
+        let id = self.send_stats()?;
+        let resp = self.recv_matching(id)?;
+        match resp.reply {
+            Reply::Stats(members) => Ok(members),
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Err { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(ClientError::Proto(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Probe the server's health verdict: `(verdict, reasons)` where
+    /// the verdict is `healthy`, `degraded`, or `unhealthy`. Answered
+    /// as an immediate, so it works even when the pool is saturated.
+    pub fn health(&mut self) -> Result<(String, Vec<String>), ClientError> {
+        let id = self.send_health()?;
+        let resp = self.recv_matching(id)?;
+        match resp.reply {
+            Reply::Health { verdict, reasons } => Ok((verdict, reasons)),
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Err { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(ClientError::Proto(format!(
+                "expected health, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Start server-pushed `stats` frames every `interval_ms` on this
+    /// connection; waits for the ack. Pushes then arrive as
+    /// [`Reply::Push`] from [`NetClient::recv`], interleaved with any
+    /// other responses.
+    pub fn watch(&mut self, interval_ms: u64) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        let line = polyview::obs::jsonl::ObjectBuilder::new()
+            .field_str("op", "watch")
+            .field_u64("id", id)
+            .field_u64("interval_ms", interval_ms)
+            .finish();
+        self.send_line(&line)?;
+        self.expect_ok(id).map(|_| ())
+    }
+
+    /// Stop watching; waits for the ack (pushes already in flight are
+    /// skipped).
+    pub fn unwatch(&mut self) -> Result<(), ClientError> {
+        let id = self.send_op("unwatch")?;
+        self.expect_ok(id).map(|_| ())
+    }
+
+    /// Receive the next response that answers a request (skipping any
+    /// watch pushes), and require it to match `id`.
+    fn recv_matching(&mut self, id: u64) -> Result<Response, ClientError> {
+        loop {
+            let resp = self.recv()?;
+            if matches!(resp.reply, Reply::Push { .. }) {
+                continue;
+            }
+            if resp.id != Some(id) {
+                return Err(ClientError::Proto(format!(
+                    "response id {:?} does not match request id {id}",
+                    resp.id
+                )));
+            }
+            return Ok(resp);
+        }
     }
 
     /// Pin this connection to `session`; waits for the ack.
@@ -164,38 +249,26 @@ impl NetClient {
         stmts: &[&str],
     ) -> Result<Vec<Result<String, (String, String)>>, ClientError> {
         let id = self.send_batch(stmts)?;
-        let resp = self.recv()?;
-        if resp.id != Some(id) {
-            return Err(ClientError::Proto(format!(
-                "response id {:?} does not match request id {id}",
-                resp.id
-            )));
-        }
+        let resp = self.recv_matching(id)?;
         match resp.reply {
             Reply::Results(results) => Ok(results),
             Reply::Busy => Err(ClientError::Busy),
             Reply::Err { kind, message } => Err(ClientError::Server { kind, message }),
-            Reply::Ok(v) => Err(ClientError::Proto(format!(
-                "expected results, got ok {v:?}"
+            other => Err(ClientError::Proto(format!(
+                "expected results, got {other:?}"
             ))),
         }
     }
 
     fn expect_ok(&mut self, id: u64) -> Result<String, ClientError> {
-        let resp = self.recv()?;
-        if resp.id != Some(id) {
-            return Err(ClientError::Proto(format!(
-                "response id {:?} does not match request id {id}",
-                resp.id
-            )));
-        }
+        let resp = self.recv_matching(id)?;
         match resp.reply {
             Reply::Ok(v) => Ok(v),
             Reply::Busy => Err(ClientError::Busy),
             Reply::Err { kind, message } => Err(ClientError::Server { kind, message }),
-            Reply::Results(_) => Err(ClientError::Proto(
-                "expected a single result, got a batch".to_string(),
-            )),
+            other => Err(ClientError::Proto(format!(
+                "expected a single result, got {other:?}"
+            ))),
         }
     }
 }

@@ -60,6 +60,19 @@ pub enum Command {
     Batch { stmts: Vec<String> },
     /// Liveness probe; answered immediately with `{"id":N,"ok":"pong"}`.
     Ping,
+    /// One windowed + cumulative introspection object
+    /// (`{"id":N,"stats":{...}}`), answered immediately by the reader.
+    Stats,
+    /// The pool health verdict (`{"id":N,"health":"healthy",...}`).
+    /// Answered as an immediate like `ping`, so a load balancer gets an
+    /// answer even while every pool queue is full.
+    Health,
+    /// Start pushing a `stats` frame (`{"push":seq,"stats":{...}}`)
+    /// every `interval_ms` on this connection until `unwatch` or close
+    /// — the protocol's only server-initiated frames.
+    Watch { interval_ms: u64 },
+    /// Stop a `watch`; acked with `{"id":N,"ok":"unwatch"}`.
+    Unwatch,
 }
 
 /// Why a frame failed to decode. Carries the request id when the line
@@ -129,6 +142,23 @@ pub fn decode_frame(line: &str) -> Result<Frame, FrameError> {
             Command::Batch { stmts }
         }
         "ping" => Command::Ping,
+        "stats" => Command::Stats,
+        "health" => Command::Health,
+        "watch" => {
+            let interval_ms = JsonValue::get(&members, "interval_ms")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| {
+                    FrameError::new(Some(id), "\"watch\" needs an integer \"interval_ms\"")
+                })?;
+            if interval_ms == 0 {
+                return Err(FrameError::new(
+                    Some(id),
+                    "\"watch\" needs a nonzero \"interval_ms\"",
+                ));
+            }
+            Command::Watch { interval_ms }
+        }
+        "unwatch" => Command::Unwatch,
         other => return Err(FrameError::new(Some(id), format!("unknown op {other:?}"))),
     };
     Ok(Frame { id, cmd })
@@ -176,6 +206,52 @@ pub fn busy_line(id: Option<u64>) -> String {
     b.field_bool("busy", true).finish()
 }
 
+/// Render an `f64` as a JSON number. Non-finite values (which JSON
+/// cannot carry) collapse to `0`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// `{"id":N,"stats":{...}}` — `stats_obj` must already be one valid
+/// JSON object (the server builds it with [`jsonl::ObjectBuilder`]).
+pub fn stats_line(id: u64, stats_obj: &str) -> String {
+    ObjectBuilder::new()
+        .field_u64("id", id)
+        .field_raw("stats", stats_obj)
+        .finish()
+}
+
+/// `{"push":seq,"stats":{...}}` — a server-initiated `watch` push.
+/// Carries no `id`: nothing requested *this* frame, so `push` holds the
+/// per-connection push sequence number instead.
+pub fn push_line(seq: u64, stats_obj: &str) -> String {
+    ObjectBuilder::new()
+        .field_u64("push", seq)
+        .field_raw("stats", stats_obj)
+        .finish()
+}
+
+/// `{"id":N,"health":"healthy","reasons":[],...}` — the verdict plus
+/// the observations it was folded from.
+pub fn health_line(id: u64, report: &polyview_pool::HealthReport) -> String {
+    ObjectBuilder::new()
+        .field_u64("id", id)
+        .field_str("health", report.health.as_str())
+        .field_str_array("reasons", report.health.reasons())
+        .field_u64("workers", report.workers as u64)
+        .field_u64("log_len", report.log_len)
+        .field_u64("max_replay_lag", report.max_replay_lag)
+        .field_u64("max_queue_depth", report.max_queue_depth)
+        .field_raw("busy_rate", &json_f64(report.busy_rate))
+        .field_raw("error_rate", &json_f64(report.error_rate))
+        .field_u64("window_span_ns", report.window_span_ns)
+        .finish()
+}
+
 /// `{"id":N,"results":[...]}` — one entry per batch statement, in
 /// submission order.
 pub fn results_line(id: u64, results: &[Result<String, PoolError>]) -> String {
@@ -217,7 +293,23 @@ pub enum Reply {
     Ok(String),
     Results(Vec<Result<String, (String, String)>>),
     Busy,
-    Err { kind: String, message: String },
+    Err {
+        kind: String,
+        message: String,
+    },
+    /// The decoded members of a `stats` response's object.
+    Stats(Vec<(String, JsonValue)>),
+    /// A `health` response: the verdict name and its reasons.
+    Health {
+        verdict: String,
+        reasons: Vec<String>,
+    },
+    /// A server-initiated `watch` push (no request id; `seq` is the
+    /// connection's push counter).
+    Push {
+        seq: u64,
+        stats: Vec<(String, JsonValue)>,
+    },
 }
 
 /// Decode one response line (client side).
@@ -276,9 +368,51 @@ pub fn decode_response(line: &str) -> Result<Response, FrameError> {
             reply: Reply::Results(results),
         });
     }
+    // `push` before `stats`: both frame shapes carry a "stats" member,
+    // only pushes carry "push".
+    if let Some(seq) = JsonValue::get(&members, "push").and_then(JsonValue::as_u64) {
+        let stats = JsonValue::get(&members, "stats")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| FrameError::new(None, "push frame is missing a \"stats\" object"))?;
+        return Ok(Response {
+            id: None,
+            reply: Reply::Push {
+                seq,
+                stats: stats.to_vec(),
+            },
+        });
+    }
+    if let Some(stats) = JsonValue::get(&members, "stats").and_then(JsonValue::as_object) {
+        return Ok(Response {
+            id,
+            reply: Reply::Stats(stats.to_vec()),
+        });
+    }
+    if let Some(verdict) = JsonValue::get(&members, "health").and_then(JsonValue::as_str) {
+        let reasons = match JsonValue::get(&members, "reasons").and_then(JsonValue::as_array) {
+            Some(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let s = item.as_str().ok_or_else(|| {
+                        FrameError::new(id, "\"reasons\" entries must be strings")
+                    })?;
+                    out.push(s.to_string());
+                }
+                out
+            }
+            None => Vec::new(),
+        };
+        return Ok(Response {
+            id,
+            reply: Reply::Health {
+                verdict: verdict.to_string(),
+                reasons,
+            },
+        });
+    }
     Err(FrameError::new(
         id,
-        "response has no ok/results/busy/err field",
+        "response has no ok/results/busy/err/stats/health/push field",
     ))
 }
 
@@ -397,6 +531,97 @@ mod tests {
         );
     }
 
+    fn degraded_report() -> polyview_pool::HealthReport {
+        polyview_pool::HealthReport {
+            health: polyview_pool::Health::Degraded {
+                reasons: vec!["worker 1 replay lag 9 >= 3".to_string()],
+            },
+            workers: 4,
+            log_len: 17,
+            max_replay_lag: 9,
+            max_queue_depth: 2,
+            busy_rate: 0.5,
+            error_rate: 0.0,
+            window_span_ns: 2_000_000_000,
+        }
+    }
+
+    #[test]
+    fn introspection_frames_decode() {
+        assert_eq!(
+            decode_frame(r#"{"op":"stats","id":5}"#).unwrap().cmd,
+            Command::Stats
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"health","id":6}"#).unwrap().cmd,
+            Command::Health
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"watch","id":7,"interval_ms":250}"#)
+                .unwrap()
+                .cmd,
+            Command::Watch { interval_ms: 250 }
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"unwatch","id":8}"#).unwrap().cmd,
+            Command::Unwatch
+        );
+        // A zero interval would mean a busy-loop of pushes; refused.
+        assert_eq!(
+            decode_frame(r#"{"op":"watch","id":9,"interval_ms":0}"#)
+                .unwrap_err()
+                .id,
+            Some(9)
+        );
+        assert_eq!(
+            decode_frame(r#"{"op":"watch","id":9}"#).unwrap_err().id,
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn stats_health_and_push_lines_decode_back() {
+        let obj = ObjectBuilder::new()
+            .field_str("health", "healthy")
+            .field_u64("log_len", 3)
+            .finish();
+
+        let stats = decode_response(&stats_line(11, &obj)).unwrap();
+        assert_eq!(stats.id, Some(11));
+        match stats.reply {
+            Reply::Stats(members) => {
+                assert_eq!(
+                    JsonValue::get(&members, "log_len").and_then(JsonValue::as_u64),
+                    Some(3)
+                );
+            }
+            other => panic!("expected Reply::Stats, got {other:?}"),
+        }
+
+        let push = decode_response(&push_line(2, &obj)).unwrap();
+        assert_eq!(push.id, None, "pushes answer no request");
+        match push.reply {
+            Reply::Push { seq, stats } => {
+                assert_eq!(seq, 2);
+                assert_eq!(
+                    JsonValue::get(&stats, "health").and_then(JsonValue::as_str),
+                    Some("healthy")
+                );
+            }
+            other => panic!("expected Reply::Push, got {other:?}"),
+        }
+
+        let health = decode_response(&health_line(12, &degraded_report())).unwrap();
+        assert_eq!(health.id, Some(12));
+        assert_eq!(
+            health.reply,
+            Reply::Health {
+                verdict: "degraded".to_string(),
+                reasons: vec!["worker 1 replay lag 9 >= 3".to_string()],
+            }
+        );
+    }
+
     #[test]
     fn every_encoded_line_is_valid_jsonl() {
         for line in [
@@ -406,8 +631,19 @@ mod tests {
             busy_line(Some(3)),
             busy_line(None),
             results_line(4, &[Ok("x".to_string()), Err(PoolError::StalePrepared)]),
+            stats_line(5, r#"{"x":1}"#),
+            push_line(6, r#"{"x":1}"#),
+            health_line(7, &degraded_report()),
         ] {
             jsonl::check_object_line(&line).expect("encoder emits valid JSON lines");
         }
+    }
+
+    #[test]
+    fn json_f64_stays_inside_json() {
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(5.25), "5.25");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
     }
 }

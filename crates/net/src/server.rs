@@ -30,17 +30,20 @@
 //! before its connection closes.
 
 use crate::proto::{self, Command, DEFAULT_MAX_FRAME_BYTES};
+use polyview::obs::jsonl::ObjectBuilder;
 use polyview::obs::{
     EventRecord, EventSink, HistogramSnapshot, SharedClock, SharedCounter, SharedGauge,
-    SharedHistogram, SharedRegistry, SharedWallClock,
+    SharedHistogram, SharedRegistry, SharedWallClock, WindowView,
 };
-use polyview_pool::{BatchTicket, Pool, PoolConfig, Submit, Ticket};
+use polyview_pool::{BatchTicket, HealthReport, Pool, PoolConfig, Submit, Ticket};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server configuration. Admission control is two-tier: a cap on open
 /// connections (checked at accept) and a per-connection cap on
@@ -60,6 +63,11 @@ pub struct NetConfig {
     pub max_in_flight: usize,
     /// Longest accepted wire line in bytes (excluding the newline).
     pub max_frame_bytes: usize,
+    /// Longest a single response write may block on a client that has
+    /// stopped draining its socket before the connection is declared
+    /// dead and closed (the writer-queue bound — reads are bounded by
+    /// `max_frame_bytes`, writes by this). `0` disables the timeout.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -69,6 +77,7 @@ impl Default for NetConfig {
             max_conns: 64,
             max_in_flight: 32,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            write_timeout_ms: 5_000,
         }
     }
 }
@@ -93,6 +102,11 @@ impl NetConfig {
         self.max_frame_bytes = n.max(2);
         self
     }
+
+    pub fn write_timeout_ms(mut self, ms: u64) -> Self {
+        self.write_timeout_ms = ms;
+        self
+    }
 }
 
 /// Server-side counters, backed by a [`SharedRegistry`] so
@@ -105,6 +119,8 @@ struct Metrics {
     frames_decoded: SharedCounter,
     frames_invalid: SharedCounter,
     responses: SharedCounter,
+    watch_pushes: SharedCounter,
+    write_errors: SharedCounter,
     read_to_decode_ns: SharedHistogram,
 }
 
@@ -118,6 +134,8 @@ impl Metrics {
             frames_decoded: registry.counter("net.frames_decoded"),
             frames_invalid: registry.counter("net.frames_invalid"),
             responses: registry.counter("net.responses"),
+            watch_pushes: registry.counter("net.watch_pushes"),
+            write_errors: registry.counter("net.write_errors"),
             read_to_decode_ns: registry.histogram("net.read_to_decode_ns"),
             registry,
         }
@@ -142,6 +160,11 @@ pub struct NetStats {
     pub frames_invalid: u64,
     /// Response lines written.
     pub responses: u64,
+    /// Server-initiated `watch` pushes written.
+    pub watch_pushes: u64,
+    /// Writes that failed or timed out (each one closes its
+    /// connection).
+    pub write_errors: u64,
     /// Socket-read to frame-decoded latency.
     pub read_to_decode: HistogramSnapshot,
 }
@@ -157,6 +180,11 @@ impl std::fmt::Display for NetStats {
             f,
             "     {} decoded, {} invalid, {} busy-rejected, {} responses",
             self.frames_decoded, self.frames_invalid, self.rejected_busy, self.responses
+        )?;
+        writeln!(
+            f,
+            "     {} watch pushes, {} write errors",
+            self.watch_pushes, self.write_errors
         )?;
         write!(
             f,
@@ -200,6 +228,8 @@ struct Shared {
     clock: Arc<dyn SharedClock>,
     max_in_flight: usize,
     max_frame_bytes: usize,
+    /// Per-write bound on a non-draining client ([`NetConfig::write_timeout_ms`]).
+    write_timeout: Option<Duration>,
 }
 
 struct ConnHandle {
@@ -246,6 +276,8 @@ impl NetServer {
             clock,
             max_in_flight: cfg.max_in_flight.max(1),
             max_frame_bytes: cfg.max_frame_bytes.max(2),
+            write_timeout: (cfg.write_timeout_ms > 0)
+                .then(|| Duration::from_millis(cfg.write_timeout_ms)),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::new(Vec::new()));
@@ -296,8 +328,26 @@ impl NetServer {
             frames_decoded: m.frames_decoded.get(),
             frames_invalid: m.frames_invalid.get(),
             responses: m.responses.get(),
+            watch_pushes: m.watch_pushes.get(),
+            write_errors: m.write_errors.get(),
             read_to_decode: m.read_to_decode_ns.snapshot(),
         }
+    }
+
+    /// The introspection object the `stats` wire op serves, as one JSON
+    /// object on one line — exactly the frame payload, so
+    /// `pool_server --stats-interval` can emit it verbatim. Ticks the
+    /// pool's stats window first (windowing is pull-driven; see
+    /// [`polyview_pool::Pool::tick_window`]).
+    pub fn stats_json(&self) -> String {
+        stats_object(self.shared())
+    }
+
+    /// The pool health verdict ([`polyview_pool::Pool::health`]): a
+    /// brief lock, no worker round-trip — safe while every queue is
+    /// full.
+    pub fn health(&self) -> HealthReport {
+        self.with_pool(|p| p.health())
     }
 
     /// `net.*` and pool metrics as JSON lines (one object per line,
@@ -417,10 +467,16 @@ fn accept_loop(
     }
 }
 
-/// A pool-accepted request travelling from reader to writer.
+/// What travels from reader to writer: pool-accepted requests, plus the
+/// `watch`/`unwatch` controls — routed through the writer (not answered
+/// as immediates) so their acks keep submission order relative to the
+/// tickets around them, and so the watch interval can live as plain
+/// writer-local state.
 enum PendingReply {
     Stmt { id: u64, ticket: Ticket },
     Batch { id: u64, ticket: BatchTicket },
+    Watch { id: u64, interval_ms: u64 },
+    Unwatch { id: u64 },
 }
 
 /// Outcome of one bounded line read.
@@ -490,13 +546,30 @@ fn read_bounded_line(
     }
 }
 
-fn write_line(out: &Mutex<TcpStream>, line: &str) {
+fn write_line(out: &Mutex<TcpStream>, line: &str) -> std::io::Result<()> {
     let mut framed = String::with_capacity(line.len() + 1);
     framed.push_str(line);
     framed.push('\n');
     let mut stream = lock(out);
-    // A dead peer surfaces as EOF on the reader; nothing to do here.
-    let _ = stream.write_all(framed.as_bytes());
+    // Under [`NetConfig::write_timeout_ms`] a client that has stopped
+    // draining its socket turns this into an error once the kernel
+    // buffer fills; the caller treats any error as connection-dead.
+    stream.write_all(framed.as_bytes())
+}
+
+/// Write a reader-side immediate response, counting it. An error means
+/// the peer is unreachable: the caller abandons the connection.
+fn send_immediate(shared: &Shared, out: &Mutex<TcpStream>, line: &str) -> std::io::Result<()> {
+    match write_line(out, line) {
+        Ok(()) => {
+            shared.metrics.responses.inc();
+            Ok(())
+        }
+        Err(e) => {
+            shared.metrics.write_errors.inc();
+            Err(e)
+        }
+    }
 }
 
 fn conn_main(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
@@ -507,6 +580,11 @@ fn conn_main(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
             return;
         }
     };
+    // Bound every write the way reads are bounded: a client that stops
+    // draining makes writes fail instead of buffering unboundedly.
+    if let Some(t) = shared.write_timeout {
+        let _ = write_half.set_write_timeout(Some(t));
+    }
     // Immediate responses (reader) and ticket responses (writer) share
     // the socket through this mutex; each line is written whole.
     let out = Arc::new(Mutex::new(write_half));
@@ -540,8 +618,9 @@ fn conn_main(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
             Ok(LineRead::TooLong) => {
                 shared.metrics.frames_invalid.inc();
                 let msg = format!("frame exceeds {} bytes", shared.max_frame_bytes);
-                write_line(&out, &proto::err_line(None, "proto", &msg));
-                shared.metrics.responses.inc();
+                if send_immediate(&shared, &out, &proto::err_line(None, "proto", &msg)).is_err() {
+                    break;
+                }
             }
             Ok(LineRead::Line) => {
                 let line = String::from_utf8_lossy(&buf);
@@ -549,7 +628,7 @@ fn conn_main(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
                     continue; // blank keep-alive lines are free
                 }
                 let read_ns = shared.clock.now_ns();
-                handle_frame(
+                let served = handle_frame(
                     &shared,
                     &out,
                     &pending_tx,
@@ -559,6 +638,10 @@ fn conn_main(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
                     &line,
                     read_ns,
                 );
+                if served.is_err() {
+                    // The write half is gone; stop reading too.
+                    break;
+                }
             }
         }
     }
@@ -577,14 +660,12 @@ fn handle_frame(
     session: &mut u64,
     line: &str,
     read_ns: u64,
-) {
+) -> std::io::Result<()> {
     let frame = match proto::decode_frame(line) {
         Ok(f) => f,
         Err(e) => {
             shared.metrics.frames_invalid.inc();
-            write_line(out, &proto::err_line(e.id, "proto", &e.message));
-            shared.metrics.responses.inc();
-            return;
+            return send_immediate(shared, out, &proto::err_line(e.id, "proto", &e.message));
         }
     };
     let decoded_ns = shared.clock.now_ns();
@@ -595,30 +676,45 @@ fn handle_frame(
     shared.metrics.frames_decoded.inc();
     let id = frame.id;
     match frame.cmd {
-        Command::Ping => {
-            write_line(out, &proto::ok_line(id, "pong"));
-            shared.metrics.responses.inc();
-        }
+        Command::Ping => send_immediate(shared, out, &proto::ok_line(id, "pong"))?,
         Command::Hello { session: s } => {
             *session = s;
-            write_line(out, &proto::ok_line(id, &format!("session {s}")));
-            shared.metrics.responses.inc();
+            send_immediate(shared, out, &proto::ok_line(id, &format!("session {s}")))?;
+        }
+        Command::Health => {
+            // An immediate like `ping`: `Pool::health` reads lock-free
+            // atomics under a brief mutex hold (the pool lock is never
+            // held across a blocking operation), so this answers even
+            // while every pool queue is full.
+            let report = lock(&shared.pool).health();
+            send_immediate(shared, out, &proto::health_line(id, &report))?;
+        }
+        Command::Stats => {
+            let obj = stats_object(shared);
+            send_immediate(shared, out, &proto::stats_line(id, &obj))?;
+        }
+        Command::Watch { interval_ms } => {
+            // Through the writer, not an immediate: the ack lands in
+            // submission order, and pushes are writer-local state.
+            let _ = pending_tx.send(PendingReply::Watch { id, interval_ms });
+        }
+        Command::Unwatch => {
+            let _ = pending_tx.send(PendingReply::Unwatch { id });
         }
         Command::Stmt { src } => {
             if in_flight.load(Ordering::SeqCst) >= shared.max_in_flight as u64 {
-                reject_busy(shared, out, id);
-                return;
+                return reject_busy(shared, out, id);
             }
             let submitted = lock(&shared.pool).submit(*session, &src);
             match submitted {
                 Err(e) => {
-                    write_line(
+                    send_immediate(
+                        shared,
                         out,
                         &proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
-                    );
-                    shared.metrics.responses.inc();
+                    )?;
                 }
-                Ok(Submit::Full) => reject_busy(shared, out, id),
+                Ok(Submit::Full) => return reject_busy(shared, out, id),
                 Ok(Submit::Queued(ticket)) => {
                     emit_frame_events(shared, ticket.trace_id(), conn_id, read_ns, decoded_ns);
                     in_flight.fetch_add(1, Ordering::SeqCst);
@@ -628,20 +724,19 @@ fn handle_frame(
         }
         Command::Batch { stmts } => {
             if in_flight.load(Ordering::SeqCst) >= shared.max_in_flight as u64 {
-                reject_busy(shared, out, id);
-                return;
+                return reject_busy(shared, out, id);
             }
             let refs: Vec<&str> = stmts.iter().map(String::as_str).collect();
             let submitted = lock(&shared.pool).submit_batch(*session, &refs);
             match submitted {
                 Err(e) => {
-                    write_line(
+                    send_immediate(
+                        shared,
                         out,
                         &proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
-                    );
-                    shared.metrics.responses.inc();
+                    )?;
                 }
-                Ok(Submit::Full) => reject_busy(shared, out, id),
+                Ok(Submit::Full) => return reject_busy(shared, out, id),
                 Ok(Submit::Queued(ticket)) => {
                     emit_frame_events(shared, ticket.trace_id(), conn_id, read_ns, decoded_ns);
                     in_flight.fetch_add(1, Ordering::SeqCst);
@@ -650,12 +745,12 @@ fn handle_frame(
             }
         }
     }
+    Ok(())
 }
 
-fn reject_busy(shared: &Shared, out: &Mutex<TcpStream>, id: u64) {
+fn reject_busy(shared: &Shared, out: &Mutex<TcpStream>, id: u64) -> std::io::Result<()> {
     shared.metrics.rejected_busy.inc();
-    write_line(out, &proto::busy_line(Some(id)));
-    shared.metrics.responses.inc();
+    send_immediate(shared, out, &proto::busy_line(Some(id)))
 }
 
 /// Stamp `net.read` and `net.decoded` with the trace id the pool
@@ -687,19 +782,267 @@ fn writer_main(
     shared: Arc<Shared>,
     in_flight: Arc<AtomicU64>,
 ) {
-    while let Ok(reply) = pending.recv() {
-        let line = match reply {
-            PendingReply::Stmt { id, ticket } => match ticket.wait() {
-                Ok(v) => proto::ok_line(id, &v),
-                Err(e) => proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
-            },
-            PendingReply::Batch { id, ticket } => match ticket.wait() {
-                Ok(results) => proto::results_line(id, &results),
-                Err(e) => proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
+    // Watch state is writer-local: the interval, the next push
+    // deadline, and the per-connection push sequence number.
+    let mut watch: Option<Duration> = None;
+    let mut next_push: Option<Instant> = None;
+    let mut push_seq: u64 = 0;
+    // Once a write fails the peer is unreachable: shut the socket (the
+    // reader sees EOF and exits), stop watching, and keep draining the
+    // channel so every accepted ticket still releases its in-flight
+    // slot (the results are discarded — there is nowhere to send them).
+    let mut dead = false;
+    loop {
+        let reply = match next_push {
+            Some(deadline) if !dead => {
+                let now = Instant::now();
+                if now >= deadline {
+                    // A push is due. Pushes are generated only here —
+                    // when the ticket channel is idle — so pool replies
+                    // always take priority and a slow interval *sheds*
+                    // missed pushes rather than queueing them: the next
+                    // deadline counts from after this write finishes.
+                    push_seq += 1;
+                    let obj = stats_object(&shared);
+                    match write_line(&out, &proto::push_line(push_seq, &obj)) {
+                        Ok(()) => {
+                            shared.metrics.watch_pushes.inc();
+                            next_push = watch.map(|i| Instant::now() + i);
+                        }
+                        Err(_) => {
+                            shared.metrics.write_errors.inc();
+                            dead = true;
+                            watch = None;
+                            next_push = None;
+                            let _ = lock(&out).shutdown(Shutdown::Both);
+                        }
+                    }
+                    continue;
+                }
+                match pending.recv_timeout(deadline - now) {
+                    Ok(r) => r,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            _ => match pending.recv() {
+                Ok(r) => r,
+                Err(_) => break,
             },
         };
-        in_flight.fetch_sub(1, Ordering::SeqCst);
-        write_line(&out, &line);
-        shared.metrics.responses.inc();
+        let line = match reply {
+            PendingReply::Stmt { id, ticket } => {
+                if dead {
+                    drop(ticket); // the worker's reply send is a no-op
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let line = match ticket.wait() {
+                    Ok(v) => proto::ok_line(id, &v),
+                    Err(e) => proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
+                };
+                // Release the slot *before* the write, not after: the
+                // client may observe the response and pipeline its next
+                // request faster than this thread runs, and a late
+                // release would answer that compliant request `busy`.
+                // A non-draining client is still bounded — its tickets
+                // hold slots until this thread reaches them (the
+                // channel never holds more than `max_in_flight`), and a
+                // write stuck on its full socket trips the write
+                // timeout below.
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                line
+            }
+            PendingReply::Batch { id, ticket } => {
+                if dead {
+                    drop(ticket);
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let line = match ticket.wait() {
+                    Ok(results) => proto::results_line(id, &results),
+                    Err(e) => proto::err_line(Some(id), proto::error_kind(&e), &e.to_string()),
+                };
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                line
+            }
+            PendingReply::Watch { id, interval_ms } => {
+                if dead {
+                    continue;
+                }
+                let interval = Duration::from_millis(interval_ms);
+                watch = Some(interval);
+                next_push = Some(Instant::now() + interval);
+                proto::ok_line(id, &format!("watch {interval_ms}ms"))
+            }
+            PendingReply::Unwatch { id } => {
+                if dead {
+                    continue;
+                }
+                watch = None;
+                next_push = None;
+                proto::ok_line(id, "unwatch")
+            }
+        };
+        match write_line(&out, &line) {
+            Ok(()) => shared.metrics.responses.inc(),
+            Err(_) => {
+                shared.metrics.write_errors.inc();
+                dead = true;
+                watch = None;
+                next_push = None;
+                let _ = lock(&out).shutdown(Shutdown::Both);
+            }
+        }
     }
+}
+
+/// Build the one-object `stats` payload: verdict + windowed view +
+/// cumulative registries + per-worker rows + the slow ring + `net.*`
+/// counters. One brief pool lock copies everything out; serialization
+/// happens after the lock drops.
+fn stats_object(shared: &Shared) -> String {
+    let at_ns = shared.clock.now_ns();
+    let (report, rows, window, cumulative, slow) = {
+        let mut pool = lock(&shared.pool);
+        // Windowing is pull-driven: serving `stats` is what ticks it.
+        pool.tick_window();
+        (
+            pool.health(),
+            pool.worker_rows(),
+            pool.window(),
+            pool.registry_snapshot(at_ns),
+            pool.slow_requests(),
+        )
+    };
+
+    let window_obj = match &window {
+        None => "null".to_string(),
+        Some(w) => window_object(w),
+    };
+
+    let mut cum_hists = ObjectBuilder::new();
+    for (name, h) in &cumulative.histograms {
+        cum_hists = cum_hists.field_raw(name, &hist_object(h));
+    }
+    let cumulative_obj = ObjectBuilder::new()
+        .field_raw("counters", &u64_map_object(&cumulative.counters))
+        .field_raw("gauges", &u64_map_object(&cumulative.gauges))
+        .field_raw("histograms", &cum_hists.finish())
+        .finish();
+
+    let mut workers_arr = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            workers_arr.push(',');
+        }
+        workers_arr.push_str(
+            &ObjectBuilder::new()
+                .field_u64("worker", r.worker as u64)
+                .field_u64("generation", r.generation)
+                .field_bool("live", r.live)
+                .field_u64("applied", r.applied)
+                .field_u64("replay_lag", r.replay_lag)
+                .field_u64("queue_depth", r.queue_depth)
+                .field_u64("replay_errors", r.replay_errors)
+                .finish(),
+        );
+    }
+    workers_arr.push(']');
+
+    let mut slow_arr = String::from("[");
+    for (i, s) in slow.iter().enumerate() {
+        if i > 0 {
+            slow_arr.push(',');
+        }
+        slow_arr.push_str(
+            &ObjectBuilder::new()
+                .field_u64("id", s.id)
+                .field_u64("session", s.session)
+                .field_u64("worker", s.worker as u64)
+                .field_u64("generation", s.generation)
+                .field_str("class", &s.class.to_string())
+                .field_u64("e2e_ns", s.e2e_ns)
+                .field_u64("queue_wait_ns", s.queue_wait_ns)
+                .field_u64("catchup_ns", s.catchup_ns)
+                .field_str("src", &s.src)
+                .finish(),
+        );
+    }
+    slow_arr.push(']');
+
+    let m = &shared.metrics;
+    let net_obj = ObjectBuilder::new()
+        .field_u64("conns_open", m.conns_open.get())
+        .field_u64("conns_accepted", m.conns_accepted.get())
+        .field_u64("rejected_busy", m.rejected_busy.get())
+        .field_u64("frames_decoded", m.frames_decoded.get())
+        .field_u64("frames_invalid", m.frames_invalid.get())
+        .field_u64("responses", m.responses.get())
+        .field_u64("watch_pushes", m.watch_pushes.get())
+        .field_u64("write_errors", m.write_errors.get())
+        .field_raw(
+            "read_to_decode_ns",
+            &hist_object(&m.read_to_decode_ns.snapshot()),
+        )
+        .finish();
+
+    ObjectBuilder::new()
+        .field_u64("at_ns", at_ns)
+        .field_str("health", report.health.as_str())
+        .field_str_array("health_reasons", report.health.reasons())
+        .field_u64("workers", report.workers as u64)
+        .field_u64("log_len", report.log_len)
+        .field_u64("max_replay_lag", report.max_replay_lag)
+        .field_u64("max_queue_depth", report.max_queue_depth)
+        .field_raw("busy_rate", &proto::json_f64(report.busy_rate))
+        .field_raw("error_rate", &proto::json_f64(report.error_rate))
+        .field_raw("window", &window_obj)
+        .field_raw("cumulative", &cumulative_obj)
+        .field_raw("per_worker", &workers_arr)
+        .field_raw("slow", &slow_arr)
+        .field_raw("net", &net_obj)
+        .finish()
+}
+
+/// The windowed section: counter deltas, per-second rates, latest gauge
+/// levels, and windowed histogram quantiles.
+fn window_object(w: &WindowView) -> String {
+    let mut rates = ObjectBuilder::new();
+    for name in w.counters.keys() {
+        rates = rates.field_raw(name, &proto::json_f64(w.rate_per_sec(name)));
+    }
+    let mut hists = ObjectBuilder::new();
+    for (name, h) in &w.histograms {
+        hists = hists.field_raw(name, &hist_object(h));
+    }
+    ObjectBuilder::new()
+        .field_u64("from_ns", w.from_ns)
+        .field_u64("to_ns", w.to_ns)
+        .field_u64("span_ns", w.span_ns())
+        .field_raw("counters", &u64_map_object(&w.counters))
+        .field_raw("rates", &rates.finish())
+        .field_raw("gauges", &u64_map_object(&w.gauges))
+        .field_raw("histograms", &hists.finish())
+        .finish()
+}
+
+fn u64_map_object(map: &BTreeMap<String, u64>) -> String {
+    let mut b = ObjectBuilder::new();
+    for (name, &v) in map {
+        b = b.field_u64(name, v);
+    }
+    b.finish()
+}
+
+fn hist_object(h: &HistogramSnapshot) -> String {
+    ObjectBuilder::new()
+        .field_u64("count", h.count)
+        .field_u64("sum", h.sum)
+        .field_u64("min", if h.count == 0 { 0 } else { h.min })
+        .field_u64("max", h.max)
+        .field_u64("p50", h.quantile(0.50))
+        .field_u64("p95", h.quantile(0.95))
+        .field_u64("p99", h.quantile(0.99))
+        .finish()
 }

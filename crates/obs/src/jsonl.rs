@@ -633,6 +633,104 @@ mod tests {
     }
 
     #[test]
+    fn string_escapes_round_trip_exactly() {
+        // Every simple escape, a \u escape, a surrogate pair, and raw
+        // multi-byte UTF-8 — the `stats` op ships operator-visible strings
+        // through this path, so unescaping must be byte-exact.
+        let members = parse_object_line(
+            "{\"s\":\"q\\\" b\\\\ s\\/ \\b\\f\\n\\r\\t u\\u00e9 p\\ud83d\\ude00 raw é\"}",
+        )
+        .expect("valid");
+        assert_eq!(
+            JsonValue::get(&members, "s").unwrap().as_str(),
+            Some("q\" b\\ s/ \u{8}\u{c}\n\r\t ué p😀 raw é")
+        );
+        // Escaped characters in *keys* too.
+        let members = parse_object_line("{\"a\\tb\":1}").expect("valid");
+        assert_eq!(members[0].0, "a\tb");
+    }
+
+    #[test]
+    fn deeply_nested_objects_parse_and_preserve_structure() {
+        let line = "{\"a\":{\"b\":{\"c\":{\"d\":[{\"e\":1},{\"e\":2}]}}}}";
+        let members = parse_object_line(line).expect("valid");
+        let b = JsonValue::get(&members, "a").unwrap().as_object().unwrap();
+        let c = JsonValue::get(b, "b").unwrap().as_object().unwrap();
+        let d = JsonValue::get(c, "c").unwrap().as_object().unwrap();
+        let arr = JsonValue::get(d, "d").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            JsonValue::get(arr[1].as_object().unwrap(), "e")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        // Duplicate keys are legal JSON; first wins through the accessor,
+        // both survive in the member list.
+        let dup = parse_object_line("{\"k\":1,\"k\":2}").expect("valid");
+        assert_eq!(dup.len(), 2);
+        assert_eq!(JsonValue::get(&dup, "k").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn numeric_overflow_and_precision_edges() {
+        // 2^53 is the last exactly-representable integer: as_u64 accepts
+        // it and refuses anything that cannot round-trip exactly.
+        let members =
+            parse_object_line("{\"max\":9007199254740992,\"over\":9007199254740993,\"huge\":18446744073709551615,\"neg\":-1,\"frac\":1.5,\"exp\":1e3,\"bigexp\":1e400}")
+                .expect("valid grammar even when magnitudes overflow");
+        let get = |k: &str| JsonValue::get(&members, k).unwrap();
+        assert_eq!(get("max").as_u64(), Some(9_007_199_254_740_992));
+        // 2^53 + 1 rounds *down* to 2^53 in f64 — indistinguishable from
+        // the legitimate value, so the accessor's bound must sit at the
+        // first value where integrality is still provable. Either answer
+        // (None, or the rounded neighbour) would be defensible; the
+        // implementation admits the rounded f64 since fract()==0 — pin
+        // that it never fabricates a *larger* integer.
+        assert!(get("over")
+            .as_u64()
+            .is_some_and(|v| v <= 9_007_199_254_740_992));
+        // u64::MAX overflows the exact range: refused, not wrapped.
+        assert_eq!(get("huge").as_u64(), None);
+        assert_eq!(get("neg").as_u64(), None);
+        assert_eq!(get("frac").as_u64(), None);
+        assert_eq!(get("exp").as_u64(), Some(1000));
+        // An exponent beyond f64's range parses as infinity per the
+        // grammar; the typed accessor refuses it (fract() of inf is NaN).
+        assert_eq!(get("bigexp").as_u64(), None);
+        assert_eq!(*get("bigexp"), JsonValue::Num(f64::INFINITY));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_never_a_panic() {
+        // Prefixes of a valid line must all fail cleanly: the reader can
+        // hand the parser a line cut anywhere (bounded reads truncate).
+        let full = "{\"op\":\"stats\",\"id\":12,\"deep\":{\"arr\":[1,\"s\\u00e9\"]}}";
+        assert!(parse_object_line(full).is_ok());
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &full[..cut];
+            assert!(
+                parse_object_line(prefix).is_err(),
+                "truncated prefix accepted: {prefix:?}"
+            );
+            assert!(check_object_line(prefix).is_err());
+        }
+        // Truncation inside escapes and surrogate pairs specifically.
+        for bad in [
+            "{\"s\":\"\\",
+            "{\"s\":\"\\u00",
+            "{\"s\":\"\\ud83d\"}",
+            "{\"s\":\"\\ud83d\\u0041\"}",
+            "{\"s\":\"\\ud83d\\ude",
+        ] {
+            assert!(parse_object_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn object_builder_round_trips_through_the_parser() {
         let nested = ObjectBuilder::new()
             .field_str("err", "bad \"thing\"\n")

@@ -26,7 +26,10 @@
 //! serving pool) use the [`shared`] module — the `Send + Sync` atomic
 //! twins of the same vocabulary ([`SharedRegistry`], [`EventSink`],
 //! [`SharedClock`]) — and [`jsonl`] provides a tiny std-only JSON line
-//! checker for smoke-testing the exports.
+//! checker for smoke-testing the exports. The [`window`] module layers
+//! sliding-window views (rates, windowed quantiles) over the cumulative
+//! registries as reader-side snapshot deltas — storage stays cumulative,
+//! and a layer that never ticks a window never reads a clock.
 
 pub mod clock;
 pub mod jsonl;
@@ -34,6 +37,7 @@ pub mod metrics;
 pub mod shared;
 pub mod sink;
 pub mod span;
+pub mod window;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
@@ -44,6 +48,7 @@ pub use shared::{
 };
 pub use sink::{CollectingSink, JsonLinesSink, NullSink, SpanRecord, TraceSink};
 pub use span::{Span, Tracer};
+pub use window::{RegistrySnapshot, SnapshotRing, WindowView};
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
 /// Metric and span names are ASCII identifiers in practice, but the escape

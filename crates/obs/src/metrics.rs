@@ -172,6 +172,57 @@ impl HistogramSnapshot {
         }
         bucket_upper_bound(last).min(self.max)
     }
+
+    /// The observations recorded in `self` but not yet in `earlier` — the
+    /// windowed view of a cumulative histogram, given two snapshots of it.
+    ///
+    /// Every field is a `saturating_sub` per bucket: when a counter has
+    /// gone *backwards* between the snapshots (a pool worker respawned and
+    /// its generation bump reset per-worker tallies, or the two snapshots
+    /// raced a [`Registry::reset`]), the delta clamps to zero instead of
+    /// wrapping — a window quantile can report "no data", never a
+    /// 2^64-flavoured garbage latency. `count` is recomputed as the sum of
+    /// the per-bucket deltas (not `count − count`), so [`Self::quantile`]
+    /// on the delta is always internally consistent with its buckets.
+    ///
+    /// `min`/`max` of a window are not recoverable from cumulative
+    /// extremes, so they are re-derived from the delta buckets: `min` is
+    /// the lower bound of the lowest non-empty delta bucket, `max` the
+    /// upper bound of the highest — clamped to the cumulative `max`, which
+    /// bounds every observation the window can contain.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut prev = earlier.buckets.iter().copied().peekable();
+        let mut buckets: Vec<(usize, u64)> = Vec::new();
+        for &(i, c) in &self.buckets {
+            let mut before = 0u64;
+            while let Some(&(pi, pc)) = prev.peek() {
+                if pi < i {
+                    prev.next();
+                } else {
+                    if pi == i {
+                        before = pc;
+                        prev.next();
+                    }
+                    break;
+                }
+            }
+            let d = c.saturating_sub(before);
+            if d > 0 {
+                buckets.push((i, d));
+            }
+        }
+        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: bucket_lower_bound(buckets.first().expect("non-empty").0),
+            max: bucket_upper_bound(buckets.last().expect("non-empty").0).min(self.max),
+            buckets,
+        }
+    }
 }
 
 /// A log2-bucketed histogram for latencies and sizes. Cloning shares the
@@ -498,6 +549,88 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.quantile(0.0), 1, "q=0 targets the first observation");
         assert_eq!(s.quantile(1.0), 500, "q=1 targets the last observation");
+    }
+
+    #[test]
+    fn delta_isolates_the_window() {
+        let h = Histogram::default();
+        for v in [1, 3, 100] {
+            h.observe(v);
+        }
+        let before = h.snapshot();
+        for v in [5, 5, 1000] {
+            h.observe(v);
+        }
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 1010);
+        assert_eq!(d.buckets, vec![(3, 2), (10, 1)]);
+        // Window quantiles see only the window's observations.
+        assert_eq!(d.quantile(0.5), 7); // bucket 3 upper bound
+        assert_eq!(d.quantile(1.0), 1000); // clamped by cumulative max
+        assert_eq!(d.min, bucket_lower_bound(3));
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        let h = Histogram::default();
+        h.observe(7);
+        let s = h.snapshot();
+        let d = s.delta(&s);
+        assert_eq!(d, HistogramSnapshot::default());
+        assert_eq!(d.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn delta_saturates_across_counter_resets() {
+        // A worker respawn (generation bump) zeroes its per-worker
+        // histogram, so the "later" snapshot can be *smaller* than the
+        // earlier one. Every diff saturates: quantiles stay in-range
+        // (never the 2^64 wraparound), and partially-reset buckets clamp
+        // per bucket, not globally.
+        let h = Histogram::default();
+        for v in [1, 5, 5, 900] {
+            h.observe(v);
+        }
+        let before = h.snapshot();
+
+        // Full reset, fewer observations than before.
+        let respawned = Histogram::default();
+        respawned.observe(3);
+        let d = respawned.snapshot().delta(&before);
+        assert_eq!(d.count, 1, "only the post-reset observation survives");
+        assert_eq!(d.buckets, vec![(2, 1)]);
+        assert!(d.quantile(0.99) <= 3, "quantile never exceeds observed max");
+        assert_eq!(d.sum, 0, "sum saturates rather than wrapping");
+
+        // Reset to *empty*: the delta is the empty snapshot, with the
+        // empty-snapshot sentinels (min = u64::MAX, max = 0) intact.
+        let empty = Histogram::default().snapshot().delta(&before);
+        assert_eq!(empty, HistogramSnapshot::default());
+        assert_eq!(empty.quantile(0.5), 0);
+
+        // Per-bucket wraparound: one bucket shrank (reset) while another
+        // grew; the shrunken bucket contributes 0, the grown one its
+        // genuine delta.
+        let later = HistogramSnapshot {
+            count: 3,
+            sum: 30,
+            min: 1,
+            max: 20,
+            buckets: vec![(1, 1), (5, 2)],
+        };
+        let earlier = HistogramSnapshot {
+            count: 4,
+            sum: 40,
+            min: 1,
+            max: 20,
+            buckets: vec![(1, 3), (5, 1)],
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.buckets, vec![(5, 1)]);
+        assert_eq!(d.count, 1, "count is the bucket-delta sum, not count−count");
+        assert_eq!(d.quantile(1.0), 20, "clamped to cumulative max");
+        assert_eq!(d.min, bucket_lower_bound(5));
     }
 
     #[test]

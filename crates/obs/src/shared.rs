@@ -249,6 +249,35 @@ impl SharedRegistry {
         }
     }
 
+    /// Capture every metric's current value into a point-in-time
+    /// [`crate::window::RegistrySnapshot`] stamped `at_ns`.
+    ///
+    /// The timestamp is **caller-supplied**, not read from a clock here:
+    /// windowing is a reader-side view, and a layer that never ticks its
+    /// window must be able to prove it performs zero clock reads (the
+    /// [`SharedManualClock::reads`] discipline).
+    pub fn snapshot(&self, at_ns: u64) -> crate::window::RegistrySnapshot {
+        let maps = self.lock();
+        crate::window::RegistrySnapshot {
+            at_ns,
+            counters: maps
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: maps
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: maps
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
     /// Same format contract as [`crate::Registry::to_json_lines`]: one JSON
     /// object per line — counters, then gauges, then histograms, each
     /// sorted by name.

@@ -55,6 +55,7 @@
 //! pool.shutdown();
 //! ```
 
+mod health;
 mod log;
 mod router;
 mod stats;
@@ -63,6 +64,7 @@ mod telemetry;
 mod worker;
 
 pub use crate::log::DeclLog;
+pub use health::{Health, HealthReport, HealthThresholds, WindowConfig, WorkerRow};
 pub use polyview::obs::{
     CollectingEventSink, EventRecord, EventSink, JsonLinesEventSink, NullEventSink, SharedClock,
     SharedManualClock, SharedWallClock,
@@ -130,6 +132,15 @@ pub struct PoolConfig {
     /// `None` (default): never profile — workers pay one flag check per
     /// request and their engines none at all.
     pub profile_sample_every: Option<u64>,
+    /// Thresholds the health verdict ([`Pool::health`]) folds worker
+    /// state against. The defaults are permissive (load balancers must
+    /// not flap); tighten them per deployment.
+    pub health: HealthThresholds,
+    /// Windowed-stats configuration: `Some` keeps a bounded ring of
+    /// registry snapshots ([`Pool::tick_window`]) so windowed rates and
+    /// quantiles are computable ([`Pool::window`]). `None` (default):
+    /// windowing off — ticking is a single branch with zero clock reads.
+    pub stats_window: Option<WindowConfig>,
 }
 
 impl Default for PoolConfig {
@@ -146,6 +157,8 @@ impl Default for PoolConfig {
             slow_threshold_ns: None,
             slow_log_capacity: 32,
             profile_sample_every: None,
+            health: HealthThresholds::default(),
+            stats_window: None,
         }
     }
 }
@@ -164,6 +177,8 @@ impl std::fmt::Debug for PoolConfig {
             .field("slow_threshold_ns", &self.slow_threshold_ns)
             .field("slow_log_capacity", &self.slow_log_capacity)
             .field("profile_sample_every", &self.profile_sample_every)
+            .field("health", &self.health)
+            .field("stats_window", &self.stats_window)
             .finish_non_exhaustive()
     }
 }
@@ -235,6 +250,23 @@ impl PoolConfig {
     /// additionally needs [`PoolConfig::slow_threshold_ns`].
     pub fn profile_sample_every(mut self, n: u64) -> Self {
         self.profile_sample_every = Some(n.max(1));
+        self
+    }
+
+    /// Replace the health thresholds ([`Pool::health`] folds against
+    /// them).
+    pub fn health_thresholds(mut self, t: HealthThresholds) -> Self {
+        self.health = t;
+        self
+    }
+
+    /// Enable windowed stats: keep a ring of registry snapshots so
+    /// [`Pool::window`] can answer rates and windowed quantiles. Does
+    /// *not* enable telemetry — windowing over the pool's own counters
+    /// works either way (the latency histograms only fill when telemetry
+    /// is also on).
+    pub fn stats_window(mut self, w: WindowConfig) -> Self {
+        self.stats_window = Some(w);
         self
     }
 }

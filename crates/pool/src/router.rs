@@ -203,6 +203,9 @@ pub struct Pool {
     pub(crate) submitted_reads: u64,
     pub(crate) submitted_writes: u64,
     pub(crate) rejected_full: u64,
+    /// Windowed-stats state ([`crate::PoolConfig::stats_window`]); `None`
+    /// keeps ticking a zero-clock-read branch.
+    pub(crate) window: Option<crate::health::PoolWindow>,
 }
 
 impl Pool {
@@ -220,6 +223,7 @@ impl Pool {
         let workers = (0..cfg.workers)
             .map(|i| spawn_worker(i, 0, &cfg, &log, &telemetry))
             .collect();
+        let window = cfg.stats_window.map(crate::health::PoolWindow::new);
         Pool {
             cfg,
             log,
@@ -230,6 +234,7 @@ impl Pool {
             submitted_reads: 0,
             submitted_writes: 0,
             rejected_full: 0,
+            window,
         }
     }
 

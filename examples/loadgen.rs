@@ -9,17 +9,27 @@
 //! connection with a single `batch` frame — one ticket, one log-lock
 //! hold for both declarations.
 //!
+//! With `--stats-polls N` a dedicated connection polls the `stats` and
+//! `health` wire ops concurrently with the load: one poll before the
+//! load starts (expected `health=healthy` on the idle server), `N − 2`
+//! spaced polls while the clients run, and a final poll right after the
+//! load that asserts the server's *windowed* read rate is nonzero —
+//! the introspection plane observed the load it was serving under.
+//! The final assertion needs the server's stats window enabled (pair
+//! with `pool_server --stats-interval MS`).
+//!
 //! Frame budget (for pairing with `pool_server --requests N`):
-//! exactly `1 + clients + requests` frames are sent — the setup batch,
-//! one `hello` per client, and one `stmt` per request. `busy`
-//! responses are retried (and counted); anything else unexpected
-//! aborts the run.
+//! exactly `1 + clients + requests + 2 × stats-polls` frames are sent —
+//! the setup batch, one `hello` per client, one `stmt` per request, and
+//! one `stats` + one `health` per poll. `busy` responses are retried
+//! (and counted); anything else unexpected aborts the run.
 //!
 //! ```text
-//! loadgen --addr 127.0.0.1:4000 [--requests 200] [--clients 4]
-//! loadgen --addr-file /tmp/addr [--requests 200] [--clients 4]
+//! loadgen --addr 127.0.0.1:4000 [--requests 200] [--clients 4] [--stats-polls P]
+//! loadgen --addr-file /tmp/addr [--requests 200] [--clients 4] [--stats-polls P]
 //! ```
 
+use polyview::obs::jsonl::JsonValue;
 use polyview_net::{ClientError, NetClient};
 use std::time::{Duration, Instant};
 
@@ -34,6 +44,7 @@ fn main() {
     let requests: u64 = flag_value("--requests").map_or(200, |n| n.parse().expect("--requests N"));
     let clients: u64 = flag_value("--clients").map_or(4, |n| n.parse().expect("--clients N"));
     let clients = clients.max(1);
+    let polls: u64 = flag_value("--stats-polls").map_or(0, |n| n.parse().expect("--stats-polls P"));
     let addr = match (flag_value("--addr"), flag_value("--addr-file")) {
         (Some(addr), _) => addr,
         (None, Some(path)) => wait_for_addr_file(&path),
@@ -63,6 +74,15 @@ fn main() {
     }
     drop(setup);
 
+    // Poll 1 of `--stats-polls`, before any load: the server should be
+    // idle and healthy, with no window yet (or an empty one).
+    let mut poller = (polls > 0).then(|| {
+        let mut conn = NetClient::connect(&addr).expect("connect for stats polling");
+        let poll = poll_stats(&mut conn);
+        println!("loadgen: stats poll: {poll}");
+        conn
+    });
+
     let started = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
@@ -71,11 +91,45 @@ fn main() {
             std::thread::spawn(move || client_main(&addr, c, share))
         })
         .collect();
+    // Polls 2..N−1 run concurrently with the load on their own thread.
+    let mid_polls = polls.saturating_sub(2);
+    let poll_thread = (mid_polls > 0).then(|| {
+        let mut conn = poller.take().expect("polls > 2 implies a poller");
+        std::thread::spawn(move || {
+            for _ in 0..mid_polls {
+                std::thread::sleep(Duration::from_millis(50));
+                let poll = poll_stats(&mut conn);
+                println!("loadgen: stats poll: {poll}");
+            }
+            conn
+        })
+    });
     let mut totals = ClientTotals::default();
     for w in workers {
         totals.merge(&w.join().expect("client thread"));
     }
     let elapsed = started.elapsed();
+
+    if let Some(t) = poll_thread {
+        poller = Some(t.join().expect("stats poll thread"));
+    }
+    if polls >= 2 {
+        // Final poll, right after the load: give the server's window
+        // interval time to elapse so this poll's tick takes a fresh
+        // snapshot, then require the windowed read rate to have seen
+        // the load.
+        let mut conn = poller.expect("polls >= 2 implies a poller");
+        std::thread::sleep(Duration::from_millis(60));
+        let poll = poll_stats(&mut conn);
+        println!("loadgen: final stats: {poll}");
+        if requests > 0 {
+            assert!(
+                poll.window_span_ns > 0 && poll.read_rate > 0.0,
+                "windowed read rate must be nonzero right after load \
+                 (is the server running with --stats-interval?): {poll}"
+            );
+        }
+    }
 
     assert_eq!(
         totals.reads + totals.writes,
@@ -90,10 +144,53 @@ fn main() {
         "loadgen: {} busy retries, {} statement errors, {} frames sent",
         totals.busy_retries,
         totals.stmt_errors,
-        1 + clients + requests + totals.busy_retries,
+        1 + clients + requests + totals.busy_retries + 2 * polls,
     );
     if totals.stmt_errors > 0 {
         std::process::exit(1);
+    }
+}
+
+/// What one `stats` + `health` poll extracts for the summary lines the
+/// verify.sh stats gate greps.
+struct StatsPoll {
+    verdict: String,
+    window_span_ns: u64,
+    read_rate: f64,
+    log_len: u64,
+}
+
+impl std::fmt::Display for StatsPoll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "health={} window_span_ns={} read_rate={:.1} log_len={}",
+            self.verdict, self.window_span_ns, self.read_rate, self.log_len
+        )
+    }
+}
+
+/// One poll: a `stats` frame (windowed + cumulative object) and a
+/// `health` frame (the verdict), both served as immediates.
+fn poll_stats(conn: &mut NetClient) -> StatsPoll {
+    let stats = conn.stats().expect("stats op");
+    let (verdict, _reasons) = conn.health().expect("health op");
+    let window = JsonValue::get(&stats, "window").and_then(JsonValue::as_object);
+    let field = |members: &[(String, JsonValue)], key: &str| -> f64 {
+        match JsonValue::get(members, key) {
+            Some(JsonValue::Num(n)) => *n,
+            _ => 0.0,
+        }
+    };
+    StatsPoll {
+        verdict,
+        window_span_ns: window.map_or(0, |w| field(w, "span_ns") as u64),
+        read_rate: window
+            .and_then(|w| JsonValue::get(w, "rates").and_then(JsonValue::as_object))
+            .map_or(0.0, |r| field(r, "pool.submitted_reads")),
+        log_len: JsonValue::get(&stats, "log_len")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
     }
 }
 

@@ -21,13 +21,18 @@
 //! PATH` for scripted clients (`examples/loadgen.rs`), serves until
 //! `--requests N` frames have been decoded (or stdin reaches EOF when
 //! no bound is given), then drains gracefully and prints both net and
-//! pool stats. `--trace` works in this mode too, dumping the combined
-//! `net.*` + pool + engine event stream. The default in-process mode
-//! (`--in-process` to name it explicitly) is unchanged.
+//! pool stats. `--stats-interval MS` enables the pool's stats window
+//! and emits a self-validated introspection snapshot (the same object
+//! the `stats` wire op serves) to stdout every `MS` milliseconds — the
+//! verify.sh stats gate consumes this stream. `--trace` works in this
+//! mode too, dumping the combined `net.*` + pool + engine event
+//! stream. The default in-process mode (`--in-process` to name it
+//! explicitly) is unchanged.
 
 use polyview_net::{NetConfig, NetServer};
-use polyview_pool::{CollectingEventSink, Pool, PoolConfig, Submit};
+use polyview_pool::{CollectingEventSink, Pool, PoolConfig, Submit, WindowConfig};
 use std::io::Read as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -43,18 +48,40 @@ fn main() {
     if let Some(addr) = flag_value("--listen") {
         let addr_file = flag_value("--addr-file");
         let requests = flag_value("--requests").map(|n| n.parse::<u64>().expect("--requests N"));
-        run_listen(&addr, addr_file.as_deref(), requests, tracing);
+        let stats_interval = flag_value("--stats-interval")
+            .map(|n| n.parse::<u64>().expect("--stats-interval MS").max(1));
+        run_listen(
+            &addr,
+            addr_file.as_deref(),
+            requests,
+            tracing,
+            stats_interval,
+        );
         return;
     }
     run_in_process(tracing);
 }
 
 /// Serve the pool over TCP until the frame budget (or stdin) runs out.
-fn run_listen(addr: &str, addr_file: Option<&str>, requests: Option<u64>, tracing: bool) {
+fn run_listen(
+    addr: &str,
+    addr_file: Option<&str>,
+    requests: Option<u64>,
+    tracing: bool,
+    stats_interval_ms: Option<u64>,
+) {
     let sink = Arc::new(CollectingEventSink::new());
     let mut pool_cfg = PoolConfig::default().workers(4).queue_capacity(256);
     if tracing {
         pool_cfg = pool_cfg.event_sink(sink.clone());
+    }
+    if let Some(ms) = stats_interval_ms {
+        // Half the emit period so every emitter pass takes a fresh
+        // snapshot even with scheduling jitter.
+        pool_cfg = pool_cfg.stats_window(WindowConfig {
+            capacity: 16,
+            interval_ns: (ms * 1_000_000 / 2).max(1),
+        });
     }
     let cfg = NetConfig::default()
         .pool(pool_cfg)
@@ -69,19 +96,38 @@ fn run_listen(addr: &str, addr_file: Option<&str>, requests: Option<u64>, tracin
         std::fs::write(&tmp, format!("{}\n", server.local_addr())).expect("write addr file");
         std::fs::rename(&tmp, path).expect("publish addr file");
     }
-    match requests {
-        Some(target) => {
-            // Exit once the wire has carried `target` decoded frames;
-            // scripted runs (verify.sh) size their loadgen to match.
-            while server.stats().frames_decoded < target {
-                std::thread::sleep(std::time::Duration::from_millis(5));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if let Some(ms) = stats_interval_ms {
+            let server = &server;
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    emit_stats_line(&server.stats_json());
+                }
+            });
+        }
+        match requests {
+            Some(target) => {
+                // Exit once the wire has carried `target` decoded frames;
+                // scripted runs (verify.sh) size their loadgen to match.
+                while server.stats().frames_decoded < target {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+            None => {
+                // Serve until the operator closes stdin.
+                let mut sink = Vec::new();
+                let _ = std::io::stdin().read_to_end(&mut sink);
             }
         }
-        None => {
-            // Serve until the operator closes stdin.
-            let mut sink = Vec::new();
-            let _ = std::io::stdin().read_to_end(&mut sink);
-        }
+        stop.store(true, Ordering::SeqCst);
+    });
+    // One final snapshot after the load, so bounded runs always emit at
+    // least one line with the whole run inside its window.
+    if stats_interval_ms.is_some() {
+        emit_stats_line(&server.stats_json());
     }
     eprintln!("{}", server.stats());
     let mut pool = server.drain();
@@ -91,6 +137,28 @@ fn run_listen(addr: &str, addr_file: Option<&str>, requests: Option<u64>, tracin
     if tracing {
         dump_events(&sink);
     }
+}
+
+/// Validate one introspection snapshot and print it to stdout — every
+/// emitted line has already survived the same zero-dep JSON checker the
+/// verify gates run, plus a required-key sweep.
+fn emit_stats_line(line: &str) {
+    let keys = polyview::obs::jsonl::check_object_line(line)
+        .unwrap_or_else(|e| panic!("malformed stats line ({e}): {line}"));
+    for required in [
+        "at_ns",
+        "health",
+        "window",
+        "cumulative",
+        "per_worker",
+        "net",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == required),
+            "stats line missing key {required:?}: {line}"
+        );
+    }
+    println!("{line}");
 }
 
 /// Validate and print every collected trace event, one JSON object per

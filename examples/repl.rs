@@ -15,8 +15,10 @@
 //! pipeline counters, `:trace on|off` toggles span emission to stderr as
 //! JSON lines, `:explain STMT` compiles and runs a statement with every
 //! phase timed, `:profile STMT` runs one with the evaluation profiler
-//! attached (hot-node table, fallback sites, view recomputes), and
-//! `:metrics` dumps the full registry as JSON lines.
+//! attached (hot-node table, fallback sites, view recomputes),
+//! `:metrics` dumps the full registry as JSON lines, and `:health`
+//! prints the engine-level health verdict derived from the same
+//! counters (`EngineStats::health_reasons`).
 
 use polyview::obs::JsonLinesSink;
 use polyview::{Engine, Outcome};
@@ -58,7 +60,7 @@ fn main() {
     println!("polyview — a polymorphic calculus for views and object sharing");
     println!("type declarations or expressions; :q quits, :t EXPR shows a type");
     println!(
-        ":stats, :trace on|off, :explain STMT, :profile STMT, :metrics show pipeline internals"
+        ":stats, :trace on|off, :explain STMT, :profile STMT, :metrics, :health show pipeline internals"
     );
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -85,6 +87,20 @@ fn main() {
         }
         if input == ":stats" {
             println!("{}", engine.stats());
+            continue;
+        }
+        if input == ":health" {
+            // The same engine-level verdict the pool's HealthModel folds
+            // into its per-worker rows: empty reasons means healthy.
+            let reasons = engine.stats().health_reasons();
+            if reasons.is_empty() {
+                println!("healthy");
+            } else {
+                println!("degraded:");
+                for r in &reasons {
+                    println!("  - {r}");
+                }
+            }
             continue;
         }
         if input == ":metrics" {

@@ -212,4 +212,56 @@ print(f"  {len(events)} wire-trace events; {len(net_traces)} socket traces, "
 ' "$net_dir/trace"
 rm -rf "$net_dir"
 
-echo "OK: build, tests, fmt, clippy, dep hygiene, metrics + profile + trace + net smoke all green (offline)."
+echo "==> stats smoke: the introspection plane observes the load it serves"
+# Same server/loadgen pair, introspection on: the server emits a
+# self-validated stats snapshot every 50ms (--stats-interval) while
+# loadgen polls the `stats`/`health` wire ops concurrently with the load
+# (--stats-polls 3). Frame budget: 1 setup batch + 2 hellos + 40
+# statements + 2x3 poll frames = 49. Every emitted snapshot must be a
+# valid JSON object with the full schema, report a healthy verdict, and
+# at least one post-load snapshot must have a nonzero windowed read
+# rate; loadgen's own final poll asserts the same from the wire side.
+stats_dir="$(mktemp -d)"
+target/release/examples/pool_server --listen 127.0.0.1:0 \
+    --addr-file "$stats_dir/addr" --requests 49 --stats-interval 50 \
+    >"$stats_dir/snapshots" 2>"$stats_dir/stats" &
+stats_server_pid=$!
+target/release/examples/loadgen --addr-file "$stats_dir/addr" \
+    --requests 40 --clients 2 --stats-polls 3 >"$stats_dir/loadgen"
+wait "$stats_server_pid"
+grep -q "0 busy retries, 0 statement errors" "$stats_dir/loadgen" \
+    || { echo "FAIL: loadgen saw rejections or errors"; cat "$stats_dir/loadgen"; exit 1; }
+grep -q "final stats: health=healthy" "$stats_dir/loadgen" \
+    || { echo "FAIL: no healthy final stats poll"; cat "$stats_dir/loadgen"; exit 1; }
+python3 -c '
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "pool_server --stats-interval printed no snapshots"
+required = {"at_ns", "health", "health_reasons", "workers", "window",
+            "cumulative", "per_worker", "slow", "net"}
+snaps = []
+for line in lines:
+    obj = json.loads(line)
+    assert isinstance(obj, dict), line
+    assert required <= obj.keys(), f"missing keys in snapshot: {sorted(required - obj.keys())}"
+    snaps.append(obj)
+assert all(s["health"] == "healthy" for s in snaps), \
+    [s["health"] for s in snaps]
+# The last snapshot is taken after the whole load; its cumulative
+# counters must have seen every request and its window a nonzero rate.
+last = snaps[-1]
+reads = last["cumulative"]["counters"]["pool.submitted_reads"]
+assert reads == 36, f"expected 36 cumulative reads (90% of 40), got {reads}"
+windowed = [s for s in snaps
+            if s["window"] and s["window"]["rates"]["pool.submitted_reads"] > 0]
+assert windowed, "no snapshot windowed a nonzero read rate"
+net = last["net"]
+assert net["frames_invalid"] == 0 and net["write_errors"] == 0, net
+frames = net["frames_decoded"]
+print(f"  {len(snaps)} snapshots, all valid and healthy; "
+      f"{len(windowed)} with nonzero windowed read rate, "
+      f"cumulative reads={reads}, frames={frames}")
+' "$stats_dir/snapshots"
+rm -rf "$stats_dir"
+
+echo "OK: build, tests, fmt, clippy, dep hygiene, metrics + profile + trace + net + stats smoke all green (offline)."

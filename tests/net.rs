@@ -10,8 +10,11 @@
 //! spins on the server's `net.frames_decoded` counter — a condition
 //! that, once true, cannot go false — before draining.
 
+use polyview::obs::jsonl::JsonValue;
 use polyview_net::{ClientError, NetClient, NetConfig, NetServer, Reply};
-use polyview_pool::{CollectingEventSink, EventRecord, PoolConfig, SharedManualClock};
+use polyview_pool::{
+    CollectingEventSink, EventRecord, PoolConfig, SharedManualClock, WindowConfig,
+};
 use std::sync::Arc;
 
 fn serve(cfg: NetConfig) -> NetServer {
@@ -344,4 +347,183 @@ fn one_trace_id_spans_socket_to_engine() {
 
 fn attr(e: &EventRecord, key: &str) -> Option<u64> {
     e.attrs.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
+/// Walk a path of nested object members inside a decoded `stats` reply.
+fn member<'v>(members: &'v [(String, JsonValue)], path: &[&str]) -> Option<&'v JsonValue> {
+    let (first, rest) = path.split_first()?;
+    let v = JsonValue::get(members, first)?;
+    rest.iter().try_fold(v, |v, key| {
+        v.as_object().and_then(|m| JsonValue::get(m, key))
+    })
+}
+
+/// The `stats` op round-trips with deterministic windowed values: under
+/// a manual clock the window spans exactly the nanoseconds we advanced
+/// and the counter deltas are exactly the statements we submitted, so
+/// the computed rate is exact.
+#[test]
+fn stats_round_trips_with_deterministic_windows() {
+    let clock = Arc::new(SharedManualClock::new());
+    let server = serve(
+        NetConfig::default().pool(
+            PoolConfig::default()
+                .workers(2)
+                .telemetry_clock(clock.clone())
+                .stats_window(WindowConfig {
+                    capacity: 8,
+                    interval_ns: 1_000,
+                }),
+        ),
+    );
+    let mut client = connect(&server);
+    client.hello(1).expect("hello");
+    client.call("val windowed = 1;").expect("write");
+
+    // First stats call takes the window's first snapshot: no window yet.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        member(&stats, &["health"]).and_then(JsonValue::as_str),
+        Some("healthy")
+    );
+    assert_eq!(
+        member(&stats, &["workers"]).and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        member(&stats, &["window"]),
+        Some(&JsonValue::Null),
+        "one snapshot is not a window"
+    );
+    assert_eq!(
+        member(&stats, &["cumulative", "counters", "pool.submitted_writes"])
+            .and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    let workers = member(&stats, &["per_worker"])
+        .and_then(JsonValue::as_array)
+        .expect("per-worker rows");
+    assert_eq!(workers.len(), 2);
+    for row in workers {
+        let row = row.as_object().expect("row object");
+        assert_eq!(
+            JsonValue::get(row, "live").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            JsonValue::get(row, "replay_lag").and_then(JsonValue::as_u64),
+            Some(0)
+        );
+    }
+
+    // Advance exactly 2µs, submit exactly 4 reads, snapshot again: the
+    // window must report delta 4 over span 2000ns — a rate of 2e6/s.
+    clock.advance(2_000);
+    for _ in 0..4 {
+        client.call("windowed + 1").expect("read");
+    }
+    let stats = client.stats().expect("stats with a window");
+    assert_eq!(
+        member(&stats, &["window", "span_ns"]).and_then(JsonValue::as_u64),
+        Some(2_000)
+    );
+    assert_eq!(
+        member(&stats, &["window", "counters", "pool.submitted_reads"]).and_then(JsonValue::as_u64),
+        Some(4)
+    );
+    assert_eq!(
+        member(&stats, &["window", "rates", "pool.submitted_reads"]).and_then(JsonValue::as_u64),
+        Some(2_000_000),
+        "4 reads over 2000ns is exactly 2e6/s"
+    );
+    // Cumulative counters are untouched by windowing.
+    assert_eq!(
+        member(&stats, &["cumulative", "counters", "pool.submitted_reads"])
+            .and_then(JsonValue::as_u64),
+        Some(4)
+    );
+    server.shutdown();
+}
+
+/// `health` answers as an immediate while every pool queue is full —
+/// the whole point of not routing it through the worker queues. The
+/// probe goes down the same connection whose responses are wedged
+/// behind the paused worker, so the answer provably overtakes them.
+#[test]
+fn health_answers_while_every_queue_is_full() {
+    let server = serve(
+        NetConfig::default()
+            .pool(PoolConfig::default().workers(1).queue_capacity(2))
+            .max_in_flight(16),
+    );
+    let mut client = connect(&server);
+    client.hello(1).expect("hello");
+    client.call("val hp = 1;").expect("warm the replica");
+
+    let (verdict, reasons) = client.health().expect("health on an idle server");
+    assert_eq!(verdict, "healthy", "{reasons:?}");
+
+    let gate = server.with_pool(|p| p.pause_worker(0)).expect("pause");
+    let q1 = client.send_stmt("hp + 1").expect("send");
+    let q2 = client.send_stmt("hp + 2").expect("send");
+
+    // Both queue slots are taken and the worker is parked: nothing can
+    // answer except an immediate.
+    let (verdict, reasons) = client.health().expect("health while saturated");
+    assert_eq!(verdict, "unhealthy", "{reasons:?}");
+    assert!(
+        reasons.iter().any(|r| r.contains("at capacity")),
+        "expected a queue-capacity reason, got {reasons:?}"
+    );
+    // `stats` is served by the reader too, without touching the queues.
+    let stats = client.stats().expect("stats while saturated");
+    assert_eq!(
+        member(&stats, &["max_queue_depth"]).and_then(JsonValue::as_u64),
+        Some(2)
+    );
+
+    gate.release();
+    let r1 = client.recv().expect("first queued");
+    let r2 = client.recv().expect("second queued");
+    assert_eq!(r1.id, Some(q1));
+    assert_eq!(r2.id, Some(q2));
+    let (verdict, reasons) = client.health().expect("health after release");
+    assert_eq!(verdict, "healthy", "{reasons:?}");
+    server.shutdown();
+}
+
+/// `watch` turns the connection push-capable: the server emits
+/// `{"push":seq,"stats":{...}}` frames on its own initiative until
+/// `unwatch`, whose ack arrives in order even with pushes in flight.
+#[test]
+fn watch_pushes_stats_until_unwatch() {
+    let server = serve(NetConfig::default().pool(PoolConfig::default().workers(1)));
+    let mut client = connect(&server);
+    client.hello(1).expect("hello");
+    client.call("val watched = 1;").expect("write");
+
+    client.watch(5).expect("watch ack");
+    let mut seqs = Vec::new();
+    while seqs.len() < 2 {
+        let resp = client.recv().expect("pushed frame");
+        match resp.reply {
+            Reply::Push { seq, stats } => {
+                assert_eq!(resp.id, None, "pushes answer no request");
+                assert_eq!(
+                    member(&stats, &["health"]).and_then(JsonValue::as_str),
+                    Some("healthy")
+                );
+                seqs.push(seq);
+            }
+            other => panic!("expected a push, got {other:?}"),
+        }
+    }
+    assert_eq!(seqs, vec![1, 2], "push sequence numbers are contiguous");
+
+    // `unwatch` acks (skipping any pushes already in flight) and the
+    // connection still serves requests afterwards.
+    client.unwatch().expect("unwatch ack");
+    assert!(client.call("watched + 1").expect("statement").contains('2'));
+    assert!(server.stats().watch_pushes >= 2);
+    server.shutdown();
 }
