@@ -1,0 +1,85 @@
+//! E10: bounded recovery (DESIGN.md §17). Latency of a worker respawn —
+//! crash injection through the replacement's convergence barrier — as a
+//! function of declaration-log length, with checkpointing off vs on.
+//!
+//! Without checkpointing a respawn replays the *entire* log, so recovery
+//! latency grows linearly with history: this is the unbounded
+//! respawn-replay path the checkpoint tier exists to fix. With
+//! `checkpoint_every(32)` the replacement bootstraps from the newest
+//! in-memory engine snapshot and replays only the tail above it, so
+//! recovery latency stays flat no matter how long the pool has lived.
+//!
+//! Expected shape: `replay_full` scales ~linearly in the log length;
+//! `from_checkpoint` is roughly constant (decode one snapshot + replay
+//! < 32 entries), with the gap widening as history grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyview_pool::{Pool, PoolConfig};
+
+/// A two-worker pool whose log holds `writes` sequenced statements.
+fn pool_with_history(writes: u64, checkpoint_every: Option<u64>) -> Pool {
+    let mut cfg = PoolConfig::default().workers(2).queue_capacity(64);
+    if let Some(n) = checkpoint_every {
+        cfg = cfg.checkpoint_every(n);
+    }
+    let mut pool = Pool::new(cfg);
+    pool.run(0, "class Staff = class {} end;").expect("class");
+    for i in 1..writes {
+        pool.run(
+            0,
+            &format!(
+                "insert(Staff, IDView([Name = \"emp{i}\", Salary := {}]))",
+                1000 + i % 100
+            ),
+        )
+        .expect("insert");
+    }
+    pool.barrier().expect("seeded");
+    pool
+}
+
+/// One recovery: kill worker 1, then wait until its replacement has
+/// caught up with every sequenced write (the barrier round-trips through
+/// all replicas, so it returns only once the respawn has converged).
+fn respawn(pool: &mut Pool) {
+    pool.inject_worker_panic(1);
+    pool.barrier().expect("converged after respawn");
+}
+
+fn bench_respawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_respawn_latency");
+    for writes in [64u64, 256, 1024] {
+        let mut pool = pool_with_history(writes, None);
+        respawn(&mut pool); // warm-up + sanity: full-log replay
+        let replayed = pool.stats().per_worker[1].respawn_replayed;
+        assert_eq!(replayed, writes, "no checkpoint: the whole log replays");
+        group.bench_with_input(
+            BenchmarkId::new("replay_full", writes),
+            &writes,
+            |bch, _| bch.iter(|| respawn(&mut pool)),
+        );
+        pool.shutdown();
+
+        let mut pool = pool_with_history(writes, Some(32));
+        respawn(&mut pool);
+        let replayed = pool.stats().per_worker[1].respawn_replayed;
+        assert!(
+            replayed < 32,
+            "checkpointed respawn must replay only the tail, got {replayed}"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("from_checkpoint", writes),
+            &writes,
+            |bch, _| bch.iter(|| respawn(&mut pool)),
+        );
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = polyview_bench::quick();
+    targets = bench_respawn
+}
+criterion_main!(benches);

@@ -53,20 +53,27 @@
 //! query can hand the smuggled closure out). The storing statement is a
 //! write syntactically, so the observing router always sees it.
 //!
+//! One notch of that escape is closed at *application sites*: observing a
+//! direct application of a known-effectful name — or of a locally-bound
+//! alias of one (`let g = put in g(box) end`) — taints the free names of
+//! its arguments, because the called function may store into what it was
+//! handed. After `fun put b = update(b, F, insert_fn); put(box)` the name
+//! `box` is therefore effectful and a later `(box.F)(o)` classifies as a
+//! write.
+//!
 //! What remains out of reach without a type-and-effect system
-//! ([`crate::types`] does none): a store that only happens *inside a
-//! called function* taints the function's name, not the argument it is
-//! applied to — after `fun put b = update(b, F, insert_fn); put(box)` the
-//! call is sequenced (`put` is effectful) but `box` is not marked, so a
-//! later `(box.F)(o)` still classifies as a read. The same holds for
-//! targets aliased *before* the store. Callers that construct such values
-//! must force sequencing at the call site by wrapping it in a declaration
+//! ([`crate::types`] does none): an effectful closure reached through
+//! *data* rather than through a name or a direct application — e.g.
+//! `map(put, boxes)` passes `put` higher-order, so no argument of the
+//! statement is syntactically applied to it, and the elements of `boxes`
+//! are not marked. Callers that construct such values must force
+//! sequencing at the call site by wrapping it in a declaration
 //! (`val it = (box.F)(o);` — declarations always classify as writes).
 
 use polyview_parser::{parse_program, Decl, ParseError};
 use polyview_syntax::visit::{children, class_children, free_vars, walk};
 use polyview_syntax::{Expr, Name};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Whether a statement changes state any later statement can observe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -211,6 +218,22 @@ impl EffectSet {
         self.effectful.contains(name)
     }
 
+    /// The names currently known effectful, in name order — the
+    /// serializable face of the set. A checkpointing layer persists these
+    /// alongside its engine snapshot so that classification survives a
+    /// restart whose log prefix was truncated (the defining sources are
+    /// gone, so the set cannot be rebuilt by observation).
+    pub fn effectful_names(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.effectful.iter()
+    }
+
+    /// Re-mark a name as effectful (checkpoint restore). Safe in the
+    /// conservative direction: a stale extra name only costs statements
+    /// mentioning it a sequencing round-trip, never correctness.
+    pub fn mark_effectful(&mut self, name: impl Into<Name>) {
+        self.effectful.insert(name.into());
+    }
+
     /// Does `e` reference (as a free variable) any name known effectful,
     /// or contain an effect node outright?
     fn expr_carries_effect(&self, e: &Expr) -> bool {
@@ -279,6 +302,112 @@ impl EffectSet {
         }
     }
 
+    /// Mark the arguments of *direct applications* of effectful names:
+    /// after `fun put b = update(b, F, insert_fn);`, observing `put(box)`
+    /// taints `box` — the call may store an effectful closure into what it
+    /// was handed, making it reachable through a later field read. The
+    /// callee is resolved through locally-bound aliases
+    /// (`let g = put in g(box) end` taints `box` too) and respects local
+    /// shadowing (`let put = fn x => x in put(box) end` taints nothing).
+    /// Curried spines taint every argument (`put2 x box` marks both —
+    /// conservative, never the reverse). `bound` carries names the
+    /// enclosing declaration binds (fn parameters, group siblings), which
+    /// shadow globals and are never themselves tainted.
+    fn taint_app_args(&mut self, e: &Expr, bound: &BTreeSet<Name>) {
+        let mut outer = free_vars(e);
+        for b in bound {
+            outer.remove(b);
+        }
+        if outer.is_empty() {
+            return;
+        }
+        let locals: BTreeMap<Name, bool> = bound.iter().map(|n| (n.clone(), false)).collect();
+        // Fixpoint: tainting an argument can make a later application's
+        // callee (an alias of it) effectful.
+        loop {
+            let mut changed = false;
+            self.app_taint_walk(e, &outer, &locals, &mut changed);
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Is `e` (as a callee or a `let` right-hand side) a name that
+    /// resolves — through the local scope — to something effectful?
+    fn resolves_effectful(&self, e: &Expr, locals: &BTreeMap<Name, bool>) -> bool {
+        match e {
+            Expr::Var(x) => locals
+                .get(x)
+                .copied()
+                .unwrap_or_else(|| self.effectful.contains(x)),
+            _ => false,
+        }
+    }
+
+    fn app_taint_walk(
+        &mut self,
+        e: &Expr,
+        outer: &BTreeSet<Name>,
+        locals: &BTreeMap<Name, bool>,
+        changed: &mut bool,
+    ) {
+        match e {
+            Expr::App(_, _) => {
+                // Walk the application spine to its head, collecting the
+                // argument of every nesting level (curried calls).
+                let mut head = e;
+                let mut args = Vec::new();
+                while let Expr::App(f, a) = head {
+                    args.push(a.as_ref());
+                    head = f.as_ref();
+                }
+                if self.resolves_effectful(head, locals) {
+                    for arg in &args {
+                        for n in free_vars(arg) {
+                            if outer.contains(&n) && self.effectful.insert(n) {
+                                *changed = true;
+                            }
+                        }
+                    }
+                }
+                self.app_taint_walk(head, outer, locals, changed);
+                for arg in args {
+                    self.app_taint_walk(arg, outer, locals, changed);
+                }
+            }
+            Expr::Lam(x, b) | Expr::Fix(x, b) => {
+                let mut inner = locals.clone();
+                inner.insert(x.clone(), false);
+                self.app_taint_walk(b, outer, &inner, changed);
+            }
+            Expr::Let(x, rhs, body) => {
+                self.app_taint_walk(rhs, outer, locals, changed);
+                let alias = self.resolves_effectful(rhs, locals);
+                let mut inner = locals.clone();
+                inner.insert(x.clone(), alias);
+                self.app_taint_walk(body, outer, &inner, changed);
+            }
+            Expr::LetClasses(binds, body) => {
+                let mut inner = locals.clone();
+                for (c, _) in binds {
+                    inner.insert(c.clone(), false);
+                }
+                for (_, cd) in binds {
+                    for c in class_children(cd) {
+                        self.app_taint_walk(c, outer, &inner, changed);
+                    }
+                }
+                self.app_taint_walk(body, outer, &inner, changed);
+            }
+            _ => {
+                for c in children(e) {
+                    self.app_taint_walk(c, outer, locals, changed);
+                }
+            }
+        }
+    }
+
     /// Record the names a sequenced write makes effectful. Call this for
     /// every write, in log order — later statements are classified against
     /// the accumulated set.
@@ -295,6 +424,7 @@ impl EffectSet {
                     self.effectful.insert(x.clone());
                 }
                 self.taint_store_targets(e);
+                self.taint_app_args(e, &BTreeSet::new());
             }
             // `fun f … = e and g … = e';` — fixpoint over the group so
             // mutual recursion converges: f is effectful if its body has
@@ -324,6 +454,15 @@ impl EffectSet {
                     }
                 }
                 self.effectful.extend(marked);
+                // Application sites inside the bodies: `fun h x = put(box);`
+                // taints `box` even though h itself is the marked name —
+                // calling h later performs the store into box. Parameters
+                // and group siblings shadow.
+                for (_, params, body) in binds {
+                    let mut bound: BTreeSet<Name> = params.iter().cloned().collect();
+                    bound.extend(binds.iter().map(|(f, _, _)| f.clone()));
+                    self.taint_app_args(body, &bound);
+                }
             }
             // `class C = … and D = …;` — a class is effectful if any of
             // its constituent expressions (own extent, include sources,
@@ -360,7 +499,10 @@ impl EffectSet {
             // targets so the later indirect call `(box.F)(o)` classifies
             // as a write. (The storing statement itself is always a write
             // syntactically, so it is observed here in log order.)
-            Decl::Expr(e) => self.taint_store_targets(e),
+            Decl::Expr(e) => {
+                self.taint_store_targets(e);
+                self.taint_app_args(e, &BTreeSet::new());
+            }
         }
     }
 
@@ -561,6 +703,90 @@ mod tests {
             .unwrap();
         assert!(!fx.is_effectful("b"));
         assert!(fx.is_effectful("h"), "closure itself is effectful");
+    }
+
+    #[test]
+    fn direct_application_of_an_effectful_name_taints_its_argument() {
+        // Regression pin for the narrowed escape: a store that happens
+        // *inside a called function* used to leave the argument unmarked.
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun put b = update(b, F, fn x => insert(C, x));")
+            .unwrap();
+        fx.observe_program("val box = [F := fn x => x];").unwrap();
+        assert!(!fx.is_effectful("box"));
+        assert_eq!(fx.classify_program("(box.F)(o)").unwrap(), StmtClass::Read);
+        // The sequenced call `put(box)` may store into box: taint it.
+        fx.observe_program("put(box)").unwrap();
+        assert!(fx.is_effectful("box"));
+        assert_eq!(fx.classify_program("(box.F)(o)").unwrap(), StmtClass::Write);
+
+        // A *locally-bound alias* of the effectful name is followed.
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun put b = update(b, F, fn x => insert(C, x));")
+            .unwrap();
+        fx.observe_program("let g = put in g(crate_box) end")
+            .unwrap();
+        assert!(fx.is_effectful("crate_box"));
+
+        // Curried spines taint every argument (conservative direction).
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun put2 tag b = update(b, F, fn x => insert(C, x));")
+            .unwrap();
+        fx.observe_program("put2 label box2").unwrap();
+        assert!(fx.is_effectful("box2"));
+        assert!(fx.is_effectful("label"), "curried spine is tainted whole");
+
+        // Application sites inside a `fun` body taint too — calling the
+        // new function performs the inner store.
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun put b = update(b, F, fn x => insert(C, x));")
+            .unwrap();
+        fx.observe_program("fun poke x = put(shared_box);").unwrap();
+        assert!(fx.is_effectful("shared_box"));
+    }
+
+    #[test]
+    fn app_taint_respects_shadowing_and_purity() {
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun put b = update(b, F, fn x => insert(C, x));")
+            .unwrap();
+        // A local rebinding of `put` to a pure function shadows the
+        // global: nothing is tainted.
+        fx.observe_program("let put = fn x => x in put(box) end")
+            .unwrap();
+        assert!(!fx.is_effectful("box"));
+        // A lambda parameter shadows, and lambda-bound arguments name no
+        // top-level binding: `fn b => put(b)` taints no global `b`.
+        fx.observe_program("val h = fn b => put(b);").unwrap();
+        assert!(!fx.is_effectful("b"));
+        assert!(fx.is_effectful("h"), "the closure itself is effectful");
+        // Applying a *pure* function taints nothing.
+        fx.observe_program("fun id x = x;").unwrap();
+        fx.observe_program("id(box)").unwrap();
+        assert!(!fx.is_effectful("box"));
+        // Group parameters shadow inside `fun` bodies: `fun g put = put(v);`
+        // applies its parameter, not the global.
+        fx.observe_program("fun g put = put(v);").unwrap();
+        assert!(!fx.is_effectful("v"));
+    }
+
+    #[test]
+    fn effectful_names_roundtrip_through_mark() {
+        let mut fx = EffectSet::new();
+        fx.observe_program("fun f x = insert(C, x); val g = f;")
+            .unwrap();
+        let names: Vec<String> = fx
+            .effectful_names()
+            .map(|n| n.as_str().to_string())
+            .collect();
+        assert_eq!(names, ["f", "g"]);
+        // Restore into a fresh set (the checkpoint-restart path).
+        let mut restored = EffectSet::new();
+        for n in &names {
+            restored.mark_effectful(n.as_str());
+        }
+        assert!(restored.is_effectful("f") && restored.is_effectful("g"));
+        assert_eq!(restored.classify_program("g(o)").unwrap(), StmtClass::Write);
     }
 
     #[test]

@@ -21,14 +21,14 @@ use crate::prepare::{
     CacheLookup, Deps, EngineStats, Prepared, StmtCache, StmtKey, DEFAULT_STMT_CACHE_CAPACITY,
 };
 use crate::profile::ProfileReport;
-use polyview_eval::{Machine, Profile, Value};
+use polyview_eval::{decode_machine, encode_machine, Machine, Profile, Value};
 use polyview_obs::{Clock, Counter, Histogram, Registry, Span, TraceSink, Tracer};
 use polyview_parser::{parse_expr_counted, parse_program_counted, Decl, ParseStats};
 use polyview_syntax::visit::{check_rec_class_scope, free_vars};
-use polyview_syntax::{sugar, ClassDef, Expr, Label, Mono, Name, Scheme};
+use polyview_syntax::{sugar, ClassDef, Expr, Kind, Label, Mono, Name, Scheme, TyVar};
 use polyview_trans::{lower_binding, lower_statement, IndexSig, LowerStats};
 use polyview_types::{builtins_sig, generalize, infer, Infer, TypeEnv, TypeTable};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
 /// What a declaration-log replay did ([`Engine::replay`] /
@@ -249,6 +249,122 @@ impl Engine {
             }
         }
         summary
+    }
+
+    /// Serialize the complete session state to the versioned snapshot
+    /// format (DESIGN.md §17): the machine section (store, classes, value
+    /// globals — object-identity sharing preserved) plus the type side
+    /// (schemes resolved through the current substitution, free-variable
+    /// kinds, the fresh-variable counter) and the engine bookkeeping
+    /// (epochs, compile tier, index signatures, alias edges). Identical
+    /// session state encodes to identical bytes.
+    ///
+    /// The statement cache, metrics, and tracer are deliberately absent:
+    /// all are cold-start derivatives of the persisted state, so
+    /// [`Engine::from_snapshot`] ∘ [`Engine::snapshot`] is
+    /// observation-equivalent to the original engine (same bindings, same
+    /// epochs, same extent renders) without being byte-identical in
+    /// telemetry.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut globals: Vec<(Name, Scheme)> = self
+            .tenv
+            .globals()
+            .map(|(n, s)| {
+                (
+                    n.clone(),
+                    Scheme {
+                        binders: s
+                            .binders
+                            .iter()
+                            .map(|(v, k)| (*v, self.cx.resolve_kind(k)))
+                            .collect(),
+                        body: self.cx.resolve(&s.body),
+                    },
+                )
+            })
+            .collect();
+        globals.sort_by(|a, b| a.0.cmp(&b.0));
+        // Kinds of the variables still free in the resolved schemes: the
+        // only part of the inference context a restored session can ask
+        // about (instantiation reads binder kinds from the scheme itself).
+        let mut free_kinds: BTreeMap<TyVar, Kind> = BTreeMap::new();
+        for (_, s) in &globals {
+            let binders: HashSet<TyVar> = s.binders.iter().map(|(v, _)| *v).collect();
+            let mut vars = Vec::new();
+            let mut seen = HashSet::new();
+            self.cx.free_vars_deep(&s.body, &mut vars, &mut seen);
+            for v in vars {
+                if binders.contains(&v) {
+                    continue;
+                }
+                let k = self.cx.resolve_kind(&self.cx.kind_of(v));
+                if !k.is_univ() {
+                    free_kinds.insert(v, k);
+                }
+            }
+        }
+        let mut name_epochs: Vec<(Name, u64)> = self
+            .name_epochs
+            .iter()
+            .map(|(n, e)| (n.clone(), *e))
+            .collect();
+        name_epochs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut index_sigs: Vec<(Name, IndexSig)> = self
+            .index_sigs
+            .iter()
+            .map(|(n, s)| (n.clone(), s.as_ref().clone()))
+            .collect();
+        index_sigs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut alias_edges: Vec<(Name, Name)> = self
+            .alias_edges
+            .iter()
+            .map(|(a, s)| (a.clone(), s.clone()))
+            .collect();
+        alias_edges.sort_by(|a, b| a.0.cmp(&b.0));
+        crate::snapshot::encode_parts(&crate::snapshot::EngineParts {
+            machine_bytes: encode_machine(&self.machine),
+            next_var: self.cx.vars_minted(),
+            free_kinds: free_kinds.into_iter().collect(),
+            globals,
+            env_epoch: self.env_epoch,
+            name_epochs,
+            compile_tier: self.compile_tier,
+            index_sigs,
+            alias_edges,
+        })
+    }
+
+    /// Reconstruct a session from [`Engine::snapshot`] bytes. Corrupt or
+    /// truncated input, version skew, and snapshots from binaries with
+    /// different builtins all fail loudly as [`Error::Snapshot`] — never a
+    /// silently wrong engine.
+    ///
+    /// The restored engine answers every query, epoch probe, and extent
+    /// render exactly as the snapshotted one did; replaying a log tail on
+    /// top of it is equivalent to replaying the full log on a fresh
+    /// engine (the pool's bounded-recovery path, DESIGN.md §17).
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Engine, Error> {
+        let p = crate::snapshot::decode_parts(bytes)?;
+        let machine = decode_machine(&p.machine_bytes)?;
+        let mut e = Engine::new();
+        e.machine = machine;
+        e.cx.ensure_vars_above(p.next_var);
+        for (v, k) in p.free_kinds {
+            e.cx.set_kind(v, k);
+        }
+        for (n, s) in p.globals {
+            e.tenv.define_global(n, s);
+        }
+        e.env_epoch = p.env_epoch;
+        e.name_epochs = p.name_epochs.into_iter().collect();
+        e.compile_tier = p.compile_tier;
+        e.index_sigs = p
+            .index_sigs
+            .into_iter()
+            .map(|(n, s)| (n, Rc::new(s)))
+            .collect();
+        e.alias_edges = p.alias_edges.into_iter().collect();
+        Ok(e)
     }
 
     // ----- instrumented phases -----

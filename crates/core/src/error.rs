@@ -2,6 +2,7 @@
 
 use polyview_eval::RuntimeError;
 use polyview_parser::ParseError;
+use polyview_syntax::wire::WireError;
 use polyview_types::TypeError;
 use std::fmt;
 
@@ -10,6 +11,10 @@ pub enum Error {
     Parse(ParseError),
     Type(TypeError),
     Runtime(RuntimeError),
+    /// An engine snapshot failed to decode: corrupt or truncated bytes,
+    /// version skew, or a snapshot written by a binary with different
+    /// builtins ([`crate::Engine::from_snapshot`]).
+    Snapshot(WireError),
     /// A [`crate::prepare::Prepared`] statement was run against an engine
     /// whose top-level bindings changed since it was compiled; re-prepare
     /// it (the engine's internal statement cache does this automatically).
@@ -26,6 +31,7 @@ impl fmt::Display for Error {
             Error::Parse(e) => write!(f, "{e}"),
             Error::Type(e) => write!(f, "type error: {e}"),
             Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
             Error::StalePrepared => write!(
                 f,
                 "stale prepared statement: the engine's top-level bindings \
@@ -42,6 +48,7 @@ impl std::error::Error for Error {
             Error::Parse(e) => Some(e),
             Error::Type(e) => Some(e),
             Error::Runtime(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
             Error::StalePrepared | Error::Internal(_) => None,
         }
     }
@@ -65,6 +72,12 @@ impl From<RuntimeError> for Error {
     }
 }
 
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
 impl Error {
     pub fn is_type_error(&self) -> bool {
         matches!(self, Error::Type(_))
@@ -74,6 +87,9 @@ impl Error {
     }
     pub fn is_runtime_error(&self) -> bool {
         matches!(self, Error::Runtime(_))
+    }
+    pub fn is_snapshot_error(&self) -> bool {
+        matches!(self, Error::Snapshot(_))
     }
     pub fn is_stale_prepared(&self) -> bool {
         matches!(self, Error::StalePrepared)

@@ -45,6 +45,7 @@ pub mod explain;
 pub mod prelude;
 pub mod prepare;
 pub mod profile;
+pub mod snapshot;
 
 pub use classify::{classify_decl, classify_expr, classify_program, EffectSet, StmtClass};
 pub use database::Database;

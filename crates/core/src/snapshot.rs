@@ -1,0 +1,325 @@
+//! The engine snapshot envelope: a versioned byte format for the complete
+//! session state (DESIGN.md §17).
+//!
+//! Layering: the machine section — store, classes, globals, identity
+//! counter, with object-identity sharing preserved — is produced by
+//! [`polyview_eval::encode_machine`] and embedded here as one
+//! length-prefixed byte string. The envelope adds everything else a
+//! session is: the type side (globally bound schemes resolved through the
+//! current substitution, the fresh-variable counter, and the kinds of the
+//! variables left free in those schemes) and the engine bookkeeping
+//! (declaration epochs, per-name epochs, compile-tier flag, index
+//! signatures, alias edges). What is *not* serialized — the statement
+//! cache, metrics, tracer — is a cold-start derivative of what is.
+//!
+//! Why resolved schemes: the substitution itself (`Infer`'s union-find
+//! state) is session history, not session state. Resolving every scheme
+//! body through it at encode time and carrying only the kinds of the
+//! variables that remain free yields a closed description: restore needs
+//! no substitution, only `ensure_vars_above` so freshly minted variables
+//! never collide with restored ids.
+//!
+//! All maps are serialized in sorted order, so identical engine state
+//! encodes to identical bytes (the machine section's node numbering is
+//! traversal-order deterministic for the same reason).
+
+use polyview_syntax::wire::{
+    read_kind, read_label, read_name, read_scheme, write_kind, write_label, write_name,
+    write_scheme, ByteReader, ByteWriter, WireError,
+};
+use polyview_syntax::{Kind, Label, Name, Scheme, TyVar};
+
+/// First bytes of every engine snapshot (the machine section inside has
+/// its own `PVMS` magic).
+pub const ENGINE_MAGIC: [u8; 4] = *b"PVES";
+/// Envelope version; decoding any other version is a loud error.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// The flattened session state the envelope carries — the bridge between
+/// [`crate::Engine`]'s private fields and the byte format. Vectors are
+/// expected in sorted order (encode preserves whatever order it is
+/// given; `Engine::snapshot` sorts).
+pub(crate) struct EngineParts {
+    /// The [`polyview_eval::encode_machine`] section, embedded opaquely.
+    pub machine_bytes: Vec<u8>,
+    /// The inference context's fresh-variable counter at snapshot time.
+    pub next_var: u32,
+    /// Kinds of type variables that remain free in the resolved global
+    /// schemes (only non-`U` kinds; everything absent is universal).
+    pub free_kinds: Vec<(TyVar, Kind)>,
+    /// Every globally bound scheme, resolved through the substitution.
+    pub globals: Vec<(Name, Scheme)>,
+    pub env_epoch: u64,
+    pub name_epochs: Vec<(Name, u64)>,
+    pub compile_tier: bool,
+    /// Index signatures of index-abstracted bindings (compile tier).
+    pub index_sigs: Vec<(Name, Vec<(TyVar, Label)>)>,
+    /// `val g = f;` alias edges (alias → source).
+    pub alias_edges: Vec<(Name, Name)>,
+}
+
+pub(crate) fn encode_parts(p: &EngineParts) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for b in ENGINE_MAGIC {
+        w.u8(b);
+    }
+    w.u32(ENGINE_VERSION);
+    w.bytes(&p.machine_bytes);
+    w.u32(p.next_var);
+    w.usize(p.free_kinds.len());
+    for (v, k) in &p.free_kinds {
+        w.u32(*v);
+        write_kind(&mut w, k);
+    }
+    w.usize(p.globals.len());
+    for (n, s) in &p.globals {
+        write_name(&mut w, n);
+        write_scheme(&mut w, s);
+    }
+    w.u64(p.env_epoch);
+    w.usize(p.name_epochs.len());
+    for (n, e) in &p.name_epochs {
+        write_name(&mut w, n);
+        w.u64(*e);
+    }
+    w.bool(p.compile_tier);
+    w.usize(p.index_sigs.len());
+    for (n, sig) in &p.index_sigs {
+        write_name(&mut w, n);
+        w.usize(sig.len());
+        for (v, l) in sig {
+            w.u32(*v);
+            write_label(&mut w, l);
+        }
+    }
+    w.usize(p.alias_edges.len());
+    for (alias, src) in &p.alias_edges {
+        write_name(&mut w, alias);
+        write_name(&mut w, src);
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn decode_parts(bytes: &[u8]) -> Result<EngineParts, WireError> {
+    let mut r = ByteReader::new(bytes);
+    for expected in ENGINE_MAGIC {
+        if r.u8("magic")? != expected {
+            return Err(WireError::Malformed(
+                "bad magic: not an engine snapshot".into(),
+            ));
+        }
+    }
+    let version = r.u32("version")?;
+    if version != ENGINE_VERSION {
+        return Err(WireError::Malformed(format!(
+            "unsupported engine snapshot version {version} (this binary reads {ENGINE_VERSION})"
+        )));
+    }
+    let machine_bytes = r.bytes("machine section")?.to_vec();
+    let next_var = r.u32("type-variable counter")?;
+    let n = r.count("free-kind count")?;
+    let mut free_kinds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.u32("kinded variable")?;
+        free_kinds.push((v, read_kind(&mut r)?));
+    }
+    let n = r.count("global scheme count")?;
+    let mut globals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_name(&mut r)?;
+        globals.push((name, read_scheme(&mut r)?));
+    }
+    let env_epoch = r.u64("env epoch")?;
+    let n = r.count("name-epoch count")?;
+    let mut name_epochs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_name(&mut r)?;
+        name_epochs.push((name, r.u64("name epoch")?));
+    }
+    let compile_tier = r.bool("compile-tier flag")?;
+    let n = r.count("index-signature count")?;
+    let mut index_sigs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_name(&mut r)?;
+        let m = r.count("index-signature arity")?;
+        let mut sig = Vec::with_capacity(m);
+        for _ in 0..m {
+            let v = r.u32("index variable")?;
+            sig.push((v, read_label(&mut r)?));
+        }
+        index_sigs.push((name, sig));
+    }
+    let n = r.count("alias-edge count")?;
+    let mut alias_edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let alias = read_name(&mut r)?;
+        alias_edges.push((alias, read_name(&mut r)?));
+    }
+    if !r.finished() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after engine snapshot",
+            r.remaining()
+        )));
+    }
+    Ok(EngineParts {
+        machine_bytes,
+        next_var,
+        free_kinds,
+        globals,
+        env_epoch,
+        name_epochs,
+        compile_tier,
+        index_sigs,
+        alias_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Engine;
+
+    const SESSION: &str = r#"
+        class Staff = class {} end;
+        class Female = class {} include Staff as fn x => [Name = x.Name]
+            where fn x => query(fn p => p.Sex = "female", x) end;
+        insert(Staff, IDView([Name = "Ada", Sex = "female", Salary := 100]));
+        insert(Staff, IDView([Name = "Joe", Sex = "male", Salary := 200]));
+        val bob = IDView([Name = "Bob", Sex = "male", Salary := 50]);
+        insert(Staff, bob);
+        val total = fn s => hom(s, fn o => query(fn x => x.Salary, o), fn a => fn b => a + b, 0);
+        fun pay s = cquery(total, s) and twice x = total(x) + total(x);
+        val pay2 = pay;
+    "#;
+
+    const RENDER: &str = "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Staff)";
+
+    fn session_engine() -> Engine {
+        let mut e = Engine::new();
+        e.load_prelude().expect("prelude");
+        e.exec(SESSION).expect("session executes");
+        e
+    }
+
+    #[test]
+    fn roundtrip_preserves_session_observations() {
+        let mut orig = session_engine();
+        let mut restored = Engine::from_snapshot(&orig.snapshot()).expect("decodes");
+        assert_eq!(restored.env_epoch(), orig.env_epoch());
+        for name in ["Staff", "Female", "total", "pay", "pay2", "map"] {
+            assert_eq!(
+                restored.name_epoch(name),
+                orig.name_epoch(name),
+                "epoch of {name}"
+            );
+            assert_eq!(
+                restored.scheme_of(name).map(|s| s.to_string()),
+                orig.scheme_of(name).map(|s| s.to_string()),
+                "scheme of {name}"
+            );
+        }
+        for probe in [
+            RENDER,
+            "cquery(fn s => map(fn o => query(fn x => x.Name, o), s), Female)",
+            "pay(Staff)",
+            "pay2(Staff)",
+            "twice(cquery(fn s => s, Staff))",
+        ] {
+            assert_eq!(
+                restored.eval_to_string(probe).expect("restored serves"),
+                orig.eval_to_string(probe).expect("original serves"),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_then_tail_replay_matches_full_replay() {
+        // Snapshot mid-log, replay a tail on the restored engine, and the
+        // result must match replaying everything on a fresh engine — the
+        // soundness statement the pool's bounded recovery leans on.
+        let tail = [
+            "insert(Staff, IDView([Name = \"Eva\", Sex = \"female\", Salary := 300]))",
+            "val shout = fn n => concat n \"!\";",
+            "val loud = cquery(fn s => map(fn o => shout(query(fn x => x.Name, o)), s), Staff)",
+        ];
+        let mut full = session_engine();
+        let mut restored = Engine::from_snapshot(&session_engine().snapshot()).expect("decodes");
+        for entry in tail {
+            let a = full.exec(entry).map(|_| ()).map_err(|e| e.to_string());
+            let b = restored.exec(entry).map(|_| ()).map_err(|e| e.to_string());
+            assert_eq!(a, b, "entry {entry} agrees");
+        }
+        for probe in [RENDER, "loud", "pay(Staff)"] {
+            assert_eq!(
+                restored.eval_to_string(probe).expect("restored"),
+                full.eval_to_string(probe).expect("full"),
+                "probe {probe}"
+            );
+        }
+        assert_eq!(restored.env_epoch(), full.env_epoch());
+    }
+
+    #[test]
+    fn mutation_after_restore_stays_identity_correct() {
+        // `bob` was inserted into Staff before the snapshot, so the global
+        // binding and the class extent share one raw record. A restore
+        // must preserve that sharing: mutating through the global must be
+        // visible through the extent, exactly as on the original.
+        let mut orig = session_engine();
+        let mut restored = Engine::from_snapshot(&orig.snapshot()).expect("decodes");
+        let probe = "cquery(fn s => map(fn o => query(fn x => x.Salary, o), s), Staff)";
+        for eng in [&mut orig, &mut restored] {
+            eng.exec("query(fn x => update(x, Salary, 777), bob)")
+                .expect("mutate through the shared record");
+        }
+        let got = restored.eval_to_string(probe).expect("restored");
+        assert_eq!(got, orig.eval_to_string(probe).expect("original"));
+        assert!(
+            got.contains("777"),
+            "extent sees the mutation through the shared slot: {got}"
+        );
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        assert_eq!(
+            session_engine().snapshot(),
+            session_engine().snapshot(),
+            "identical sessions encode to identical bytes"
+        );
+    }
+
+    #[test]
+    fn corrupt_envelope_is_loud() {
+        let e = session_engine();
+        let good = e.snapshot();
+        assert!(Engine::from_snapshot(b"nonsense").is_err());
+        assert!(Engine::from_snapshot(&good[..good.len() / 2]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(7);
+        assert!(Engine::from_snapshot(&trailing).is_err());
+        let mut skew = good;
+        skew[4] = 0xEE;
+        assert!(Engine::from_snapshot(&skew).is_err());
+    }
+
+    #[test]
+    fn restored_engine_keeps_polymorphism() {
+        // Restored schemes instantiate at fresh variables that never
+        // collide with restored ids: the prelude's polymorphic `map` must
+        // instantiate at two different element types post-restore, and
+        // new polymorphic bindings must generalize and instantiate too.
+        let mut restored = Engine::from_snapshot(&session_engine().snapshot()).expect("decodes");
+        restored
+            .exec(
+                "val ints = map(fn x => x + 1, {1, 2});
+                 val strs = map(fn s => concat s \"!\", {\"a\"});
+                 val idf = fn x => x;
+                 val p = idf(1);
+                 val q = idf(\"s\");",
+            )
+            .expect("post-restore instantiations type-check");
+        assert_eq!(restored.eval_to_string("ints").unwrap(), "{2, 3}");
+        assert_eq!(restored.eval_to_string("pay(Staff)").unwrap(), "350");
+    }
+}

@@ -45,6 +45,21 @@ impl Env {
         self.0.is_none()
     }
 
+    /// The most recent binding and the rest of the chain, or `None` for
+    /// the empty environment. The snapshot encoder walks chains with
+    /// this; ordinary evaluation goes through [`Env::lookup`].
+    pub fn head(&self) -> Option<(&Name, &Value, &Env)> {
+        self.0.as_ref().map(|n| (&n.name, &n.value, &n.next))
+    }
+
+    /// Address identity of the head node (`None` when empty). Closures
+    /// share environment *tails* structurally (`bind` is persistent), and
+    /// the snapshot encoder memoizes shared tails by this address so a
+    /// chain shared by many closures is serialized once.
+    pub fn node_ptr(&self) -> Option<*const ()> {
+        self.0.as_ref().map(|n| Rc::as_ptr(n) as *const ())
+    }
+
     /// How many links a lookup of `name` inspects: 1-based position of the
     /// binding, or the full chain length on a miss (a global/builtin hit
     /// walks the entire local chain first). This is the profiler's

@@ -17,6 +17,7 @@ pub mod env;
 pub mod error;
 pub mod machine;
 pub mod profile;
+pub mod snapshot;
 pub mod store;
 pub mod value;
 
@@ -24,4 +25,5 @@ pub use env::Env;
 pub use error::RuntimeError;
 pub use machine::{Machine, MachineStats};
 pub use profile::{FallbackSite, HotNode, Profile, ProfileNode, ViewRecompute};
+pub use snapshot::{decode_machine, encode_machine};
 pub use value::{Key, SetVal, Value, ViewFn};

@@ -130,6 +130,14 @@ impl Machine {
         m
     }
 
+    /// Append a hand-built class (snapshot tests construct class tables
+    /// without going through `class … end` evaluation).
+    #[cfg(test)]
+    pub(crate) fn push_class_for_test(&mut self, cd: ClassData) -> ClassId {
+        self.classes.push(cd);
+        self.classes.len() - 1
+    }
+
     /// A machine with an evaluation budget (for property tests over
     /// programs containing `fix`).
     pub fn with_fuel(fuel: u64) -> Self {
@@ -142,6 +150,46 @@ impl Machine {
         let id = self.next_id;
         self.next_id += 1;
         id
+    }
+
+    /// The next identity this machine would mint (snapshots persist it so
+    /// a restored machine never reuses a live id).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The store-mutation epoch (snapshots persist it so extent-cache
+    /// invalidation stays monotone across a restore).
+    pub fn class_epoch(&self) -> u64 {
+        self.class_epoch
+    }
+
+    /// Reassemble a machine from snapshot-decoded parts (`crate::snapshot`).
+    /// The decoder has already validated internal consistency (slot and
+    /// class ids in range, `next_id` above every live id). Caches, stats,
+    /// and the profiler start cold — all are correctness-neutral
+    /// derivatives of the persisted state.
+    pub(crate) fn restore(
+        store: Store,
+        classes: Vec<ClassData>,
+        globals: HashMap<Name, Value>,
+        next_id: u64,
+        class_epoch: u64,
+        fuel: Option<u64>,
+    ) -> Machine {
+        Machine {
+            store,
+            classes,
+            globals,
+            next_id,
+            fuel,
+            extent_cache_enabled: false,
+            extent_cache: HashMap::new(),
+            class_epoch,
+            stats: MachineStats::default(),
+            profiler: None,
+            profile_clock: Rc::new(WallClock::new()),
+        }
     }
 
     /// Install a global value binding (used by the engine for top-level

@@ -1,0 +1,968 @@
+//! Machine snapshots: a versioned byte encoding of the complete evaluator
+//! state — store, class table, global value environment, identity counter,
+//! and mutation epoch — with **object-identity sharing preserved**.
+//!
+//! The encoding follows the no-serde discipline of `polyview_syntax::wire`
+//! (hand-rolled, std-only, versioned header, loud decode errors). What it
+//! adds over plain structural encoding is a *node table*: every shared
+//! allocation (`Rc<RecordVal>`, `Rc<Closure>`, `Rc<Builtin>`, `Rc<ObjVal>`,
+//! set maps, environment chain nodes, closure bodies, layouts, and view
+//! functions) is serialized once at its first visit (`NODE_DEF`, which
+//! implicitly assigns the next table index) and referenced by index
+//! everywhere else (`NODE_REF`). The decoder memoizes indexes back to
+//! fresh `Rc`s, so a record reachable from two globals decodes to one
+//! allocation reachable from two globals — shared ids round-trip as
+//! shared, never duplicated. Slot-level sharing (the paper's `extract`)
+//! is free: `SlotId`s are indexes into the one flat store section.
+//!
+//! Soundness leans on an invariant of the evaluator: the value graph is
+//! **acyclic**. Recursion ties its knot at application time (a `fix`
+//! closure re-binds itself into its environment when applied, it does not
+//! capture itself), so a pre-order `NODE_DEF` walk terminates and every
+//! `NODE_REF` points at a node whose contents were already decoded.
+//!
+//! What is deliberately *not* serialized: the extent cache, work-counter
+//! stats, and the profiler — all cold-start derivatives of the persisted
+//! state. Builtin function pointers cannot cross a process boundary, so a
+//! builtin serializes its name, id, and applied arguments; the decoder
+//! re-resolves the pointer from [`crate::builtins::natives`] and rejects
+//! names the running binary does not know.
+
+use crate::builtins;
+use crate::env::Env;
+use crate::machine::{ClassData, IncludeSpec, Machine};
+use crate::store::Store;
+use crate::value::{Builtin, Closure, ObjVal, RecordVal, SetVal, Value, ViewFn};
+use polyview_syntax::wire::{
+    read_expr, read_label, read_layout, read_name, write_expr, write_label, write_layout,
+    write_name, ByteReader, ByteWriter, WireError,
+};
+use polyview_syntax::{Expr, Layout, Name};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// First bytes of every machine snapshot.
+pub const MACHINE_MAGIC: [u8; 4] = *b"PVMS";
+/// Format version; decoding any other version is a loud error.
+pub const MACHINE_VERSION: u32 = 1;
+
+const NODE_DEF: u8 = 0;
+const NODE_REF: u8 = 1;
+
+const KIND_RECORD: u8 = 0;
+const KIND_SET: u8 = 1;
+const KIND_CLOSURE: u8 = 2;
+const KIND_BUILTIN: u8 = 3;
+const KIND_OBJ: u8 = 4;
+const KIND_ENV: u8 = 5;
+const KIND_EXPR: u8 = 6;
+const KIND_LAYOUT: u8 = 7;
+const KIND_VIEW: u8 = 8;
+
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_RECORD => "record",
+        KIND_SET => "set",
+        KIND_CLOSURE => "closure",
+        KIND_BUILTIN => "builtin",
+        KIND_OBJ => "object",
+        KIND_ENV => "env node",
+        KIND_EXPR => "expr",
+        KIND_LAYOUT => "layout",
+        KIND_VIEW => "view fn",
+        _ => "unknown",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    w: ByteWriter,
+    /// `Rc` allocation address → node-table index. Addresses are unique
+    /// across all *live* allocations and the borrowed machine keeps every
+    /// encoded allocation alive for the whole walk, so one map covers all
+    /// node kinds.
+    memo: HashMap<usize, u32>,
+}
+
+impl Enc {
+    /// Emit a node: a `NODE_REF` if `ptr` was seen before, otherwise a
+    /// `NODE_DEF` (implicitly assigning the next index, pre-order) whose
+    /// contents `body` writes.
+    fn node(&mut self, ptr: usize, kind: u8, body: impl FnOnce(&mut Enc)) {
+        if let Some(&idx) = self.memo.get(&ptr) {
+            self.w.u8(NODE_REF);
+            self.w.u32(idx);
+        } else {
+            let idx = u32::try_from(self.memo.len()).expect("node table overflow");
+            self.memo.insert(ptr, idx);
+            self.w.u8(NODE_DEF);
+            self.w.u8(kind);
+            body(self);
+        }
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Unit => self.w.u8(0),
+            Value::Int(i) => {
+                self.w.u8(1);
+                self.w.i64(*i);
+            }
+            Value::Bool(b) => {
+                self.w.u8(2);
+                self.w.bool(*b);
+            }
+            Value::Str(s) => {
+                self.w.u8(3);
+                self.w.str(s);
+            }
+            Value::Record(r) => {
+                self.w.u8(4);
+                self.record(r);
+            }
+            Value::Set(s) => {
+                self.w.u8(5);
+                self.set(s);
+            }
+            Value::Closure(c) => {
+                self.w.u8(6);
+                self.closure(c);
+            }
+            Value::Builtin(b) => {
+                self.w.u8(7);
+                self.builtin(b);
+            }
+            Value::LValue(slot) => {
+                self.w.u8(8);
+                self.w.usize(*slot);
+            }
+            Value::Obj(o) => {
+                self.w.u8(9);
+                self.obj(o);
+            }
+            Value::Class(c) => {
+                self.w.u8(10);
+                self.w.usize(*c);
+            }
+        }
+    }
+
+    fn record(&mut self, r: &Rc<RecordVal>) {
+        self.node(Rc::as_ptr(r) as usize, KIND_RECORD, |e| {
+            e.w.u64(r.id);
+            e.layout(&r.layout);
+            e.w.usize(r.slots.len());
+            for s in &r.slots {
+                e.w.usize(*s);
+            }
+        });
+    }
+
+    fn layout(&mut self, l: &Rc<Layout>) {
+        self.node(Rc::as_ptr(l) as usize, KIND_LAYOUT, |e| {
+            write_layout(&mut e.w, l);
+        });
+    }
+
+    fn set(&mut self, s: &SetVal) {
+        self.node(Rc::as_ptr(&s.0) as usize, KIND_SET, |e| {
+            e.w.usize(s.len());
+            // Values only: keys are recomputed on decode (`Value::key` is
+            // deterministic given the ids, which round-trip).
+            for v in s.values() {
+                e.value(v);
+            }
+        });
+    }
+
+    fn closure(&mut self, c: &Rc<Closure>) {
+        self.node(Rc::as_ptr(c) as usize, KIND_CLOSURE, |e| {
+            e.w.u64(c.id);
+            match &c.fix_name {
+                None => e.w.bool(false),
+                Some(n) => {
+                    e.w.bool(true);
+                    write_name(&mut e.w, n);
+                }
+            }
+            write_name(&mut e.w, &c.param);
+            e.expr(&c.body);
+            e.env(&c.env);
+        });
+    }
+
+    fn expr(&mut self, body: &Rc<Expr>) {
+        self.node(Rc::as_ptr(body) as usize, KIND_EXPR, |e| {
+            write_expr(&mut e.w, body);
+        });
+    }
+
+    fn builtin(&mut self, b: &Rc<Builtin>) {
+        self.node(Rc::as_ptr(b) as usize, KIND_BUILTIN, |e| {
+            e.w.u64(b.id);
+            e.w.str(b.name);
+            e.w.usize(b.arity);
+            e.w.usize(b.args.len());
+            for a in &b.args {
+                e.value(a);
+            }
+        });
+    }
+
+    fn obj(&mut self, o: &Rc<ObjVal>) {
+        self.node(Rc::as_ptr(o) as usize, KIND_OBJ, |e| {
+            e.w.u64(o.id);
+            e.value(&o.raw);
+            e.viewfn(&o.view);
+        });
+    }
+
+    fn viewfn(&mut self, vf: &ViewFn) {
+        match vf {
+            ViewFn::Identity => self.w.u8(0),
+            ViewFn::Fn(v) => {
+                self.w.u8(1);
+                self.value(v);
+            }
+            ViewFn::Compose(inner, outer) => {
+                self.w.u8(2);
+                self.view_node(inner);
+                self.view_node(outer);
+            }
+            ViewFn::Tuple(vs) => {
+                self.w.u8(3);
+                self.w.usize(vs.len());
+                for v in vs {
+                    self.view_node(v);
+                }
+            }
+            ViewFn::RelFields(fs) => {
+                self.w.u8(4);
+                self.w.usize(fs.len());
+                for (l, v) in fs {
+                    write_label(&mut self.w, l);
+                    self.view_node(v);
+                }
+            }
+        }
+    }
+
+    fn view_node(&mut self, vf: &Rc<ViewFn>) {
+        self.node(Rc::as_ptr(vf) as usize, KIND_VIEW, |e| {
+            e.viewfn(vf);
+        });
+    }
+
+    fn env(&mut self, env: &Env) {
+        match env.head() {
+            None => self.w.u8(0),
+            Some((name, value, next)) => {
+                self.w.u8(1);
+                let ptr = env.node_ptr().expect("non-empty env has a node") as usize;
+                self.node(ptr, KIND_ENV, |e| {
+                    write_name(&mut e.w, name);
+                    e.value(value);
+                    e.env(next);
+                });
+            }
+        }
+    }
+}
+
+/// Serialize the complete machine state to the versioned byte format.
+/// Infallible: every reachable value has an encoding.
+pub fn encode_machine(m: &Machine) -> Vec<u8> {
+    let mut e = Enc {
+        w: ByteWriter::new(),
+        memo: HashMap::new(),
+    };
+    for b in MACHINE_MAGIC {
+        e.w.u8(b);
+    }
+    e.w.u32(MACHINE_VERSION);
+    match m.fuel {
+        None => e.w.bool(false),
+        Some(f) => {
+            e.w.bool(true);
+            e.w.u64(f);
+        }
+    }
+    e.w.u64(m.next_id());
+    e.w.u64(m.class_epoch());
+    e.w.usize(m.store.len());
+    e.w.usize(m.class_count());
+    for slot in 0..m.store.len() {
+        e.value(m.store.get(slot));
+    }
+    for cid in 0..m.class_count() {
+        let cd = m.class_data(cid);
+        e.w.usize(cd.own_slot);
+        e.w.usize(cd.includes.len());
+        for inc in &cd.includes {
+            e.w.usize(inc.sources.len());
+            for s in &inc.sources {
+                e.w.usize(*s);
+            }
+            e.value(&inc.view);
+            e.value(&inc.pred);
+        }
+    }
+    // Sorted for a deterministic byte stream (HashMap order is not).
+    let mut globals: Vec<_> = m.globals_iter().collect();
+    globals.sort_by(|a, b| a.0.cmp(b.0));
+    e.w.usize(globals.len());
+    for (name, v) in globals {
+        write_name(&mut e.w, name);
+        e.value(v);
+    }
+    e.w.into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A decoded node-table entry. Cloning clones the `Rc`, which is exactly
+/// how `NODE_REF` restores sharing.
+#[derive(Clone)]
+enum DecNode {
+    Record(Rc<RecordVal>),
+    Set(SetVal),
+    Closure(Rc<Closure>),
+    Builtin(Rc<Builtin>),
+    Obj(Rc<ObjVal>),
+    Env(Env),
+    Expr(Rc<Expr>),
+    Layout(Rc<Layout>),
+    View(Rc<ViewFn>),
+}
+
+struct Dec<'a> {
+    r: ByteReader<'a>,
+    /// Table index → decoded node. `None` marks a definition still being
+    /// decoded; a reference to it would mean a cycle, which the encoder
+    /// cannot produce (the value graph is acyclic), so it is rejected.
+    nodes: Vec<Option<DecNode>>,
+    /// Bounds from the header, for validating ids as they are read.
+    store_len: usize,
+    class_count: usize,
+    next_id: u64,
+    /// Builtin name → (arity, fn pointer), resolved from the running
+    /// binary.
+    natives: HashMap<&'static str, (usize, builtins::NativeFn)>,
+}
+
+impl<'a> Dec<'a> {
+    fn node(&mut self, expect: u8) -> Result<DecNode, WireError> {
+        match self.r.u8("node framing")? {
+            NODE_DEF => {
+                let idx = self.nodes.len();
+                self.nodes.push(None);
+                let kind = self.r.u8("node kind")?;
+                if kind != expect {
+                    return Err(WireError::Malformed(format!(
+                        "expected {} node, found {}",
+                        kind_name(expect),
+                        kind_name(kind)
+                    )));
+                }
+                let n = self.node_body(kind)?;
+                self.nodes[idx] = Some(n.clone());
+                Ok(n)
+            }
+            NODE_REF => {
+                let idx = self.r.u32("node index")? as usize;
+                match self.nodes.get(idx) {
+                    Some(Some(n)) => {
+                        let n = n.clone();
+                        self.check_ref_kind(&n, expect, idx)?;
+                        Ok(n)
+                    }
+                    Some(None) => Err(WireError::Malformed(format!(
+                        "reference to node {idx} from inside its own definition (cycle)"
+                    ))),
+                    None => Err(WireError::Malformed(format!(
+                        "dangling reference to undefined node {idx}"
+                    ))),
+                }
+            }
+            tag => Err(WireError::BadTag {
+                what: "node framing",
+                tag,
+            }),
+        }
+    }
+
+    fn check_ref_kind(&self, n: &DecNode, expect: u8, idx: usize) -> Result<(), WireError> {
+        let got = match n {
+            DecNode::Record(_) => KIND_RECORD,
+            DecNode::Set(_) => KIND_SET,
+            DecNode::Closure(_) => KIND_CLOSURE,
+            DecNode::Builtin(_) => KIND_BUILTIN,
+            DecNode::Obj(_) => KIND_OBJ,
+            DecNode::Env(_) => KIND_ENV,
+            DecNode::Expr(_) => KIND_EXPR,
+            DecNode::Layout(_) => KIND_LAYOUT,
+            DecNode::View(_) => KIND_VIEW,
+        };
+        if got != expect {
+            return Err(WireError::Malformed(format!(
+                "node {idx} is a {} but was referenced as a {}",
+                kind_name(got),
+                kind_name(expect)
+            )));
+        }
+        Ok(())
+    }
+
+    fn node_body(&mut self, kind: u8) -> Result<DecNode, WireError> {
+        match kind {
+            KIND_RECORD => {
+                let id = self.id("record id")?;
+                let layout = self.layout()?;
+                let n = self.r.count("record slot count")?;
+                let mut slots = Vec::with_capacity(n);
+                for _ in 0..n {
+                    slots.push(self.slot("record slot")?);
+                }
+                if slots.len() != layout.len() {
+                    return Err(WireError::Malformed(format!(
+                        "record {id} has {} slots but its layout has {} fields",
+                        slots.len(),
+                        layout.len()
+                    )));
+                }
+                Ok(DecNode::Record(Rc::new(RecordVal { id, layout, slots })))
+            }
+            KIND_SET => {
+                let n = self.r.count("set element count")?;
+                let mut elems = Vec::with_capacity(n);
+                for _ in 0..n {
+                    elems.push(self.value()?);
+                }
+                // Keys are recomputed: deterministic given the decoded ids.
+                Ok(DecNode::Set(SetVal::from_elems(elems)))
+            }
+            KIND_CLOSURE => {
+                let id = self.id("closure id")?;
+                let fix_name = if self.r.bool("fix-name present")? {
+                    Some(read_name(&mut self.r)?)
+                } else {
+                    None
+                };
+                let param = read_name(&mut self.r)?;
+                let body = self.expr()?;
+                let env = self.env()?;
+                Ok(DecNode::Closure(Rc::new(Closure {
+                    id,
+                    fix_name,
+                    param,
+                    body,
+                    env,
+                })))
+            }
+            KIND_BUILTIN => {
+                let id = self.id("builtin id")?;
+                let name = self.r.str("builtin name")?;
+                let arity = self.r.usize("builtin arity")?;
+                let Some(&(native_arity, f)) = self.natives.get(name.as_str()) else {
+                    return Err(WireError::Malformed(format!(
+                        "snapshot references builtin {name:?}, unknown to this binary"
+                    )));
+                };
+                if arity != native_arity {
+                    return Err(WireError::Malformed(format!(
+                        "builtin {name:?} arity mismatch: snapshot says {arity}, binary says {native_arity}"
+                    )));
+                }
+                let n = self.r.count("builtin applied-arg count")?;
+                if n >= arity.max(1) {
+                    return Err(WireError::Malformed(format!(
+                        "builtin {name:?} carries {n} applied args at arity {arity}"
+                    )));
+                }
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(self.value()?);
+                }
+                // The name's &'static str comes from the natives table, not
+                // the snapshot buffer.
+                let name: &'static str = self
+                    .natives
+                    .keys()
+                    .find(|k| **k == name.as_str())
+                    .copied()
+                    .expect("present: resolved above");
+                Ok(DecNode::Builtin(Rc::new(Builtin {
+                    id,
+                    name,
+                    arity,
+                    args,
+                    f,
+                })))
+            }
+            KIND_OBJ => {
+                let id = self.id("object id")?;
+                let raw = self.value()?;
+                let view = self.viewfn()?;
+                Ok(DecNode::Obj(Rc::new(ObjVal { id, raw, view })))
+            }
+            KIND_ENV => {
+                let name = read_name(&mut self.r)?;
+                let value = self.value()?;
+                let next = self.env()?;
+                Ok(DecNode::Env(next.bind(name, value)))
+            }
+            KIND_EXPR => Ok(DecNode::Expr(Rc::new(read_expr(&mut self.r)?))),
+            KIND_LAYOUT => Ok(DecNode::Layout(Rc::new(read_layout(&mut self.r)?))),
+            KIND_VIEW => Ok(DecNode::View(Rc::new(self.viewfn()?))),
+            tag => Err(WireError::BadTag {
+                what: "node kind",
+                tag,
+            }),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        Ok(match self.r.u8("value tag")? {
+            0 => Value::Unit,
+            1 => Value::Int(self.r.i64("int value")?),
+            2 => Value::Bool(self.r.bool("bool value")?),
+            3 => Value::str(self.r.str("str value")?),
+            4 => match self.node(KIND_RECORD)? {
+                DecNode::Record(r) => Value::Record(r),
+                _ => unreachable!("kind checked"),
+            },
+            5 => match self.node(KIND_SET)? {
+                DecNode::Set(s) => Value::Set(s),
+                _ => unreachable!("kind checked"),
+            },
+            6 => match self.node(KIND_CLOSURE)? {
+                DecNode::Closure(c) => Value::Closure(c),
+                _ => unreachable!("kind checked"),
+            },
+            7 => match self.node(KIND_BUILTIN)? {
+                DecNode::Builtin(b) => Value::Builtin(b),
+                _ => unreachable!("kind checked"),
+            },
+            8 => Value::LValue(self.slot("lvalue slot")?),
+            9 => match self.node(KIND_OBJ)? {
+                DecNode::Obj(o) => Value::Obj(o),
+                _ => unreachable!("kind checked"),
+            },
+            10 => Value::Class(self.class_id("class value")?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "value tag",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn layout(&mut self) -> Result<Rc<Layout>, WireError> {
+        match self.node(KIND_LAYOUT)? {
+            DecNode::Layout(l) => Ok(l),
+            _ => unreachable!("kind checked"),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Rc<Expr>, WireError> {
+        match self.node(KIND_EXPR)? {
+            DecNode::Expr(e) => Ok(e),
+            _ => unreachable!("kind checked"),
+        }
+    }
+
+    fn viewfn(&mut self) -> Result<ViewFn, WireError> {
+        Ok(match self.r.u8("view-fn tag")? {
+            0 => ViewFn::Identity,
+            1 => ViewFn::Fn(self.value()?),
+            2 => {
+                let inner = self.view_node()?;
+                let outer = self.view_node()?;
+                ViewFn::Compose(inner, outer)
+            }
+            3 => {
+                let n = self.r.count("view tuple arity")?;
+                let mut vs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vs.push(self.view_node()?);
+                }
+                ViewFn::Tuple(vs)
+            }
+            4 => {
+                let n = self.r.count("view field count")?;
+                let mut fs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let l = read_label(&mut self.r)?;
+                    fs.push((l, self.view_node()?));
+                }
+                ViewFn::RelFields(fs)
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "view-fn tag",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn view_node(&mut self) -> Result<Rc<ViewFn>, WireError> {
+        match self.node(KIND_VIEW)? {
+            DecNode::View(v) => Ok(v),
+            _ => unreachable!("kind checked"),
+        }
+    }
+
+    fn env(&mut self) -> Result<Env, WireError> {
+        match self.r.u8("env tag")? {
+            0 => Ok(Env::empty()),
+            1 => match self.node(KIND_ENV)? {
+                DecNode::Env(e) => Ok(e),
+                _ => unreachable!("kind checked"),
+            },
+            tag => Err(WireError::BadTag {
+                what: "env tag",
+                tag,
+            }),
+        }
+    }
+
+    fn slot(&mut self, what: &'static str) -> Result<usize, WireError> {
+        let s = self.r.usize(what)?;
+        if s >= self.store_len {
+            return Err(WireError::Malformed(format!(
+                "{what} {s} out of range (store has {} slots)",
+                self.store_len
+            )));
+        }
+        Ok(s)
+    }
+
+    fn class_id(&mut self, what: &'static str) -> Result<usize, WireError> {
+        let c = self.r.usize(what)?;
+        if c >= self.class_count {
+            return Err(WireError::Malformed(format!(
+                "{what} {c} out of range (table has {} classes)",
+                self.class_count
+            )));
+        }
+        Ok(c)
+    }
+
+    fn id(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let id = self.r.u64(what)?;
+        if id >= self.next_id {
+            return Err(WireError::Malformed(format!(
+                "{what} {id} not below the identity counter {}",
+                self.next_id
+            )));
+        }
+        Ok(id)
+    }
+}
+
+/// Reconstruct a machine from bytes produced by [`encode_machine`].
+/// Anything else — truncation, version skew, dangling node references,
+/// out-of-range slot/class/identity ids, unknown builtins, trailing
+/// garbage — is a loud [`WireError`], never a silently wrong machine.
+pub fn decode_machine(bytes: &[u8]) -> Result<Machine, WireError> {
+    let mut d = Dec {
+        r: ByteReader::new(bytes),
+        nodes: Vec::new(),
+        store_len: 0,
+        class_count: 0,
+        next_id: 0,
+        natives: builtins::natives()
+            .into_iter()
+            .map(|(name, arity, f)| (name, (arity, f)))
+            .collect(),
+    };
+    for expected in MACHINE_MAGIC {
+        if d.r.u8("magic")? != expected {
+            return Err(WireError::Malformed(
+                "bad magic: not a machine snapshot".into(),
+            ));
+        }
+    }
+    let version = d.r.u32("version")?;
+    if version != MACHINE_VERSION {
+        return Err(WireError::Malformed(format!(
+            "unsupported machine snapshot version {version} (this binary reads {MACHINE_VERSION})"
+        )));
+    }
+    let fuel = if d.r.bool("fuel present")? {
+        Some(d.r.u64("fuel")?)
+    } else {
+        None
+    };
+    d.next_id = d.r.u64("identity counter")?;
+    let class_epoch = d.r.u64("class epoch")?;
+    d.store_len = d.r.count("store length")?;
+    d.class_count = d.r.count("class count")?;
+
+    let mut store = Store::new();
+    for _ in 0..d.store_len {
+        let v = d.value()?;
+        store.alloc(v);
+    }
+
+    let mut classes = Vec::with_capacity(d.class_count);
+    for _ in 0..d.class_count {
+        let own_slot = d.slot("class own-extent slot")?;
+        let n = d.r.count("include count")?;
+        let mut includes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ns = d.r.count("include source count")?;
+            let mut sources = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                sources.push(d.class_id("include source")?);
+            }
+            let view = d.value()?;
+            let pred = d.value()?;
+            includes.push(IncludeSpec {
+                sources,
+                view,
+                pred,
+            });
+        }
+        classes.push(ClassData { own_slot, includes });
+    }
+
+    let count = d.r.count("global count")?;
+    let mut globals = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name: Name = read_name(&mut d.r)?;
+        let v = d.value()?;
+        globals.insert(name, v);
+    }
+
+    if !d.r.finished() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after machine snapshot",
+            d.r.remaining()
+        )));
+    }
+    let next_id = d.next_id;
+    Ok(Machine::restore(
+        store,
+        classes,
+        globals,
+        next_id,
+        class_epoch,
+        fuel,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyview_syntax::{Label, Lit};
+
+    fn roundtrip(m: &Machine) -> Machine {
+        decode_machine(&encode_machine(m)).expect("roundtrip decodes")
+    }
+
+    #[test]
+    fn fresh_machine_roundtrips() {
+        let m = Machine::new();
+        let r = roundtrip(&m);
+        assert_eq!(r.next_id(), m.next_id());
+        assert_eq!(r.class_epoch(), 0);
+        assert_eq!(r.store.len(), 0);
+        assert_eq!(r.class_count(), 0);
+        assert_eq!(r.globals_iter().count(), m.globals_iter().count());
+    }
+
+    #[test]
+    fn restored_builtins_are_callable() {
+        let m = Machine::new();
+        let mut r = roundtrip(&m);
+        let e = Expr::app(
+            Expr::app(Expr::Var(Label::new("add")), Expr::Lit(Lit::Int(2))),
+            Expr::Lit(Lit::Int(40)),
+        );
+        let v = r.eval(&e).expect("add applies");
+        assert!(matches!(v, Value::Int(42)));
+    }
+
+    #[test]
+    fn shared_record_identity_survives() {
+        let mut m = Machine::new();
+        let slot = m.store.alloc(Value::Int(1));
+        let id = m.fresh_id();
+        let rec = Rc::new(RecordVal {
+            id,
+            layout: Rc::new(Layout::new([(Label::new("A"), true)])),
+            slots: vec![slot],
+        });
+        m.define_global("x", Value::Record(rec.clone()));
+        m.define_global("y", Value::Record(rec));
+        let r = roundtrip(&m);
+        let x = r.global(&Label::new("x")).unwrap().as_record().unwrap();
+        let y = r.global(&Label::new("y")).unwrap().as_record().unwrap();
+        assert!(Rc::ptr_eq(x, y), "shared record decoded as one allocation");
+        assert_eq!(x.id, id);
+        // Slot-level sharing: both see the same store cell.
+        let mut r = roundtrip(&m);
+        r.store.set(slot, Value::Int(99));
+        let x = r.global(&Label::new("x")).unwrap().as_record().unwrap();
+        assert!(matches!(r.store.get(x.slots[0]), Value::Int(99)));
+    }
+
+    #[test]
+    fn distinct_records_stay_distinct() {
+        let mut m = Machine::new();
+        let layout = Rc::new(Layout::new([(Label::new("A"), true)]));
+        let s1 = m.store.alloc(Value::Int(1));
+        let s2 = m.store.alloc(Value::Int(1));
+        let id1 = m.fresh_id();
+        let id2 = m.fresh_id();
+        m.define_global(
+            "x",
+            Value::Record(Rc::new(RecordVal {
+                id: id1,
+                layout: layout.clone(),
+                slots: vec![s1],
+            })),
+        );
+        m.define_global(
+            "y",
+            Value::Record(Rc::new(RecordVal {
+                id: id2,
+                layout,
+                slots: vec![s2],
+            })),
+        );
+        let r = roundtrip(&m);
+        let x = r.global(&Label::new("x")).unwrap().as_record().unwrap();
+        let y = r.global(&Label::new("y")).unwrap().as_record().unwrap();
+        assert!(!Rc::ptr_eq(x, y));
+        assert_ne!(x.id, y.id);
+        // The shared *layout* still decodes to one allocation.
+        assert!(Rc::ptr_eq(&x.layout, &y.layout));
+    }
+
+    #[test]
+    fn closure_env_and_body_sharing_survives() {
+        let mut m = Machine::new();
+        let env = Env::empty().bind(Label::new("n"), Value::Int(7));
+        let body = Rc::new(Expr::Var(Label::new("n")));
+        let c1 = Closure {
+            id: m.fresh_id(),
+            fix_name: None,
+            param: Label::new("x"),
+            body: body.clone(),
+            env: env.clone(),
+        };
+        let c2 = Closure {
+            id: m.fresh_id(),
+            fix_name: None,
+            param: Label::new("y"),
+            body,
+            env,
+        };
+        m.define_global("f", Value::Closure(Rc::new(c1)));
+        m.define_global("g", Value::Closure(Rc::new(c2)));
+        let mut r = roundtrip(&m);
+        let (f, g) = match (
+            r.global(&Label::new("f")).unwrap().clone(),
+            r.global(&Label::new("g")).unwrap().clone(),
+        ) {
+            (Value::Closure(f), Value::Closure(g)) => (f, g),
+            other => panic!("expected closures, got {other:?}"),
+        };
+        assert!(Rc::ptr_eq(&f.body, &g.body), "shared body stays shared");
+        assert_eq!(f.env.node_ptr(), g.env.node_ptr(), "shared env chain");
+        let v = r
+            .eval(&Expr::app(Expr::Var(Label::new("f")), Expr::Lit(Lit::Unit)))
+            .expect("captured binding applies");
+        assert!(matches!(v, Value::Int(7)));
+    }
+
+    #[test]
+    fn sets_and_objects_roundtrip() {
+        let mut m = Machine::new();
+        let slot = m.store.alloc(Value::str("ann"));
+        let raw_id = m.fresh_id();
+        let raw = Value::Record(Rc::new(RecordVal {
+            id: raw_id,
+            layout: Rc::new(Layout::new([(Label::new("Name"), true)])),
+            slots: vec![slot],
+        }));
+        let o1 = Value::Obj(Rc::new(ObjVal {
+            id: m.fresh_id(),
+            raw: raw.clone(),
+            view: ViewFn::Identity,
+        }));
+        let o2 = Value::Obj(Rc::new(ObjVal {
+            id: m.fresh_id(),
+            raw,
+            view: ViewFn::Identity,
+        }));
+        let set = Value::Set(SetVal::from_elems([o1, o2]));
+        m.define_global("s", set.clone());
+        let r = roundtrip(&m);
+        let got = r.global(&Label::new("s")).unwrap();
+        // objeq identifies the two objects (same raw id): one element in,
+        // one element out, and the rendering agrees.
+        assert_eq!(got.as_set().unwrap().len(), set.as_set().unwrap().len());
+        assert_eq!(r.show(got), m.show(&set));
+        // The raw record behind the surviving object is the same
+        // allocation graph: its id survived.
+        let obj = got.as_set().unwrap().values().next().unwrap();
+        assert_eq!(obj.as_obj().unwrap().raw.as_record().unwrap().id, raw_id);
+    }
+
+    #[test]
+    fn classes_roundtrip() {
+        let mut m = Machine::new();
+        let own = m.store.alloc(Value::Set(SetVal::empty()));
+        m.push_class_for_test(ClassData {
+            own_slot: own,
+            includes: vec![IncludeSpec {
+                sources: vec![0],
+                view: Value::Closure(Rc::new(Closure {
+                    id: 100,
+                    fix_name: None,
+                    param: Label::new("x"),
+                    body: Rc::new(Expr::Var(Label::new("x"))),
+                    env: Env::empty(),
+                })),
+                pred: Value::Bool(true),
+            }],
+        });
+        // Keep next_id above the closure id minted by hand.
+        while m.next_id() <= 100 {
+            m.fresh_id();
+        }
+        let r = roundtrip(&m);
+        assert_eq!(r.class_count(), 1);
+        let cd = r.class_data(0);
+        assert_eq!(cd.own_slot, own);
+        assert_eq!(cd.includes.len(), 1);
+        assert_eq!(cd.includes[0].sources, vec![0]);
+    }
+
+    #[test]
+    fn corrupt_input_is_loud() {
+        assert!(decode_machine(b"garbage").is_err());
+        assert!(decode_machine(b"").is_err());
+        let good = encode_machine(&Machine::new());
+        assert!(
+            decode_machine(&good[..good.len() - 1]).is_err(),
+            "truncated"
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_machine(&trailing).is_err(), "trailing bytes");
+        let mut wrong_version = good;
+        wrong_version[4] = 0xFF;
+        assert!(decode_machine(&wrong_version).is_err(), "version skew");
+    }
+}

@@ -261,7 +261,11 @@ impl Pool {
         c.insert("pool.rejected_full".to_string(), self.rejected_full);
         c.insert("pool.respawns".to_string(), self.respawns);
         c.insert("pool.log_len".to_string(), log_len);
+        c.insert("pool.log_base".to_string(), self.log.base());
         let mut replay_errors = 0u64;
+        let mut checkpoints = 0u64;
+        let mut checkpoint_ns = 0u64;
+        let mut respawn_replayed = 0u64;
         for (i, w) in self.workers.iter().enumerate() {
             let applied = w.shared.applied.load(Ordering::Relaxed);
             snap.gauges.insert(
@@ -272,12 +276,24 @@ impl Pool {
                 format!("pool.worker{i}.replay_lag"),
                 log_len.saturating_sub(applied),
             );
+            snap.gauges.insert(
+                format!("pool.worker{i}.respawn_replayed"),
+                w.shared.respawn_replayed.load(Ordering::Relaxed),
+            );
             replay_errors =
                 replay_errors.saturating_add(w.shared.replay_errors.load(Ordering::Relaxed));
+            checkpoints = checkpoints.saturating_add(w.shared.checkpoints.load(Ordering::Relaxed));
+            checkpoint_ns =
+                checkpoint_ns.saturating_add(w.shared.checkpoint_ns.load(Ordering::Relaxed));
+            respawn_replayed =
+                respawn_replayed.saturating_add(w.shared.respawn_replayed.load(Ordering::Relaxed));
         }
         // Summed across replicas; a respawn resets one replica's tally,
         // which the windowed saturating delta absorbs.
         c.insert("pool.replay_errors".to_string(), replay_errors);
+        c.insert("pool.checkpoints".to_string(), checkpoints);
+        c.insert("pool.checkpoint_ns".to_string(), checkpoint_ns);
+        c.insert("pool.respawn_replayed".to_string(), respawn_replayed);
         snap
     }
 
@@ -316,6 +332,17 @@ impl Pool {
         }
         if !rows.is_empty() && rows.iter().all(|r| r.queue_depth >= capacity) {
             unhealthy.push("every worker queue is at capacity".to_string());
+        }
+        // Replay errors are deterministic across replicas (same entry,
+        // same state), so *any* error means a sequenced write failed on
+        // every replica that has reached it — the log carries a statement
+        // the pool cannot apply. That is broken state, not load: surface
+        // it as unhealthy, not merely as a windowed rate.
+        let replay_errors: u64 = rows.iter().map(|r| r.replay_errors).sum();
+        if replay_errors > 0 {
+            unhealthy.push(format!(
+                "{replay_errors} replay error(s): a sequenced write fails on every replica"
+            ));
         }
         let (busy_rate, error_rate, window_span_ns) = match self.window() {
             Some(w) => (

@@ -36,10 +36,18 @@
 //! no cross-replica wait.
 //!
 //! Workers are supervised: a panicked worker's thread is detected and
-//! respawned, and the replacement **replays the log from offset 0**,
-//! converging with its peers before it serves anything
-//! ([`Pool::stats`] counts respawns). The whole crate is std-only — no
-//! external dependencies enter the tier-1 build graph.
+//! respawned, and the replacement converges with its peers before it
+//! serves anything ([`Pool::stats`] counts respawns). With
+//! [`PoolConfig::checkpoint_every`] set, replicas periodically publish an
+//! engine **checkpoint** ([`polyview::Engine::snapshot`]), so a respawn
+//! restores the newest checkpoint and replays only the log *tail* above
+//! it — bounding recovery by the checkpoint interval instead of the full
+//! write history — and the router **compacts** the log below the
+//! checkpoint (offsets stay absolute; [`TruncatedRead`] is loud). With
+//! [`PoolConfig::snapshot_dir`] also set, the newest checkpoint is
+//! persisted so a *restarted process* resumes from it (DESIGN.md §17).
+//! The whole crate is std-only — no external dependencies enter the
+//! tier-1 build graph.
 //!
 //! ```
 //! use polyview_pool::{Pool, PoolConfig};
@@ -55,6 +63,7 @@
 //! pool.shutdown();
 //! ```
 
+mod checkpoint;
 mod health;
 mod log;
 mod router;
@@ -63,7 +72,7 @@ mod supervisor;
 mod telemetry;
 mod worker;
 
-pub use crate::log::DeclLog;
+pub use crate::log::{DeclLog, TruncatedRead};
 pub use health::{Health, HealthReport, HealthThresholds, WindowConfig, WorkerRow};
 pub use polyview::obs::{
     CollectingEventSink, EventRecord, EventSink, JsonLinesEventSink, NullEventSink, SharedClock,
@@ -141,6 +150,20 @@ pub struct PoolConfig {
     /// quantiles are computable ([`Pool::window`]). `None` (default):
     /// windowing off — ticking is a single branch with zero clock reads.
     pub stats_window: Option<WindowConfig>,
+    /// Publish an engine checkpoint every N applied writes per replica
+    /// (the replicas race; only the newest is kept). Bounds what a
+    /// respawn replays — at most N−1 entries plus whatever was sequenced
+    /// since the last checkpoint landed — and arms log compaction.
+    /// `None` (default): never checkpoint, never truncate — respawns
+    /// replay the full history (the pre-checkpoint behavior).
+    pub checkpoint_every: Option<u64>,
+    /// Directory the newest checkpoint is persisted to (atomic
+    /// write-then-rename; older files pruned). On construction the pool
+    /// restores the newest valid checkpoint found there, making state
+    /// survive process restarts at checkpoint granularity — writes after
+    /// the last persisted checkpoint are lost. `None` (default): memory
+    /// only. Only useful together with [`PoolConfig::checkpoint_every`].
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for PoolConfig {
@@ -159,6 +182,8 @@ impl Default for PoolConfig {
             profile_sample_every: None,
             health: HealthThresholds::default(),
             stats_window: None,
+            checkpoint_every: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -179,6 +204,8 @@ impl std::fmt::Debug for PoolConfig {
             .field("profile_sample_every", &self.profile_sample_every)
             .field("health", &self.health)
             .field("stats_window", &self.stats_window)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("snapshot_dir", &self.snapshot_dir)
             .finish_non_exhaustive()
     }
 }
@@ -269,6 +296,20 @@ impl PoolConfig {
         self.stats_window = Some(w);
         self
     }
+
+    /// Checkpoint every `n` applied writes per replica (`n` clamped to at
+    /// least 1), bounding respawn replay and arming log compaction.
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = Some(n.max(1));
+        self
+    }
+
+    /// Persist the newest checkpoint to `dir` and restore from it at
+    /// construction (see the field docs for the durability contract).
+    pub fn snapshot_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
 }
 
 /// Errors crossing the pool boundary.
@@ -357,7 +398,9 @@ impl From<polyview::Error> for PoolError {
             polyview::Error::Type(_) => PoolError::Type(rendered),
             polyview::Error::Runtime(_) => PoolError::Runtime(rendered),
             polyview::Error::StalePrepared => PoolError::StalePrepared,
-            polyview::Error::Internal(_) => PoolError::Internal(rendered),
+            polyview::Error::Snapshot(_) | polyview::Error::Internal(_) => {
+                PoolError::Internal(rendered)
+            }
         }
     }
 }

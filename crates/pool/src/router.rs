@@ -8,6 +8,7 @@
 //! non-decreasing offsets, and a worker's catch-up-then-serve loop never
 //! observes a gap.
 
+use crate::checkpoint::CheckpointStore;
 use crate::log::DeclLog;
 use crate::supervisor::{spawn_worker, WorkerHandle};
 use crate::telemetry::{RequestTrace, SlowRequest, Telemetry};
@@ -199,6 +200,9 @@ pub struct Pool {
     /// log) — one instance for the pool's lifetime, shared with every
     /// worker across respawns.
     pub(crate) telemetry: Arc<Telemetry>,
+    /// The newest engine checkpoint (workers publish, the router reads it
+    /// for bootstrap, log truncation, and snapshot-dir persistence).
+    pub(crate) checkpoints: Arc<CheckpointStore>,
     pub(crate) respawns: u64,
     pub(crate) submitted_reads: u64,
     pub(crate) submitted_writes: u64,
@@ -211,7 +215,22 @@ pub struct Pool {
 impl Pool {
     pub fn new(cfg: PoolConfig) -> Pool {
         assert!(cfg.workers >= 1, "a pool needs at least one worker");
-        let log = Arc::new(DeclLog::new());
+        // With a snapshot directory, restart resumes from the newest
+        // persisted checkpoint: the log starts fully compacted at the
+        // checkpoint's offset and every replica bootstraps from its
+        // engine bytes. Writes sequenced *after* the last persisted
+        // checkpoint did not survive the previous process — the log is
+        // in-memory by design; the checkpoint interval is the durability
+        // granularity.
+        let (checkpoints, restored) = match &cfg.snapshot_dir {
+            Some(dir) => CheckpointStore::open(dir.clone()),
+            None => (CheckpointStore::in_memory(), None),
+        };
+        let checkpoints = Arc::new(checkpoints);
+        let log = Arc::new(match &restored {
+            Some(r) => DeclLog::with_base(r.offset),
+            None => DeclLog::new(),
+        });
         let mut effects = EffectSet::new();
         if cfg.load_prelude {
             // Replicas load the prelude before serving; classification
@@ -219,9 +238,20 @@ impl Pool {
             // but that is not this module's invariant to assume).
             let _ = effects.observe_program(polyview::prelude::PRELUDE);
         }
+        if let Some(r) = &restored {
+            // Re-arm classification: the sources that declared these
+            // names effectful live in the compacted prefix and can never
+            // be re-observed. The persisted set was taken at (or after)
+            // the checkpoint's offset, so it is a superset of the names
+            // effectful *at* the offset — conservative-safe: an extra
+            // name only routes some pure statements through the log.
+            for name in &r.effects {
+                effects.mark_effectful(name.as_str());
+            }
+        }
         let telemetry = Arc::new(Telemetry::new(&cfg));
         let workers = (0..cfg.workers)
-            .map(|i| spawn_worker(i, 0, &cfg, &log, &telemetry))
+            .map(|i| spawn_worker(i, 0, &cfg, &log, &telemetry, &checkpoints))
             .collect();
         let window = cfg.stats_window.map(crate::health::PoolWindow::new);
         Pool {
@@ -230,6 +260,7 @@ impl Pool {
             workers,
             effects,
             telemetry,
+            checkpoints,
             respawns: 0,
             submitted_reads: 0,
             submitted_writes: 0,
@@ -247,9 +278,38 @@ impl Pool {
         self.workers.len()
     }
 
-    /// Number of writes sequenced so far.
+    /// Number of writes sequenced so far (absolute — compaction does not
+    /// shrink it).
     pub fn log_len(&self) -> u64 {
         self.log.len()
+    }
+
+    /// The log's truncation point: entries below this offset have been
+    /// compacted away (0 until checkpointing produces one).
+    pub fn log_base(&self) -> u64 {
+        self.log.base()
+    }
+
+    /// Grow the pool by `k` replicas. New workers bootstrap from the
+    /// newest checkpoint and replay only the log tail above it — growth
+    /// cost is bounded by the checkpoint interval, not by the full write
+    /// history (without checkpointing they replay from offset 0, exactly
+    /// like a respawn). Session affinity remaps over the new width, so
+    /// some existing sessions migrate; replicas are interchangeable, so
+    /// only their statement-cache warmth is lost.
+    pub fn add_workers(&mut self, k: usize) {
+        for _ in 0..k {
+            let index = self.workers.len();
+            self.workers.push(spawn_worker(
+                index,
+                0,
+                &self.cfg,
+                &self.log,
+                &self.telemetry,
+                &self.checkpoints,
+            ));
+        }
+        self.cfg.workers = self.workers.len();
     }
 
     /// The declaration log (shared with every replica).
@@ -363,7 +423,7 @@ impl Pool {
         // enqueue the batch while holding the log lock — nothing is
         // sequenced unless the queue accepted the request.
         let mut entries = self.log.lock();
-        let base = entries.len() as u64;
+        let base = entries.next_offset();
         let mut next = base;
         let mut items = Vec::with_capacity(stmts.len());
         let mut writes = Vec::new();
@@ -396,7 +456,7 @@ impl Pool {
         }) {
             Ok(()) => {
                 for src in &writes {
-                    entries.push(Arc::from(*src));
+                    entries.push(src);
                 }
                 drop(entries);
                 for src in &writes {
@@ -414,6 +474,7 @@ impl Pool {
                             let _ = self.try_send(i, Request::CatchUp { upto: next });
                         }
                     }
+                    self.compact_log();
                 }
                 Ok(Submit::Queued(BatchTicket {
                     worker,
@@ -619,6 +680,43 @@ impl Pool {
         self.shutdown_inner();
     }
 
+    /// Compact the log: persist the newest checkpoint to the snapshot
+    /// directory (no-op without one), then drop every entry below
+    /// `min(newest checkpoint offset, min over replicas of applied)`.
+    /// Both bounds are necessary: a future bootstrap reads from the
+    /// checkpoint offset, and a live replica (or a dead one about to be
+    /// respawned — its frozen `applied` gauge is conservative) reads from
+    /// its own `applied`. Returns the new truncation point. Runs after
+    /// every sequenced write; without checkpointing it never truncates
+    /// anything, which is exactly the pre-checkpoint behavior.
+    pub fn compact_log(&mut self) -> u64 {
+        let Some(cp) = self.checkpoints.latest_offset() else {
+            return self.log.base();
+        };
+        self.persist_checkpoint();
+        let min_applied = self
+            .workers
+            .iter()
+            .map(|w| w.shared.applied.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0);
+        self.log.truncate_below(cp.min(min_applied));
+        self.log.base()
+    }
+
+    /// Write the newest checkpoint (plus the router's current effect
+    /// names — see `Pool::new` on why they must travel with it) to the
+    /// snapshot directory. No-op without a directory or when the newest
+    /// checkpoint is already on disk.
+    fn persist_checkpoint(&self) {
+        let effects: Vec<String> = self
+            .effects
+            .effectful_names()
+            .map(|n| n.as_str().to_string())
+            .collect();
+        self.checkpoints.persist_latest(&effects);
+    }
+
     fn shutdown_inner(&mut self) {
         for handle in self.workers.drain(..) {
             // Best effort explicit shutdown, then disconnect the queue —
@@ -628,6 +726,10 @@ impl Pool {
             drop(handle.tx);
             let _ = handle.join.join();
         }
+        // Final durability point, after the drain so the slot holds the
+        // newest checkpoint any worker published while finishing its
+        // queue: a shutdown between compaction passes must not lose it.
+        self.persist_checkpoint();
     }
 
     // ----- dispatch internals -----
@@ -704,7 +806,7 @@ impl Pool {
         // log), and no other thread can observe the offset before the
         // entry is in place.
         let mut entries = self.log.lock();
-        let offset = entries.len() as u64;
+        let offset = entries.next_offset();
         // Enqueue stamp before the send (see `dispatch_read`).
         if let Some(t) = trace.as_mut() {
             self.telemetry.stamp_enqueue(t);
@@ -722,7 +824,7 @@ impl Pool {
             trace,
         }) {
             Ok(()) => {
-                entries.push(Arc::from(src));
+                entries.push(src);
                 drop(entries);
                 // The write is sequenced: record the names it makes
                 // effectful, so later statements that *use* them classify
@@ -742,6 +844,7 @@ impl Pool {
                         let _ = self.try_send(i, Request::CatchUp { upto: offset + 1 });
                     }
                 }
+                self.compact_log();
                 Submit::Queued(self.ticket(worker, Some(offset), rx, trace))
             }
             Err(_) => {

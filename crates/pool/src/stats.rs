@@ -32,6 +32,11 @@ pub struct WorkerStats {
     pub queue_depth: u64,
     /// Replayed entries that failed (identical across in-sync replicas).
     pub replay_errors: u64,
+    /// Log entries this incarnation replayed at bootstrap: the tail above
+    /// its boot checkpoint, or the whole log without one. The acceptance
+    /// number for bounded recovery — crash at offset L with a checkpoint
+    /// at K means exactly L−K here.
+    pub respawn_replayed: u64,
     /// The replica's declaration epoch.
     pub env_epoch: u64,
     pub engine: EngineStats,
@@ -87,13 +92,14 @@ impl std::fmt::Display for PoolStats {
         for w in &self.per_worker {
             writeln!(
                 f,
-                "worker {}   gen={} applied={} lag={} depth={} replay-errors={} epoch={}",
+                "worker {}   gen={} applied={} lag={} depth={} replay-errors={} respawn-replayed={} epoch={}",
                 w.worker,
                 w.generation,
                 w.applied,
                 w.replay_lag,
                 w.queue_depth,
                 w.replay_errors,
+                w.respawn_replayed,
                 w.env_epoch
             )?;
             if let Some(p) = &w.profile {
@@ -211,6 +217,20 @@ impl Pool {
             .set(stats.submitted_writes);
         reg.counter("pool.rejected_full").set(stats.rejected_full);
         reg.counter("pool.respawns").set(stats.respawns);
+        reg.counter("pool.log_base").set(self.log.base());
+        let mut checkpoints = 0u64;
+        let mut checkpoint_ns = 0u64;
+        let mut respawn_replayed = 0u64;
+        for w in &self.workers {
+            checkpoints = checkpoints.saturating_add(w.shared.checkpoints.load(Ordering::Relaxed));
+            checkpoint_ns =
+                checkpoint_ns.saturating_add(w.shared.checkpoint_ns.load(Ordering::Relaxed));
+            respawn_replayed =
+                respawn_replayed.saturating_add(w.shared.respawn_replayed.load(Ordering::Relaxed));
+        }
+        reg.counter("pool.checkpoints").set(checkpoints);
+        reg.counter("pool.checkpoint_ns").set(checkpoint_ns);
+        reg.counter("pool.respawn_replayed").set(respawn_replayed);
         reg.gauge("pool.slow_requests")
             .set(stats.slow_requests.len() as u64);
         for w in &stats.per_worker {
@@ -220,6 +240,8 @@ impl Pool {
             reg.gauge(&format!("pool.worker{i}.replay_lag"))
                 .set(w.replay_lag);
             reg.gauge(&format!("pool.worker{i}.applied")).set(w.applied);
+            reg.gauge(&format!("pool.worker{i}.respawn_replayed"))
+                .set(w.respawn_replayed);
             reg.gauge(&format!("pool.worker{i}.profile_samples"))
                 .set(w.profile_samples);
         }
@@ -275,6 +297,7 @@ impl Pool {
                 replay_lag: log_len.saturating_sub(r.applied),
                 queue_depth: self.workers[i].shared.depth.load(Ordering::Relaxed),
                 replay_errors: r.replay_errors,
+                respawn_replayed: r.respawn_replayed,
                 env_epoch: r.env_epoch,
                 engine: r.stats,
                 profile_samples: r.profile_samples,

@@ -4,8 +4,10 @@
 //! The failure model is crash-only: a worker that panics (evaluator bug,
 //! injected crash) takes its whole replica down — there is no partial
 //! state to repair, because the replacement rebuilds the replica
-//! deterministically by replaying the declaration log from offset 0
-//! ([`crate::log::DeclLog`]). In-flight requests on the dead worker's
+//! deterministically: it restores the pool's newest checkpoint
+//! ([`crate::checkpoint::CheckpointStore`]) when one exists and replays
+//! only the declaration-log tail above it ([`crate::log::DeclLog`]) —
+//! from offset 0 when no checkpoint has been published yet. In-flight requests on the dead worker's
 //! queue are lost; their tickets resolve to
 //! [`crate::PoolError::WorkerLost`] (the reply senders drop with the
 //! queue). What a caller does next depends on what was lost: a **read**
@@ -20,11 +22,13 @@
 //! monitor thread — a dead worker is respawned before the next request
 //! could be routed to it, which is the only moment liveness matters.
 
+use crate::checkpoint::CheckpointStore;
 use crate::log::DeclLog;
 use crate::router::Pool;
 use crate::telemetry::Telemetry;
 use crate::worker::{worker_main, Request, WorkerCfg, WorkerShared};
 use crate::PoolConfig;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -48,6 +52,7 @@ pub(crate) fn spawn_worker(
     cfg: &PoolConfig,
     log: &Arc<DeclLog>,
     telemetry: &Arc<Telemetry>,
+    checkpoints: &Arc<CheckpointStore>,
 ) -> WorkerHandle {
     let (tx, rx) = sync_channel(cfg.queue_capacity);
     let shared = Arc::new(WorkerShared::default());
@@ -55,14 +60,27 @@ pub(crate) fn spawn_worker(
         fuel: cfg.fuel,
         load_prelude: cfg.load_prelude,
         profile_sample_every: cfg.profile_sample_every,
+        checkpoint_every: cfg.checkpoint_every,
     };
-    // The replay horizon must be read on *this* (router) thread: the
-    // router is the only appender, so no write can be sequenced between
-    // this read and the handle becoming routable — every offset >=
-    // `backlog` reaches the worker as an explicit request. Reading the
-    // length on the worker thread instead would race with a write
-    // sequenced right after spawn and double-apply its entry.
+    // The boot checkpoint and the replay horizon must both be read on
+    // *this* (router) thread, checkpoint first: checkpoint offsets only
+    // grow and never exceed the log head, so this order guarantees
+    // `backlog >= boot.offset`. And the router is the only appender, so
+    // no write can be sequenced between the `backlog` read and the handle
+    // becoming routable — every offset >= `backlog` reaches the worker as
+    // an explicit request. Reading the length on the worker thread
+    // instead would race with a write sequenced right after spawn and
+    // double-apply its entry.
+    let boot = checkpoints.latest();
     let backlog = log.len();
+    // Seed the lag gauge with the boot offset *before* the thread runs:
+    // the router's compaction pass takes the min over `shared.applied`,
+    // and a freshly spawned worker reporting 0 while bootstrapping from a
+    // checkpoint at offset K would stall truncation (harmless) — but a
+    // respawn during compaction must never make the pass think offset 0
+    // is still needed when the replica will in fact never read below K.
+    let boot_offset = boot.as_ref().map_or(0, |cp| cp.offset);
+    shared.applied.store(boot_offset, Ordering::Relaxed);
     let join = std::thread::Builder::new()
         .name(format!("pool-worker-{index}"))
         .stack_size(cfg.stack_bytes)
@@ -70,7 +88,21 @@ pub(crate) fn spawn_worker(
             let log = Arc::clone(log);
             let shared = Arc::clone(&shared);
             let telemetry = Arc::clone(telemetry);
-            move || worker_main(index, generation, wcfg, log, shared, telemetry, rx, backlog)
+            let checkpoints = Arc::clone(checkpoints);
+            move || {
+                worker_main(
+                    index,
+                    generation,
+                    wcfg,
+                    log,
+                    shared,
+                    telemetry,
+                    checkpoints,
+                    boot,
+                    rx,
+                    backlog,
+                )
+            }
         })
         .expect("spawn pool worker thread");
     WorkerHandle {
@@ -83,15 +115,23 @@ pub(crate) fn spawn_worker(
 
 impl Pool {
     /// Respawn every worker whose thread has exited (panic or poison).
-    /// The replacement replays the log from offset 0 before serving;
-    /// respawns are counted in [`crate::PoolStats::respawns`]. Returns how
-    /// many workers were respawned by this call.
+    /// The replacement bootstraps from the newest checkpoint (or offset 0
+    /// without one) and replays the log tail before serving; respawns are
+    /// counted in [`crate::PoolStats::respawns`]. Returns how many workers
+    /// were respawned by this call.
     pub(crate) fn supervise(&mut self) -> usize {
         let mut respawned = 0;
         for i in 0..self.workers.len() {
             if self.workers[i].join.is_finished() {
                 let generation = self.workers[i].generation + 1;
-                let fresh = spawn_worker(i, generation, &self.cfg, &self.log, &self.telemetry);
+                let fresh = spawn_worker(
+                    i,
+                    generation,
+                    &self.cfg,
+                    &self.log,
+                    &self.telemetry,
+                    &self.checkpoints,
+                );
                 let old = std::mem::replace(&mut self.workers[i], fresh);
                 // Reap the dead thread; a panic here is already accounted
                 // for (that's why we are respawning).

@@ -20,6 +20,7 @@
 //! recursion get the same headroom [`polyview::engine::with_stack_size`]
 //! provides on the single-engine path.
 
+use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::log::DeclLog;
 use crate::telemetry::{RequestTrace, Telemetry};
 use crate::PoolError;
@@ -103,6 +104,10 @@ pub struct WorkerReport {
     pub applied: u64,
     /// Replayed entries that failed (deterministic across replicas).
     pub replay_errors: u64,
+    /// Log entries this incarnation replayed at bootstrap — the log tail
+    /// above its boot checkpoint (or the whole log without one). The
+    /// number the checkpoint tier exists to bound.
+    pub respawn_replayed: u64,
     /// The replica's declaration epoch — equal on all replicas that have
     /// applied the same log prefix.
     pub env_epoch: u64,
@@ -125,6 +130,13 @@ pub(crate) struct WorkerShared {
     pub depth: AtomicU64,
     pub applied: AtomicU64,
     pub replay_errors: AtomicU64,
+    /// Entries replayed by this incarnation's bootstrap (stored once,
+    /// after catch-up; per-incarnation, not cumulative).
+    pub respawn_replayed: AtomicU64,
+    /// Checkpoints this incarnation has published.
+    pub checkpoints: AtomicU64,
+    /// Total nanoseconds this incarnation spent encoding checkpoints.
+    pub checkpoint_ns: AtomicU64,
 }
 
 /// The engine-affecting slice of [`crate::PoolConfig`], shipped to the
@@ -134,6 +146,7 @@ pub(crate) struct WorkerCfg {
     pub fuel: Option<u64>,
     pub load_prelude: bool,
     pub profile_sample_every: Option<u64>,
+    pub checkpoint_every: Option<u64>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -144,24 +157,57 @@ pub(crate) fn worker_main(
     log: Arc<DeclLog>,
     shared: Arc<WorkerShared>,
     telemetry: Arc<Telemetry>,
+    checkpoints: Arc<CheckpointStore>,
+    boot: Option<Checkpoint>,
     rx: Receiver<Request>,
     backlog: u64,
 ) {
+    // Bootstrap from the newest checkpoint when one exists: restore the
+    // checkpointed engine and start replay at its offset instead of 0. A
+    // restored engine keeps the *snapshot's* remaining fuel rather than
+    // taking a fresh `cfg.fuel` budget — fuel is a total per-replica
+    // budget and the checkpoint producer already spent its share
+    // deterministically; granting a refill at respawn would let a
+    // crash-looping replica outrun its siblings.
+    let (engine, boot_offset) = match &boot {
+        Some(cp) => {
+            let engine = Engine::from_snapshot(&cp.engine).unwrap_or_else(|e| {
+                // In-memory checkpoint bytes are this binary's own encode
+                // output and dir-loaded bytes were validated at open; a
+                // decode failure here is corruption, not a recoverable
+                // state — crash loudly and let supervision respawn (the
+                // next boot re-reads the slot).
+                panic!(
+                    "pool worker {index}: checkpoint at offset {} failed to restore: {e}",
+                    cp.offset
+                )
+            });
+            (engine, cp.offset)
+        }
+        None => (
+            match cfg.fuel {
+                Some(f) => Engine::with_fuel(f),
+                None => Engine::new(),
+            },
+            0,
+        ),
+    };
     let mut w = Worker {
-        engine: match cfg.fuel {
-            Some(f) => Engine::with_fuel(f),
-            None => Engine::new(),
-        },
+        engine,
         log,
         shared,
         index,
         generation,
-        applied: 0,
+        applied: boot_offset,
         sample_every: cfg.profile_sample_every,
         served: 0,
         profile_acc: Profile::default(),
         profile_samples: 0,
+        checkpoints,
+        checkpoint_every: cfg.checkpoint_every,
+        respawn_replayed: 0,
     };
+    w.shared.applied.store(w.applied, Ordering::Relaxed);
     if telemetry.enabled {
         // Put the replica's engine on the pool's shared timeline and
         // forward its phase spans (parse/infer/translate/eval) into the
@@ -178,18 +224,26 @@ pub(crate) fn worker_main(
         }));
     }
     let telemetry = &*telemetry;
-    if cfg.load_prelude {
+    if cfg.load_prelude && boot.is_none() {
         // Deterministic: every replica loads the same prelude before any
-        // log entry, so epochs stay aligned.
+        // log entry, so epochs stay aligned. A checkpointed engine
+        // already contains the prelude state — loading it again would
+        // double the declarations and desync epochs.
         let _ = w.engine.load_prelude();
     }
-    // A respawned replica starts cold: replay the log from offset 0
-    // before serving anything. `backlog` is the log length observed *on
-    // the router thread* at spawn time — reading `log.len()` here instead
-    // would race with a write sequenced after the spawn, whose
-    // `Write { offset }` request is already in this queue and must find
-    // its entry unapplied.
+    // A respawned replica replays only the log tail above its boot
+    // checkpoint (the whole log when none exists) before serving
+    // anything. `backlog` is the log length observed *on the router
+    // thread* at spawn time, read *after* the checkpoint slot — that
+    // order guarantees `backlog >= boot_offset`, and reading `log.len()`
+    // here instead would race with a write sequenced after the spawn,
+    // whose `Write { offset }` request is already in this queue and must
+    // find its entry unapplied.
     w.catch_up(backlog);
+    w.respawn_replayed = w.applied - boot_offset;
+    w.shared
+        .respawn_replayed
+        .store(w.respawn_replayed, Ordering::Relaxed);
 
     while let Ok(req) = rx.recv() {
         // Saturating: every routed request increments the gauge before it
@@ -232,7 +286,7 @@ pub(crate) fn worker_main(
                 let serve = w.note_catchup(telemetry, serve, w.applied - before);
                 let src = serve
                     .is_some()
-                    .then(|| w.log.get(offset))
+                    .then(|| w.log.get(offset).ok().flatten())
                     .flatten()
                     .unwrap_or_default();
                 let sampled = w.maybe_profile_start();
@@ -302,6 +356,12 @@ struct Worker {
     /// Merged profile of every sampled request on this replica.
     profile_acc: Profile,
     profile_samples: u64,
+    /// The pool's shared checkpoint slot (publish side).
+    checkpoints: Arc<CheckpointStore>,
+    /// Publish a checkpoint every N applied entries (`None`: never).
+    checkpoint_every: Option<u64>,
+    /// Entries this incarnation replayed at bootstrap.
+    respawn_replayed: u64,
 }
 
 /// Worker-side timing state for one traced request, between dequeue and
@@ -451,8 +511,18 @@ impl Worker {
     /// [`polyview::Engine::replay`]'s contract, incrementalized.
     fn catch_up(&mut self, upto: u64) {
         while self.applied < upto {
-            let Some(entry) = self.log.get(self.applied) else {
-                break;
+            let entry = match self.log.get(self.applied) {
+                Ok(Some(entry)) => entry,
+                // Not sequenced yet: the caller's `upto` was a stale log
+                // length; later offset-carrying requests replay the gap.
+                Ok(None) => break,
+                // Below the truncation point: the router only compacts
+                // offsets every replica (and every future bootstrap, via
+                // the checkpoint) is past, so this replica's state is
+                // unaccountable — crash rather than skip history.
+                Err(truncated) => {
+                    panic!("pool worker {}: {truncated}", self.index)
+                }
             };
             let _ = self.apply_entry(&entry);
         }
@@ -469,7 +539,41 @@ impl Worker {
         }
         self.applied += 1;
         self.shared.applied.store(self.applied, Ordering::Relaxed);
+        self.maybe_checkpoint();
         res
+    }
+
+    /// Publish a checkpoint when this apply landed on the checkpoint grid
+    /// and nobody has checkpointed this far yet. Sits in the apply path —
+    /// not the write path — so catch-up replay also makes progress
+    /// checkpoints: a replica replaying a long tail re-arms the bound for
+    /// the *next* crash as it goes.
+    fn maybe_checkpoint(&mut self) {
+        let Some(every) = self.checkpoint_every else {
+            return;
+        };
+        if self.applied == 0 || !self.applied.is_multiple_of(every) {
+            return;
+        }
+        // Replicas apply the same prefix, so a checkpoint at or past this
+        // offset makes ours redundant — skip the encode entirely.
+        if self
+            .checkpoints
+            .latest_offset()
+            .is_some_and(|o| o >= self.applied)
+        {
+            return;
+        }
+        let start = std::time::Instant::now();
+        let engine = self.engine.snapshot();
+        self.checkpoints.publish(Checkpoint {
+            offset: self.applied,
+            engine: engine.into(),
+        });
+        self.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .checkpoint_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Apply the write sequenced at `offset`, capturing its outcome.
@@ -483,11 +587,17 @@ impl Worker {
                 self.applied
             )));
         }
-        let Some(entry) = self.log.get(offset) else {
-            return Err(PoolError::Internal(format!(
-                "write at offset {offset} not in the log (len = {})",
-                self.log.len()
-            )));
+        let entry = match self.log.get(offset) {
+            Ok(Some(entry)) => entry,
+            Ok(None) => {
+                return Err(PoolError::Internal(format!(
+                    "write at offset {offset} not in the log (len = {})",
+                    self.log.len()
+                )));
+            }
+            Err(truncated) => {
+                return Err(PoolError::Internal(truncated.to_string()));
+            }
         };
         self.apply_entry(&entry)
     }
@@ -514,6 +624,7 @@ impl Worker {
             generation,
             applied: self.applied,
             replay_errors: self.shared.replay_errors.load(Ordering::Relaxed),
+            respawn_replayed: self.respawn_replayed,
             env_epoch: self.engine.env_epoch(),
             stats: self.engine.stats(),
             metrics_json: self.engine.metrics_json(),

@@ -1,0 +1,185 @@
+//! Snapshot round-trip properties (DESIGN.md §17): for randomized
+//! sessions — classes, inserts, shared objects, vals, funs — an engine
+//! restored from `snapshot()` is observationally identical to the
+//! original:
+//!
+//! * every class renders the same extent;
+//! * `env_epoch` and every declared name's epoch and scheme agree;
+//! * object *sharing* survives: a record inserted into several classes
+//!   (or reachable through a global and an extent) is still one record —
+//!   mutating through one handle is visible through every other, exactly
+//!   as on the original.
+
+use polyview::Engine;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomly generated session: the statements plus what they declared.
+struct Session {
+    stmts: Vec<String>,
+    classes: Vec<String>,
+    /// Globals bound to objects that were also inserted into ≥1 class —
+    /// the sharing probes.
+    shared: Vec<String>,
+    /// Every top-level name declared, for epoch/scheme comparison.
+    names: Vec<String>,
+}
+
+fn gen_session(seed: u64, len: usize) -> Session {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Session {
+        stmts: Vec::new(),
+        classes: Vec::new(),
+        shared: Vec::new(),
+        names: Vec::new(),
+    };
+    // Always at least one class, so inserts and renders have a target.
+    s.stmts.push("class C0 = class {} end;".to_string());
+    s.classes.push("C0".to_string());
+    s.names.push("C0".to_string());
+    let mut fresh = 0usize;
+    for _ in 0..len {
+        match rng.gen_range(0..6u8) {
+            0 => {
+                let c = format!("C{}", s.classes.len());
+                s.stmts.push(format!("class {c} = class {{}} end;"));
+                s.classes.push(c.clone());
+                s.names.push(c);
+            }
+            1 | 2 => {
+                let c = &s.classes[rng.gen_range(0..s.classes.len())];
+                let pay: i64 = rng.gen_range(0..1000);
+                s.stmts.push(format!(
+                    "insert({c}, IDView([Name = \"n{fresh}\", Salary := {pay}]))"
+                ));
+                fresh += 1;
+            }
+            3 => {
+                // A shared object: bound globally *and* inserted into one
+                // or two classes — the same raw record reachable through
+                // several handles.
+                let o = format!("o{}", s.shared.len());
+                let pay: i64 = rng.gen_range(0..1000);
+                s.stmts.push(format!(
+                    "val {o} = IDView([Name = \"{o}\", Salary := {pay}]);"
+                ));
+                for _ in 0..rng.gen_range(1..3usize) {
+                    let c = &s.classes[rng.gen_range(0..s.classes.len())];
+                    s.stmts.push(format!("insert({c}, {o})"));
+                }
+                s.shared.push(o.clone());
+                s.names.push(o);
+            }
+            4 => {
+                let v = format!("v{fresh}");
+                let (a, b): (i64, i64) = (rng.gen_range(0..100), rng.gen_range(0..100));
+                s.stmts.push(format!("val {v} = {a} + {b};"));
+                s.names.push(v);
+                fresh += 1;
+            }
+            _ => {
+                let f = format!("f{fresh}");
+                let k: i64 = rng.gen_range(1..50);
+                s.stmts.push(format!("fun {f} x = x + {k};"));
+                s.names.push(f);
+                fresh += 1;
+            }
+        }
+    }
+    s
+}
+
+fn run_session(s: &Session) -> Engine {
+    let mut e = Engine::new();
+    e.load_prelude().expect("prelude");
+    for stmt in &s.stmts {
+        e.exec(stmt).expect("session statement executes");
+    }
+    e
+}
+
+fn render_extent(e: &mut Engine, class: &str) -> String {
+    e.eval_to_string(&format!(
+        "cquery(fn s => map(fn o => query(fn x => x.Salary, o), s), {class})"
+    ))
+    .expect("extent renders")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// snapshot → restore is the identity on everything a session can
+    /// observe: extents, epochs, schemes.
+    #[test]
+    fn snapshot_roundtrip_is_observationally_identity(
+        seed in any::<u64>(),
+        len in 3usize..16,
+    ) {
+        let session = gen_session(seed, len);
+        let mut orig = run_session(&session);
+        let mut restored = Engine::from_snapshot(&orig.snapshot()).expect("snapshot decodes");
+
+        prop_assert_eq!(restored.env_epoch(), orig.env_epoch(), "env epoch");
+        for name in &session.names {
+            prop_assert_eq!(
+                restored.name_epoch(name),
+                orig.name_epoch(name),
+                "epoch of {}", name
+            );
+            prop_assert_eq!(
+                restored.scheme_of(name).map(|s| s.to_string()),
+                orig.scheme_of(name).map(|s| s.to_string()),
+                "scheme of {}", name
+            );
+        }
+        for class in &session.classes {
+            prop_assert_eq!(
+                render_extent(&mut restored, class),
+                render_extent(&mut orig, class),
+                "extent of {}", class
+            );
+        }
+    }
+
+    /// Sharing survives the round trip: mutating a shared object through
+    /// its global handle changes every extent it appears in, identically
+    /// on the original and the restored engine.
+    #[test]
+    fn snapshot_roundtrip_preserves_object_sharing(
+        seed in any::<u64>(),
+        len in 4usize..16,
+        bump in 1000i64..9999,
+    ) {
+        let session = gen_session(seed, len);
+        prop_assume!(!session.shared.is_empty());
+        let mut orig = run_session(&session);
+        let mut restored = Engine::from_snapshot(&orig.snapshot()).expect("snapshot decodes");
+
+        for (i, o) in session.shared.iter().enumerate() {
+            let mutate = format!("query(fn x => update(x, Salary, {}), {o})", bump + i as i64);
+            orig.exec(&mutate).expect("mutate original");
+            restored.exec(&mutate).expect("mutate restored");
+        }
+        // If the restore had copied instead of shared, the restored
+        // extents would still show the old salaries while the original's
+        // show the bump — the renders would diverge.
+        for class in &session.classes {
+            prop_assert_eq!(
+                render_extent(&mut restored, class),
+                render_extent(&mut orig, class),
+                "post-mutation extent of {}", class
+            );
+        }
+        let seen = session
+            .classes
+            .iter()
+            .map(|c| render_extent(&mut orig, c))
+            .collect::<Vec<_>>()
+            .join(" ");
+        prop_assert!(
+            seen.contains(&bump.to_string()),
+            "some extent must witness the mutation through the shared record: {}", seen
+        );
+    }
+}

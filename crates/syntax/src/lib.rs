@@ -27,6 +27,7 @@ pub mod sugar;
 pub mod term;
 pub mod types;
 pub mod visit;
+pub mod wire;
 
 pub use kind::{FieldReq, Kind, MutReq};
 pub use label::{Label, Name};

@@ -218,6 +218,14 @@ impl Infer {
         self.next_var
     }
 
+    /// Raise the fresh-variable counter to at least `n`. Snapshot restore
+    /// uses this so variables minted after a restore never collide with
+    /// the ids that appear in restored schemes; it never lowers the
+    /// counter.
+    pub fn ensure_vars_above(&mut self, n: u32) {
+        self.next_var = self.next_var.max(n);
+    }
+
     /// Snapshot of the inference work counters.
     pub fn stats(&self) -> InferStats {
         self.stats.get()

@@ -28,6 +28,13 @@
 //! mode too, dumping the combined `net.*` + pool + engine event
 //! stream. The default in-process mode (`--in-process` to name it
 //! explicitly) is unchanged.
+//!
+//! Durability (DESIGN.md §17, both modes): `--checkpoint-every N` makes
+//! replicas publish an engine checkpoint every N applied writes —
+//! bounding what a respawn replays and letting the router compact the
+//! log — and `--snapshot-dir DIR` persists the newest checkpoint so a
+//! restarted server resumes from it instead of empty. The verify.sh
+//! snapshot gate drives both.
 
 use polyview_net::{NetConfig, NetServer};
 use polyview_pool::{CollectingEventSink, Pool, PoolConfig, Submit, WindowConfig};
@@ -45,6 +52,11 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    let durability = Durability {
+        checkpoint_every: flag_value("--checkpoint-every")
+            .map(|n| n.parse::<u64>().expect("--checkpoint-every N")),
+        snapshot_dir: flag_value("--snapshot-dir"),
+    };
     if let Some(addr) = flag_value("--listen") {
         let addr_file = flag_value("--addr-file");
         let requests = flag_value("--requests").map(|n| n.parse::<u64>().expect("--requests N"));
@@ -56,10 +68,29 @@ fn main() {
             requests,
             tracing,
             stats_interval,
+            &durability,
         );
         return;
     }
-    run_in_process(tracing);
+    run_in_process(tracing, &durability);
+}
+
+/// The two durability flags, applied to either serving mode's pool.
+struct Durability {
+    checkpoint_every: Option<u64>,
+    snapshot_dir: Option<String>,
+}
+
+impl Durability {
+    fn apply(&self, mut cfg: PoolConfig) -> PoolConfig {
+        if let Some(n) = self.checkpoint_every {
+            cfg = cfg.checkpoint_every(n);
+        }
+        if let Some(dir) = &self.snapshot_dir {
+            cfg = cfg.snapshot_dir(dir);
+        }
+        cfg
+    }
 }
 
 /// Serve the pool over TCP until the frame budget (or stdin) runs out.
@@ -69,9 +100,10 @@ fn run_listen(
     requests: Option<u64>,
     tracing: bool,
     stats_interval_ms: Option<u64>,
+    durability: &Durability,
 ) {
     let sink = Arc::new(CollectingEventSink::new());
-    let mut pool_cfg = PoolConfig::default().workers(4).queue_capacity(256);
+    let mut pool_cfg = durability.apply(PoolConfig::default().workers(4).queue_capacity(256));
     if tracing {
         pool_cfg = pool_cfg.event_sink(sink.clone());
     }
@@ -182,7 +214,7 @@ fn dump_events(sink: &CollectingEventSink) {
     eprintln!("emitted {checked} trace events, all validated");
 }
 
-fn run_in_process(tracing: bool) {
+fn run_in_process(tracing: bool, durability: &Durability) {
     // Prose goes to stdout normally, but to stderr under --trace, where
     // stdout is reserved for the JSON event stream.
     macro_rules! say {
@@ -191,7 +223,7 @@ fn run_in_process(tracing: bool) {
         };
     }
 
-    let mut cfg = PoolConfig::default().workers(4).queue_capacity(32);
+    let mut cfg = durability.apply(PoolConfig::default().workers(4).queue_capacity(32));
     let sink = Arc::new(CollectingEventSink::new());
     if tracing {
         // Collect in memory and dump at the end: the event stream stays

@@ -264,4 +264,50 @@ print(f"  {len(snaps)} snapshots, all valid and healthy; "
 ' "$stats_dir/snapshots"
 rm -rf "$stats_dir"
 
-echo "OK: build, tests, fmt, clippy, dep hygiene, metrics + profile + trace + net + stats smoke all green (offline)."
+echo "==> snapshot smoke: bounded recovery + restart from --snapshot-dir"
+# In-process pool_server with checkpointing (DESIGN.md §17): the injected
+# crash on worker 1 must respawn from a checkpoint (gen=1) and replay only
+# the short log tail above it — never the whole history. The run writes 22
+# sequenced statements (2 seed + 20 inserts), so with --checkpoint-every 4
+# a bounded respawn replays at most a handful of entries; 22 would mean
+# the unbounded full-replay path is back. A second run over the same
+# --snapshot-dir must resume from the persisted checkpoint: its log picks
+# up at the restored base (20, the newest checkpoint grid point below 22)
+# instead of offset 0, so the final absolute log length is 20 + 22 = 42.
+snap_dir="$(mktemp -d)"
+target/release/examples/pool_server --checkpoint-every 4 \
+    --snapshot-dir "$snap_dir/ckpt" >"$snap_dir/run1"
+ls "$snap_dir"/ckpt/checkpoint-*.pvpc >/dev/null 2>&1 \
+    || { echo "FAIL: no checkpoint file persisted"; ls -la "$snap_dir/ckpt" || true; exit 1; }
+target/release/examples/pool_server --checkpoint-every 4 \
+    --snapshot-dir "$snap_dir/ckpt" >"$snap_dir/run2"
+python3 -c '
+import re, sys
+
+def check(path, label, log_len):
+    text = open(path).read()
+    assert "all replicas agree" in text, f"{label}: replicas did not converge"
+    pool = re.search(r"^pool\s+workers=4 log=(\d+)", text, re.M)
+    assert pool, f"{label}: no pool stats line"
+    got = int(pool.group(1))
+    assert got == log_len, f"{label}: log={got}, expected {log_len}"
+    w1 = re.search(
+        r"^worker 1\s+gen=(\d+) applied=(\d+).*respawn-replayed=(\d+)", text, re.M)
+    assert w1, f"{label}: no worker 1 stats line"
+    gen, applied, replayed = map(int, w1.groups())
+    assert gen == 1, f"{label}: worker 1 was not respawned (gen={gen})"
+    assert applied == log_len, f"{label}: worker 1 applied {applied}/{log_len}"
+    # Bounded recovery: the tail above the newest checkpoint is < 4 at the
+    # crash, plus at most a few writes sequenced before supervision ran.
+    assert replayed <= 8, \
+        f"{label}: respawn replayed {replayed} entries — checkpoint not used"
+    return replayed
+
+r1 = check(sys.argv[1], "run1", 22)
+r2 = check(sys.argv[2], "run2", 42)
+print(f"  run1: respawn replayed {r1}/22; "
+      f"run2 resumed at base 20, respawn replayed {r2}/42")
+' "$snap_dir/run1" "$snap_dir/run2"
+rm -rf "$snap_dir"
+
+echo "OK: build, tests, fmt, clippy, dep hygiene, metrics + profile + trace + net + stats + snapshot smoke all green (offline)."

@@ -624,3 +624,237 @@ fn compiled_statements_stay_warm_across_replay_and_respawn() {
     }
     pool.shutdown();
 }
+
+/// The acceptance drill for bounded recovery: with checkpointing every 4
+/// applied writes, a replica that crashes at log offset L respawns from
+/// the checkpoint at offset K and replays **exactly L − K** entries —
+/// not L — and still answers queries identically to an untouched
+/// replica.
+#[test]
+fn checkpointed_respawn_replays_exactly_the_log_tail() {
+    let mut pool = Pool::new(
+        PoolConfig::default()
+            .workers(2)
+            .queue_capacity(8)
+            .checkpoint_every(4),
+    );
+    pool.run(1, "class Staff = class {} end;").expect("class");
+    for i in 0..9 {
+        pool.run(1, &format!("insert(Staff, IDView([Name = \"N{i}\"]))"))
+            .expect("insert");
+    }
+    let log_len = pool.log_len();
+    assert_eq!(log_len, 10, "L = 10 writes sequenced");
+    // Every replica has applied all 10 entries, so the checkpoint grid
+    // (every 4) has deterministically produced one at offset 8.
+    pool.barrier().expect("barrier");
+
+    pool.inject_worker_panic(0);
+    pool.barrier().expect("respawn and converge");
+
+    let stats = pool.stats();
+    let w0 = stats.per_worker.iter().find(|w| w.worker == 0).expect("w0");
+    let w1 = stats.per_worker.iter().find(|w| w.worker == 1).expect("w1");
+    assert_eq!(w0.generation, 1, "worker 0 was respawned");
+    assert_eq!(
+        w0.respawn_replayed,
+        log_len - 8,
+        "respawn must replay exactly the tail above the checkpoint at 8, \
+         not the whole log"
+    );
+    assert_eq!(
+        w1.respawn_replayed, 0,
+        "the untouched replica never bootstrapped"
+    );
+    assert_eq!(w0.env_epoch, w1.env_epoch, "replicas diverged");
+
+    // The respawned replica answers exactly like the untouched one.
+    let restored = pool.probe_worker(0, NAMES_QUERY).expect("probe respawn");
+    let untouched = pool.probe_worker(1, NAMES_QUERY).expect("probe survivor");
+    assert_eq!(restored, untouched);
+    assert!(
+        restored.contains("N0") && restored.contains("N8"),
+        "{restored}"
+    );
+    pool.shutdown();
+}
+
+/// Compaction drops entries below the newest checkpoint once every
+/// replica is past them; offsets stay absolute, a read below the cut is
+/// a loud [`polyview_pool::TruncatedRead`], and the pool keeps serving —
+/// including through a post-compaction respawn, which must bootstrap
+/// from the checkpoint rather than ever touching the truncated prefix.
+#[test]
+fn log_compaction_keeps_offsets_absolute_and_respawn_safe() {
+    let mut pool = Pool::new(
+        PoolConfig::default()
+            .workers(2)
+            .queue_capacity(8)
+            .checkpoint_every(3),
+    );
+    pool.run(1, "class Staff = class {} end;").expect("class");
+    for i in 0..6 {
+        pool.run(1, &format!("insert(Staff, IDView([Name = \"C{i}\"]))"))
+            .expect("insert");
+    }
+    pool.barrier().expect("barrier");
+    // 7 writes, checkpoints at 3 and 6, every replica at 7: the explicit
+    // compaction pass cuts at min(6, 7) = 6.
+    let base = pool.compact_log();
+    assert_eq!(base, 6);
+    assert_eq!(pool.log_len(), 7, "len counts compacted history");
+    assert_eq!(pool.log_base(), 6);
+
+    // Surviving offsets read normally; compacted ones are loud errors,
+    // never silent empties.
+    assert!(pool.log().get(6).expect("live offset").is_some());
+    let err = pool.log().get(2).expect_err("below the cut is loud");
+    assert_eq!(err.offset, 2);
+    assert_eq!(err.base, 6);
+
+    // The pool keeps serving across the cut, and a respawned replica
+    // (which can never read below the base) still converges.
+    pool.run(1, "insert(Staff, IDView([Name = \"C6\"]))")
+        .expect("write after compaction");
+    pool.inject_worker_panic(1);
+    pool.barrier().expect("respawn");
+    let a = pool.probe_worker(0, NAMES_QUERY).expect("probe");
+    let b = pool.probe_worker(1, NAMES_QUERY).expect("probe");
+    assert_eq!(a, b);
+    assert!(a.contains("C0") && a.contains("C6"), "{a}");
+    pool.shutdown();
+}
+
+/// A sequenced write that fails during apply fails deterministically on
+/// every replica — the pool is serving from state the log can no longer
+/// reproduce cleanly. Health must scream, not average it into a rate.
+#[test]
+fn replay_errors_surface_as_unhealthy() {
+    let mut pool = small_pool(2);
+    assert!(pool.health().health.is_healthy());
+    pool.run(1, "val rec = [Name = \"Joe\"];").expect("val");
+    // Classifies as a write (update syntax), fails to type-check on
+    // every replica: one replay error each.
+    let err = pool
+        .run(1, "update(rec, Name, \"P\")")
+        .expect_err("immutable field");
+    assert!(err.is_type(), "got {err:?}");
+    pool.barrier().expect("barrier");
+
+    let report = pool.health();
+    match &report.health {
+        polyview_pool::Health::Unhealthy { reasons } => {
+            assert!(
+                reasons.iter().any(|r| r.contains("replay error")),
+                "expected a replay-error reason, got {reasons:?}"
+            );
+        }
+        other => panic!("expected Unhealthy, got {other:?}"),
+    }
+    pool.shutdown();
+}
+
+/// Growing the pool bootstraps the new replicas from the newest
+/// checkpoint: they replay only the log tail, then answer exactly like
+/// the replicas that lived through the whole history.
+#[test]
+fn add_workers_bootstraps_from_the_checkpoint() {
+    let mut pool = Pool::new(
+        PoolConfig::default()
+            .workers(1)
+            .queue_capacity(8)
+            .checkpoint_every(2),
+    );
+    pool.run(1, "class Staff = class {} end;").expect("class");
+    for i in 0..4 {
+        pool.run(1, &format!("insert(Staff, IDView([Name = \"G{i}\"]))"))
+            .expect("insert");
+    }
+    pool.barrier().expect("barrier");
+    // 5 writes, newest checkpoint at offset 4.
+    pool.add_workers(2);
+    assert_eq!(pool.worker_count(), 3);
+    pool.barrier().expect("new replicas converge");
+
+    let stats = pool.stats();
+    assert_eq!(stats.workers, 3);
+    for w in &stats.per_worker {
+        if w.worker == 0 {
+            continue;
+        }
+        assert_eq!(
+            w.respawn_replayed, 1,
+            "worker {} must replay only the tail above the checkpoint at 4",
+            w.worker
+        );
+    }
+    let expected = pool.probe_worker(0, NAMES_QUERY).expect("probe");
+    for w in 1..pool.worker_count() {
+        assert_eq!(pool.probe_worker(w, NAMES_QUERY).expect("probe"), expected);
+    }
+    assert!(
+        expected.contains("G0") && expected.contains("G3"),
+        "{expected}"
+    );
+    pool.shutdown();
+}
+
+/// With a snapshot directory, a restarted process resumes from the
+/// persisted checkpoint — data, *and* the effect-name classification
+/// state whose defining sources were compacted away with the log prefix.
+#[test]
+fn snapshot_dir_survives_a_process_restart() {
+    let dir =
+        std::env::temp_dir().join(format!("polyview-pool-restart-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || {
+        PoolConfig::default()
+            .workers(2)
+            .queue_capacity(8)
+            .checkpoint_every(2)
+            .snapshot_dir(&dir)
+    };
+
+    // First life: build state, declare an effectful function, shut down.
+    let mut pool = Pool::new(cfg());
+    pool.run(1, "class Staff = class {} end;").expect("class");
+    pool.run(1, "insert(Staff, IDView([Name = \"Ada\"]))")
+        .expect("insert");
+    pool.run(1, "insert(Staff, IDView([Name = \"Bob\"]))")
+        .expect("insert");
+    pool.run(1, "fun put x = insert(Staff, x);").expect("fun");
+    pool.barrier().expect("barrier");
+    // 4 writes, checkpoint at 4: everything survives the restart.
+    pool.shutdown();
+
+    // Second life: the log starts fully compacted at the checkpoint.
+    let mut pool = Pool::new(cfg());
+    assert_eq!(pool.log_len(), 4, "offsets stay absolute across restart");
+    assert_eq!(pool.log_base(), 4, "the prefix is compacted, not replayed");
+    let stats = pool.stats();
+    for w in &stats.per_worker {
+        assert_eq!(
+            w.respawn_replayed, 0,
+            "restart bootstraps from the checkpoint with no tail to replay"
+        );
+    }
+    // The restored effect set still classifies `put` as effectful — its
+    // defining source is gone with the truncated prefix.
+    assert_eq!(
+        pool.classify("put(IDView([Name = \"Cy\"]))")
+            .expect("classify"),
+        StmtClass::Write,
+        "restored effect names must keep routing calls through the log"
+    );
+    pool.run(1, "put(IDView([Name = \"Cy\"]))").expect("put");
+    pool.barrier().expect("barrier");
+    for w in 0..pool.worker_count() {
+        let names = pool.probe_worker(w, NAMES_QUERY).expect("probe");
+        assert!(
+            names.contains("Ada") && names.contains("Bob") && names.contains("Cy"),
+            "worker {w}: {names}"
+        );
+    }
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
